@@ -1,0 +1,141 @@
+//===- bench/BenchHarness.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See BenchHarness.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/Statistics.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+uint32_t sdt::bench::scaleFromEnv(uint32_t Fallback) {
+  const char *Env = std::getenv("STRATAIB_SCALE");
+  if (!Env)
+    return Fallback;
+  long V = std::strtol(Env, nullptr, 10);
+  return V > 0 ? static_cast<uint32_t>(V) : Fallback;
+}
+
+void sdt::bench::printHeader(const std::string &ExperimentId,
+                             const std::string &Title, uint32_t Scale) {
+  std::printf("=== %s: %s ===\n", ExperimentId.c_str(), Title.c_str());
+  std::printf("(workload scale %u; override with STRATAIB_SCALE; shapes, "
+              "not absolute numbers, are the reproduction target)\n\n",
+              Scale);
+}
+
+double sdt::bench::geoMeanSlowdown(const std::vector<Measurement> &Ms) {
+  std::vector<double> Slowdowns;
+  Slowdowns.reserve(Ms.size());
+  for (const Measurement &M : Ms)
+    Slowdowns.push_back(M.slowdown());
+  return geometricMean(Slowdowns);
+}
+
+BenchContext::BenchContext(uint32_t Scale) : Scale(Scale) {}
+
+std::vector<std::string> BenchContext::allWorkloadNames() {
+  std::vector<std::string> Names;
+  for (const workloads::WorkloadInfo &W : workloads::allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+const isa::Program &BenchContext::program(const std::string &Workload) {
+  auto It = Programs.find(Workload);
+  if (It != Programs.end())
+    return It->second;
+  Expected<isa::Program> P = workloads::buildWorkload(Workload, Scale);
+  if (!P) {
+    std::fprintf(stderr, "bench: %s\n", P.error().message().c_str());
+    std::exit(1);
+  }
+  return Programs.emplace(Workload, std::move(*P)).first->second;
+}
+
+const BenchContext::NativeBaseline &
+BenchContext::native(const std::string &Workload,
+                     const arch::MachineModel &Model) {
+  std::string Key = Workload + "|" + Model.Name;
+  auto It = Natives.find(Key);
+  if (It != Natives.end())
+    return It->second;
+
+  arch::TimingModel Timing(Model);
+  vm::ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto VM = vm::GuestVM::create(program(Workload), Exec);
+  if (!VM) {
+    std::fprintf(stderr, "bench: %s\n", VM.error().message().c_str());
+    std::exit(1);
+  }
+  NativeBaseline B;
+  B.Result = (*VM)->run();
+  if (!B.Result.finishedNormally()) {
+    std::fprintf(stderr, "bench: native %s did not finish: %s\n",
+                 Workload.c_str(), B.Result.FaultMessage.c_str());
+    std::exit(1);
+  }
+  B.Cycles = Timing.totalCycles();
+  return Natives.emplace(Key, std::move(B)).first->second;
+}
+
+vm::RunResult BenchContext::runNative(const std::string &Workload,
+                                      bool CollectSiteTargets) {
+  vm::ExecOptions Exec;
+  Exec.CollectSiteTargets = CollectSiteTargets;
+  auto VM = vm::GuestVM::create(program(Workload), Exec);
+  if (!VM) {
+    std::fprintf(stderr, "bench: %s\n", VM.error().message().c_str());
+    std::exit(1);
+  }
+  return (*VM)->run();
+}
+
+Measurement BenchContext::measure(const std::string &Workload,
+                                  const arch::MachineModel &Model,
+                                  const core::SdtOptions &Opts) {
+  const NativeBaseline &Base = native(Workload, Model);
+
+  arch::TimingModel Timing(Model);
+  vm::ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto Engine = core::SdtEngine::create(program(Workload), Opts, Exec);
+  if (!Engine) {
+    std::fprintf(stderr, "bench: %s\n", Engine.error().message().c_str());
+    std::exit(1);
+  }
+  vm::RunResult Translated = (*Engine)->run();
+
+  Measurement M;
+  M.NativeCycles = Base.Cycles;
+  M.SdtCycles = Timing.totalCycles();
+  for (size_t I = 0; I != M.SdtByCategory.size(); ++I)
+    M.SdtByCategory[I] = Timing.cycles(static_cast<arch::CycleCategory>(I));
+  M.Stats = (*Engine)->stats();
+  M.MainLookups = (*Engine)->mainHandler().lookups();
+  M.MainHits = (*Engine)->mainHandler().hits();
+  M.NativeCti = Base.Result.Cti;
+  M.Instructions = Base.Result.InstructionCount;
+  M.Transparent = Translated.Reason == Base.Result.Reason &&
+                  Translated.Output == Base.Result.Output &&
+                  Translated.Checksum == Base.Result.Checksum &&
+                  Translated.InstructionCount ==
+                      Base.Result.InstructionCount;
+  if (!M.Transparent) {
+    std::fprintf(stderr,
+                 "bench: TRANSPARENCY VIOLATION on %s under %s: %s\n",
+                 Workload.c_str(), Opts.describe().c_str(),
+                 Translated.FaultMessage.c_str());
+    std::exit(1);
+  }
+  return M;
+}

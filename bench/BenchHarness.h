@@ -1,0 +1,118 @@
+//===- bench/BenchHarness.h - Shared experiment harness ----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the experiment binaries (one binary per paper table
+/// or figure): workload/program caching, native-baseline caching,
+/// measurement under a given machine model + SDT configuration, and
+/// uniform headers. The scale of every experiment can be adjusted with
+/// the STRATAIB_SCALE environment variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_BENCH_BENCHHARNESS_H
+#define STRATAIB_BENCH_BENCHHARNESS_H
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "core/SdtEngine.h"
+#include "core/SdtOptions.h"
+#include "isa/Program.h"
+#include "vm/RunResult.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace bench {
+
+/// One native-vs-translated measurement.
+struct Measurement {
+  uint64_t NativeCycles = 0;
+  uint64_t SdtCycles = 0;
+  /// Cycles by category from the translated run.
+  std::array<uint64_t, size_t(arch::CycleCategory::NumCategories)>
+      SdtByCategory{};
+  core::SdtStats Stats;
+  vm::CtiStats NativeCti;
+  uint64_t Instructions = 0;
+  bool Transparent = false; ///< Outputs/checksums/instr counts matched.
+  /// Main-mechanism structure lookups/hits (IBTC table or sieve).
+  uint64_t MainLookups = 0;
+  uint64_t MainHits = 0;
+
+  double mainHitRate() const {
+    return MainLookups == 0 ? 0.0
+                            : static_cast<double>(MainHits) /
+                                  static_cast<double>(MainLookups);
+  }
+
+  double slowdown() const {
+    return NativeCycles == 0
+               ? 0.0
+               : static_cast<double>(SdtCycles) /
+                     static_cast<double>(NativeCycles);
+  }
+  double categoryShare(arch::CycleCategory C) const {
+    return SdtCycles == 0 ? 0.0
+                          : static_cast<double>(
+                                SdtByCategory[static_cast<size_t>(C)]) /
+                                static_cast<double>(SdtCycles);
+  }
+};
+
+/// Caches assembled workloads and native baselines across configurations
+/// within one experiment binary.
+class BenchContext {
+public:
+  explicit BenchContext(uint32_t Scale);
+
+  uint32_t scale() const { return Scale; }
+
+  /// The twelve SPEC INT proxy names, in suite order.
+  static std::vector<std::string> allWorkloadNames();
+
+  /// Runs \p Workload natively and under (\p Model, \p Opts). Native
+  /// results are cached per (workload, model) pair. Aborts the process on
+  /// build/run errors (experiment binaries are tools).
+  Measurement measure(const std::string &Workload,
+                      const arch::MachineModel &Model,
+                      const core::SdtOptions &Opts);
+
+  /// Native-only run (IB statistics, instruction counts).
+  vm::RunResult runNative(const std::string &Workload,
+                          bool CollectSiteTargets = false);
+
+private:
+  struct NativeBaseline {
+    uint64_t Cycles = 0;
+    vm::RunResult Result;
+  };
+
+  const isa::Program &program(const std::string &Workload);
+  const NativeBaseline &native(const std::string &Workload,
+                               const arch::MachineModel &Model);
+
+  uint32_t Scale;
+  std::map<std::string, isa::Program> Programs;
+  std::map<std::string, NativeBaseline> Natives; ///< key: workload|model.
+};
+
+/// Reads STRATAIB_SCALE, falling back to \p Fallback.
+uint32_t scaleFromEnv(uint32_t Fallback);
+
+/// Prints the uniform experiment banner.
+void printHeader(const std::string &ExperimentId, const std::string &Title,
+                 uint32_t Scale);
+
+/// Geometric mean over slowdowns.
+double geoMeanSlowdown(const std::vector<Measurement> &Ms);
+
+} // namespace bench
+} // namespace sdt
+
+#endif // STRATAIB_BENCH_BENCHHARNESS_H

@@ -1,0 +1,72 @@
+//===- bench/abl_adaptive_ibtc.cpp - Ablation: adaptive sizing -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Ablation: reprobe-and-resize. A fixed IBTC must be provisioned for the
+// worst program; an adaptive table starts tiny and quadruples itself when
+// conflict replacements exceed a quarter of its capacity — reaching
+// near-big-table performance while IB-light programs keep a near-zero
+// footprint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("A5 (Ablation: adaptive IBTC)",
+              "fixed-small vs adaptive vs fixed-large tables, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  core::SdtOptions FixedSmall;
+  FixedSmall.Mechanism = core::IBMechanism::Ibtc;
+  FixedSmall.IbtcEntries = 16;
+
+  core::SdtOptions Adaptive = FixedSmall;
+  Adaptive.IbtcAdaptive = true;
+  Adaptive.IbtcMaxEntries = 65536;
+
+  core::SdtOptions FixedLarge = FixedSmall;
+  FixedLarge.IbtcEntries = 16384;
+
+  TableFormatter T({"benchmark", "fixed-16", "adaptive(16..)",
+                    "fixed-16384", "hit%adaptive"});
+  std::vector<Measurement> Small, Adapt, Large;
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement S = Ctx.measure(W, Model, FixedSmall);
+    Measurement A = Ctx.measure(W, Model, Adaptive);
+    Measurement L = Ctx.measure(W, Model, FixedLarge);
+    Small.push_back(S);
+    Adapt.push_back(A);
+    Large.push_back(L);
+    T.beginRow()
+        .addCell(W)
+        .addCell(S.slowdown(), 3)
+        .addCell(A.slowdown(), 3)
+        .addCell(L.slowdown(), 3)
+        .addCell(100.0 * A.mainHitRate(), 2);
+  }
+  T.beginRow()
+      .addCell(std::string("geo-mean"))
+      .addCell(geoMeanSlowdown(Small), 3)
+      .addCell(geoMeanSlowdown(Adapt), 3)
+      .addCell(geoMeanSlowdown(Large), 3)
+      .addCell(std::string("-"));
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: adaptive sizing tracks the fixed-large "
+              "table's performance on\nIB-heavy benchmarks (after a "
+              "short resize warm-up) and matches the small\ntable where "
+              "few targets ever exist.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/abl_hash_functions.cpp - Ablation: hash choice --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Ablation: the hash that indexes IB lookup structures. Cheap hashes
+// (shift-mask) cost fewer inline ops but spread word-aligned,
+// regularly-spaced code addresses worse than xor-folding or
+// multiplicative hashing — a tradeoff that only shows under capacity
+// pressure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/Hashing.h"
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("A2 (Ablation: hash function)",
+              "IBTC index hash at small and large capacity, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  TableFormatter T({"entries", "hash", "geomean-12", "hit%perlbmk",
+                    "hit%gcc"});
+
+  for (uint32_t Entries : {64u, 256u, 4096u}) {
+    for (HashKind Kind :
+         {HashKind::ShiftMask, HashKind::XorFold, HashKind::Fibonacci}) {
+      core::SdtOptions Opts;
+      Opts.Mechanism = core::IBMechanism::Ibtc;
+      Opts.IbtcEntries = Entries;
+      Opts.IbtcHash = Kind;
+
+      std::vector<Measurement> All;
+      Measurement Perl, Gcc;
+      for (const std::string &W : BenchContext::allWorkloadNames()) {
+        Measurement M = Ctx.measure(W, Model, Opts);
+        All.push_back(M);
+        if (W == "perlbmk")
+          Perl = M;
+        if (W == "gcc")
+          Gcc = M;
+      }
+      T.beginRow()
+          .addCell(static_cast<uint64_t>(Entries))
+          .addCell(hashKindName(Kind))
+          .addCell(geoMeanSlowdown(All), 3)
+          .addCell(100.0 * Perl.mainHitRate(), 2)
+          .addCell(100.0 * Gcc.mainHitRate(), 2);
+    }
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: hash quality matters at 64-256 entries "
+              "(better spread = higher\nhit rate) and washes out at 4096 "
+              "where any hash avoids conflicts; the\nmultiplicative hash "
+              "pays its multiply once per lookup.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/abl_ibtc_assoc.cpp - Ablation: IBTC associativity ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Ablation: table organisation. For capacity-constrained IBTC tables,
+// set-associativity trades extra inline probes per lookup for fewer
+// conflict evictions — worthwhile only while conflicts dominate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("A1 (Ablation: IBTC associativity)",
+              "ways per set at small table capacities, x86 model", Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  TableFormatter T({"entries", "ways", "perlbmk", "gcc", "geomean-12",
+                    "hit%perlbmk"});
+
+  for (uint32_t Entries : {16u, 64u, 256u, 4096u}) {
+    for (uint32_t Assoc : {1u, 2u, 4u}) {
+      core::SdtOptions Opts;
+      Opts.Mechanism = core::IBMechanism::Ibtc;
+      Opts.IbtcEntries = Entries;
+      Opts.IbtcAssociativity = Assoc;
+
+      std::vector<Measurement> All;
+      Measurement Perl, Gcc;
+      for (const std::string &W : BenchContext::allWorkloadNames()) {
+        Measurement M = Ctx.measure(W, Model, Opts);
+        All.push_back(M);
+        if (W == "perlbmk")
+          Perl = M;
+        if (W == "gcc")
+          Gcc = M;
+      }
+      T.beginRow()
+          .addCell(static_cast<uint64_t>(Entries))
+          .addCell(static_cast<uint64_t>(Assoc))
+          .addCell(Perl.slowdown(), 3)
+          .addCell(Gcc.slowdown(), 3)
+          .addCell(geoMeanSlowdown(All), 3)
+          .addCell(100.0 * Perl.mainHitRate(), 2);
+    }
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: at 16-64 entries associativity buys hit "
+              "rate and wins; at 4096\nentries conflicts are already "
+              "rare, so the extra probes are pure cost.\n");
+  return 0;
+}

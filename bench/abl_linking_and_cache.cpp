@@ -1,0 +1,80 @@
+//===- bench/abl_linking_and_cache.cpp - Ablation: linking/cache ---*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Ablation: the non-IB machinery the paper takes as given. Fragment
+// linking (direct-branch chaining) is what reduces SDT overhead to "just
+// the IBs"; an undersized fragment cache forces flushes that re-pay
+// translation. Both knobs bound how much the IB mechanisms matter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("A3 (Ablation: linking & fragment-cache size)",
+              "direct-branch chaining and code-cache capacity, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  struct Config {
+    const char *Name;
+    bool Link;
+    uint32_t CacheBytes;
+  };
+  const Config Configs[] = {
+      {"nolink, 8MB", false, 8 << 20},
+      {"link, 8KB", true, 8 << 10},
+      {"link, 32KB", true, 32 << 10},
+      {"link, 8MB", true, 8 << 20},
+  };
+
+  TableFormatter T({"config", "geomean-12", "gcc", "gcc-dispatch%",
+                    "bigcode", "bigcode-flushes", "bigcode-translate%"});
+
+  for (const Config &C : Configs) {
+    core::SdtOptions Opts;
+    Opts.Mechanism = core::IBMechanism::Ibtc;
+    Opts.LinkFragments = C.Link;
+    Opts.FragmentCacheBytes = C.CacheBytes;
+
+    std::vector<Measurement> All;
+    Measurement Gcc;
+    for (const std::string &W : BenchContext::allWorkloadNames()) {
+      Measurement M = Ctx.measure(W, Model, Opts);
+      All.push_back(M);
+      if (W == "gcc")
+        Gcc = M;
+    }
+    // The code-footprint stressor: hundreds of functions whose translated
+    // working set exceeds the small cache configurations.
+    Measurement Big = Ctx.measure("bigcode", Model, Opts);
+    T.beginRow()
+        .addCell(std::string(C.Name))
+        .addCell(geoMeanSlowdown(All), 3)
+        .addCell(Gcc.slowdown(), 3)
+        .addCell(100.0 * Gcc.categoryShare(arch::CycleCategory::Dispatch),
+                 1)
+        .addCell(Big.slowdown(), 3)
+        .addCell(Big.Stats.Flushes)
+        .addCell(100.0 * Big.categoryShare(arch::CycleCategory::Translate),
+                 1);
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: without linking every direct branch "
+              "re-enters the dispatcher\n(overhead explodes); an 8KB "
+              "cache thrashes bigcode's working set (flushes\nre-pay "
+              "translation every pass); from 32KB up the working set "
+              "fits and IB\nhandling is the only residual.\n");
+  return 0;
+}

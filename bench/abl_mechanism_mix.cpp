@@ -1,0 +1,83 @@
+//===- bench/abl_mechanism_mix.cpp - Ablation: per-class choice ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Ablation: choosing the mechanism per IB class instead of uniformly.
+// Jump-table dispatch, function-pointer calls, and returns have different
+// target statistics; a mixed configuration can in principle beat either
+// uniform one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("A7 (Ablation: per-class mechanism mix)",
+              "uniform vs mixed jump/call mechanisms, fast returns",
+              Scale);
+  BenchContext Ctx(Scale);
+
+  struct Config {
+    const char *Name;
+    core::SdtOptions Opts;
+  };
+  std::vector<Config> Configs;
+  auto add = [&Configs](const char *Name, auto Mutate) {
+    core::SdtOptions O;
+    O.Returns = core::ReturnStrategy::FastReturn;
+    Mutate(O);
+    Configs.push_back({Name, O});
+  };
+  add("uniform ibtc", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+  });
+  add("uniform sieve", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Sieve;
+  });
+  add("sieve jumps + ibtc calls", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.JumpMechanism = core::IBMechanism::Sieve;
+  });
+  add("ibtc jumps + sieve calls", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Sieve;
+    O.JumpMechanism = core::IBMechanism::Ibtc;
+  });
+
+  TableFormatter T({"configuration", "x86-geomean", "sparc-geomean",
+                    "x86-perlbmk", "x86-eon"});
+  for (const Config &C : Configs) {
+    std::vector<Measurement> X86All, SparcAll;
+    Measurement Perl, Eon;
+    for (const std::string &W : BenchContext::allWorkloadNames()) {
+      Measurement MX = Ctx.measure(W, arch::x86Model(), C.Opts);
+      X86All.push_back(MX);
+      SparcAll.push_back(Ctx.measure(W, arch::sparcModel(), C.Opts));
+      if (W == "perlbmk")
+        Perl = MX;
+      if (W == "eon")
+        Eon = MX;
+    }
+    T.beginRow()
+        .addCell(std::string(C.Name))
+        .addCell(geoMeanSlowdown(X86All), 3)
+        .addCell(geoMeanSlowdown(SparcAll), 3)
+        .addCell(Perl.slowdown(), 3)
+        .addCell(Eon.slowdown(), 3);
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: with fast returns absorbing the return "
+              "class, the mixes sit\nbetween the uniform configurations "
+              "per machine — the per-class choice is a\nsecond-order "
+              "effect once returns are handled well, matching the "
+              "paper's focus\non return handling first.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- bench/abl_traces.cpp - Ablation: trace formation ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Ablation: NET-style traces on top of basic-block fragments. Traces
+// linearise hot paths (taken branches fall through, direct jumps vanish,
+// calls inline) — but they end at indirect branches, so the *share* of
+// overhead attributable to IB handling grows. This is the premise that
+// makes the paper's question the right one: after linking and traces,
+// IBs are what is left.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("A4 (Ablation: traces)",
+              "basic-block fragments vs NET-style traces, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  core::SdtOptions Bb;
+  Bb.Mechanism = core::IBMechanism::Ibtc;
+
+  core::SdtOptions Traced = Bb;
+  Traced.EnableTraces = true;
+  Traced.TraceHotThreshold = 50;
+
+  TableFormatter T({"benchmark", "bb-frags", "traces", "traces-built",
+                    "bb-ib%", "traces-ib%"});
+  std::vector<Measurement> BbAll, TracedAll;
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement B = Ctx.measure(W, Model, Bb);
+    Measurement R = Ctx.measure(W, Model, Traced);
+    BbAll.push_back(B);
+    TracedAll.push_back(R);
+    T.beginRow()
+        .addCell(W)
+        .addCell(B.slowdown(), 3)
+        .addCell(R.slowdown(), 3)
+        .addCell(R.Stats.TracesBuilt)
+        .addCell(100.0 * B.categoryShare(arch::CycleCategory::IBLookup), 1)
+        .addCell(100.0 * R.categoryShare(arch::CycleCategory::IBLookup),
+                 1);
+  }
+  T.beginRow()
+      .addCell(std::string("geo-mean"))
+      .addCell(geoMeanSlowdown(BbAll), 3)
+      .addCell(geoMeanSlowdown(TracedAll), 3)
+      .addCell(std::string("-"))
+      .addCell(std::string("-"))
+      .addCell(std::string("-"));
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: traces shave the block-chaining overhead "
+              "(jump elision,\nfall-through layout) — biggest on "
+              "branch/jump-bound code (bzip2, gzip, gcc,\ncrafty) — while "
+              "the absolute IB-lookup cycles are untouched: traces end "
+              "at\nindirect branches, so IB handling remains the "
+              "irreducible residual.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/fig11_best_config.cpp - E12: best combined config -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the closing figure: the dispatcher-only baseline against
+// the best combined configuration (tuned IBTC, light flag save, fast
+// returns, one inline prediction) on both machine models — how far
+// careful IB handling takes an SDT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E12 (Fig: best configuration)",
+              "dispatcher baseline vs tuned configuration", Scale);
+  BenchContext Ctx(Scale);
+
+  core::SdtOptions Baseline;
+  Baseline.Mechanism = core::IBMechanism::Dispatcher;
+
+  core::SdtOptions Best;
+  Best.Mechanism = core::IBMechanism::Ibtc;
+  Best.IbtcEntries = 16384;
+  Best.FullFlagSave = false;
+  Best.Returns = core::ReturnStrategy::FastReturn;
+  Best.InlineCacheDepth = 1;
+
+  TableFormatter T({"benchmark", "x86-baseline", "x86-best", "x86-speedup",
+                    "sparc-baseline", "sparc-best", "sparc-speedup"});
+  std::vector<Measurement> XB, XT, SB, ST;
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement MXB = Ctx.measure(W, arch::x86Model(), Baseline);
+    Measurement MXT = Ctx.measure(W, arch::x86Model(), Best);
+    Measurement MSB = Ctx.measure(W, arch::sparcModel(), Baseline);
+    Measurement MST = Ctx.measure(W, arch::sparcModel(), Best);
+    XB.push_back(MXB);
+    XT.push_back(MXT);
+    SB.push_back(MSB);
+    ST.push_back(MST);
+    T.beginRow()
+        .addCell(W)
+        .addCell(MXB.slowdown(), 2)
+        .addCell(MXT.slowdown(), 2)
+        .addCell(MXB.slowdown() / MXT.slowdown(), 2)
+        .addCell(MSB.slowdown(), 2)
+        .addCell(MST.slowdown(), 2)
+        .addCell(MSB.slowdown() / MST.slowdown(), 2);
+  }
+  T.beginRow()
+      .addCell(std::string("geo-mean"))
+      .addCell(geoMeanSlowdown(XB), 2)
+      .addCell(geoMeanSlowdown(XT), 2)
+      .addCell(geoMeanSlowdown(XB) / geoMeanSlowdown(XT), 2)
+      .addCell(geoMeanSlowdown(SB), 2)
+      .addCell(geoMeanSlowdown(ST), 2)
+      .addCell(geoMeanSlowdown(SB) / geoMeanSlowdown(ST), 2);
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: tuned IB handling removes most of the "
+              "baseline's overhead;\nresidual slowdown concentrates in "
+              "the megamorphic interpreter proxies, and\nthe IB-light "
+              "benchmarks sit near 1x in both columns.\n");
+  return 0;
+}

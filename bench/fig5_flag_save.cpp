@@ -1,0 +1,76 @@
+//===- bench/fig5_flag_save.cpp - E5: flag-save ablation -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the condition-code ablation: preserving flags around the
+// IBTC probe the expensive architectural way (pushf/popf-style) vs. the
+// light way (lahf/sahf-style), on both machine models. The paper's
+// cross-architecture headline starts here: the choice matters enormously
+// on x86 and barely at all on SPARC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E5 (Fig: flag save)",
+              "full vs light condition-code preservation, IBTC", Scale);
+  BenchContext Ctx(Scale);
+
+  auto configFor = [](bool Full) {
+    core::SdtOptions O;
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.FullFlagSave = Full;
+    return O;
+  };
+
+  TableFormatter T({"benchmark", "x86-full", "x86-light", "x86-gain%",
+                    "sparc-full", "sparc-light", "sparc-gain%"});
+  std::vector<Measurement> XF, XL, SF, SL;
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement MXF = Ctx.measure(W, arch::x86Model(), configFor(true));
+    Measurement MXL = Ctx.measure(W, arch::x86Model(), configFor(false));
+    Measurement MSF = Ctx.measure(W, arch::sparcModel(), configFor(true));
+    Measurement MSL = Ctx.measure(W, arch::sparcModel(), configFor(false));
+    XF.push_back(MXF);
+    XL.push_back(MXL);
+    SF.push_back(MSF);
+    SL.push_back(MSL);
+    auto Gain = [](const Measurement &Full, const Measurement &Light) {
+      return 100.0 * (Full.slowdown() - Light.slowdown()) /
+             Full.slowdown();
+    };
+    T.beginRow()
+        .addCell(W)
+        .addCell(MXF.slowdown(), 3)
+        .addCell(MXL.slowdown(), 3)
+        .addCell(Gain(MXF, MXL), 1)
+        .addCell(MSF.slowdown(), 3)
+        .addCell(MSL.slowdown(), 3)
+        .addCell(Gain(MSF, MSL), 1);
+  }
+  T.beginRow()
+      .addCell(std::string("geo-mean"))
+      .addCell(geoMeanSlowdown(XF), 3)
+      .addCell(geoMeanSlowdown(XL), 3)
+      .addCell(std::string("-"))
+      .addCell(geoMeanSlowdown(SF), 3)
+      .addCell(geoMeanSlowdown(SL), 3)
+      .addCell(std::string("-"));
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: the light save wins clearly on the x86 "
+              "model for IB-heavy\nbenchmarks and is near-noise on the "
+              "SPARC model — the mechanism's best\nimplementation depends "
+              "on the architecture.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench/fig6_sieve_size.cpp - E6: sieve bucket sweep ----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the sieve-size figure: slowdown vs. bucket count from 2^4 to
+// 2^16. Few buckets mean long compare-and-branch chains (I-cache traffic
+// and per-stub compares); many buckets stop helping once chains reach
+// length one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <algorithm>
+#include <map>
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E6 (Fig: sieve size)",
+              "slowdown vs. sieve bucket count, x86 model", Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  const std::vector<std::string> Shown = {"perlbmk", "gap",    "parser",
+                                          "gcc",     "crafty", "vortex"};
+  std::vector<std::string> Headers = {"buckets"};
+  for (const std::string &W : Shown)
+    Headers.push_back(W);
+  Headers.push_back("geomean-12");
+  TableFormatter T(Headers);
+
+  for (uint32_t Buckets = 4; Buckets <= 65536; Buckets *= 4) {
+    core::SdtOptions Opts;
+    Opts.Mechanism = core::IBMechanism::Sieve;
+    Opts.SieveBuckets = Buckets;
+
+    std::vector<Measurement> All;
+    std::map<std::string, double> Slowdowns;
+    for (const std::string &W : BenchContext::allWorkloadNames()) {
+      Measurement M = Ctx.measure(W, Model, Opts);
+      All.push_back(M);
+      Slowdowns[W] = M.slowdown();
+    }
+    T.beginRow().addCell(static_cast<uint64_t>(Buckets));
+    for (const std::string &W : Shown)
+      T.addCell(Slowdowns.at(W), 3);
+    T.addCell(geoMeanSlowdown(All), 3);
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: the curve mirrors the IBTC sweep — steep "
+              "improvement while\nchains shrink, flat once buckets "
+              "outnumber live IB targets.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/fig7_ibtc_vs_sieve.cpp - E7: mechanism head-to-head --*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the IBTC-vs-sieve comparison on both machine models: the
+// data-cache-resident table against the instruction-cache-resident
+// dispatch structure, equal capacity, per benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E7 (Fig: IBTC vs sieve)",
+              "mechanism head-to-head on both machine models", Scale);
+  BenchContext Ctx(Scale);
+
+  core::SdtOptions Ibtc;
+  Ibtc.Mechanism = core::IBMechanism::Ibtc;
+  core::SdtOptions Sieve;
+  Sieve.Mechanism = core::IBMechanism::Sieve;
+
+  TableFormatter T({"benchmark", "x86-ibtc", "x86-sieve", "x86-winner",
+                    "sparc-ibtc", "sparc-sieve", "sparc-winner"});
+  std::vector<Measurement> XI, XS, SI, SS;
+  unsigned X86IbtcWins = 0, SparcIbtcWins = 0;
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement MXI = Ctx.measure(W, arch::x86Model(), Ibtc);
+    Measurement MXS = Ctx.measure(W, arch::x86Model(), Sieve);
+    Measurement MSI = Ctx.measure(W, arch::sparcModel(), Ibtc);
+    Measurement MSS = Ctx.measure(W, arch::sparcModel(), Sieve);
+    XI.push_back(MXI);
+    XS.push_back(MXS);
+    SI.push_back(MSI);
+    SS.push_back(MSS);
+    bool X86Ibtc = MXI.slowdown() <= MXS.slowdown();
+    bool SparcIbtc = MSI.slowdown() <= MSS.slowdown();
+    X86IbtcWins += X86Ibtc;
+    SparcIbtcWins += SparcIbtc;
+    T.beginRow()
+        .addCell(W)
+        .addCell(MXI.slowdown(), 3)
+        .addCell(MXS.slowdown(), 3)
+        .addCell(std::string(X86Ibtc ? "ibtc" : "sieve"))
+        .addCell(MSI.slowdown(), 3)
+        .addCell(MSS.slowdown(), 3)
+        .addCell(std::string(SparcIbtc ? "ibtc" : "sieve"));
+  }
+  T.beginRow()
+      .addCell(std::string("geo-mean"))
+      .addCell(geoMeanSlowdown(XI), 3)
+      .addCell(geoMeanSlowdown(XS), 3)
+      .addCell(std::string("-"))
+      .addCell(geoMeanSlowdown(SI), 3)
+      .addCell(geoMeanSlowdown(SS), 3)
+      .addCell(std::string("-"));
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("ibtc wins %u/12 on x86, %u/12 on sparc.\n", X86IbtcWins,
+              SparcIbtcWins);
+  std::printf("Shape targets: the two mechanisms are close overall but "
+              "the per-benchmark and\nper-architecture winners differ — "
+              "cache residency (D-cache table vs I-cache\nstubs) and "
+              "flag-save cost move the crossover.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- bench/fig9_returns.cpp - E9: return-handling strategies -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the return-handling figure: returns through the general
+// IBTC, through a dedicated return cache, and as fast returns (translated
+// addresses in the link register). Returns are the most frequent IB
+// class, so this choice dominates the call-bound benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E9 (Fig: return handling)",
+              "as-indirect vs return-cache vs fast returns, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  auto configFor = [](core::ReturnStrategy S) {
+    core::SdtOptions O;
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.Returns = S;
+    return O;
+  };
+
+  TableFormatter T({"benchmark", "ret/1k", "as-indirect", "return-cache",
+                    "shadow-stack", "fast-return", "fastret-direct%"});
+  std::vector<Measurement> AsInd, RetCache, ShadowStack, FastRet;
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement A =
+        Ctx.measure(W, Model, configFor(core::ReturnStrategy::AsIndirect));
+    Measurement R =
+        Ctx.measure(W, Model, configFor(core::ReturnStrategy::ReturnCache));
+    Measurement S = Ctx.measure(
+        W, Model, configFor(core::ReturnStrategy::ShadowStack));
+    Measurement F =
+        Ctx.measure(W, Model, configFor(core::ReturnStrategy::FastReturn));
+    AsInd.push_back(A);
+    RetCache.push_back(R);
+    ShadowStack.push_back(S);
+    FastRet.push_back(F);
+    uint64_t RetExecs = F.Stats.IBExecs[size_t(core::IBClass::Return)];
+    double DirectPct =
+        RetExecs == 0 ? 0.0
+                      : 100.0 * static_cast<double>(
+                                    F.Stats.FastReturnDirect) /
+                            static_cast<double>(RetExecs);
+    T.beginRow()
+        .addCell(W)
+        .addCell(1000.0 * static_cast<double>(A.NativeCti.Returns) /
+                     static_cast<double>(A.Instructions),
+                 2)
+        .addCell(A.slowdown(), 3)
+        .addCell(R.slowdown(), 3)
+        .addCell(S.slowdown(), 3)
+        .addCell(F.slowdown(), 3)
+        .addCell(DirectPct, 1);
+  }
+  T.beginRow()
+      .addCell(std::string("geo-mean"))
+      .addCell(std::string("-"))
+      .addCell(geoMeanSlowdown(AsInd), 3)
+      .addCell(geoMeanSlowdown(RetCache), 3)
+      .addCell(geoMeanSlowdown(ShadowStack), 3)
+      .addCell(geoMeanSlowdown(FastRet), 3)
+      .addCell(std::string("-"));
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: gains track return density (crafty, gcc, "
+              "vortex, eon); fast\nreturns win because the return "
+              "executes as a bare predicted jump — recovering\nthe "
+              "hardware return-address-stack behaviour native code "
+              "enjoys. The shadow\nstack is transparent but pays per-call "
+              "pushes and a memory-indirect jump,\nlanding between the "
+              "return cache and fast returns.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+//===- bench/micro_primitives.cpp - Core primitive microbenchmarks -*- C++-*-===//
+//
+// Part of StrataIB.
+//
+// google-benchmark microbenchmarks for the library's hot primitives:
+// address hashing, cache simulation, branch prediction, decode,
+// interpretation, and translated execution throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/BranchPredictor.h"
+#include "arch/CacheSim.h"
+#include "arch/MachineModel.h"
+#include "assembler/Assembler.h"
+#include "core/SdtEngine.h"
+#include "isa/Encoding.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sdt;
+
+static void BM_HashAddress(benchmark::State &State) {
+  HashKind Kind = static_cast<HashKind>(State.range(0));
+  uint32_t Addr = 0x1000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(hashAddress(Kind, Addr, 4096));
+    Addr += 4;
+  }
+}
+BENCHMARK(BM_HashAddress)
+    ->Arg(static_cast<int>(HashKind::ShiftMask))
+    ->Arg(static_cast<int>(HashKind::XorFold))
+    ->Arg(static_cast<int>(HashKind::Fibonacci));
+
+static void BM_Mix64(benchmark::State &State) {
+  uint64_t X = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(X = mix64(X));
+}
+BENCHMARK(BM_Mix64);
+
+static void BM_RngNext(benchmark::State &State) {
+  Rng R(42);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.next());
+}
+BENCHMARK(BM_RngNext);
+
+static void BM_CacheSimAccess(benchmark::State &State) {
+  arch::CacheSim Cache({16 * 1024, 64, 4});
+  Rng R(7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Cache.access(static_cast<uint32_t>(R.nextBelow(1 << 20))));
+}
+BENCHMARK(BM_CacheSimAccess);
+
+static void BM_PredictorConditional(benchmark::State &State) {
+  arch::BranchPredictor P({4096, 512, 16});
+  uint32_t Pc = 0x1000;
+  bool Taken = false;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P.predictConditional(Pc, Taken));
+    Pc = (Pc + 4) & 0xFFFF;
+    Taken = !Taken;
+  }
+}
+BENCHMARK(BM_PredictorConditional);
+
+static void BM_DecodeInstruction(benchmark::State &State) {
+  uint32_t Word = isa::encode(isa::makeI(isa::Opcode::Addi, 3, 4, 42));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isa::decode(Word));
+}
+BENCHMARK(BM_DecodeInstruction);
+
+static void BM_AssembleWorkload(benchmark::State &State) {
+  Expected<std::string> Src = workloads::workloadSource("gcc", 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(assembler::assemble(*Src));
+}
+BENCHMARK(BM_AssembleWorkload)->Unit(benchmark::kMillisecond);
+
+static void BM_InterpreterThroughput(benchmark::State &State) {
+  Expected<isa::Program> P = workloads::buildWorkload("mcf", 1);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    auto VM = vm::GuestVM::create(*P, vm::ExecOptions());
+    vm::RunResult R = (*VM)->run();
+    Instrs += R.InstructionCount;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+static void BM_InterpreterTimedThroughput(benchmark::State &State) {
+  Expected<isa::Program> P = workloads::buildWorkload("mcf", 1);
+  arch::MachineModel Model = arch::x86Model();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    arch::TimingModel Timing(Model);
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto VM = vm::GuestVM::create(*P, Exec);
+    vm::RunResult R = (*VM)->run();
+    Instrs += R.InstructionCount;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_InterpreterTimedThroughput)->Unit(benchmark::kMillisecond);
+
+static void BM_SdtThroughput(benchmark::State &State) {
+  Expected<isa::Program> P = workloads::buildWorkload("gcc", 1);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    auto Engine =
+        core::SdtEngine::create(*P, core::SdtOptions(), vm::ExecOptions());
+    vm::RunResult R = (*Engine)->run();
+    Instrs += R.InstructionCount;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_SdtThroughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+//===- bench/tab1_ib_stats.cpp - E1: dynamic IB statistics -------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces Table 1: dynamic indirect-branch statistics per benchmark —
+// the mix of returns / indirect calls / indirect jumps, IB density, and
+// per-site target fan-out. This is the workload characterisation every
+// later experiment is interpreted against.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(10);
+  printHeader("E1 (Table 1)",
+              "dynamic indirect-branch statistics per benchmark", Scale);
+  BenchContext Ctx(Scale);
+
+  TableFormatter T({"benchmark", "profile", "instrs(k)", "ret/1k",
+                    "icall/1k", "ijump/1k", "ib/1k", "ib-sites",
+                    "max-fanout"});
+
+  for (const workloads::WorkloadInfo &W : workloads::allWorkloads()) {
+    vm::RunResult R = Ctx.runNative(W.Name, /*CollectSiteTargets=*/true);
+    double Instrs = static_cast<double>(R.InstructionCount);
+    auto PerK = [Instrs](uint64_t N) {
+      return 1000.0 * static_cast<double>(N) / Instrs;
+    };
+    size_t MaxFanOut = 0;
+    for (const auto &[Site, Targets] : R.SiteTargets)
+      MaxFanOut = std::max(MaxFanOut, Targets.size());
+
+    T.beginRow()
+        .addCell(std::string(W.Name))
+        .addCell(std::string(W.IBProfile))
+        .addCell(R.InstructionCount / 1000)
+        .addCell(PerK(R.Cti.Returns), 2)
+        .addCell(PerK(R.Cti.IndirectCalls), 2)
+        .addCell(PerK(R.Cti.IndirectJumps), 2)
+        .addCell(PerK(R.Cti.indirectTotal()), 2)
+        .addCell(static_cast<uint64_t>(R.SiteTargets.size()))
+        .addCell(static_cast<uint64_t>(MaxFanOut));
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: interpreter proxies (perlbmk, gap, parser) "
+              "are ind-jump dominated\nwith high fan-out; call-bound "
+              "proxies (gcc, crafty, vortex, eon) are return-heavy;\n"
+              "gzip/mcf/bzip2 are the low-IB anchors.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- bench/tab2_ibtc_hit_rates.cpp - E11: IBTC hit rates ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the IBTC hit-rate table: probe hit rate per benchmark as
+// the shared table grows from 64 to 16384 entries. Hit rate, not raw
+// speed, is what the size sweep (E3) is made of.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E11 (Table: IBTC hit rates)",
+              "probe hit rate vs shared-table entries, x86 model", Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  const uint32_t Sizes[] = {16, 64, 256, 1024, 4096};
+  std::vector<std::string> Headers = {"benchmark", "ib/1k"};
+  for (uint32_t S : Sizes)
+    Headers.push_back("hit%" + std::to_string(S));
+  TableFormatter T(Headers);
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    T.beginRow().addCell(W);
+    bool First = true;
+    for (uint32_t S : Sizes) {
+      core::SdtOptions Opts;
+      Opts.Mechanism = core::IBMechanism::Ibtc;
+      Opts.IbtcEntries = S;
+      Measurement M = Ctx.measure(W, Model, Opts);
+      if (First) {
+        T.addCell(1000.0 *
+                      static_cast<double>(M.NativeCti.indirectTotal()) /
+                      static_cast<double>(M.Instructions),
+                  2);
+        First = false;
+      }
+      T.addCell(100.0 * M.mainHitRate(), 2);
+    }
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape targets: hit rates rise monotonically with table "
+              "size and saturate near\n100%% once conflicts vanish; the "
+              "IB-light benchmarks have too few lookups for\nthe rate to "
+              "matter.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/tab3_overhead_breakdown.cpp - E13: where cycles go ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reproduces the overhead-decomposition table: for the tuned
+// configuration, the share of translated cycles spent on application
+// work, translation, dispatch, IB handling, and link patching — the
+// paper's framing that after linking and warm-up, IB handling *is* the
+// overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E13 (Table: overhead breakdown)",
+              "translated-cycle decomposition, tuned IBTC, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  core::SdtOptions Opts;
+  Opts.Mechanism = core::IBMechanism::Ibtc;
+  Opts.Returns = core::ReturnStrategy::FastReturn;
+
+  TableFormatter T({"benchmark", "slowdown", "app%", "translate%",
+                    "dispatch%", "ib-lookup%", "link%"});
+
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    Measurement M = Ctx.measure(W, Model, Opts);
+    T.beginRow()
+        .addCell(W)
+        .addCell(M.slowdown(), 3)
+        .addCell(100.0 * M.categoryShare(arch::CycleCategory::App), 1)
+        .addCell(100.0 * M.categoryShare(arch::CycleCategory::Translate),
+                 1)
+        .addCell(100.0 * M.categoryShare(arch::CycleCategory::Dispatch), 1)
+        .addCell(100.0 * M.categoryShare(arch::CycleCategory::IBLookup), 1)
+        .addCell(100.0 * M.categoryShare(arch::CycleCategory::Link), 1);
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "Shape targets: on IB-light benchmarks app%% is ~99%% (translation "
+      "is the only\nresidual); on IB-dense benchmarks ib-lookup%% "
+      "dominates — note it subsumes the\nindirect-branch resolution work "
+      "(including mispredictions) that native\nexecution also pays, which "
+      "is why slowdowns stay near 1.3x despite large\nib-lookup shares. "
+      "dispatch%% and link%% are negligible once warm.\n");
+  return 0;
+}

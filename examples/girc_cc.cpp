@@ -1,0 +1,94 @@
+//===- examples/girc_cc.cpp - MinC compiler driver -----------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Command-line driver for girc, the MinC → GIR compiler: emit assembly,
+// run natively, or run under the SDT with a report. Write guest programs
+// in a C-like language and watch how their indirect branches behave
+// under translation.
+//
+// Usage:
+//   girc_cc emit file.mc     # print generated GIR assembly
+//   girc_cc run  file.mc     # compile + run natively
+//   girc_cc sdt  file.mc     # compile + run under the default SDT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtEngine.h"
+#include "girc/Compiler.h"
+#include "vm/GuestVM.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sdt;
+
+static int usage() {
+  std::fprintf(stderr, "usage: girc_cc <emit|run|sdt> <file.mc>\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  if (argc != 3)
+    return usage();
+  std::string Command = argv[1];
+
+  std::ifstream File(argv[2]);
+  if (!File) {
+    std::fprintf(stderr, "girc_cc: cannot open '%s'\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+
+  if (Command == "emit") {
+    Expected<std::string> Asm = girc::compileToAssembly(Buffer.str());
+    if (!Asm) {
+      std::fprintf(stderr, "girc_cc: %s: %s\n", argv[2],
+                   Asm.error().message().c_str());
+      return 1;
+    }
+    std::fputs(Asm->c_str(), stdout);
+    return 0;
+  }
+
+  Expected<isa::Program> P = girc::compile(Buffer.str());
+  if (!P) {
+    std::fprintf(stderr, "girc_cc: %s: %s\n", argv[2],
+                 P.error().message().c_str());
+    return 1;
+  }
+
+  if (Command == "run") {
+    auto VM = vm::GuestVM::create(*P, vm::ExecOptions());
+    if (!VM) {
+      std::fprintf(stderr, "girc_cc: %s\n", VM.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = (*VM)->run();
+    std::fputs(R.Output.c_str(), stdout);
+    if (R.Reason == vm::ExitReason::Fault)
+      std::fprintf(stderr, "fault: %s\n", R.FaultMessage.c_str());
+    return R.finishedNormally() ? R.ExitCode : 1;
+  }
+
+  if (Command == "sdt") {
+    auto Engine =
+        core::SdtEngine::create(*P, core::SdtOptions(), vm::ExecOptions());
+    if (!Engine) {
+      std::fprintf(stderr, "girc_cc: %s\n",
+                   Engine.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = (*Engine)->run();
+    std::fputs(R.Output.c_str(), stdout);
+    if (R.Reason == vm::ExitReason::Fault)
+      std::fprintf(stderr, "fault: %s\n", R.FaultMessage.c_str());
+    std::fprintf(stderr, "\n%s", (*Engine)->report().c_str());
+    return R.finishedNormally() ? R.ExitCode : 1;
+  }
+
+  return usage();
+}

@@ -1,0 +1,164 @@
+//===- examples/mechanism_shootout.cpp - Compare IB mechanisms ---*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The paper's core question as a single program: for one workload, how do
+// the IB handling mechanisms compare? Runs every mechanism/return-strategy
+// combination on the chosen workload and machine model and prints a
+// ranked table.
+//
+// Usage: mechanism_shootout [workload] [arch] [scale]
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "core/SdtEngine.h"
+#include "support/TableFormatter.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+
+namespace {
+
+struct Entry {
+  std::string Name;
+  core::SdtOptions Opts;
+  double Slowdown = 0.0;
+  double IBShare = 0.0;
+  double DispatchShare = 0.0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Workload = argc > 1 ? argv[1] : "gcc";
+  std::string Arch = argc > 2 ? argv[2] : "x86";
+  uint32_t Scale = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 10;
+  if (Scale == 0)
+    Scale = 1;
+
+  std::optional<arch::MachineModel> Model = arch::modelByName(Arch);
+  if (!Model) {
+    std::fprintf(stderr, "unknown arch '%s'\n", Arch.c_str());
+    return 1;
+  }
+  Expected<isa::Program> Program =
+      workloads::buildWorkload(Workload, Scale);
+  if (!Program) {
+    std::fprintf(stderr, "%s\n", Program.error().message().c_str());
+    return 1;
+  }
+
+  // Native baseline.
+  arch::TimingModel NativeTiming(*Model);
+  vm::ExecOptions NativeExec;
+  NativeExec.Timing = &NativeTiming;
+  auto VM = vm::GuestVM::create(*Program, NativeExec);
+  if (!VM) {
+    std::fprintf(stderr, "%s\n", VM.error().message().c_str());
+    return 1;
+  }
+  vm::RunResult Native = (*VM)->run();
+  if (!Native.finishedNormally()) {
+    std::fprintf(stderr, "native run failed: %s\n",
+                 Native.FaultMessage.c_str());
+    return 1;
+  }
+
+  // Candidate configurations.
+  std::vector<Entry> Entries;
+  auto add = [&Entries](const char *Name, auto Mutate) {
+    Entry E;
+    E.Name = Name;
+    Mutate(E.Opts);
+    Entries.push_back(E);
+  };
+  add("dispatcher (baseline)", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Dispatcher;
+  });
+  add("ibtc full-flags", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.FullFlagSave = true;
+  });
+  add("ibtc light-flags", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+  });
+  add("sieve", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Sieve;
+  });
+  add("ibtc + return cache", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.Returns = core::ReturnStrategy::ReturnCache;
+  });
+  add("ibtc + fast returns", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.Returns = core::ReturnStrategy::FastReturn;
+  });
+  add("sieve + fast returns", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Sieve;
+    O.Returns = core::ReturnStrategy::FastReturn;
+  });
+  add("ibtc + fastret + inline2", [](core::SdtOptions &O) {
+    O.Mechanism = core::IBMechanism::Ibtc;
+    O.Returns = core::ReturnStrategy::FastReturn;
+    O.InlineCacheDepth = 2;
+  });
+
+  for (Entry &E : Entries) {
+    arch::TimingModel Timing(*Model);
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto Engine = core::SdtEngine::create(*Program, E.Opts, Exec);
+    if (!Engine) {
+      std::fprintf(stderr, "%s\n", Engine.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = (*Engine)->run();
+    if (R.Checksum != Native.Checksum) {
+      std::fprintf(stderr, "transparency violation under %s!\n",
+                   E.Name.c_str());
+      return 1;
+    }
+    E.Slowdown = static_cast<double>(Timing.totalCycles()) /
+                 static_cast<double>(NativeTiming.totalCycles());
+    E.IBShare =
+        static_cast<double>(Timing.cycles(arch::CycleCategory::IBLookup)) /
+        static_cast<double>(Timing.totalCycles());
+    E.DispatchShare =
+        static_cast<double>(Timing.cycles(arch::CycleCategory::Dispatch)) /
+        static_cast<double>(Timing.totalCycles());
+  }
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              return A.Slowdown < B.Slowdown;
+            });
+
+  std::printf("workload %s on %s (scale %u, %llu instructions, %.2f IBs "
+              "per 1k)\n\n",
+              Workload.c_str(), Arch.c_str(), Scale,
+              static_cast<unsigned long long>(Native.InstructionCount),
+              1000.0 * static_cast<double>(Native.Cti.indirectTotal()) /
+                  static_cast<double>(Native.InstructionCount));
+
+  TableFormatter T({"rank", "configuration", "slowdown", "ib-lookup%",
+                    "dispatch%"});
+  uint64_t Rank = 1;
+  for (const Entry &E : Entries)
+    T.beginRow()
+        .addCell(Rank++)
+        .addCell(E.Name)
+        .addCell(E.Slowdown, 3)
+        .addCell(100.0 * E.IBShare, 1)
+        .addCell(100.0 * E.DispatchShare, 1);
+  std::printf("%s", T.render().c_str());
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- examples/run_workload.cpp - Workload measurement CLI ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Runs one of the SPEC CPU2000 proxy workloads natively and under a chosen
+// SDT configuration, printing IB statistics, the per-category cycle
+// breakdown, and the overhead — the paper's measurement methodology as a
+// command-line tool.
+//
+// Usage: run_workload [workload] [mechanism] [arch] [scale]
+//   workload  = gzip|vpr|gcc|mcf|crafty|parser|eon|perlbmk|gap|vortex|
+//               bzip2|twolf            (default perlbmk)
+//   mechanism = dispatcher|ibtc|sieve  (default ibtc)
+//   arch      = x86|sparc|simple       (default x86)
+//   scale     = positive integer      (default 5)
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "core/SdtEngine.h"
+#include "support/StringUtils.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace sdt;
+
+int main(int argc, char **argv) {
+  std::string Workload = argc > 1 ? argv[1] : "perlbmk";
+  std::string Mechanism = argc > 2 ? argv[2] : "ibtc";
+  std::string Arch = argc > 3 ? argv[3] : "x86";
+  uint32_t Scale = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 5;
+  if (Scale == 0)
+    Scale = 1;
+
+  Expected<isa::Program> Program =
+      workloads::buildWorkload(Workload, Scale);
+  if (!Program) {
+    std::fprintf(stderr, "error: %s\n", Program.error().message().c_str());
+    std::fprintf(stderr, "workloads:");
+    for (const auto &W : workloads::allWorkloads())
+      std::fprintf(stderr, " %s", W.Name);
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  std::optional<arch::MachineModel> Model = arch::modelByName(Arch);
+  if (!Model) {
+    std::fprintf(stderr, "error: unknown arch '%s' (x86|sparc|simple)\n",
+                 Arch.c_str());
+    return 1;
+  }
+
+  core::SdtOptions Opts;
+  if (Mechanism == "dispatcher") {
+    Opts.Mechanism = core::IBMechanism::Dispatcher;
+  } else if (Mechanism == "ibtc") {
+    Opts.Mechanism = core::IBMechanism::Ibtc;
+  } else if (Mechanism == "sieve") {
+    Opts.Mechanism = core::IBMechanism::Sieve;
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown mechanism '%s' (dispatcher|ibtc|sieve)\n",
+                 Mechanism.c_str());
+    return 1;
+  }
+
+  // --- Native run -----------------------------------------------------------
+  arch::TimingModel NativeTiming(*Model);
+  vm::ExecOptions NativeExec;
+  NativeExec.Timing = &NativeTiming;
+  auto VM = vm::GuestVM::create(*Program, NativeExec);
+  if (!VM) {
+    std::fprintf(stderr, "error: %s\n", VM.error().message().c_str());
+    return 1;
+  }
+  vm::RunResult Native = (*VM)->run();
+  if (!Native.finishedNormally()) {
+    std::fprintf(stderr, "native run failed: %s %s\n",
+                 vm::exitReasonName(Native.Reason),
+                 Native.FaultMessage.c_str());
+    return 1;
+  }
+
+  // --- Translated run ---------------------------------------------------
+  arch::TimingModel SdtTiming(*Model);
+  vm::ExecOptions SdtExec;
+  SdtExec.Timing = &SdtTiming;
+  auto Engine = core::SdtEngine::create(*Program, Opts, SdtExec);
+  if (!Engine) {
+    std::fprintf(stderr, "error: %s\n", Engine.error().message().c_str());
+    return 1;
+  }
+  vm::RunResult Translated = (*Engine)->run();
+
+  // --- Report -----------------------------------------------------------
+  const vm::CtiStats &C = Native.Cti;
+  std::printf("workload %s (scale %u) on %s: %llu instructions\n",
+              Workload.c_str(), Scale, Arch.c_str(),
+              static_cast<unsigned long long>(Native.InstructionCount));
+  std::printf(
+      "IB mix: returns=%llu ind-calls=%llu ind-jumps=%llu "
+      "(%.2f IBs per 1k instructions)\n",
+      static_cast<unsigned long long>(C.Returns),
+      static_cast<unsigned long long>(C.IndirectCalls),
+      static_cast<unsigned long long>(C.IndirectJumps),
+      1000.0 * static_cast<double>(C.indirectTotal()) /
+          static_cast<double>(Native.InstructionCount));
+
+  bool Same = Native.Output == Translated.Output &&
+              Native.Checksum == Translated.Checksum &&
+              Native.InstructionCount == Translated.InstructionCount &&
+              Native.Reason == Translated.Reason;
+  std::printf("behaviour identical under SDT: %s\n", Same ? "yes" : "NO");
+  if (!Same && !Translated.FaultMessage.empty())
+    std::printf("  translated fault: %s\n",
+                Translated.FaultMessage.c_str());
+
+  std::printf("\nnative cycles:     %llu\n",
+              static_cast<unsigned long long>(NativeTiming.totalCycles()));
+  std::printf("translated cycles: %llu  (slowdown %.3fx)\n",
+              static_cast<unsigned long long>(SdtTiming.totalCycles()),
+              static_cast<double>(SdtTiming.totalCycles()) /
+                  static_cast<double>(NativeTiming.totalCycles()));
+  std::printf("cycle breakdown:");
+  for (unsigned I = 0;
+       I != static_cast<unsigned>(arch::CycleCategory::NumCategories); ++I) {
+    arch::CycleCategory Cat = static_cast<arch::CycleCategory>(I);
+    std::printf(" %s=%.1f%%", arch::cycleCategoryName(Cat),
+                100.0 * static_cast<double>(SdtTiming.cycles(Cat)) /
+                    static_cast<double>(SdtTiming.totalCycles()));
+  }
+  std::printf("\n\n%s", (*Engine)->report().c_str());
+  return Same ? 0 : 1;
+}

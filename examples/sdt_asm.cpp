@@ -1,0 +1,141 @@
+//===- examples/sdt_asm.cpp - Guest toolchain driver --------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// A small toolchain driver for GIR assembly files: assemble, disassemble,
+// dump symbols, run natively, or run under the SDT. Demonstrates the
+// assembler / Program / VM / engine APIs on user-supplied sources.
+//
+// Usage:
+//   sdt_asm run file.s        # assemble + run natively
+//   sdt_asm sdt file.s        # assemble + run under the default SDT
+//   sdt_asm disasm file.s     # assemble + disassemble the image
+//   sdt_asm symbols file.s    # assemble + dump the symbol table
+//   sdt_asm as file.s out.gx  # assemble to a GX object file
+//
+// Every command also accepts a pre-assembled .gx object in place of the
+// .s source (detected by magic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/Assembler.h"
+#include "core/SdtEngine.h"
+#include "isa/Disassembler.h"
+#include "isa/Serialize.h"
+#include "vm/GuestVM.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+
+static int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sdt_asm <run|sdt|disasm|symbols> <file.s|file.gx>\n"
+      "       sdt_asm as <file.s> <out.gx>\n");
+  return 2;
+}
+
+/// Loads a guest program from assembly text or a GX object (by magic).
+static Expected<isa::Program> loadInput(const std::string &Path) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File)
+    return Error::failure("cannot open '" + Path + "'");
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(File)),
+                             std::istreambuf_iterator<char>());
+  if (isa::isGxImage(Bytes))
+    return isa::deserializeProgram(Bytes);
+  return assembler::assemble(
+      std::string_view(reinterpret_cast<const char *>(Bytes.data()),
+                       Bytes.size()));
+}
+
+static void printRunResult(const vm::RunResult &R) {
+  std::fputs(R.Output.c_str(), stdout);
+  std::printf("[%s, exit=%d, %llu instructions, checksum=%016llx]\n",
+              vm::exitReasonName(R.Reason), R.ExitCode,
+              static_cast<unsigned long long>(R.InstructionCount),
+              static_cast<unsigned long long>(R.Checksum));
+  if (!R.FaultMessage.empty())
+    std::printf("fault: %s\n", R.FaultMessage.c_str());
+}
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Command = argv[1];
+
+  Expected<isa::Program> P = loadInput(argv[2]);
+  if (!P) {
+    std::fprintf(stderr, "sdt_asm: %s: %s\n", argv[2],
+                 P.error().message().c_str());
+    return 1;
+  }
+
+  if (Command == "as") {
+    if (argc != 4)
+      return usage();
+    if (Error E = isa::writeProgramFile(argv[3], *P)) {
+      std::fprintf(stderr, "sdt_asm: %s\n", E.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (argc != 3)
+    return usage();
+
+  if (Command == "run") {
+    auto VM = vm::GuestVM::create(*P, vm::ExecOptions());
+    if (!VM) {
+      std::fprintf(stderr, "sdt_asm: %s\n", VM.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = (*VM)->run();
+    printRunResult(R);
+    return R.finishedNormally() ? R.ExitCode : 1;
+  }
+
+  if (Command == "sdt") {
+    auto Engine =
+        core::SdtEngine::create(*P, core::SdtOptions(), vm::ExecOptions());
+    if (!Engine) {
+      std::fprintf(stderr, "sdt_asm: %s\n",
+                   Engine.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = (*Engine)->run();
+    printRunResult(R);
+    std::printf("\n%s", (*Engine)->report().c_str());
+    return R.finishedNormally() ? R.ExitCode : 1;
+  }
+
+  if (Command == "disasm") {
+    for (uint32_t Addr = P->loadAddress(); Addr < P->endAddress();
+         Addr += isa::InstructionSize) {
+      // Print any symbols defined at this address.
+      for (const auto &[Name, SymAddr] : P->symbols())
+        if (SymAddr == Addr)
+          std::printf("%s:\n", Name.c_str());
+      Expected<isa::Instruction> I = P->fetch(Addr);
+      if (I)
+        std::printf("  %08x:  %s\n", Addr,
+                    isa::disassemble(*I, Addr).c_str());
+      else
+        std::printf("  %08x:  .word (data)\n", Addr);
+    }
+    return 0;
+  }
+
+  if (Command == "symbols") {
+    std::printf("entry: 0x%x\n", P->entry());
+    for (const auto &[Name, Addr] : P->symbols())
+      std::printf("%08x  %s\n", Addr, Name.c_str());
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Runs every experiment and ablation binary, writing one output file per
+# experiment under results/ plus a combined log. Usage:
+#   scripts/run_all_experiments.sh [build-dir] [scale]
+set -eu
+
+BUILD="${1:-build}"
+SCALE="${2:-20}"
+OUT="results"
+mkdir -p "$OUT"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "error: '$BUILD/bench' not found; build first:" >&2
+  echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+: > "$OUT/all_experiments.txt"
+for BIN in "$BUILD"/bench/*; do
+  [ -f "$BIN" ] && [ -x "$BIN" ] || continue # Skip CMake artifacts.
+  NAME=$(basename "$BIN")
+  case "$NAME" in
+    micro_primitives) continue ;; # google-benchmark; run separately
+    *.cmake|*.a) continue ;;
+  esac
+  echo "== $NAME (STRATAIB_SCALE=$SCALE) =="
+  STRATAIB_SCALE="$SCALE" "$BIN" | tee "$OUT/$NAME.txt" \
+    >> "$OUT/all_experiments.txt"
+  echo >> "$OUT/all_experiments.txt"
+done
+
+echo "== micro_primitives =="
+"$BUILD"/bench/micro_primitives --benchmark_min_time=0.05 \
+  | tee "$OUT/micro_primitives.txt" >> "$OUT/all_experiments.txt" 2>&1
+
+echo "done: outputs in $OUT/"

@@ -1,0 +1,78 @@
+//===- arch/BranchPredictor.cpp --------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See BranchPredictor.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/BranchPredictor.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::arch;
+
+BranchPredictor::BranchPredictor(const PredictorConfig &Config)
+    : Config(Config) {
+  assert(isPowerOf2(Config.GshareEntries) && isPowerOf2(Config.BtbEntries) &&
+         "predictor tables must be powers of two");
+  assert(Config.RasDepth > 0 && "RAS must have at least one entry");
+  Counters.assign(Config.GshareEntries, 1); // Weakly not-taken.
+  Btb.assign(Config.BtbEntries, 0);
+  Ras.assign(Config.RasDepth, 0);
+}
+
+void BranchPredictor::reset() {
+  Counters.assign(Config.GshareEntries, 1);
+  Btb.assign(Config.BtbEntries, 0);
+  RasTop = 0;
+  History = 0;
+  CondMispredicts = 0;
+  IndirectMispredicts = 0;
+  ReturnMispredicts = 0;
+}
+
+bool BranchPredictor::predictConditional(uint32_t Pc, bool Taken) {
+  uint32_t Index = ((Pc >> 2) ^ History) & (Config.GshareEntries - 1);
+  uint8_t &Counter = Counters[Index];
+  bool Predicted = Counter >= 2;
+
+  if (Taken && Counter < 3)
+    ++Counter;
+  else if (!Taken && Counter > 0)
+    --Counter;
+  History = ((History << 1) | (Taken ? 1 : 0)) & 0xFFFF;
+
+  bool Correct = Predicted == Taken;
+  if (!Correct)
+    ++CondMispredicts;
+  return Correct;
+}
+
+bool BranchPredictor::predictIndirect(uint32_t Pc, uint32_t Target) {
+  uint32_t Index = (Pc >> 2) & (Config.BtbEntries - 1);
+  bool Correct = Btb[Index] == Target;
+  Btb[Index] = Target;
+  if (!Correct)
+    ++IndirectMispredicts;
+  return Correct;
+}
+
+void BranchPredictor::pushReturn(uint32_t ReturnAddr) {
+  // Circular overwrite on overflow, like a real RAS.
+  Ras[RasTop % Config.RasDepth] = ReturnAddr;
+  ++RasTop;
+}
+
+bool BranchPredictor::predictReturn(uint32_t Target) {
+  if (RasTop == 0) {
+    ++ReturnMispredicts;
+    return false;
+  }
+  --RasTop;
+  bool Correct = Ras[RasTop % Config.RasDepth] == Target;
+  if (!Correct)
+    ++ReturnMispredicts;
+  return Correct;
+}

@@ -1,0 +1,78 @@
+//===- arch/BranchPredictor.h - Branch prediction model ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch prediction substrate: a gshare-style conditional predictor, a
+/// direct-mapped BTB for indirect branches, and a return-address stack.
+///
+/// This model is what gives the paper's architecture story its teeth:
+/// native hardware predicts *returns* almost perfectly through the RAS,
+/// but an SDT that translates returns into hash-table lookups issues an
+/// indirect jump the BTB must predict instead — destroying the RAS win.
+/// Fast returns recover it, which is why they matter so much.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ARCH_BRANCHPREDICTOR_H
+#define STRATAIB_ARCH_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace arch {
+
+/// Predictor geometry. All table sizes must be powers of two.
+struct PredictorConfig {
+  uint32_t GshareEntries = 4096; ///< 2-bit counters.
+  uint32_t BtbEntries = 512;     ///< Indirect-target cache.
+  uint32_t RasDepth = 16;        ///< Return-address stack.
+};
+
+/// Combined conditional/indirect/return predictor.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(const PredictorConfig &Config);
+
+  /// Predicts and trains on a conditional branch at \p Pc with outcome
+  /// \p Taken. Returns true if the prediction was correct.
+  bool predictConditional(uint32_t Pc, bool Taken);
+
+  /// Predicts and trains on an indirect branch at \p Pc resolving to
+  /// \p Target. Returns true if the BTB predicted the target.
+  bool predictIndirect(uint32_t Pc, uint32_t Target);
+
+  /// Records a call: pushes \p ReturnAddr onto the RAS.
+  void pushReturn(uint32_t ReturnAddr);
+
+  /// Predicts and trains on a return resolving to \p Target. Returns true
+  /// if the RAS top matched (the common case for well-nested code).
+  bool predictReturn(uint32_t Target);
+
+  /// Drops all state (used across benchmark repetitions).
+  void reset();
+
+  uint64_t conditionalMispredicts() const { return CondMispredicts; }
+  uint64_t indirectMispredicts() const { return IndirectMispredicts; }
+  uint64_t returnMispredicts() const { return ReturnMispredicts; }
+
+private:
+  PredictorConfig Config;
+  std::vector<uint8_t> Counters; ///< 2-bit saturating, init weakly-taken.
+  std::vector<uint32_t> Btb;     ///< Last target per entry (0 = empty).
+  std::vector<uint32_t> Ras;
+  uint32_t RasTop = 0;  ///< Number of valid entries.
+  uint32_t History = 0; ///< Global branch history for gshare.
+
+  uint64_t CondMispredicts = 0;
+  uint64_t IndirectMispredicts = 0;
+  uint64_t ReturnMispredicts = 0;
+};
+
+} // namespace arch
+} // namespace sdt
+
+#endif // STRATAIB_ARCH_BRANCHPREDICTOR_H

@@ -1,0 +1,73 @@
+//===- arch/CacheSim.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See CacheSim.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/CacheSim.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::arch;
+
+CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
+  assert(isPowerOf2(Config.SizeBytes) && isPowerOf2(Config.LineBytes) &&
+         isPowerOf2(Config.Associativity) && "cache geometry not power of 2");
+  assert(Config.SizeBytes >= Config.LineBytes * Config.Associativity &&
+         "cache smaller than one set");
+  LineShift = log2Floor(Config.LineBytes);
+  SetMask = Config.numSets() - 1;
+  Ways.resize(static_cast<size_t>(Config.numSets()) * Config.Associativity);
+}
+
+uint32_t CacheSim::setIndex(uint32_t Addr) const {
+  return (Addr >> LineShift) & SetMask;
+}
+
+uint32_t CacheSim::tagOf(uint32_t Addr) const {
+  return Addr >> LineShift; // Keep full line number; cheap and unambiguous.
+}
+
+bool CacheSim::access(uint32_t Addr) {
+  ++Clock;
+  uint32_t Set = setIndex(Addr);
+  uint32_t Tag = tagOf(Addr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+
+  Way *Victim = Base;
+  for (uint32_t W = 0; W != Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.Tag == Tag) {
+      Candidate.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!Candidate.Valid ||
+        (Victim->Valid && Candidate.LastUse < Victim->LastUse))
+      Victim = &Candidate;
+  }
+
+  Victim->Tag = Tag;
+  Victim->Valid = true;
+  Victim->LastUse = Clock;
+  ++Misses;
+  return false;
+}
+
+bool CacheSim::isResident(uint32_t Addr) const {
+  uint32_t Set = setIndex(Addr);
+  uint32_t Tag = tagOf(Addr);
+  const Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+  for (uint32_t W = 0; W != Config.Associativity; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return true;
+  return false;
+}
+
+void CacheSim::flush() {
+  for (Way &W : Ways)
+    W.Valid = false;
+}

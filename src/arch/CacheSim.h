@@ -1,0 +1,82 @@
+//===- arch/CacheSim.h - Set-associative cache simulator --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU, write-allocate cache simulator. The paper's
+/// central cross-mechanism tradeoff is cache residency: IBTC lookups hit
+/// the *data* cache (the translation table is data), while sieve lookups
+/// hit the *instruction* cache (the dispatch stubs are code). The timing
+/// model instantiates one CacheSim per cache and charges the miss penalty
+/// whenever an access misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ARCH_CACHESIM_H
+#define STRATAIB_ARCH_CACHESIM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace arch {
+
+/// Cache geometry. All fields must be powers of two.
+struct CacheConfig {
+  uint32_t SizeBytes = 16 * 1024;
+  uint32_t LineBytes = 32;
+  uint32_t Associativity = 2;
+
+  uint32_t numSets() const {
+    return SizeBytes / (LineBytes * Associativity);
+  }
+};
+
+/// One level of set-associative LRU cache.
+class CacheSim {
+public:
+  explicit CacheSim(const CacheConfig &Config);
+
+  /// Touches the line containing \p Addr. Returns true on hit. Misses
+  /// allocate (write-allocate policy for stores too).
+  bool access(uint32_t Addr);
+
+  /// True if the line containing \p Addr is currently resident (no state
+  /// change; used by tests).
+  bool isResident(uint32_t Addr) const;
+
+  /// Drops all lines (used when the fragment cache is flushed, which
+  /// invalidates the translated-code footprint).
+  void flush();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t accesses() const { return Hits + Misses; }
+
+  const CacheConfig &config() const { return Config; }
+
+private:
+  struct Way {
+    uint32_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  uint32_t setIndex(uint32_t Addr) const;
+  uint32_t tagOf(uint32_t Addr) const;
+
+  CacheConfig Config;
+  uint32_t LineShift;
+  uint32_t SetMask;
+  std::vector<Way> Ways; ///< numSets x Associativity, row-major.
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace arch
+} // namespace sdt
+
+#endif // STRATAIB_ARCH_CACHESIM_H

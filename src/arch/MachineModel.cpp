@@ -1,0 +1,157 @@
+//===- arch/MachineModel.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See MachineModel.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+
+using namespace sdt;
+using namespace sdt::arch;
+
+MachineModel sdt::arch::x86Model() {
+  MachineModel M;
+  M.Name = "x86";
+
+  M.AluCost = 1;
+  M.MulCost = 3;
+  M.DivCost = 25;
+  M.LoadCost = 2;
+  M.StoreCost = 1;
+  M.BranchCost = 1;
+  M.JumpCost = 1;
+  M.IndirectCost = 2;
+  M.SyscallCost = 100;
+
+  // Deep pipeline: mispredicts are expensive.
+  M.CondMispredictPenalty = 20;
+  M.IndirectMispredictPenalty = 24;
+  M.ReturnMispredictPenalty = 24;
+
+  M.ICacheMissPenalty = 12;
+  M.DCacheMissPenalty = 14;
+
+  M.ContextSaveCost = 45;
+  M.ContextRestoreCost = 45;
+  // The paper's x86 headline: pushf/popf-style full EFLAGS preservation is
+  // very expensive; the lahf/sahf-style light save is nearly free.
+  M.FlagSaveFullCost = 22;
+  M.FlagRestoreFullCost = 22;
+  M.FlagSaveLightCost = 2;
+  M.FlagRestoreLightCost = 2;
+
+  // cmp imm32 is a single instruction on a CISC machine.
+  M.SieveStubOps = 1;
+  M.MapLookupCost = 130;
+  M.TranslateCostPerInstr = 350;
+  M.LinkPatchCost = 60;
+
+  M.ICache = {/*SizeBytes=*/16 * 1024, /*LineBytes=*/64,
+              /*Associativity=*/4};
+  M.DCache = {/*SizeBytes=*/16 * 1024, /*LineBytes=*/64,
+              /*Associativity=*/4};
+  M.Predictor = {/*GshareEntries=*/4096, /*BtbEntries=*/512,
+                 /*RasDepth=*/16};
+  return M;
+}
+
+MachineModel sdt::arch::sparcModel() {
+  MachineModel M;
+  M.Name = "sparc";
+
+  M.AluCost = 1;
+  M.MulCost = 6;
+  M.DivCost = 40;
+  M.LoadCost = 2;
+  M.StoreCost = 1;
+  M.BranchCost = 1;
+  M.JumpCost = 1;
+  M.IndirectCost = 3;
+  M.SyscallCost = 120;
+
+  // Shallower pipeline: cheaper mispredicts.
+  M.CondMispredictPenalty = 8;
+  M.IndirectMispredictPenalty = 10;
+  M.ReturnMispredictPenalty = 10;
+
+  M.ICacheMissPenalty = 14;
+  M.DCacheMissPenalty = 16;
+
+  // Register windows make a full context switch costly...
+  M.ContextSaveCost = 70;
+  M.ContextRestoreCost = 70;
+  // ...but condition codes are a register read: full and light saves are
+  // both cheap, so the paper's flag-save distinction barely matters here.
+  M.FlagSaveFullCost = 3;
+  M.FlagRestoreFullCost = 3;
+  M.FlagSaveLightCost = 2;
+  M.FlagRestoreLightCost = 2;
+
+  // Each sieve stub must materialise its 32-bit tag (sethi+or) before
+  // comparing — fixed-width instructions cannot embed the constant.
+  M.SieveStubOps = 4;
+  M.MapLookupCost = 150;
+  M.TranslateCostPerInstr = 400;
+  M.LinkPatchCost = 70;
+
+  M.ICache = {/*SizeBytes=*/32 * 1024, /*LineBytes=*/32,
+              /*Associativity=*/4};
+  M.DCache = {/*SizeBytes=*/64 * 1024, /*LineBytes=*/32,
+              /*Associativity=*/4};
+  // Weaker indirect prediction hardware than the x86 model.
+  M.Predictor = {/*GshareEntries=*/2048, /*BtbEntries=*/128,
+                 /*RasDepth=*/8};
+  return M;
+}
+
+MachineModel sdt::arch::simpleModel() {
+  MachineModel M;
+  M.Name = "simple";
+
+  M.AluCost = 1;
+  M.MulCost = 1;
+  M.DivCost = 1;
+  M.LoadCost = 1;
+  M.StoreCost = 1;
+  M.BranchCost = 1;
+  M.JumpCost = 1;
+  M.IndirectCost = 1;
+  M.SyscallCost = 1;
+
+  M.CondMispredictPenalty = 0;
+  M.IndirectMispredictPenalty = 0;
+  M.ReturnMispredictPenalty = 0;
+
+  M.ICacheMissPenalty = 0;
+  M.DCacheMissPenalty = 0;
+
+  M.ContextSaveCost = 10;
+  M.ContextRestoreCost = 10;
+  M.FlagSaveFullCost = 4;
+  M.FlagRestoreFullCost = 4;
+  M.FlagSaveLightCost = 1;
+  M.FlagRestoreLightCost = 1;
+  M.MapLookupCost = 20;
+  M.TranslateCostPerInstr = 50;
+  M.LinkPatchCost = 5;
+
+  M.ICache = {/*SizeBytes=*/1024, /*LineBytes=*/32, /*Associativity=*/1};
+  M.DCache = {/*SizeBytes=*/1024, /*LineBytes=*/32, /*Associativity=*/1};
+  M.Predictor = {/*GshareEntries=*/64, /*BtbEntries=*/16, /*RasDepth=*/4};
+  return M;
+}
+
+std::optional<MachineModel>
+sdt::arch::modelByName(const std::string &Name) {
+  if (Name == "x86")
+    return x86Model();
+  if (Name == "sparc")
+    return sparcModel();
+  if (Name == "simple")
+    return simpleModel();
+  return std::nullopt;
+}
+
+std::vector<std::string> sdt::arch::allModelNames() {
+  return {"x86", "sparc", "simple"};
+}

@@ -1,0 +1,107 @@
+//===- arch/MachineModel.h - Host machine cost models -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterised machine cost models. The paper's cross-architecture claim
+/// is that the best IB-handling mechanism and configuration depend on the
+/// underlying implementation — chiefly the cost of preserving condition
+/// codes around the inline lookup, branch-misprediction penalties, and
+/// cache geometry. Each MachineModel captures those first-order parameters
+/// for one machine class; `x86Model()` and `sparcModel()` mirror the two
+/// machine classes the paper contrasts, and `simpleModel()` is a fully
+/// deterministic unit-testing machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ARCH_MACHINEMODEL_H
+#define STRATAIB_ARCH_MACHINEMODEL_H
+
+#include "arch/BranchPredictor.h"
+#include "arch/CacheSim.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace arch {
+
+/// Cycle costs and geometry for one machine class.
+struct MachineModel {
+  std::string Name;
+
+  // --- Application instruction costs (cycles, L1-hit latencies) ---------
+  unsigned AluCost = 1;
+  unsigned MulCost = 3;
+  unsigned DivCost = 20;
+  unsigned LoadCost = 2;
+  unsigned StoreCost = 1;
+  unsigned BranchCost = 1; ///< Correctly predicted conditional branch.
+  unsigned JumpCost = 1;   ///< Direct jump or call.
+  unsigned IndirectCost = 2; ///< Correctly predicted indirect branch.
+  unsigned SyscallCost = 80;
+
+  // --- Misprediction penalties ------------------------------------------
+  unsigned CondMispredictPenalty = 12;
+  unsigned IndirectMispredictPenalty = 14;
+  unsigned ReturnMispredictPenalty = 14;
+
+  // --- Cache miss penalties (to next level) ------------------------------
+  unsigned ICacheMissPenalty = 10;
+  unsigned DCacheMissPenalty = 12;
+
+  // --- SDT-relevant costs -------------------------------------------------
+  /// Spilling/refilling the register context around a dispatcher entry.
+  unsigned ContextSaveCost = 40;
+  unsigned ContextRestoreCost = 40;
+  /// Preserving condition codes around inline lookup code: the expensive
+  /// architectural way (x86 `pushf`/`popf`) vs. the light way (`lahf`/
+  /// `sahf` or a spare register move on machines with cheap CC access).
+  unsigned FlagSaveFullCost = 20;
+  unsigned FlagRestoreFullCost = 20;
+  unsigned FlagSaveLightCost = 2;
+  unsigned FlagRestoreLightCost = 2;
+  /// ALU ops per visited sieve stub. A sieve stub compares the dynamic
+  /// target against a 32-bit constant and branches: a CISC machine folds
+  /// that into one compare-immediate (plus the branch charged
+  /// separately), while a fixed-width RISC must materialise the constant
+  /// first (sethi/or), making each stub visit costlier.
+  unsigned SieveStubOps = 2;
+  /// The dispatcher's translation-map probe (beyond the context switch).
+  unsigned MapLookupCost = 120;
+  /// Translation work per translated guest instruction.
+  unsigned TranslateCostPerInstr = 350;
+  /// Patching a fragment-link stub.
+  unsigned LinkPatchCost = 60;
+
+  // --- Geometry ------------------------------------------------------------
+  CacheConfig ICache;
+  CacheConfig DCache;
+  PredictorConfig Predictor;
+};
+
+/// Pentium-4-class x86 machine: expensive full flag save, deep pipeline
+/// (large mispredict penalties), modest L1 caches.
+MachineModel x86Model();
+
+/// UltraSPARC-class machine: cheap condition-code access, shallower
+/// pipeline, larger L1 caches, costly register-window context switches.
+MachineModel sparcModel();
+
+/// Deterministic textbook machine for unit tests: unit costs, tiny caches.
+MachineModel simpleModel();
+
+/// Looks up a model by name ("x86", "sparc", "simple"); std::nullopt for
+/// unknown names.
+std::optional<MachineModel> modelByName(const std::string &Name);
+
+/// Names accepted by modelByName().
+std::vector<std::string> allModelNames();
+
+} // namespace arch
+} // namespace sdt
+
+#endif // STRATAIB_ARCH_MACHINEMODEL_H

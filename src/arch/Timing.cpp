@@ -1,0 +1,145 @@
+//===- arch/Timing.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Timing.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Timing.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::arch;
+using namespace sdt::isa;
+
+const char *sdt::arch::cycleCategoryName(CycleCategory C) {
+  switch (C) {
+  case CycleCategory::App:
+    return "app";
+  case CycleCategory::Translate:
+    return "translate";
+  case CycleCategory::Dispatch:
+    return "dispatch";
+  case CycleCategory::IBLookup:
+    return "ib-lookup";
+  case CycleCategory::Link:
+    return "link";
+  case CycleCategory::Instrument:
+    return "instrument";
+  case CycleCategory::NumCategories:
+    break;
+  }
+  assert(false && "invalid category");
+  return "?";
+}
+
+TimingModel::TimingModel(const MachineModel &Model)
+    : Model(Model), ICache(Model.ICache), DCache(Model.DCache),
+      Predictor(Model.Predictor) {}
+
+void TimingModel::chargeFetch(uint32_t Addr) {
+  if (!ICache.access(Addr))
+    charge(Model.ICacheMissPenalty);
+}
+
+void TimingModel::chargeCodeRange(uint32_t Addr, uint32_t Bytes) {
+  if (Bytes == 0)
+    return;
+  uint32_t Line = Model.ICache.LineBytes;
+  uint32_t First = Addr & ~(Line - 1);
+  uint32_t Last = (Addr + Bytes - 1) & ~(Line - 1);
+  for (uint32_t A = First;; A += Line) {
+    if (!ICache.access(A))
+      charge(Model.ICacheMissPenalty);
+    if (A == Last)
+      break;
+  }
+}
+
+void TimingModel::chargeLoad(uint32_t Addr) {
+  charge(Model.LoadCost);
+  if (!DCache.access(Addr))
+    charge(Model.DCacheMissPenalty);
+}
+
+void TimingModel::chargeStore(uint32_t Addr) {
+  charge(Model.StoreCost);
+  if (!DCache.access(Addr))
+    charge(Model.DCacheMissPenalty);
+}
+
+void TimingModel::chargeExecute(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Mul:
+    charge(Model.MulCost);
+    return;
+  case Opcode::Div:
+  case Opcode::Rem:
+    charge(Model.DivCost);
+    return;
+  default:
+    charge(Model.AluCost);
+    return;
+  }
+}
+
+void TimingModel::chargeCondBranch(uint32_t Pc, bool Taken) {
+  charge(Model.BranchCost);
+  if (!Predictor.predictConditional(Pc, Taken))
+    charge(Model.CondMispredictPenalty);
+}
+
+void TimingModel::chargeDirectJump() { charge(Model.JumpCost); }
+
+void TimingModel::chargeCallLink(uint32_t ReturnAddr) {
+  charge(Model.JumpCost);
+  Predictor.pushReturn(ReturnAddr);
+}
+
+void TimingModel::chargeIndirectJump(uint32_t Pc, uint32_t Target) {
+  charge(Model.IndirectCost);
+  if (!Predictor.predictIndirect(Pc, Target))
+    charge(Model.IndirectMispredictPenalty);
+}
+
+void TimingModel::chargeReturn(uint32_t Target) {
+  charge(Model.IndirectCost);
+  if (!Predictor.predictReturn(Target))
+    charge(Model.ReturnMispredictPenalty);
+}
+
+void TimingModel::chargeSyscall() { charge(Model.SyscallCost); }
+
+void TimingModel::chargeContextSave() { charge(Model.ContextSaveCost); }
+
+void TimingModel::chargeContextRestore() {
+  charge(Model.ContextRestoreCost);
+}
+
+void TimingModel::chargeFlagSave(bool FullSave) {
+  charge(FullSave ? Model.FlagSaveFullCost : Model.FlagSaveLightCost);
+}
+
+void TimingModel::chargeFlagRestore(bool FullSave) {
+  charge(FullSave ? Model.FlagRestoreFullCost : Model.FlagRestoreLightCost);
+}
+
+void TimingModel::chargeMapLookup() { charge(Model.MapLookupCost); }
+
+void TimingModel::chargeTranslation(unsigned GuestInstrCount) {
+  charge(static_cast<uint64_t>(Model.TranslateCostPerInstr) *
+         GuestInstrCount);
+}
+
+void TimingModel::chargeLinkPatch() { charge(Model.LinkPatchCost); }
+
+void TimingModel::chargeAluOps(unsigned Count) {
+  charge(static_cast<uint64_t>(Model.AluCost) * Count);
+}
+
+uint64_t TimingModel::totalCycles() const {
+  uint64_t Total = 0;
+  for (uint64_t C : Accumulated)
+    Total += C;
+  return Total;
+}

@@ -1,0 +1,144 @@
+//===- arch/Timing.h - Cycle accounting engine ------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing engine both execution modes share. Native interpretation
+/// and SDT execution charge cycles through the same TimingModel, so the
+/// overhead ratios the benchmarks report compare like with like: the same
+/// cost table, the same caches, the same branch predictor.
+///
+/// Cycles are attributed to categories (application work, translation,
+/// dispatch, IB handling, linking) so the harness can report where SDT
+/// time goes — the paper's framing of IB handling as *the* residual
+/// overhead after fragment linking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ARCH_TIMING_H
+#define STRATAIB_ARCH_TIMING_H
+
+#include "arch/BranchPredictor.h"
+#include "arch/CacheSim.h"
+#include "arch/MachineModel.h"
+#include "isa/Instruction.h"
+
+#include <array>
+#include <cstdint>
+
+namespace sdt {
+namespace arch {
+
+/// Where a charged cycle is attributed.
+enum class CycleCategory : uint8_t {
+  App,        ///< Work the native program would also do.
+  Translate,  ///< Building fragments.
+  Dispatch,   ///< Context switch + translation-map lookup.
+  IBLookup,   ///< Inline IB-handling code (IBTC probes, sieve walks, ...).
+  Link,       ///< Patching direct-branch link stubs.
+  Instrument, ///< Injected instrumentation probes (block counters).
+  NumCategories,
+};
+
+/// Returns a short label ("app", "translate", ...).
+const char *cycleCategoryName(CycleCategory C);
+
+/// Cycle accounting against one MachineModel instance.
+class TimingModel {
+public:
+  explicit TimingModel(const MachineModel &Model);
+
+  const MachineModel &model() const { return Model; }
+
+  // --- Category control ---------------------------------------------------
+  void setCategory(CycleCategory C) { Current = C; }
+  CycleCategory category() const { return Current; }
+
+  /// RAII category switch.
+  class CategoryScope {
+  public:
+    CategoryScope(TimingModel &T, CycleCategory C)
+        : Timing(T), Saved(T.category()) {
+      Timing.setCategory(C);
+    }
+    ~CategoryScope() { Timing.setCategory(Saved); }
+    CategoryScope(const CategoryScope &) = delete;
+    CategoryScope &operator=(const CategoryScope &) = delete;
+
+  private:
+    TimingModel &Timing;
+    CycleCategory Saved;
+  };
+
+  // --- Raw charging ---------------------------------------------------------
+  void charge(uint64_t Cycles) {
+    Accumulated[static_cast<size_t>(Current)] += Cycles;
+  }
+
+  // --- Instruction-level charging -------------------------------------------
+  /// Instruction fetch at \p Addr: I-cache access; miss penalty on miss.
+  void chargeFetch(uint32_t Addr);
+
+  /// Fetch of a multi-line inline code sequence: touches the I-cache once
+  /// per cache line in [Addr, Addr+Bytes). Used for IB-lookup code whose
+  /// footprint exceeds one host instruction (the sieve's stub chains, the
+  /// IBTC's inline probe sequence).
+  void chargeCodeRange(uint32_t Addr, uint32_t Bytes);
+
+  /// Data access at \p Addr: op cost + D-cache miss penalty on miss.
+  void chargeLoad(uint32_t Addr);
+  void chargeStore(uint32_t Addr);
+
+  /// Charges the execute cost of non-control \p I (no fetch, no memory:
+  /// callers charge those with the address-aware methods above).
+  void chargeExecute(const isa::Instruction &I);
+
+  // --- Control flow (prediction-aware) ---------------------------------------
+  void chargeCondBranch(uint32_t Pc, bool Taken);
+  void chargeDirectJump();
+  /// Direct or indirect call: jump cost + RAS push for \p ReturnAddr.
+  void chargeCallLink(uint32_t ReturnAddr);
+  void chargeIndirectJump(uint32_t Pc, uint32_t Target);
+  void chargeReturn(uint32_t Target);
+  void chargeSyscall();
+
+  // --- SDT-mechanism costs -----------------------------------------------
+  void chargeContextSave();
+  void chargeContextRestore();
+  void chargeFlagSave(bool FullSave);
+  void chargeFlagRestore(bool FullSave);
+  void chargeMapLookup();
+  void chargeTranslation(unsigned GuestInstrCount);
+  void chargeLinkPatch();
+  /// N inline ALU ops (hash computation etc.).
+  void chargeAluOps(unsigned Count);
+
+  // --- Results ----------------------------------------------------------
+  uint64_t totalCycles() const;
+  uint64_t cycles(CycleCategory C) const {
+    return Accumulated[static_cast<size_t>(C)];
+  }
+
+  CacheSim &icache() { return ICache; }
+  CacheSim &dcache() { return DCache; }
+  BranchPredictor &predictor() { return Predictor; }
+  const CacheSim &icache() const { return ICache; }
+  const CacheSim &dcache() const { return DCache; }
+  const BranchPredictor &predictor() const { return Predictor; }
+
+private:
+  MachineModel Model;
+  CacheSim ICache;
+  CacheSim DCache;
+  BranchPredictor Predictor;
+  std::array<uint64_t, static_cast<size_t>(CycleCategory::NumCategories)>
+      Accumulated{};
+  CycleCategory Current = CycleCategory::App;
+};
+
+} // namespace arch
+} // namespace sdt
+
+#endif // STRATAIB_ARCH_TIMING_H

@@ -1,0 +1,61 @@
+//===- assembler/AsmBuilder.cpp --------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See AsmBuilder.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/AsmBuilder.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::assembler;
+
+AsmBuilder &AsmBuilder::org(uint32_t Address) {
+  Source += formatString(".org 0x%x\n", Address);
+  return *this;
+}
+
+AsmBuilder &AsmBuilder::entry(const std::string &Symbol) {
+  Source += ".entry " + Symbol + "\n";
+  return *this;
+}
+
+AsmBuilder &AsmBuilder::label(const std::string &Name) {
+  Source += Name + ":\n";
+  return *this;
+}
+
+AsmBuilder &AsmBuilder::emit(const std::string &Line) {
+  Source += "    " + Line + "\n";
+  return *this;
+}
+
+AsmBuilder &AsmBuilder::emitf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  char Buffer[512];
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  return emit(Buffer);
+}
+
+AsmBuilder &AsmBuilder::comment(const std::string &Text) {
+  Source += "# " + Text + "\n";
+  return *this;
+}
+
+AsmBuilder &AsmBuilder::blank() {
+  Source += "\n";
+  return *this;
+}
+
+AsmBuilder &AsmBuilder::raw(const std::string &Text) {
+  Source += Text;
+  if (!Text.empty() && Text.back() != '\n')
+    Source += '\n';
+  return *this;
+}

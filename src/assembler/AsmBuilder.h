@@ -1,0 +1,67 @@
+//===- assembler/AsmBuilder.h - Assembly text builder -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent builder for generating GIR assembly text from C++ —
+/// the workload generators use it so every generated program round-trips
+/// through the real assembler (exercising the same pipeline a user would).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ASSEMBLER_ASMBUILDER_H
+#define STRATAIB_ASSEMBLER_ASMBUILDER_H
+
+#include "assembler/Assembler.h"
+#include "isa/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+namespace assembler {
+
+/// Accumulates assembly source text line by line.
+class AsmBuilder {
+public:
+  /// Appends ".org" / ".entry" headers.
+  AsmBuilder &org(uint32_t Address);
+  AsmBuilder &entry(const std::string &Symbol);
+
+  /// Appends "Name:".
+  AsmBuilder &label(const std::string &Name);
+
+  /// Appends one raw line (an instruction or directive), indented.
+  AsmBuilder &emit(const std::string &Line);
+
+  /// Appends one printf-formatted line.
+  AsmBuilder &emitf(const char *Fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  /// Appends a "# ..." comment line.
+  AsmBuilder &comment(const std::string &Text);
+
+  /// Appends a blank line (readability of dumped sources).
+  AsmBuilder &blank();
+
+  /// Appends pre-formatted assembly text verbatim (e.g. the output of
+  /// another code generator).
+  AsmBuilder &raw(const std::string &Text);
+
+  /// The source accumulated so far.
+  const std::string &source() const { return Source; }
+
+  /// Assembles the accumulated source.
+  Expected<isa::Program> build() const { return assemble(Source); }
+
+private:
+  std::string Source;
+};
+
+} // namespace assembler
+} // namespace sdt
+
+#endif // STRATAIB_ASSEMBLER_ASMBUILDER_H

@@ -1,0 +1,165 @@
+//===- assembler/AsmLexer.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See AsmLexer.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/AsmLexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace sdt;
+using namespace sdt::assembler;
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.' ||
+         C == '$';
+}
+
+/// Strips a trailing comment, honouring double-quoted strings.
+static std::string_view stripComment(std::string_view Line) {
+  bool InString = false;
+  for (size_t I = 0, E = Line.size(); I != E; ++I) {
+    char C = Line[I];
+    if (InString) {
+      if (C == '\\' && I + 1 < E)
+        ++I; // Skip the escaped character.
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '#' || C == ';')
+      return Line.substr(0, I);
+  }
+  return Line;
+}
+
+/// Splits operand text on commas outside string literals.
+static std::vector<std::string> splitOperands(std::string_view Text) {
+  std::vector<std::string> Fields;
+  std::string Current;
+  bool InString = false;
+  for (size_t I = 0, E = Text.size(); I != E; ++I) {
+    char C = Text[I];
+    if (InString) {
+      Current += C;
+      if (C == '\\' && I + 1 < E)
+        Current += Text[++I];
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      Current += C;
+      continue;
+    }
+    if (C == ',') {
+      Fields.push_back(std::string(trim(Current)));
+      Current.clear();
+      continue;
+    }
+    Current += C;
+  }
+  std::string_view Last = trim(Current);
+  if (!Last.empty() || !Fields.empty())
+    Fields.push_back(std::string(Last));
+  return Fields;
+}
+
+Expected<std::vector<AsmLine>>
+sdt::assembler::lexAssembly(std::string_view Source) {
+  std::vector<AsmLine> Lines;
+  unsigned LineNo = 0;
+  for (std::string_view Raw : split(Source, '\n')) {
+    ++LineNo;
+    std::string_view Text = trim(stripComment(Raw));
+
+    AsmLine Line;
+    Line.Number = LineNo;
+
+    // Peel off any leading "label:" definitions.
+    while (!Text.empty()) {
+      size_t Colon = Text.find(':');
+      if (Colon == std::string_view::npos)
+        break;
+      std::string_view Candidate = trim(Text.substr(0, Colon));
+      // "1(sp):"-like text is not a label; require identifier syntax.
+      if (Candidate.empty() || !isIdentStart(Candidate.front()))
+        break;
+      bool AllIdent = true;
+      for (char C : Candidate)
+        if (!isIdentChar(C)) {
+          AllIdent = false;
+          break;
+        }
+      if (!AllIdent)
+        return Error::atLine(LineNo, "malformed label '" +
+                                         std::string(Candidate) + "'");
+      Line.Labels.push_back(std::string(Candidate));
+      Text = trim(Text.substr(Colon + 1));
+    }
+
+    if (!Text.empty()) {
+      size_t SpacePos = 0;
+      while (SpacePos < Text.size() &&
+             !std::isspace(static_cast<unsigned char>(Text[SpacePos])))
+        ++SpacePos;
+      Line.Mnemonic = toLower(Text.substr(0, SpacePos));
+      std::string_view Rest = trim(Text.substr(SpacePos));
+      if (!Rest.empty())
+        Line.Operands = splitOperands(Rest);
+    }
+
+    if (!Line.empty())
+      Lines.push_back(std::move(Line));
+  }
+  return Lines;
+}
+
+Expected<std::string>
+sdt::assembler::decodeStringLiteral(std::string_view Token, unsigned Line) {
+  Token = trim(Token);
+  if (Token.size() < 2 || Token.front() != '"' || Token.back() != '"')
+    return Error::atLine(Line, "expected string literal");
+  std::string Out;
+  for (size_t I = 1, E = Token.size() - 1; I != E; ++I) {
+    char C = Token[I];
+    if (C != '\\') {
+      Out += C;
+      continue;
+    }
+    if (I + 1 == E)
+      return Error::atLine(Line, "dangling escape in string literal");
+    char Esc = Token[++I];
+    switch (Esc) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case '0':
+      Out += '\0';
+      break;
+    case '\\':
+      Out += '\\';
+      break;
+    case '"':
+      Out += '"';
+      break;
+    default:
+      return Error::atLine(Line, std::string("unknown escape '\\") + Esc +
+                                     "'");
+    }
+  }
+  return Out;
+}

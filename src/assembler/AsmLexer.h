@@ -1,0 +1,48 @@
+//===- assembler/AsmLexer.h - Line-oriented assembly lexer ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits assembly source into logical lines and each line into a label,
+/// a mnemonic/directive, and comma-separated operand fields. Comments
+/// start with '#' or ';'. String literals in .asciz are respected (commas
+/// and comment characters inside quotes do not split).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ASSEMBLER_ASMLEXER_H
+#define STRATAIB_ASSEMBLER_ASMLEXER_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdt {
+namespace assembler {
+
+/// One tokenized source line.
+struct AsmLine {
+  unsigned Number = 0;          ///< 1-based line number.
+  std::vector<std::string> Labels; ///< Labels defined on this line.
+  std::string Mnemonic;         ///< Lower-cased mnemonic or ".directive".
+  std::vector<std::string> Operands; ///< Trimmed operand fields.
+
+  bool empty() const { return Labels.empty() && Mnemonic.empty(); }
+};
+
+/// Tokenizes \p Source. Fails on malformed labels or unterminated strings.
+Expected<std::vector<AsmLine>> lexAssembly(std::string_view Source);
+
+/// Decodes a double-quoted string literal with C-style escapes
+/// (\n, \t, \0, \\, \"). \p Token must include the quotes.
+Expected<std::string> decodeStringLiteral(std::string_view Token,
+                                          unsigned Line);
+
+} // namespace assembler
+} // namespace sdt
+
+#endif // STRATAIB_ASSEMBLER_ASMLEXER_H

@@ -1,0 +1,497 @@
+//===- assembler/AsmParser.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See AsmParser.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/AsmParser.h"
+
+#include "isa/Program.h"
+#include "isa/Registers.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::assembler;
+using namespace sdt::isa;
+
+namespace {
+
+/// Stateful parser over tokenized lines. Produces the AsmFile.
+class Parser {
+public:
+  Expected<AsmFile> run(std::string_view Source);
+
+private:
+  Error parseLine(const AsmLine &Line);
+  Error parseDirective(const AsmLine &Line);
+  Error parseInstruction(const AsmLine &Line);
+
+  Expected<unsigned> parseReg(const std::string &Tok, unsigned Line);
+  Expected<AsmExpr> parseExpr(const std::string &Tok, unsigned Line);
+  Expected<std::pair<AsmExpr, unsigned>> parseMemRef(const std::string &Tok,
+                                                     unsigned Line);
+
+  Error expectOperands(const AsmLine &Line, size_t Count);
+
+  void emitInstr(unsigned Line, Opcode Op, unsigned Rd, unsigned Rs1,
+                 unsigned Rs2, AsmExpr Imm = AsmExpr::literal(0),
+                 ExprPart Part = ExprPart::Full);
+
+  AsmFile File;
+  bool SawStatement = false;
+};
+
+} // namespace
+
+Expected<unsigned> Parser::parseReg(const std::string &Tok, unsigned Line) {
+  std::optional<unsigned> R = parseRegisterName(trim(Tok));
+  if (!R)
+    return Error::atLine(Line, "expected register, got '" + Tok + "'");
+  return *R;
+}
+
+Expected<AsmExpr> Parser::parseExpr(const std::string &Tok, unsigned Line) {
+  std::string_view S = trim(Tok);
+  if (S.empty())
+    return Error::atLine(Line, "empty expression");
+
+  if (std::optional<int64_t> V = parseInteger(S))
+    return AsmExpr::literal(*V);
+
+  // symbol, symbol+imm, or symbol-imm. Scan past the first character so a
+  // leading '-' stays with the (already rejected) integer case.
+  size_t SplitPos = std::string_view::npos;
+  for (size_t I = 1, E = S.size(); I != E; ++I)
+    if (S[I] == '+' || S[I] == '-') {
+      SplitPos = I;
+      break;
+    }
+
+  std::string_view SymPart = S;
+  int64_t Addend = 0;
+  if (SplitPos != std::string_view::npos) {
+    SymPart = trim(S.substr(0, SplitPos));
+    std::string_view AddPart = S.substr(SplitPos); // Includes the sign.
+    std::optional<int64_t> V = parseInteger(AddPart);
+    if (!V)
+      return Error::atLine(Line,
+                           "malformed addend in '" + std::string(S) + "'");
+    Addend = *V;
+  }
+  if (SymPart.empty())
+    return Error::atLine(Line, "malformed expression '" + std::string(S) +
+                                   "'");
+  return AsmExpr::symbol(std::string(SymPart), Addend);
+}
+
+Expected<std::pair<AsmExpr, unsigned>>
+Parser::parseMemRef(const std::string &Tok, unsigned Line) {
+  std::string_view S = trim(Tok);
+  size_t Open = S.rfind('(');
+  if (Open == std::string_view::npos || S.empty() || S.back() != ')')
+    return Error::atLine(Line, "expected offset(base), got '" + Tok + "'");
+  std::string_view OffsetText = trim(S.substr(0, Open));
+  std::string_view BaseText = S.substr(Open + 1, S.size() - Open - 2);
+
+  std::optional<unsigned> Base = parseRegisterName(trim(BaseText));
+  if (!Base)
+    return Error::atLine(Line, "expected base register in '" + Tok + "'");
+
+  AsmExpr Offset = AsmExpr::literal(0);
+  if (!OffsetText.empty()) {
+    Expected<AsmExpr> E = parseExpr(std::string(OffsetText), Line);
+    if (!E)
+      return E.takeError();
+    Offset = *E;
+  }
+  return std::make_pair(Offset, *Base);
+}
+
+Error Parser::expectOperands(const AsmLine &Line, size_t Count) {
+  if (Line.Operands.size() == Count)
+    return Error();
+  return Error::atLine(Line.Number,
+                       formatString("'%s' expects %zu operand(s), got %zu",
+                                    Line.Mnemonic.c_str(), Count,
+                                    Line.Operands.size()));
+}
+
+void Parser::emitInstr(unsigned Line, Opcode Op, unsigned Rd, unsigned Rs1,
+                       unsigned Rs2, AsmExpr Imm, ExprPart Part) {
+  AsmStatement S;
+  S.K = AsmStatement::Kind::Instr;
+  S.Line = Line;
+  S.Op = Op;
+  S.Rd = static_cast<uint8_t>(Rd);
+  S.Rs1 = static_cast<uint8_t>(Rs1);
+  S.Rs2 = static_cast<uint8_t>(Rs2);
+  S.Imm = std::move(Imm);
+  S.Part = Part;
+  File.Statements.push_back(std::move(S));
+  SawStatement = true;
+}
+
+Error Parser::parseDirective(const AsmLine &Line) {
+  const std::string &D = Line.Mnemonic;
+  unsigned N = Line.Number;
+
+  if (D == ".org") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    if (SawStatement)
+      return Error::atLine(N, ".org must precede all statements");
+    std::optional<int64_t> V = parseInteger(Line.Operands[0]);
+    if (!V || *V < 0 || *V > 0xFFFFFFF0LL || *V % 4 != 0)
+      return Error::atLine(N, "bad .org address");
+    File.OrgAddress = static_cast<uint32_t>(*V);
+    File.HasOrg = true;
+    return Error();
+  }
+
+  if (D == ".entry") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    File.EntrySymbol = std::string(trim(Line.Operands[0]));
+    return Error();
+  }
+
+  if (D == ".word" || D == ".byte") {
+    if (Line.Operands.empty())
+      return Error::atLine(N, D + " expects at least one value");
+    for (const std::string &Op : Line.Operands) {
+      Expected<AsmExpr> E = parseExpr(Op, N);
+      if (!E)
+        return E.takeError();
+      AsmStatement S;
+      S.K = D == ".word" ? AsmStatement::Kind::Word
+                         : AsmStatement::Kind::Byte;
+      S.Line = N;
+      S.Data = *E;
+      File.Statements.push_back(std::move(S));
+    }
+    SawStatement = true;
+    return Error();
+  }
+
+  if (D == ".space") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    std::optional<int64_t> V = parseInteger(Line.Operands[0]);
+    if (!V || *V < 0 || *V > (64 << 20))
+      return Error::atLine(N, "bad .space size");
+    AsmStatement S;
+    S.K = AsmStatement::Kind::Space;
+    S.Line = N;
+    S.SizeBytes = static_cast<uint32_t>(*V);
+    File.Statements.push_back(std::move(S));
+    SawStatement = true;
+    return Error();
+  }
+
+  if (D == ".align") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    std::optional<int64_t> V = parseInteger(Line.Operands[0]);
+    if (!V || *V <= 0 || (*V & (*V - 1)) != 0 || *V > 4096)
+      return Error::atLine(N, ".align expects a power of two");
+    AsmStatement S;
+    S.K = AsmStatement::Kind::Align;
+    S.Line = N;
+    S.AlignTo = static_cast<uint32_t>(*V);
+    File.Statements.push_back(std::move(S));
+    SawStatement = true;
+    return Error();
+  }
+
+  if (D == ".asciz" || D == ".ascii") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<std::string> Str = decodeStringLiteral(Line.Operands[0], N);
+    if (!Str)
+      return Str.takeError();
+    std::string Bytes = *Str;
+    if (D == ".asciz")
+      Bytes += '\0';
+    for (char C : Bytes) {
+      AsmStatement S;
+      S.K = AsmStatement::Kind::Byte;
+      S.Line = N;
+      S.Data = AsmExpr::literal(static_cast<unsigned char>(C));
+      File.Statements.push_back(std::move(S));
+    }
+    SawStatement = true;
+    return Error();
+  }
+
+  // Accepted no-op directives for source familiarity.
+  if (D == ".text" || D == ".data" || D == ".globl" || D == ".global")
+    return Error();
+
+  return Error::atLine(N, "unknown directive '" + D + "'");
+}
+
+Error Parser::parseInstruction(const AsmLine &Line) {
+  const std::string &M = Line.Mnemonic;
+  unsigned N = Line.Number;
+  const std::vector<std::string> &Ops = Line.Operands;
+
+  // --- Pseudo-instructions (fixed-size expansions) -----------------------
+  if (M == "nop") {
+    if (Error E = expectOperands(Line, 0))
+      return E;
+    emitInstr(N, Opcode::Add, RegZero, RegZero, RegZero);
+    return Error();
+  }
+  if (M == "move" || M == "mv") {
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N), Rs = parseReg(Ops[1], N);
+    if (!Rd)
+      return Rd.takeError();
+    if (!Rs)
+      return Rs.takeError();
+    emitInstr(N, Opcode::Add, *Rd, *Rs, RegZero);
+    return Error();
+  }
+  if (M == "neg") {
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N), Rs = parseReg(Ops[1], N);
+    if (!Rd)
+      return Rd.takeError();
+    if (!Rs)
+      return Rs.takeError();
+    emitInstr(N, Opcode::Sub, *Rd, RegZero, *Rs);
+    return Error();
+  }
+  if (M == "li" || M == "la") {
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N);
+    if (!Rd)
+      return Rd.takeError();
+    Expected<AsmExpr> V = parseExpr(Ops[1], N);
+    if (!V)
+      return V.takeError();
+    // Always two instructions so statement sizes are fixed in pass 1.
+    emitInstr(N, Opcode::Lui, *Rd, 0, 0, *V, ExprPart::Hi16);
+    emitInstr(N, Opcode::Ori, *Rd, *Rd, 0, *V, ExprPart::Lo16);
+    return Error();
+  }
+  if (M == "b") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<AsmExpr> T = parseExpr(Ops[0], N);
+    if (!T)
+      return T.takeError();
+    emitInstr(N, Opcode::Beq, 0, RegZero, RegZero, *T);
+    return Error();
+  }
+  if (M == "call") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<AsmExpr> T = parseExpr(Ops[0], N);
+    if (!T)
+      return T.takeError();
+    emitInstr(N, Opcode::Jal, 0, 0, 0, *T);
+    return Error();
+  }
+  if (M == "beqz" || M == "bnez") {
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rs = parseReg(Ops[0], N);
+    if (!Rs)
+      return Rs.takeError();
+    Expected<AsmExpr> T = parseExpr(Ops[1], N);
+    if (!T)
+      return T.takeError();
+    emitInstr(N, M == "beqz" ? Opcode::Beq : Opcode::Bne, 0, *Rs, RegZero,
+              *T);
+    return Error();
+  }
+  if (M == "bgt" || M == "ble" || M == "bgtu" || M == "bleu") {
+    if (Error E = expectOperands(Line, 3))
+      return E;
+    Expected<unsigned> Rs = parseReg(Ops[0], N), Rt = parseReg(Ops[1], N);
+    if (!Rs)
+      return Rs.takeError();
+    if (!Rt)
+      return Rt.takeError();
+    Expected<AsmExpr> T = parseExpr(Ops[2], N);
+    if (!T)
+      return T.takeError();
+    Opcode Op = (M == "bgt")    ? Opcode::Blt
+                : (M == "ble")  ? Opcode::Bge
+                : (M == "bgtu") ? Opcode::Bltu
+                                : Opcode::Bgeu;
+    // Swapped operands: "rs > rt" == "rt < rs".
+    emitInstr(N, Op, 0, *Rt, *Rs, *T);
+    return Error();
+  }
+  if (M == "push") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<unsigned> Rs = parseReg(Ops[0], N);
+    if (!Rs)
+      return Rs.takeError();
+    emitInstr(N, Opcode::Addi, RegSP, RegSP, 0, AsmExpr::literal(-4));
+    emitInstr(N, Opcode::Sw, *Rs, RegSP, 0, AsmExpr::literal(0));
+    return Error();
+  }
+  if (M == "pop") {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N);
+    if (!Rd)
+      return Rd.takeError();
+    emitInstr(N, Opcode::Lw, *Rd, RegSP, 0, AsmExpr::literal(0));
+    emitInstr(N, Opcode::Addi, RegSP, RegSP, 0, AsmExpr::literal(4));
+    return Error();
+  }
+
+  // --- Real opcodes -------------------------------------------------------
+  std::optional<Opcode> Op = parseMnemonic(M);
+  if (!Op)
+    return Error::atLine(N, "unknown mnemonic '" + M + "'");
+
+  switch (opcodeInfo(*Op).Form) {
+  case Format::R: {
+    if (Error E = expectOperands(Line, 3))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N), Rs1 = parseReg(Ops[1], N),
+                       Rs2 = parseReg(Ops[2], N);
+    if (!Rd)
+      return Rd.takeError();
+    if (!Rs1)
+      return Rs1.takeError();
+    if (!Rs2)
+      return Rs2.takeError();
+    emitInstr(N, *Op, *Rd, *Rs1, *Rs2);
+    return Error();
+  }
+  case Format::I: {
+    if (Error E = expectOperands(Line, 3))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N), Rs1 = parseReg(Ops[1], N);
+    if (!Rd)
+      return Rd.takeError();
+    if (!Rs1)
+      return Rs1.takeError();
+    Expected<AsmExpr> V = parseExpr(Ops[2], N);
+    if (!V)
+      return V.takeError();
+    emitInstr(N, *Op, *Rd, *Rs1, 0, *V);
+    return Error();
+  }
+  case Format::Lui: {
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N);
+    if (!Rd)
+      return Rd.takeError();
+    Expected<AsmExpr> V = parseExpr(Ops[1], N);
+    if (!V)
+      return V.takeError();
+    emitInstr(N, *Op, *Rd, 0, 0, *V);
+    return Error();
+  }
+  case Format::Mem: {
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N);
+    if (!Rd)
+      return Rd.takeError();
+    Expected<std::pair<AsmExpr, unsigned>> Ref = parseMemRef(Ops[1], N);
+    if (!Ref)
+      return Ref.takeError();
+    emitInstr(N, *Op, *Rd, Ref->second, 0, Ref->first);
+    return Error();
+  }
+  case Format::B: {
+    if (Error E = expectOperands(Line, 3))
+      return E;
+    Expected<unsigned> Rs1 = parseReg(Ops[0], N), Rs2 = parseReg(Ops[1], N);
+    if (!Rs1)
+      return Rs1.takeError();
+    if (!Rs2)
+      return Rs2.takeError();
+    Expected<AsmExpr> T = parseExpr(Ops[2], N);
+    if (!T)
+      return T.takeError();
+    emitInstr(N, *Op, 0, *Rs1, *Rs2, *T);
+    return Error();
+  }
+  case Format::Jump: {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<AsmExpr> T = parseExpr(Ops[0], N);
+    if (!T)
+      return T.takeError();
+    emitInstr(N, *Op, 0, 0, 0, *T);
+    return Error();
+  }
+  case Format::Jr: {
+    if (Error E = expectOperands(Line, 1))
+      return E;
+    Expected<unsigned> Rs1 = parseReg(Ops[0], N);
+    if (!Rs1)
+      return Rs1.takeError();
+    emitInstr(N, *Op, 0, *Rs1, 0);
+    return Error();
+  }
+  case Format::Jalr: {
+    // "jalr rd, rs1" or the one-operand form "jalr rs1" (rd = ra).
+    if (Ops.size() == 1) {
+      Expected<unsigned> Rs1 = parseReg(Ops[0], N);
+      if (!Rs1)
+        return Rs1.takeError();
+      emitInstr(N, *Op, RegRA, *Rs1, 0);
+      return Error();
+    }
+    if (Error E = expectOperands(Line, 2))
+      return E;
+    Expected<unsigned> Rd = parseReg(Ops[0], N), Rs1 = parseReg(Ops[1], N);
+    if (!Rd)
+      return Rd.takeError();
+    if (!Rs1)
+      return Rs1.takeError();
+    emitInstr(N, *Op, *Rd, *Rs1, 0);
+    return Error();
+  }
+  case Format::None:
+    if (Error E = expectOperands(Line, 0))
+      return E;
+    emitInstr(N, *Op, 0, 0, 0);
+    return Error();
+  }
+  assert(false && "unknown format");
+  return Error();
+}
+
+Error Parser::parseLine(const AsmLine &Line) {
+  for (const std::string &Label : Line.Labels)
+    File.Labels.emplace_back(Label, File.Statements.size());
+  if (Line.Mnemonic.empty())
+    return Error();
+  if (Line.Mnemonic.front() == '.')
+    return parseDirective(Line);
+  return parseInstruction(Line);
+}
+
+Expected<AsmFile> Parser::run(std::string_view Source) {
+  File.OrgAddress = DefaultLoadAddress;
+  Expected<std::vector<AsmLine>> Lines = lexAssembly(Source);
+  if (!Lines)
+    return Lines.takeError();
+  for (const AsmLine &Line : *Lines)
+    if (Error E = parseLine(Line))
+      return E;
+  return std::move(File);
+}
+
+Expected<AsmFile> sdt::assembler::parseAssembly(std::string_view Source) {
+  Parser P;
+  return P.run(Source);
+}

@@ -1,0 +1,32 @@
+//===- assembler/AsmParser.h - Assembly parser ------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses tokenized lines into AsmStatements, expanding pseudo-instructions
+/// (`li`, `la`, `move`, `nop`, `b`, `call`, `bgt`, `ble`, `bgtu`, `bleu`,
+/// `push`, `pop`) into fixed-size machine sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ASSEMBLER_ASMPARSER_H
+#define STRATAIB_ASSEMBLER_ASMPARSER_H
+
+#include "assembler/AsmLexer.h"
+#include "assembler/AsmStatement.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace sdt {
+namespace assembler {
+
+/// Parses \p Source into statements + labels + directives.
+Expected<AsmFile> parseAssembly(std::string_view Source);
+
+} // namespace assembler
+} // namespace sdt
+
+#endif // STRATAIB_ASSEMBLER_ASMPARSER_H

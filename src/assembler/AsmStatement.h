@@ -1,0 +1,98 @@
+//===- assembler/AsmStatement.h - Parsed assembly statements ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement representation the parser produces and the layout/encode
+/// passes consume. Pseudo-instructions are already expanded by the parser
+/// into fixed-size sequences, so every statement has a size known before
+/// symbol resolution (which keeps the assembler strictly two-pass).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ASSEMBLER_ASMSTATEMENT_H
+#define STRATAIB_ASSEMBLER_ASMSTATEMENT_H
+
+#include "isa/Opcode.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace assembler {
+
+/// A symbol reference or literal value, resolved during pass 2.
+struct AsmExpr {
+  enum class Kind { Literal, Symbol } K = Kind::Literal;
+  int64_t Literal = 0;     ///< Valid when K == Literal.
+  std::string Symbol;      ///< Valid when K == Symbol.
+  int64_t Addend = 0;      ///< Added to the symbol's address.
+
+  static AsmExpr literal(int64_t V) {
+    AsmExpr E;
+    E.K = Kind::Literal;
+    E.Literal = V;
+    return E;
+  }
+  static AsmExpr symbol(std::string Name, int64_t Addend = 0) {
+    AsmExpr E;
+    E.K = Kind::Symbol;
+    E.Symbol = std::move(Name);
+    E.Addend = Addend;
+    return E;
+  }
+};
+
+/// Which half of a resolved expression an instruction operand takes.
+/// Drives the `li`/`la` expansion (`lui` takes Hi16, `ori` takes Lo16).
+enum class ExprPart : uint8_t { Full, Hi16, Lo16 };
+
+/// One statement with a fixed encoded size.
+struct AsmStatement {
+  enum class Kind {
+    Instr, ///< A single machine instruction (4 bytes).
+    Word,  ///< .word: one 32-bit value.
+    Byte,  ///< .byte: one byte value.
+    Space, ///< .space: SizeBytes zero bytes.
+    Align, ///< .align: pad to AlignTo boundary (size depends on address).
+  } K = Kind::Instr;
+
+  unsigned Line = 0; ///< 1-based source line for diagnostics.
+
+  // Kind::Instr fields. Register fields are resolved by the parser;
+  // the immediate/target may reference a symbol.
+  isa::Opcode Op = isa::Opcode::Halt;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  AsmExpr Imm;               ///< Immediate / branch target / jump target.
+  ExprPart Part = ExprPart::Full;
+
+  // Kind::Word / Kind::Byte.
+  AsmExpr Data;
+
+  // Kind::Space.
+  uint32_t SizeBytes = 0;
+
+  // Kind::Align.
+  uint32_t AlignTo = 0;
+};
+
+/// Result of parsing a whole source file.
+struct AsmFile {
+  uint32_t OrgAddress;                  ///< .org (default load address).
+  bool HasOrg = false;
+  std::string EntrySymbol;              ///< .entry (empty: main/origin).
+  /// Label definitions: symbol name -> statement index it precedes (or
+  /// end-of-file index).
+  std::vector<std::pair<std::string, size_t>> Labels;
+  std::vector<AsmStatement> Statements;
+};
+
+} // namespace assembler
+} // namespace sdt
+
+#endif // STRATAIB_ASSEMBLER_ASMSTATEMENT_H

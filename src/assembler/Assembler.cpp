@@ -1,0 +1,241 @@
+//===- assembler/Assembler.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Assembler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/Assembler.h"
+
+#include "assembler/AsmParser.h"
+#include "isa/Encoding.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace sdt;
+using namespace sdt::assembler;
+using namespace sdt::isa;
+
+namespace {
+
+/// Layout + encode over a parsed AsmFile.
+class Emitter {
+public:
+  explicit Emitter(AsmFile File) : File(std::move(File)) {}
+
+  Expected<Program> run();
+
+private:
+  Error layout();
+  Expected<int64_t> resolve(const AsmExpr &E, unsigned Line) const;
+  Expected<int32_t> resolvePart(const AsmExpr &E, ExprPart Part,
+                                unsigned Line) const;
+  Error encodeStatement(const AsmStatement &S, uint32_t Addr,
+                        std::vector<uint8_t> &Image) const;
+
+  AsmFile File;
+  std::vector<uint32_t> StatementAddr; ///< Address of each statement.
+  uint32_t EndAddress = 0;
+  std::map<std::string, uint32_t> SymbolTable;
+};
+
+} // namespace
+
+Error Emitter::layout() {
+  uint32_t Addr = File.OrgAddress;
+  StatementAddr.reserve(File.Statements.size());
+  for (const AsmStatement &S : File.Statements) {
+    StatementAddr.push_back(Addr);
+    switch (S.K) {
+    case AsmStatement::Kind::Instr:
+      if (Addr % InstructionSize != 0)
+        return Error::atLine(S.Line, "instruction at unaligned address; "
+                                     "add .align 4");
+      Addr += InstructionSize;
+      break;
+    case AsmStatement::Kind::Word:
+      if (Addr % 4 != 0)
+        return Error::atLine(S.Line,
+                             ".word at unaligned address; add .align 4");
+      Addr += 4;
+      break;
+    case AsmStatement::Kind::Byte:
+      Addr += 1;
+      break;
+    case AsmStatement::Kind::Space:
+      Addr += S.SizeBytes;
+      break;
+    case AsmStatement::Kind::Align: {
+      uint32_t Mask = S.AlignTo - 1;
+      Addr = (Addr + Mask) & ~Mask;
+      break;
+    }
+    }
+  }
+  EndAddress = Addr;
+
+  for (const auto &[Name, Index] : File.Labels) {
+    uint32_t LabelAddr =
+        Index < StatementAddr.size() ? StatementAddr[Index] : EndAddress;
+    auto [It, Inserted] = SymbolTable.emplace(Name, LabelAddr);
+    if (!Inserted)
+      return Error::failure("duplicate label '" + Name + "'");
+    (void)It;
+  }
+  return Error();
+}
+
+Expected<int64_t> Emitter::resolve(const AsmExpr &E, unsigned Line) const {
+  if (E.K == AsmExpr::Kind::Literal)
+    return E.Literal;
+  auto It = SymbolTable.find(E.Symbol);
+  if (It == SymbolTable.end())
+    return Error::atLine(Line, "undefined symbol '" + E.Symbol + "'");
+  return static_cast<int64_t>(It->second) + E.Addend;
+}
+
+Expected<int32_t> Emitter::resolvePart(const AsmExpr &E, ExprPart Part,
+                                       unsigned Line) const {
+  Expected<int64_t> V = resolve(E, Line);
+  if (!V)
+    return V.takeError();
+  uint32_t U = static_cast<uint32_t>(*V);
+  switch (Part) {
+  case ExprPart::Full:
+    return static_cast<int32_t>(*V);
+  case ExprPart::Hi16:
+    return static_cast<int32_t>((U >> 16) & 0xFFFF);
+  case ExprPart::Lo16:
+    return static_cast<int32_t>(U & 0xFFFF);
+  }
+  assert(false && "unknown expr part");
+  return 0;
+}
+
+Error Emitter::encodeStatement(const AsmStatement &S, uint32_t Addr,
+                               std::vector<uint8_t> &Image) const {
+  uint32_t Offset = Addr - File.OrgAddress;
+  switch (S.K) {
+  case AsmStatement::Kind::Instr: {
+    Expected<int32_t> Imm = resolvePart(S.Imm, S.Part, S.Line);
+    if (!Imm)
+      return Imm.takeError();
+
+    Instruction I;
+    I.Op = S.Op;
+    I.Rd = S.Rd;
+    I.Rs1 = S.Rs1;
+    I.Rs2 = S.Rs2;
+
+    const OpcodeInfo &Info = opcodeInfo(S.Op);
+    switch (Info.Form) {
+    case Format::I: {
+      bool Logical = S.Op == Opcode::Andi || S.Op == Opcode::Ori ||
+                     S.Op == Opcode::Xori;
+      if (Logical ? (*Imm < 0 || *Imm > 0xFFFF)
+                  : (*Imm < -32768 || *Imm > 32767))
+        return Error::atLine(S.Line,
+                             formatString("immediate %d out of range", *Imm));
+      I.Imm = *Imm;
+      break;
+    }
+    case Format::Lui:
+      if (*Imm < 0 || *Imm > 0xFFFF)
+        return Error::atLine(S.Line, "lui immediate out of range");
+      I.Imm = *Imm;
+      break;
+    case Format::Mem:
+      if (*Imm < -32768 || *Imm > 32767)
+        return Error::atLine(
+            S.Line, formatString("memory offset %d out of range", *Imm));
+      I.Imm = *Imm;
+      break;
+    case Format::B: {
+      int64_t Disp = static_cast<int64_t>(static_cast<uint32_t>(*Imm)) -
+                     static_cast<int64_t>(Addr);
+      if (Disp % 4 != 0)
+        return Error::atLine(S.Line, "unaligned branch target");
+      if (Disp / 4 < -32768 || Disp / 4 > 32767)
+        return Error::atLine(S.Line, "branch target out of range");
+      I.Imm = static_cast<int32_t>(Disp);
+      break;
+    }
+    case Format::Jump: {
+      uint32_t Target = static_cast<uint32_t>(*Imm);
+      if (Target % 4 != 0)
+        return Error::atLine(S.Line, "unaligned jump target");
+      if ((Target >> 2) >= (1u << 26))
+        return Error::atLine(S.Line, "jump target out of range");
+      I.Imm = static_cast<int32_t>(Target);
+      break;
+    }
+    case Format::R:
+    case Format::Jr:
+    case Format::Jalr:
+    case Format::None:
+      break;
+    }
+    writeWordLE(&Image[Offset], encode(I));
+    return Error();
+  }
+  case AsmStatement::Kind::Word: {
+    Expected<int64_t> V = resolve(S.Data, S.Line);
+    if (!V)
+      return V.takeError();
+    if (*V < -2147483648LL || *V > 4294967295LL)
+      return Error::atLine(S.Line, ".word value out of range");
+    writeWordLE(&Image[Offset], static_cast<uint32_t>(*V));
+    return Error();
+  }
+  case AsmStatement::Kind::Byte: {
+    Expected<int64_t> V = resolve(S.Data, S.Line);
+    if (!V)
+      return V.takeError();
+    if (*V < -128 || *V > 255)
+      return Error::atLine(S.Line, ".byte value out of range");
+    Image[Offset] = static_cast<uint8_t>(*V);
+    return Error();
+  }
+  case AsmStatement::Kind::Space:
+  case AsmStatement::Kind::Align:
+    return Error(); // Already zero-filled.
+  }
+  assert(false && "unknown statement kind");
+  return Error();
+}
+
+Expected<Program> Emitter::run() {
+  if (Error E = layout())
+    return E;
+
+  std::vector<uint8_t> Image(EndAddress - File.OrgAddress, 0);
+  for (size_t I = 0, E = File.Statements.size(); I != E; ++I)
+    if (Error Err = encodeStatement(File.Statements[I], StatementAddr[I],
+                                    Image))
+      return Err;
+
+  Program P(File.OrgAddress, std::move(Image));
+  for (const auto &[Name, Addr] : SymbolTable)
+    P.addSymbol(Name, Addr);
+
+  if (!File.EntrySymbol.empty()) {
+    Expected<uint32_t> EntryAddr = P.symbol(File.EntrySymbol);
+    if (!EntryAddr)
+      return Error::failure(".entry: " + EntryAddr.error().message());
+    P.setEntry(*EntryAddr);
+  } else if (Expected<uint32_t> Main = P.symbol("main")) {
+    P.setEntry(*Main);
+  } else {
+    P.setEntry(File.OrgAddress);
+  }
+  return P;
+}
+
+Expected<Program> sdt::assembler::assemble(std::string_view Source) {
+  Expected<AsmFile> File = parseAssembly(Source);
+  if (!File)
+    return File.takeError();
+  Emitter E(std::move(*File));
+  return E.run();
+}

@@ -1,0 +1,50 @@
+//===- assembler/Assembler.h - GIR assembler --------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public assembler entry point: assembles GIR assembly text into a
+/// loadable Program. Two passes: layout (addresses + labels), then
+/// resolve-and-encode with range diagnostics.
+///
+/// Syntax overview:
+/// \code
+///   .org 0x1000            # load address (optional)
+///   .entry main            # entry symbol (default: 'main' if defined)
+///   main:
+///     li   t0, 100         # pseudo: lui+ori
+///     la   t1, table       # pseudo: lui+ori
+///     lw   t2, 0(t1)
+///     jalr t2              # indirect call (rd defaults to ra)
+///     beqz t0, done
+///     ret
+///   done:
+///     li   v0, 0           # exit code
+///     syscall
+///   table: .word fn_a, fn_b
+///   buf:   .space 64
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ASSEMBLER_ASSEMBLER_H
+#define STRATAIB_ASSEMBLER_ASSEMBLER_H
+
+#include "isa/Program.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace sdt {
+namespace assembler {
+
+/// Assembles \p Source into a Program. On failure, the Error message names
+/// the offending source line.
+Expected<isa::Program> assemble(std::string_view Source);
+
+} // namespace assembler
+} // namespace sdt
+
+#endif // STRATAIB_ASSEMBLER_ASSEMBLER_H

@@ -1,0 +1,39 @@
+//===- core/DispatcherHandler.cpp ------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See DispatcherHandler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DispatcherHandler.h"
+
+using namespace sdt;
+using namespace sdt::core;
+
+SiteCode DispatcherHandler::emitSite(uint32_t SiteId, IBClass Class,
+                                     uint32_t GuestPc, FragmentCache &Cache) {
+  (void)SiteId;
+  (void)Class;
+  (void)GuestPc;
+  // Just a trampoline to the dispatcher.
+  uint32_t Bytes = 8;
+  return {Cache.allocateBytes(Bytes), Bytes};
+}
+
+LookupOutcome DispatcherHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
+                                        arch::TimingModel *Timing) {
+  (void)SiteId;
+  (void)GuestTarget;
+  (void)Timing; // Inline cost is just the trampoline jump the engine
+                // already charged; the dispatcher path charges the rest.
+  countLookup(/*Hit=*/false);
+  return {};
+}
+
+void DispatcherHandler::record(uint32_t SiteId, uint32_t GuestTarget,
+                               uint32_t HostEntryAddr,
+                               arch::TimingModel *Timing) {
+  (void)SiteId;
+  (void)GuestTarget;
+  (void)HostEntryAddr;
+  (void)Timing; // Nothing to install: the next execution misses again.
+}

@@ -1,0 +1,43 @@
+//===- core/DispatcherHandler.h - Baseline IB handling -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline mechanism: no inline translation at all. Every indirect
+/// branch trampolines into the dispatcher — a full context save, a
+/// translation-map probe, and a context restore — which is the overhead
+/// source the paper opens with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_DISPATCHERHANDLER_H
+#define STRATAIB_CORE_DISPATCHERHANDLER_H
+
+#include "core/IBHandler.h"
+
+namespace sdt {
+namespace core {
+
+/// Always-miss mechanism: the engine's dispatcher path does all the work.
+class DispatcherHandler : public IBHandler {
+public:
+  const char *name() const override { return "dispatcher"; }
+
+  SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
+                    FragmentCache &Cache) override;
+
+  LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
+                       arch::TimingModel *Timing) override;
+
+  void record(uint32_t SiteId, uint32_t GuestTarget, uint32_t HostEntryAddr,
+              arch::TimingModel *Timing) override;
+
+  void flush() override {}
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_DISPATCHERHANDLER_H

@@ -1,0 +1,104 @@
+//===- core/FragmentCache.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See FragmentCache.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FragmentCache.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+
+uint32_t sdt::core::hostOpBytes(HostOpKind Kind) {
+  switch (Kind) {
+  case HostOpKind::Guest:
+  case HostOpKind::CondBranch:
+  case HostOpKind::JumpHost:
+  case HostOpKind::SyscallOp:
+  case HostOpKind::HaltOp:
+  case HostOpKind::TraceBranch:
+    return 4;
+  case HostOpKind::Elided:
+    return 0; // Linearised away; retires the guest instruction for free.
+  case HostOpKind::SetLink:
+    return 8; // Materialise a 32-bit constant into the link register.
+  case HostOpKind::ExitStub:
+    return 16; // Target constant + trampoline into the dispatcher.
+  case HostOpKind::IBLookup:
+    return 0; // The handler reports the mechanism's inline footprint.
+  }
+  assert(false && "invalid host op kind");
+  return 4;
+}
+
+FragmentCache::FragmentCache(uint32_t CapacityBytes)
+    : CapacityBytes(CapacityBytes) {
+  assert(CapacityBytes >= 4096 && "fragment cache unrealistically small");
+}
+
+HostLoc FragmentCache::lookup(uint32_t GuestPc) const {
+  auto It = GuestMap.find(GuestPc);
+  if (It == GuestMap.end())
+    return HostLoc();
+  return HostLoc{It->second, 0};
+}
+
+uint32_t FragmentCache::beginFragment() { return Cursor; }
+
+uint32_t FragmentCache::allocateBytes(uint32_t Bytes) {
+  uint32_t Addr = Cursor;
+  Cursor += Bytes;
+  UsedBytes += Bytes;
+  return Addr;
+}
+
+HostLoc FragmentCache::insert(Fragment Frag) {
+  assert(!Frag.Code.empty() && "inserting an empty fragment");
+  assert(Frag.HostEntryAddr == Frag.Code.front().HostAddr &&
+         "fragment entry address out of sync with its first op");
+  uint32_t Index = static_cast<uint32_t>(Fragments.size());
+  auto [GuestIt, GuestInserted] = GuestMap.emplace(Frag.GuestEntry, Index);
+  assert(GuestInserted && "double translation of a guest address");
+  (void)GuestIt;
+  (void)GuestInserted;
+  EntryMap.emplace(Frag.HostEntryAddr, Index);
+  Fragments.push_back(std::move(Frag));
+  return HostLoc{Index, 0};
+}
+
+HostLoc FragmentCache::replaceForGuest(Fragment Frag) {
+  assert(!Frag.Code.empty() && "inserting an empty fragment");
+  auto It = GuestMap.find(Frag.GuestEntry);
+  assert(It != GuestMap.end() && "replaceForGuest without prior fragment");
+  uint32_t Index = static_cast<uint32_t>(Fragments.size());
+  It->second = Index;
+  EntryMap.emplace(Frag.HostEntryAddr, Index);
+  Fragments.push_back(std::move(Frag));
+  return HostLoc{Index, 0};
+}
+
+void FragmentCache::flushAll() {
+  for (const Fragment &F : Fragments)
+    RetiredEntries.emplace(F.HostEntryAddr, F.GuestEntry);
+  Fragments.clear();
+  GuestMap.clear();
+  EntryMap.clear();
+  UsedBytes = 0;
+  ++Flushes;
+  // Cursor intentionally NOT reset: host addresses are never reused, so
+  // stale translated addresses (fast returns) stay distinguishable.
+}
+
+HostLoc FragmentCache::locForEntryAddr(uint32_t HostEntryAddr) const {
+  auto It = EntryMap.find(HostEntryAddr);
+  if (It == EntryMap.end())
+    return HostLoc();
+  return HostLoc{It->second, 0};
+}
+
+uint32_t FragmentCache::retiredGuestEntry(uint32_t HostEntryAddr) const {
+  auto It = RetiredEntries.find(HostEntryAddr);
+  return It == RetiredEntries.end() ? 0 : It->second;
+}

@@ -1,0 +1,109 @@
+//===- core/FragmentCache.h - Translated-code cache --------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fragment cache ("code cache"): the arena of translated fragments,
+/// the guest-PC → fragment map, and the simulated host address space the
+/// timing model fetches from. IB handlers also allocate their code-resident
+/// structures (sieve stubs) here, so fragment-cache pressure is shared
+/// between fragments and lookup code — as it is in a real SDT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_FRAGMENTCACHE_H
+#define STRATAIB_CORE_FRAGMENTCACHE_H
+
+#include "core/HostInstr.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sdt {
+namespace core {
+
+/// Base simulated address of the fragment cache. Guest addresses are far
+/// below this, which is what lets fast returns distinguish translated
+/// return addresses from guest ones.
+inline constexpr uint32_t FragmentCacheBase = 0x40000000;
+
+/// One translated fragment.
+struct Fragment {
+  uint32_t GuestEntry = 0;    ///< Guest PC this fragment translates.
+  uint32_t HostEntryAddr = 0; ///< Simulated address of the first host op.
+  uint32_t CodeBytes = 0;     ///< Total simulated bytes (incl. IB inline).
+  std::vector<HostInstr> Code;
+  uint64_t ExecCount = 0;
+};
+
+/// The translated-code cache.
+class FragmentCache {
+public:
+  explicit FragmentCache(uint32_t CapacityBytes);
+
+  /// Looks up the fragment translating guest address \p GuestPc; invalid
+  /// HostLoc when absent.
+  HostLoc lookup(uint32_t GuestPc) const;
+
+  /// Registers \p Frag (translated code for Frag.GuestEntry). Returns its
+  /// entry location. The fragment must have been laid out with
+  /// beginFragment()/allocateBytes().
+  HostLoc insert(Fragment Frag);
+
+  /// Re-points the guest-PC mapping for Frag.GuestEntry (which must
+  /// already be translated) to \p Frag — used when a hot path is
+  /// re-translated as a trace. The old fragment stays live (existing
+  /// links into it keep working); callers typically patch its head into
+  /// a trampoline to the replacement.
+  HostLoc replaceForGuest(Fragment Frag);
+
+  /// Starts laying out a new fragment: returns its host entry address.
+  uint32_t beginFragment();
+
+  /// Allocates \p Bytes of simulated code space at the current cursor
+  /// (fragment bodies and handler stubs alike) and returns its address.
+  uint32_t allocateBytes(uint32_t Bytes);
+
+  /// True when more than CapacityBytes are live since the last flush —
+  /// the caller should flush before translating more.
+  bool isFull() const { return UsedBytes >= CapacityBytes; }
+
+  /// Drops every fragment (and the guest/host maps). Host addresses are
+  /// never reused: the cursor keeps monotonically increasing, so stale
+  /// translated addresses can still be recognised via retiredGuestEntry().
+  void flushAll();
+
+  /// Maps a live fragment entry address to its location; invalid HostLoc
+  /// when unknown (e.g. flushed).
+  HostLoc locForEntryAddr(uint32_t HostEntryAddr) const;
+
+  /// For a fragment entry address retired by a flush: the guest PC it used
+  /// to translate (so fast-return addresses survive flushes); 0 if unknown.
+  uint32_t retiredGuestEntry(uint32_t HostEntryAddr) const;
+
+  /// Access to a live fragment.
+  Fragment &fragment(uint32_t Index) { return Fragments[Index]; }
+  const Fragment &fragment(uint32_t Index) const { return Fragments[Index]; }
+
+  size_t fragmentCount() const { return Fragments.size(); }
+  uint32_t usedBytes() const { return UsedBytes; }
+  uint64_t flushCount() const { return Flushes; }
+
+private:
+  uint32_t CapacityBytes;
+  uint32_t Cursor = FragmentCacheBase;
+  uint32_t UsedBytes = 0;
+  uint64_t Flushes = 0;
+  std::vector<Fragment> Fragments;
+  std::unordered_map<uint32_t, uint32_t> GuestMap; ///< guest PC -> index.
+  std::unordered_map<uint32_t, uint32_t> EntryMap; ///< host addr -> index.
+  std::unordered_map<uint32_t, uint32_t> RetiredEntries; ///< host -> guest.
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_FRAGMENTCACHE_H

@@ -1,0 +1,111 @@
+//===- core/HostInstr.h - Translated host code representation ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-code representation translated fragments are made of. Each
+/// HostInstr models one host instruction (or one fixed inline sequence,
+/// for IB-lookup sites) at a simulated fragment-cache address, so the
+/// timing model sees the translated program's real instruction-fetch
+/// footprint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_HOSTINSTR_H
+#define STRATAIB_CORE_HOSTINSTR_H
+
+#include "core/SdtOptions.h"
+#include "isa/Instruction.h"
+
+#include <cstdint>
+
+namespace sdt {
+namespace core {
+
+/// A position inside the fragment cache: fragment index + instruction
+/// index within that fragment.
+struct HostLoc {
+  uint32_t Frag = UINT32_MAX;
+  uint32_t Index = 0;
+
+  bool valid() const { return Frag != UINT32_MAX; }
+  bool operator==(const HostLoc &Other) const = default;
+};
+
+/// Host instruction kinds.
+enum class HostOpKind : uint8_t {
+  /// A guest non-CTI instruction translated 1:1 (semantics in GuestI).
+  Guest,
+  /// A guest conditional branch. Successors by fragment layout: the
+  /// instruction at Index+1 is the fall-through stub, Index+2 the taken
+  /// stub.
+  CondBranch,
+  /// Unconditional jump to TargetHost (a patched/linked stub).
+  JumpHost,
+  /// Unlinked exit: enter the dispatcher for guest address TargetGuest.
+  /// The dispatcher patches this to JumpHost when fragment linking is on.
+  ExitStub,
+  /// Writes the return address into register GuestI.Rd before a call.
+  /// Under fast returns the value is the *host* address of the return
+  /// point's fragment (resolved lazily on first execution); otherwise it
+  /// is the guest return address TargetGuest.
+  SetLink,
+  /// An indirect-branch translation site (SiteId indexes the engine's
+  /// site table). The branch target is read from register GuestI.Rs1
+  /// (r31 for returns).
+  IBLookup,
+  /// A guest `syscall` passed through to the host.
+  SyscallOp,
+  /// A guest `halt`.
+  HaltOp,
+  /// A guest conditional branch on a trace. The on-trace direction
+  /// (OnTraceTaken) falls through past the off-trace exit stub at
+  /// Index+1; the other direction takes that stub.
+  TraceBranch,
+  /// A direct jump eliminated by trace linearisation: retires one guest
+  /// instruction at zero simulated cost and falls through.
+  Elided,
+};
+
+/// One host instruction.
+struct HostInstr {
+  HostOpKind Kind = HostOpKind::HaltOp;
+  /// The originating guest instruction (Guest/CondBranch/SetLink/IBLookup).
+  isa::Instruction GuestI;
+  /// Guest address this op was translated from (diagnostics, profiles).
+  uint32_t GuestPc = 0;
+  /// Simulated fragment-cache address of this op.
+  uint32_t HostAddr = 0;
+  /// ExitStub/SetLink: the guest target / guest return address.
+  uint32_t TargetGuest = 0;
+  /// JumpHost, or a linked ExitStub/SetLink: resolved host location.
+  HostLoc TargetHost;
+  /// SetLink (fast returns): resolved host entry address to write.
+  uint32_t TargetHostAddr = 0;
+  /// ExitStub/SetLink: resolution happened (stub patched / link cached).
+  bool Linked = false;
+  /// IBLookup: index into the engine's IB-site table.
+  uint32_t SiteId = 0;
+  /// IBLookup: which dynamic class this site is.
+  IBClass SiteClass = IBClass::Jump;
+  /// TraceBranch: the branch direction that continues along the trace.
+  bool OnTraceTaken = false;
+  /// True when executing this op corresponds to retiring one guest
+  /// instruction (keeps SDT and native instruction counts identical).
+  /// Guest/CondBranch/IBLookup/Syscall/Halt always count; an ExitStub
+  /// counts when it stands for a direct `j`; a SetLink counts when it
+  /// stands for a direct `jal` (a `jalr`'s count lives on its IBLookup).
+  bool CountsAsGuest = false;
+};
+
+/// Simulated host code-size of each HostOpKind, in bytes. IBLookup sites
+/// additionally occupy the mechanism's inline footprint (reported by the
+/// handler when the site is emitted).
+uint32_t hostOpBytes(HostOpKind Kind);
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_HOSTINSTR_H

@@ -1,0 +1,17 @@
+//===- core/IBHandler.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See IBHandler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IBHandler.h"
+
+using namespace sdt;
+using namespace sdt::core;
+
+// Out-of-line virtual anchor.
+IBHandler::~IBHandler() = default;
+
+void IBHandler::initialize(FragmentCache &Cache) { (void)Cache; }
+
+std::string IBHandler::statsSummary() const { return ""; }

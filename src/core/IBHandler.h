@@ -1,0 +1,113 @@
+//===- core/IBHandler.h - IB translation mechanism interface -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strategy interface every indirect-branch handling mechanism
+/// implements. The SDT engine calls:
+///
+///  - emitSite() when the translator reaches an indirect branch, so the
+///    mechanism can lay down its inline lookup code (and per-site data);
+///  - lookup() when that site executes, to translate the dynamic guest
+///    target into a fragment-cache entry address — charging the timing
+///    model for exactly the work its inline sequence would do;
+///  - record() after a dispatcher-resolved miss, to install the new
+///    (guest target → translated target) mapping.
+///
+/// This mirrors how Strata-style SDTs plug IB mechanisms into fragment
+/// emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_IBHANDLER_H
+#define STRATAIB_CORE_IBHANDLER_H
+
+#include "arch/Timing.h"
+#include "core/FragmentCache.h"
+#include "core/SdtOptions.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+namespace core {
+
+/// Simulated address regions for mechanism-owned *data* structures (the
+/// IBTC and return-cache tables live in data space; the sieve's structures
+/// live in the fragment cache, i.e. code space — that asymmetry is the
+/// paper's D-cache vs. I-cache story).
+inline constexpr uint32_t IbtcTableRegionBase = 0x60000000;
+inline constexpr uint32_t ReturnCacheRegionBase = 0x68000000;
+inline constexpr uint32_t ShadowStackRegionBase = 0x6C000000;
+inline constexpr uint32_t BlockCounterRegionBase = 0x70000000;
+
+/// Result of an inline lookup.
+struct LookupOutcome {
+  bool Hit = false;
+  uint32_t HostEntryAddr = 0; ///< Valid when Hit.
+};
+
+/// Footprint of a site's inline lookup code.
+struct SiteCode {
+  uint32_t Addr = 0;
+  uint32_t Bytes = 0;
+};
+
+/// Abstract IB translation mechanism.
+class IBHandler {
+public:
+  virtual ~IBHandler();
+
+  /// Mechanism name for reports.
+  virtual const char *name() const = 0;
+
+  /// One-time (and post-flush) setup; mechanisms that keep code-resident
+  /// structures allocate them from \p Cache here.
+  virtual void initialize(FragmentCache &Cache);
+
+  /// Emits the inline lookup sequence for a new IB site and returns its
+  /// code footprint (allocated from \p Cache).
+  virtual SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
+                            FragmentCache &Cache) = 0;
+
+  /// Executes the inline lookup for \p SiteId on dynamic target
+  /// \p GuestTarget. Charges \p Timing (may be null for untimed runs) for
+  /// the inline work. On a miss the engine runs the dispatcher and then
+  /// calls record().
+  virtual LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
+                               arch::TimingModel *Timing) = 0;
+
+  /// Installs a dispatcher-resolved mapping for a missed lookup.
+  virtual void record(uint32_t SiteId, uint32_t GuestTarget,
+                      uint32_t HostEntryAddr, arch::TimingModel *Timing) = 0;
+
+  /// Drops all mechanism state (the fragment cache was flushed; every
+  /// translated address is stale). initialize() runs again afterwards.
+  virtual void flush() = 0;
+
+  /// Multi-line human-readable statistics for reports (may be empty).
+  virtual std::string statsSummary() const;
+
+  // --- Common counters ----------------------------------------------------
+  uint64_t lookups() const { return Lookups; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Lookups - Hits; }
+
+protected:
+  void countLookup(bool Hit) {
+    ++Lookups;
+    if (Hit)
+      ++Hits;
+  }
+
+private:
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_IBHANDLER_H

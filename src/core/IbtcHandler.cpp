@@ -1,0 +1,211 @@
+//===- core/IbtcHandler.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See IbtcHandler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IbtcHandler.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+
+IbtcHandler::IbtcHandler(const SdtOptions &Opts, bool ChargeFlagSave)
+    : Opts(Opts), ChargeFlagSave(ChargeFlagSave) {
+  assert(isPowerOf2(Opts.IbtcEntries) && "IBTC size must be a power of two");
+  assert(isPowerOf2(Opts.IbtcAssociativity) &&
+         Opts.IbtcAssociativity <= Opts.IbtcEntries &&
+         "bad IBTC associativity");
+  // Inline probe: flag save/restore + hash + address arithmetic + tagged
+  // load + compare + jump + miss trampoline; each extra way adds a
+  // compare-and-branch.
+  InlineBytes = 40 + 12 * (Opts.IbtcAssociativity - 1);
+  Shared = makeTable(Opts.IbtcEntries);
+}
+
+IbtcHandler::Table IbtcHandler::makeTable(uint32_t Capacity) {
+  Table T;
+  T.DataAddr = DataCursor;
+  T.Capacity = Capacity;
+  DataCursor += Capacity * 8; // 8 bytes per (tag, target) entry.
+  T.Entries.assign(Capacity, Entry());
+  return T;
+}
+
+
+IbtcHandler::Table &IbtcHandler::tableFor(uint32_t SiteId) {
+  if (Opts.IbtcShared)
+    return Shared;
+  auto It = PerSite.find(SiteId);
+  assert(It != PerSite.end() && "lookup at unregistered IBTC site");
+  return It->second;
+}
+
+size_t IbtcHandler::tableCount() const {
+  return Opts.IbtcShared ? 1 : PerSite.size();
+}
+
+SiteCode IbtcHandler::emitSite(uint32_t SiteId, IBClass Class,
+                               uint32_t GuestPc, FragmentCache &Cache) {
+  (void)Class;
+  (void)GuestPc;
+  uint32_t Addr = Cache.allocateBytes(InlineBytes);
+  SiteCodeAddr[SiteId] = Addr;
+  if (!Opts.IbtcShared)
+    PerSite.emplace(SiteId, makeTable(Opts.IbtcEntries));
+  return {Addr, InlineBytes};
+}
+
+LookupOutcome IbtcHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
+                                  arch::TimingModel *Timing) {
+  Table &T = tableFor(SiteId);
+  uint32_t Assoc = Opts.IbtcAssociativity;
+  uint32_t Set = hashAddress(Opts.IbtcHash, GuestTarget, T.numSets(Assoc));
+  uint32_t SetBase = Set * Assoc;
+  uint32_t SiteAddr = SiteCodeAddr.at(SiteId);
+
+  if (Timing) {
+    // The site's inline code beyond the first host word.
+    Timing->chargeCodeRange(SiteAddr + 4, InlineBytes - 4);
+    if (ChargeFlagSave)
+      Timing->chargeFlagSave(Opts.FullFlagSave);
+    Timing->chargeAluOps(hashAluOpCount(Opts.IbtcHash) + 1); // + addr calc
+  }
+
+  for (uint32_t Way = 0; Way != Assoc; ++Way) {
+    uint32_t EntryAddr = T.DataAddr + (SetBase + Way) * 8;
+    if (Timing) {
+      Timing->chargeLoad(EntryAddr); // tag
+      Timing->chargeAluOps(1);       // compare
+    }
+    Entry &E = T.Entries[SetBase + Way];
+    if (E.GuestTag == GuestTarget) {
+      E.LastUse = ++Clock;
+      if (Timing) {
+        Timing->chargeLoad(EntryAddr + 4); // translated target
+        if (ChargeFlagSave)
+          Timing->chargeFlagRestore(Opts.FullFlagSave);
+        Timing->chargeIndirectJump(SiteAddr, E.HostEntryAddr);
+      }
+      countLookup(/*Hit=*/true);
+      return {true, E.HostEntryAddr};
+    }
+  }
+  countLookup(/*Hit=*/false);
+  return {};
+}
+
+void IbtcHandler::record(uint32_t SiteId, uint32_t GuestTarget,
+                         uint32_t HostEntryAddr, arch::TimingModel *Timing) {
+  Table &T = tableFor(SiteId);
+  uint32_t Assoc = Opts.IbtcAssociativity;
+  uint32_t SetBase =
+      hashAddress(Opts.IbtcHash, GuestTarget, T.numSets(Assoc)) * Assoc;
+
+  // Prefer: existing entry for this target, then an empty way, then the
+  // LRU way.
+  Entry *Victim = nullptr;
+  for (uint32_t Way = 0; Way != Assoc && !Victim; ++Way)
+    if (T.Entries[SetBase + Way].GuestTag == GuestTarget)
+      Victim = &T.Entries[SetBase + Way];
+  for (uint32_t Way = 0; Way != Assoc && !Victim; ++Way)
+    if (T.Entries[SetBase + Way].GuestTag == 0)
+      Victim = &T.Entries[SetBase + Way];
+  if (!Victim) {
+    Victim = &T.Entries[SetBase];
+    for (uint32_t Way = 1; Way != Assoc; ++Way)
+      if (T.Entries[SetBase + Way].LastUse < Victim->LastUse)
+        Victim = &T.Entries[SetBase + Way];
+  }
+  if (Victim->GuestTag != 0 && Victim->GuestTag != GuestTarget) {
+    ++Replacements;
+    ++T.ReplacementsSinceResize;
+  }
+  Victim->GuestTag = GuestTarget;
+  Victim->HostEntryAddr = HostEntryAddr;
+  Victim->LastUse = ++Clock;
+  if (Timing) {
+    uint32_t EntryAddr =
+        T.DataAddr +
+        static_cast<uint32_t>(Victim - T.Entries.data()) * 8;
+    Timing->chargeStore(EntryAddr);
+    Timing->chargeStore(EntryAddr + 4);
+  }
+
+  if (Opts.IbtcAdaptive &&
+      T.ReplacementsSinceResize > T.Capacity / 4 &&
+      T.Capacity * 4 <= Opts.IbtcMaxEntries)
+    growTable(T, Timing);
+}
+
+void IbtcHandler::growTable(Table &T, arch::TimingModel *Timing) {
+  uint32_t Assoc = Opts.IbtcAssociativity;
+  std::vector<Entry> Live;
+  for (const Entry &E : T.Entries)
+    if (E.GuestTag != 0)
+      Live.push_back(E);
+
+  uint32_t OldAddr = T.DataAddr;
+  T.Capacity *= 4;
+  T.DataAddr = DataCursor;
+  DataCursor += T.Capacity * 8;
+  T.Entries.assign(T.Capacity, Entry());
+  T.ReplacementsSinceResize = 0;
+  ++Resizes;
+
+  // Rehash the survivors into the bigger table.
+  uint32_t Index = 0;
+  for (const Entry &E : Live) {
+    uint32_t SetBase =
+        hashAddress(Opts.IbtcHash, E.GuestTag, T.numSets(Assoc)) * Assoc;
+    Entry *Slot = nullptr;
+    for (uint32_t Way = 0; Way != Assoc && !Slot; ++Way)
+      if (T.Entries[SetBase + Way].GuestTag == 0)
+        Slot = &T.Entries[SetBase + Way];
+    if (!Slot)
+      Slot = &T.Entries[SetBase]; // Conflict even after growth: drop one.
+    *Slot = E;
+    if (Timing) {
+      Timing->chargeLoad(OldAddr + Index * 8);
+      uint32_t NewAddr =
+          T.DataAddr + static_cast<uint32_t>(Slot - T.Entries.data()) * 8;
+      Timing->chargeStore(NewAddr);
+      Timing->chargeStore(NewAddr + 4);
+    }
+    ++Index;
+  }
+  // Every IB site's inline mask constant gets patched to the new size.
+  if (Timing)
+    Timing->chargeLinkPatch();
+}
+
+void IbtcHandler::flush() {
+  Shared = makeTable(Opts.IbtcEntries);
+  PerSite.clear();
+  SiteCodeAddr.clear();
+}
+
+uint32_t IbtcHandler::currentCapacity() const {
+  if (Opts.IbtcShared)
+    return Shared.Capacity;
+  return PerSite.empty() ? Opts.IbtcEntries
+                         : PerSite.begin()->second.Capacity;
+}
+
+std::string IbtcHandler::statsSummary() const {
+  return formatString(
+      "ibtc: %s, %u entries/table, %zu table(s), lookups=%llu "
+      "hits=%llu (%.2f%%) replacements=%llu resizes=%llu",
+      Opts.IbtcShared ? "shared" : "private", currentCapacity(),
+      tableCount(),
+      static_cast<unsigned long long>(lookups()),
+      static_cast<unsigned long long>(hits()),
+      lookups() ? 100.0 * static_cast<double>(hits()) /
+                      static_cast<double>(lookups())
+                : 0.0,
+      static_cast<unsigned long long>(Replacements),
+      static_cast<unsigned long long>(Resizes));
+}

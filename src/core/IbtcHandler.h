@@ -1,0 +1,102 @@
+//===- core/IbtcHandler.h - Indirect Branch Translation Cache ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IBTC: a data-resident, direct-mapped hash table of
+/// (guest target → translated target) pairs, probed by inline code at each
+/// IB site. The paper's central mechanism, with its three configuration
+/// axes: table size, shared vs. per-site (private) tables, and the cost of
+/// preserving condition codes around the probe (full vs. light flag save).
+///
+/// Modeled inline sequence per lookup (charged against the timing model):
+///   flag save; hash (shift/mask or variant); load entry tag; compare;
+///   [hit] load translated target, indirect jump, flag restore;
+///   [miss] trampoline to dispatcher (engine charges the context switch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_IBTCHANDLER_H
+#define STRATAIB_CORE_IBTCHANDLER_H
+
+#include "core/IBHandler.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sdt {
+namespace core {
+
+/// IBTC mechanism (shared or private tables).
+class IbtcHandler : public IBHandler {
+public:
+  /// \p ChargeFlagSave is false when a wrapping mechanism (inline cache)
+  /// already saved the condition codes.
+  IbtcHandler(const SdtOptions &Opts, bool ChargeFlagSave = true);
+
+  const char *name() const override { return "ibtc"; }
+
+  SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
+                    FragmentCache &Cache) override;
+
+  LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
+                       arch::TimingModel *Timing) override;
+
+  void record(uint32_t SiteId, uint32_t GuestTarget, uint32_t HostEntryAddr,
+              arch::TimingModel *Timing) override;
+
+  void flush() override;
+
+  std::string statsSummary() const override;
+
+  /// Entries replaced while holding a different valid tag (conflicts).
+  uint64_t replacements() const { return Replacements; }
+  /// Number of tables currently allocated (1 when shared).
+  size_t tableCount() const;
+  /// Adaptive-mode table growth events.
+  uint64_t resizes() const { return Resizes; }
+  /// Current capacity of the shared table (or the first per-site table).
+  uint32_t currentCapacity() const;
+
+private:
+  struct Entry {
+    uint32_t GuestTag = 0; ///< 0 = empty (page 0 is never code).
+    uint32_t HostEntryAddr = 0;
+    uint64_t LastUse = 0; ///< For LRU replacement within a set.
+  };
+
+  struct Table {
+    uint32_t DataAddr = 0; ///< Simulated base address (D-cache modeling).
+    uint32_t Capacity = 0; ///< Current entry count (grows when adaptive).
+    uint32_t ReplacementsSinceResize = 0;
+    std::vector<Entry> Entries; ///< Sets x Associativity, row-major.
+
+    uint32_t numSets(uint32_t Assoc) const { return Capacity / Assoc; }
+  };
+
+  Table &tableFor(uint32_t SiteId);
+  Table makeTable(uint32_t Capacity);
+
+  /// Quadruples \p T and rehashes its live entries (adaptive mode).
+  void growTable(Table &T, arch::TimingModel *Timing);
+
+  SdtOptions Opts;
+  bool ChargeFlagSave;
+  uint32_t InlineBytes;
+  uint32_t DataCursor = IbtcTableRegionBase;
+  uint64_t Clock = 0;
+
+  Table Shared;
+  std::unordered_map<uint32_t, Table> PerSite;
+  std::unordered_map<uint32_t, uint32_t> SiteCodeAddr;
+
+  uint64_t Replacements = 0;
+  uint64_t Resizes = 0;
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_IBTCHANDLER_H

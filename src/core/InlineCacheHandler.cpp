@@ -1,0 +1,108 @@
+//===- core/InlineCacheHandler.cpp -----------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See InlineCacheHandler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InlineCacheHandler.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+
+InlineCacheHandler::InlineCacheHandler(const SdtOptions &Opts,
+                                       std::unique_ptr<IBHandler> Backing)
+    : Opts(Opts), Backing(std::move(Backing)) {
+  assert(Opts.InlineCacheDepth > 0 && "inline cache with depth 0");
+  assert(this->Backing && "inline cache needs a backing mechanism");
+}
+
+void InlineCacheHandler::initialize(FragmentCache &Cache) {
+  Backing->initialize(Cache);
+}
+
+SiteCode InlineCacheHandler::emitSite(uint32_t SiteId, IBClass Class,
+                                      uint32_t GuestPc,
+                                      FragmentCache &Cache) {
+  uint32_t InlineBytes = 8 /*flag save*/ + Opts.InlineCacheDepth * EntryBytes;
+  Site S;
+  S.CodeAddr = Cache.allocateBytes(InlineBytes);
+  Sites.emplace(SiteId, std::move(S));
+  SiteCode BackingCode = Backing->emitSite(SiteId, Class, GuestPc, Cache);
+  return {Sites.at(SiteId).CodeAddr, InlineBytes + BackingCode.Bytes};
+}
+
+LookupOutcome InlineCacheHandler::lookup(uint32_t SiteId,
+                                         uint32_t GuestTarget,
+                                         arch::TimingModel *Timing) {
+  Site &S = Sites.at(SiteId);
+
+  if (Timing)
+    Timing->chargeFlagSave(Opts.FullFlagSave);
+
+  for (size_t I = 0, E = S.Entries.size(); I != E; ++I) {
+    const InlineEntry &Entry = S.Entries[I];
+    uint32_t EntryAddr = S.CodeAddr + 8 + static_cast<uint32_t>(I) *
+                                              EntryBytes;
+    bool Match = Entry.GuestTarget == GuestTarget;
+    if (Timing) {
+      Timing->chargeCodeRange(EntryAddr, EntryBytes);
+      Timing->chargeAluOps(2); // Materialise the predicted target, compare.
+      // The inlined compare is an ordinary conditional branch: highly
+      // predictable at monomorphic sites, which is the whole point.
+      Timing->chargeCondBranch(EntryAddr, Match);
+    }
+    if (Match) {
+      if (Timing) {
+        Timing->chargeFlagRestore(Opts.FullFlagSave);
+        Timing->chargeDirectJump(); // Straight to the fragment.
+      }
+      ++InlineHits;
+      countLookup(/*Hit=*/true);
+      return {true, Entry.HostEntryAddr};
+    }
+  }
+
+  LookupOutcome Outcome = Backing->lookup(SiteId, GuestTarget, Timing);
+  countLookup(Outcome.Hit);
+  return Outcome;
+}
+
+void InlineCacheHandler::record(uint32_t SiteId, uint32_t GuestTarget,
+                                uint32_t HostEntryAddr,
+                                arch::TimingModel *Timing) {
+  Site &S = Sites.at(SiteId);
+  if (S.Entries.size() < Opts.InlineCacheDepth) {
+    S.Entries.push_back({GuestTarget, HostEntryAddr});
+    if (Timing) {
+      // Patching the inline compare's immediate and jump target.
+      uint32_t EntryAddr =
+          S.CodeAddr + 8 +
+          static_cast<uint32_t>(S.Entries.size() - 1) * EntryBytes;
+      Timing->chargeStore(EntryAddr);
+      Timing->chargeStore(EntryAddr + 4);
+    }
+    return;
+  }
+  Backing->record(SiteId, GuestTarget, HostEntryAddr, Timing);
+}
+
+void InlineCacheHandler::flush() {
+  Sites.clear();
+  Backing->flush();
+}
+
+std::string InlineCacheHandler::statsSummary() const {
+  std::string Out = formatString(
+      "inline-cache: depth %u, lookups=%llu inline-hits=%llu (%.2f%%)\n",
+      Opts.InlineCacheDepth, static_cast<unsigned long long>(lookups()),
+      static_cast<unsigned long long>(InlineHits),
+      lookups() ? 100.0 * static_cast<double>(InlineHits) /
+                      static_cast<double>(lookups())
+                : 0.0);
+  Out += Backing->statsSummary();
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===- core/InlineCacheHandler.h - Per-site inline caching -------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inline caching layered over any backing mechanism: each IB site gets up
+/// to N inlined compare-and-jump predictions (filled first-come, the
+/// classic inline-cache policy). A monomorphic site resolves in a couple
+/// of well-predicted compares; megamorphic sites burn the compares and
+/// fall through to the backing mechanism — the tradeoff the paper's
+/// inline-depth sweep explores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_INLINECACHEHANDLER_H
+#define STRATAIB_CORE_INLINECACHEHANDLER_H
+
+#include "core/IBHandler.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace sdt {
+namespace core {
+
+/// Inline-cache wrapper. Owns the backing mechanism.
+class InlineCacheHandler : public IBHandler {
+public:
+  /// \p Backing must have been constructed with ChargeFlagSave=false —
+  /// this wrapper saves the flags once for the whole site sequence.
+  InlineCacheHandler(const SdtOptions &Opts,
+                     std::unique_ptr<IBHandler> Backing);
+
+  const char *name() const override { return "inline-cache"; }
+
+  void initialize(FragmentCache &Cache) override;
+
+  SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
+                    FragmentCache &Cache) override;
+
+  LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
+                       arch::TimingModel *Timing) override;
+
+  void record(uint32_t SiteId, uint32_t GuestTarget, uint32_t HostEntryAddr,
+              arch::TimingModel *Timing) override;
+
+  void flush() override;
+
+  std::string statsSummary() const override;
+
+  /// Hits served by an inlined entry (vs. the backing mechanism).
+  uint64_t inlineHits() const { return InlineHits; }
+
+  IBHandler &backing() { return *Backing; }
+
+private:
+  struct InlineEntry {
+    uint32_t GuestTarget = 0;
+    uint32_t HostEntryAddr = 0;
+  };
+
+  struct Site {
+    uint32_t CodeAddr = 0;
+    std::vector<InlineEntry> Entries; ///< Up to Opts.InlineCacheDepth.
+  };
+
+  static constexpr uint32_t EntryBytes = 12; ///< li + cmp + branch.
+
+  SdtOptions Opts;
+  std::unique_ptr<IBHandler> Backing;
+  std::unordered_map<uint32_t, Site> Sites;
+
+  uint64_t InlineHits = 0;
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_INLINECACHEHANDLER_H

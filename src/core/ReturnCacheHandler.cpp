@@ -1,0 +1,89 @@
+//===- core/ReturnCacheHandler.cpp -----------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See ReturnCacheHandler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ReturnCacheHandler.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+
+ReturnCacheHandler::ReturnCacheHandler(const SdtOptions &Opts) : Opts(Opts) {
+  assert(isPowerOf2(Opts.ReturnCacheEntries) &&
+         "return cache size must be a power of two");
+  Entries.assign(Opts.ReturnCacheEntries, Entry());
+}
+
+SiteCode ReturnCacheHandler::emitSite(uint32_t SiteId, IBClass Class,
+                                      uint32_t GuestPc,
+                                      FragmentCache &Cache) {
+  (void)GuestPc;
+  assert(Class == IBClass::Return && "return cache bound to a non-return");
+  (void)Class;
+  uint32_t Addr = Cache.allocateBytes(SiteBytes);
+  SiteCodeAddr[SiteId] = Addr;
+  return {Addr, SiteBytes};
+}
+
+LookupOutcome ReturnCacheHandler::lookup(uint32_t SiteId,
+                                         uint32_t GuestTarget,
+                                         arch::TimingModel *Timing) {
+  uint32_t Index =
+      hashAddress(HashKind::ShiftMask, GuestTarget, Opts.ReturnCacheEntries);
+  uint32_t EntryAddr = ReturnCacheRegionBase + Index * 8;
+  uint32_t SiteAddr = SiteCodeAddr.at(SiteId);
+
+  if (Timing) {
+    Timing->chargeCodeRange(SiteAddr + 4, SiteBytes - 4);
+    // No flag save: condition codes are dead across returns.
+    Timing->chargeAluOps(hashAluOpCount(HashKind::ShiftMask) + 1);
+    Timing->chargeLoad(EntryAddr);
+    Timing->chargeAluOps(1);
+  }
+
+  Entry &E = Entries[Index];
+  if (E.GuestTag == GuestTarget) {
+    if (Timing) {
+      Timing->chargeLoad(EntryAddr + 4);
+      Timing->chargeIndirectJump(SiteAddr, E.HostEntryAddr);
+    }
+    countLookup(/*Hit=*/true);
+    return {true, E.HostEntryAddr};
+  }
+  countLookup(/*Hit=*/false);
+  return {};
+}
+
+void ReturnCacheHandler::record(uint32_t SiteId, uint32_t GuestTarget,
+                                uint32_t HostEntryAddr,
+                                arch::TimingModel *Timing) {
+  (void)SiteId;
+  uint32_t Index =
+      hashAddress(HashKind::ShiftMask, GuestTarget, Opts.ReturnCacheEntries);
+  Entries[Index] = {GuestTarget, HostEntryAddr};
+  if (Timing) {
+    uint32_t EntryAddr = ReturnCacheRegionBase + Index * 8;
+    Timing->chargeStore(EntryAddr);
+    Timing->chargeStore(EntryAddr + 4);
+  }
+}
+
+void ReturnCacheHandler::flush() {
+  Entries.assign(Opts.ReturnCacheEntries, Entry());
+  SiteCodeAddr.clear();
+}
+
+std::string ReturnCacheHandler::statsSummary() const {
+  return formatString(
+      "return-cache: %u entries, lookups=%llu hits=%llu (%.2f%%)",
+      Opts.ReturnCacheEntries, static_cast<unsigned long long>(lookups()),
+      static_cast<unsigned long long>(hits()),
+      lookups() ? 100.0 * static_cast<double>(hits()) /
+                      static_cast<double>(lookups())
+                : 0.0);
+}

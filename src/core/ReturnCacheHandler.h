@@ -1,0 +1,63 @@
+//===- core/ReturnCacheHandler.h - Dedicated return cache --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct-mapped translation cache dedicated to returns. Returns are the
+/// dominant IB class, their target sets are small and strongly correlated
+/// with call sites, and condition codes are dead at function boundaries —
+/// so a small unshared table probed without a flag save serves them better
+/// than the general mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_RETURNCACHEHANDLER_H
+#define STRATAIB_CORE_RETURNCACHEHANDLER_H
+
+#include "core/IBHandler.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sdt {
+namespace core {
+
+/// Return-cache mechanism (only ever bound to IBClass::Return sites).
+class ReturnCacheHandler : public IBHandler {
+public:
+  explicit ReturnCacheHandler(const SdtOptions &Opts);
+
+  const char *name() const override { return "return-cache"; }
+
+  SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
+                    FragmentCache &Cache) override;
+
+  LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
+                       arch::TimingModel *Timing) override;
+
+  void record(uint32_t SiteId, uint32_t GuestTarget, uint32_t HostEntryAddr,
+              arch::TimingModel *Timing) override;
+
+  void flush() override;
+
+  std::string statsSummary() const override;
+
+private:
+  struct Entry {
+    uint32_t GuestTag = 0;
+    uint32_t HostEntryAddr = 0;
+  };
+
+  static constexpr uint32_t SiteBytes = 24;
+
+  SdtOptions Opts;
+  std::vector<Entry> Entries;
+  std::unordered_map<uint32_t, uint32_t> SiteCodeAddr;
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_RETURNCACHEHANDLER_H

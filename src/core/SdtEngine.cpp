@@ -1,0 +1,647 @@
+//===- core/SdtEngine.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See SdtEngine.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtEngine.h"
+
+#include "core/DispatcherHandler.h"
+#include "core/IbtcHandler.h"
+#include "core/InlineCacheHandler.h"
+#include "core/ReturnCacheHandler.h"
+#include "core/SieveHandler.h"
+#include "support/StringUtils.h"
+#include "vm/ExecSemantics.h"
+#include "vm/Syscalls.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::isa;
+using namespace sdt::vm;
+using arch::CycleCategory;
+using arch::TimingModel;
+
+/// Builds one mechanism instance (inline-cache wrapped when configured).
+static std::unique_ptr<IBHandler> makeHandler(const SdtOptions &Opts,
+                                              IBMechanism Mechanism) {
+  bool Wrapped = Opts.InlineCacheDepth > 0 &&
+                 Mechanism != IBMechanism::Dispatcher;
+  std::unique_ptr<IBHandler> Inner;
+  switch (Mechanism) {
+  case IBMechanism::Dispatcher:
+    Inner = std::make_unique<DispatcherHandler>();
+    break;
+  case IBMechanism::Ibtc:
+    Inner = std::make_unique<IbtcHandler>(Opts, /*ChargeFlagSave=*/!Wrapped);
+    break;
+  case IBMechanism::Sieve:
+    Inner =
+        std::make_unique<SieveHandler>(Opts, /*ChargeFlagSave=*/!Wrapped);
+    break;
+  }
+  if (Wrapped)
+    return std::make_unique<InlineCacheHandler>(Opts, std::move(Inner));
+  return Inner;
+}
+
+SdtEngine::SdtEngine(const Program &P, const SdtOptions &Opts,
+                     const ExecOptions &Exec)
+    : Opts(Opts), Exec(Exec), Memory(Exec.MemorySize),
+      Decoder(Memory, P.loadAddress(),
+              static_cast<uint32_t>(P.image().size()) & ~3u),
+      Cache(Opts.FragmentCacheBytes),
+      Main(makeHandler(Opts, Opts.Mechanism)), Xlate(Decoder, Cache, Opts) {
+  if (Opts.JumpMechanism && *Opts.JumpMechanism != Opts.Mechanism)
+    JumpH = makeHandler(Opts, *Opts.JumpMechanism);
+  if (Opts.CallMechanism && *Opts.CallMechanism != Opts.Mechanism)
+    CallH = makeHandler(Opts, *Opts.CallMechanism);
+  if (Opts.Returns == ReturnStrategy::ReturnCache)
+    ReturnH = std::make_unique<ReturnCacheHandler>(Opts);
+  if (Opts.Returns == ReturnStrategy::ShadowStack) {
+    assert(Opts.ShadowStackDepth > 0 && "shadow stack needs entries");
+    Shadow.resize(Opts.ShadowStackDepth);
+  }
+  Xlate.setHandlers(handlerFor(IBClass::Jump), handlerFor(IBClass::Call),
+                    handlerFor(IBClass::Return));
+  Main->initialize(Cache);
+  if (JumpH)
+    JumpH->initialize(Cache);
+  if (CallH)
+    CallH->initialize(Cache);
+  if (ReturnH)
+    ReturnH->initialize(Cache);
+
+  State.Pc = P.entry();
+  State.setReg(RegSP, Memory.stackTop() - 16);
+  State.setReg(RegFP, Memory.stackTop() - 16);
+}
+
+Expected<std::unique_ptr<SdtEngine>>
+SdtEngine::create(const Program &P, const SdtOptions &Opts,
+                  const ExecOptions &Exec) {
+  auto Engine =
+      std::unique_ptr<SdtEngine>(new SdtEngine(P, Opts, Exec));
+  if (!Engine->Memory.loadProgram(P))
+    return Error::failure("program image does not fit in guest memory");
+  return Engine;
+}
+
+void SdtEngine::finishTrace(Translator::TraceEnd End) {
+  assert(Recording && "finishTrace without active recording");
+  Recording = false;
+  TracedHeads.insert(TraceHead);
+
+  HostLoc OldLoc = Cache.lookup(TraceHead);
+  assert(OldLoc.valid() && "trace head lost its fragment");
+  uint32_t OldFrag = OldLoc.Frag;
+
+  Expected<HostLoc> TraceLoc = Xlate.buildTrace(
+      TraceHead, TraceOutcomes, TraceCtis, End, Exec.Timing, Stats);
+  if (!TraceLoc)
+    return; // Head stays marked; execution continues on the old path.
+
+  // Patch the old fragment's head into a trampoline so every existing
+  // link into it now reaches the trace.
+  HostInstr Trampoline;
+  Trampoline.Kind = HostOpKind::JumpHost;
+  Trampoline.TargetHost = *TraceLoc;
+  Trampoline.HostAddr = Cache.fragment(OldFrag).Code[0].HostAddr;
+  Trampoline.Linked = true;
+  Cache.fragment(OldFrag).Code[0] = Trampoline;
+  ++Stats.LinksPatched;
+  if (Exec.Timing) {
+    TimingModel::CategoryScope Scope(*Exec.Timing, CycleCategory::Link);
+    Exec.Timing->chargeLinkPatch();
+  }
+}
+
+void SdtEngine::flushEverything() {
+  Recording = false;
+  TracedHeads.clear();
+  Cache.flushAll();
+  Main->flush();
+  Main->initialize(Cache);
+  if (JumpH) {
+    JumpH->flush();
+    JumpH->initialize(Cache);
+  }
+  if (CallH) {
+    CallH->flush();
+    CallH->initialize(Cache);
+  }
+  if (ReturnH) {
+    ReturnH->flush();
+    ReturnH->initialize(Cache);
+  }
+  Xlate.clearSites();
+  ++Stats.Flushes;
+  // The translated-code footprint is gone; drop its I-cache lines.
+  if (Exec.Timing)
+    Exec.Timing->icache().flush();
+}
+
+HostLoc SdtEngine::dispatchTo(uint32_t GuestPc) {
+  ++Stats.DispatchEntries;
+  TimingModel *T = Exec.Timing;
+  if (T) {
+    TimingModel::CategoryScope Scope(*T, CycleCategory::Dispatch);
+    T->chargeContextSave();
+    T->chargeMapLookup();
+  }
+
+  HostLoc Loc = Cache.lookup(GuestPc);
+  if (!Loc.valid()) {
+    if (Cache.isFull())
+      flushEverything();
+    Expected<HostLoc> Translated = Xlate.translate(GuestPc, T, Stats);
+    if (!Translated) {
+      PendingFault = Translated.error().message();
+      return HostLoc();
+    }
+    Loc = *Translated;
+  }
+
+  if (T) {
+    TimingModel::CategoryScope Scope(*T, CycleCategory::Dispatch);
+    T->chargeContextRestore();
+  }
+  return Loc;
+}
+
+RunResult SdtEngine::run() {
+  RunResult Result;
+  SyscallContext Sys;
+  TimingModel *T = Exec.Timing;
+  uint64_t Executed = 0;
+  bool Done = false;
+
+  auto finish = [&](ExitReason Reason) {
+    Result.Reason = Reason;
+    Done = true;
+  };
+  auto fault = [&](const std::string &Message) {
+    Result.Reason = ExitReason::Fault;
+    Result.FaultMessage = Message;
+    Done = true;
+  };
+
+  // Trace recording: one guest CTI was retired. \p CondOutcome is -1 for
+  // unconditional transfers, else the branch direction.
+  auto recordCtiStep = [&](int CondOutcome) {
+    if (!Recording)
+      return;
+    if (CondOutcome >= 0)
+      TraceOutcomes.push_back(CondOutcome == 1);
+    ++TraceCtis;
+    if (TraceCtis >= Opts.MaxTraceBlocks)
+      finishTrace(Translator::TraceEnd::CtiBudget);
+  };
+
+  HostLoc Cur = dispatchTo(State.Pc);
+  if (!Cur.valid())
+    fault(PendingFault);
+
+  while (!Done) {
+    if (Executed >= Exec.MaxInstructions) {
+      finish(ExitReason::InstrLimit);
+      Result.Reason = ExitReason::InstrLimit;
+      break;
+    }
+
+    if (Cur.Index == 0) {
+      Fragment &Entered = Cache.fragment(Cur.Frag);
+      ++Entered.ExecCount;
+      if (Opts.InstrumentBlockCounts) {
+        ++BlockCounts[Entered.GuestEntry];
+        if (T) {
+          // The injected probe: load the block's counter, bump, store.
+          TimingModel::CategoryScope Scope(*T,
+                                           CycleCategory::Instrument);
+          uint32_t CounterAddr =
+              BlockCounterRegionBase + (Entered.GuestEntry & 0x03FFFFFC);
+          T->chargeLoad(CounterAddr);
+          T->chargeAluOps(1);
+          T->chargeStore(CounterAddr);
+        }
+      }
+      if (Opts.EnableTraces) {
+        if (Recording && Entered.GuestEntry == TraceHead &&
+            TraceCtis > 0) {
+          // The recorded path closed back on its head: emit the looping
+          // trace. The trampoline patched into this fragment's head takes
+          // effect on the very next instruction fetch below.
+          finishTrace(Translator::TraceEnd::CtiBudget);
+        } else if (!Recording &&
+                   Entered.ExecCount >= Opts.TraceHotThreshold &&
+                   !TracedHeads.count(Entered.GuestEntry)) {
+          Recording = true;
+          TraceHead = Entered.GuestEntry;
+          TraceOutcomes.clear();
+          TraceCtis = 0;
+        }
+      }
+    }
+
+    // Copy the op: any dispatch below may flush the cache and invalidate
+    // references into it (and finishTrace may patch Code[0] in place).
+    const HostInstr HI = Cache.fragment(Cur.Frag).Code[Cur.Index];
+
+    if (T) {
+      T->setCategory(CycleCategory::App);
+      T->chargeFetch(HI.HostAddr);
+    }
+    if (HI.CountsAsGuest)
+      ++Executed;
+
+    switch (HI.Kind) {
+    case HostOpKind::Guest: {
+      ExecEffect Effect = executeNonCti(HI.GuestI, State, Memory);
+      if (Effect.faulted()) {
+        fault(formatString("%s at pc=0x%x (addr=0x%x)", Effect.FaultReason,
+                           HI.GuestPc, Effect.Addr));
+        break;
+      }
+      if (T) {
+        if (Effect.IsMem) {
+          if (Effect.IsStore)
+            T->chargeStore(Effect.Addr);
+          else
+            T->chargeLoad(Effect.Addr);
+        } else {
+          T->chargeExecute(HI.GuestI);
+        }
+      }
+      ++Cur.Index;
+      break;
+    }
+
+    case HostOpKind::CondBranch: {
+      bool Taken = evalBranchCondition(HI.GuestI, State);
+      if (T)
+        T->chargeCondBranch(HI.HostAddr, Taken);
+      ++Result.Cti.CondBranches;
+      recordCtiStep(Taken ? 1 : 0);
+      // Layout: Index+1 = fall-through stub, Index+2 = taken stub.
+      Cur.Index += Taken ? 2 : 1;
+      break;
+    }
+
+    case HostOpKind::TraceBranch: {
+      bool Taken = evalBranchCondition(HI.GuestI, State);
+      if (T)
+        T->chargeCondBranch(HI.HostAddr, Taken);
+      ++Result.Cti.CondBranches;
+      recordCtiStep(Taken ? 1 : 0);
+      // The on-trace direction falls through past the off-trace stub at
+      // Index+1 — a trace turns its hot direction into straight-line
+      // code.
+      Cur.Index += (Taken == HI.OnTraceTaken) ? 2 : 1;
+      break;
+    }
+
+    case HostOpKind::Elided:
+      // A direct jump linearised away by trace formation: retires the
+      // guest instruction at zero simulated cost.
+      ++Result.Cti.DirectJumps;
+      recordCtiStep(-1);
+      ++Cur.Index;
+      break;
+
+    case HostOpKind::JumpHost:
+      if (T)
+        T->chargeDirectJump();
+      if (HI.CountsAsGuest) {
+        ++Result.Cti.DirectJumps;
+        recordCtiStep(-1);
+      }
+      Cur = HI.TargetHost;
+      break;
+
+    case HostOpKind::ExitStub: {
+      if (HI.CountsAsGuest) {
+        ++Result.Cti.DirectJumps;
+        recordCtiStep(-1);
+      }
+      uint64_t FlushesBefore = Cache.flushCount();
+      HostLoc Loc = dispatchTo(HI.TargetGuest);
+      if (!Loc.valid()) {
+        fault(PendingFault);
+        break;
+      }
+      if (Opts.LinkFragments && Cache.flushCount() == FlushesBefore) {
+        // Patch this stub into a direct fragment-to-fragment jump.
+        HostInstr &Orig = Cache.fragment(Cur.Frag).Code[Cur.Index];
+        Orig.Kind = HostOpKind::JumpHost;
+        Orig.TargetHost = Loc;
+        Orig.Linked = true;
+        ++Stats.LinksPatched;
+        if (T) {
+          TimingModel::CategoryScope Scope(*T, CycleCategory::Link);
+          T->chargeLinkPatch();
+        }
+      }
+      Cur = Loc;
+      break;
+    }
+
+    case HostOpKind::SetLink: {
+      uint32_t LinkValue = HI.TargetGuest;
+      bool NeedsHostAddr = Opts.Returns == ReturnStrategy::FastReturn ||
+                           Opts.Returns == ReturnStrategy::ShadowStack;
+      uint32_t ReturnPointHost = 0;
+      if (NeedsHostAddr) {
+        if (HI.Linked) {
+          ReturnPointHost = HI.TargetHostAddr;
+        } else {
+          // Resolve the return point's fragment now (translating it if
+          // needed) so a translated address is available at call time.
+          uint64_t FlushesBefore = Cache.flushCount();
+          HostLoc Loc = dispatchTo(HI.TargetGuest);
+          if (!Loc.valid()) {
+            fault(PendingFault);
+            break;
+          }
+          ReturnPointHost = Cache.fragment(Loc.Frag).HostEntryAddr;
+          if (Cache.flushCount() == FlushesBefore) {
+            HostInstr &Orig = Cache.fragment(Cur.Frag).Code[Cur.Index];
+            Orig.Linked = true;
+            Orig.TargetHostAddr = ReturnPointHost;
+          }
+        }
+      }
+      if (Opts.Returns == ReturnStrategy::FastReturn)
+        LinkValue = ReturnPointHost;
+      if (Opts.Returns == ReturnStrategy::ShadowStack) {
+        uint64_t Slot = ShadowTop % Opts.ShadowStackDepth;
+        Shadow[Slot] = {HI.TargetGuest, ReturnPointHost};
+        ++ShadowTop;
+        if (T) {
+          TimingModel::CategoryScope Scope(*T, CycleCategory::IBLookup);
+          uint32_t SlotAddr =
+              ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
+          T->chargeStore(SlotAddr);
+          T->chargeStore(SlotAddr + 4);
+          T->chargeAluOps(1); // Bump the shadow stack pointer.
+        }
+      }
+      State.setReg(HI.GuestI.Rd, LinkValue);
+      if (T) {
+        T->chargeAluOps(2); // Materialise the 32-bit link value.
+        T->predictor().pushReturn(LinkValue);
+      }
+      if (HI.CountsAsGuest) {
+        ++Result.Cti.DirectCalls;
+        recordCtiStep(-1);
+      } else {
+        ++Result.Cti.IndirectCalls; // Retired below by its IBLookup.
+      }
+      ++Cur.Index;
+      break;
+    }
+
+    case HostOpKind::IBLookup: {
+      if (Recording)
+        finishTrace(Translator::TraceEnd::AtIB);
+      uint32_t Target = State.reg(HI.GuestI.Rs1);
+      size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
+      ++Stats.IBExecs[ClassIdx];
+      switch (HI.SiteClass) {
+      case IBClass::Jump:
+        ++Result.Cti.IndirectJumps;
+        break;
+      case IBClass::Call:
+        break; // Counted at the preceding SetLink.
+      case IBClass::Return:
+        ++Result.Cti.Returns;
+        break;
+      }
+      if (Exec.CollectSiteTargets)
+        Result.SiteTargets[HI.GuestPc].insert(Target);
+
+      // Fast returns: a translated link value jumps straight to its
+      // fragment, with native-like return prediction.
+      if (HI.SiteClass == IBClass::Return &&
+          Opts.Returns == ReturnStrategy::FastReturn &&
+          Target >= FragmentCacheBase) {
+        if (T) {
+          TimingModel::CategoryScope Scope(*T, CycleCategory::IBLookup);
+          T->chargeReturn(Target);
+        }
+        HostLoc Loc = Cache.locForEntryAddr(Target);
+        if (Loc.valid()) {
+          ++Stats.FastReturnDirect;
+          Cur = Loc;
+          break;
+        }
+        // The fragment was flushed since the call; recover via its guest
+        // address.
+        uint32_t Guest = Cache.retiredGuestEntry(Target);
+        if (Guest == 0) {
+          fault(formatString(
+              "return to unknown translated address 0x%x at pc=0x%x",
+              Target, HI.GuestPc));
+          break;
+        }
+        HostLoc Redo = dispatchTo(Guest);
+        if (!Redo.valid()) {
+          fault(PendingFault);
+          break;
+        }
+        Cur = Redo;
+        break;
+      }
+      if (HI.SiteClass == IBClass::Return &&
+          Opts.Returns == ReturnStrategy::FastReturn)
+        ++Stats.FastReturnFallback;
+
+      // Shadow stack: probe the top entry before any general mechanism.
+      if (HI.SiteClass == IBClass::Return &&
+          Opts.Returns == ReturnStrategy::ShadowStack) {
+        bool Served = false;
+        if (ShadowTop > 0) {
+          uint64_t Slot = (ShadowTop - 1) % Opts.ShadowStackDepth;
+          auto [Guest, Host] = Shadow[Slot];
+          uint32_t SlotAddr =
+              ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
+          if (T) {
+            TimingModel::CategoryScope Scope(*T, CycleCategory::IBLookup);
+            T->chargeLoad(SlotAddr); // Guest tag.
+            T->chargeAluOps(2);      // Pointer math + compare.
+          }
+          --ShadowTop; // Pop on match *and* on mismatch (resync).
+          if (Guest == Target) {
+            if (T) {
+              TimingModel::CategoryScope Scope(*T,
+                                               CycleCategory::IBLookup);
+              T->chargeLoad(SlotAddr + 4); // Translated target.
+              T->chargeIndirectJump(HI.HostAddr, Host);
+            }
+            HostLoc Loc = Cache.locForEntryAddr(Host);
+            if (Loc.valid()) {
+              ++Stats.ShadowStackHits;
+              Cur = Loc;
+              Served = true;
+            } else {
+              // The fragment was flushed; redo by guest address.
+              ++Stats.ShadowStackMisses;
+              HostLoc Redo = dispatchTo(Target);
+              if (!Redo.valid()) {
+                fault(PendingFault);
+                break;
+              }
+              Cur = Redo;
+              Served = true;
+            }
+          } else {
+            ++Stats.ShadowStackMisses;
+            if (Opts.EnforceReturnIntegrity) {
+              fault(formatString(
+                  "return-address integrity violation at pc=0x%x: "
+                  "returning to 0x%x, shadow stack expected 0x%x",
+                  HI.GuestPc, Target, Guest));
+              break;
+            }
+          }
+        } else {
+          ++Stats.ShadowStackMisses;
+          if (Opts.EnforceReturnIntegrity) {
+            fault(formatString("return-address integrity violation at "
+                               "pc=0x%x: return with empty shadow stack",
+                               HI.GuestPc));
+            break;
+          }
+        }
+        if (Served)
+          break;
+        // Otherwise fall through to the general mechanism below.
+      }
+
+      IBHandler *H = handlerFor(HI.SiteClass);
+      LookupOutcome Outcome;
+      {
+        if (T)
+          T->setCategory(CycleCategory::IBLookup);
+        Outcome = H->lookup(HI.SiteId, Target, T);
+        if (T)
+          T->setCategory(CycleCategory::App);
+      }
+      if (Outcome.Hit) {
+        ++Stats.IBInlineHits[ClassIdx];
+        HostLoc Loc = Cache.locForEntryAddr(Outcome.HostEntryAddr);
+        assert(Loc.valid() &&
+               "IB mechanism returned a non-live fragment address");
+        Cur = Loc;
+        break;
+      }
+
+      uint64_t FlushesBefore = Cache.flushCount();
+      HostLoc Loc = dispatchTo(Target);
+      if (!Loc.valid()) {
+        fault(PendingFault);
+        break;
+      }
+      if (Cache.flushCount() == FlushesBefore) {
+        uint32_t EntryAddr = Cache.fragment(Loc.Frag).HostEntryAddr;
+        if (T)
+          T->setCategory(CycleCategory::IBLookup);
+        H->record(HI.SiteId, Target, EntryAddr, T);
+        if (T)
+          T->setCategory(CycleCategory::App);
+      }
+      Cur = Loc;
+      break;
+    }
+
+    case HostOpKind::SyscallOp: {
+      if (Recording)
+        finishTrace(Translator::TraceEnd::AtStop);
+      ++Stats.Syscalls;
+      if (T)
+        T->chargeSyscall();
+      int32_t ExitCode = 0;
+      const char *Reason = nullptr;
+      SyscallOutcome Outcome =
+          executeSyscall(State, Memory, Sys, ExitCode, Reason);
+      if (Outcome == SyscallOutcome::Fault) {
+        fault(formatString("%s at pc=0x%x", Reason, HI.GuestPc));
+        break;
+      }
+      if (Outcome == SyscallOutcome::Exit) {
+        Result.ExitCode = ExitCode;
+        finish(ExitReason::Exited);
+        break;
+      }
+      ++Cur.Index;
+      break;
+    }
+
+    case HostOpKind::HaltOp:
+      if (Recording)
+        finishTrace(Translator::TraceEnd::AtStop);
+      finish(ExitReason::Halted);
+      break;
+    }
+  }
+
+  Result.Output = std::move(Sys.Output);
+  Result.Checksum = Sys.Checksum;
+  Result.InstructionCount = Executed;
+  return Result;
+}
+
+std::string SdtEngine::report() const {
+  std::string Out;
+  Out += formatString("config: %s\n", Opts.describe().c_str());
+  Out += formatString(
+      "fragments=%llu guest-instrs-translated=%llu flushes=%llu "
+      "dispatches=%llu links=%llu\n",
+      static_cast<unsigned long long>(Stats.FragmentsTranslated),
+      static_cast<unsigned long long>(Stats.GuestInstrsTranslated),
+      static_cast<unsigned long long>(Stats.Flushes),
+      static_cast<unsigned long long>(Stats.DispatchEntries),
+      static_cast<unsigned long long>(Stats.LinksPatched));
+  if (Opts.EnableTraces)
+    Out += formatString(
+        "traces=%llu trace-guest-instrs=%llu\n",
+        static_cast<unsigned long long>(Stats.TracesBuilt),
+        static_cast<unsigned long long>(Stats.TraceGuestInstrs));
+  for (unsigned C = 0; C != NumIBClasses; ++C) {
+    IBClass Class = static_cast<IBClass>(C);
+    Out += formatString("%-9s execs=%llu inline-hit-rate=%.2f%%\n",
+                        ibClassName(Class),
+                        static_cast<unsigned long long>(Stats.IBExecs[C]),
+                        100.0 * Stats.inlineHitRate(Class));
+  }
+  if (Opts.Returns == ReturnStrategy::FastReturn)
+    Out += formatString(
+        "fast-return: direct=%llu fallback=%llu\n",
+        static_cast<unsigned long long>(Stats.FastReturnDirect),
+        static_cast<unsigned long long>(Stats.FastReturnFallback));
+  if (Opts.Returns == ReturnStrategy::ShadowStack)
+    Out += formatString(
+        "shadow-stack: hits=%llu misses=%llu\n",
+        static_cast<unsigned long long>(Stats.ShadowStackHits),
+        static_cast<unsigned long long>(Stats.ShadowStackMisses));
+  std::string MainStats = Main->statsSummary();
+  if (!MainStats.empty())
+    Out += MainStats + "\n";
+  if (JumpH) {
+    std::string JumpStats = JumpH->statsSummary();
+    if (!JumpStats.empty())
+      Out += "jumps: " + JumpStats + "\n";
+  }
+  if (CallH) {
+    std::string CallStats = CallH->statsSummary();
+    if (!CallStats.empty())
+      Out += "calls: " + CallStats + "\n";
+  }
+  if (ReturnH) {
+    std::string RetStats = ReturnH->statsSummary();
+    if (!RetStats.empty())
+      Out += RetStats + "\n";
+  }
+  return Out;
+}

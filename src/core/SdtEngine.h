@@ -1,0 +1,136 @@
+//===- core/SdtEngine.h - The SDT execution engine ---------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The software-dynamic-translation engine: dispatcher, fragment-cache
+/// execution, fragment linking, and the configured indirect-branch
+/// mechanisms. Running a program here is observably identical to the
+/// reference interpreter (same output, checksum, exit state, instruction
+/// count); what differs — and what the benchmarks measure — is the cycle
+/// cost charged to the shared timing model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_SDTENGINE_H
+#define STRATAIB_CORE_SDTENGINE_H
+
+#include "core/FragmentCache.h"
+#include "core/IBHandler.h"
+#include "core/SdtOptions.h"
+#include "core/SdtStats.h"
+#include "core/Translator.h"
+#include "isa/Program.h"
+#include "support/Error.h"
+#include "vm/GuestMemory.h"
+#include "vm/GuestState.h"
+#include "vm/GuestVM.h"
+#include "vm/RunResult.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace sdt {
+namespace core {
+
+/// The SDT engine. Create one per run.
+class SdtEngine {
+public:
+  /// Loads \p P and configures mechanisms per \p Opts. Initial register
+  /// state matches GuestVM exactly.
+  static Expected<std::unique_ptr<SdtEngine>>
+  create(const isa::Program &P, const SdtOptions &Opts,
+         const vm::ExecOptions &Exec);
+
+  /// Runs under translation until exit/halt/fault/instruction budget.
+  vm::RunResult run();
+
+  const SdtStats &stats() const { return Stats; }
+  const SdtOptions &options() const { return Opts; }
+  FragmentCache &fragmentCache() { return Cache; }
+  const std::vector<IBSiteInfo> &sites() const { return Xlate.sites(); }
+
+  /// The main mechanism (jumps/calls; also returns unless a dedicated
+  /// strategy is configured).
+  IBHandler &mainHandler() { return *Main; }
+  /// The dedicated return mechanism, or the main one.
+  IBHandler &returnHandler() { return ReturnH ? *ReturnH : *Main; }
+
+  /// Multi-line report: stats counters + mechanism summaries.
+  std::string report() const;
+
+  /// Per-block execution counts (guest block entry → executions), valid
+  /// after run() when Opts.InstrumentBlockCounts is set.
+  const std::map<uint32_t, uint64_t> &blockCounts() const {
+    return BlockCounts;
+  }
+
+  vm::GuestState &state() { return State; }
+  vm::GuestMemory &memory() { return Memory; }
+
+private:
+  SdtEngine(const isa::Program &P, const SdtOptions &Opts,
+            const vm::ExecOptions &Exec);
+
+  /// The slow path: context switch, map lookup, translate on miss.
+  /// Invalid HostLoc + FaultMessage on translation failure.
+  HostLoc dispatchTo(uint32_t GuestPc);
+
+  /// Ends the active trace recording: builds the trace fragment, points
+  /// the guest map at it, and patches the old fragment's head into a
+  /// trampoline. Safe to call mid-execution (only Code[0] of the old
+  /// fragment changes).
+  void finishTrace(Translator::TraceEnd End);
+
+  /// Flushes the fragment cache and all mechanism state.
+  void flushEverything();
+
+  IBHandler *handlerFor(IBClass Class) {
+    if (Class == IBClass::Return && ReturnH)
+      return ReturnH.get();
+    if (Class == IBClass::Jump && JumpH)
+      return JumpH.get();
+    if (Class == IBClass::Call && CallH)
+      return CallH.get();
+    return Main.get();
+  }
+
+  SdtOptions Opts;
+  vm::ExecOptions Exec;
+  vm::GuestMemory Memory;
+  vm::GuestState State;
+  vm::DecodeCache Decoder;
+  FragmentCache Cache;
+  std::unique_ptr<IBHandler> Main;
+  std::unique_ptr<IBHandler> JumpH; ///< Only when JumpMechanism overrides.
+  std::unique_ptr<IBHandler> CallH; ///< Only when CallMechanism overrides.
+  std::unique_ptr<IBHandler> ReturnH; ///< Only for ReturnStrategy::ReturnCache.
+  Translator Xlate;
+  SdtStats Stats;
+  std::string PendingFault; ///< Set by dispatchTo on translation failure.
+
+  /// Software shadow stack (ReturnStrategy::ShadowStack): (guest return
+  /// address, translated entry address) pairs; wraps at
+  /// Opts.ShadowStackDepth.
+  std::vector<std::pair<uint32_t, uint32_t>> Shadow;
+  uint64_t ShadowTop = 0; ///< Count of pushes (not reset by wrap).
+
+  /// Instrumentation results (InstrumentBlockCounts).
+  std::map<uint32_t, uint64_t> BlockCounts;
+
+  // --- Trace recording (EnableTraces) ---------------------------------
+  bool Recording = false;
+  uint32_t TraceHead = 0;
+  std::vector<bool> TraceOutcomes; ///< Conditional directions, path order.
+  unsigned TraceCtis = 0;          ///< Guest CTIs recorded so far.
+  std::set<uint32_t> TracedHeads;  ///< Heads already traced (or aborted).
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_SDTENGINE_H

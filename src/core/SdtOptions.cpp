@@ -1,0 +1,92 @@
+//===- core/SdtOptions.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See SdtOptions.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtOptions.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+
+const char *sdt::core::ibClassName(IBClass C) {
+  switch (C) {
+  case IBClass::Jump:
+    return "ind-jump";
+  case IBClass::Call:
+    return "ind-call";
+  case IBClass::Return:
+    return "return";
+  }
+  assert(false && "invalid IB class");
+  return "?";
+}
+
+const char *sdt::core::ibMechanismName(IBMechanism M) {
+  switch (M) {
+  case IBMechanism::Dispatcher:
+    return "dispatcher";
+  case IBMechanism::Ibtc:
+    return "ibtc";
+  case IBMechanism::Sieve:
+    return "sieve";
+  }
+  assert(false && "invalid mechanism");
+  return "?";
+}
+
+const char *sdt::core::returnStrategyName(ReturnStrategy S) {
+  switch (S) {
+  case ReturnStrategy::AsIndirect:
+    return "as-indirect";
+  case ReturnStrategy::ReturnCache:
+    return "return-cache";
+  case ReturnStrategy::FastReturn:
+    return "fast-return";
+  case ReturnStrategy::ShadowStack:
+    return "shadow-stack";
+  }
+  assert(false && "invalid return strategy");
+  return "?";
+}
+
+std::string SdtOptions::describe() const {
+  std::string Mech;
+  switch (Mechanism) {
+  case IBMechanism::Dispatcher:
+    Mech = "dispatcher";
+    break;
+  case IBMechanism::Ibtc:
+    Mech = formatString("ibtc(%s,%u%s,%s)",
+                        IbtcShared ? "shared" : "private", IbtcEntries,
+                        IbtcAssociativity > 1
+                            ? formatString("x%u", IbtcAssociativity).c_str()
+                            : "",
+                        FullFlagSave ? "full" : "light");
+    break;
+  case IBMechanism::Sieve:
+    Mech = formatString("sieve(%u,%s)", SieveBuckets,
+                        FullFlagSave ? "full" : "light");
+    break;
+  }
+  std::string Out = Mech;
+  if (JumpMechanism && *JumpMechanism != Mechanism)
+    Out += formatString(" jumps=%s", ibMechanismName(*JumpMechanism));
+  if (CallMechanism && *CallMechanism != Mechanism)
+    Out += formatString(" calls=%s", ibMechanismName(*CallMechanism));
+  Out += formatString(" returns=%s", returnStrategyName(Returns));
+  if (Returns == ReturnStrategy::ReturnCache)
+    Out += formatString("(%u)", ReturnCacheEntries);
+  if (InlineCacheDepth != 0)
+    Out += formatString(" inline=%u", InlineCacheDepth);
+  if (!LinkFragments)
+    Out += " nolink";
+  if (EnableTraces)
+    Out += formatString(" traces(hot=%u,max=%u)", TraceHotThreshold,
+                        MaxTraceBlocks);
+  return Out;
+}

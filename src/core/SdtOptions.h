@@ -1,0 +1,166 @@
+//===- core/SdtOptions.h - SDT configuration ---------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every knob the paper sweeps, in one configuration struct: which IB
+/// translation mechanism backs indirect jumps and calls, how returns are
+/// handled, table/bucket sizes, flag-save flavour, inline-cache depth, and
+/// fragment-cache parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_SDTOPTIONS_H
+#define STRATAIB_CORE_SDTOPTIONS_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sdt {
+namespace core {
+
+/// The three dynamic indirect-branch classes the paper distinguishes.
+enum class IBClass : uint8_t { Jump = 0, Call = 1, Return = 2 };
+
+inline constexpr unsigned NumIBClasses = 3;
+
+/// Returns "ind-jump", "ind-call", or "return".
+const char *ibClassName(IBClass C);
+
+/// Which mechanism translates indirect jump/call targets.
+enum class IBMechanism : uint8_t {
+  /// Baseline: every IB re-enters the dispatcher (full context switch +
+  /// translation-map lookup).
+  Dispatcher,
+  /// Indirect Branch Translation Cache: a data-cache-resident hash table
+  /// of (guest target, translated target) pairs probed by inline code.
+  Ibtc,
+  /// The sieve: an instruction-cache-resident dispatch structure — the
+  /// target hashes into a bucket of compare-and-branch stubs in the
+  /// fragment cache.
+  Sieve,
+};
+
+/// Returns "dispatcher", "ibtc", or "sieve".
+const char *ibMechanismName(IBMechanism M);
+
+/// How `ret` instructions are translated.
+enum class ReturnStrategy : uint8_t {
+  /// Returns go through the same mechanism as other IBs.
+  AsIndirect,
+  /// A dedicated direct-mapped return cache.
+  ReturnCache,
+  /// Fast returns: calls write the *translated* return address into the
+  /// link register, so a return is a bare jump (with a transparency
+  /// fallback when the link value is still a guest address).
+  FastReturn,
+  /// A software shadow stack: calls push (guest return address,
+  /// translated address) pairs; returns pop and compare. Fully
+  /// transparent (the link register keeps its guest value), at the cost
+  /// of per-call pushes and a memory-indirect jump per return.
+  ShadowStack,
+};
+
+/// Returns "as-indirect", "return-cache", "fast-return", or
+/// "shadow-stack".
+const char *returnStrategyName(ReturnStrategy S);
+
+/// Full SDT configuration.
+struct SdtOptions {
+  IBMechanism Mechanism = IBMechanism::Ibtc;
+  ReturnStrategy Returns = ReturnStrategy::AsIndirect;
+
+  /// Per-class overrides: translate indirect jumps (or calls) with a
+  /// different mechanism than `Mechanism`. An overridden class gets its
+  /// own mechanism instance (own tables/stubs); classes without an
+  /// override share the main instance.
+  std::optional<IBMechanism> JumpMechanism;
+  std::optional<IBMechanism> CallMechanism;
+
+  // --- IBTC ---------------------------------------------------------------
+  /// Entries per IBTC table (power of two).
+  uint32_t IbtcEntries = 4096;
+  /// One table shared by all sites (true) or one table per IB site.
+  bool IbtcShared = true;
+  /// Hash used to index IBTC tables.
+  HashKind IbtcHash = HashKind::ShiftMask;
+  /// Ways per IBTC set (power of two, <= IbtcEntries). 1 = direct-mapped
+  /// (the classic organisation); higher associativity trades extra inline
+  /// probes for fewer conflict evictions.
+  uint32_t IbtcAssociativity = 1;
+  /// Adaptive sizing: start at IbtcEntries and quadruple a table whenever
+  /// conflict replacements exceed a quarter of its capacity (rehashing
+  /// the live entries), up to IbtcMaxEntries. Sizes the table to the
+  /// program instead of provisioning for the worst case.
+  bool IbtcAdaptive = false;
+  uint32_t IbtcMaxEntries = 65536;
+
+  // --- Sieve ---------------------------------------------------------------
+  /// Number of sieve buckets (power of two).
+  uint32_t SieveBuckets = 4096;
+  /// Hash used to pick a sieve bucket.
+  HashKind SieveHash = HashKind::ShiftMask;
+
+  // --- Shared lookup-code options -----------------------------------------
+  /// Preserve condition codes around inline lookup code the expensive
+  /// architectural way (pushf-style) instead of the light way
+  /// (lahf-style). The paper's headline x86 ablation.
+  bool FullFlagSave = false;
+
+  /// Inline cache entries emitted at each IB site before falling back to
+  /// the configured mechanism. 0 disables inlining.
+  unsigned InlineCacheDepth = 0;
+
+  // --- Return cache ------------------------------------------------------
+  uint32_t ReturnCacheEntries = 512;
+
+  // --- Shadow stack -----------------------------------------------------
+  /// Entries in the software shadow stack (wraps on overflow, like a
+  /// hardware RAS).
+  uint32_t ShadowStackDepth = 1024;
+  /// Security mode (requires ReturnStrategy::ShadowStack): a return whose
+  /// target does not match the shadow-stack top is treated as a
+  /// return-address integrity violation and faults instead of falling
+  /// back — the classic SDT-based ROP defence. Assumes call depth stays
+  /// within ShadowStackDepth.
+  bool EnforceReturnIntegrity = false;
+
+  // --- Instrumentation (the "SDT as instrumentation platform" use) ------
+  /// Inject a basic-block execution counter probe at every fragment
+  /// entry (modeled cost: load + add + store on a per-block counter).
+  /// Counts are reported via SdtEngine::blockCounts().
+  bool InstrumentBlockCounts = false;
+
+  // --- Fragment cache -------------------------------------------------------
+  uint32_t FragmentCacheBytes = 8 * 1024 * 1024;
+  uint32_t MaxFragmentInstrs = 128;
+  /// Patch direct-branch exits to jump fragment-to-fragment (fragment
+  /// linking). Disabling it recreates the pre-linking overhead world.
+  bool LinkFragments = true;
+
+  // --- Traces (NET-style superblocks) -------------------------------------
+  /// Re-translate hot paths into linear traces: conditional branches are
+  /// laid out so the observed direction falls through, direct jumps are
+  /// eliminated, and direct calls are followed inline. Traces end at the
+  /// first indirect branch — which is exactly why IB handling remains
+  /// the residual overhead even in trace-based SDTs.
+  bool EnableTraces = false;
+  /// Fragment-entry executions before its path is recorded as a trace.
+  uint32_t TraceHotThreshold = 50;
+  /// Maximum control transfers recorded into one trace.
+  uint32_t MaxTraceBlocks = 16;
+
+  /// Short human-readable description for benchmark output, e.g.
+  /// "ibtc(shared,4096,light) returns=fast-return inline=1".
+  std::string describe() const;
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_SDTOPTIONS_H

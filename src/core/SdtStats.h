@@ -1,0 +1,80 @@
+//===- core/SdtStats.h - SDT event accounting --------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event counters the SDT engine maintains: translation volume, dispatcher
+/// entries, link patches, and per-class indirect-branch executions and
+/// inline-hit counts — the numerators and denominators of every table in
+/// the evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_SDTSTATS_H
+#define STRATAIB_CORE_SDTSTATS_H
+
+#include "core/SdtOptions.h"
+
+#include <array>
+#include <cstdint>
+
+namespace sdt {
+namespace core {
+
+/// Engine-level event counters.
+struct SdtStats {
+  uint64_t FragmentsTranslated = 0;
+  uint64_t GuestInstrsTranslated = 0;
+  uint64_t Flushes = 0;
+  /// Slow-path entries (context switch + map lookup): initial entry,
+  /// unlinked stubs, and IB-lookup misses.
+  uint64_t DispatchEntries = 0;
+  uint64_t LinksPatched = 0;
+  uint64_t Syscalls = 0;
+
+  /// Dynamic executions per IB class (Jump/Call/Return by IBClass value).
+  std::array<uint64_t, NumIBClasses> IBExecs{};
+  /// Executions resolved by the inline mechanism (no dispatcher).
+  std::array<uint64_t, NumIBClasses> IBInlineHits{};
+
+  /// Returns taken directly through a translated (fast-return) address.
+  uint64_t FastReturnDirect = 0;
+  /// Returns whose link value was still a guest address (transparency
+  /// fallback to the general mechanism).
+  uint64_t FastReturnFallback = 0;
+
+  /// Hot-path traces built (EnableTraces).
+  uint64_t TracesBuilt = 0;
+  /// Guest instructions translated into traces (also included in
+  /// GuestInstrsTranslated).
+  uint64_t TraceGuestInstrs = 0;
+
+  /// Returns served by the shadow stack's top entry.
+  uint64_t ShadowStackHits = 0;
+  /// Returns whose target did not match the shadow-stack top (or found
+  /// it empty/stale) and fell back to the general mechanism.
+  uint64_t ShadowStackMisses = 0;
+
+  uint64_t ibExecTotal() const {
+    return IBExecs[0] + IBExecs[1] + IBExecs[2];
+  }
+
+  /// Fraction of class-\p C executions served without the dispatcher.
+  /// Fast-return and shadow-stack hits count for the Return class.
+  double inlineHitRate(IBClass C) const {
+    uint64_t Execs = IBExecs[static_cast<size_t>(C)];
+    if (Execs == 0)
+      return 0.0;
+    uint64_t Hits = IBInlineHits[static_cast<size_t>(C)];
+    if (C == IBClass::Return)
+      Hits += FastReturnDirect + ShadowStackHits;
+    return static_cast<double>(Hits) / static_cast<double>(Execs);
+  }
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_SDTSTATS_H

@@ -1,0 +1,137 @@
+//===- core/SieveHandler.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See SieveHandler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SieveHandler.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+
+SieveHandler::SieveHandler(const SdtOptions &Opts, bool ChargeFlagSave)
+    : Opts(Opts), ChargeFlagSave(ChargeFlagSave) {
+  assert(isPowerOf2(Opts.SieveBuckets) &&
+         "sieve bucket count must be a power of two");
+  Buckets.resize(Opts.SieveBuckets);
+}
+
+void SieveHandler::initialize(FragmentCache &Cache) {
+  this->Cache = &Cache;
+  // The bucket headers are code: a table of jump slots the site's computed
+  // jump lands in, each initially a trampoline to the dispatcher.
+  HeadersAddr = Cache.allocateBytes(Opts.SieveBuckets * HeaderBytes);
+}
+
+SiteCode SieveHandler::emitSite(uint32_t SiteId, IBClass Class,
+                                uint32_t GuestPc, FragmentCache &Cache) {
+  (void)Class;
+  (void)GuestPc;
+  uint32_t Addr = Cache.allocateBytes(SiteBytes);
+  SiteCodeAddr[SiteId] = Addr;
+  return {Addr, SiteBytes};
+}
+
+LookupOutcome SieveHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
+                                   arch::TimingModel *Timing) {
+  uint32_t Bucket =
+      hashAddress(Opts.SieveHash, GuestTarget, Opts.SieveBuckets);
+  uint32_t SiteAddr = SiteCodeAddr.at(SiteId);
+  uint32_t HeaderAddr = HeadersAddr + Bucket * HeaderBytes;
+
+  if (Timing) {
+    Timing->chargeCodeRange(SiteAddr + 4, SiteBytes - 4);
+    if (ChargeFlagSave)
+      Timing->chargeFlagSave(Opts.FullFlagSave);
+    Timing->chargeAluOps(hashAluOpCount(Opts.SieveHash) + 1); // + addr calc
+    // The computed jump into the bucket header (an indirect branch the
+    // BTB must predict).
+    Timing->chargeIndirectJump(SiteAddr, HeaderAddr);
+    Timing->chargeCodeRange(HeaderAddr, HeaderBytes);
+  }
+
+  const std::vector<Stub> &Chain = Buckets[Bucket];
+  for (size_t I = 0, E = Chain.size(); I != E; ++I) {
+    const Stub &S = Chain[I];
+    bool Match = S.GuestTarget == GuestTarget;
+    if (Timing) {
+      // One compare-and-branch stub: fetch, materialise/compare the tag
+      // (per-machine op count), then a *conditional* branch the
+      // predictor must get right — chain walks are mispredict-prone.
+      Timing->chargeCodeRange(S.StubAddr, StubBytes);
+      Timing->chargeAluOps(Timing->model().SieveStubOps);
+      Timing->chargeCondBranch(S.StubAddr, Match);
+    }
+    if (Match) {
+      if (Timing) {
+        if (ChargeFlagSave)
+          Timing->chargeFlagRestore(Opts.FullFlagSave);
+        Timing->chargeDirectJump(); // Stub jumps straight to the fragment.
+      }
+      ChainLengths.addSample(I + 1);
+      countLookup(/*Hit=*/true);
+      return {true, S.HostEntryAddr};
+    }
+  }
+
+  // Chain exhausted: the final fall-through trampolines to the dispatcher.
+  if (Timing)
+    Timing->chargeDirectJump();
+  ChainLengths.addSample(Chain.size());
+  countLookup(/*Hit=*/false);
+  return {};
+}
+
+void SieveHandler::record(uint32_t SiteId, uint32_t GuestTarget,
+                          uint32_t HostEntryAddr,
+                          arch::TimingModel *Timing) {
+  (void)SiteId;
+  assert(Cache && "sieve used before initialize()");
+  uint32_t Bucket =
+      hashAddress(Opts.SieveHash, GuestTarget, Opts.SieveBuckets);
+
+  // Avoid duplicate stubs for the same target (can happen when multiple
+  // sites miss on the same target before any stub exists).
+  for (const Stub &S : Buckets[Bucket])
+    if (S.GuestTarget == GuestTarget)
+      return;
+
+  Stub S;
+  S.GuestTarget = GuestTarget;
+  S.HostEntryAddr = HostEntryAddr;
+  S.StubAddr = Cache->allocateBytes(StubBytes);
+  Buckets[Bucket].push_back(S);
+  ++Stubs;
+
+  if (Timing) {
+    // Writing the stub into the code cache (code is data to the writer).
+    Timing->chargeStore(S.StubAddr);
+    Timing->chargeStore(S.StubAddr + 4);
+    Timing->chargeStore(S.StubAddr + 8);
+  }
+}
+
+void SieveHandler::flush() {
+  for (std::vector<Stub> &B : Buckets)
+    B.clear();
+  SiteCodeAddr.clear();
+  Stubs = 0;
+  // initialize() reallocates the headers after the cache flush.
+}
+
+std::string SieveHandler::statsSummary() const {
+  return formatString(
+      "sieve: %u buckets, stubs=%llu, lookups=%llu hits=%llu (%.2f%%), "
+      "mean chain=%.2f",
+      Opts.SieveBuckets, static_cast<unsigned long long>(Stubs),
+      static_cast<unsigned long long>(lookups()),
+      static_cast<unsigned long long>(hits()),
+      lookups() ? 100.0 * static_cast<double>(hits()) /
+                      static_cast<double>(lookups())
+                : 0.0,
+      ChainLengths.mean());
+}

@@ -1,0 +1,86 @@
+//===- core/SieveHandler.h - I-cache-resident sieve dispatch -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sieve: instead of probing a data table, the IB site's inline code
+/// hashes the target and jumps *into code* — a bucket of
+/// compare-and-branch stubs allocated in the fragment cache. Each stub
+/// compares the dynamic target against one known guest address and either
+/// jumps straight to its translated fragment or falls through to the next
+/// stub; the last stub trampolines to the dispatcher. Lookup traffic is
+/// therefore instruction-cache traffic, the sieve's defining contrast with
+/// the data-resident IBTC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_SIEVEHANDLER_H
+#define STRATAIB_CORE_SIEVEHANDLER_H
+
+#include "core/IBHandler.h"
+#include "support/Statistics.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sdt {
+namespace core {
+
+/// Sieve mechanism.
+class SieveHandler : public IBHandler {
+public:
+  /// \p ChargeFlagSave as in IbtcHandler.
+  SieveHandler(const SdtOptions &Opts, bool ChargeFlagSave = true);
+
+  const char *name() const override { return "sieve"; }
+
+  /// Preallocates the bucket-header jump slots in the fragment cache.
+  void initialize(FragmentCache &Cache) override;
+
+  SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
+                    FragmentCache &Cache) override;
+
+  LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
+                       arch::TimingModel *Timing) override;
+
+  void record(uint32_t SiteId, uint32_t GuestTarget, uint32_t HostEntryAddr,
+              arch::TimingModel *Timing) override;
+
+  void flush() override;
+
+  std::string statsSummary() const override;
+
+  /// Total compare-and-branch stubs currently allocated.
+  uint64_t stubCount() const { return Stubs; }
+  /// Distribution of stubs visited per lookup.
+  const Histogram &chainLengthHistogram() const { return ChainLengths; }
+
+private:
+  struct Stub {
+    uint32_t GuestTarget = 0;
+    uint32_t HostEntryAddr = 0;
+    uint32_t StubAddr = 0;
+  };
+
+  static constexpr uint32_t StubBytes = 12;   ///< cmp + branch + jump.
+  static constexpr uint32_t HeaderBytes = 8;  ///< per-bucket jump slot.
+  static constexpr uint32_t SiteBytes = 24;   ///< inline hash + jump.
+
+  SdtOptions Opts;
+  bool ChargeFlagSave;
+  FragmentCache *Cache = nullptr;
+
+  uint32_t HeadersAddr = 0; ///< Base of the bucket-header slots.
+  std::vector<std::vector<Stub>> Buckets;
+  std::unordered_map<uint32_t, uint32_t> SiteCodeAddr;
+
+  uint64_t Stubs = 0;
+  Histogram ChainLengths{16, 1};
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_SIEVEHANDLER_H

@@ -1,0 +1,342 @@
+//===- core/Translator.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Translator.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Translator.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::isa;
+
+namespace {
+
+/// Appends one host op to \p Frag at the cache's next simulated address.
+void emitOp(FragmentCache &Cache, Fragment &Frag, HostInstr HI) {
+  HI.HostAddr = Cache.allocateBytes(hostOpBytes(HI.Kind));
+  Frag.Code.push_back(HI);
+}
+
+void emitExitStub(FragmentCache &Cache, Fragment &Frag, uint32_t Target,
+                  bool Counts) {
+  HostInstr HI;
+  HI.Kind = HostOpKind::ExitStub;
+  HI.TargetGuest = Target;
+  HI.CountsAsGuest = Counts;
+  emitOp(Cache, Frag, HI);
+}
+
+} // namespace
+
+Translator::Translator(vm::DecodeCache &Decoder, FragmentCache &Cache,
+                       const SdtOptions &Opts)
+    : Decoder(Decoder), Cache(Cache), Opts(Opts) {}
+
+void Translator::setHandlers(IBHandler *Jump, IBHandler *Call,
+                             IBHandler *Returns) {
+  assert(Jump && Call && Returns && "translator needs all handlers bound");
+  Handlers[static_cast<size_t>(IBClass::Jump)] = Jump;
+  Handlers[static_cast<size_t>(IBClass::Call)] = Call;
+  Handlers[static_cast<size_t>(IBClass::Return)] = Returns;
+}
+
+/// Emits an IB-lookup site through the bound mechanism (registers it in
+/// the site table).
+static void emitIBSite(Translator &X, std::vector<IBSiteInfo> &Sites,
+                       FragmentCache &Cache, Fragment &Frag, IBClass Class,
+                       uint32_t Pc, unsigned TargetReg) {
+  uint32_t SiteId = static_cast<uint32_t>(Sites.size());
+  SiteCode Code = X.handlerFor(Class)->emitSite(SiteId, Class, Pc, Cache);
+  Sites.push_back({Pc, Class, Code});
+
+  HostInstr HI;
+  HI.Kind = HostOpKind::IBLookup;
+  HI.GuestPc = Pc;
+  HI.HostAddr = Code.Addr;
+  HI.SiteId = SiteId;
+  HI.SiteClass = Class;
+  HI.GuestI.Rs1 = static_cast<uint8_t>(TargetReg);
+  HI.CountsAsGuest = true;
+  Frag.Code.push_back(HI); // Address already allocated by the handler.
+}
+
+Expected<HostLoc> Translator::translate(uint32_t GuestPc,
+                                        arch::TimingModel *Timing,
+                                        SdtStats &Stats) {
+  assert(handlerFor(IBClass::Jump) && "translate before setHandlers");
+  assert(!Cache.lookup(GuestPc).valid() && "double translation");
+
+  Fragment Frag;
+  Frag.GuestEntry = GuestPc;
+  Frag.HostEntryAddr = Cache.beginFragment();
+
+  uint32_t Pc = GuestPc;
+  unsigned GuestCount = 0;
+  bool Done = false;
+  while (!Done) {
+    const Instruction *I = Decoder.fetch(Pc);
+    if (!I) {
+      if (Frag.Code.empty())
+        return Error::failure(formatString(
+            "cannot translate: invalid guest code at 0x%x", Pc));
+      // Stop before the undecodable word; executing past the fragment
+      // will re-enter the dispatcher and fault there.
+      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      break;
+    }
+    ++GuestCount;
+
+    switch (opcodeInfo(I->Op).Cti) {
+    case CtiKind::None: {
+      HostInstr HI;
+      HI.Kind = HostOpKind::Guest;
+      HI.GuestI = *I;
+      HI.GuestPc = Pc;
+      HI.CountsAsGuest = true;
+      emitOp(Cache, Frag, HI);
+      Pc += InstructionSize;
+      if (GuestCount >= Opts.MaxFragmentInstrs) {
+        emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+        Done = true;
+      }
+      break;
+    }
+    case CtiKind::CondBranch: {
+      HostInstr HI;
+      HI.Kind = HostOpKind::CondBranch;
+      HI.GuestI = *I;
+      HI.GuestPc = Pc;
+      HI.CountsAsGuest = true;
+      emitOp(Cache, Frag, HI);
+      emitExitStub(Cache, Frag, Pc + InstructionSize, false); // Fall-through.
+      emitExitStub(Cache, Frag, I->branchTarget(Pc), false);  // Taken.
+      Done = true;
+      break;
+    }
+    case CtiKind::DirectJump:
+      emitExitStub(Cache, Frag, I->directTarget(), /*Counts=*/true);
+      Done = true;
+      break;
+    case CtiKind::DirectCall: {
+      HostInstr Link;
+      Link.Kind = HostOpKind::SetLink;
+      Link.GuestI.Rd = RegRA;
+      Link.GuestPc = Pc;
+      Link.TargetGuest = Pc + InstructionSize;
+      Link.CountsAsGuest = true;
+      emitOp(Cache, Frag, Link);
+      emitExitStub(Cache, Frag, I->directTarget(), /*Counts=*/false);
+      Done = true;
+      break;
+    }
+    case CtiKind::IndirectJump:
+      emitIBSite(*this, Sites, Cache, Frag, IBClass::Jump, Pc, I->Rs1);
+      Done = true;
+      break;
+    case CtiKind::IndirectCall: {
+      HostInstr Link;
+      Link.Kind = HostOpKind::SetLink;
+      Link.GuestI.Rd = I->Rd;
+      Link.GuestPc = Pc;
+      Link.TargetGuest = Pc + InstructionSize;
+      Link.CountsAsGuest = false; // The IBLookup retires the jalr.
+      emitOp(Cache, Frag, Link);
+      emitIBSite(*this, Sites, Cache, Frag, IBClass::Call, Pc, I->Rs1);
+      Done = true;
+      break;
+    }
+    case CtiKind::Return:
+      emitIBSite(*this, Sites, Cache, Frag, IBClass::Return, Pc, RegRA);
+      Done = true;
+      break;
+    case CtiKind::Stop:
+      if (I->Op == Opcode::Halt) {
+        HostInstr HI;
+        HI.Kind = HostOpKind::HaltOp;
+        HI.GuestPc = Pc;
+        HI.CountsAsGuest = true;
+        emitOp(Cache, Frag, HI);
+      } else {
+        HostInstr HI;
+        HI.Kind = HostOpKind::SyscallOp;
+        HI.GuestPc = Pc;
+        HI.CountsAsGuest = true;
+        emitOp(Cache, Frag, HI);
+        emitExitStub(Cache, Frag, Pc + InstructionSize, false);
+      }
+      Done = true;
+      break;
+    }
+  }
+
+  Frag.CodeBytes = Cache.beginFragment() - Frag.HostEntryAddr;
+  ++Stats.FragmentsTranslated;
+  Stats.GuestInstrsTranslated += GuestCount;
+  if (Timing) {
+    arch::TimingModel::CategoryScope Scope(*Timing,
+                                           arch::CycleCategory::Translate);
+    Timing->chargeTranslation(GuestCount);
+  }
+  return Cache.insert(std::move(Frag));
+}
+
+Expected<HostLoc> Translator::buildTrace(
+    uint32_t Head, const std::vector<bool> &CondOutcomes, unsigned CtiCount,
+    TraceEnd End, arch::TimingModel *Timing, SdtStats &Stats) {
+  assert(handlerFor(IBClass::Jump) && "buildTrace before setHandlers");
+  assert(Cache.lookup(Head).valid() &&
+         "trace head must already have a fragment");
+
+  // Safety valve for pathological straight-line code.
+  const unsigned InstrBudget = 4096;
+
+  Fragment Frag;
+  Frag.GuestEntry = Head;
+  Frag.HostEntryAddr = Cache.beginFragment();
+
+  uint32_t Pc = Head;
+  size_t OutcomeIdx = 0;
+  unsigned Ctis = 0;
+  unsigned GuestCount = 0;
+  bool Done = false;
+  while (!Done) {
+    if (GuestCount >= InstrBudget) {
+      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      break;
+    }
+    const Instruction *I = Decoder.fetch(Pc);
+    if (!I) {
+      if (Frag.Code.empty())
+        return Error::failure(formatString(
+            "cannot build trace: invalid guest code at 0x%x", Pc));
+      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      break;
+    }
+    ++GuestCount;
+
+    switch (opcodeInfo(I->Op).Cti) {
+    case CtiKind::None: {
+      HostInstr HI;
+      HI.Kind = HostOpKind::Guest;
+      HI.GuestI = *I;
+      HI.GuestPc = Pc;
+      HI.CountsAsGuest = true;
+      emitOp(Cache, Frag, HI);
+      Pc += InstructionSize;
+      break;
+    }
+    case CtiKind::CondBranch: {
+      assert(OutcomeIdx < CondOutcomes.size() &&
+             "recorded outcomes exhausted mid-trace");
+      bool Taken = CondOutcomes[OutcomeIdx++];
+      HostInstr HI;
+      HI.Kind = HostOpKind::TraceBranch;
+      HI.GuestI = *I;
+      HI.GuestPc = Pc;
+      HI.OnTraceTaken = Taken;
+      HI.CountsAsGuest = true;
+      emitOp(Cache, Frag, HI);
+      uint32_t TakenTarget = I->branchTarget(Pc);
+      uint32_t FallThrough = Pc + InstructionSize;
+      // Off-trace exit stub sits right after the branch.
+      emitExitStub(Cache, Frag, Taken ? FallThrough : TakenTarget, false);
+      Pc = Taken ? TakenTarget : FallThrough;
+      ++Ctis;
+      break;
+    }
+    case CtiKind::DirectJump: {
+      HostInstr HI;
+      HI.Kind = HostOpKind::Elided;
+      HI.GuestPc = Pc;
+      HI.TargetGuest = I->directTarget();
+      HI.CountsAsGuest = true;
+      emitOp(Cache, Frag, HI);
+      Pc = I->directTarget();
+      ++Ctis;
+      break;
+    }
+    case CtiKind::DirectCall: {
+      // Followed inline: the callee body continues on the trace.
+      HostInstr Link;
+      Link.Kind = HostOpKind::SetLink;
+      Link.GuestI.Rd = RegRA;
+      Link.GuestPc = Pc;
+      Link.TargetGuest = Pc + InstructionSize;
+      Link.CountsAsGuest = true;
+      emitOp(Cache, Frag, Link);
+      Pc = I->directTarget();
+      ++Ctis;
+      break;
+    }
+    case CtiKind::IndirectJump:
+      assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
+             "trace walk diverged from the recorded path");
+      emitIBSite(*this, Sites, Cache, Frag, IBClass::Jump, Pc, I->Rs1);
+      Done = true;
+      break;
+    case CtiKind::IndirectCall: {
+      assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
+             "trace walk diverged from the recorded path");
+      HostInstr Link;
+      Link.Kind = HostOpKind::SetLink;
+      Link.GuestI.Rd = I->Rd;
+      Link.GuestPc = Pc;
+      Link.TargetGuest = Pc + InstructionSize;
+      Link.CountsAsGuest = false;
+      emitOp(Cache, Frag, Link);
+      emitIBSite(*this, Sites, Cache, Frag, IBClass::Call, Pc, I->Rs1);
+      Done = true;
+      break;
+    }
+    case CtiKind::Return:
+      assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
+             "trace walk diverged from the recorded path");
+      emitIBSite(*this, Sites, Cache, Frag, IBClass::Return, Pc, RegRA);
+      Done = true;
+      break;
+    case CtiKind::Stop:
+      assert(End == TraceEnd::AtStop && Ctis == CtiCount &&
+             "trace walk diverged from the recorded path");
+      if (I->Op == Opcode::Halt) {
+        HostInstr HI;
+        HI.Kind = HostOpKind::HaltOp;
+        HI.GuestPc = Pc;
+        HI.CountsAsGuest = true;
+        emitOp(Cache, Frag, HI);
+      } else {
+        HostInstr HI;
+        HI.Kind = HostOpKind::SyscallOp;
+        HI.GuestPc = Pc;
+        HI.CountsAsGuest = true;
+        emitOp(Cache, Frag, HI);
+        emitExitStub(Cache, Frag, Pc + InstructionSize, false);
+      }
+      Done = true;
+      break;
+    }
+
+    // The recorded path ends after CtiCount transfers (loop-close lands
+    // back on Head; the stub below then self-links to this trace).
+    if (!Done && End == TraceEnd::CtiBudget && Ctis == CtiCount) {
+      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      Done = true;
+    }
+  }
+
+  Frag.CodeBytes = Cache.beginFragment() - Frag.HostEntryAddr;
+  ++Stats.FragmentsTranslated;
+  ++Stats.TracesBuilt;
+  Stats.GuestInstrsTranslated += GuestCount;
+  Stats.TraceGuestInstrs += GuestCount;
+  if (Timing) {
+    arch::TimingModel::CategoryScope Scope(*Timing,
+                                           arch::CycleCategory::Translate);
+    Timing->chargeTranslation(GuestCount);
+  }
+  return Cache.replaceForGuest(std::move(Frag));
+}

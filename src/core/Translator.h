@@ -1,0 +1,95 @@
+//===- core/Translator.h - Guest → fragment translation ----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translator builds fragments: straight-line host code from a guest
+/// entry point up to the first control transfer (or the fragment-size
+/// budget). Direct control transfers become linkable exit stubs; indirect
+/// ones become IB-lookup sites emitted through the configured mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CORE_TRANSLATOR_H
+#define STRATAIB_CORE_TRANSLATOR_H
+
+#include "arch/Timing.h"
+#include "core/FragmentCache.h"
+#include "core/IBHandler.h"
+#include "core/SdtStats.h"
+#include "support/Error.h"
+#include "vm/DecodeCache.h"
+
+#include <vector>
+
+namespace sdt {
+namespace core {
+
+/// One registered IB site.
+struct IBSiteInfo {
+  uint32_t GuestPc = 0;
+  IBClass Class = IBClass::Jump;
+  SiteCode Code;
+};
+
+/// Fragment builder.
+class Translator {
+public:
+  Translator(vm::DecodeCache &Decoder, FragmentCache &Cache,
+             const SdtOptions &Opts);
+
+  /// Binds one mechanism per IB class. Pass the same pointer for classes
+  /// sharing a mechanism instance.
+  void setHandlers(IBHandler *Jump, IBHandler *Call, IBHandler *Returns);
+
+  /// Convenience: \p Main serves jumps and calls.
+  void setHandlers(IBHandler *Main, IBHandler *Returns) {
+    setHandlers(Main, Main, Returns);
+  }
+
+  IBHandler *handlerFor(IBClass Class) const {
+    return Handlers[static_cast<size_t>(Class)];
+  }
+
+  /// Translates the fragment starting at \p GuestPc and inserts it into
+  /// the cache. Charges \p Timing (nullable) under CycleCategory::
+  /// Translate. Fails on undecodable code at \p GuestPc.
+  Expected<HostLoc> translate(uint32_t GuestPc, arch::TimingModel *Timing,
+                              SdtStats &Stats);
+
+  /// How a recorded hot path ended (what the executor saw last).
+  enum class TraceEnd : uint8_t {
+    CtiBudget, ///< Stopped after the recorded CTI count (incl. loop close).
+    AtIB,      ///< Stopped at an indirect branch (included in the trace).
+    AtStop,    ///< Stopped at a syscall/halt (included in the trace).
+  };
+
+  /// Re-translates the hot path starting at \p Head as a linear trace:
+  /// \p CondOutcomes are the recorded conditional-branch directions (in
+  /// path order), \p CtiCount the number of guest CTIs recorded, and
+  /// \p End how recording stopped. The new fragment replaces the
+  /// guest-map entry for \p Head. Fails if \p Head decodes invalid.
+  Expected<HostLoc> buildTrace(uint32_t Head,
+                               const std::vector<bool> &CondOutcomes,
+                               unsigned CtiCount, TraceEnd End,
+                               arch::TimingModel *Timing, SdtStats &Stats);
+
+  const std::vector<IBSiteInfo> &sites() const { return Sites; }
+
+  /// Drops all site registrations (fragment cache was flushed).
+  void clearSites() { Sites.clear(); }
+
+private:
+  vm::DecodeCache &Decoder;
+  FragmentCache &Cache;
+  SdtOptions Opts;
+  IBHandler *Handlers[NumIBClasses] = {nullptr, nullptr, nullptr};
+  std::vector<IBSiteInfo> Sites;
+};
+
+} // namespace core
+} // namespace sdt
+
+#endif // STRATAIB_CORE_TRANSLATOR_H

@@ -1,0 +1,109 @@
+//===- girc/Ast.h - MinC abstract syntax -------------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MinC AST. Nodes are tagged structs (no RTTI); ownership is by
+/// unique_ptr down the tree. Everything is a 32-bit word: integers,
+/// global-array addresses, and function addresses — which is what lets
+/// `fp = work; fp(x)` express the indirect calls this repository exists
+/// to study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_AST_H
+#define STRATAIB_GIRC_AST_H
+
+#include "girc/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace girc {
+
+/// Expression node (tagged).
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit, ///< Value
+    VarRef, ///< Name — local, global, array (as address), or function.
+    Index,  ///< Name[Rhs] — element of a global array.
+    Unary,  ///< Op (Minus or Bang) applied to Rhs.
+    Binary, ///< Lhs Op Rhs.
+    Call,   ///< Name(Args) — direct, builtin, or through a variable.
+  };
+
+  Kind K = Kind::IntLit;
+  unsigned Line = 0;
+  int64_t IntValue = 0;
+  std::string Name;
+  TokKind Op = TokKind::Plus;
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs;
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+/// Statement node (tagged).
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,    ///< Body
+    VarDecl,  ///< var Name; (optionally = Value)
+    Assign,   ///< Name = Value; or Name[Index] = Value;
+    If,       ///< if (Cond) Then else Else
+    While,    ///< while (Cond) Body[0]
+    Return,   ///< return Value; (Value may be null: returns 0)
+    ExprStmt, ///< Value; (evaluated for side effects)
+    Break,
+    Continue,
+    Switch,   ///< switch (Cond) { Cases over Body blocks }
+  };
+
+  /// One `case N:` (or `default:`) arm; its statements are the Block at
+  /// Body[BodyIndex]. C semantics: arms fall through unless they break.
+  struct SwitchCase {
+    int64_t Value = 0;
+    bool IsDefault = false;
+    size_t BodyIndex = 0;
+  };
+
+  Kind K = Kind::Block;
+  unsigned Line = 0;
+  std::string Name;
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Expr> Index; ///< Assign to array element when non-null.
+  std::unique_ptr<Expr> Value;
+  std::unique_ptr<Stmt> Then;
+  std::unique_ptr<Stmt> Else;
+  std::vector<std::unique_ptr<Stmt>> Body; ///< Block / While / case arms.
+  std::vector<SwitchCase> Cases;           ///< Switch only.
+};
+
+/// One `func` definition.
+struct FuncDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::unique_ptr<Stmt> Body; ///< Always a Block.
+  unsigned Line = 0;
+};
+
+/// One global: `var g;` or `array a[N];`.
+struct GlobalDecl {
+  std::string Name;
+  bool IsArray = false;
+  uint32_t ArraySize = 0; ///< Elements (words), arrays only.
+  unsigned Line = 0;
+};
+
+/// A parsed translation unit.
+struct Module {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_AST_H

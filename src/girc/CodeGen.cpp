@@ -1,0 +1,504 @@
+//===- girc/CodeGen.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See CodeGen.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/CodeGen.h"
+
+#include "assembler/AsmBuilder.h"
+#include "girc/RegAlloc.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::girc;
+using assembler::AsmBuilder;
+
+namespace {
+
+/// Emits one function at a time into the shared builder.
+class CodeGen {
+public:
+  CodeGen(const Module &M, const ModuleInfo &Info, bool RegisterAllocate)
+      : M(M), Info(Info), RegisterAllocate(RegisterAllocate) {}
+
+  std::string run();
+
+private:
+  void emitFunction(const FuncDecl &F);
+  void emitStmt(const Stmt &S);
+  /// Evaluates \p E into v0 (clobbers t0/t1/t2; balances the stack).
+  void emitExpr(const Expr &E);
+  void emitCall(const Expr &E);
+  void emitShortCircuit(const Expr &E);
+
+  std::string freshLabel() { return formatString("Lg%u", LabelCounter++); }
+
+  void emitSwitch(const Stmt &S);
+
+  /// Frame-pointer byte offset of local slot \p Slot.
+  static int32_t slotOffset(unsigned Slot) {
+    return -4 * (static_cast<int32_t>(Slot) + 1);
+  }
+
+  bool isLocal(const std::string &Name) const {
+    return CurrentFn->LocalSlots.count(Name) != 0;
+  }
+
+  /// Loads local \p Name into \p Dst ("v0", "t2", ...).
+  void emitLoadLocal(const std::string &Name, const char *Dst) {
+    if (Alloc.inRegister(Name))
+      B.emitf("move %s, %s", Dst, Alloc.regName(Name).c_str());
+    else
+      B.emitf("lw %s, %d(fp)", Dst,
+              slotOffset(CurrentFn->LocalSlots.at(Name)));
+  }
+
+  /// Stores v0 into local \p Name.
+  void emitStoreLocal(const std::string &Name) {
+    if (Alloc.inRegister(Name))
+      B.emitf("move %s, v0", Alloc.regName(Name).c_str());
+    else
+      B.emitf("sw v0, %d(fp)",
+              slotOffset(CurrentFn->LocalSlots.at(Name)));
+  }
+
+  /// Frame offset of the k-th saved callee-saved register (they live
+  /// below the locals).
+  int32_t savedRegOffset(unsigned K) const {
+    return -4 * (static_cast<int32_t>(CurrentFn->NumLocals + K) + 1);
+  }
+
+  const Module &M;
+  const ModuleInfo &Info;
+  AsmBuilder B;
+  /// (label, ".word ..." line) pairs for switch jump tables, emitted
+  /// with the globals.
+  std::vector<std::pair<std::string, std::string>> DeferredData;
+  bool RegisterAllocate;
+  Allocation Alloc;
+  const FunctionInfo *CurrentFn = nullptr;
+  std::string RetLabel;
+  std::vector<std::string> BreakLabels;
+  std::vector<std::string> ContinueLabels;
+  unsigned LabelCounter = 0;
+};
+
+} // namespace
+
+void CodeGen::emitShortCircuit(const Expr &E) {
+  std::string End = freshLabel();
+  std::string Shortcut = freshLabel();
+  emitExpr(*E.Lhs);
+  if (E.Op == TokKind::AmpAmp)
+    B.emitf("beqz v0, %s", Shortcut.c_str());
+  else
+    B.emitf("bnez v0, %s", Shortcut.c_str());
+  emitExpr(*E.Rhs);
+  B.emit("sltu v0, zero, v0"); // Normalise to 0/1.
+  B.emitf("j %s", End.c_str());
+  B.label(Shortcut);
+  B.emitf("li v0, %d", E.Op == TokKind::AmpAmp ? 0 : 1);
+  B.label(End);
+}
+
+void CodeGen::emitCall(const Expr &E) {
+  // Builtins lower straight to syscalls.
+  if (ModuleInfo::isBuiltin(E.Name)) {
+    emitExpr(*E.Args.front());
+    B.emit("move a0, v0");
+    unsigned Code = E.Name == "print" ? 1 : E.Name == "putc" ? 2 : 4;
+    B.emitf("li v0, %u", Code);
+    B.emit("syscall");
+    B.emit("li v0, 0");
+    return;
+  }
+
+  // Arguments left to right onto the stack, then popped into a3..a0.
+  for (const auto &Arg : E.Args) {
+    emitExpr(*Arg);
+    B.emit("push v0");
+  }
+  for (size_t I = E.Args.size(); I != 0; --I)
+    B.emitf("pop a%zu", I - 1);
+
+  if (Info.Functions.count(E.Name)) {
+    B.emitf("jal fn_%s", E.Name.c_str());
+    return;
+  }
+  // Indirect call through a variable (loading it cannot clobber a0..a3).
+  if (isLocal(E.Name)) {
+    emitLoadLocal(E.Name, "t2");
+  } else {
+    B.emitf("la t2, gv_%s", E.Name.c_str());
+    B.emit("lw t2, 0(t2)");
+  }
+  B.emit("jalr t2");
+}
+
+void CodeGen::emitExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    B.emitf("li v0, %lld", static_cast<long long>(E.IntValue));
+    return;
+
+  case Expr::Kind::VarRef:
+    if (isLocal(E.Name)) {
+      emitLoadLocal(E.Name, "v0");
+      return;
+    }
+    if (Info.Functions.count(E.Name)) {
+      B.emitf("la v0, fn_%s", E.Name.c_str()); // Function address.
+      return;
+    }
+    if (Info.Globals.at(E.Name)->IsArray) {
+      B.emitf("la v0, gv_%s", E.Name.c_str()); // Array base address.
+      return;
+    }
+    B.emitf("la t0, gv_%s", E.Name.c_str());
+    B.emit("lw v0, 0(t0)");
+    return;
+
+  case Expr::Kind::Index:
+    emitExpr(*E.Rhs);
+    B.emit("slli t0, v0, 2");
+    B.emitf("la t1, gv_%s", E.Name.c_str());
+    B.emit("add t0, t0, t1");
+    B.emit("lw v0, 0(t0)");
+    return;
+
+  case Expr::Kind::Unary:
+    emitExpr(*E.Rhs);
+    if (E.Op == TokKind::Minus)
+      B.emit("sub v0, zero, v0");
+    else
+      B.emit("sltiu v0, v0, 1"); // Logical not.
+    return;
+
+  case Expr::Kind::Binary: {
+    if (E.Op == TokKind::AmpAmp || E.Op == TokKind::PipePipe) {
+      emitShortCircuit(E);
+      return;
+    }
+    emitExpr(*E.Lhs);
+    B.emit("push v0");
+    emitExpr(*E.Rhs);
+    B.emit("pop t0"); // t0 = lhs, v0 = rhs.
+    switch (E.Op) {
+    case TokKind::Plus:
+      B.emit("add v0, t0, v0");
+      break;
+    case TokKind::Minus:
+      B.emit("sub v0, t0, v0");
+      break;
+    case TokKind::Star:
+      B.emit("mul v0, t0, v0");
+      break;
+    case TokKind::Slash:
+      B.emit("div v0, t0, v0");
+      break;
+    case TokKind::Percent:
+      B.emit("rem v0, t0, v0");
+      break;
+    case TokKind::Amp:
+      B.emit("and v0, t0, v0");
+      break;
+    case TokKind::Pipe:
+      B.emit("or v0, t0, v0");
+      break;
+    case TokKind::Caret:
+      B.emit("xor v0, t0, v0");
+      break;
+    case TokKind::Shl:
+      B.emit("sll v0, t0, v0");
+      break;
+    case TokKind::Shr:
+      B.emit("srl v0, t0, v0");
+      break;
+    case TokKind::Lt:
+      B.emit("slt v0, t0, v0");
+      break;
+    case TokKind::Gt:
+      B.emit("slt v0, v0, t0");
+      break;
+    case TokKind::Le:
+      B.emit("slt v0, v0, t0");
+      B.emit("xori v0, v0, 1");
+      break;
+    case TokKind::Ge:
+      B.emit("slt v0, t0, v0");
+      B.emit("xori v0, v0, 1");
+      break;
+    case TokKind::EqEq:
+      B.emit("xor v0, t0, v0");
+      B.emit("sltiu v0, v0, 1");
+      break;
+    case TokKind::NotEq:
+      B.emit("xor v0, t0, v0");
+      B.emit("sltu v0, zero, v0");
+      break;
+    default:
+      assert(false && "unhandled binary operator");
+    }
+    return;
+  }
+
+  case Expr::Kind::Call:
+    emitCall(E);
+    return;
+  }
+  assert(false && "unknown expression kind");
+}
+
+void CodeGen::emitStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (const auto &Child : S.Body)
+      emitStmt(*Child);
+    return;
+
+  case Stmt::Kind::VarDecl:
+    if (S.Value) {
+      emitExpr(*S.Value);
+      emitStoreLocal(S.Name);
+    }
+    return;
+
+  case Stmt::Kind::Assign:
+    if (S.Index) {
+      emitExpr(*S.Value);
+      B.emit("push v0");
+      emitExpr(*S.Index);
+      B.emit("slli t0, v0, 2");
+      B.emitf("la t1, gv_%s", S.Name.c_str());
+      B.emit("add t0, t0, t1");
+      B.emit("pop v0");
+      B.emit("sw v0, 0(t0)");
+      return;
+    }
+    emitExpr(*S.Value);
+    if (isLocal(S.Name)) {
+      emitStoreLocal(S.Name);
+    } else {
+      B.emitf("la t0, gv_%s", S.Name.c_str());
+      B.emit("sw v0, 0(t0)");
+    }
+    return;
+
+  case Stmt::Kind::If: {
+    std::string ElseLabel = freshLabel();
+    emitExpr(*S.Cond);
+    B.emitf("beqz v0, %s", ElseLabel.c_str());
+    emitStmt(*S.Then);
+    if (S.Else) {
+      std::string EndLabel = freshLabel();
+      B.emitf("j %s", EndLabel.c_str());
+      B.label(ElseLabel);
+      emitStmt(*S.Else);
+      B.label(EndLabel);
+    } else {
+      B.label(ElseLabel);
+    }
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    std::string CondLabel = freshLabel();
+    std::string EndLabel = freshLabel();
+    B.label(CondLabel);
+    emitExpr(*S.Cond);
+    B.emitf("beqz v0, %s", EndLabel.c_str());
+    BreakLabels.push_back(EndLabel);
+    ContinueLabels.push_back(CondLabel);
+    emitStmt(*S.Body.front());
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    B.emitf("j %s", CondLabel.c_str());
+    B.label(EndLabel);
+    return;
+  }
+
+  case Stmt::Kind::Return:
+    if (S.Value)
+      emitExpr(*S.Value);
+    else
+      B.emit("li v0, 0");
+    B.emitf("j %s", RetLabel.c_str());
+    return;
+
+  case Stmt::Kind::ExprStmt:
+    emitExpr(*S.Value);
+    return;
+
+  case Stmt::Kind::Switch:
+    emitSwitch(S);
+    return;
+
+  case Stmt::Kind::Break:
+    assert(!BreakLabels.empty() && "sema admits break only inside loops");
+    B.emitf("j %s", BreakLabels.back().c_str());
+    return;
+  case Stmt::Kind::Continue:
+    assert(!ContinueLabels.empty() && "sema admits continue inside loops");
+    B.emitf("j %s", ContinueLabels.back().c_str());
+    return;
+  }
+  assert(false && "unknown statement kind");
+}
+
+void CodeGen::emitSwitch(const Stmt &S) {
+  std::string EndLabel = freshLabel();
+  std::string DefaultLabel = EndLabel;
+  std::vector<std::string> CaseLabels(S.Cases.size());
+  std::map<int64_t, std::string> ValueLabels;
+  int64_t Min = 0, Max = 0;
+  bool HaveValues = false;
+  for (size_t I = 0, E = S.Cases.size(); I != E; ++I) {
+    CaseLabels[I] = freshLabel();
+    const Stmt::SwitchCase &Case = S.Cases[I];
+    if (Case.IsDefault) {
+      DefaultLabel = CaseLabels[I];
+      continue;
+    }
+    ValueLabels.emplace(Case.Value, CaseLabels[I]);
+    if (!HaveValues) {
+      Min = Max = Case.Value;
+      HaveValues = true;
+    } else {
+      Min = std::min(Min, Case.Value);
+      Max = std::max(Max, Case.Value);
+    }
+  }
+
+  emitExpr(*S.Cond); // Scrutinee in v0.
+
+  int64_t Range = HaveValues ? Max - Min + 1 : 0;
+  bool Dense = HaveValues && Range <= 1024 &&
+               Range <= 4 * static_cast<int64_t>(ValueLabels.size()) + 16;
+  if (Dense) {
+    // Jump-table dispatch: the compiled `jr` the SDT must translate.
+    std::string Table = freshLabel();
+    B.emitf("li t0, %lld", static_cast<long long>(Min));
+    B.emitf("blt v0, t0, %s", DefaultLabel.c_str());
+    B.emitf("li t0, %lld", static_cast<long long>(Max));
+    B.emitf("bgt v0, t0, %s", DefaultLabel.c_str());
+    B.emitf("li t0, %lld", static_cast<long long>(Min));
+    B.emit("sub t0, v0, t0");
+    B.emit("slli t0, t0, 2");
+    B.emitf("la t1, %s", Table.c_str());
+    B.emit("add t0, t0, t1");
+    B.emit("lw t0, 0(t0)");
+    B.emit("jr t0");
+
+    std::string Words = ".word ";
+    for (int64_t V = Min; V <= Max; ++V) {
+      if (V != Min)
+        Words += ", ";
+      auto It = ValueLabels.find(V);
+      Words += It != ValueLabels.end() ? It->second : DefaultLabel;
+    }
+    DeferredData.emplace_back(Table, Words);
+  } else if (HaveValues) {
+    // Sparse: compare chain.
+    for (const auto &[Value, Label] : ValueLabels) {
+      B.emitf("li t0, %lld", static_cast<long long>(Value));
+      B.emitf("beq v0, t0, %s", Label.c_str());
+    }
+    B.emitf("j %s", DefaultLabel.c_str());
+  } else {
+    B.emitf("j %s", DefaultLabel.c_str());
+  }
+
+  // Arms in source order; C fall-through unless an arm breaks.
+  BreakLabels.push_back(EndLabel);
+  for (size_t I = 0, E = S.Cases.size(); I != E; ++I) {
+    B.label(CaseLabels[I]);
+    emitStmt(*S.Body[S.Cases[I].BodyIndex]);
+  }
+  BreakLabels.pop_back();
+  B.label(EndLabel);
+}
+
+void CodeGen::emitFunction(const FuncDecl &F) {
+  CurrentFn = &Info.Functions.at(F.Name);
+  RetLabel = freshLabel();
+  Alloc = RegisterAllocate ? allocateRegisters(F, *CurrentFn)
+                           : Allocation();
+
+  B.blank();
+  B.comment("func " + F.Name);
+  B.label("fn_" + F.Name);
+  B.emit("push ra");
+  B.emit("push fp");
+  B.emit("move fp, sp");
+  unsigned FrameWords = CurrentFn->NumLocals + Alloc.numUsed();
+  if (FrameWords != 0)
+    B.emitf("addi sp, sp, -%u", 4 * FrameWords);
+  // Preserve the callee-saved registers this function claims.
+  for (unsigned K = 0; K != Alloc.numUsed(); ++K)
+    B.emitf("sw s%u, %d(fp)", K, savedRegOffset(K));
+  // Home the parameters (register or frame slot).
+  for (size_t I = 0, E = F.Params.size(); I != E; ++I) {
+    const std::string &Param = F.Params[I];
+    if (Alloc.inRegister(Param))
+      B.emitf("move %s, a%zu", Alloc.regName(Param).c_str(), I);
+    else
+      B.emitf("sw a%zu, %d(fp)", I,
+              slotOffset(static_cast<unsigned>(I)));
+  }
+
+  emitStmt(*F.Body);
+
+  B.emit("li v0, 0"); // Fall-off-the-end returns 0.
+  B.label(RetLabel);
+  for (unsigned K = 0; K != Alloc.numUsed(); ++K)
+    B.emitf("lw s%u, %d(fp)", K, savedRegOffset(K));
+  B.emit("move sp, fp");
+  B.emit("pop fp");
+  B.emit("pop ra");
+  B.emit("ret");
+}
+
+std::string CodeGen::run() {
+  B.org(0x1000);
+  B.entry("main");
+  B.comment("girc-generated bootstrap: exit(main())");
+  B.label("main");
+  B.emit("jal fn_main");
+  B.emit("move a0, v0");
+  B.emit("li v0, 0");
+  B.emit("syscall");
+
+  for (const FuncDecl &F : M.Funcs)
+    emitFunction(F);
+
+  if (!M.Globals.empty() || !DeferredData.empty()) {
+    B.blank();
+    B.comment("globals and jump tables");
+    B.emit(".align 4");
+    for (const GlobalDecl &G : M.Globals) {
+      B.label("gv_" + G.Name);
+      if (G.IsArray)
+        B.emitf(".space %u", 4 * G.ArraySize);
+      else
+        B.emit(".word 0");
+    }
+    for (const auto &[Label, Words] : DeferredData) {
+      B.label(Label);
+      B.emit(Words);
+    }
+  }
+  return B.source();
+}
+
+std::string sdt::girc::generateAssembly(const Module &M,
+                                        const ModuleInfo &Info,
+                                        bool RegisterAllocate) {
+  CodeGen Gen(M, Info, RegisterAllocate);
+  return Gen.run();
+}

@@ -1,0 +1,43 @@
+//===- girc/CodeGen.h - MinC → GIR assembly ----------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code generation from a checked MinC module to GIR assembly text.
+///
+/// Conventions:
+///  - frame-pointer frames: `[saved ra][saved fp][locals...]`, local slot
+///    i at `-(4*(i+1))(fp)`; parameters arrive in a0..a3 and are spilled
+///    into their slots in the prologue;
+///  - expressions evaluate into v0, binary operands via push/pop on the
+///    guest stack (accumulator style);
+///  - direct calls lower to `jal fn_<name>`, calls through variables to
+///    `jalr` — the indirect branches the SDT study needs;
+///  - builtins print/putc/checksum lower to the VM's syscalls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_CODEGEN_H
+#define STRATAIB_GIRC_CODEGEN_H
+
+#include "girc/Ast.h"
+#include "girc/Sema.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace sdt {
+namespace girc {
+
+/// Lowers checked module \p M to GIR assembly source. \p Info must come
+/// from analyze(M). When \p RegisterAllocate is set, each function's
+/// hottest locals are promoted to callee-saved registers.
+std::string generateAssembly(const Module &M, const ModuleInfo &Info,
+                             bool RegisterAllocate = true);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_CODEGEN_H

@@ -1,0 +1,43 @@
+//===- girc/Compiler.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Compiler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/Compiler.h"
+
+#include "assembler/Assembler.h"
+#include "girc/CodeGen.h"
+#include "girc/Optimizer.h"
+#include "girc/Parser.h"
+#include "girc/Sema.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+Expected<std::string>
+sdt::girc::compileToAssembly(std::string_view Source,
+                             const CompileOptions &Opts) {
+  Expected<Module> M = parse(Source);
+  if (!M)
+    return M.takeError();
+  Expected<ModuleInfo> Info = analyze(*M);
+  if (!Info)
+    return Info.takeError();
+  if (Opts.Optimize)
+    optimize(*M);
+  return generateAssembly(*M, *Info, Opts.RegisterAllocate);
+}
+
+Expected<isa::Program> sdt::girc::compile(std::string_view Source,
+                                          const CompileOptions &Opts) {
+  Expected<std::string> Asm = compileToAssembly(Source, Opts);
+  if (!Asm)
+    return Asm.takeError();
+  Expected<isa::Program> P = assembler::assemble(*Asm);
+  // Generated assembly failing to assemble is a compiler bug.
+  assert(P && "girc emitted assembly that does not assemble");
+  return P;
+}

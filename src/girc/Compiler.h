@@ -1,0 +1,45 @@
+//===- girc/Compiler.h - MinC compiler driver --------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The girc public entry points: MinC source → GIR assembly → loadable
+/// Program (lex, parse, analyze, generate, assemble).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_COMPILER_H
+#define STRATAIB_GIRC_COMPILER_H
+
+#include "isa/Program.h"
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+
+namespace sdt {
+namespace girc {
+
+/// Compilation knobs.
+struct CompileOptions {
+  /// Run the AST optimiser (constant folding, dead branches, algebraic
+  /// identities) before code generation.
+  bool Optimize = true;
+  /// Promote each function's hottest locals to callee-saved registers.
+  bool RegisterAllocate = true;
+};
+
+/// Compiles MinC source to GIR assembly text.
+Expected<std::string> compileToAssembly(std::string_view Source,
+                                        const CompileOptions &Opts = {});
+
+/// Compiles MinC source all the way to a loadable Program.
+Expected<isa::Program> compile(std::string_view Source,
+                               const CompileOptions &Opts = {});
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_COMPILER_H

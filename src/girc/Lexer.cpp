@@ -1,0 +1,309 @@
+//===- girc/Lexer.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Lexer.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+std::string sdt::girc::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwFunc:
+    return "'func'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwArray:
+    return "'array'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwSwitch:
+    return "'switch'";
+  case TokKind::KwCase:
+    return "'case'";
+  case TokKind::KwDefault:
+    return "'default'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Eof:
+    return "end of input";
+  }
+  assert(false && "unknown token kind");
+  return "?";
+}
+
+static TokKind keywordOrIdent(std::string_view Text) {
+  if (Text == "func")
+    return TokKind::KwFunc;
+  if (Text == "var")
+    return TokKind::KwVar;
+  if (Text == "array")
+    return TokKind::KwArray;
+  if (Text == "if")
+    return TokKind::KwIf;
+  if (Text == "else")
+    return TokKind::KwElse;
+  if (Text == "while")
+    return TokKind::KwWhile;
+  if (Text == "return")
+    return TokKind::KwReturn;
+  if (Text == "break")
+    return TokKind::KwBreak;
+  if (Text == "continue")
+    return TokKind::KwContinue;
+  if (Text == "switch")
+    return TokKind::KwSwitch;
+  if (Text == "case")
+    return TokKind::KwCase;
+  if (Text == "default")
+    return TokKind::KwDefault;
+  return TokKind::Ident;
+}
+
+Expected<std::vector<Token>> sdt::girc::lex(std::string_view Source) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  size_t I = 0, E = Source.size();
+
+  auto push = [&](TokKind Kind) {
+    Token T;
+    T.Kind = Kind;
+    T.Line = Line;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < E) {
+    char C = Source[I];
+
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < E && Source[I + 1] == '/') {
+      while (I < E && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < E && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      std::string_view Text = Source.substr(Start, I - Start);
+      Token T;
+      T.Kind = keywordOrIdent(Text);
+      if (T.Kind == TokKind::Ident)
+        T.Text = std::string(Text);
+      T.Line = Line;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < E && (std::isalnum(static_cast<unsigned char>(Source[I]))))
+        ++I;
+      std::string_view Text = Source.substr(Start, I - Start);
+      std::optional<int64_t> V = parseInteger(Text);
+      if (!V || *V > 0xFFFFFFFFLL)
+        return Error::atLine(Line,
+                             "malformed number '" + std::string(Text) + "'");
+      Token T;
+      T.Kind = TokKind::Number;
+      T.Value = *V;
+      T.Line = Line;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    auto twoChar = [&](char Next, TokKind Two, TokKind One) {
+      if (I + 1 < E && Source[I + 1] == Next) {
+        push(Two);
+        I += 2;
+      } else {
+        push(One);
+        ++I;
+      }
+    };
+
+    switch (C) {
+    case '(':
+      push(TokKind::LParen);
+      ++I;
+      break;
+    case ')':
+      push(TokKind::RParen);
+      ++I;
+      break;
+    case '{':
+      push(TokKind::LBrace);
+      ++I;
+      break;
+    case '}':
+      push(TokKind::RBrace);
+      ++I;
+      break;
+    case '[':
+      push(TokKind::LBracket);
+      ++I;
+      break;
+    case ']':
+      push(TokKind::RBracket);
+      ++I;
+      break;
+    case ',':
+      push(TokKind::Comma);
+      ++I;
+      break;
+    case ';':
+      push(TokKind::Semi);
+      ++I;
+      break;
+    case ':':
+      push(TokKind::Colon);
+      ++I;
+      break;
+    case '+':
+      push(TokKind::Plus);
+      ++I;
+      break;
+    case '-':
+      push(TokKind::Minus);
+      ++I;
+      break;
+    case '*':
+      push(TokKind::Star);
+      ++I;
+      break;
+    case '/':
+      push(TokKind::Slash);
+      ++I;
+      break;
+    case '%':
+      push(TokKind::Percent);
+      ++I;
+      break;
+    case '^':
+      push(TokKind::Caret);
+      ++I;
+      break;
+    case '&':
+      twoChar('&', TokKind::AmpAmp, TokKind::Amp);
+      break;
+    case '|':
+      twoChar('|', TokKind::PipePipe, TokKind::Pipe);
+      break;
+    case '<':
+      if (I + 1 < E && Source[I + 1] == '<') {
+        push(TokKind::Shl);
+        I += 2;
+      } else {
+        twoChar('=', TokKind::Le, TokKind::Lt);
+      }
+      break;
+    case '>':
+      if (I + 1 < E && Source[I + 1] == '>') {
+        push(TokKind::Shr);
+        I += 2;
+      } else {
+        twoChar('=', TokKind::Ge, TokKind::Gt);
+      }
+      break;
+    case '=':
+      twoChar('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      twoChar('=', TokKind::NotEq, TokKind::Bang);
+      break;
+    default:
+      return Error::atLine(Line, formatString("unexpected character '%c'",
+                                              C));
+    }
+  }
+
+  push(TokKind::Eof);
+  return Tokens;
+}

@@ -1,0 +1,32 @@
+//===- girc/Lexer.h - MinC lexer ---------------------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for MinC: identifiers, decimal/hex numbers, keywords, operators,
+/// and `//` comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_LEXER_H
+#define STRATAIB_GIRC_LEXER_H
+
+#include "girc/Token.h"
+#include "support/Error.h"
+
+#include <string_view>
+#include <vector>
+
+namespace sdt {
+namespace girc {
+
+/// Lexes \p Source into a token stream ending with an Eof token. Fails on
+/// unknown characters and malformed numbers, naming the line.
+Expected<std::vector<Token>> lex(std::string_view Source);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_LEXER_H

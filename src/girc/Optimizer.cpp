@@ -1,0 +1,277 @@
+//===- girc/Optimizer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Optimizer.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/Optimizer.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+bool sdt::girc::isPure(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+    return true;
+  case Expr::Kind::Index:
+    return isPure(*E.Rhs);
+  case Expr::Kind::Unary:
+    return isPure(*E.Rhs);
+  case Expr::Kind::Binary:
+    return isPure(*E.Lhs) && isPure(*E.Rhs);
+  case Expr::Kind::Call:
+    return false;
+  }
+  assert(false && "unknown expression kind");
+  return false;
+}
+
+namespace {
+
+/// Replaces *E with an IntLit of \p Value (32-bit wrapped).
+void makeIntLit(std::unique_ptr<Expr> &E, uint32_t Value) {
+  auto Lit = std::make_unique<Expr>();
+  Lit->K = Expr::Kind::IntLit;
+  Lit->Line = E->Line;
+  Lit->IntValue = static_cast<int32_t>(Value);
+  E = std::move(Lit);
+}
+
+/// 32-bit evaluation matching vm::executeNonCti exactly.
+uint32_t evalBinary(TokKind Op, uint32_t A, uint32_t B) {
+  int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+  switch (Op) {
+  case TokKind::Plus:
+    return A + B;
+  case TokKind::Minus:
+    return A - B;
+  case TokKind::Star:
+    return A * B;
+  case TokKind::Slash:
+    if (SB == 0)
+      return 0xFFFFFFFFu;
+    if (SA == std::numeric_limits<int32_t>::min() && SB == -1)
+      return A;
+    return static_cast<uint32_t>(SA / SB);
+  case TokKind::Percent:
+    if (SB == 0)
+      return A;
+    if (SA == std::numeric_limits<int32_t>::min() && SB == -1)
+      return 0;
+    return static_cast<uint32_t>(SA % SB);
+  case TokKind::Amp:
+    return A & B;
+  case TokKind::Pipe:
+    return A | B;
+  case TokKind::Caret:
+    return A ^ B;
+  case TokKind::Shl:
+    return A << (B & 31);
+  case TokKind::Shr:
+    return A >> (B & 31);
+  case TokKind::Lt:
+    return SA < SB;
+  case TokKind::Le:
+    return SA <= SB;
+  case TokKind::Gt:
+    return SA > SB;
+  case TokKind::Ge:
+    return SA >= SB;
+  case TokKind::EqEq:
+    return A == B;
+  case TokKind::NotEq:
+    return A != B;
+  case TokKind::AmpAmp:
+    return (A != 0) && (B != 0);
+  case TokKind::PipePipe:
+    return (A != 0) || (B != 0);
+  default:
+    assert(false && "not a binary operator");
+    return 0;
+  }
+}
+
+bool isIntLit(const Expr &E, uint32_t Value) {
+  return E.K == Expr::Kind::IntLit &&
+         static_cast<uint32_t>(E.IntValue) == Value;
+}
+
+void foldExpr(std::unique_ptr<Expr> &E);
+
+/// Rewrites *E to `Inner != 0` (boolean normalisation of a short-circuit
+/// operand whose other side folded away).
+void makeBoolOf(std::unique_ptr<Expr> &E, std::unique_ptr<Expr> Inner) {
+  auto Zero = std::make_unique<Expr>();
+  Zero->K = Expr::Kind::IntLit;
+  Zero->Line = Inner->Line;
+  Zero->IntValue = 0;
+  auto Cmp = std::make_unique<Expr>();
+  Cmp->K = Expr::Kind::Binary;
+  Cmp->Line = Inner->Line;
+  Cmp->Op = TokKind::NotEq;
+  Cmp->Lhs = std::move(Inner);
+  Cmp->Rhs = std::move(Zero);
+  E = std::move(Cmp);
+}
+
+void foldExpr(std::unique_ptr<Expr> &E) {
+  switch (E->K) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::Index:
+    foldExpr(E->Rhs);
+    return;
+  case Expr::Kind::Call:
+    for (auto &Arg : E->Args)
+      foldExpr(Arg);
+    return;
+  case Expr::Kind::Unary: {
+    foldExpr(E->Rhs);
+    if (E->Rhs->K != Expr::Kind::IntLit)
+      return;
+    uint32_t V = static_cast<uint32_t>(E->Rhs->IntValue);
+    makeIntLit(E, E->Op == TokKind::Minus ? 0u - V : (V == 0 ? 1u : 0u));
+    return;
+  }
+  case Expr::Kind::Binary:
+    break;
+  }
+
+  foldExpr(E->Lhs);
+  foldExpr(E->Rhs);
+  bool LConst = E->Lhs->K == Expr::Kind::IntLit;
+  bool RConst = E->Rhs->K == Expr::Kind::IntLit;
+
+  // Short-circuit forms with a constant left side follow C's evaluation
+  // rules: the right side may be legitimately discarded.
+  if (E->Op == TokKind::AmpAmp || E->Op == TokKind::PipePipe) {
+    if (LConst) {
+      bool L = E->Lhs->IntValue != 0;
+      bool ShortCircuits = E->Op == TokKind::AmpAmp ? !L : L;
+      if (ShortCircuits) {
+        // 0 && x == 0 and 1 || x == 1; x is legitimately unevaluated.
+        makeIntLit(E, E->Op == TokKind::AmpAmp ? 0 : 1);
+      } else {
+        // 1 && x == (x != 0); 0 || x == (x != 0).
+        makeBoolOf(E, std::move(E->Rhs));
+        foldExpr(E); // The normalisation may itself be constant.
+      }
+    }
+    return;
+  }
+
+  if (LConst && RConst) {
+    makeIntLit(E, evalBinary(E->Op, static_cast<uint32_t>(E->Lhs->IntValue),
+                             static_cast<uint32_t>(E->Rhs->IntValue)));
+    return;
+  }
+
+  // Algebraic identities. Dropping a subexpression is only legal when it
+  // is pure.
+  switch (E->Op) {
+  case TokKind::Plus:
+    if (RConst && isIntLit(*E->Rhs, 0)) {
+      E = std::move(E->Lhs);
+    } else if (LConst && isIntLit(*E->Lhs, 0)) {
+      E = std::move(E->Rhs);
+    }
+    return;
+  case TokKind::Minus:
+  case TokKind::Shl:
+  case TokKind::Shr:
+    if (RConst && isIntLit(*E->Rhs, 0))
+      E = std::move(E->Lhs);
+    return;
+  case TokKind::Star:
+    if (RConst && isIntLit(*E->Rhs, 1)) {
+      E = std::move(E->Lhs);
+    } else if (LConst && isIntLit(*E->Lhs, 1)) {
+      E = std::move(E->Rhs);
+    } else if (RConst && isIntLit(*E->Rhs, 0) && isPure(*E->Lhs)) {
+      makeIntLit(E, 0);
+    } else if (LConst && isIntLit(*E->Lhs, 0) && isPure(*E->Rhs)) {
+      makeIntLit(E, 0);
+    }
+    return;
+  default:
+    return;
+  }
+}
+
+/// Folds within a statement; returns true if the statement itself should
+/// be deleted (dead branch).
+bool foldStmt(std::unique_ptr<Stmt> &S) {
+  switch (S->K) {
+  case Stmt::Kind::Block: {
+    auto &Body = S->Body;
+    for (size_t I = 0; I != Body.size();) {
+      if (foldStmt(Body[I]))
+        Body.erase(Body.begin() + static_cast<ptrdiff_t>(I));
+      else
+        ++I;
+    }
+    return false;
+  }
+  case Stmt::Kind::VarDecl:
+    if (S->Value)
+      foldExpr(S->Value);
+    return false;
+  case Stmt::Kind::Assign:
+    foldExpr(S->Value);
+    if (S->Index)
+      foldExpr(S->Index);
+    return false;
+  case Stmt::Kind::If: {
+    foldExpr(S->Cond);
+    foldStmt(S->Then);
+    if (S->Else)
+      foldStmt(S->Else);
+    if (S->Cond->K != Expr::Kind::IntLit)
+      return false;
+    // Dead-branch elimination: replace with the live arm (or nothing).
+    if (S->Cond->IntValue != 0) {
+      S = std::move(S->Then);
+      return false;
+    }
+    if (S->Else) {
+      S = std::move(S->Else);
+      return false;
+    }
+    return true; // if (0) with no else: delete.
+  }
+  case Stmt::Kind::While:
+    foldExpr(S->Cond);
+    foldStmt(S->Body.front());
+    return S->Cond->K == Expr::Kind::IntLit && S->Cond->IntValue == 0;
+  case Stmt::Kind::Return:
+    if (S->Value)
+      foldExpr(S->Value);
+    return false;
+  case Stmt::Kind::ExprStmt:
+    foldExpr(S->Value);
+    // A pure expression statement is dead.
+    return isPure(*S->Value);
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    return false;
+  case Stmt::Kind::Switch:
+    foldExpr(S->Cond);
+    for (auto &Arm : S->Body)
+      foldStmt(Arm);
+    return false;
+  }
+  assert(false && "unknown statement kind");
+  return false;
+}
+
+} // namespace
+
+void sdt::girc::optimize(Module &M) {
+  for (FuncDecl &F : M.Funcs)
+    foldStmt(F.Body);
+}

@@ -1,0 +1,35 @@
+//===- girc/Optimizer.h - MinC AST optimisations ------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST-level optimisations for girc: constant folding (with exactly the
+/// 32-bit semantics the VM implements, including division-by-zero and
+/// shift-masking rules), algebraic identities on pure subexpressions,
+/// short-circuit simplification, and dead-branch elimination
+/// (`if (0)`, `while (0)`). Side effects are never dropped except where
+/// C's own semantics drop them (the unevaluated arm of `1 || f()`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_OPTIMIZER_H
+#define STRATAIB_GIRC_OPTIMIZER_H
+
+#include "girc/Ast.h"
+
+namespace sdt {
+namespace girc {
+
+/// Optimises \p M in place. Runs after analyze() (the tree is known
+/// well-formed) and before code generation.
+void optimize(Module &M);
+
+/// True if evaluating \p E has no side effects (no calls).
+bool isPure(const Expr &E);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_OPTIMIZER_H

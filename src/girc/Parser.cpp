@@ -1,0 +1,509 @@
+//===- girc/Parser.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Parser.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/Parser.h"
+
+#include "girc/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+namespace {
+
+/// Binding power of binary operator \p K; 0 when not a binary operator.
+unsigned precedenceOf(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return 0;
+  }
+}
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Expected<Module> run();
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() { return Tokens[Pos++]; }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  Error expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return Error();
+    return Error::atLine(peek().Line,
+                         formatString("expected %s %s, got %s",
+                                      tokKindName(K).c_str(), Context,
+                                      tokKindName(peek().Kind).c_str()));
+  }
+
+  Expected<std::string> expectIdent(const char *Context) {
+    if (!at(TokKind::Ident))
+      return Error::atLine(peek().Line,
+                           formatString("expected identifier %s, got %s",
+                                        Context,
+                                        tokKindName(peek().Kind).c_str()));
+    return advance().Text;
+  }
+
+  Expected<GlobalDecl> parseGlobal();
+  Expected<FuncDecl> parseFunc();
+  Expected<std::unique_ptr<Stmt>> parseBlock();
+  Expected<std::unique_ptr<Stmt>> parseStmt();
+  Expected<std::unique_ptr<Expr>> parseExpr();
+  Expected<std::unique_ptr<Expr>> parseBinary(unsigned MinPrec);
+  Expected<std::unique_ptr<Expr>> parseUnary();
+  Expected<std::unique_ptr<Expr>> parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<GlobalDecl> Parser::parseGlobal() {
+  GlobalDecl G;
+  G.Line = peek().Line;
+  if (accept(TokKind::KwVar)) {
+    Expected<std::string> Name = expectIdent("after 'var'");
+    if (!Name)
+      return Name.takeError();
+    G.Name = *Name;
+    if (Error E = expect(TokKind::Semi, "after global declaration"))
+      return E;
+    return G;
+  }
+  assert(at(TokKind::KwArray) && "caller dispatches on var/array");
+  advance();
+  Expected<std::string> Name = expectIdent("after 'array'");
+  if (!Name)
+    return Name.takeError();
+  G.Name = *Name;
+  G.IsArray = true;
+  if (Error E = expect(TokKind::LBracket, "after array name"))
+    return E;
+  if (!at(TokKind::Number))
+    return Error::atLine(peek().Line, "expected array size");
+  int64_t Size = advance().Value;
+  if (Size <= 0 || Size > (1 << 20))
+    return Error::atLine(G.Line, "array size out of range");
+  G.ArraySize = static_cast<uint32_t>(Size);
+  if (Error E = expect(TokKind::RBracket, "after array size"))
+    return E;
+  if (Error E = expect(TokKind::Semi, "after array declaration"))
+    return E;
+  return G;
+}
+
+Expected<FuncDecl> Parser::parseFunc() {
+  FuncDecl F;
+  F.Line = peek().Line;
+  advance(); // 'func'
+  Expected<std::string> Name = expectIdent("after 'func'");
+  if (!Name)
+    return Name.takeError();
+  F.Name = *Name;
+  if (Error E = expect(TokKind::LParen, "after function name"))
+    return E;
+  if (!at(TokKind::RParen)) {
+    do {
+      Expected<std::string> Param = expectIdent("in parameter list");
+      if (!Param)
+        return Param.takeError();
+      F.Params.push_back(*Param);
+    } while (accept(TokKind::Comma));
+  }
+  if (Error E = expect(TokKind::RParen, "after parameters"))
+    return E;
+  Expected<std::unique_ptr<Stmt>> Body = parseBlock();
+  if (!Body)
+    return Body.takeError();
+  F.Body = std::move(*Body);
+  return F;
+}
+
+Expected<std::unique_ptr<Stmt>> Parser::parseBlock() {
+  auto Block = std::make_unique<Stmt>();
+  Block->K = Stmt::Kind::Block;
+  Block->Line = peek().Line;
+  if (Error E = expect(TokKind::LBrace, "to open a block"))
+    return E;
+  while (!at(TokKind::RBrace)) {
+    if (at(TokKind::Eof))
+      return Error::atLine(peek().Line, "unterminated block");
+    Expected<std::unique_ptr<Stmt>> S = parseStmt();
+    if (!S)
+      return S.takeError();
+    Block->Body.push_back(std::move(*S));
+  }
+  advance(); // '}'
+  return Block;
+}
+
+Expected<std::unique_ptr<Stmt>> Parser::parseStmt() {
+  unsigned Line = peek().Line;
+
+  if (at(TokKind::LBrace))
+    return parseBlock();
+
+  auto S = std::make_unique<Stmt>();
+  S->Line = Line;
+
+  if (accept(TokKind::KwVar)) {
+    S->K = Stmt::Kind::VarDecl;
+    Expected<std::string> Name = expectIdent("after 'var'");
+    if (!Name)
+      return Name.takeError();
+    S->Name = *Name;
+    if (accept(TokKind::Assign)) {
+      Expected<std::unique_ptr<Expr>> Init = parseExpr();
+      if (!Init)
+        return Init.takeError();
+      S->Value = std::move(*Init);
+    }
+    if (Error E = expect(TokKind::Semi, "after variable declaration"))
+      return E;
+    return S;
+  }
+
+  if (accept(TokKind::KwIf)) {
+    S->K = Stmt::Kind::If;
+    if (Error E = expect(TokKind::LParen, "after 'if'"))
+      return E;
+    Expected<std::unique_ptr<Expr>> Cond = parseExpr();
+    if (!Cond)
+      return Cond.takeError();
+    S->Cond = std::move(*Cond);
+    if (Error E = expect(TokKind::RParen, "after condition"))
+      return E;
+    Expected<std::unique_ptr<Stmt>> Then = parseStmt();
+    if (!Then)
+      return Then.takeError();
+    S->Then = std::move(*Then);
+    if (accept(TokKind::KwElse)) {
+      Expected<std::unique_ptr<Stmt>> Else = parseStmt();
+      if (!Else)
+        return Else.takeError();
+      S->Else = std::move(*Else);
+    }
+    return S;
+  }
+
+  if (accept(TokKind::KwWhile)) {
+    S->K = Stmt::Kind::While;
+    if (Error E = expect(TokKind::LParen, "after 'while'"))
+      return E;
+    Expected<std::unique_ptr<Expr>> Cond = parseExpr();
+    if (!Cond)
+      return Cond.takeError();
+    S->Cond = std::move(*Cond);
+    if (Error E = expect(TokKind::RParen, "after condition"))
+      return E;
+    Expected<std::unique_ptr<Stmt>> Body = parseStmt();
+    if (!Body)
+      return Body.takeError();
+    S->Body.push_back(std::move(*Body));
+    return S;
+  }
+
+  if (accept(TokKind::KwSwitch)) {
+    S->K = Stmt::Kind::Switch;
+    if (Error E = expect(TokKind::LParen, "after 'switch'"))
+      return E;
+    Expected<std::unique_ptr<Expr>> Cond = parseExpr();
+    if (!Cond)
+      return Cond.takeError();
+    S->Cond = std::move(*Cond);
+    if (Error E = expect(TokKind::RParen, "after switch expression"))
+      return E;
+    if (Error E = expect(TokKind::LBrace, "to open the switch body"))
+      return E;
+    while (!accept(TokKind::RBrace)) {
+      if (at(TokKind::Eof))
+        return Error::atLine(peek().Line, "unterminated switch");
+      Stmt::SwitchCase Case;
+      if (accept(TokKind::KwCase)) {
+        bool Negative = accept(TokKind::Minus);
+        if (!at(TokKind::Number))
+          return Error::atLine(peek().Line,
+                               "expected constant after 'case'");
+        Case.Value = advance().Value;
+        if (Negative)
+          Case.Value = -Case.Value;
+      } else if (accept(TokKind::KwDefault)) {
+        Case.IsDefault = true;
+      } else {
+        return Error::atLine(peek().Line,
+                             "expected 'case' or 'default' in switch");
+      }
+      if (Error E = expect(TokKind::Colon, "after case label"))
+        return E;
+      auto Arm = std::make_unique<Stmt>();
+      Arm->K = Stmt::Kind::Block;
+      Arm->Line = peek().Line;
+      while (!at(TokKind::KwCase) && !at(TokKind::KwDefault) &&
+             !at(TokKind::RBrace)) {
+        if (at(TokKind::Eof))
+          return Error::atLine(peek().Line, "unterminated switch");
+        Expected<std::unique_ptr<Stmt>> Child = parseStmt();
+        if (!Child)
+          return Child.takeError();
+        Arm->Body.push_back(std::move(*Child));
+      }
+      Case.BodyIndex = S->Body.size();
+      S->Body.push_back(std::move(Arm));
+      S->Cases.push_back(Case);
+    }
+    if (S->Cases.empty())
+      return Error::atLine(S->Line, "switch with no cases");
+    return S;
+  }
+
+  if (accept(TokKind::KwReturn)) {
+    S->K = Stmt::Kind::Return;
+    if (!at(TokKind::Semi)) {
+      Expected<std::unique_ptr<Expr>> V = parseExpr();
+      if (!V)
+        return V.takeError();
+      S->Value = std::move(*V);
+    }
+    if (Error E = expect(TokKind::Semi, "after 'return'"))
+      return E;
+    return S;
+  }
+
+  if (accept(TokKind::KwBreak)) {
+    S->K = Stmt::Kind::Break;
+    if (Error E = expect(TokKind::Semi, "after 'break'"))
+      return E;
+    return S;
+  }
+  if (accept(TokKind::KwContinue)) {
+    S->K = Stmt::Kind::Continue;
+    if (Error E = expect(TokKind::Semi, "after 'continue'"))
+      return E;
+    return S;
+  }
+
+  // Assignment (ident = / ident[expr] =) or expression statement.
+  if (at(TokKind::Ident)) {
+    TokKind After = Tokens[Pos + 1].Kind;
+    if (After == TokKind::Assign) {
+      S->K = Stmt::Kind::Assign;
+      S->Name = advance().Text;
+      advance(); // '='
+      Expected<std::unique_ptr<Expr>> V = parseExpr();
+      if (!V)
+        return V.takeError();
+      S->Value = std::move(*V);
+      if (Error E = expect(TokKind::Semi, "after assignment"))
+        return E;
+      return S;
+    }
+    if (After == TokKind::LBracket) {
+      // Could be `a[i] = e;` or an expression like `a[i] + 1;` — parse
+      // the index and look for '='.
+      size_t Save = Pos;
+      std::string Name = advance().Text;
+      advance(); // '['
+      Expected<std::unique_ptr<Expr>> Index = parseExpr();
+      if (!Index)
+        return Index.takeError();
+      if (Error E = expect(TokKind::RBracket, "after index"))
+        return E;
+      if (accept(TokKind::Assign)) {
+        S->K = Stmt::Kind::Assign;
+        S->Name = std::move(Name);
+        S->Index = std::move(*Index);
+        Expected<std::unique_ptr<Expr>> V = parseExpr();
+        if (!V)
+          return V.takeError();
+        S->Value = std::move(*V);
+        if (Error E = expect(TokKind::Semi, "after assignment"))
+          return E;
+        return S;
+      }
+      Pos = Save; // Re-parse as a plain expression statement.
+    }
+  }
+
+  S->K = Stmt::Kind::ExprStmt;
+  Expected<std::unique_ptr<Expr>> V = parseExpr();
+  if (!V)
+    return V.takeError();
+  S->Value = std::move(*V);
+  if (Error E = expect(TokKind::Semi, "after expression"))
+    return E;
+  return S;
+}
+
+Expected<std::unique_ptr<Expr>> Parser::parseExpr() {
+  return parseBinary(1);
+}
+
+Expected<std::unique_ptr<Expr>> Parser::parseBinary(unsigned MinPrec) {
+  Expected<std::unique_ptr<Expr>> Lhs = parseUnary();
+  if (!Lhs)
+    return Lhs;
+  std::unique_ptr<Expr> Node = std::move(*Lhs);
+
+  while (true) {
+    unsigned Prec = precedenceOf(peek().Kind);
+    if (Prec < MinPrec || Prec == 0)
+      return Node;
+    TokKind Op = advance().Kind;
+    Expected<std::unique_ptr<Expr>> Rhs = parseBinary(Prec + 1);
+    if (!Rhs)
+      return Rhs;
+    auto Bin = std::make_unique<Expr>();
+    Bin->K = Expr::Kind::Binary;
+    Bin->Line = Node->Line;
+    Bin->Op = Op;
+    Bin->Lhs = std::move(Node);
+    Bin->Rhs = std::move(*Rhs);
+    Node = std::move(Bin);
+  }
+}
+
+Expected<std::unique_ptr<Expr>> Parser::parseUnary() {
+  if (at(TokKind::Minus) || at(TokKind::Bang)) {
+    auto U = std::make_unique<Expr>();
+    U->K = Expr::Kind::Unary;
+    U->Line = peek().Line;
+    U->Op = advance().Kind;
+    Expected<std::unique_ptr<Expr>> Operand = parseUnary();
+    if (!Operand)
+      return Operand;
+    U->Rhs = std::move(*Operand);
+    return U;
+  }
+  return parsePrimary();
+}
+
+Expected<std::unique_ptr<Expr>> Parser::parsePrimary() {
+  auto Node = std::make_unique<Expr>();
+  Node->Line = peek().Line;
+
+  if (at(TokKind::Number)) {
+    Node->K = Expr::Kind::IntLit;
+    Node->IntValue = advance().Value;
+    return Node;
+  }
+
+  if (accept(TokKind::LParen)) {
+    Expected<std::unique_ptr<Expr>> Inner = parseExpr();
+    if (!Inner)
+      return Inner;
+    if (Error E = expect(TokKind::RParen, "after expression"))
+      return E;
+    return Inner;
+  }
+
+  if (at(TokKind::Ident)) {
+    Node->Name = advance().Text;
+    if (accept(TokKind::LParen)) {
+      Node->K = Expr::Kind::Call;
+      if (!at(TokKind::RParen)) {
+        do {
+          Expected<std::unique_ptr<Expr>> Arg = parseExpr();
+          if (!Arg)
+            return Arg;
+          Node->Args.push_back(std::move(*Arg));
+        } while (accept(TokKind::Comma));
+      }
+      if (Error E = expect(TokKind::RParen, "after arguments"))
+        return E;
+      return Node;
+    }
+    if (accept(TokKind::LBracket)) {
+      Node->K = Expr::Kind::Index;
+      Expected<std::unique_ptr<Expr>> Index = parseExpr();
+      if (!Index)
+        return Index;
+      Node->Rhs = std::move(*Index);
+      if (Error E = expect(TokKind::RBracket, "after index"))
+        return E;
+      return Node;
+    }
+    Node->K = Expr::Kind::VarRef;
+    return Node;
+  }
+
+  return Error::atLine(peek().Line,
+                       formatString("expected expression, got %s",
+                                    tokKindName(peek().Kind).c_str()));
+}
+
+Expected<Module> Parser::run() {
+  Module M;
+  while (!at(TokKind::Eof)) {
+    if (at(TokKind::KwVar) || at(TokKind::KwArray)) {
+      Expected<GlobalDecl> G = parseGlobal();
+      if (!G)
+        return G.takeError();
+      M.Globals.push_back(std::move(*G));
+      continue;
+    }
+    if (at(TokKind::KwFunc)) {
+      Expected<FuncDecl> F = parseFunc();
+      if (!F)
+        return F.takeError();
+      M.Funcs.push_back(std::move(*F));
+      continue;
+    }
+    return Error::atLine(peek().Line,
+                         formatString("expected 'func', 'var' or 'array' "
+                                      "at top level, got %s",
+                                      tokKindName(peek().Kind).c_str()));
+  }
+  return M;
+}
+
+Expected<Module> sdt::girc::parse(std::string_view Source) {
+  Expected<std::vector<Token>> Tokens = lex(Source);
+  if (!Tokens)
+    return Tokens.takeError();
+  Parser P(std::move(*Tokens));
+  return P.run();
+}

@@ -1,0 +1,47 @@
+//===- girc/Parser.h - MinC parser -------------------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MinC with precedence climbing for binary
+/// expressions (C precedence: || < && < | < ^ < & < ==/!= < relational <
+/// shifts < additive < multiplicative < unary).
+///
+/// Grammar sketch:
+/// \code
+///   module   := (global | func)*
+///   global   := 'var' ident ';' | 'array' ident '[' number ']' ';'
+///   func     := 'func' ident '(' params? ')' block
+///   block    := '{' stmt* '}'
+///   stmt     := block | 'var' ident ('=' expr)? ';'
+///             | 'if' '(' expr ')' stmt ('else' stmt)?
+///             | 'while' '(' expr ')' stmt
+///             | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+///             | ident '=' expr ';' | ident '[' expr ']' '=' expr ';'
+///             | expr ';'
+///   primary  := number | ident | ident '(' args? ')' | ident '[' expr ']'
+///             | '(' expr ')' | '-' primary | '!' primary
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_PARSER_H
+#define STRATAIB_GIRC_PARSER_H
+
+#include "girc/Ast.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace sdt {
+namespace girc {
+
+/// Parses MinC source into a Module. Diagnostics name the source line.
+Expected<Module> parse(std::string_view Source);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_PARSER_H

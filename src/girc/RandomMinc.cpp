@@ -1,0 +1,288 @@
+//===- girc/RandomMinc.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See RandomMinc.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/RandomMinc.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+namespace {
+
+/// Emits one whole program. Each function knows the set of scalar names
+/// (params + declared locals + global scalars) it may read and write.
+class MincGen {
+public:
+  MincGen(uint64_t Seed, const RandomMincOptions &Opts)
+      : Rng(Seed), Opts(Opts) {}
+
+  std::string run();
+
+private:
+  void emitFunction(unsigned Index, unsigned NumParams);
+  void emitStmts(unsigned Count, unsigned Depth, unsigned FuncIndex);
+  std::string genExpr(unsigned Depth, unsigned FuncIndex);
+  std::string genCall(unsigned FuncIndex);
+  std::string randScalar() {
+    return Scalars[Rng.nextBelow(Scalars.size())];
+  }
+  std::string randArrayRef(unsigned Depth, unsigned FuncIndex);
+
+  void line(const std::string &Text) {
+    Out.append(Indent, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  sdt::Rng Rng;
+  RandomMincOptions Opts;
+  std::string Out;
+  unsigned Indent = 0;
+  std::vector<std::string> Scalars; ///< Readable/writable in scope.
+  std::vector<unsigned> FuncParams; ///< Arity per generated function.
+  unsigned LoopCounter = 0;         ///< Unique loop-variable names.
+  // Termination/blowup control: the call graph is a DAG, but call *sites*
+  // multiply along paths, so each function gets a small call budget and
+  // loops contain no calls at all.
+  unsigned CallBudget = 0;
+  bool InLoop = false;
+};
+
+} // namespace
+
+std::string MincGen::randArrayRef(unsigned Depth, unsigned FuncIndex) {
+  // Indices are masked into the 64-word arrays: `expr & 63` is always a
+  // valid non-negative index.
+  return formatString("g_arr%u[(%s) & 63]",
+                      static_cast<unsigned>(Rng.nextBelow(2)),
+                      genExpr(Depth, FuncIndex).c_str());
+}
+
+std::string MincGen::genExpr(unsigned Depth, unsigned FuncIndex) {
+  if (Depth == 0 || Rng.nextChance(1, 4)) {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      return std::to_string(Rng.nextInRange(-99, 99));
+    case 1:
+      return randScalar();
+    default:
+      return "g_acc";
+    }
+  }
+  switch (Rng.nextBelow(8)) {
+  case 0:
+  case 1: {
+    static const char *const Ops[] = {"+", "-",  "*",  "&",  "|", "^",
+                                      "<<", ">>", "<",  "==", "!="};
+    const char *Op = Ops[Rng.nextBelow(std::size(Ops))];
+    return formatString("(%s %s %s)", genExpr(Depth - 1, FuncIndex).c_str(),
+                        Op, genExpr(Depth - 1, FuncIndex).c_str());
+  }
+  case 2:
+    return formatString("(%s / %s)", genExpr(Depth - 1, FuncIndex).c_str(),
+                        genExpr(Depth - 1, FuncIndex).c_str());
+  case 3:
+    return formatString("(%s %% %s)",
+                        genExpr(Depth - 1, FuncIndex).c_str(),
+                        genExpr(Depth - 1, FuncIndex).c_str());
+  case 4:
+    return formatString("(-%s)", genExpr(Depth - 1, FuncIndex).c_str());
+  case 5:
+    return randArrayRef(Depth - 1, FuncIndex);
+  case 6:
+    if (FuncIndex + 1 < FuncParams.size() && !InLoop && CallBudget > 0) {
+      --CallBudget;
+      return genCall(FuncIndex);
+    }
+    return randScalar();
+  default:
+    return formatString("(%s && %s)",
+                        genExpr(Depth - 1, FuncIndex).c_str(),
+                        genExpr(Depth - 1, FuncIndex).c_str());
+  }
+}
+
+std::string MincGen::genCall(unsigned FuncIndex) {
+  // Callees are strictly higher-numbered: the call graph is a DAG.
+  unsigned Callee =
+      FuncIndex + 1 +
+      static_cast<unsigned>(
+          Rng.nextBelow(FuncParams.size() - FuncIndex - 1));
+  std::string Args;
+  for (unsigned I = 0; I != FuncParams[Callee]; ++I) {
+    if (I != 0)
+      Args += ", ";
+    Args += genExpr(1, FuncIndex);
+  }
+  return formatString("f%u(%s)", Callee, Args.c_str());
+}
+
+void MincGen::emitStmts(unsigned Count, unsigned Depth,
+                        unsigned FuncIndex) {
+  for (unsigned I = 0; I != Count; ++I) {
+    switch (Rng.nextBelow(10)) {
+    case 0:
+    case 1: // Scalar assignment.
+      line(formatString("%s = %s;", randScalar().c_str(),
+                        genExpr(Opts.MaxExprDepth, FuncIndex).c_str()));
+      break;
+    case 2: // Array store.
+      line(formatString("%s = %s;",
+                        randArrayRef(1, FuncIndex).c_str(),
+                        genExpr(Opts.MaxExprDepth, FuncIndex).c_str()));
+      break;
+    case 3: // Checksum a value (observability).
+      line(formatString("checksum(%s);",
+                        genExpr(Opts.MaxExprDepth, FuncIndex).c_str()));
+      break;
+    case 4: { // Bounded countdown loop with a dedicated counter.
+      std::string Counter = formatString("lc%u", LoopCounter++);
+      line(formatString("var %s = %u;", Counter.c_str(),
+                        2 + static_cast<unsigned>(Rng.nextBelow(5))));
+      line(formatString("while (%s > 0) {", Counter.c_str()));
+      Indent += 2;
+      line(formatString("%s = %s - 1;", Counter.c_str(),
+                        Counter.c_str()));
+      if (Depth != 0) {
+        bool SavedInLoop = InLoop;
+        InLoop = true;
+        emitStmts(1 + static_cast<unsigned>(Rng.nextBelow(2)), Depth - 1,
+                  FuncIndex);
+        InLoop = SavedInLoop;
+      }
+      Indent -= 2;
+      line("}");
+      break;
+    }
+    case 5: // If/else.
+      line(formatString("if (%s) {",
+                        genExpr(2, FuncIndex).c_str()));
+      Indent += 2;
+      if (Depth != 0)
+        emitStmts(1, Depth - 1, FuncIndex);
+      line(formatString("g_acc = g_acc + %d;",
+                        static_cast<int>(Rng.nextInRange(1, 9))));
+      Indent -= 2;
+      line("} else {");
+      Indent += 2;
+      line(formatString("g_acc = g_acc ^ %d;",
+                        static_cast<int>(Rng.nextInRange(1, 99))));
+      Indent -= 2;
+      line("}");
+      break;
+    case 6: { // Switch over a masked value.
+      line(formatString("switch ((%s) & 3) {",
+                        genExpr(2, FuncIndex).c_str()));
+      Indent += 2;
+      for (unsigned C = 0; C != 4; ++C) {
+        bool Breaks = Rng.nextChance(2, 3);
+        line(formatString("case %u: g_acc = g_acc + %u; %s", C,
+                          C * 7 + 1, Breaks ? "break;" : ""));
+      }
+      line("default: g_acc = g_acc - 1;");
+      Indent -= 2;
+      line("}");
+      break;
+    }
+    case 7: // New local.
+      if (true) {
+        std::string Name = formatString("v%u_%u", FuncIndex,
+                                        static_cast<unsigned>(
+                                            Scalars.size()));
+        line(formatString("var %s = %s;", Name.c_str(),
+                          genExpr(2, FuncIndex).c_str()));
+        Scalars.push_back(Name);
+      }
+      break;
+    case 8: // Call for effect.
+      if (FuncIndex + 1 < FuncParams.size() && !InLoop && CallBudget > 0) {
+        --CallBudget;
+        line(genCall(FuncIndex) + ";");
+      } else {
+        line(formatString("g_acc = g_acc + %s;",
+                          randScalar().c_str()));
+      }
+      break;
+    default: // Accumulate.
+      line(formatString("g_acc = g_acc ^ (%s);",
+                        genExpr(Opts.MaxExprDepth, FuncIndex).c_str()));
+      break;
+    }
+  }
+}
+
+void MincGen::emitFunction(unsigned Index, unsigned NumParams) {
+  std::vector<std::string> SavedScalars = {"g_acc"};
+  Scalars = SavedScalars;
+
+  std::string Params;
+  for (unsigned I = 0; I != NumParams; ++I) {
+    std::string Name = formatString("p%u", I);
+    if (I != 0)
+      Params += ", ";
+    Params += Name;
+    Scalars.push_back(Name);
+  }
+
+  CallBudget = 2;
+  InLoop = false;
+  line(formatString("func f%u(%s) {", Index, Params.c_str()));
+  Indent += 2;
+  emitStmts(Opts.StmtsPerFunction, 2, Index);
+  line(formatString("return g_acc ^ %u;", Index * 97 + 5));
+  Indent -= 2;
+  line("}");
+  line("");
+}
+
+std::string MincGen::run() {
+  line("// Randomly generated MinC program (girc fuzzing).");
+  line("var g_acc;");
+  line("array g_arr0[64];");
+  line("array g_arr1[64];");
+  line("");
+
+  FuncParams.resize(Opts.NumFunctions);
+  for (unsigned I = 0; I != Opts.NumFunctions; ++I)
+    FuncParams[I] = static_cast<unsigned>(Rng.nextBelow(4));
+  for (unsigned I = 0; I != Opts.NumFunctions; ++I)
+    emitFunction(I, FuncParams[I]);
+
+  line("func main() {");
+  Indent += 2;
+  line("g_acc = 1;");
+  line("var round = 3;");
+  line("while (round > 0) {");
+  Indent += 2;
+  line("round = round - 1;");
+  if (!FuncParams.empty()) {
+    std::string Args;
+    for (unsigned I = 0; I != FuncParams[0]; ++I) {
+      if (I != 0)
+        Args += ", ";
+      Args += formatString("round + %u", I);
+    }
+    line(formatString("g_acc = g_acc + f0(%s);", Args.c_str()));
+  }
+  line("checksum(g_acc);");
+  Indent -= 2;
+  line("}");
+  line("print(g_acc);");
+  line("return 0;");
+  Indent -= 2;
+  line("}");
+  return Out;
+}
+
+std::string sdt::girc::generateRandomMinc(uint64_t Seed,
+                                          const RandomMincOptions &Opts) {
+  MincGen Gen(Seed, Opts);
+  return Gen.run();
+}

@@ -1,0 +1,40 @@
+//===- girc/RandomMinc.h - Random MinC program generation ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random MinC source generation for compiler fuzzing. Generated
+/// programs terminate by construction (calls only reach higher-numbered
+/// functions, loops count down dedicated counters, array indices are
+/// masked into bounds) and accumulate a checksum, so any two correct
+/// compilations — optimised or not, register-allocated or not, native or
+/// translated — must agree bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_RANDOMMINC_H
+#define STRATAIB_GIRC_RANDOMMINC_H
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+namespace girc {
+
+/// Shape knobs.
+struct RandomMincOptions {
+  unsigned NumFunctions = 5;     ///< Excluding main.
+  unsigned StmtsPerFunction = 6; ///< Top-level statements drawn per body.
+  unsigned MaxExprDepth = 3;
+};
+
+/// Generates MinC source for \p Seed. Always parses, checks, and runs.
+std::string generateRandomMinc(uint64_t Seed,
+                               const RandomMincOptions &Opts = {});
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_RANDOMMINC_H

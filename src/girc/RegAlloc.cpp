@@ -1,0 +1,154 @@
+//===- girc/RegAlloc.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See RegAlloc.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/RegAlloc.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+std::string Allocation::regName(const std::string &Name) const {
+  auto It = RegOf.find(Name);
+  assert(It != RegOf.end() && "local not register-allocated");
+  return formatString("s%u", It->second);
+}
+
+namespace {
+
+/// Accumulates per-local reference counts over a function body.
+class UseCounter {
+public:
+  explicit UseCounter(const FunctionInfo &Info) : Info(Info) {}
+
+  void countStmt(const Stmt &S);
+  void countExpr(const Expr &E);
+
+  std::map<std::string, unsigned> Counts;
+
+private:
+  void bump(const std::string &Name) {
+    if (Info.LocalSlots.count(Name))
+      ++Counts[Name];
+  }
+
+  const FunctionInfo &Info;
+};
+
+} // namespace
+
+void UseCounter::countExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return;
+  case Expr::Kind::VarRef:
+    bump(E.Name);
+    return;
+  case Expr::Kind::Index:
+    countExpr(*E.Rhs);
+    return;
+  case Expr::Kind::Unary:
+    countExpr(*E.Rhs);
+    return;
+  case Expr::Kind::Binary:
+    countExpr(*E.Lhs);
+    countExpr(*E.Rhs);
+    return;
+  case Expr::Kind::Call:
+    bump(E.Name); // Indirect-call callee (no-op for function names).
+    for (const auto &Arg : E.Args)
+      countExpr(*Arg);
+    return;
+  }
+  assert(false && "unknown expression kind");
+}
+
+void UseCounter::countStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (const auto &Child : S.Body)
+      countStmt(*Child);
+    return;
+  case Stmt::Kind::VarDecl:
+    if (S.Value) {
+      bump(S.Name);
+      countExpr(*S.Value);
+    }
+    return;
+  case Stmt::Kind::Assign:
+    bump(S.Name);
+    countExpr(*S.Value);
+    if (S.Index)
+      countExpr(*S.Index);
+    return;
+  case Stmt::Kind::If:
+    countExpr(*S.Cond);
+    countStmt(*S.Then);
+    if (S.Else)
+      countStmt(*S.Else);
+    return;
+  case Stmt::Kind::While:
+    // Loop bodies run many times: weight their references.
+    countExpr(*S.Cond);
+    countExpr(*S.Cond);
+    {
+      UseCounter Body(Info);
+      Body.countStmt(*S.Body.front());
+      for (const auto &[Name, N] : Body.Counts)
+        Counts[Name] += 4 * N;
+    }
+    return;
+  case Stmt::Kind::Return:
+    if (S.Value)
+      countExpr(*S.Value);
+    return;
+  case Stmt::Kind::ExprStmt:
+    countExpr(*S.Value);
+    return;
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    return;
+  case Stmt::Kind::Switch:
+    countExpr(*S.Cond);
+    for (const auto &Arm : S.Body)
+      countStmt(*Arm);
+    return;
+  }
+  assert(false && "unknown statement kind");
+}
+
+Allocation sdt::girc::allocateRegisters(const FuncDecl &F,
+                                        const FunctionInfo &Info) {
+  UseCounter Counter(Info);
+  Counter.countStmt(*F.Body);
+  // Parameters get a baseline bump: they are at least written once.
+  for (const std::string &Param : F.Params)
+    ++Counter.Counts[Param];
+
+  std::vector<std::pair<unsigned, std::string>> Ranked;
+  for (const auto &[Name, N] : Counter.Counts)
+    Ranked.emplace_back(N, Name);
+  // Highest use count first; ties broken by name for determinism.
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first > B.first;
+              return A.second < B.second;
+            });
+
+  Allocation Alloc;
+  for (const auto &[N, Name] : Ranked) {
+    if (Alloc.RegOf.size() == NumAllocatableRegs)
+      break;
+    unsigned Reg = static_cast<unsigned>(Alloc.RegOf.size());
+    Alloc.RegOf.emplace(Name, Reg);
+  }
+  return Alloc;
+}

@@ -1,0 +1,55 @@
+//===- girc/RegAlloc.h - MinC local-variable allocation -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple usage-count register allocator for MinC locals: the most
+/// referenced locals of each function are promoted from frame slots to
+/// callee-saved registers (s0..s5), which the generated prologue saves
+/// and the epilogue restores. Everything else stays in its frame slot.
+/// Correctness is easy to see: girc-generated code is the only code in a
+/// guest image, and every generated function preserves the s-registers
+/// it uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_REGALLOC_H
+#define STRATAIB_GIRC_REGALLOC_H
+
+#include "girc/Ast.h"
+#include "girc/Sema.h"
+
+#include <map>
+#include <string>
+
+namespace sdt {
+namespace girc {
+
+/// Callee-saved registers available for promotion (s0..s5; s6/s7 are
+/// left to hand-written assembly conventions in mixed test images).
+inline constexpr unsigned NumAllocatableRegs = 6;
+
+/// Allocation result for one function: local name → s-register index
+/// (0 => "s0"). Locals absent from the map stay in frame slots.
+struct Allocation {
+  std::map<std::string, unsigned> RegOf;
+
+  bool inRegister(const std::string &Name) const {
+    return RegOf.count(Name) != 0;
+  }
+  /// Register name ("s0".."s5") for an allocated local.
+  std::string regName(const std::string &Name) const;
+  /// Number of s-registers used (they are assigned densely from s0).
+  unsigned numUsed() const { return static_cast<unsigned>(RegOf.size()); }
+};
+
+/// Counts references to each local in \p F (reads, writes, calls through
+/// it) and assigns the top-used locals to s-registers.
+Allocation allocateRegisters(const FuncDecl &F, const FunctionInfo &Info);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_REGALLOC_H

@@ -1,0 +1,282 @@
+//===- girc/Sema.cpp -------------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Sema.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "girc/Sema.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdint>
+#include <set>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+namespace {
+
+/// Per-function checking pass.
+class FunctionChecker {
+public:
+  FunctionChecker(const ModuleInfo &Info, FunctionInfo &Fn)
+      : Info(Info), Fn(Fn) {}
+
+  Error run() {
+    for (const std::string &Param : Fn.Decl->Params)
+      Declared.insert(Param);
+    return checkStmt(*Fn.Decl->Body);
+  }
+
+private:
+  Error checkStmt(const Stmt &S);
+  Error checkExpr(const Expr &E);
+
+  /// True if \p Name currently denotes a readable scalar value (local or
+  /// global scalar).
+  bool isScalarVar(const std::string &Name) const {
+    if (Declared.count(Name))
+      return true;
+    auto It = Info.Globals.find(Name);
+    return It != Info.Globals.end() && !It->second->IsArray;
+  }
+
+  const ModuleInfo &Info;
+  FunctionInfo &Fn;
+  std::set<std::string> Declared; ///< Locals visible so far.
+  unsigned LoopDepth = 0;
+  unsigned SwitchDepth = 0; ///< 'break' is also valid inside a switch.
+};
+
+} // namespace
+
+Error FunctionChecker::checkExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return Error();
+
+  case Expr::Kind::VarRef: {
+    if (Declared.count(E.Name) || Info.Globals.count(E.Name) ||
+        Info.Functions.count(E.Name))
+      return Error();
+    if (ModuleInfo::isBuiltin(E.Name))
+      return Error::atLine(E.Line, "builtin '" + E.Name +
+                                       "' cannot be used as a value");
+    return Error::atLine(E.Line, "undeclared identifier '" + E.Name + "'");
+  }
+
+  case Expr::Kind::Index: {
+    auto It = Info.Globals.find(E.Name);
+    if (It == Info.Globals.end() || !It->second->IsArray)
+      return Error::atLine(E.Line, "'" + E.Name + "' is not an array");
+    return checkExpr(*E.Rhs);
+  }
+
+  case Expr::Kind::Unary:
+    return checkExpr(*E.Rhs);
+
+  case Expr::Kind::Binary:
+    if (Error Err = checkExpr(*E.Lhs))
+      return Err;
+    return checkExpr(*E.Rhs);
+
+  case Expr::Kind::Call: {
+    if (E.Args.size() > MaxParams)
+      return Error::atLine(E.Line,
+                           formatString("too many arguments (max %u)",
+                                        MaxParams));
+    for (const auto &Arg : E.Args)
+      if (Error Err = checkExpr(*Arg))
+        return Err;
+
+    if (ModuleInfo::isBuiltin(E.Name)) {
+      if (E.Args.size() != 1)
+        return Error::atLine(E.Line,
+                             "builtin '" + E.Name + "' takes one argument");
+      return Error();
+    }
+    auto Func = Info.Functions.find(E.Name);
+    if (Func != Info.Functions.end()) {
+      if (E.Args.size() != Func->second.Decl->Params.size())
+        return Error::atLine(
+            E.Line,
+            formatString("'%s' expects %zu argument(s), got %zu",
+                         E.Name.c_str(),
+                         Func->second.Decl->Params.size(), E.Args.size()));
+      return Error();
+    }
+    if (isScalarVar(E.Name))
+      return Error(); // Indirect call through a variable.
+    return Error::atLine(E.Line,
+                         "call target '" + E.Name +
+                             "' is neither a function nor a variable");
+  }
+  }
+  assert(false && "unknown expression kind");
+  return Error();
+}
+
+Error FunctionChecker::checkStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (const auto &Child : S.Body)
+      if (Error Err = checkStmt(*Child))
+        return Err;
+    return Error();
+
+  case Stmt::Kind::VarDecl: {
+    if (Declared.count(S.Name))
+      return Error::atLine(S.Line, "duplicate local '" + S.Name + "'");
+    if (Info.Globals.count(S.Name) || Info.Functions.count(S.Name) ||
+        ModuleInfo::isBuiltin(S.Name))
+      return Error::atLine(S.Line,
+                           "local '" + S.Name + "' shadows a global name");
+    if (S.Value)
+      if (Error Err = checkExpr(*S.Value))
+        return Err;
+    Declared.insert(S.Name);
+    Fn.LocalSlots.emplace(S.Name, Fn.NumLocals++);
+    return Error();
+  }
+
+  case Stmt::Kind::Assign: {
+    if (Error Err = checkExpr(*S.Value))
+      return Err;
+    if (S.Index) {
+      auto It = Info.Globals.find(S.Name);
+      if (It == Info.Globals.end() || !It->second->IsArray)
+        return Error::atLine(S.Line, "'" + S.Name + "' is not an array");
+      return checkExpr(*S.Index);
+    }
+    if (isScalarVar(S.Name))
+      return Error();
+    if (Info.Functions.count(S.Name))
+      return Error::atLine(S.Line,
+                           "cannot assign to function '" + S.Name + "'");
+    return Error::atLine(S.Line,
+                         "undeclared assignment target '" + S.Name + "'");
+  }
+
+  case Stmt::Kind::If:
+    if (Error Err = checkExpr(*S.Cond))
+      return Err;
+    if (Error Err = checkStmt(*S.Then))
+      return Err;
+    if (S.Else)
+      return checkStmt(*S.Else);
+    return Error();
+
+  case Stmt::Kind::While: {
+    if (Error Err = checkExpr(*S.Cond))
+      return Err;
+    ++LoopDepth;
+    Error Err = checkStmt(*S.Body.front());
+    --LoopDepth;
+    return Err;
+  }
+
+  case Stmt::Kind::Return:
+    if (S.Value)
+      return checkExpr(*S.Value);
+    return Error();
+
+  case Stmt::Kind::ExprStmt:
+    return checkExpr(*S.Value);
+
+  case Stmt::Kind::Break:
+    if (LoopDepth == 0 && SwitchDepth == 0)
+      return Error::atLine(S.Line, "'break' outside of a loop or switch");
+    return Error();
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      return Error::atLine(S.Line, "'continue' outside of a loop");
+    return Error();
+
+  case Stmt::Kind::Switch: {
+    if (Error Err = checkExpr(*S.Cond))
+      return Err;
+    std::set<int64_t> Seen;
+    bool SawDefault = false;
+    for (const Stmt::SwitchCase &Case : S.Cases) {
+      if (Case.IsDefault) {
+        if (SawDefault)
+          return Error::atLine(S.Line, "multiple 'default' labels");
+        SawDefault = true;
+        continue;
+      }
+      if (Case.Value < INT32_MIN || Case.Value > INT32_MAX)
+        return Error::atLine(S.Line, "case value out of 32-bit range");
+      if (!Seen.insert(Case.Value).second)
+        return Error::atLine(S.Line,
+                             formatString("duplicate case value %lld",
+                                          static_cast<long long>(
+                                              Case.Value)));
+    }
+    ++SwitchDepth;
+    for (const auto &Arm : S.Body)
+      if (Error Err = checkStmt(*Arm)) {
+        --SwitchDepth;
+        return Err;
+      }
+    --SwitchDepth;
+    return Error();
+  }
+  }
+  assert(false && "unknown statement kind");
+  return Error();
+}
+
+Expected<ModuleInfo> sdt::girc::analyze(const Module &M) {
+  ModuleInfo Info;
+
+  for (const GlobalDecl &G : M.Globals) {
+    if (ModuleInfo::isBuiltin(G.Name))
+      return Error::atLine(G.Line,
+                           "global '" + G.Name + "' shadows a builtin");
+    auto [It, Inserted] = Info.Globals.emplace(G.Name, &G);
+    (void)It;
+    if (!Inserted)
+      return Error::atLine(G.Line, "duplicate global '" + G.Name + "'");
+  }
+
+  for (const FuncDecl &F : M.Funcs) {
+    if (ModuleInfo::isBuiltin(F.Name))
+      return Error::atLine(F.Line,
+                           "function '" + F.Name + "' shadows a builtin");
+    if (Info.Globals.count(F.Name))
+      return Error::atLine(F.Line, "function '" + F.Name +
+                                       "' collides with a global");
+    if (F.Params.size() > MaxParams)
+      return Error::atLine(F.Line,
+                           formatString("too many parameters (max %u)",
+                                        MaxParams));
+    FunctionInfo Fn;
+    Fn.Decl = &F;
+    for (const std::string &Param : F.Params) {
+      auto [It, Inserted] = Fn.LocalSlots.emplace(Param, Fn.NumLocals);
+      (void)It;
+      if (!Inserted)
+        return Error::atLine(F.Line, "duplicate parameter '" + Param + "'");
+      ++Fn.NumLocals;
+    }
+    auto [It, Inserted] = Info.Functions.emplace(F.Name, std::move(Fn));
+    (void)It;
+    if (!Inserted)
+      return Error::atLine(F.Line, "duplicate function '" + F.Name + "'");
+  }
+
+  auto Main = Info.Functions.find("main");
+  if (Main == Info.Functions.end())
+    return Error::failure("no 'main' function defined");
+  if (!Main->second.Decl->Params.empty())
+    return Error::atLine(Main->second.Decl->Line,
+                         "'main' takes no parameters");
+
+  for (const FuncDecl &F : M.Funcs) {
+    FunctionChecker Checker(Info, Info.Functions.at(F.Name));
+    if (Error Err = Checker.run())
+      return Err;
+  }
+  return Info;
+}

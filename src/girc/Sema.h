@@ -1,0 +1,56 @@
+//===- girc/Sema.h - MinC semantic analysis ----------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and static checks for MinC: symbol tables for globals
+/// and per-function locals (parameters first), arity and kind checks for
+/// calls and assignments, and structural checks (main exists,
+/// break/continue inside loops, declare-before-use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_SEMA_H
+#define STRATAIB_GIRC_SEMA_H
+
+#include "girc/Ast.h"
+#include "support/Error.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sdt {
+namespace girc {
+
+/// Maximum function parameters (passed in a0..a3).
+inline constexpr unsigned MaxParams = 4;
+
+/// Resolved facts about one function.
+struct FunctionInfo {
+  const FuncDecl *Decl = nullptr;
+  /// Frame-slot index per local (parameters occupy slots 0..N-1).
+  std::map<std::string, unsigned> LocalSlots;
+  unsigned NumLocals = 0;
+};
+
+/// Resolved facts about a module.
+struct ModuleInfo {
+  std::map<std::string, FunctionInfo> Functions;
+  std::map<std::string, const GlobalDecl *> Globals;
+
+  /// Builtins compile to syscalls: print/putc/checksum, all arity 1.
+  static bool isBuiltin(std::string_view Name) {
+    return Name == "print" || Name == "putc" || Name == "checksum";
+  }
+};
+
+/// Checks \p M and builds its symbol tables. Diagnostics name lines.
+Expected<ModuleInfo> analyze(const Module &M);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_SEMA_H

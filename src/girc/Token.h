@@ -1,0 +1,93 @@
+//===- girc/Token.h - MinC token definitions ---------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for MinC, the small C-like language the `girc` compiler lowers
+/// to GIR assembly. MinC exists so guest programs with realistic compiled
+/// control flow — including the function-pointer calls and deep call
+/// trees whose indirect branches this repository studies — can be written
+/// in a high-level language instead of assembly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_GIRC_TOKEN_H
+#define STRATAIB_GIRC_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+namespace girc {
+
+/// Token kinds. Operator enumerators double as binary-operator tags in
+/// the AST.
+enum class TokKind : uint8_t {
+  // Literals and names.
+  Ident,
+  Number,
+  // Keywords.
+  KwFunc,
+  KwVar,
+  KwArray,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  Colon,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  Assign,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  // End of input.
+  Eof,
+};
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;  ///< Identifier spelling (Ident only).
+  int64_t Value = 0; ///< Numeric value (Number only).
+  unsigned Line = 0; ///< 1-based source line.
+};
+
+/// Short printable name for diagnostics ("identifier", "'+'", ...).
+std::string tokKindName(TokKind Kind);
+
+} // namespace girc
+} // namespace sdt
+
+#endif // STRATAIB_GIRC_TOKEN_H

@@ -1,0 +1,54 @@
+//===- isa/Disassembler.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Disassembler.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disassembler.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+std::string sdt::isa::disassemble(const Instruction &I, uint32_t Pc) {
+  const OpcodeInfo &Info = opcodeInfo(I.Op);
+  std::string M(Info.Mnemonic);
+  switch (Info.Form) {
+  case Format::R:
+    return formatString("%s %s, %s, %s", M.c_str(),
+                        registerName(I.Rd).c_str(),
+                        registerName(I.Rs1).c_str(),
+                        registerName(I.Rs2).c_str());
+  case Format::I:
+    return formatString("%s %s, %s, %d", M.c_str(),
+                        registerName(I.Rd).c_str(),
+                        registerName(I.Rs1).c_str(), I.Imm);
+  case Format::Lui:
+    return formatString("%s %s, 0x%x", M.c_str(),
+                        registerName(I.Rd).c_str(),
+                        static_cast<unsigned>(I.Imm));
+  case Format::Mem:
+    return formatString("%s %s, %d(%s)", M.c_str(),
+                        registerName(I.Rd).c_str(), I.Imm,
+                        registerName(I.Rs1).c_str());
+  case Format::B:
+    return formatString("%s %s, %s, 0x%x", M.c_str(),
+                        registerName(I.Rs1).c_str(),
+                        registerName(I.Rs2).c_str(), I.branchTarget(Pc));
+  case Format::Jump:
+    return formatString("%s 0x%x", M.c_str(), I.directTarget());
+  case Format::Jr:
+    return formatString("%s %s", M.c_str(), registerName(I.Rs1).c_str());
+  case Format::Jalr:
+    return formatString("%s %s, %s", M.c_str(),
+                        registerName(I.Rd).c_str(),
+                        registerName(I.Rs1).c_str());
+  case Format::None:
+    return M;
+  }
+  assert(false && "unknown format");
+  return M;
+}

@@ -1,0 +1,31 @@
+//===- isa/Disassembler.h - GIR disassembler --------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decoded instructions back to assembly text, in the syntax the
+/// assembler accepts (round-trippable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_DISASSEMBLER_H
+#define STRATAIB_ISA_DISASSEMBLER_H
+
+#include "isa/Instruction.h"
+
+#include <string>
+
+namespace sdt {
+namespace isa {
+
+/// Renders \p I as assembly text. Branch and jump targets print as
+/// absolute hex addresses; \p Pc is the instruction's own address, needed
+/// to resolve PC-relative branch displacements.
+std::string disassemble(const Instruction &I, uint32_t Pc);
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_DISASSEMBLER_H

@@ -1,0 +1,128 @@
+//===- isa/Encoding.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Encoding.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+uint32_t sdt::isa::readWordLE(const uint8_t *Bytes) {
+  return static_cast<uint32_t>(Bytes[0]) |
+         (static_cast<uint32_t>(Bytes[1]) << 8) |
+         (static_cast<uint32_t>(Bytes[2]) << 16) |
+         (static_cast<uint32_t>(Bytes[3]) << 24);
+}
+
+void sdt::isa::writeWordLE(uint8_t *Bytes, uint32_t Word) {
+  Bytes[0] = static_cast<uint8_t>(Word);
+  Bytes[1] = static_cast<uint8_t>(Word >> 8);
+  Bytes[2] = static_cast<uint8_t>(Word >> 16);
+  Bytes[3] = static_cast<uint8_t>(Word >> 24);
+}
+
+uint32_t sdt::isa::encode(const Instruction &I) {
+  uint32_t Word = static_cast<uint32_t>(I.Op) << 26;
+  switch (opcodeInfo(I.Op).Form) {
+  case Format::R:
+    Word |= static_cast<uint32_t>(I.Rd) << 21;
+    Word |= static_cast<uint32_t>(I.Rs1) << 16;
+    Word |= static_cast<uint32_t>(I.Rs2) << 11;
+    break;
+  case Format::I:
+  case Format::Mem:
+    assert(I.Imm >= -32768 && I.Imm <= 0xFFFF && "imm16 out of range");
+    Word |= static_cast<uint32_t>(I.Rd) << 21;
+    Word |= static_cast<uint32_t>(I.Rs1) << 16;
+    Word |= static_cast<uint32_t>(I.Imm) & 0xFFFF;
+    break;
+  case Format::Lui:
+    assert(I.Imm >= 0 && I.Imm <= 0xFFFF && "lui imm out of range");
+    Word |= static_cast<uint32_t>(I.Rd) << 21;
+    Word |= static_cast<uint32_t>(I.Imm) & 0xFFFF;
+    break;
+  case Format::B: {
+    assert(I.Imm % 4 == 0 && "unaligned branch displacement");
+    int32_t WordDisp = I.Imm / 4;
+    assert(WordDisp >= -32768 && WordDisp <= 32767 && "branch out of range");
+    Word |= static_cast<uint32_t>(I.Rs1) << 21;
+    Word |= static_cast<uint32_t>(I.Rs2) << 16;
+    Word |= static_cast<uint32_t>(WordDisp) & 0xFFFF;
+    break;
+  }
+  case Format::Jump: {
+    uint32_t Target = static_cast<uint32_t>(I.Imm);
+    assert(Target % 4 == 0 && "unaligned jump target");
+    assert((Target >> 2) < (1u << 26) && "jump target out of range");
+    Word |= Target >> 2;
+    break;
+  }
+  case Format::Jr:
+    Word |= static_cast<uint32_t>(I.Rs1) << 16;
+    break;
+  case Format::Jalr:
+    Word |= static_cast<uint32_t>(I.Rd) << 21;
+    Word |= static_cast<uint32_t>(I.Rs1) << 16;
+    break;
+  case Format::None:
+    break;
+  }
+  return Word;
+}
+
+static int32_t signExtend16(uint32_t V) {
+  return static_cast<int32_t>(static_cast<int16_t>(V & 0xFFFF));
+}
+
+Expected<Instruction> sdt::isa::decode(uint32_t Word) {
+  uint32_t OpField = Word >> 26;
+  if (OpField >= static_cast<uint32_t>(Opcode::NumOpcodes))
+    return Error::failure("unknown opcode field " + std::to_string(OpField));
+
+  Instruction I;
+  I.Op = static_cast<Opcode>(OpField);
+  switch (opcodeInfo(I.Op).Form) {
+  case Format::R:
+    I.Rd = static_cast<uint8_t>((Word >> 21) & 31);
+    I.Rs1 = static_cast<uint8_t>((Word >> 16) & 31);
+    I.Rs2 = static_cast<uint8_t>((Word >> 11) & 31);
+    break;
+  case Format::I:
+  case Format::Mem:
+    I.Rd = static_cast<uint8_t>((Word >> 21) & 31);
+    I.Rs1 = static_cast<uint8_t>((Word >> 16) & 31);
+    // Logical immediates are zero-extended (so `li` = `lui` + `ori`),
+    // everything else is sign-extended.
+    if (I.Op == Opcode::Andi || I.Op == Opcode::Ori || I.Op == Opcode::Xori)
+      I.Imm = static_cast<int32_t>(Word & 0xFFFF);
+    else
+      I.Imm = signExtend16(Word);
+    break;
+  case Format::Lui:
+    I.Rd = static_cast<uint8_t>((Word >> 21) & 31);
+    I.Imm = static_cast<int32_t>(Word & 0xFFFF);
+    break;
+  case Format::B:
+    I.Rs1 = static_cast<uint8_t>((Word >> 21) & 31);
+    I.Rs2 = static_cast<uint8_t>((Word >> 16) & 31);
+    I.Imm = signExtend16(Word) * 4;
+    break;
+  case Format::Jump:
+    I.Imm = static_cast<int32_t>((Word & 0x03FFFFFF) << 2);
+    break;
+  case Format::Jr:
+    I.Rs1 = static_cast<uint8_t>((Word >> 16) & 31);
+    break;
+  case Format::Jalr:
+    I.Rd = static_cast<uint8_t>((Word >> 21) & 31);
+    I.Rs1 = static_cast<uint8_t>((Word >> 16) & 31);
+    break;
+  case Format::None:
+    break;
+  }
+  return I;
+}

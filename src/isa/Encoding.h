@@ -1,0 +1,49 @@
+//===- isa/Encoding.h - GIR binary encoding ---------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encoding of GIR instructions into 32-bit little-endian words.
+///
+/// Layout (bit 31 is the MSB):
+///   [31:26] opcode
+///   R:    [25:21] rd  [20:16] rs1 [15:11] rs2
+///   I/Mem:[25:21] rd  [20:16] rs1 [15:0]  imm16
+///   Lui:  [25:21] rd  [15:0]  imm16
+///   B:    [25:21] rs1 [20:16] rs2 [15:0]  imm16 (word displacement)
+///   Jump: [25:0]  imm26 (word address)
+///   Jr:   [20:16] rs1
+///   Jalr: [25:21] rd  [20:16] rs1
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_ENCODING_H
+#define STRATAIB_ISA_ENCODING_H
+
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace sdt {
+namespace isa {
+
+/// Encodes \p I into a 32-bit word. Operands must be in range (asserted).
+uint32_t encode(const Instruction &I);
+
+/// Decodes \p Word. Fails on unknown opcodes; all operand fields decode to
+/// in-range values by construction.
+Expected<Instruction> decode(uint32_t Word);
+
+/// Reads a little-endian 32-bit word from \p Bytes.
+uint32_t readWordLE(const uint8_t *Bytes);
+
+/// Writes \p Word little-endian into \p Bytes.
+void writeWordLE(uint8_t *Bytes, uint32_t Word);
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_ENCODING_H

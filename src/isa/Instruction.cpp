@@ -1,0 +1,153 @@
+//===- isa/Instruction.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Instruction.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Instruction.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+uint32_t Instruction::directTarget() const {
+  assert(opcodeInfo(Op).Form == Format::Jump && "not a direct jump");
+  return static_cast<uint32_t>(Imm);
+}
+
+uint32_t Instruction::branchTarget(uint32_t Pc) const {
+  assert(opcodeInfo(Op).Form == Format::B && "not a conditional branch");
+  return Pc + static_cast<uint32_t>(Imm);
+}
+
+static void assertReg(unsigned R) {
+  assert(R < NumRegisters && "register out of range");
+  (void)R;
+}
+
+static bool fitsImm16(int32_t V) { return V >= -32768 && V <= 32767; }
+
+/// Logical immediates (andi/ori/xori) are zero-extended, MIPS-style, so
+/// that `li` can expand to `lui` + `ori`.
+static bool isLogicalImm(Opcode Op) {
+  return Op == Opcode::Andi || Op == Opcode::Ori || Op == Opcode::Xori;
+}
+
+Instruction sdt::isa::makeR(Opcode Op, unsigned Rd, unsigned Rs1,
+                            unsigned Rs2) {
+  assert(opcodeInfo(Op).Form == Format::R && "opcode is not R-format");
+  assertReg(Rd);
+  assertReg(Rs1);
+  assertReg(Rs2);
+  Instruction I;
+  I.Op = Op;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  I.Rs2 = static_cast<uint8_t>(Rs2);
+  return I;
+}
+
+Instruction sdt::isa::makeI(Opcode Op, unsigned Rd, unsigned Rs1,
+                            int32_t Imm) {
+  assert(opcodeInfo(Op).Form == Format::I && "opcode is not I-format");
+  assertReg(Rd);
+  assertReg(Rs1);
+  assert((isLogicalImm(Op) ? (Imm >= 0 && Imm <= 0xFFFF) : fitsImm16(Imm)) &&
+         "immediate does not fit in 16 bits");
+  Instruction I;
+  I.Op = Op;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction sdt::isa::makeLui(unsigned Rd, int32_t Imm16) {
+  assertReg(Rd);
+  assert(Imm16 >= 0 && Imm16 <= 0xFFFF && "lui immediate out of range");
+  Instruction I;
+  I.Op = Opcode::Lui;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Imm = Imm16;
+  return I;
+}
+
+Instruction sdt::isa::makeMem(Opcode Op, unsigned Reg, unsigned Base,
+                              int32_t Offset) {
+  assert(opcodeInfo(Op).Form == Format::Mem && "opcode is not Mem-format");
+  assertReg(Reg);
+  assertReg(Base);
+  assert(fitsImm16(Offset) && "memory offset does not fit in 16 bits");
+  Instruction I;
+  I.Op = Op;
+  I.Rd = static_cast<uint8_t>(Reg); // Loaded/stored register.
+  I.Rs1 = static_cast<uint8_t>(Base);
+  I.Imm = Offset;
+  return I;
+}
+
+Instruction sdt::isa::makeBranch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                                 int32_t ByteDisp) {
+  assert(opcodeInfo(Op).Form == Format::B && "opcode is not B-format");
+  assertReg(Rs1);
+  assertReg(Rs2);
+  assert(ByteDisp % 4 == 0 && "branch displacement must be word-aligned");
+  assert(fitsImm16(ByteDisp / 4) && "branch displacement out of range");
+  Instruction I;
+  I.Op = Op;
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  I.Rs2 = static_cast<uint8_t>(Rs2);
+  I.Imm = ByteDisp;
+  return I;
+}
+
+Instruction sdt::isa::makeJump(Opcode Op, uint32_t ByteTarget) {
+  assert(opcodeInfo(Op).Form == Format::Jump && "opcode is not Jump-format");
+  assert(ByteTarget % 4 == 0 && "jump target must be word-aligned");
+  assert((ByteTarget >> 2) < (1u << 26) && "jump target out of range");
+  Instruction I;
+  I.Op = Op;
+  I.Imm = static_cast<int32_t>(ByteTarget);
+  return I;
+}
+
+Instruction sdt::isa::makeJr(unsigned Rs1) {
+  assertReg(Rs1);
+  Instruction I;
+  I.Op = Opcode::Jr;
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  return I;
+}
+
+Instruction sdt::isa::makeJalr(unsigned Rd, unsigned Rs1) {
+  assertReg(Rd);
+  assertReg(Rs1);
+  Instruction I;
+  I.Op = Opcode::Jalr;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  return I;
+}
+
+Instruction sdt::isa::makeRet() {
+  Instruction I;
+  I.Op = Opcode::Ret;
+  return I;
+}
+
+Instruction sdt::isa::makeSyscall() {
+  Instruction I;
+  I.Op = Opcode::Syscall;
+  return I;
+}
+
+Instruction sdt::isa::makeHalt() {
+  Instruction I;
+  I.Op = Opcode::Halt;
+  return I;
+}
+
+Instruction sdt::isa::makeNop() {
+  return makeR(Opcode::Add, RegZero, RegZero, RegZero);
+}

@@ -1,0 +1,75 @@
+//===- isa/Instruction.h - Decoded GIR instruction --------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded instruction record plus typed factory functions that assert
+/// operand validity at construction time. The assembler, the reference
+/// interpreter, and the SDT translator all operate on this record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_INSTRUCTION_H
+#define STRATAIB_ISA_INSTRUCTION_H
+
+#include "isa/Opcode.h"
+#include "isa/Registers.h"
+
+#include <cstdint>
+
+namespace sdt {
+namespace isa {
+
+/// A decoded GIR instruction. Field meaning depends on the opcode format;
+/// unused fields are zero.
+struct Instruction {
+  Opcode Op = Opcode::Halt;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  /// Sign-extended immediate. For Format::Jump this is the absolute target
+  /// in bytes; for Format::B it is the PC-relative displacement in bytes
+  /// (relative to the branch's own address); for Format::Mem it is the
+  /// byte offset.
+  int32_t Imm = 0;
+
+  /// Convenience accessors for CTI handling.
+  CtiKind ctiKind() const { return opcodeInfo(Op).Cti; }
+  bool isCti() const { return ctiKind() != CtiKind::None; }
+  bool isIndirect() const { return isIndirectBranch(Op); }
+
+  /// For direct jumps/calls: the absolute byte target.
+  uint32_t directTarget() const;
+
+  /// For conditional branches at address \p Pc: the taken target.
+  uint32_t branchTarget(uint32_t Pc) const;
+
+  bool operator==(const Instruction &Other) const = default;
+};
+
+/// Width of every encoded instruction, in bytes.
+inline constexpr uint32_t InstructionSize = 4;
+
+/// \name Factory functions (assert operand validity).
+/// @{
+Instruction makeR(Opcode Op, unsigned Rd, unsigned Rs1, unsigned Rs2);
+Instruction makeI(Opcode Op, unsigned Rd, unsigned Rs1, int32_t Imm);
+Instruction makeLui(unsigned Rd, int32_t Imm16);
+Instruction makeMem(Opcode Op, unsigned Reg, unsigned Base, int32_t Offset);
+Instruction makeBranch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                       int32_t ByteDisp);
+Instruction makeJump(Opcode Op, uint32_t ByteTarget);
+Instruction makeJr(unsigned Rs1);
+Instruction makeJalr(unsigned Rd, unsigned Rs1);
+Instruction makeRet();
+Instruction makeSyscall();
+Instruction makeHalt();
+Instruction makeNop();
+/// @}
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_INSTRUCTION_H

@@ -1,0 +1,90 @@
+//===- isa/Opcode.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Opcode.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+static const OpcodeInfo InfoTable[] = {
+    {"add", Format::R, CtiKind::None},
+    {"sub", Format::R, CtiKind::None},
+    {"mul", Format::R, CtiKind::None},
+    {"div", Format::R, CtiKind::None},
+    {"rem", Format::R, CtiKind::None},
+    {"and", Format::R, CtiKind::None},
+    {"or", Format::R, CtiKind::None},
+    {"xor", Format::R, CtiKind::None},
+    {"sll", Format::R, CtiKind::None},
+    {"srl", Format::R, CtiKind::None},
+    {"sra", Format::R, CtiKind::None},
+    {"slt", Format::R, CtiKind::None},
+    {"sltu", Format::R, CtiKind::None},
+    {"addi", Format::I, CtiKind::None},
+    {"andi", Format::I, CtiKind::None},
+    {"ori", Format::I, CtiKind::None},
+    {"xori", Format::I, CtiKind::None},
+    {"slti", Format::I, CtiKind::None},
+    {"sltiu", Format::I, CtiKind::None},
+    {"slli", Format::I, CtiKind::None},
+    {"srli", Format::I, CtiKind::None},
+    {"srai", Format::I, CtiKind::None},
+    {"lui", Format::Lui, CtiKind::None},
+    {"lw", Format::Mem, CtiKind::None},
+    {"lh", Format::Mem, CtiKind::None},
+    {"lhu", Format::Mem, CtiKind::None},
+    {"lb", Format::Mem, CtiKind::None},
+    {"lbu", Format::Mem, CtiKind::None},
+    {"sw", Format::Mem, CtiKind::None},
+    {"sh", Format::Mem, CtiKind::None},
+    {"sb", Format::Mem, CtiKind::None},
+    {"beq", Format::B, CtiKind::CondBranch},
+    {"bne", Format::B, CtiKind::CondBranch},
+    {"blt", Format::B, CtiKind::CondBranch},
+    {"bge", Format::B, CtiKind::CondBranch},
+    {"bltu", Format::B, CtiKind::CondBranch},
+    {"bgeu", Format::B, CtiKind::CondBranch},
+    {"j", Format::Jump, CtiKind::DirectJump},
+    {"jal", Format::Jump, CtiKind::DirectCall},
+    {"jr", Format::Jr, CtiKind::IndirectJump},
+    {"jalr", Format::Jalr, CtiKind::IndirectCall},
+    {"ret", Format::None, CtiKind::Return},
+    {"syscall", Format::None, CtiKind::Stop},
+    {"halt", Format::None, CtiKind::Stop},
+};
+
+static_assert(sizeof(InfoTable) / sizeof(InfoTable[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode metadata table out of sync with the Opcode enum");
+
+const OpcodeInfo &sdt::isa::opcodeInfo(Opcode Op) {
+  assert(Op < Opcode::NumOpcodes && "invalid opcode");
+  return InfoTable[static_cast<size_t>(Op)];
+}
+
+std::string_view sdt::isa::opcodeMnemonic(Opcode Op) {
+  return opcodeInfo(Op).Mnemonic;
+}
+
+std::optional<Opcode> sdt::isa::parseMnemonic(std::string_view Name) {
+  for (size_t I = 0, E = static_cast<size_t>(Opcode::NumOpcodes); I != E;
+       ++I)
+    if (Name == InfoTable[I].Mnemonic)
+      return static_cast<Opcode>(I);
+  return std::nullopt;
+}
+
+bool sdt::isa::isControlTransfer(Opcode Op) {
+  return opcodeInfo(Op).Cti != CtiKind::None;
+}
+
+bool sdt::isa::isIndirectBranch(Opcode Op) {
+  CtiKind K = opcodeInfo(Op).Cti;
+  return K == CtiKind::IndirectJump || K == CtiKind::IndirectCall ||
+         K == CtiKind::Return;
+}

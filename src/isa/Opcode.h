@@ -1,0 +1,136 @@
+//===- isa/Opcode.h - GIR opcodes and metadata ------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GIR opcode set and its static metadata table. GIR is a 32-bit RISC
+/// guest ISA with fixed 4-byte instructions. Control-transfer instructions
+/// are classified the way the paper classifies them: direct branches and
+/// jumps (handled by fragment linking), and the three indirect-branch
+/// classes whose handling the paper evaluates — indirect jumps (`jr`),
+/// indirect calls (`jalr`), and returns (`ret`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_OPCODE_H
+#define STRATAIB_ISA_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdt {
+namespace isa {
+
+/// All GIR opcodes. The enumerator value is the 6-bit encoding field.
+enum class Opcode : uint8_t {
+  // ALU register-register.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Sll,
+  Srl,
+  Sra,
+  Slt,
+  Sltu,
+  // ALU register-immediate.
+  Addi,
+  Andi,
+  Ori,
+  Xori,
+  Slti,
+  Sltiu,
+  Slli,
+  Srli,
+  Srai,
+  Lui,
+  // Memory.
+  Lw,
+  Lh,
+  Lhu,
+  Lb,
+  Lbu,
+  Sw,
+  Sh,
+  Sb,
+  // Conditional branches (PC-relative).
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Bltu,
+  Bgeu,
+  // Direct jumps.
+  J,
+  Jal,
+  // Indirect branches — the paper's subject.
+  Jr,   ///< Indirect jump through a register (switch tables, computed goto).
+  Jalr, ///< Indirect call through a register (function pointers, vtables).
+  Ret,  ///< Return: jump to the link register r31.
+  // System.
+  Syscall,
+  Halt,
+
+  NumOpcodes,
+};
+
+/// Operand layout of an instruction.
+enum class Format : uint8_t {
+  R,    ///< rd, rs1, rs2
+  I,    ///< rd, rs1, imm16 (sign-extended; shifts use the low 5 bits)
+  Lui,  ///< rd, imm16 (placed in the upper half)
+  Mem,  ///< rd/rs2, imm16(rs1)
+  B,    ///< rs1, rs2, imm16 (PC-relative, in instruction units)
+  Jump, ///< imm26 (absolute, in instruction units)
+  Jr,   ///< rs1
+  Jalr, ///< rd, rs1
+  None, ///< no operands (ret, syscall, halt)
+};
+
+/// How an instruction transfers control, if at all. Fragment formation and
+/// IB-handler selection in the SDT key off this.
+enum class CtiKind : uint8_t {
+  None,         ///< Falls through.
+  CondBranch,   ///< Two-way PC-relative branch.
+  DirectJump,   ///< `j target`.
+  DirectCall,   ///< `jal target` (writes r31).
+  IndirectJump, ///< `jr rs1`.
+  IndirectCall, ///< `jalr rd, rs1` (writes rd, usually r31).
+  Return,       ///< `ret` (jumps to r31).
+  Stop,         ///< `halt` or `syscall` that may terminate.
+};
+
+/// Static description of an opcode.
+struct OpcodeInfo {
+  const char *Mnemonic;
+  Format Form;
+  CtiKind Cti;
+};
+
+/// Returns the metadata for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the mnemonic for \p Op.
+std::string_view opcodeMnemonic(Opcode Op);
+
+/// Parses a mnemonic (lower case). Returns std::nullopt for unknown names.
+std::optional<Opcode> parseMnemonic(std::string_view Name);
+
+/// True if \p Op ends a fragment (any control transfer or stop).
+bool isControlTransfer(Opcode Op);
+
+/// True if \p Op is one of the three indirect-branch classes.
+bool isIndirectBranch(Opcode Op);
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_OPCODE_H

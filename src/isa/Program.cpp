@@ -1,0 +1,31 @@
+//===- isa/Program.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Program.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Program.h"
+
+#include "isa/Encoding.h"
+#include "support/StringUtils.h"
+
+using namespace sdt;
+using namespace sdt::isa;
+
+Expected<Instruction> Program::fetch(uint32_t Addr) const {
+  if (Addr % InstructionSize != 0)
+    return Error::failure(
+        formatString("unaligned instruction fetch at 0x%x", Addr));
+  if (!contains(Addr, InstructionSize))
+    return Error::failure(
+        formatString("instruction fetch outside image at 0x%x", Addr));
+  uint32_t Word = readWordLE(&Image[Addr - LoadAddr]);
+  return decode(Word);
+}
+
+Expected<uint32_t> Program::symbol(const std::string &Name) const {
+  auto It = Symbols.find(Name);
+  if (It == Symbols.end())
+    return Error::failure("undefined symbol '" + Name + "'");
+  return It->second;
+}

@@ -1,0 +1,89 @@
+//===- isa/Program.h - Loadable guest image ---------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is the loadable guest image: a flat byte image (code and data
+/// interleaved as the assembler laid them out), a load address, an entry
+/// point, and a symbol table. The assembler produces one; the VM loader
+/// and the SDT consume it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_PROGRAM_H
+#define STRATAIB_ISA_PROGRAM_H
+
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace isa {
+
+/// Default load address for assembled programs (page 1, leaving page 0
+/// unmapped so null dereferences fault).
+inline constexpr uint32_t DefaultLoadAddress = 0x1000;
+
+/// A loadable guest image.
+class Program {
+public:
+  Program() = default;
+  Program(uint32_t LoadAddress, std::vector<uint8_t> Image)
+      : LoadAddr(LoadAddress), Image(std::move(Image)) {}
+
+  uint32_t loadAddress() const { return LoadAddr; }
+  uint32_t entry() const { return Entry; }
+  void setEntry(uint32_t E) { Entry = E; }
+
+  const std::vector<uint8_t> &image() const { return Image; }
+  std::vector<uint8_t> &image() { return Image; }
+
+  /// First address past the image.
+  uint32_t endAddress() const {
+    return LoadAddr + static_cast<uint32_t>(Image.size());
+  }
+
+  /// True if [Addr, Addr+Size) lies inside the image.
+  bool contains(uint32_t Addr, uint32_t Size = 1) const {
+    return Addr >= LoadAddr && Addr + Size <= endAddress() &&
+           Addr + Size >= Addr;
+  }
+
+  /// Decodes the instruction at \p Addr. Fails when \p Addr is unaligned,
+  /// outside the image, or holds an invalid encoding.
+  Expected<Instruction> fetch(uint32_t Addr) const;
+
+  /// Defines symbol \p Name at \p Addr (last definition wins; the
+  /// assembler rejects duplicates before this point).
+  void addSymbol(const std::string &Name, uint32_t Addr) {
+    Symbols[Name] = Addr;
+  }
+
+  /// Looks up symbol \p Name; fails if undefined.
+  Expected<uint32_t> symbol(const std::string &Name) const;
+
+  const std::map<std::string, uint32_t> &symbols() const { return Symbols; }
+
+  /// Number of instructions a straight-line decode of the whole image
+  /// would yield (image size / 4, rounded down).
+  uint32_t instructionCapacity() const {
+    return static_cast<uint32_t>(Image.size() / InstructionSize);
+  }
+
+private:
+  uint32_t LoadAddr = DefaultLoadAddress;
+  uint32_t Entry = DefaultLoadAddress;
+  std::vector<uint8_t> Image;
+  std::map<std::string, uint32_t> Symbols;
+};
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_PROGRAM_H

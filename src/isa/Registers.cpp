@@ -1,0 +1,38 @@
+//===- isa/Registers.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Registers.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Registers.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+static const char *const CanonicalNames[NumRegisters] = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+std::string sdt::isa::registerName(unsigned Number) {
+  assert(Number < NumRegisters && "register number out of range");
+  return CanonicalNames[Number];
+}
+
+std::optional<unsigned> sdt::isa::parseRegisterName(std::string_view Name) {
+  std::string Lower = toLower(Name);
+  for (unsigned I = 0; I != NumRegisters; ++I)
+    if (Lower == CanonicalNames[I])
+      return I;
+  if (Lower.size() >= 2 && Lower[0] == 'r') {
+    std::optional<int64_t> Number = parseInteger(Lower.substr(1));
+    if (Number && *Number >= 0 && *Number < NumRegisters)
+      return static_cast<unsigned>(*Number);
+  }
+  return std::nullopt;
+}

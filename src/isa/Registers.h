@@ -1,0 +1,59 @@
+//===- isa/Registers.h - GIR register file ---------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register numbering and calling convention for GIR, the guest ISA. GIR
+/// has 32 general-purpose 32-bit registers with MIPS-flavoured software
+/// conventions; `r0` reads as zero, `r31` is the link register written by
+/// calls and read by returns (which is what lets the SDT classify `RET`
+/// separately from other indirect jumps, exactly as real SDTs classify
+/// `ret`/`retl`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_REGISTERS_H
+#define STRATAIB_ISA_REGISTERS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdt {
+namespace isa {
+
+/// Number of architectural registers.
+inline constexpr unsigned NumRegisters = 32;
+
+/// Software-convention register numbers.
+enum Reg : uint8_t {
+  RegZero = 0, ///< Hardwired zero.
+  RegV0 = 2,   ///< Return value / syscall code.
+  RegV1 = 3,   ///< Second return value.
+  RegA0 = 4,   ///< First argument.
+  RegA1 = 5,
+  RegA2 = 6,
+  RegA3 = 7,
+  RegT0 = 8, ///< Caller-saved temporaries r8..r15.
+  RegS0 = 16, ///< Callee-saved r16..r23.
+  RegGP = 28, ///< Global pointer.
+  RegSP = 29, ///< Stack pointer.
+  RegFP = 30, ///< Frame pointer.
+  RegRA = 31, ///< Link register.
+};
+
+/// Canonical name for register \p Number ("zero", "v0", "sp", ...).
+/// \p Number must be < NumRegisters.
+std::string registerName(unsigned Number);
+
+/// Parses a register name: canonical ABI names, or "r0".."r31". Returns
+/// std::nullopt if \p Name is not a register.
+std::optional<unsigned> parseRegisterName(std::string_view Name);
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_REGISTERS_H

@@ -1,0 +1,142 @@
+//===- isa/Serialize.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Serialize.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Serialize.h"
+
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <fstream>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+static constexpr char Magic[4] = {'G', 'I', 'R', 'X'};
+static constexpr uint32_t Version = 1;
+
+static void appendU32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+namespace {
+
+/// Bounds-checked little-endian reader.
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readU32(uint32_t &Out) {
+    if (Pos + 4 > Bytes.size())
+      return false;
+    Out = static_cast<uint32_t>(Bytes[Pos]) |
+          (static_cast<uint32_t>(Bytes[Pos + 1]) << 8) |
+          (static_cast<uint32_t>(Bytes[Pos + 2]) << 16) |
+          (static_cast<uint32_t>(Bytes[Pos + 3]) << 24);
+    Pos += 4;
+    return true;
+  }
+
+  bool readBytes(void *Out, size_t Count) {
+    if (Pos + Count > Bytes.size())
+      return false;
+    std::memcpy(Out, &Bytes[Pos], Count);
+    Pos += Count;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Bytes.size(); }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool sdt::isa::isGxImage(const std::vector<uint8_t> &Bytes) {
+  return Bytes.size() >= 4 && std::memcmp(Bytes.data(), Magic, 4) == 0;
+}
+
+std::vector<uint8_t> sdt::isa::serializeProgram(const Program &P) {
+  std::vector<uint8_t> Out;
+  for (char C : Magic)
+    Out.push_back(static_cast<uint8_t>(C));
+  appendU32(Out, Version);
+  appendU32(Out, P.loadAddress());
+  appendU32(Out, P.entry());
+  appendU32(Out, static_cast<uint32_t>(P.image().size()));
+  appendU32(Out, static_cast<uint32_t>(P.symbols().size()));
+  Out.insert(Out.end(), P.image().begin(), P.image().end());
+  for (const auto &[Name, Addr] : P.symbols()) {
+    appendU32(Out, Addr);
+    appendU32(Out, static_cast<uint32_t>(Name.size()));
+    Out.insert(Out.end(), Name.begin(), Name.end());
+  }
+  return Out;
+}
+
+Expected<Program>
+sdt::isa::deserializeProgram(const std::vector<uint8_t> &Bytes) {
+  if (!isGxImage(Bytes))
+    return Error::failure("not a GX image (bad magic)");
+  Reader R(Bytes);
+  char Skip[4];
+  (void)R.readBytes(Skip, 4);
+
+  uint32_t FileVersion, LoadAddr, Entry, ImageSize, SymCount;
+  if (!R.readU32(FileVersion) || !R.readU32(LoadAddr) ||
+      !R.readU32(Entry) || !R.readU32(ImageSize) || !R.readU32(SymCount))
+    return Error::failure("truncated GX header");
+  if (FileVersion != Version)
+    return Error::failure(
+        formatString("unsupported GX version %u", FileVersion));
+  if (ImageSize > (256u << 20))
+    return Error::failure("GX image size implausibly large");
+
+  std::vector<uint8_t> Image(ImageSize);
+  if (ImageSize != 0 && !R.readBytes(Image.data(), ImageSize))
+    return Error::failure("truncated GX image");
+
+  Program P(LoadAddr, std::move(Image));
+  P.setEntry(Entry);
+  for (uint32_t I = 0; I != SymCount; ++I) {
+    uint32_t Addr, Len;
+    if (!R.readU32(Addr) || !R.readU32(Len) || Len > 4096)
+      return Error::failure("truncated or corrupt GX symbol table");
+    std::string Name(Len, '\0');
+    if (Len != 0 && !R.readBytes(Name.data(), Len))
+      return Error::failure("truncated GX symbol name");
+    P.addSymbol(Name, Addr);
+  }
+  if (!R.atEnd())
+    return Error::failure("trailing bytes after GX symbol table");
+  return P;
+}
+
+Error sdt::isa::writeProgramFile(const std::string &Path,
+                                 const Program &P) {
+  std::vector<uint8_t> Bytes = serializeProgram(P);
+  std::ofstream File(Path, std::ios::binary | std::ios::trunc);
+  if (!File)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  File.write(reinterpret_cast<const char *>(Bytes.data()),
+             static_cast<std::streamsize>(Bytes.size()));
+  if (!File)
+    return Error::failure("write to '" + Path + "' failed");
+  return Error();
+}
+
+Expected<Program> sdt::isa::readProgramFile(const std::string &Path) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File)
+    return Error::failure("cannot open '" + Path + "'");
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(File)),
+                             std::istreambuf_iterator<char>());
+  return deserializeProgram(Bytes);
+}

@@ -1,0 +1,58 @@
+//===- isa/Serialize.h - Program object-file format --------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small binary object format ("GX") for assembled Programs, so guest
+/// binaries can be built once and shipped/loaded without re-assembly:
+///
+/// \code
+///   magic   "GIRX"          4 bytes
+///   version u32 (= 1)
+///   load    u32             load address
+///   entry   u32             entry point
+///   imgsize u32             image byte count
+///   nsyms   u32             symbol count
+///   image   imgsize bytes
+///   symbols { addr u32, len u32, name len bytes } x nsyms
+/// \endcode
+///
+/// All integers little-endian.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_ISA_SERIALIZE_H
+#define STRATAIB_ISA_SERIALIZE_H
+
+#include "isa/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace isa {
+
+/// Serialises \p P into the GX byte format.
+std::vector<uint8_t> serializeProgram(const Program &P);
+
+/// Parses a GX image. Fails on bad magic, unsupported version, or a
+/// truncated/corrupt buffer.
+Expected<Program> deserializeProgram(const std::vector<uint8_t> &Bytes);
+
+/// Writes \p P to \p Path. Fails on I/O errors.
+Error writeProgramFile(const std::string &Path, const Program &P);
+
+/// Reads a GX file.
+Expected<Program> readProgramFile(const std::string &Path);
+
+/// True if \p Bytes begins with the GX magic.
+bool isGxImage(const std::vector<uint8_t> &Bytes);
+
+} // namespace isa
+} // namespace sdt
+
+#endif // STRATAIB_ISA_SERIALIZE_H

@@ -1,0 +1,21 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Error.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sdt;
+
+Error Error::atLine(unsigned Line, std::string Message) {
+  return failure("line " + std::to_string(Line) + ": " + std::move(Message));
+}
+
+void sdt::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}

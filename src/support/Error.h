@@ -1,0 +1,116 @@
+//===- support/Error.h - Lightweight error handling -----------*- C++ -*-===//
+//
+// Part of StrataIB, a reproduction of "Evaluating Indirect Branch Handling
+// Mechanisms in Software Dynamic Translation Systems" (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error propagation in the style of llvm::Error /
+/// llvm::Expected. An Error carries a message and a source location hint
+/// (e.g. "line 12: unknown mnemonic 'fma'"); an Expected<T> is either a T
+/// or an Error. Library code never throws; tools render the message and
+/// exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_ERROR_H
+#define STRATAIB_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sdt {
+
+/// A failure description. Default-constructed Error is the success value.
+///
+/// Unlike llvm::Error this class does not abort on unchecked drops; it is a
+/// plain value type, which keeps the reproduction small while preserving the
+/// "errors are values, not exceptions" discipline.
+class Error {
+public:
+  /// Creates the success value.
+  Error() = default;
+
+  /// Creates a failure with \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    E.Failed = true;
+    return E;
+  }
+
+  /// Creates a failure tagged with a 1-based line number, for assembler and
+  /// loader diagnostics.
+  static Error atLine(unsigned Line, std::string Message);
+
+  /// True if this represents a failure.
+  explicit operator bool() const { return Failed; }
+
+  bool isSuccess() const { return !Failed; }
+
+  /// Returns the diagnostic message. Only meaningful for failures.
+  const std::string &message() const {
+    assert(Failed && "querying message of a success value");
+    return Message;
+  }
+
+private:
+  std::string Message;
+  bool Failed = false;
+};
+
+/// Either a value of type T or an Error, in the style of llvm::Expected.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure. \p E must be a failure value.
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "Expected constructed from a success Error");
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &get() {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Moves the error out. Only valid on failure.
+  Error takeError() {
+    assert(!Value && "taking error from a success value");
+    return std::move(Err);
+  }
+
+  const Error &error() const {
+    assert(!Value && "querying error of a success value");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Aborts the process with \p Message. Used for invariant violations that
+/// cannot be represented as recoverable errors (the llvm_unreachable
+/// analogue).
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_ERROR_H

@@ -1,0 +1,75 @@
+//===- support/Hashing.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Hashing.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace sdt;
+
+bool sdt::isPowerOf2(uint32_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+unsigned sdt::log2Floor(uint32_t V) {
+  assert(V != 0 && "log2Floor of zero");
+  unsigned Result = 0;
+  while (V >>= 1)
+    ++Result;
+  return Result;
+}
+
+uint32_t sdt::hashAddress(HashKind Kind, uint32_t Addr, uint32_t Size) {
+  assert(isPowerOf2(Size) && "hash table size must be a power of two");
+  uint32_t Mask = Size - 1;
+  switch (Kind) {
+  case HashKind::ShiftMask:
+    return (Addr >> 2) & Mask;
+  case HashKind::XorFold:
+    return ((Addr >> 2) ^ (Addr >> 12)) & Mask;
+  case HashKind::Fibonacci: {
+    // Knuth's multiplicative constant, 2^32 / phi.
+    uint32_t Product = Addr * 2654435761u;
+    unsigned Bits = log2Floor(Size);
+    if (Bits == 0)
+      return 0;
+    return Product >> (32 - Bits);
+  }
+  }
+  assert(false && "unknown hash kind");
+  return 0;
+}
+
+unsigned sdt::hashAluOpCount(HashKind Kind) {
+  switch (Kind) {
+  case HashKind::ShiftMask:
+    return 2; // shift, and
+  case HashKind::XorFold:
+    return 4; // shift, shift, xor, and
+  case HashKind::Fibonacci:
+    return 2; // multiply, shift (multiply cost is charged as a mul op)
+  }
+  assert(false && "unknown hash kind");
+  return 0;
+}
+
+std::string sdt::hashKindName(HashKind Kind) {
+  switch (Kind) {
+  case HashKind::ShiftMask:
+    return "shift-mask";
+  case HashKind::XorFold:
+    return "xor-fold";
+  case HashKind::Fibonacci:
+    return "fibonacci";
+  }
+  assert(false && "unknown hash kind");
+  return "";
+}
+
+uint64_t sdt::mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}

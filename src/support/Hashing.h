@@ -1,0 +1,66 @@
+//===- support/Hashing.h - Address hash functions --------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash functions used to index indirect-branch lookup structures (IBTC
+/// tables, sieve buckets, return caches). The paper's mechanisms hash a
+/// 32-bit guest address down to a power-of-two table index with only a
+/// couple of host instructions, so each function here also reports the
+/// number of host ALU operations its inline expansion costs — the timing
+/// model charges exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_HASHING_H
+#define STRATAIB_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+
+/// Hash function choices for IB lookup structures.
+///
+/// Real SDT systems favour the cheapest hash that spreads branch targets
+/// adequately; since instruction addresses are word-aligned, dropping the
+/// low alignment bits before masking matters. The enumerators mirror the
+/// choices discussed for Strata-style systems.
+enum class HashKind {
+  /// index = (addr >> 2) & mask. One shift + one AND.
+  ShiftMask,
+  /// index = ((addr >> 2) ^ (addr >> 12)) & mask. Folds high bits in to
+  /// break up page-aligned regularity. Two shifts + XOR + AND.
+  XorFold,
+  /// index = (addr * 2654435761) >> (32 - log2(size)). Fibonacci /
+  /// multiplicative hashing; best spread, costs a multiply.
+  Fibonacci,
+};
+
+/// Returns the table index for \p Addr in a table of \p Size entries.
+/// \p Size must be a power of two.
+uint32_t hashAddress(HashKind Kind, uint32_t Addr, uint32_t Size);
+
+/// Number of host ALU micro-ops the inline expansion of \p Kind costs.
+/// The timing model charges this per lookup.
+unsigned hashAluOpCount(HashKind Kind);
+
+/// Human-readable name ("shift-mask", "xor-fold", "fibonacci").
+std::string hashKindName(HashKind Kind);
+
+/// Returns floor(log2(V)). \p V must be nonzero.
+unsigned log2Floor(uint32_t V);
+
+/// True if \p V is a nonzero power of two.
+bool isPowerOf2(uint32_t V);
+
+/// A 64-bit avalanche mix (SplitMix64 finalizer) for host-side hashing
+/// where quality matters more than modeled cost (e.g. the dispatcher's
+/// translation map in the simulator itself).
+uint64_t mix64(uint64_t X);
+
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_HASHING_H

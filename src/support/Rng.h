@@ -1,0 +1,78 @@
+//===- support/Rng.h - Deterministic PRNG ----------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro-style over a SplitMix64 seeder) used
+/// by workload generators and property tests. std::mt19937 is avoided so
+/// that generated programs are bit-identical across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_RNG_H
+#define STRATAIB_SUPPORT_RNG_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace sdt {
+
+/// Deterministic 64-bit PRNG with convenience helpers for bounded draws.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // Seed the two words via SplitMix64 so that nearby seeds diverge.
+    State0 = mix64(Seed);
+    State1 = mix64(Seed + 0x632be59bd9b4e019ULL);
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  /// Next raw 64-bit value (xoroshiro128+).
+  uint64_t next() {
+    uint64_t S0 = State0;
+    uint64_t S1 = State1;
+    uint64_t Result = S0 + S1;
+    S1 ^= S0;
+    State0 = rotl(S0, 24) ^ S1 ^ (S1 << 16);
+    State1 = rotl(S1, 37);
+    return Result;
+  }
+
+  /// Uniform draw in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Multiply-shift rejection-free bounding; bias is negligible for the
+    // bounds used here (all far below 2^32).
+    return (static_cast<unsigned __int128>(next()) * Bound) >> 64;
+  }
+
+  /// Uniform draw in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability Numer/Denom.
+  bool nextChance(uint64_t Numer, uint64_t Denom) {
+    assert(Denom != 0 && Numer <= Denom && "bad probability");
+    return nextBelow(Denom) < Numer;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_RNG_H

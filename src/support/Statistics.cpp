@@ -1,0 +1,79 @@
+//===- support/Statistics.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Statistics.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace sdt;
+
+void RunningStat::addSample(double X) {
+  if (Count == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  Sum += X;
+  ++Count;
+}
+
+double sdt::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean of non-positive value");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+Histogram::Histogram(size_t BucketCount, uint64_t BucketWidth)
+    : Buckets(BucketCount, 0), BucketWidth(BucketWidth) {
+  assert(BucketCount > 0 && BucketWidth > 0 && "degenerate histogram");
+}
+
+void Histogram::addSample(uint64_t X) {
+  size_t Index = static_cast<size_t>(X / BucketWidth);
+  if (Index >= Buckets.size())
+    ++Overflow;
+  else
+    ++Buckets[Index];
+  ++Total;
+  Sum += X;
+}
+
+std::string Histogram::render() const {
+  std::string Out;
+  char Line[128];
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    uint64_t Lo = I * BucketWidth;
+    uint64_t Hi = Lo + BucketWidth - 1;
+    if (BucketWidth == 1)
+      std::snprintf(Line, sizeof(Line), "%8llu: %llu\n",
+                    static_cast<unsigned long long>(Lo),
+                    static_cast<unsigned long long>(Buckets[I]));
+    else
+      std::snprintf(Line, sizeof(Line), "%8llu-%llu: %llu\n",
+                    static_cast<unsigned long long>(Lo),
+                    static_cast<unsigned long long>(Hi),
+                    static_cast<unsigned long long>(Buckets[I]));
+    Out += Line;
+  }
+  if (Overflow != 0) {
+    std::snprintf(Line, sizeof(Line), "overflow: %llu\n",
+                  static_cast<unsigned long long>(Overflow));
+    Out += Line;
+  }
+  return Out;
+}

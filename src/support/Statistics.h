@@ -1,0 +1,77 @@
+//===- support/Statistics.h - Summary statistics ---------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the benchmark harness: running mean/min/max,
+/// geometric mean (the paper reports geo-means over SPEC), and fixed-bucket
+/// histograms (used for sieve chain-length and IBTC probe distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_STATISTICS_H
+#define STRATAIB_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdt {
+
+/// Accumulates count/min/max/mean without storing samples.
+class RunningStat {
+public:
+  void addSample(double X);
+
+  size_t count() const { return Count; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double min() const { return Count == 0 ? 0.0 : Min; }
+  double max() const { return Count == 0 ? 0.0 : Max; }
+  double sum() const { return Sum; }
+
+private:
+  size_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Geometric mean of \p Values. Values must be positive; returns 0 for an
+/// empty input.
+double geometricMean(const std::vector<double> &Values);
+
+/// Fixed-width bucket histogram over non-negative integer samples. Samples
+/// at or beyond the last bucket accumulate in an overflow bucket.
+class Histogram {
+public:
+  /// \p BucketCount buckets of width \p BucketWidth each, plus overflow.
+  Histogram(size_t BucketCount, uint64_t BucketWidth);
+
+  void addSample(uint64_t X);
+
+  size_t bucketCount() const { return Buckets.size(); }
+  uint64_t bucketValue(size_t I) const { return Buckets[I]; }
+  uint64_t overflowCount() const { return Overflow; }
+  uint64_t totalCount() const { return Total; }
+
+  /// Mean of all recorded samples (overflow samples contribute their true
+  /// value, which is retained in a running sum).
+  double mean() const { return Total == 0 ? 0.0 : double(Sum) / Total; }
+
+  /// Renders "bucket-range: count" lines, skipping empty buckets.
+  std::string render() const;
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t BucketWidth;
+  uint64_t Overflow = 0;
+  uint64_t Total = 0;
+  uint64_t Sum = 0;
+};
+
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_STATISTICS_H

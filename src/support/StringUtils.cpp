@@ -1,0 +1,121 @@
+//===- support/StringUtils.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See StringUtils.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+using namespace sdt;
+
+std::string_view sdt::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() &&
+         std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> sdt::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Fields;
+  size_t Start = 0;
+  for (size_t I = 0, E = S.size(); I != E; ++I) {
+    if (S[I] != Sep)
+      continue;
+    Fields.push_back(S.substr(Start, I - Start));
+    Start = I + 1;
+  }
+  Fields.push_back(S.substr(Start));
+  return Fields;
+}
+
+bool sdt::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string sdt::toLower(std::string_view S) {
+  std::string Out(S);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+std::optional<int64_t> sdt::parseInteger(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+
+  bool Negative = false;
+  if (S.front() == '-' || S.front() == '+') {
+    Negative = S.front() == '-';
+    S.remove_prefix(1);
+    if (S.empty())
+      return std::nullopt;
+  }
+
+  unsigned Base = 10;
+  if (startsWith(S, "0x") || startsWith(S, "0X")) {
+    Base = 16;
+    S.remove_prefix(2);
+  } else if (startsWith(S, "0b") || startsWith(S, "0B")) {
+    Base = 2;
+    S.remove_prefix(2);
+  }
+  if (S.empty())
+    return std::nullopt;
+
+  uint64_t Value = 0;
+  for (char C : S) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      Digit = static_cast<unsigned>(C - 'A' + 10);
+    else
+      return std::nullopt;
+    if (Digit >= Base)
+      return std::nullopt;
+    uint64_t Next = Value * Base + Digit;
+    if (Next < Value) // overflow
+      return std::nullopt;
+    Value = Next;
+  }
+
+  uint64_t Limit = Negative
+                       ? static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max()) +
+                             1
+                       : static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max());
+  if (Value > Limit)
+    return std::nullopt;
+  int64_t Signed = static_cast<int64_t>(Value);
+  return Negative ? -Signed : Signed;
+}
+
+std::string sdt::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return "";
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}

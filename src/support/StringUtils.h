@@ -1,0 +1,45 @@
+//===- support/StringUtils.h - String helpers ------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the assembler and the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_STRINGUTILS_H
+#define STRATAIB_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdt {
+
+/// Returns \p S with leading/trailing whitespace removed.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, keeping empty fields.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Parses a signed integer with optional 0x/0b prefix and leading '-'.
+/// Returns std::nullopt on malformed input or overflow of int64_t.
+std::optional<int64_t> parseInteger(std::string_view S);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Lower-cases ASCII letters in \p S.
+std::string toLower(std::string_view S);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_STRINGUTILS_H

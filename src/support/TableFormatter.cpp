@@ -1,0 +1,92 @@
+//===- support/TableFormatter.cpp ------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See TableFormatter.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+
+TableFormatter::TableFormatter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "table with no columns");
+}
+
+TableFormatter &TableFormatter::beginRow() {
+  assert((Rows.empty() || Rows.back().size() == Headers.size()) &&
+         "previous row is incomplete");
+  Rows.emplace_back();
+  return *this;
+}
+
+TableFormatter &TableFormatter::addCell(const std::string &Text) {
+  assert(!Rows.empty() && "addCell before beginRow");
+  Rows.back().push_back({Text, /*RightAlign=*/false});
+  return *this;
+}
+
+TableFormatter &TableFormatter::addCell(uint64_t Value) {
+  assert(!Rows.empty() && "addCell before beginRow");
+  Rows.back().push_back({std::to_string(Value), /*RightAlign=*/true});
+  return *this;
+}
+
+TableFormatter &TableFormatter::addCell(double Value, unsigned Decimals) {
+  assert(!Rows.empty() && "addCell before beginRow");
+  Rows.back().push_back(
+      {formatString("%.*f", static_cast<int>(Decimals), Value),
+       /*RightAlign=*/true});
+  return *this;
+}
+
+std::string TableFormatter::render() const {
+  assert((Rows.empty() || Rows.back().size() == Headers.size()) &&
+         "last row is incomplete");
+
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0, E = Headers.size(); I != E; ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      if (Row[I].Text.size() > Widths[I])
+        Widths[I] = Row[I].Text.size();
+
+  auto appendPadded = [](std::string &Out, const std::string &Text,
+                         size_t Width, bool RightAlign) {
+    size_t Pad = Width - Text.size();
+    if (RightAlign)
+      Out.append(Pad, ' ');
+    Out += Text;
+    if (!RightAlign)
+      Out.append(Pad, ' ');
+  };
+
+  std::string Out;
+  for (size_t I = 0, E = Headers.size(); I != E; ++I) {
+    if (I != 0)
+      Out += "  ";
+    appendPadded(Out, Headers[I], Widths[I], /*RightAlign=*/false);
+  }
+  Out += '\n';
+  size_t RuleWidth = 0;
+  for (size_t W : Widths)
+    RuleWidth += W;
+  RuleWidth += 2 * (Headers.size() - 1);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+
+  for (const auto &Row : Rows) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I != 0)
+        Out += "  ";
+      appendPadded(Out, Row[I].Text, Widths[I], Row[I].RightAlign);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

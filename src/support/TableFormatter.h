@@ -1,0 +1,57 @@
+//===- support/TableFormatter.h - Paper-style tables ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned text tables for the benchmark harness. Every experiment
+/// binary prints the rows/series of one of the paper's tables or figures
+/// through this class so the output layout is uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_TABLEFORMATTER_H
+#define STRATAIB_SUPPORT_TABLEFORMATTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdt {
+
+/// Column-aligned table builder. Numeric cells are right-aligned, text
+/// cells left-aligned.
+class TableFormatter {
+public:
+  explicit TableFormatter(std::vector<std::string> Headers);
+
+  /// Starts a new row.
+  TableFormatter &beginRow();
+
+  /// Appends a text cell (left-aligned).
+  TableFormatter &addCell(const std::string &Text);
+
+  /// Appends an integer cell (right-aligned).
+  TableFormatter &addCell(uint64_t Value);
+
+  /// Appends a fixed-point cell with \p Decimals digits (right-aligned).
+  TableFormatter &addCell(double Value, unsigned Decimals = 2);
+
+  /// Renders the table with a header rule. All rows must have as many
+  /// cells as there are headers.
+  std::string render() const;
+
+private:
+  struct Cell {
+    std::string Text;
+    bool RightAlign;
+  };
+
+  std::vector<std::string> Headers;
+  std::vector<std::vector<Cell>> Rows;
+};
+
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_TABLEFORMATTER_H

@@ -1,0 +1,53 @@
+//===- vm/DecodeCache.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See DecodeCache.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/DecodeCache.h"
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::vm;
+using namespace sdt::isa;
+
+DecodeCache::DecodeCache(const GuestMemory &Memory, uint32_t Base,
+                         uint32_t Size)
+    : Memory(Memory), Base(Base), Size(Size) {
+  assert(Base % InstructionSize == 0 && Size % InstructionSize == 0 &&
+         "code region must be word-aligned");
+  size_t Slots = Size / InstructionSize;
+  Decoded.resize(Slots);
+  States.assign(Slots, SlotState::Unknown);
+}
+
+const Instruction *DecodeCache::fetch(uint32_t Addr) {
+  if (Addr % InstructionSize != 0 || Addr < Base || Addr - Base >= Size)
+    return nullptr;
+  size_t Slot = (Addr - Base) / InstructionSize;
+  switch (States[Slot]) {
+  case SlotState::Valid:
+    return &Decoded[Slot];
+  case SlotState::Invalid:
+    return nullptr;
+  case SlotState::Unknown:
+    break;
+  }
+
+  uint32_t Word;
+  if (!Memory.load32(Addr, Word)) {
+    States[Slot] = SlotState::Invalid;
+    return nullptr;
+  }
+  Expected<Instruction> I = decode(Word);
+  if (!I) {
+    States[Slot] = SlotState::Invalid;
+    return nullptr;
+  }
+  Decoded[Slot] = *I;
+  States[Slot] = SlotState::Valid;
+  return &Decoded[Slot];
+}

@@ -1,0 +1,55 @@
+//===- vm/DecodeCache.h - Lazy predecoded code view --------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lazily-populated decode cache over the guest code region. Decoding a
+/// fixed-width ISA is deterministic, so both the interpreter and the SDT
+/// translator fetch through this cache; it models a hardware decoder /
+/// decoded-ops cache and keeps million-instruction runs fast. Guest code
+/// is immutable after load (no self-modifying code in GIR programs), which
+/// makes the cache sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_DECODECACHE_H
+#define STRATAIB_VM_DECODECACHE_H
+
+#include "isa/Instruction.h"
+#include "vm/GuestMemory.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace vm {
+
+/// Decode cache over [Base, Base+Size) in \p Memory.
+class DecodeCache {
+public:
+  /// \p Base and \p Size must be word-aligned.
+  DecodeCache(const GuestMemory &Memory, uint32_t Base, uint32_t Size);
+
+  /// Returns the decoded instruction at \p Addr, or nullptr if \p Addr is
+  /// unaligned, outside the code region, or holds an invalid encoding.
+  const isa::Instruction *fetch(uint32_t Addr);
+
+  uint32_t base() const { return Base; }
+  uint32_t size() const { return Size; }
+
+private:
+  enum class SlotState : uint8_t { Unknown, Valid, Invalid };
+
+  const GuestMemory &Memory;
+  uint32_t Base;
+  uint32_t Size;
+  std::vector<isa::Instruction> Decoded;
+  std::vector<SlotState> States;
+};
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_DECODECACHE_H

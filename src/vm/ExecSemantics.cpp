@@ -1,0 +1,224 @@
+//===- vm/ExecSemantics.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See ExecSemantics.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecSemantics.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace sdt;
+using namespace sdt::vm;
+using namespace sdt::isa;
+
+/// Signed division following the RISC-V convention: x/0 = -1, x%0 = x;
+/// INT_MIN / -1 = INT_MIN, INT_MIN % -1 = 0 (no trap, no UB).
+static int32_t signedDiv(int32_t A, int32_t B) {
+  if (B == 0)
+    return -1;
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return A;
+  return A / B;
+}
+
+static int32_t signedRem(int32_t A, int32_t B) {
+  if (B == 0)
+    return A;
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return 0;
+  return A % B;
+}
+
+ExecEffect sdt::vm::executeNonCti(const Instruction &I, GuestState &State,
+                                  GuestMemory &Memory) {
+  assert(!I.isCti() && "executeNonCti given a control-transfer instruction");
+
+  ExecEffect Effect;
+  uint32_t A = State.reg(I.Rs1);
+  uint32_t B = State.reg(I.Rs2);
+  uint32_t ImmU = static_cast<uint32_t>(I.Imm);
+
+  switch (I.Op) {
+  // --- Register-register ALU ------------------------------------------
+  case Opcode::Add:
+    State.setReg(I.Rd, A + B);
+    return Effect;
+  case Opcode::Sub:
+    State.setReg(I.Rd, A - B);
+    return Effect;
+  case Opcode::Mul:
+    State.setReg(I.Rd, A * B);
+    return Effect;
+  case Opcode::Div:
+    State.setReg(I.Rd, static_cast<uint32_t>(signedDiv(
+                           static_cast<int32_t>(A), static_cast<int32_t>(B))));
+    return Effect;
+  case Opcode::Rem:
+    State.setReg(I.Rd, static_cast<uint32_t>(signedRem(
+                           static_cast<int32_t>(A), static_cast<int32_t>(B))));
+    return Effect;
+  case Opcode::And:
+    State.setReg(I.Rd, A & B);
+    return Effect;
+  case Opcode::Or:
+    State.setReg(I.Rd, A | B);
+    return Effect;
+  case Opcode::Xor:
+    State.setReg(I.Rd, A ^ B);
+    return Effect;
+  case Opcode::Sll:
+    State.setReg(I.Rd, A << (B & 31));
+    return Effect;
+  case Opcode::Srl:
+    State.setReg(I.Rd, A >> (B & 31));
+    return Effect;
+  case Opcode::Sra:
+    State.setReg(I.Rd, static_cast<uint32_t>(static_cast<int32_t>(A) >>
+                                             (B & 31)));
+    return Effect;
+  case Opcode::Slt:
+    State.setReg(I.Rd, static_cast<int32_t>(A) < static_cast<int32_t>(B));
+    return Effect;
+  case Opcode::Sltu:
+    State.setReg(I.Rd, A < B);
+    return Effect;
+
+  // --- Register-immediate ALU ---------------------------------------------
+  case Opcode::Addi:
+    State.setReg(I.Rd, A + ImmU);
+    return Effect;
+  case Opcode::Andi:
+    State.setReg(I.Rd, A & ImmU);
+    return Effect;
+  case Opcode::Ori:
+    State.setReg(I.Rd, A | ImmU);
+    return Effect;
+  case Opcode::Xori:
+    State.setReg(I.Rd, A ^ ImmU);
+    return Effect;
+  case Opcode::Slti:
+    State.setReg(I.Rd, static_cast<int32_t>(A) < I.Imm);
+    return Effect;
+  case Opcode::Sltiu:
+    State.setReg(I.Rd, A < ImmU);
+    return Effect;
+  case Opcode::Slli:
+    State.setReg(I.Rd, A << (ImmU & 31));
+    return Effect;
+  case Opcode::Srli:
+    State.setReg(I.Rd, A >> (ImmU & 31));
+    return Effect;
+  case Opcode::Srai:
+    State.setReg(I.Rd, static_cast<uint32_t>(static_cast<int32_t>(A) >>
+                                             (ImmU & 31)));
+    return Effect;
+  case Opcode::Lui:
+    State.setReg(I.Rd, ImmU << 16);
+    return Effect;
+
+  // --- Memory ------------------------------------------------------------
+  case Opcode::Lw: {
+    uint32_t Addr = A + ImmU;
+    Effect.IsMem = true;
+    Effect.Addr = Addr;
+    uint32_t Value;
+    if (!Memory.load32(Addr, Value)) {
+      Effect.FaultReason = "bad 32-bit load";
+      return Effect;
+    }
+    State.setReg(I.Rd, Value);
+    return Effect;
+  }
+  case Opcode::Lh:
+  case Opcode::Lhu: {
+    uint32_t Addr = A + ImmU;
+    Effect.IsMem = true;
+    Effect.Addr = Addr;
+    uint16_t Value;
+    if (!Memory.load16(Addr, Value)) {
+      Effect.FaultReason = "bad 16-bit load";
+      return Effect;
+    }
+    State.setReg(I.Rd, I.Op == Opcode::Lh
+                           ? static_cast<uint32_t>(
+                                 static_cast<int32_t>(
+                                     static_cast<int16_t>(Value)))
+                           : Value);
+    return Effect;
+  }
+  case Opcode::Lb:
+  case Opcode::Lbu: {
+    uint32_t Addr = A + ImmU;
+    Effect.IsMem = true;
+    Effect.Addr = Addr;
+    uint8_t Value;
+    if (!Memory.load8(Addr, Value)) {
+      Effect.FaultReason = "bad 8-bit load";
+      return Effect;
+    }
+    State.setReg(I.Rd, I.Op == Opcode::Lb
+                           ? static_cast<uint32_t>(
+                                 static_cast<int32_t>(
+                                     static_cast<int8_t>(Value)))
+                           : Value);
+    return Effect;
+  }
+  case Opcode::Sw: {
+    uint32_t Addr = A + ImmU;
+    Effect.IsMem = true;
+    Effect.IsStore = true;
+    Effect.Addr = Addr;
+    if (!Memory.store32(Addr, State.reg(I.Rd)))
+      Effect.FaultReason = "bad 32-bit store";
+    return Effect;
+  }
+  case Opcode::Sh: {
+    uint32_t Addr = A + ImmU;
+    Effect.IsMem = true;
+    Effect.IsStore = true;
+    Effect.Addr = Addr;
+    if (!Memory.store16(Addr, static_cast<uint16_t>(State.reg(I.Rd))))
+      Effect.FaultReason = "bad 16-bit store";
+    return Effect;
+  }
+  case Opcode::Sb: {
+    uint32_t Addr = A + ImmU;
+    Effect.IsMem = true;
+    Effect.IsStore = true;
+    Effect.Addr = Addr;
+    if (!Memory.store8(Addr, static_cast<uint8_t>(State.reg(I.Rd))))
+      Effect.FaultReason = "bad 8-bit store";
+    return Effect;
+  }
+
+  default:
+    assert(false && "CTI reached executeNonCti");
+    Effect.FaultReason = "internal: CTI in executeNonCti";
+    return Effect;
+  }
+}
+
+bool sdt::vm::evalBranchCondition(const Instruction &I,
+                                  const GuestState &State) {
+  uint32_t A = State.reg(I.Rs1);
+  uint32_t B = State.reg(I.Rs2);
+  switch (I.Op) {
+  case Opcode::Beq:
+    return A == B;
+  case Opcode::Bne:
+    return A != B;
+  case Opcode::Blt:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
+  case Opcode::Bge:
+    return static_cast<int32_t>(A) >= static_cast<int32_t>(B);
+  case Opcode::Bltu:
+    return A < B;
+  case Opcode::Bgeu:
+    return A >= B;
+  default:
+    assert(false && "not a conditional branch");
+    return false;
+  }
+}

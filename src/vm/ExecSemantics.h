@@ -1,0 +1,54 @@
+//===- vm/ExecSemantics.h - Shared instruction semantics --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic core for GIR instructions, shared by the reference
+/// interpreter and the SDT host executor (the SDT translates ALU/memory
+/// instructions 1:1, so executing them through the same function models
+/// exactly what an SDT's identity translation does). Control transfers are
+/// *not* handled here — each execution engine implements those, which is
+/// precisely where the SDT differs from native execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_EXECSEMANTICS_H
+#define STRATAIB_VM_EXECSEMANTICS_H
+
+#include "isa/Instruction.h"
+#include "vm/GuestMemory.h"
+#include "vm/GuestState.h"
+
+#include <cstdint>
+
+namespace sdt {
+namespace vm {
+
+/// Outcome of executing one non-CTI instruction.
+struct ExecEffect {
+  /// Null on success; otherwise a static description of the fault.
+  const char *FaultReason = nullptr;
+  /// Faulting or accessed address (valid when FaultReason or IsMem).
+  uint32_t Addr = 0;
+  /// Whether the instruction accessed memory (for timing).
+  bool IsMem = false;
+  bool IsStore = false;
+
+  bool faulted() const { return FaultReason != nullptr; }
+};
+
+/// Executes non-control-transfer instruction \p I against \p State and
+/// \p Memory. \p I must not be a CTI (asserted). Does not advance the PC.
+ExecEffect executeNonCti(const isa::Instruction &I, GuestState &State,
+                         GuestMemory &Memory);
+
+/// Evaluates the condition of conditional branch \p I (beq/bne/blt/bge/
+/// bltu/bgeu) against \p State.
+bool evalBranchCondition(const isa::Instruction &I, const GuestState &State);
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_EXECSEMANTICS_H

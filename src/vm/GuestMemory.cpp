@@ -1,0 +1,75 @@
+//===- vm/GuestMemory.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See GuestMemory.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/GuestMemory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace sdt;
+using namespace sdt::vm;
+
+GuestMemory::GuestMemory(uint32_t Size) : Bytes(Size, 0) {
+  assert(Size >= 2 * PageSize && "guest memory too small");
+  assert(Size % PageSize == 0 && "guest memory must be page-aligned");
+}
+
+bool GuestMemory::loadProgram(const isa::Program &P) {
+  if (!validRange(P.loadAddress(), static_cast<uint32_t>(P.image().size())))
+    return false;
+  std::memcpy(&Bytes[P.loadAddress()], P.image().data(), P.image().size());
+  return true;
+}
+
+bool GuestMemory::load8(uint32_t Addr, uint8_t &Out) const {
+  if (!validRange(Addr, 1))
+    return false;
+  Out = Bytes[Addr];
+  return true;
+}
+
+bool GuestMemory::load16(uint32_t Addr, uint16_t &Out) const {
+  if (Addr % 2 != 0 || !validRange(Addr, 2))
+    return false;
+  Out = static_cast<uint16_t>(Bytes[Addr]) |
+        (static_cast<uint16_t>(Bytes[Addr + 1]) << 8);
+  return true;
+}
+
+bool GuestMemory::load32(uint32_t Addr, uint32_t &Out) const {
+  if (Addr % 4 != 0 || !validRange(Addr, 4))
+    return false;
+  Out = static_cast<uint32_t>(Bytes[Addr]) |
+        (static_cast<uint32_t>(Bytes[Addr + 1]) << 8) |
+        (static_cast<uint32_t>(Bytes[Addr + 2]) << 16) |
+        (static_cast<uint32_t>(Bytes[Addr + 3]) << 24);
+  return true;
+}
+
+bool GuestMemory::store8(uint32_t Addr, uint8_t Value) {
+  if (!validRange(Addr, 1))
+    return false;
+  Bytes[Addr] = Value;
+  return true;
+}
+
+bool GuestMemory::store16(uint32_t Addr, uint16_t Value) {
+  if (Addr % 2 != 0 || !validRange(Addr, 2))
+    return false;
+  Bytes[Addr] = static_cast<uint8_t>(Value);
+  Bytes[Addr + 1] = static_cast<uint8_t>(Value >> 8);
+  return true;
+}
+
+bool GuestMemory::store32(uint32_t Addr, uint32_t Value) {
+  if (Addr % 4 != 0 || !validRange(Addr, 4))
+    return false;
+  Bytes[Addr] = static_cast<uint8_t>(Value);
+  Bytes[Addr + 1] = static_cast<uint8_t>(Value >> 8);
+  Bytes[Addr + 2] = static_cast<uint8_t>(Value >> 16);
+  Bytes[Addr + 3] = static_cast<uint8_t>(Value >> 24);
+  return true;
+}

@@ -1,0 +1,69 @@
+//===- vm/GuestMemory.h - Guest address space --------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest's flat 32-bit address space with checked accessors. Both the
+/// reference interpreter and the SDT's host executor operate on the same
+/// GuestMemory type so memory side effects are directly comparable in
+/// differential tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_GUESTMEMORY_H
+#define STRATAIB_VM_GUESTMEMORY_H
+
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace vm {
+
+/// Flat guest memory: valid addresses are [PageSize, Size) — page zero is
+/// left unmapped so null dereferences fault.
+class GuestMemory {
+public:
+  static constexpr uint32_t PageSize = 0x1000;
+  static constexpr uint32_t DefaultSize = 16 * 1024 * 1024;
+
+  explicit GuestMemory(uint32_t Size = DefaultSize);
+
+  uint32_t size() const { return static_cast<uint32_t>(Bytes.size()); }
+
+  /// Copies \p P's image to its load address. Returns false if the image
+  /// does not fit.
+  bool loadProgram(const isa::Program &P);
+
+  /// \name Checked accessors.
+  /// Return false on out-of-range or (for 16/32-bit) unaligned access.
+  /// @{
+  bool load8(uint32_t Addr, uint8_t &Out) const;
+  bool load16(uint32_t Addr, uint16_t &Out) const;
+  bool load32(uint32_t Addr, uint32_t &Out) const;
+  bool store8(uint32_t Addr, uint8_t Value);
+  bool store16(uint32_t Addr, uint16_t Value);
+  bool store32(uint32_t Addr, uint32_t Value);
+  /// @}
+
+  /// True if [Addr, Addr+Size) is a valid access range.
+  bool validRange(uint32_t Addr, uint32_t Size) const {
+    return Addr >= PageSize && Size <= this->size() &&
+           Addr <= this->size() - Size;
+  }
+
+  /// Highest valid word address + 4; the VM initialises the stack pointer
+  /// just below this.
+  uint32_t stackTop() const { return size() & ~3u; }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_GUESTMEMORY_H

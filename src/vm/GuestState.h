@@ -1,0 +1,41 @@
+//===- vm/GuestState.h - Architectural register state -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest-visible architectural state: 32 GPRs and the PC. `r0` writes
+/// are discarded. Shared by the interpreter and the SDT host executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_GUESTSTATE_H
+#define STRATAIB_VM_GUESTSTATE_H
+
+#include "isa/Registers.h"
+
+#include <array>
+#include <cstdint>
+
+namespace sdt {
+namespace vm {
+
+/// Architectural state of the guest CPU.
+struct GuestState {
+  std::array<uint32_t, isa::NumRegisters> Regs{};
+  uint32_t Pc = 0;
+
+  uint32_t reg(unsigned I) const { return Regs[I]; }
+
+  /// Writes \p Value to register \p I; writes to r0 are discarded.
+  void setReg(unsigned I, uint32_t Value) {
+    Regs[I] = Value;
+    Regs[isa::RegZero] = 0;
+  }
+};
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_GUESTSTATE_H

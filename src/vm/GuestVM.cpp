@@ -1,0 +1,202 @@
+//===- vm/GuestVM.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See GuestVM.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/GuestVM.h"
+
+#include "support/StringUtils.h"
+#include "vm/ExecSemantics.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::vm;
+using namespace sdt::isa;
+
+const char *sdt::vm::exitReasonName(ExitReason R) {
+  switch (R) {
+  case ExitReason::Exited:
+    return "exited";
+  case ExitReason::Halted:
+    return "halted";
+  case ExitReason::Fault:
+    return "fault";
+  case ExitReason::InstrLimit:
+    return "instr-limit";
+  }
+  assert(false && "invalid exit reason");
+  return "?";
+}
+
+GuestVM::GuestVM(const Program &P, const ExecOptions &Opts)
+    : Opts(Opts), Memory(Opts.MemorySize),
+      Decoder(Memory, P.loadAddress(),
+              static_cast<uint32_t>(P.image().size()) & ~3u) {
+  State.Pc = P.entry();
+  // 16 bytes of headroom below the top keep small positive sp offsets
+  // inside memory.
+  State.setReg(RegSP, Memory.stackTop() - 16);
+  State.setReg(RegFP, Memory.stackTop() - 16);
+}
+
+Expected<std::unique_ptr<GuestVM>> GuestVM::create(const Program &P,
+                                                   const ExecOptions &Opts) {
+  auto VM = std::unique_ptr<GuestVM>(new GuestVM(P, Opts));
+  if (!VM->Memory.loadProgram(P))
+    return Error::failure("program image does not fit in guest memory");
+  return VM;
+}
+
+RunResult GuestVM::run() {
+  RunResult Result;
+  SyscallContext Sys;
+  arch::TimingModel *Timing = Opts.Timing;
+
+  auto fault = [&](const char *Reason, uint32_t Addr) {
+    Result.Reason = ExitReason::Fault;
+    Result.FaultMessage =
+        formatString("%s at pc=0x%x (addr=0x%x)", Reason, State.Pc, Addr);
+  };
+
+  uint64_t Executed = 0;
+  while (Executed < Opts.MaxInstructions) {
+    uint32_t Pc = State.Pc;
+    const Instruction *I = Decoder.fetch(Pc);
+    if (!I) {
+      fault("bad instruction fetch", Pc);
+      break;
+    }
+    ++Executed;
+    if (Timing)
+      Timing->chargeFetch(Pc);
+
+    CtiKind Kind = I->ctiKind();
+    if (Kind == CtiKind::None) {
+      ExecEffect Effect = executeNonCti(*I, State, Memory);
+      if (Effect.faulted()) {
+        fault(Effect.FaultReason, Effect.Addr);
+        break;
+      }
+      if (Timing) {
+        if (Effect.IsMem) {
+          if (Effect.IsStore)
+            Timing->chargeStore(Effect.Addr);
+          else
+            Timing->chargeLoad(Effect.Addr);
+        } else {
+          Timing->chargeExecute(*I);
+        }
+      }
+      State.Pc = Pc + InstructionSize;
+      continue;
+    }
+
+    switch (Kind) {
+    case CtiKind::CondBranch: {
+      bool Taken = evalBranchCondition(*I, State);
+      if (Timing)
+        Timing->chargeCondBranch(Pc, Taken);
+      ++Result.Cti.CondBranches;
+      State.Pc = Taken ? I->branchTarget(Pc) : Pc + InstructionSize;
+      break;
+    }
+    case CtiKind::DirectJump:
+      if (Timing)
+        Timing->chargeDirectJump();
+      ++Result.Cti.DirectJumps;
+      State.Pc = I->directTarget();
+      break;
+    case CtiKind::DirectCall: {
+      uint32_t ReturnAddr = Pc + InstructionSize;
+      State.setReg(RegRA, ReturnAddr);
+      if (Timing)
+        Timing->chargeCallLink(ReturnAddr);
+      ++Result.Cti.DirectCalls;
+      State.Pc = I->directTarget();
+      break;
+    }
+    case CtiKind::IndirectJump: {
+      uint32_t Target = State.reg(I->Rs1);
+      if (Timing)
+        Timing->chargeIndirectJump(Pc, Target);
+      ++Result.Cti.IndirectJumps;
+      if (Opts.CollectSiteTargets)
+        Result.SiteTargets[Pc].insert(Target);
+      State.Pc = Target;
+      break;
+    }
+    case CtiKind::IndirectCall: {
+      uint32_t Target = State.reg(I->Rs1);
+      uint32_t ReturnAddr = Pc + InstructionSize;
+      State.setReg(I->Rd, ReturnAddr);
+      if (Timing) {
+        Timing->chargeIndirectJump(Pc, Target);
+        Timing->predictor().pushReturn(ReturnAddr);
+      }
+      ++Result.Cti.IndirectCalls;
+      if (Opts.CollectSiteTargets)
+        Result.SiteTargets[Pc].insert(Target);
+      State.Pc = Target;
+      break;
+    }
+    case CtiKind::Return: {
+      uint32_t Target = State.reg(RegRA);
+      if (Timing)
+        Timing->chargeReturn(Target);
+      ++Result.Cti.Returns;
+      if (Opts.CollectSiteTargets)
+        Result.SiteTargets[Pc].insert(Target);
+      State.Pc = Target;
+      break;
+    }
+    case CtiKind::Stop: {
+      if (I->Op == Opcode::Halt) {
+        Result.Reason = ExitReason::Halted;
+        Result.Output = std::move(Sys.Output);
+        Result.Checksum = Sys.Checksum;
+        Result.InstructionCount = Executed;
+        return Result;
+      }
+      assert(I->Op == Opcode::Syscall && "unexpected Stop opcode");
+      if (Timing)
+        Timing->chargeSyscall();
+      int32_t ExitCode = 0;
+      const char *Reason = nullptr;
+      SyscallOutcome Outcome =
+          executeSyscall(State, Memory, Sys, ExitCode, Reason);
+      if (Outcome == SyscallOutcome::Fault) {
+        fault(Reason, State.reg(RegA0));
+        Result.Output = std::move(Sys.Output);
+        Result.Checksum = Sys.Checksum;
+        Result.InstructionCount = Executed;
+        return Result;
+      }
+      if (Outcome == SyscallOutcome::Exit) {
+        Result.Reason = ExitReason::Exited;
+        Result.ExitCode = ExitCode;
+        Result.Output = std::move(Sys.Output);
+        Result.Checksum = Sys.Checksum;
+        Result.InstructionCount = Executed;
+        return Result;
+      }
+      State.Pc = Pc + InstructionSize;
+      break;
+    }
+    case CtiKind::None:
+      assert(false && "handled above");
+      break;
+    }
+
+    if (Result.Reason == ExitReason::Fault && !Result.FaultMessage.empty())
+      break;
+  }
+
+  if (Result.FaultMessage.empty() && Executed >= Opts.MaxInstructions)
+    Result.Reason = ExitReason::InstrLimit;
+  Result.Output = std::move(Sys.Output);
+  Result.Checksum = Sys.Checksum;
+  Result.InstructionCount = Executed;
+  return Result;
+}

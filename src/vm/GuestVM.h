@@ -1,0 +1,74 @@
+//===- vm/GuestVM.h - Reference interpreter ----------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference interpreter: "native" execution of a guest Program. It is
+/// both the correctness oracle for differential tests and the native
+/// baseline the SDT's overhead is normalised against (when given a
+/// TimingModel, it charges native cycle costs — correctly-predicted
+/// returns via the RAS and all).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_GUESTVM_H
+#define STRATAIB_VM_GUESTVM_H
+
+#include "arch/Timing.h"
+#include "isa/Program.h"
+#include "support/Error.h"
+#include "vm/DecodeCache.h"
+#include "vm/GuestMemory.h"
+#include "vm/GuestState.h"
+#include "vm/RunResult.h"
+#include "vm/Syscalls.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace sdt {
+namespace vm {
+
+/// Execution knobs shared by the interpreter and the SDT engine.
+struct ExecOptions {
+  /// Stop (with ExitReason::InstrLimit) after this many guest
+  /// instructions; a backstop against runaway programs.
+  uint64_t MaxInstructions = 2000000000ULL;
+  /// Charge cycles against this timing model (optional).
+  arch::TimingModel *Timing = nullptr;
+  /// Record per-IB-site distinct-target sets (Table 1 fan-out data).
+  bool CollectSiteTargets = false;
+  /// Guest memory size in bytes.
+  uint32_t MemorySize = GuestMemory::DefaultSize;
+};
+
+/// The reference interpreter.
+class GuestVM {
+public:
+  /// Loads \p P into fresh memory; registers start zeroed except
+  /// sp/fp (top of memory) and pc (entry). Fails if the image does not
+  /// fit.
+  static Expected<std::unique_ptr<GuestVM>> create(const isa::Program &P,
+                                                   const ExecOptions &Opts);
+
+  /// Runs to termination (or fault / instruction budget).
+  RunResult run();
+
+  GuestState &state() { return State; }
+  GuestMemory &memory() { return Memory; }
+
+private:
+  GuestVM(const isa::Program &P, const ExecOptions &Opts);
+
+  ExecOptions Opts;
+  GuestMemory Memory;
+  GuestState State;
+  DecodeCache Decoder;
+};
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_GUESTVM_H

@@ -1,0 +1,74 @@
+//===- vm/RunResult.h - Execution results ------------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result record produced by any execution engine (the reference
+/// interpreter and the SDT engine both return one), so differential tests
+/// and the benchmark harness compare observable behaviour field by field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_RUNRESULT_H
+#define STRATAIB_VM_RUNRESULT_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace sdt {
+namespace vm {
+
+/// Why execution stopped.
+enum class ExitReason : uint8_t {
+  Exited,     ///< exit syscall.
+  Halted,     ///< halt instruction.
+  Fault,      ///< memory/decode/syscall fault.
+  InstrLimit, ///< hit the configured instruction budget.
+};
+
+/// Returns "exited", "halted", "fault", or "instr-limit".
+const char *exitReasonName(ExitReason R);
+
+/// Dynamic control-transfer statistics, split the way the paper splits
+/// them: the three indirect classes are the subject of study.
+struct CtiStats {
+  uint64_t Returns = 0;
+  uint64_t IndirectCalls = 0;
+  uint64_t IndirectJumps = 0;
+  uint64_t CondBranches = 0;
+  uint64_t DirectCalls = 0;
+  uint64_t DirectJumps = 0;
+
+  uint64_t indirectTotal() const {
+    return Returns + IndirectCalls + IndirectJumps;
+  }
+};
+
+/// Everything observable about one run.
+struct RunResult {
+  ExitReason Reason = ExitReason::Fault;
+  int32_t ExitCode = 0;
+  std::string Output;
+  uint64_t Checksum = 0;
+  uint64_t InstructionCount = 0;
+  std::string FaultMessage;
+  CtiStats Cti;
+
+  /// Per-IB-site distinct-target sets; populated only when the engine is
+  /// asked to collect the profile (Table 1 fan-out statistics).
+  std::map<uint32_t, std::set<uint32_t>> SiteTargets;
+
+  /// True if the run terminated normally (exit or halt).
+  bool finishedNormally() const {
+    return Reason == ExitReason::Exited || Reason == ExitReason::Halted;
+  }
+};
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_RUNRESULT_H

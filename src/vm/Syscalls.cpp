@@ -1,0 +1,65 @@
+//===- vm/Syscalls.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Syscalls.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Syscalls.h"
+
+#include "support/StringUtils.h"
+
+using namespace sdt;
+using namespace sdt::vm;
+using namespace sdt::isa;
+
+void SyscallContext::foldChecksum(uint32_t Value) {
+  for (unsigned Shift = 0; Shift != 32; Shift += 8) {
+    Checksum ^= (Value >> Shift) & 0xFF;
+    Checksum *= 1099511628211ULL; // FNV-1a prime.
+  }
+}
+
+SyscallOutcome sdt::vm::executeSyscall(GuestState &State, GuestMemory &Memory,
+                                       SyscallContext &Context,
+                                       int32_t &ExitCode,
+                                       const char *&FaultReason) {
+  uint32_t Number = State.reg(RegV0);
+  uint32_t Arg = State.reg(RegA0);
+
+  switch (static_cast<Syscall>(Number)) {
+  case Syscall::Exit:
+    ExitCode = static_cast<int32_t>(Arg);
+    return SyscallOutcome::Exit;
+
+  case Syscall::PrintInt:
+    Context.Output +=
+        formatString("%d\n", static_cast<int32_t>(Arg));
+    return SyscallOutcome::Continue;
+
+  case Syscall::PrintChar:
+    Context.Output += static_cast<char>(Arg & 0xFF);
+    return SyscallOutcome::Continue;
+
+  case Syscall::PrintStr: {
+    // Bounded scan for the terminating NUL.
+    for (uint32_t Addr = Arg;; ++Addr) {
+      uint8_t Byte;
+      if (!Memory.load8(Addr, Byte)) {
+        FaultReason = "print_str: unterminated or unmapped string";
+        return SyscallOutcome::Fault;
+      }
+      if (Byte == 0)
+        break;
+      Context.Output += static_cast<char>(Byte);
+    }
+    return SyscallOutcome::Continue;
+  }
+
+  case Syscall::Checksum:
+    Context.foldChecksum(Arg);
+    return SyscallOutcome::Continue;
+  }
+
+  FaultReason = "unknown syscall number";
+  return SyscallOutcome::Fault;
+}

@@ -1,0 +1,63 @@
+//===- vm/Syscalls.h - Guest system call interface ---------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest's system-call surface, shared by the interpreter and the SDT
+/// (an SDT passes system calls through to the host unchanged, so both
+/// engines must produce identical observable effects). Calling convention:
+/// `v0` holds the syscall number, `a0` the argument; results return in
+/// `v0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_VM_SYSCALLS_H
+#define STRATAIB_VM_SYSCALLS_H
+
+#include "vm/GuestMemory.h"
+#include "vm/GuestState.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+namespace vm {
+
+/// Syscall numbers (in v0 at the `syscall` instruction).
+enum class Syscall : uint32_t {
+  Exit = 0,     ///< exit(a0): terminate with code a0.
+  PrintInt = 1, ///< print a0 as signed decimal + newline.
+  PrintChar = 2, ///< print the low byte of a0.
+  PrintStr = 3, ///< print NUL-terminated string at address a0.
+  Checksum = 4, ///< fold a0 into the run checksum (cheap output).
+};
+
+/// Observable output of a run, accumulated across syscalls.
+struct SyscallContext {
+  std::string Output;
+  uint64_t Checksum = 1469598103934665603ULL; ///< FNV-1a offset basis.
+
+  /// Folds a 32-bit value into the checksum (FNV-1a over the 4 bytes).
+  void foldChecksum(uint32_t Value);
+};
+
+/// What the engine should do after the syscall.
+enum class SyscallOutcome : uint8_t {
+  Continue, ///< Resume at the next instruction.
+  Exit,     ///< Terminate; exit code was recorded.
+  Fault,    ///< Bad syscall number or bad argument.
+};
+
+/// Executes the syscall encoded in \p State (reads v0/a0, may write v0).
+/// On Exit, \p ExitCode receives a0. On Fault, \p FaultReason is set to a
+/// static string.
+SyscallOutcome executeSyscall(GuestState &State, GuestMemory &Memory,
+                              SyscallContext &Context, int32_t &ExitCode,
+                              const char *&FaultReason);
+
+} // namespace vm
+} // namespace sdt
+
+#endif // STRATAIB_VM_SYSCALLS_H

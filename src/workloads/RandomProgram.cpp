@@ -1,0 +1,314 @@
+//===- workloads/RandomProgram.cpp -----------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See RandomProgram.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "assembler/AsmBuilder.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::workloads;
+using assembler::AsmBuilder;
+
+namespace {
+
+/// Emits one function at a time; jump/call tables are deferred to the end
+/// of the program image.
+///
+/// Termination is by construction: calls (direct or through tables) only
+/// target higher-numbered functions, loops have fixed trip counts, and
+/// switch arms only jump forward to a per-switch join label.
+class RandomProgramBuilder {
+public:
+  RandomProgramBuilder(uint64_t Seed, const RandomProgramOptions &Opts)
+      : Rng(Seed), Opts(Opts) {
+    assert(Opts.NumFunctions >= 1 && "need at least one function");
+  }
+
+  std::string build();
+
+private:
+  void emitFunction(unsigned Index);
+  void emitItem(unsigned FuncIndex, const std::string &Prefix);
+
+  void emitAluBurst();
+  void emitMemOp();
+  void emitLoop(const std::string &Prefix);
+  void emitDirectCall(unsigned FuncIndex);
+  void emitIndirectCall(unsigned FuncIndex);
+  void emitSwitch(const std::string &Prefix);
+
+  /// A random temp register t0..t5 (t6/t7 are scratch for addresses,
+  /// table indexing, and loop counters).
+  std::string randTemp() {
+    return formatString("t%u", static_cast<unsigned>(Rng.nextBelow(6)));
+  }
+
+  sdt::Rng Rng;
+  RandomProgramOptions Opts;
+  AsmBuilder B;
+  /// (label, ".word ..." line) pairs emitted after the code.
+  std::vector<std::pair<std::string, std::string>> DeferredData;
+  unsigned TableCounter = 0;
+};
+
+} // namespace
+
+void RandomProgramBuilder::emitAluBurst() {
+  unsigned Count = 2 + static_cast<unsigned>(Rng.nextBelow(4));
+  for (unsigned I = 0; I != Count; ++I) {
+    std::string D = randTemp(), A = randTemp(), C = randTemp();
+    switch (Rng.nextBelow(8)) {
+    case 0:
+      B.emitf("add %s, %s, %s", D.c_str(), A.c_str(), C.c_str());
+      break;
+    case 1:
+      B.emitf("sub %s, %s, %s", D.c_str(), A.c_str(), C.c_str());
+      break;
+    case 2:
+      B.emitf("xor %s, %s, %s", D.c_str(), A.c_str(), C.c_str());
+      break;
+    case 3:
+      B.emitf("mul %s, %s, %s", D.c_str(), A.c_str(), C.c_str());
+      break;
+    case 4:
+      B.emitf("addi %s, %s, %d", D.c_str(), A.c_str(),
+              static_cast<int>(Rng.nextInRange(-512, 512)));
+      break;
+    case 5:
+      B.emitf("slli %s, %s, %u", D.c_str(), A.c_str(),
+              static_cast<unsigned>(Rng.nextBelow(8)));
+      break;
+    case 6:
+      B.emitf("srli %s, %s, %u", D.c_str(), A.c_str(),
+              static_cast<unsigned>(Rng.nextBelow(8)));
+      break;
+    case 7:
+      B.emitf("slt %s, %s, %s", D.c_str(), A.c_str(), C.c_str());
+      break;
+    }
+  }
+  B.emitf("xor s7, s7, %s", randTemp().c_str());
+}
+
+void RandomProgramBuilder::emitMemOp() {
+  std::string V = randTemp(), A = randTemp();
+  // Mask to a word-aligned offset inside the scratch array.
+  B.emitf("andi t6, %s, 1020", A.c_str());
+  B.emit("la t7, rp_mem");
+  B.emit("add t6, t6, t7");
+  if (Rng.nextChance(1, 2)) {
+    B.emitf("sw %s, 0(t6)", V.c_str());
+  } else {
+    B.emitf("lw %s, 0(t6)", V.c_str());
+    B.emitf("add s7, s7, %s", V.c_str());
+  }
+}
+
+void RandomProgramBuilder::emitLoop(const std::string &Prefix) {
+  unsigned Trip = 3 + static_cast<unsigned>(Rng.nextBelow(6));
+  std::string Head = Prefix + "_loop";
+  B.emitf("li t7, %u", Trip);
+  B.label(Head);
+  unsigned Body = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned I = 0; I != Body; ++I) {
+    std::string D = randTemp(), A = randTemp();
+    if (Rng.nextChance(1, 2))
+      B.emitf("add %s, %s, t7", D.c_str(), A.c_str());
+    else
+      B.emitf("xor s7, s7, %s", A.c_str());
+  }
+  B.emit("addi t7, t7, -1");
+  B.emitf("bnez t7, %s", Head.c_str());
+}
+
+void RandomProgramBuilder::emitDirectCall(unsigned FuncIndex) {
+  assert(FuncIndex + 1 < Opts.NumFunctions && "no callee available");
+  unsigned Callee =
+      FuncIndex + 1 +
+      static_cast<unsigned>(
+          Rng.nextBelow(Opts.NumFunctions - FuncIndex - 1));
+  B.emitf("move a0, %s", randTemp().c_str());
+  B.emitf("jal rp_f%u", Callee);
+  B.emit("add s7, s7, v0");
+}
+
+void RandomProgramBuilder::emitIndirectCall(unsigned FuncIndex) {
+  unsigned MaxCallees = Opts.NumFunctions - FuncIndex - 1;
+  unsigned Entries =
+      std::min(2u + static_cast<unsigned>(Rng.nextBelow(3)), MaxCallees);
+  if (Entries < 2) {
+    emitDirectCall(FuncIndex);
+    return;
+  }
+  std::string Table = formatString("rp_tab%u", TableCounter++);
+  std::string Words = ".word ";
+  for (unsigned I = 0; I != Entries; ++I) {
+    unsigned Callee = FuncIndex + 1 +
+                      static_cast<unsigned>(Rng.nextBelow(MaxCallees));
+    if (I != 0)
+      Words += ", ";
+    Words += formatString("rp_f%u", Callee);
+  }
+  DeferredData.emplace_back(Table, Words);
+
+  std::string Sel = randTemp();
+  B.emitf("andi t6, %s, 32767", Sel.c_str()); // Non-negative selector.
+  B.emitf("li t7, %u", Entries);
+  B.emit("rem t6, t6, t7");
+  B.emit("slli t6, t6, 2");
+  B.emitf("la t7, %s", Table.c_str());
+  B.emit("add t6, t6, t7");
+  B.emit("lw t6, 0(t6)");
+  B.emitf("move a0, %s", randTemp().c_str());
+  B.emit("jalr t6");
+  B.emit("add s7, s7, v0");
+}
+
+void RandomProgramBuilder::emitSwitch(const std::string &Prefix) {
+  unsigned Arms = 2 + static_cast<unsigned>(Rng.nextBelow(3));
+  std::string Table = formatString("rp_tab%u", TableCounter++);
+  std::string Words = ".word ";
+  for (unsigned I = 0; I != Arms; ++I) {
+    if (I != 0)
+      Words += ", ";
+    Words += formatString("%s_arm%u", Prefix.c_str(), I);
+  }
+  DeferredData.emplace_back(Table, Words);
+
+  std::string Sel = randTemp();
+  B.emitf("andi t6, %s, 32767", Sel.c_str());
+  B.emitf("li t7, %u", Arms);
+  B.emit("rem t6, t6, t7");
+  B.emit("slli t6, t6, 2");
+  B.emitf("la t7, %s", Table.c_str());
+  B.emit("add t6, t6, t7");
+  B.emit("lw t6, 0(t6)");
+  B.emit("jr t6");
+  for (unsigned I = 0; I != Arms; ++I) {
+    B.label(formatString("%s_arm%u", Prefix.c_str(), I));
+    std::string D = randTemp();
+    B.emitf("addi %s, %s, %u", D.c_str(), D.c_str(), I * 3 + 1);
+    B.emitf("xor s7, s7, %s", D.c_str());
+    B.emitf("j %s_join", Prefix.c_str());
+  }
+  B.label(Prefix + "_join");
+}
+
+void RandomProgramBuilder::emitItem(unsigned FuncIndex,
+                                    const std::string &Prefix) {
+  bool CanCall = FuncIndex + 1 < Opts.NumFunctions;
+  // Weighted choice; fall back to an ALU burst when a feature is off.
+  switch (Rng.nextBelow(10)) {
+  case 0:
+  case 1:
+  case 2:
+    emitAluBurst();
+    return;
+  case 3:
+  case 4:
+    emitMemOp();
+    return;
+  case 5:
+  case 6:
+    if (Opts.AllowLoops)
+      emitLoop(Prefix);
+    else
+      emitAluBurst();
+    return;
+  case 7:
+    if (CanCall)
+      emitDirectCall(FuncIndex);
+    else
+      emitAluBurst();
+    return;
+  case 8:
+    if (CanCall && Opts.AllowIndirectCalls)
+      emitIndirectCall(FuncIndex);
+    else
+      emitMemOp();
+    return;
+  case 9:
+    if (Opts.AllowIndirectJumps)
+      emitSwitch(Prefix);
+    else
+      emitAluBurst();
+    return;
+  }
+  assert(false && "nextBelow(10) out of range");
+}
+
+void RandomProgramBuilder::emitFunction(unsigned Index) {
+  B.blank();
+  B.label(formatString("rp_f%u", Index));
+  B.emit("push ra");
+  // Deterministic temp initialisation from the argument.
+  B.emit("addi t0, a0, 1");
+  B.emit("slli t1, a0, 1");
+  B.emit("xori t2, a0, 255");
+  B.emit("addi t3, a0, 77");
+  B.emit("srli t4, a0, 1");
+  B.emit("move t5, a0");
+  for (unsigned Item = 0; Item != Opts.ItemsPerFunction; ++Item)
+    emitItem(Index, formatString("rp_f%u_i%u", Index, Item));
+  B.emit("move v0, t0");
+  B.emit("pop ra");
+  B.emit("ret");
+}
+
+std::string RandomProgramBuilder::build() {
+  B.org(0x1000);
+  B.entry("main");
+  B.label("main");
+  B.emit("li s7, 0");
+  B.emitf("li s6, %u", Opts.MainIterations);
+  B.label("rp_mainloop");
+  B.emit("move a0, s6");
+  B.emit("jal rp_f0");
+  B.emit("add s7, s7, v0");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, rp_mainloop");
+  B.emit("move a0, s7");
+  B.emit("li v0, 4");
+  B.emit("syscall"); // checksum(s7)
+  B.emit("li a0, 0");
+  B.emit("li v0, 0");
+  B.emit("syscall"); // exit(0)
+
+  for (unsigned I = 0; I != Opts.NumFunctions; ++I)
+    emitFunction(I);
+
+  B.blank();
+  B.emit(".align 4");
+  B.label("rp_mem");
+  B.emit(".space 1024");
+  for (const auto &[Label, Words] : DeferredData) {
+    B.label(Label);
+    B.emit(Words);
+  }
+  return B.source();
+}
+
+std::string
+sdt::workloads::generateRandomAssembly(uint64_t Seed,
+                                       const RandomProgramOptions &Opts) {
+  RandomProgramBuilder Builder(Seed, Opts);
+  return Builder.build();
+}
+
+Expected<isa::Program>
+sdt::workloads::generateRandomProgram(uint64_t Seed,
+                                      const RandomProgramOptions &Opts) {
+  Expected<isa::Program> P =
+      assembler::assemble(generateRandomAssembly(Seed, Opts));
+  assert(P && "random program failed to assemble");
+  return P;
+}

@@ -1,0 +1,51 @@
+//===- workloads/RandomProgram.h - Random program generator ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random GIR program generation for differential property tests:
+/// every generated program terminates by construction (calls only go to
+/// higher-numbered functions, loops have fixed trip counts, switches jump
+/// forward), is deterministic, and accumulates a checksum that both
+/// execution engines must reproduce bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_WORKLOADS_RANDOMPROGRAM_H
+#define STRATAIB_WORKLOADS_RANDOMPROGRAM_H
+
+#include "isa/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sdt {
+namespace workloads {
+
+/// Shape knobs for generated programs.
+struct RandomProgramOptions {
+  unsigned NumFunctions = 6;     ///< Including main; >= 1.
+  unsigned ItemsPerFunction = 6; ///< Statements drawn per function.
+  bool AllowIndirectCalls = true;
+  bool AllowIndirectJumps = true;
+  bool AllowLoops = true;
+  /// Repetitions of the whole call tree from main (dynamic length knob).
+  unsigned MainIterations = 3;
+};
+
+/// Generates the assembly text for seed \p Seed.
+std::string generateRandomAssembly(uint64_t Seed,
+                                   const RandomProgramOptions &Opts = {});
+
+/// Generates and assembles the program for seed \p Seed. Generated
+/// programs always assemble; failure here is a generator bug (asserted).
+Expected<isa::Program>
+generateRandomProgram(uint64_t Seed, const RandomProgramOptions &Opts = {});
+
+} // namespace workloads
+} // namespace sdt
+
+#endif // STRATAIB_WORKLOADS_RANDOMPROGRAM_H

@@ -1,0 +1,65 @@
+//===- workloads/WorkloadGenerators.h - Generator internals ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal declarations of the per-benchmark generator functions plus the
+/// shared assembly idioms they use (program prologue/epilogue, guest-side
+/// LCG). Implementations are grouped by character: compute-bound proxies,
+/// call-bound proxies, and interpreter proxies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_WORKLOADS_WORKLOADGENERATORS_H
+#define STRATAIB_WORKLOADS_WORKLOADGENERATORS_H
+
+#include "assembler/AsmBuilder.h"
+
+#include <cstdint>
+
+namespace sdt {
+namespace workloads {
+namespace detail {
+
+/// Emits ".org/.entry main" and the "main:" label.
+void emitHeader(assembler::AsmBuilder &B);
+
+/// Emits the standard epilogue: fold register \p ChecksumReg into the run
+/// checksum (syscall 4) and exit(0). Clobbers a0/v0.
+void emitChecksumExit(assembler::AsmBuilder &B, const char *ChecksumReg);
+
+/// Emits one LCG step on register \p Reg using \p Tmp as scratch:
+/// Reg = Reg * 1103515245 + 12345.
+void emitLcgStep(assembler::AsmBuilder &B, const char *Reg,
+                 const char *Tmp);
+
+// --- Compute-bound proxies (WorkloadsCompute.cpp) -----------------------
+void genGzip(assembler::AsmBuilder &B, uint32_t Scale);
+void genVpr(assembler::AsmBuilder &B, uint32_t Scale);
+void genMcf(assembler::AsmBuilder &B, uint32_t Scale);
+void genBzip2(assembler::AsmBuilder &B, uint32_t Scale);
+void genTwolf(assembler::AsmBuilder &B, uint32_t Scale);
+
+// --- Call-bound proxies (WorkloadsCalls.cpp) -------------------------------
+void genGcc(assembler::AsmBuilder &B, uint32_t Scale);
+void genCrafty(assembler::AsmBuilder &B, uint32_t Scale);
+void genEon(assembler::AsmBuilder &B, uint32_t Scale);
+void genVortex(assembler::AsmBuilder &B, uint32_t Scale);
+
+// --- Interpreter proxies (WorkloadsInterp.cpp) ---------------------------
+void genParser(assembler::AsmBuilder &B, uint32_t Scale);
+void genPerlbmk(assembler::AsmBuilder &B, uint32_t Scale);
+void genGap(assembler::AsmBuilder &B, uint32_t Scale);
+
+// --- Extra (non-SPEC) workloads ------------------------------------------
+void genBigCode(assembler::AsmBuilder &B, uint32_t Scale);
+/// Compiled by the girc MinC compiler (WorkloadsMinc.cpp).
+void genMinc(assembler::AsmBuilder &B, uint32_t Scale);
+
+} // namespace detail
+} // namespace workloads
+} // namespace sdt
+
+#endif // STRATAIB_WORKLOADS_WORKLOADGENERATORS_H

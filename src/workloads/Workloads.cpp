@@ -1,0 +1,116 @@
+//===- workloads/Workloads.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Workloads.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "assembler/AsmBuilder.h"
+#include "support/Error.h"
+#include "workloads/WorkloadGenerators.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::workloads;
+using namespace sdt::workloads::detail;
+using assembler::AsmBuilder;
+
+void detail::emitHeader(AsmBuilder &B) {
+  B.org(0x1000);
+  B.entry("main");
+  B.label("main");
+}
+
+void detail::emitChecksumExit(AsmBuilder &B, const char *ChecksumReg) {
+  B.emitf("move a0, %s", ChecksumReg);
+  B.emit("li v0, 4");
+  B.emit("syscall"); // checksum(a0)
+  B.emit("li a0, 0");
+  B.emit("li v0, 0");
+  B.emit("syscall"); // exit(0)
+}
+
+void detail::emitLcgStep(AsmBuilder &B, const char *Reg, const char *Tmp) {
+  B.emitf("li %s, 1103515245", Tmp);
+  B.emitf("mul %s, %s, %s", Reg, Reg, Tmp);
+  B.emitf("addi %s, %s, 12345", Reg, Reg);
+}
+
+const std::vector<WorkloadInfo> &sdt::workloads::allWorkloads() {
+  static const std::vector<WorkloadInfo> Registry = {
+      {"gzip", "LZ-style window compression: tight scan loops, leaf calls",
+       "low-ib", genGzip},
+      {"vpr", "placement annealing: array math with a 2-way function "
+              "pointer",
+       "mixed", genVpr},
+      {"gcc", "many small functions, deep call chains, statement-kind "
+              "switch",
+       "returns", genGcc},
+      {"mcf", "network-simplex-style pointer chasing", "low-ib", genMcf},
+      {"crafty", "recursive game-tree search: returns dominate", "returns",
+       genCrafty},
+      {"parser", "table-driven state machine with per-state dispatch",
+       "ind-jumps", genParser},
+      {"eon", "virtual-method dispatch over heterogeneous objects",
+       "ind-calls", genEon},
+      {"perlbmk", "direct-threaded bytecode interpreter: megamorphic "
+                  "indirect jumps",
+       "ind-jumps", genPerlbmk},
+      {"gap", "central-loop bytecode interpreter with arithmetic kernels",
+       "ind-jumps", genGap},
+      {"vortex", "tagged-record database: operation table calls + deep "
+                 "returns",
+       "ind-calls", genVortex},
+      {"bzip2", "block sort: compare-heavy inner loops", "low-ib",
+       genBzip2},
+      {"twolf", "simulated annealing with helper calls", "mixed", genTwolf},
+  };
+  return Registry;
+}
+
+const std::vector<WorkloadInfo> &sdt::workloads::extraWorkloads() {
+  static const std::vector<WorkloadInfo> Registry = {
+      {"bigcode", "hundreds of small functions: translated-code footprint "
+                  "exceeds small fragment caches",
+       "returns", genBigCode},
+      {"minc", "girc-compiled recursive evaluator with function-pointer "
+               "operator dispatch",
+       "ind-calls", genMinc},
+  };
+  return Registry;
+}
+
+const WorkloadInfo *sdt::workloads::findWorkload(std::string_view Name) {
+  for (const WorkloadInfo &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  for (const WorkloadInfo &W : extraWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}
+
+Expected<isa::Program> sdt::workloads::buildWorkload(std::string_view Name,
+                                                     uint32_t Scale) {
+  const WorkloadInfo *W = findWorkload(Name);
+  if (!W)
+    return Error::failure("unknown workload '" + std::string(Name) + "'");
+  assert(Scale > 0 && "workload scale must be positive");
+  AsmBuilder B;
+  W->Generate(B, Scale);
+  Expected<isa::Program> P = B.build();
+  assert(P && "registered workload failed to assemble");
+  return P;
+}
+
+Expected<std::string> sdt::workloads::workloadSource(std::string_view Name,
+                                                     uint32_t Scale) {
+  const WorkloadInfo *W = findWorkload(Name);
+  if (!W)
+    return Error::failure("unknown workload '" + std::string(Name) + "'");
+  AsmBuilder B;
+  W->Generate(B, Scale);
+  return B.source();
+}

@@ -1,0 +1,72 @@
+//===- workloads/Workloads.h - SPEC CPU2000 INT proxies ----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the twelve SPEC CPU2000 integer benchmarks the
+/// paper measures. Each generator emits a GIR assembly program whose
+/// *indirect-branch profile* — the mix of returns / indirect calls /
+/// indirect jumps, target fan-out, and call depth — mimics the published
+/// character of the corresponding SPEC program. The numerical work is
+/// synthetic; the IB behaviour, which is all the mechanisms under study
+/// can see, is the modeled quantity (see DESIGN.md, substitution record).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_WORKLOADS_WORKLOADS_H
+#define STRATAIB_WORKLOADS_WORKLOADS_H
+
+#include "isa/Program.h"
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdt {
+namespace assembler {
+class AsmBuilder;
+} // namespace assembler
+
+namespace workloads {
+
+/// Generator signature: emits the whole program into \p B. \p Scale
+/// multiplies the dynamic work (Scale 1 is roughly 50-150k guest
+/// instructions; benchmarks run Scale 10-40).
+using GeneratorFn = void (*)(assembler::AsmBuilder &B, uint32_t Scale);
+
+/// Registry entry for one workload.
+struct WorkloadInfo {
+  const char *Name;
+  const char *Description;
+  /// One-word dominant-IB characterisation: "returns", "ind-jumps",
+  /// "ind-calls", "mixed", or "low-ib".
+  const char *IBProfile;
+  GeneratorFn Generate;
+};
+
+/// All twelve proxies, in SPEC CPU2000 INT order.
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/// Extra (non-SPEC) workloads: "bigcode", a many-function program whose
+/// translated footprint exceeds small fragment caches — used by the
+/// code-cache-pressure ablations.
+const std::vector<WorkloadInfo> &extraWorkloads();
+
+/// Looks up a workload by name ("gzip" ... "twolf", or an extra);
+/// nullptr if unknown.
+const WorkloadInfo *findWorkload(std::string_view Name);
+
+/// Generates and assembles the named workload. Fails on unknown names
+/// (assembly of a registered workload never fails; that is asserted).
+Expected<isa::Program> buildWorkload(std::string_view Name, uint32_t Scale);
+
+/// Returns the generated assembly source (for inspection / examples).
+Expected<std::string> workloadSource(std::string_view Name, uint32_t Scale);
+
+} // namespace workloads
+} // namespace sdt
+
+#endif // STRATAIB_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,454 @@
+//===- workloads/WorkloadsCalls.cpp ----------------------------*- C++ -*-===//
+//
+// Part of StrataIB. Call-bound SPEC INT proxies: gcc, crafty, eon,
+// vortex. Returns (and, for eon/vortex, indirect calls) dominate the IB
+// mix here — the workloads where return-handling strategy decides the
+// overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadGenerators.h"
+
+#include "support/StringUtils.h"
+
+using namespace sdt;
+using namespace sdt::workloads;
+using assembler::AsmBuilder;
+
+/// gcc proxy: a statement processor — a jump-table switch over statement
+/// kinds whose cases call into a population of small helper functions,
+/// some through a second nested switch. Deep call chains, frequent
+/// returns, moderate indirect jumps.
+void detail::genGcc(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 314159265");
+  B.emitf("li s6, %u", Scale * 1200u);
+
+  B.label("gcc_loop");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli a0, s0, 16");
+  B.emit("andi a0, a0, 7");   // statement kind
+  B.emit("srli a1, s0, 8");
+  B.emit("andi a1, a1, 1023"); // operand
+  B.emit("jal gcc_stmt");
+  B.emit("add s7, s7, v0");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, gcc_loop");
+  emitChecksumExit(B, "s7");
+
+  B.comment("stmt(a0=kind, a1=val): dispatch through a jump table");
+  B.label("gcc_stmt");
+  B.emit("push ra");
+  B.emit("la t0, gcc_tab");
+  B.emit("slli t1, a0, 2");
+  B.emit("add t0, t0, t1");
+  B.emit("lw t1, 0(t0)");
+  B.emit("jr t1");
+
+  B.label("gcc_case0"); // assignment: fold through two helpers
+  B.emit("move a0, a1");
+  B.emit("jal gcc_f0");
+  B.emit("move a0, v0");
+  B.emit("jal gcc_f1");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case1"); // arithmetic expr
+  B.emit("move a0, a1");
+  B.emit("jal gcc_expr");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case2"); // compare
+  B.emit("move a0, a1");
+  B.emit("jal gcc_f2");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case3"); // call-like: helper chain of depth 3
+  B.emit("move a0, a1");
+  B.emit("jal gcc_f3");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case4");
+  B.emit("move a0, a1");
+  B.emit("jal gcc_f4");
+  B.emit("move a0, v0");
+  B.emit("jal gcc_expr");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case5");
+  B.emit("slli v0, a1, 2");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case6");
+  B.emit("move a0, a1");
+  B.emit("jal gcc_f5");
+  B.emit("j gcc_stmt_done");
+  B.label("gcc_case7");
+  B.emit("move a0, a1");
+  B.emit("jal gcc_f0");
+  B.emit("move a0, v0");
+  B.emit("jal gcc_f4");
+  B.label("gcc_stmt_done");
+  B.emit("pop ra");
+  B.emit("ret");
+
+  B.comment("expr(a0): nested switch over expression kind");
+  B.label("gcc_expr");
+  B.emit("push ra");
+  B.emit("andi t0, a0, 3");
+  B.emit("la t1, gcc_etab");
+  B.emit("slli t0, t0, 2");
+  B.emit("add t1, t1, t0");
+  B.emit("lw t1, 0(t1)");
+  B.emit("jr t1");
+  B.label("gcc_ecase0");
+  B.emit("jal gcc_f1");
+  B.emit("j gcc_expr_done");
+  B.label("gcc_ecase1");
+  B.emit("jal gcc_f2");
+  B.emit("j gcc_expr_done");
+  B.label("gcc_ecase2");
+  B.emit("jal gcc_f5");
+  B.emit("j gcc_expr_done");
+  B.label("gcc_ecase3");
+  B.emit("addi v0, a0, 17");
+  B.label("gcc_expr_done");
+  B.emit("pop ra");
+  B.emit("ret");
+
+  // Helper population: small leaf (and near-leaf) functions.
+  B.label("gcc_f0");
+  B.emit("slli v0, a0, 1");
+  B.emit("xori v0, v0, 51");
+  B.emit("ret");
+  B.label("gcc_f1");
+  B.emit("mul v0, a0, a0");
+  B.emit("srli v0, v0, 7");
+  B.emit("ret");
+  B.label("gcc_f2");
+  B.emit("slti t0, a0, 512");
+  B.emit("add v0, a0, t0");
+  B.emit("ret");
+  B.label("gcc_f3"); // chains into f2 then f1
+  B.emit("push ra");
+  B.emit("addi a0, a0, 5");
+  B.emit("jal gcc_f2");
+  B.emit("move a0, v0");
+  B.emit("jal gcc_f1");
+  B.emit("pop ra");
+  B.emit("ret");
+  B.label("gcc_f4");
+  B.emit("srli v0, a0, 2");
+  B.emit("addi v0, v0, 9");
+  B.emit("ret");
+  B.label("gcc_f5"); // chains into f4
+  B.emit("push ra");
+  B.emit("xori a0, a0, 170");
+  B.emit("jal gcc_f4");
+  B.emit("pop ra");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("gcc_tab");
+  B.emit(".word gcc_case0, gcc_case1, gcc_case2, gcc_case3");
+  B.emit(".word gcc_case4, gcc_case5, gcc_case6, gcc_case7");
+  B.label("gcc_etab");
+  B.emit(".word gcc_ecase0, gcc_ecase1, gcc_ecase2, gcc_ecase3");
+}
+
+/// crafty proxy: recursive game-tree search, depth 9 → ~1000 call/return
+/// pairs per root search. Returns are by far the dominant IB class, with
+/// the deep nesting that makes hardware return prediction (and fast
+/// returns) shine.
+void detail::genCrafty(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s5, 161803398");
+  B.emitf("li s6, %u", Scale * 4u); // root searches
+
+  B.label("cr_root");
+  detail::emitLcgStep(B, "s5", "t6");
+  B.emit("li a0, 9");      // depth
+  B.emit("move a1, s5");   // position state
+  B.emit("jal cr_search");
+  B.emit("add s7, s7, v0");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, cr_root");
+  emitChecksumExit(B, "s7");
+
+  B.comment("search(a0=depth, a1=state): two-child minimax");
+  B.label("cr_search");
+  B.emit("bnez a0, cr_rec");
+  B.comment("leaf: static evaluation sweeps a small feature loop");
+  B.emit("mul v0, a1, a1");
+  B.emit("srli v0, v0, 11");
+  B.emit("xor v0, v0, a1");
+  B.emit("li t0, 6");
+  B.label("cr_eval");
+  B.emit("slli t1, v0, 2");
+  B.emit("sub v0, t1, v0");
+  B.emit("srli t1, v0, 9");
+  B.emit("xor v0, v0, t1");
+  B.emit("addi t0, t0, -1");
+  B.emit("bnez t0, cr_eval");
+  B.emit("andi v0, v0, 4095");
+  B.emit("ret");
+  B.label("cr_rec");
+  B.emit("push ra");
+  B.emit("push s0");
+  B.emit("push s1");
+  B.emit("push s2");
+  B.emit("move s0, a0");
+  B.emit("move s1, a1");
+  B.comment("left child: state*3+1");
+  B.emit("addi a0, s0, -1");
+  B.emit("slli t0, s1, 1");
+  B.emit("add a1, t0, s1");
+  B.emit("addi a1, a1, 1");
+  B.emit("jal cr_search");
+  B.emit("move s2, v0");
+  B.comment("right child: state^0x2a55");
+  B.emit("addi a0, s0, -1");
+  B.emit("xori a1, s1, 10837");
+  B.emit("jal cr_search");
+  B.comment("minimax combine: take max, nudge by depth");
+  B.emit("bge v0, s2, cr_keep");
+  B.emit("move v0, s2");
+  B.label("cr_keep");
+  B.emit("add v0, v0, s0");
+  B.emit("pop s2");
+  B.emit("pop s1");
+  B.emit("pop s0");
+  B.emit("pop ra");
+  B.emit("ret");
+}
+
+/// eon proxy: C++-style virtual dispatch. Heterogeneous objects carry a
+/// vtable pointer; the render loop calls one of two virtual methods on a
+/// random object — one indirect-call site with six dynamic targets.
+void detail::genEon(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 271828183");
+  B.emitf("li s6, %u", Scale * 2000u);
+  B.emit("la s5, eon_objs");
+
+  B.comment("construct 256 objects: vptr = vtable[i mod 3], field = i*i");
+  B.emit("li t0, 0");
+  B.emit("li t1, 256");
+  B.label("eon_init");
+  B.emit("li t2, 3");
+  B.emit("rem t3, t0, t2");
+  B.emit("slli t3, t3, 2");
+  B.emit("la t4, eon_vts");
+  B.emit("add t4, t4, t3");
+  B.emit("lw t4, 0(t4)");       // vtable address
+  B.emit("slli t5, t0, 3");     // 8 bytes per object
+  B.emit("add t5, s5, t5");
+  B.emit("sw t4, 0(t5)");
+  B.emit("mul t6, t0, t0");
+  B.emit("sw t6, 4(t5)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, eon_init");
+
+  B.label("eon_loop");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emit("andi t0, t0, 255");   // object index
+  B.emit("slli t0, t0, 3");
+  B.emit("add s1, s5, t0");     // object base
+  B.emit("lw t1, 0(s1)");       // vptr
+  B.emit("srli t2, s0, 24");
+  B.emit("andi t2, t2, 1");     // method selector
+  B.emit("slli t2, t2, 2");
+  B.emit("add t1, t1, t2");
+  B.emit("lw t3, 0(t1)");       // method address
+  B.emit("lw a0, 4(s1)");       // field
+  B.emit("jalr t3");            // the polymorphic call site
+  B.emit("add s7, s7, v0");
+  B.emit("sw v0, 4(s1)");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, eon_loop");
+  emitChecksumExit(B, "s7");
+
+  B.comment("class 0: sphere");
+  B.label("eon_c0m0");
+  B.emit("mul v0, a0, a0");
+  B.emit("srli v0, v0, 9");
+  B.emit("ret");
+  B.label("eon_c0m1");
+  B.emit("addi v0, a0, 33");
+  B.emit("ret");
+  B.comment("class 1: triangle");
+  B.label("eon_c1m0");
+  B.emit("slli v0, a0, 1");
+  B.emit("xori v0, v0, 977");
+  B.emit("ret");
+  B.label("eon_c1m1");
+  B.emit("srli v0, a0, 3");
+  B.emit("addi v0, v0, 5");
+  B.emit("ret");
+  B.comment("class 2: light");
+  B.label("eon_c2m0");
+  B.emit("xori v0, a0, 21845");
+  B.emit("ret");
+  B.label("eon_c2m1");
+  B.emit("slli t0, a0, 2");
+  B.emit("sub v0, t0, a0");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("eon_vt0");
+  B.emit(".word eon_c0m0, eon_c0m1");
+  B.label("eon_vt1");
+  B.emit(".word eon_c1m0, eon_c1m1");
+  B.label("eon_vt2");
+  B.emit(".word eon_c2m0, eon_c2m1");
+  B.label("eon_vts");
+  B.emit(".word eon_vt0, eon_vt1, eon_vt2");
+  B.label("eon_objs");
+  B.emit(".space 2048");
+}
+
+/// vortex proxy: an object-database transaction loop. Records carry a
+/// type tag; each transaction dispatches through an operation table
+/// (indirect call, fan-out 6) whose handlers call shared validation
+/// helpers (extra call depth → many returns).
+void detail::genVortex(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 696729599");
+  B.emitf("li s6, %u", Scale * 1500u);
+  B.emit("la s5, vx_db");
+
+  B.comment("populate 512 records: tag = i mod 6, value = i*37");
+  B.emit("li t0, 0");
+  B.emit("li t1, 512");
+  B.label("vx_init");
+  B.emit("li t2, 6");
+  B.emit("rem t3, t0, t2");
+  B.emit("slli t4, t0, 3");
+  B.emit("add t4, s5, t4");
+  B.emit("sw t3, 0(t4)");     // tag
+  B.emit("li t5, 37");
+  B.emit("mul t5, t0, t5");
+  B.emit("sw t5, 4(t4)");     // value
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, vx_init");
+
+  B.label("vx_loop");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emit("andi t0, t0, 511");
+  B.emit("slli t0, t0, 3");
+  B.emit("add s1, s5, t0");   // record base
+  B.emit("lw t1, 0(s1)");     // tag
+  B.emit("la t2, vx_ops");
+  B.emit("slli t1, t1, 2");
+  B.emit("add t2, t2, t1");
+  B.emit("lw t3, 0(t2)");
+  B.emit("lw a0, 4(s1)");     // value
+  B.emit("jalr t3");          // per-type operation
+  B.emit("add s7, s7, v0");
+  B.emit("sw v0, 4(s1)");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, vx_loop");
+  emitChecksumExit(B, "s7");
+
+  B.comment("shared validators");
+  B.label("vx_check");
+  B.emit("andi v0, a0, 16383");
+  B.emit("addi v0, v0, 1");
+  B.emit("ret");
+  B.label("vx_hash");
+  B.emit("mul v0, a0, a0");
+  B.emit("srli v0, v0, 13");
+  B.emit("xor v0, v0, a0");
+  B.emit("ret");
+
+  B.comment("per-type operations (each calls a validator)");
+  B.label("vx_op0");
+  B.emit("push ra");
+  B.emit("jal vx_check");
+  B.emit("slli v0, v0, 1");
+  B.emit("pop ra");
+  B.emit("ret");
+  B.label("vx_op1");
+  B.emit("push ra");
+  B.emit("jal vx_hash");
+  B.emit("addi v0, v0, 11");
+  B.emit("pop ra");
+  B.emit("ret");
+  B.label("vx_op2");
+  B.emit("push ra");
+  B.emit("jal vx_check");
+  B.emit("move a0, v0");
+  B.emit("jal vx_hash");
+  B.emit("pop ra");
+  B.emit("ret");
+  B.label("vx_op3");
+  B.emit("srli v0, a0, 1");
+  B.emit("xori v0, v0, 255");
+  B.emit("ret");
+  B.label("vx_op4");
+  B.emit("push ra");
+  B.emit("jal vx_hash");
+  B.emit("srli v0, v0, 2");
+  B.emit("pop ra");
+  B.emit("ret");
+  B.label("vx_op5");
+  B.emit("push ra");
+  B.emit("addi a0, a0, 3");
+  B.emit("jal vx_check");
+  B.emit("pop ra");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("vx_ops");
+  B.emit(".word vx_op0, vx_op1, vx_op2, vx_op3, vx_op4, vx_op5");
+  B.label("vx_db");
+  B.emit(".space 4096");
+}
+
+/// bigcode: a code-footprint stressor (not a SPEC proxy). Hundreds of
+/// distinct small functions are called round-robin across several passes,
+/// so the translated working set far exceeds a small fragment cache and
+/// every flush forces wholesale retranslation.
+void detail::genBigCode(AsmBuilder &B, uint32_t Scale) {
+  unsigned NumFuncs = 100 + Scale * 20;
+
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emitf("li s6, %u", 4 + Scale); // passes over the population
+
+  B.label("bc_pass");
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    B.emitf("li a0, %u", F * 17 + 3);
+    B.emitf("jal bc_f%u", F);
+    B.emit("add s7, s7, v0");
+  }
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, bc_pass");
+  emitChecksumExit(B, "s7");
+
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    B.label(formatString("bc_f%u", F));
+    // Distinct bodies so no two functions fold together.
+    B.emitf("addi v0, a0, %u", F + 1);
+    switch (F % 4) {
+    case 0:
+      B.emit("slli t0, v0, 2");
+      B.emit("sub v0, t0, v0");
+      break;
+    case 1:
+      B.emitf("xori v0, v0, %u", (F * 7) & 0xFFFF);
+      B.emit("srli t0, v0, 3");
+      B.emit("add v0, v0, t0");
+      break;
+    case 2:
+      B.emit("li t0, 23");
+      B.emit("mul v0, v0, t0");
+      break;
+    case 3:
+      B.emit("slli t0, v0, 1");
+      B.emit("xor v0, v0, t0");
+      B.emit("addi v0, v0, 9");
+      break;
+    }
+    B.emit("ret");
+  }
+}

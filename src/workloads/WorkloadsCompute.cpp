@@ -1,0 +1,312 @@
+//===- workloads/WorkloadsCompute.cpp --------------------------*- C++ -*-===//
+//
+// Part of StrataIB. Compute-bound SPEC INT proxies: gzip, vpr, mcf,
+// bzip2, twolf. These are the low/moderate-IB end of the suite — the
+// workloads every mechanism handles easily, which anchors the overhead
+// comparisons.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadGenerators.h"
+
+using namespace sdt;
+using namespace sdt::workloads;
+using assembler::AsmBuilder;
+
+/// gzip proxy: fill a buffer with compressible data, then repeatedly scan
+/// for backward matches through a small leaf function. Dominated by tight
+/// byte-compare loops; IBs are rare leaf-call returns.
+void detail::genGzip(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");                 // checksum
+  B.emitf("li s6, %u", Scale);        // outer blocks
+
+  B.comment("fill buffer with period-64 runs so -64 back-refs match long");
+  B.emit("la s5, gz_buf");
+  B.emit("li t0, 0");
+  B.emit("li t1, 4096");
+  B.label("gz_fill");
+  B.emit("srli t2, t0, 4");
+  B.emit("andi t2, t2, 3");
+  B.emit("add t3, s5, t0");
+  B.emit("sb t2, 0(t3)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, gz_fill");
+
+  B.label("gz_outer");
+  B.emit("li s1, 64");                // scan position
+  B.label("gz_scan");
+  B.emit("move a0, s1");
+  B.emit("jal gz_match");
+  B.emit("add s7, s7, v0");
+  B.emit("addi s1, s1, 13");
+  B.emit("li t0, 4000");
+  B.emit("blt s1, t0, gz_scan");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, gz_outer");
+  emitChecksumExit(B, "s7");
+
+  B.comment("match(a0=pos): length of match between pos and pos-64");
+  B.label("gz_match");
+  B.emit("la t0, gz_buf");
+  B.emit("add t1, t0, a0");
+  B.emit("addi t2, t1, -64");
+  B.emit("li v0, 0");
+  B.emit("li t3, 32");
+  B.label("gz_mloop");
+  B.emit("lbu t4, 0(t1)");
+  B.emit("lbu t5, 0(t2)");
+  B.emit("bne t4, t5, gz_mdone");
+  B.emit("addi v0, v0, 1");
+  B.emit("addi t1, t1, 1");
+  B.emit("addi t2, t2, 1");
+  B.emit("addi t3, t3, -1");
+  B.emit("bnez t3, gz_mloop");
+  B.label("gz_mdone");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("gz_buf");
+  B.emit(".space 4160");
+}
+
+/// vpr proxy: annealing-style placement loop. Each move evaluates a cost
+/// through a two-entry function-pointer table (a dimorphic indirect call)
+/// plus neighbourhood arithmetic.
+void detail::genVpr(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 987654321"); // LCG seed
+  B.emitf("li s6, %u", Scale * 3000u);
+  B.emit("la s4, vpr_fns");
+  B.emit("la s3, vpr_cells");
+
+  B.comment("initialise cell positions");
+  B.emit("li t0, 0");
+  B.emit("li t1, 1024");
+  B.label("vpr_init");
+  B.emit("slli t2, t0, 2");
+  B.emit("add t2, s3, t2");
+  B.emit("mul t3, t0, t0");
+  B.emit("andi t3, t3, 8191");
+  B.emit("sw t3, 0(t2)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, vpr_init");
+
+  B.label("vpr_loop");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emit("andi t0, t0, 1023"); // cell index
+  B.emit("slli t1, t0, 2");
+  B.emit("add s2, s3, t1");    // &cells[i]
+  B.emit("lw a0, 0(s2)");
+  B.comment("neighbourhood cost: sum of two neighbours");
+  B.emit("andi t2, t1, 4092");
+  B.emit("add t3, s3, t2");
+  B.emit("lw t4, 0(t3)");
+  B.emit("add a0, a0, t4");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t5, s0, 18");
+  B.emit("andi t5, t5, 1");
+  B.emit("slli t5, t5, 2");
+  B.emit("add t5, s4, t5");
+  B.emit("lw t5, 0(t5)");
+  B.emit("jalr t5");           // v0 = cost(a0), dimorphic
+  B.emit("add s7, s7, v0");
+  B.emit("andi v0, v0, 8191");
+  B.emit("sw v0, 0(s2)");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, vpr_loop");
+  emitChecksumExit(B, "s7");
+
+  B.label("vpr_cost0");
+  B.emit("mul v0, a0, a0");
+  B.emit("srli v0, v0, 8");
+  B.emit("addi v0, v0, 3");
+  B.emit("ret");
+  B.label("vpr_cost1");
+  B.emit("slli v0, a0, 1");
+  B.emit("xori v0, v0, 85");
+  B.emit("addi v0, v0, 7");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("vpr_cells");
+  B.emit(".space 4096");
+  B.label("vpr_fns");
+  B.emit(".word vpr_cost0, vpr_cost1");
+}
+
+/// mcf proxy: network-simplex-style pointer chasing over a precomputed
+/// successor array. Long dependent-load chains, almost no IBs — the
+/// workload where SDT overhead should vanish once linking works.
+void detail::genMcf(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("la s5, mcf_next");
+
+  B.comment("build successor permutation: next[i] = (i*2053+7) mod 4096");
+  B.emit("li t0, 0");
+  B.emit("li t1, 4096");
+  B.label("mcf_build");
+  B.emit("li t2, 2053");
+  B.emit("mul t3, t0, t2");
+  B.emit("addi t3, t3, 7");
+  B.emit("andi t3, t3, 4095");
+  B.emit("slli t3, t3, 2");    // store *byte offsets* to chase directly
+  B.emit("slli t5, t0, 2");
+  B.emit("add t5, s5, t5");
+  B.emit("sw t3, 0(t5)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, mcf_build");
+
+  B.emitf("li s6, %u", Scale * 6u); // passes
+  B.label("mcf_outer");
+  B.emit("li s1, 0");
+  B.emit("li s2, 4096");
+  B.label("mcf_chase");
+  B.emit("add t0, s5, s1");
+  B.emit("lw s1, 0(t0)");
+  B.emit("add s7, s7, s1");
+  B.emit("addi s2, s2, -1");
+  B.emit("bnez s2, mcf_chase");
+  B.comment("one pricing call per pass (rare returns)");
+  B.emit("move a0, s7");
+  B.emit("jal mcf_price");
+  B.emit("add s7, s7, v0");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, mcf_outer");
+  emitChecksumExit(B, "s7");
+
+  B.label("mcf_price");
+  B.emit("srli v0, a0, 3");
+  B.emit("xori v0, v0, 1234");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("mcf_next");
+  B.emit(".space 16384");
+}
+
+/// bzip2 proxy: block sorting. Insertion sort over 128-word blocks of
+/// LCG data — branchy compare loops, essentially no IBs.
+void detail::genBzip2(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 555555555");       // seed
+  B.emitf("li s6, %u", Scale * 2u); // blocks
+
+  B.label("bz_block");
+  B.comment("fill 128 words with LCG data");
+  B.emit("la s5, bz_arr");
+  B.emit("li t0, 0");
+  B.emit("li t1, 128");
+  B.label("bz_fill");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t2, s0, 12");
+  B.emit("andi t2, t2, 65535");
+  B.emit("slli t3, t0, 2");
+  B.emit("add t3, s5, t3");
+  B.emit("sw t2, 0(t3)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, bz_fill");
+
+  B.comment("insertion sort");
+  B.emit("li s1, 1");               // i
+  B.label("bz_outer");
+  B.emit("slli t0, s1, 2");
+  B.emit("add t0, s5, t0");
+  B.emit("lw s2, 0(t0)");           // key
+  B.emit("move s3, s1");            // j
+  B.label("bz_inner");
+  B.emit("beqz s3, bz_place");
+  B.emit("addi t1, s3, -1");
+  B.emit("slli t2, t1, 2");
+  B.emit("add t2, s5, t2");
+  B.emit("lw t3, 0(t2)");
+  B.emit("bleu t3, s2, bz_place");  // arr[j-1] <= key: stop
+  B.emit("slli t4, s3, 2");
+  B.emit("add t4, s5, t4");
+  B.emit("sw t3, 0(t4)");           // shift right
+  B.emit("addi s3, s3, -1");
+  B.emit("j bz_inner");
+  B.label("bz_place");
+  B.emit("slli t4, s3, 2");
+  B.emit("add t4, s5, t4");
+  B.emit("sw s2, 0(t4)");
+  B.emit("addi s1, s1, 1");
+  B.emit("li t5, 128");
+  B.emit("blt s1, t5, bz_outer");
+
+  B.comment("fold the median into the checksum");
+  B.emit("lw t0, 256(s5)");
+  B.emit("add s7, s7, t0");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, bz_block");
+  emitChecksumExit(B, "s7");
+
+  B.emit(".align 4");
+  B.label("bz_arr");
+  B.emit(".space 512");
+}
+
+/// twolf proxy: simulated annealing over a placement array with a helper
+/// function per move — a moderate mix of branches, memory traffic, and
+/// call/return pairs.
+void detail::genTwolf(AsmBuilder &B, uint32_t Scale) {
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 424242421");
+  B.emitf("li s6, %u", Scale * 2500u);
+  B.emit("la s5, tw_pos");
+
+  B.comment("initialise positions");
+  B.emit("li t0, 0");
+  B.emit("li t1, 512");
+  B.label("tw_init");
+  B.emit("slli t2, t0, 2");
+  B.emit("add t2, s5, t2");
+  B.emit("slli t3, t0, 3");
+  B.emit("sw t3, 0(t2)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, tw_init");
+
+  B.label("tw_loop");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emit("andi t0, t0, 511");
+  B.emit("slli t0, t0, 2");
+  B.emit("add s1, s5, t0");     // &pos[i]
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t1, s0, 16");
+  B.emit("andi t1, t1, 511");
+  B.emit("slli t1, t1, 2");
+  B.emit("add s2, s5, t1");     // &pos[j]
+  B.emit("lw a0, 0(s1)");
+  B.emit("lw a1, 0(s2)");
+  B.emit("jal tw_delta");
+  B.emit("add s7, s7, v0");
+  B.emit("andi t2, v0, 1");
+  B.emit("beqz t2, tw_noswap");
+  B.comment("accept the move: swap positions");
+  B.emit("lw t3, 0(s1)");
+  B.emit("lw t4, 0(s2)");
+  B.emit("sw t4, 0(s1)");
+  B.emit("sw t3, 0(s2)");
+  B.label("tw_noswap");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, tw_loop");
+  emitChecksumExit(B, "s7");
+
+  B.label("tw_delta");
+  B.emit("sub t0, a0, a1");
+  B.emit("mul t1, t0, t0");
+  B.emit("srli t1, t1, 4");
+  B.emit("add v0, t1, a0");
+  B.emit("xor v0, v0, a1");
+  B.emit("ret");
+
+  B.emit(".align 4");
+  B.label("tw_pos");
+  B.emit(".space 2048");
+}

@@ -1,0 +1,297 @@
+//===- workloads/WorkloadsInterp.cpp ---------------------------*- C++ -*-===//
+//
+// Part of StrataIB. Interpreter-style SPEC INT proxies: parser, perlbmk,
+// gap. Indirect jumps dominate here; perlbmk's direct-threaded dispatch
+// is the megamorphic worst case every IB mechanism struggles with.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadGenerators.h"
+
+#include "support/StringUtils.h"
+
+using namespace sdt;
+using namespace sdt::workloads;
+using assembler::AsmBuilder;
+
+/// parser proxy: a table-driven state machine. Tokens drive a transition
+/// table lookup; the new state dispatches through one jump-table site
+/// with fan-out 16.
+void detail::genParser(AsmBuilder &B, uint32_t Scale) {
+  constexpr unsigned NumStates = 16;
+
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 141421356");          // LCG seed (token stream)
+  B.emit("li s2, 0");                  // state
+  B.emitf("li s6, %u", Scale * 3000u); // tokens
+  B.emit("la s4, pr_trans");
+  B.emit("la s5, pr_tab");
+
+  B.comment("build transition table: trans[s*8+t] = (s*5 + t*3 + 1) & 15");
+  B.emit("li t0, 0");                  // s
+  B.label("pr_bs");
+  B.emit("li t1, 0");                  // t
+  B.label("pr_bt");
+  B.emit("li t2, 5");
+  B.emit("mul t2, t0, t2");
+  B.emit("li t3, 3");
+  B.emit("mul t3, t1, t3");
+  B.emit("add t2, t2, t3");
+  B.emit("addi t2, t2, 1");
+  B.emit("andi t2, t2, 15");
+  B.emit("slli t4, t0, 3");
+  B.emit("add t4, t4, t1");
+  B.emit("add t4, s4, t4");
+  B.emit("sb t2, 0(t4)");
+  B.emit("addi t1, t1, 1");
+  B.emit("li t5, 8");
+  B.emit("blt t1, t5, pr_bt");
+  B.emit("addi t0, t0, 1");
+  B.emitf("li t5, %u", NumStates);
+  B.emit("blt t0, t5, pr_bs");
+
+  B.label("pr_loop");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emit("andi t0, t0, 7");            // token class
+  B.emit("slli t1, s2, 3");
+  B.emit("add t1, t1, t0");
+  B.emit("add t1, s4, t1");
+  B.emit("lbu s2, 0(t1)");             // next state
+  B.emit("slli t2, s2, 2");
+  B.emit("add t2, s5, t2");
+  B.emit("lw t3, 0(t2)");
+  B.emit("jr t3");                     // state dispatch (fan-out 16)
+
+  for (unsigned S = 0; S != NumStates; ++S) {
+    B.label(formatString("pr_h%u", S));
+    // Distinct per-state action so states are observable.
+    B.emitf("addi t4, s2, %u", S * 7 + 1);
+    if (S % 3 == 0)
+      B.emit("slli t4, t4, 1");
+    if (S % 3 == 1)
+      B.emit("xori t4, t4, 93");
+    B.emit("add s7, s7, t4");
+    B.emit("j pr_next");
+  }
+
+  B.label("pr_next");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, pr_loop");
+  emitChecksumExit(B, "s7");
+
+  B.emit(".align 4");
+  B.label("pr_tab");
+  for (unsigned S = 0; S != NumStates; S += 4)
+    B.emitf(".word pr_h%u, pr_h%u, pr_h%u, pr_h%u", S, S + 1, S + 2,
+            S + 3);
+  B.label("pr_trans");
+  B.emit(".space 128");
+}
+
+/// perlbmk proxy: a direct-threaded bytecode interpreter. Every one of
+/// the 16 opcode handlers ends with its own table-driven indirect jump,
+/// so the program has 16 megamorphic IB sites — the hardest case for
+/// per-site prediction and the showcase for shared translation caches.
+void detail::genPerlbmk(AsmBuilder &B, uint32_t Scale) {
+  constexpr unsigned NumOps = 16;
+
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 577215664");          // seed for bytecode generation
+  B.emit("li s1, 0");                  // instruction pointer
+  B.emit("li s3, 1");                  // accumulator
+  B.emitf("li s2, %u", Scale * 4000u); // step budget
+  B.emit("la s4, pl_bc");
+  B.emit("la s5, pl_tab");
+
+  B.comment("generate 256 bytecodes: bc[i] = LCG & 15");
+  B.emit("li t0, 0");
+  B.emit("li t1, 256");
+  B.label("pl_gen");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t2, s0, 16");
+  B.emitf("andi t2, t2, %u", NumOps - 1);
+  B.emit("add t3, s4, t0");
+  B.emit("sb t2, 0(t3)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, pl_gen");
+
+  B.comment("enter the threaded loop: dispatch bc[0]");
+  B.emit("lbu t1, 0(s4)");
+  B.emit("slli t1, t1, 2");
+  B.emit("add t1, s5, t1");
+  B.emit("lw t2, 0(t1)");
+  B.emit("jr t2");
+
+  // The threaded dispatch tail, duplicated into every handler (that
+  // duplication is what "direct-threaded" means — and why each handler
+  // is its own IB site).
+  auto emitThreadedTail = [&B]() {
+    B.emit("addi s2, s2, -1");
+    B.emit("beqz s2, pl_done");
+    B.emit("addi s1, s1, 1");
+    B.emit("andi s1, s1, 255");
+    B.emit("add t0, s4, s1");
+    B.emit("lbu t1, 0(t0)");
+    B.emit("slli t1, t1, 2");
+    B.emit("add t1, s5, t1");
+    B.emit("lw t2, 0(t1)");
+    B.emit("jr t2");
+  };
+
+  for (unsigned Op = 0; Op != NumOps; ++Op) {
+    B.label(formatString("pl_h%u", Op));
+    // Distinct micro-semantics per opcode.
+    switch (Op % 8) {
+    case 0:
+      B.emitf("addi s3, s3, %u", Op + 1);
+      break;
+    case 1:
+      B.emit("slli s3, s3, 1");
+      B.emit("addi s3, s3, 1");
+      break;
+    case 2:
+      B.emitf("xori s3, s3, %u", Op * 257 + 3);
+      break;
+    case 3:
+      B.emit("srli t3, s3, 3");
+      B.emit("add s3, s3, t3");
+      break;
+    case 4:
+      B.emit("li t3, 31");
+      B.emit("mul s3, s3, t3");
+      break;
+    case 5:
+      B.emit("sub s3, s3, s1");
+      break;
+    case 6:
+      B.emit("and t3, s3, s1");
+      B.emit("or s3, s3, t3");
+      B.emit("addi s3, s3, 5");
+      break;
+    case 7:
+      B.emit("srli t3, s3, 1");
+      B.emit("xor s3, s3, t3");
+      break;
+    }
+    B.emit("add s7, s7, s3");
+    emitThreadedTail();
+  }
+
+  B.label("pl_done");
+  B.emit("add s7, s7, s3");
+  emitChecksumExit(B, "s7");
+
+  B.emit(".align 4");
+  B.label("pl_tab");
+  for (unsigned Op = 0; Op != NumOps; Op += 4)
+    B.emitf(".word pl_h%u, pl_h%u, pl_h%u, pl_h%u", Op, Op + 1, Op + 2,
+            Op + 3);
+  B.label("pl_bc");
+  B.emit(".space 256");
+}
+
+/// gap proxy: a central-loop bytecode interpreter with arithmetic-heavy
+/// handlers — one indirect-jump dispatch site with fan-out 8 and more
+/// useful work per dispatched operation than perlbmk.
+void detail::genGap(AsmBuilder &B, uint32_t Scale) {
+  constexpr unsigned NumOps = 8;
+
+  emitHeader(B);
+  B.emit("li s7, 0");
+  B.emit("li s0, 267914296");
+  B.emit("li s1, 0");                  // instruction pointer
+  B.emit("li s3, 7");                  // accumulator
+  B.emitf("li s2, %u", Scale * 2200u); // step budget
+  B.emit("la s4, gap_bc");
+  B.emit("la s5, gap_tab");
+
+  B.comment("generate 256 bytecodes");
+  B.emit("li t0, 0");
+  B.emit("li t1, 256");
+  B.label("gap_gen");
+  detail::emitLcgStep(B, "s0", "t6");
+  B.emit("srli t2, s0, 16");
+  B.emitf("andi t2, t2, %u", NumOps - 1);
+  B.emit("add t3, s4, t0");
+  B.emit("sb t2, 0(t3)");
+  B.emit("addi t0, t0, 1");
+  B.emit("blt t0, t1, gap_gen");
+
+  B.label("gap_loop");
+  B.emit("beqz s2, gap_done");
+  B.emit("addi s2, s2, -1");
+  B.emit("add t0, s4, s1");
+  B.emit("lbu t1, 0(t0)");
+  B.emit("addi s1, s1, 1");
+  B.emit("andi s1, s1, 255");
+  B.emit("slli t1, t1, 2");
+  B.emit("add t1, s5, t1");
+  B.emit("lw t2, 0(t1)");
+  B.emit("jr t2");                     // central dispatch (fan-out 8)
+
+  for (unsigned Op = 0; Op != NumOps; ++Op) {
+    B.label(formatString("gap_h%u", Op));
+    switch (Op) {
+    case 0: // multiply-accumulate chain
+      B.emit("li t3, 13");
+      B.emit("mul s3, s3, t3");
+      B.emit("addi s3, s3, 7");
+      break;
+    case 1: // small reduction loop (4 iterations)
+      B.emit("li t3, 4");
+      B.label("gap_h1l");
+      B.emit("srli t4, s3, 2");
+      B.emit("add s3, s3, t4");
+      B.emit("addi t3, t3, -1");
+      B.emit("bnez t3, gap_h1l");
+      break;
+    case 2:
+      B.emit("xori s3, s3, 23130");
+      B.emit("slli t3, s3, 3");
+      B.emit("sub s3, t3, s3");
+      break;
+    case 3: // division (expensive op class)
+      B.emit("li t3, 97");
+      B.emit("div t4, s3, t3");
+      B.emit("rem s3, s3, t3");
+      B.emit("add s3, s3, t4");
+      break;
+    case 4:
+      B.emit("add s3, s3, s1");
+      B.emit("slli s3, s3, 1");
+      break;
+    case 5: // memory round-trip through the bytecode array
+      B.emit("andi t3, s3, 252");
+      B.emit("add t3, s4, t3");
+      B.emit("lbu t4, 0(t3)");
+      B.emit("add s3, s3, t4");
+      break;
+    case 6:
+      B.emit("srli t3, s3, 5");
+      B.emit("xor s3, s3, t3");
+      B.emit("addi s3, s3, 3");
+      break;
+    case 7:
+      B.emit("li t3, 2654435");
+      B.emit("mul s3, s3, t3");
+      B.emit("srli s3, s3, 1");
+      break;
+    }
+    B.emit("add s7, s7, s3");
+    B.emit("j gap_loop");
+  }
+
+  B.label("gap_done");
+  emitChecksumExit(B, "s7");
+
+  B.emit(".align 4");
+  B.label("gap_tab");
+  for (unsigned Op = 0; Op != NumOps; Op += 4)
+    B.emitf(".word gap_h%u, gap_h%u, gap_h%u, gap_h%u", Op, Op + 1, Op + 2,
+            Op + 3);
+  B.label("gap_bc");
+  B.emit(".space 256");
+}

@@ -1,0 +1,66 @@
+//===- workloads/WorkloadsMinc.cpp -----------------------------*- C++ -*-===//
+//
+// Part of StrataIB. An extra workload whose guest code comes out of the
+// girc compiler rather than a hand-written generator: an expression
+// evaluator that dispatches operators through a function-pointer table
+// and recurses — compiler-shaped prologues/epilogues, frame traffic, and
+// the indirect calls and returns the IB mechanisms must translate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadGenerators.h"
+
+#include "girc/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::workloads;
+using assembler::AsmBuilder;
+
+void detail::genMinc(AsmBuilder &B, uint32_t Scale) {
+  std::string Source = formatString(R"(
+    // Compiled by girc: operator dispatch through a function-pointer
+    // table, recursive evaluation, LCG-driven operand stream.
+    array ops[4];
+    var seed;
+
+    func rnd() {
+      seed = seed * 1103515245 + 12345;
+      return (seed >> 16) & 32767;
+    }
+
+    func op_add(a, b) { return a + b; }
+    func op_sub(a, b) { return a - b; }
+    func op_mul(a, b) { return (a * b) >> 3; }
+    func op_mix(a, b) { return (a ^ b) + 7; }
+
+    func eval(depth, x) {
+      if (depth == 0) { return x; }
+      var f = ops[rnd() & 3];
+      return f(eval(depth - 1, x + 1), rnd() & 255);
+    }
+
+    func main() {
+      ops[0] = op_add;
+      ops[1] = op_sub;
+      ops[2] = op_mul;
+      ops[3] = op_mix;
+      seed = 20260704;
+      var i = 0;
+      var acc = 0;
+      while (i < %u) {
+        acc = acc + eval(6, i);
+        i = i + 1;
+      }
+      checksum(acc);
+      return 0;
+    }
+  )",
+                                    Scale * 120u);
+
+  Expected<std::string> Asm = girc::compileToAssembly(Source);
+  assert(Asm && "minc workload failed to compile");
+  B.raw(*Asm);
+}

@@ -1,0 +1,303 @@
+//===- tests/arch_test.cpp - Machine substrate tests -------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/BranchPredictor.h"
+#include "arch/CacheSim.h"
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::arch;
+using namespace sdt::isa;
+
+// --- CacheSim ------------------------------------------------------------
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim C({1024, 32, 2});
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x101F)); // Same line.
+  EXPECT_FALSE(C.access(0x1020)); // Next line.
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(CacheSimTest, DirectMappedConflicts) {
+  CacheSim C({256, 32, 1}); // 8 sets.
+  EXPECT_FALSE(C.access(0x0000));
+  EXPECT_FALSE(C.access(0x0100)); // Same set (0x100 = 8 lines), evicts.
+  EXPECT_FALSE(C.access(0x0000)); // Conflict miss.
+}
+
+TEST(CacheSimTest, TwoWayHoldsBothConflicting) {
+  CacheSim C({512, 32, 2}); // 8 sets.
+  EXPECT_FALSE(C.access(0x0000));
+  EXPECT_FALSE(C.access(0x0100));
+  EXPECT_TRUE(C.access(0x0000));
+  EXPECT_TRUE(C.access(0x0100));
+}
+
+TEST(CacheSimTest, LruEvictsOldest) {
+  CacheSim C({256, 32, 2}); // 4 sets; set 0 holds lines 0x000/0x100/0x200.
+  C.access(0x0000);
+  C.access(0x0100);
+  C.access(0x0000);  // Refresh line 0; 0x100 is now LRU.
+  C.access(0x0200);  // Evicts 0x100.
+  EXPECT_TRUE(C.isResident(0x0000));
+  EXPECT_FALSE(C.isResident(0x0100));
+  EXPECT_TRUE(C.isResident(0x0200));
+}
+
+TEST(CacheSimTest, FlushDropsEverything) {
+  CacheSim C({1024, 32, 2});
+  C.access(0x1000);
+  EXPECT_TRUE(C.isResident(0x1000));
+  C.flush();
+  EXPECT_FALSE(C.isResident(0x1000));
+  EXPECT_FALSE(C.access(0x1000));
+}
+
+TEST(CacheSimTest, GeometryDerived) {
+  CacheConfig Cfg{16 * 1024, 64, 4};
+  EXPECT_EQ(Cfg.numSets(), 64u);
+  CacheSim C(Cfg);
+  EXPECT_EQ(C.config().SizeBytes, 16u * 1024u);
+}
+
+TEST(CacheSimTest, IsResidentDoesNotMutate) {
+  CacheSim C({256, 32, 1});
+  C.isResident(0x1000);
+  EXPECT_EQ(C.accesses(), 0u);
+  EXPECT_FALSE(C.access(0x1000)); // Still a cold miss.
+}
+
+// --- BranchPredictor -----------------------------------------------------
+
+TEST(BranchPredictorTest, LearnsStableConditional) {
+  BranchPredictor P({64, 16, 4});
+  // Always-taken branch: once the global history register saturates and
+  // the counters train, predictions are correct.
+  for (int I = 0; I != 20; ++I)
+    P.predictConditional(0x1000, true);
+  uint64_t Before = P.conditionalMispredicts();
+  for (int I = 0; I != 100; ++I)
+    EXPECT_TRUE(P.predictConditional(0x1000, true));
+  EXPECT_EQ(P.conditionalMispredicts(), Before);
+}
+
+TEST(BranchPredictorTest, BtbRemembersLastTarget) {
+  BranchPredictor P({64, 16, 4});
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000)); // Cold.
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x2000));
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x3000)); // Target changed.
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x3000));
+}
+
+TEST(BranchPredictorTest, RasMatchesNestedCalls) {
+  BranchPredictor P({64, 16, 8});
+  P.pushReturn(0x100);
+  P.pushReturn(0x200);
+  P.pushReturn(0x300);
+  EXPECT_TRUE(P.predictReturn(0x300));
+  EXPECT_TRUE(P.predictReturn(0x200));
+  EXPECT_TRUE(P.predictReturn(0x100));
+  EXPECT_EQ(P.returnMispredicts(), 0u);
+}
+
+TEST(BranchPredictorTest, RasEmptyMispredicts) {
+  BranchPredictor P({64, 16, 4});
+  EXPECT_FALSE(P.predictReturn(0x100));
+  EXPECT_EQ(P.returnMispredicts(), 1u);
+}
+
+TEST(BranchPredictorTest, RasOverflowWrapsAround) {
+  BranchPredictor P({64, 16, 2}); // Depth 2.
+  P.pushReturn(0x100);
+  P.pushReturn(0x200);
+  P.pushReturn(0x300); // Overwrites 0x100's slot.
+  EXPECT_TRUE(P.predictReturn(0x300));
+  EXPECT_TRUE(P.predictReturn(0x200));
+  EXPECT_FALSE(P.predictReturn(0x100)); // Lost to overflow.
+}
+
+TEST(BranchPredictorTest, ResetClearsState) {
+  BranchPredictor P({64, 16, 4});
+  P.predictIndirect(0x1000, 0x2000);
+  P.reset();
+  EXPECT_EQ(P.indirectMispredicts(), 0u);
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000)); // Cold again.
+}
+
+// --- MachineModel --------------------------------------------------------
+
+TEST(MachineModelTest, FactoriesHaveNames) {
+  EXPECT_EQ(x86Model().Name, "x86");
+  EXPECT_EQ(sparcModel().Name, "sparc");
+  EXPECT_EQ(simpleModel().Name, "simple");
+}
+
+TEST(MachineModelTest, LookupByName) {
+  for (const std::string &Name : allModelNames()) {
+    std::optional<MachineModel> M = modelByName(Name);
+    ASSERT_TRUE(M.has_value());
+    EXPECT_EQ(M->Name, Name);
+  }
+  EXPECT_FALSE(modelByName("vax").has_value());
+}
+
+TEST(MachineModelTest, X86FlagSaveAsymmetry) {
+  // The paper's x86 premise: full flag save is much more expensive than
+  // the light variant; on SPARC both are cheap.
+  MachineModel X = x86Model();
+  EXPECT_GT(X.FlagSaveFullCost, 5 * X.FlagSaveLightCost);
+  MachineModel S = sparcModel();
+  EXPECT_LE(S.FlagSaveFullCost, 2 * S.FlagSaveLightCost + 2);
+}
+
+TEST(MachineModelTest, DispatchCostDominatesInlineLookup) {
+  // In every model, a dispatcher round trip (context save + map probe +
+  // restore) must dwarf an IBTC hit's handful of ops — the premise that
+  // makes inline translation worth it.
+  for (const std::string &Name : allModelNames()) {
+    MachineModel M = *modelByName(Name);
+    unsigned Dispatch =
+        M.ContextSaveCost + M.MapLookupCost + M.ContextRestoreCost;
+    unsigned IbtcHit = M.FlagSaveLightCost + 3 * M.AluCost + 2 * M.LoadCost +
+                       M.IndirectCost + M.FlagRestoreLightCost;
+    EXPECT_GT(Dispatch, 3 * IbtcHit) << Name;
+  }
+}
+
+// --- TimingModel ---------------------------------------------------------
+
+TEST(TimingModelTest, CategoriesAccumulateSeparately) {
+  TimingModel T(simpleModel());
+  T.charge(10); // App by default.
+  {
+    TimingModel::CategoryScope Scope(T, CycleCategory::Dispatch);
+    T.charge(5);
+  }
+  T.charge(1);
+  EXPECT_EQ(T.cycles(CycleCategory::App), 11u);
+  EXPECT_EQ(T.cycles(CycleCategory::Dispatch), 5u);
+  EXPECT_EQ(T.totalCycles(), 16u);
+}
+
+TEST(TimingModelTest, CategoryScopeRestores) {
+  TimingModel T(simpleModel());
+  T.setCategory(CycleCategory::IBLookup);
+  {
+    TimingModel::CategoryScope Scope(T, CycleCategory::Link);
+    EXPECT_EQ(T.category(), CycleCategory::Link);
+  }
+  EXPECT_EQ(T.category(), CycleCategory::IBLookup);
+}
+
+TEST(TimingModelTest, FetchChargesOnlyOnMiss) {
+  MachineModel M = simpleModel();
+  M.ICacheMissPenalty = 50;
+  TimingModel T(M);
+  T.chargeFetch(0x1000);
+  EXPECT_EQ(T.totalCycles(), 50u);
+  T.chargeFetch(0x1000);
+  EXPECT_EQ(T.totalCycles(), 50u); // Hit: no charge.
+}
+
+TEST(TimingModelTest, LoadChargesOpPlusMiss) {
+  MachineModel M = simpleModel();
+  M.LoadCost = 2;
+  M.DCacheMissPenalty = 30;
+  TimingModel T(M);
+  T.chargeLoad(0x2000);
+  EXPECT_EQ(T.totalCycles(), 32u);
+  T.chargeLoad(0x2000);
+  EXPECT_EQ(T.totalCycles(), 34u);
+}
+
+TEST(TimingModelTest, ChargeCodeRangeTouchesEveryLine) {
+  MachineModel M = simpleModel();
+  M.ICacheMissPenalty = 10;
+  TimingModel T(M); // 32-byte lines.
+  T.chargeCodeRange(0x1000, 64); // Exactly 2 lines.
+  EXPECT_EQ(T.totalCycles(), 20u);
+  T.chargeCodeRange(0x1000, 64);
+  EXPECT_EQ(T.totalCycles(), 20u); // All hits now.
+  T.chargeCodeRange(0x103C, 8); // Straddles lines 1 and 2.
+  EXPECT_EQ(T.totalCycles(), 30u); // One new line.
+}
+
+TEST(TimingModelTest, ChargeCodeRangeZeroBytesFree) {
+  TimingModel T(simpleModel());
+  T.chargeCodeRange(0x1000, 0);
+  EXPECT_EQ(T.totalCycles(), 0u);
+}
+
+TEST(TimingModelTest, ExecuteCostsByOpClass) {
+  MachineModel M = simpleModel();
+  M.AluCost = 1;
+  M.MulCost = 7;
+  M.DivCost = 20;
+  TimingModel T(M);
+  T.chargeExecute(makeR(Opcode::Add, 1, 2, 3));
+  EXPECT_EQ(T.totalCycles(), 1u);
+  T.chargeExecute(makeR(Opcode::Mul, 1, 2, 3));
+  EXPECT_EQ(T.totalCycles(), 8u);
+  T.chargeExecute(makeR(Opcode::Rem, 1, 2, 3));
+  EXPECT_EQ(T.totalCycles(), 28u);
+}
+
+TEST(TimingModelTest, MispredictPenaltyApplied) {
+  MachineModel M = simpleModel();
+  M.IndirectCost = 1;
+  M.IndirectMispredictPenalty = 100;
+  TimingModel T(M);
+  T.chargeIndirectJump(0x1000, 0x2000); // Cold BTB: mispredict.
+  EXPECT_EQ(T.totalCycles(), 101u);
+  T.chargeIndirectJump(0x1000, 0x2000); // Predicted.
+  EXPECT_EQ(T.totalCycles(), 102u);
+}
+
+TEST(TimingModelTest, ReturnPredictionViaRas) {
+  MachineModel M = simpleModel();
+  M.IndirectCost = 1;
+  M.ReturnMispredictPenalty = 100;
+  TimingModel T(M);
+  T.chargeCallLink(0x1004);
+  uint64_t AfterCall = T.totalCycles();
+  T.chargeReturn(0x1004); // RAS hit.
+  EXPECT_EQ(T.totalCycles(), AfterCall + 1);
+  T.chargeReturn(0x1004); // RAS empty now: mispredict.
+  EXPECT_EQ(T.totalCycles(), AfterCall + 102);
+}
+
+TEST(TimingModelTest, FlagSaveVariants) {
+  MachineModel M = simpleModel();
+  M.FlagSaveFullCost = 40;
+  M.FlagSaveLightCost = 2;
+  TimingModel T(M);
+  T.chargeFlagSave(/*FullSave=*/true);
+  EXPECT_EQ(T.totalCycles(), 40u);
+  T.chargeFlagSave(/*FullSave=*/false);
+  EXPECT_EQ(T.totalCycles(), 42u);
+}
+
+TEST(TimingModelTest, TranslationScalesWithInstrCount) {
+  MachineModel M = simpleModel();
+  M.TranslateCostPerInstr = 10;
+  TimingModel T(M);
+  T.chargeTranslation(7);
+  EXPECT_EQ(T.totalCycles(), 70u);
+}
+
+TEST(CycleCategoryTest, NamesDistinct) {
+  EXPECT_STREQ(cycleCategoryName(CycleCategory::App), "app");
+  EXPECT_STREQ(cycleCategoryName(CycleCategory::Translate), "translate");
+  EXPECT_STREQ(cycleCategoryName(CycleCategory::Dispatch), "dispatch");
+  EXPECT_STREQ(cycleCategoryName(CycleCategory::IBLookup), "ib-lookup");
+  EXPECT_STREQ(cycleCategoryName(CycleCategory::Link), "link");
+}

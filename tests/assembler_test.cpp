@@ -1,0 +1,381 @@
+//===- tests/assembler_test.cpp - Assembler tests ----------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/AsmBuilder.h"
+#include "assembler/AsmLexer.h"
+#include "assembler/Assembler.h"
+#include "isa/Disassembler.h"
+#include "isa/Encoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::assembler;
+using namespace sdt::isa;
+
+static Program mustAssemble(std::string_view Src) {
+  Expected<Program> P = assemble(Src);
+  EXPECT_TRUE(static_cast<bool>(P))
+      << (P ? "" : P.error().message());
+  return *P;
+}
+
+static std::string assembleError(std::string_view Src) {
+  Expected<Program> P = assemble(Src);
+  EXPECT_FALSE(static_cast<bool>(P)) << "expected assembly to fail";
+  return P ? "" : P.error().message();
+}
+
+static Instruction fetchAt(const Program &P, uint32_t Addr) {
+  Expected<Instruction> I = P.fetch(Addr);
+  EXPECT_TRUE(static_cast<bool>(I));
+  return *I;
+}
+
+// --- Lexer -------------------------------------------------------------
+
+TEST(AsmLexerTest, CommentsStripped) {
+  auto Lines = lexAssembly("add t0, t1, t2 # comment\n; full line\n");
+  ASSERT_TRUE(static_cast<bool>(Lines));
+  ASSERT_EQ(Lines->size(), 1u);
+  EXPECT_EQ((*Lines)[0].Mnemonic, "add");
+  EXPECT_EQ((*Lines)[0].Operands.size(), 3u);
+}
+
+TEST(AsmLexerTest, LabelsPeeled) {
+  auto Lines = lexAssembly("a: b: nop\n");
+  ASSERT_TRUE(static_cast<bool>(Lines));
+  ASSERT_EQ(Lines->size(), 1u);
+  EXPECT_EQ((*Lines)[0].Labels, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*Lines)[0].Mnemonic, "nop");
+}
+
+TEST(AsmLexerTest, LabelOnOwnLine) {
+  auto Lines = lexAssembly("start:\n  nop\n");
+  ASSERT_TRUE(static_cast<bool>(Lines));
+  ASSERT_EQ(Lines->size(), 2u);
+  EXPECT_TRUE((*Lines)[0].Mnemonic.empty());
+}
+
+TEST(AsmLexerTest, StringLiteralProtectsCommasAndComments) {
+  auto Lines = lexAssembly(".asciz \"a,b # c\"\n");
+  ASSERT_TRUE(static_cast<bool>(Lines));
+  ASSERT_EQ((*Lines)[0].Operands.size(), 1u);
+  EXPECT_EQ((*Lines)[0].Operands[0], "\"a,b # c\"");
+}
+
+TEST(AsmLexerTest, StringEscapes) {
+  Expected<std::string> S = decodeStringLiteral("\"a\\n\\t\\0\\\\\\\"\"", 1);
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(*S, std::string("a\n\t\0\\\"", 6));
+}
+
+TEST(AsmLexerTest, BadEscapeFails) {
+  EXPECT_FALSE(static_cast<bool>(decodeStringLiteral("\"\\q\"", 3)));
+}
+
+TEST(AsmLexerTest, LineNumbersTracked) {
+  auto Lines = lexAssembly("\n\nnop\n");
+  ASSERT_TRUE(static_cast<bool>(Lines));
+  EXPECT_EQ((*Lines)[0].Number, 3u);
+}
+
+// --- Basic assembly ---------------------------------------------------------
+
+TEST(AssemblerTest, MinimalProgram) {
+  Program P = mustAssemble("main: halt\n");
+  EXPECT_EQ(P.loadAddress(), 0x1000u);
+  EXPECT_EQ(P.entry(), 0x1000u);
+  EXPECT_EQ(fetchAt(P, 0x1000).Op, Opcode::Halt);
+}
+
+TEST(AssemblerTest, OrgSetsLoadAddress) {
+  Program P = mustAssemble(".org 0x2000\nmain: halt\n");
+  EXPECT_EQ(P.loadAddress(), 0x2000u);
+  EXPECT_EQ(P.entry(), 0x2000u);
+}
+
+TEST(AssemblerTest, EntryDirective) {
+  Program P = mustAssemble("first: nop\nsecond: halt\n.entry second\n");
+  EXPECT_EQ(P.entry(), 0x1004u);
+}
+
+TEST(AssemblerTest, EntryDefaultsToOriginWithoutMain) {
+  Program P = mustAssemble("start: halt\n");
+  EXPECT_EQ(P.entry(), 0x1000u);
+}
+
+TEST(AssemblerTest, AllFormatsParse) {
+  Program P = mustAssemble(R"(
+main:
+    add  t0, t1, t2
+    addi t0, t0, -5
+    lui  t3, 0x1234
+    lw   t4, 8(sp)
+    sw   t4, -8(sp)
+    beq  t0, zero, main
+    j    main
+    jal  main
+    jr   t0
+    jalr ra, t0
+    ret
+    syscall
+    halt
+)");
+  EXPECT_EQ(fetchAt(P, 0x1000).Op, Opcode::Add);
+  EXPECT_EQ(fetchAt(P, 0x1004).Imm, -5);
+  EXPECT_EQ(fetchAt(P, 0x1008).Imm, 0x1234);
+  EXPECT_EQ(fetchAt(P, 0x100C).Imm, 8);
+  EXPECT_EQ(fetchAt(P, 0x1010).Imm, -8);
+  Instruction B = fetchAt(P, 0x1014);
+  EXPECT_EQ(B.branchTarget(0x1014), 0x1000u);
+  EXPECT_EQ(fetchAt(P, 0x1018).directTarget(), 0x1000u);
+  EXPECT_EQ(fetchAt(P, 0x1024).Op, Opcode::Jalr);
+  EXPECT_EQ(fetchAt(P, 0x1028).Op, Opcode::Ret);
+}
+
+TEST(AssemblerTest, ForwardReferences) {
+  Program P = mustAssemble("main: j end\nnop\nend: halt\n");
+  EXPECT_EQ(fetchAt(P, 0x1000).directTarget(), 0x1008u);
+}
+
+// --- Pseudo-instructions ---------------------------------------------------
+
+TEST(AssemblerPseudoTest, LiSmallAndLarge) {
+  Program P = mustAssemble("main:\n li t0, 5\n li t1, 0x12345678\n"
+                           " li t2, -1\n halt\n");
+  // li expands to lui+ori.
+  Instruction Lui0 = fetchAt(P, 0x1000);
+  Instruction Ori0 = fetchAt(P, 0x1004);
+  EXPECT_EQ(Lui0.Op, Opcode::Lui);
+  EXPECT_EQ(Lui0.Imm, 0);
+  EXPECT_EQ(Ori0.Op, Opcode::Ori);
+  EXPECT_EQ(Ori0.Imm, 5);
+  EXPECT_EQ(fetchAt(P, 0x1008).Imm, 0x1234);
+  EXPECT_EQ(fetchAt(P, 0x100C).Imm, 0x5678);
+  EXPECT_EQ(fetchAt(P, 0x1010).Imm, 0xFFFF);
+  EXPECT_EQ(fetchAt(P, 0x1014).Imm, 0xFFFF);
+}
+
+TEST(AssemblerPseudoTest, LaResolvesSymbol) {
+  Program P = mustAssemble("main:\n la t0, data\n halt\ndata: .word 7\n");
+  // data at 0x100C.
+  EXPECT_EQ(fetchAt(P, 0x1000).Imm, 0);      // hi16 of 0x100C
+  EXPECT_EQ(fetchAt(P, 0x1004).Imm, 0x100C); // lo16
+}
+
+TEST(AssemblerPseudoTest, MoveNegNop) {
+  Program P = mustAssemble("main:\n nop\n move t0, t1\n neg t2, t3\n halt\n");
+  Instruction Nop = fetchAt(P, 0x1000);
+  EXPECT_EQ(Nop.Op, Opcode::Add);
+  EXPECT_EQ(Nop.Rd, 0);
+  Instruction Mv = fetchAt(P, 0x1004);
+  EXPECT_EQ(Mv.Op, Opcode::Add);
+  EXPECT_EQ(Mv.Rs2, 0);
+  Instruction Neg = fetchAt(P, 0x1008);
+  EXPECT_EQ(Neg.Op, Opcode::Sub);
+  EXPECT_EQ(Neg.Rs1, 0);
+}
+
+TEST(AssemblerPseudoTest, BranchAliases) {
+  Program P = mustAssemble(R"(
+main:
+    beqz t0, main
+    bnez t0, main
+    bgt  t0, t1, main
+    ble  t0, t1, main
+    b    main
+    halt
+)");
+  EXPECT_EQ(fetchAt(P, 0x1000).Op, Opcode::Beq);
+  EXPECT_EQ(fetchAt(P, 0x1004).Op, Opcode::Bne);
+  Instruction Bgt = fetchAt(P, 0x1008);
+  EXPECT_EQ(Bgt.Op, Opcode::Blt); // Swapped operands.
+  EXPECT_EQ(Bgt.Rs1, 9u);         // t1
+  EXPECT_EQ(Bgt.Rs2, 8u);         // t0
+  EXPECT_EQ(fetchAt(P, 0x100C).Op, Opcode::Bge);
+  Instruction B = fetchAt(P, 0x1010);
+  EXPECT_EQ(B.Op, Opcode::Beq);
+  EXPECT_EQ(B.Rs1, 0);
+  EXPECT_EQ(B.Rs2, 0);
+}
+
+TEST(AssemblerPseudoTest, PushPop) {
+  Program P = mustAssemble("main:\n push ra\n pop ra\n halt\n");
+  Instruction A = fetchAt(P, 0x1000); // addi sp, sp, -4
+  EXPECT_EQ(A.Op, Opcode::Addi);
+  EXPECT_EQ(A.Imm, -4);
+  Instruction S = fetchAt(P, 0x1004); // sw ra, 0(sp)
+  EXPECT_EQ(S.Op, Opcode::Sw);
+  EXPECT_EQ(S.Rd, 31u);
+  Instruction L = fetchAt(P, 0x1008); // lw ra, 0(sp)
+  EXPECT_EQ(L.Op, Opcode::Lw);
+  Instruction A2 = fetchAt(P, 0x100C);
+  EXPECT_EQ(A2.Imm, 4);
+}
+
+TEST(AssemblerPseudoTest, JalrOneOperandDefaultsRa) {
+  Program P = mustAssemble("main:\n jalr t0\n halt\n");
+  Instruction I = fetchAt(P, 0x1000);
+  EXPECT_EQ(I.Op, Opcode::Jalr);
+  EXPECT_EQ(I.Rd, 31u);
+}
+
+TEST(AssemblerPseudoTest, CallAlias) {
+  Program P = mustAssemble("main:\n call f\n halt\nf: ret\n");
+  EXPECT_EQ(fetchAt(P, 0x1000).Op, Opcode::Jal);
+}
+
+// --- Directives ----------------------------------------------------------
+
+TEST(AssemblerDirectiveTest, WordAndByteLayout) {
+  Program P = mustAssemble(
+      "main: halt\nw: .word 0x11223344, -1\nb: .byte 1, 2, 255\n");
+  uint32_t W;
+  EXPECT_TRUE(P.contains(0x1004, 4));
+  W = readWordLE(&P.image()[0x1004 - 0x1000]);
+  EXPECT_EQ(W, 0x11223344u);
+  W = readWordLE(&P.image()[0x1008 - 0x1000]);
+  EXPECT_EQ(W, 0xFFFFFFFFu);
+  EXPECT_EQ(P.image()[0x100C - 0x1000], 1);
+  EXPECT_EQ(P.image()[0x100E - 0x1000], 255);
+}
+
+TEST(AssemblerDirectiveTest, WordWithSymbolAndAddend) {
+  Program P = mustAssemble("main: halt\nt: .word main, main+8\n");
+  EXPECT_EQ(readWordLE(&P.image()[4]), 0x1000u);
+  EXPECT_EQ(readWordLE(&P.image()[8]), 0x1008u);
+}
+
+TEST(AssemblerDirectiveTest, SpaceZeroFills) {
+  Program P = mustAssemble("main: halt\nbuf: .space 8\nend: .word 1\n");
+  Expected<uint32_t> End = P.symbol("end");
+  ASSERT_TRUE(static_cast<bool>(End));
+  EXPECT_EQ(*End, 0x100Cu);
+  EXPECT_EQ(P.image()[5], 0);
+}
+
+TEST(AssemblerDirectiveTest, AlignPads) {
+  Program P = mustAssemble("main: halt\nx: .byte 1\n.align 4\ny: .word 2\n");
+  Expected<uint32_t> Y = P.symbol("y");
+  ASSERT_TRUE(static_cast<bool>(Y));
+  EXPECT_EQ(*Y, 0x1008u);
+}
+
+TEST(AssemblerDirectiveTest, AscizAppendsNul) {
+  Program P = mustAssemble("main: halt\ns: .asciz \"hi\"\n");
+  EXPECT_EQ(P.image()[4], 'h');
+  EXPECT_EQ(P.image()[5], 'i');
+  EXPECT_EQ(P.image()[6], 0);
+}
+
+TEST(AssemblerDirectiveTest, LabelAtEndOfFile) {
+  Program P = mustAssemble("main: halt\nend:\n");
+  Expected<uint32_t> End = P.symbol("end");
+  ASSERT_TRUE(static_cast<bool>(End));
+  EXPECT_EQ(*End, 0x1004u);
+}
+
+// --- Errors ------------------------------------------------------------
+
+TEST(AssemblerErrorTest, UnknownMnemonic) {
+  EXPECT_NE(assembleError("main: fmadd t0, t1, t2\n").find("fmadd"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, OperandCountMismatch) {
+  EXPECT_NE(assembleError("add t0, t1\n").find("expects 3"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, BadRegister) {
+  EXPECT_NE(assembleError("add t0, t1, q9\n").find("register"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, UndefinedSymbol) {
+  EXPECT_NE(assembleError("main: j nowhere\n").find("undefined symbol"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, DuplicateLabel) {
+  EXPECT_NE(assembleError("a: nop\na: nop\n").find("duplicate"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, ImmediateOutOfRange) {
+  EXPECT_NE(assembleError("addi t0, t0, 40000\n").find("out of range"),
+            std::string::npos);
+  EXPECT_NE(assembleError("addi t0, t0, -40000\n").find("out of range"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, LineNumberInDiagnostic) {
+  EXPECT_NE(assembleError("nop\nnop\nbogus t0\n").find("line 3"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, OrgAfterCodeRejected) {
+  EXPECT_NE(assembleError("nop\n.org 0x2000\n").find(".org"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, BadAlign) {
+  EXPECT_NE(assembleError(".align 3\n").find("power of two"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, UnknownDirective) {
+  EXPECT_NE(assembleError(".bogus 1\n").find("unknown directive"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, MissingEntrySymbol) {
+  EXPECT_NE(assembleError("nop\n.entry nowhere\n").find("entry"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, MalformedMemOperand) {
+  EXPECT_NE(assembleError("lw t0, t1\n").find("offset(base)"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrorTest, MalformedLabel) {
+  Expected<Program> P = assemble("a b: nop\n");
+  EXPECT_FALSE(static_cast<bool>(P));
+}
+
+// --- Round trips ----------------------------------------------------------
+
+TEST(AssemblerRoundTrip, DisassembleReassemble) {
+  const char *Src = "main:\n add t0, t1, t2\n lw t3, 4(sp)\n"
+                    " beq t0, t3, main\n jr t0\n ret\n halt\n";
+  Program P1 = mustAssemble(Src);
+  // Disassemble every instruction and re-assemble the result.
+  std::string Redis = "main:\n";
+  for (uint32_t A = P1.loadAddress(); A < P1.endAddress(); A += 4) {
+    Expected<Instruction> I = P1.fetch(A);
+    ASSERT_TRUE(static_cast<bool>(I));
+    Redis += "    " + disassemble(*I, A) + "\n";
+  }
+  Program P2 = mustAssemble(Redis);
+  EXPECT_EQ(P1.image(), P2.image());
+}
+
+// --- AsmBuilder ----------------------------------------------------------
+
+TEST(AsmBuilderTest, BuildsRunnableSource) {
+  AsmBuilder B;
+  B.org(0x1000);
+  B.entry("main");
+  B.comment("trivial");
+  B.label("main");
+  B.emitf("li t0, %d", 42);
+  B.emit("halt");
+  Expected<Program> P = B.build();
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error().message();
+  EXPECT_EQ(P->entry(), 0x1000u);
+}

@@ -1,0 +1,719 @@
+//===- tests/core_engine_test.cpp - SDT engine integration -------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/Assembler.h"
+#include "core/SdtEngine.h"
+#include "support/StringUtils.h"
+#include "vm/GuestVM.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+
+namespace {
+
+isa::Program mustAssemble(const char *Src) {
+  Expected<isa::Program> P = assembler::assemble(Src);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  return *P;
+}
+
+RunResult runVM(const isa::Program &P, ExecOptions Exec = {}) {
+  auto VM = GuestVM::create(P, Exec);
+  EXPECT_TRUE(static_cast<bool>(VM));
+  return (*VM)->run();
+}
+
+struct SdtRun {
+  RunResult Result;
+  SdtStats Stats;
+};
+
+SdtRun runSdt(const isa::Program &P, SdtOptions Opts = {},
+              ExecOptions Exec = {}) {
+  auto Engine = SdtEngine::create(P, Opts, Exec);
+  EXPECT_TRUE(static_cast<bool>(Engine));
+  SdtRun R;
+  R.Result = (*Engine)->run();
+  R.Stats = (*Engine)->stats();
+  return R;
+}
+
+void expectSameBehaviour(const RunResult &A, const RunResult &B) {
+  EXPECT_EQ(A.Reason, B.Reason) << B.FaultMessage;
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.InstructionCount, B.InstructionCount);
+}
+
+const char *const CallLoop = R"(
+main:
+    li   s0, 50
+    li   s7, 0
+loop:
+    la   t0, fns
+    andi t1, s0, 1
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    move a0, s0
+    jalr t2
+    add  s7, s7, v0
+    addi s0, s0, -1
+    bnez s0, loop
+    move a0, s7
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+f_even:
+    slli v0, a0, 1
+    ret
+f_odd:
+    addi v0, a0, 100
+    ret
+fns: .word f_even, f_odd
+)";
+
+} // namespace
+
+TEST(SdtEngineTest, TrivialProgramMatchesVM) {
+  isa::Program P = mustAssemble("main:\n li a0, 3\n li v0, 0\n syscall\n");
+  RunResult Native = runVM(P);
+  SdtRun Sdt = runSdt(P);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_EQ(Sdt.Result.ExitCode, 3);
+}
+
+TEST(SdtEngineTest, FragmentsFormedAtCtis) {
+  isa::Program P = mustAssemble(
+      "main:\n nop\n nop\n j next\nnext:\n nop\n halt\n");
+  SdtRun Sdt = runSdt(P);
+  EXPECT_EQ(Sdt.Result.Reason, ExitReason::Halted);
+  EXPECT_EQ(Sdt.Stats.FragmentsTranslated, 2u);
+  // nop nop j | nop halt.
+  EXPECT_EQ(Sdt.Stats.GuestInstrsTranslated, 5u);
+}
+
+TEST(SdtEngineTest, LinkingEliminatesRepeatDispatches) {
+  const char *Src = "main:\n li t0, 100\nloop:\n addi t0, t0, -1\n"
+                    " bnez t0, loop\n halt\n";
+  isa::Program P = mustAssemble(Src);
+
+  SdtOptions Linked;
+  Linked.LinkFragments = true;
+  SdtRun WithLink = runSdt(P, Linked);
+  SdtOptions Unlinked;
+  Unlinked.LinkFragments = false;
+  SdtRun NoLink = runSdt(P, Unlinked);
+
+  expectSameBehaviour(WithLink.Result, NoLink.Result);
+  // With linking the loop back-edge is patched once; without, every
+  // iteration re-enters the dispatcher.
+  EXPECT_LT(WithLink.Stats.DispatchEntries, 10u);
+  EXPECT_GT(NoLink.Stats.DispatchEntries, 90u);
+  EXPECT_GT(WithLink.Stats.LinksPatched, 0u);
+  EXPECT_EQ(NoLink.Stats.LinksPatched, 0u);
+}
+
+TEST(SdtEngineTest, IBExecCountsMatchVmCtiStats) {
+  isa::Program P = mustAssemble(CallLoop);
+  RunResult Native = runVM(P);
+  SdtRun Sdt = runSdt(P);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_EQ(Sdt.Stats.IBExecs[size_t(IBClass::Call)],
+            Native.Cti.IndirectCalls);
+  EXPECT_EQ(Sdt.Stats.IBExecs[size_t(IBClass::Return)],
+            Native.Cti.Returns);
+  EXPECT_EQ(Sdt.Result.Cti.IndirectCalls, Native.Cti.IndirectCalls);
+  EXPECT_EQ(Sdt.Result.Cti.Returns, Native.Cti.Returns);
+  EXPECT_EQ(Sdt.Result.Cti.CondBranches, Native.Cti.CondBranches);
+}
+
+TEST(SdtEngineTest, IbtcHitsAfterWarmup) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Ibtc;
+  SdtRun Sdt = runSdt(P, Opts);
+  // 50 calls, 2 targets: at most 2 cold misses on the call site.
+  uint64_t CallExecs = Sdt.Stats.IBExecs[size_t(IBClass::Call)];
+  uint64_t CallHits = Sdt.Stats.IBInlineHits[size_t(IBClass::Call)];
+  EXPECT_EQ(CallExecs, 50u);
+  EXPECT_GE(CallHits, CallExecs - 2);
+}
+
+TEST(SdtEngineTest, HitsNeverExceedExecs) {
+  isa::Program P = mustAssemble(CallLoop);
+  for (IBMechanism M :
+       {IBMechanism::Dispatcher, IBMechanism::Ibtc, IBMechanism::Sieve}) {
+    SdtOptions Opts;
+    Opts.Mechanism = M;
+    SdtRun Sdt = runSdt(P, Opts);
+    for (unsigned C = 0; C != NumIBClasses; ++C)
+      EXPECT_LE(Sdt.Stats.IBInlineHits[C], Sdt.Stats.IBExecs[C]);
+  }
+}
+
+TEST(SdtEngineTest, DispatcherMechanismNeverHitsInline) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Dispatcher;
+  SdtRun Sdt = runSdt(P, Opts);
+  for (unsigned C = 0; C != NumIBClasses; ++C)
+    EXPECT_EQ(Sdt.Stats.IBInlineHits[C], 0u);
+  // Every IB goes through the dispatcher.
+  EXPECT_GE(Sdt.Stats.DispatchEntries, Sdt.Stats.ibExecTotal());
+}
+
+TEST(SdtEngineTest, FastReturnsResolveDirectly) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::FastReturn;
+  SdtRun Sdt = runSdt(P, Opts);
+  RunResult Native = runVM(P);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_EQ(Sdt.Stats.FastReturnDirect, 50u);
+  EXPECT_EQ(Sdt.Stats.FastReturnFallback, 0u);
+}
+
+TEST(SdtEngineTest, FastReturnSurvivesSavedRa) {
+  // The callee spills/reloads ra (holding a translated address) through
+  // guest memory — the round trip must stay intact.
+  const char *Src = R"(
+main:
+    li   s0, 5
+loop:
+    jal  outer
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+outer:
+    push ra
+    jal  inner
+    pop  ra
+    ret
+inner:
+    addi v0, a0, 1
+    ret
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::FastReturn;
+  SdtRun Sdt = runSdt(P, Opts);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_GT(Sdt.Stats.FastReturnDirect, 0u);
+}
+
+TEST(SdtEngineTest, ShadowStackServesReturns) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::ShadowStack;
+  SdtRun Sdt = runSdt(P, Opts);
+  RunResult Native = runVM(P);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_EQ(Sdt.Stats.ShadowStackHits, 50u);
+  EXPECT_EQ(Sdt.Stats.ShadowStackMisses, 0u);
+}
+
+TEST(SdtEngineTest, ShadowStackKeepsGuestLinkValue) {
+  // Unlike fast returns, the shadow stack is fully transparent: a
+  // program that *prints* its return address must see the guest value.
+  const char *Src = R"(
+main:
+    jal f
+    li  a0, 0
+    li  v0, 0
+    syscall
+f:
+    move a0, ra
+    li   v0, 1
+    syscall          # print ra — must be the guest address 0x1004
+    ret
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::ShadowStack;
+  SdtRun Sdt = runSdt(P, Opts);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_EQ(Native.Output, "4100\n"); // 0x1004 printed in decimal.
+}
+
+TEST(SdtEngineTest, ShadowStackWrapsOnDeepRecursion) {
+  // Recursion deeper than the shadow stack: old entries are overwritten,
+  // their returns miss and fall back — behaviour must stay correct.
+  const char *Src = R"(
+main:
+    li  a0, 40
+    jal rec
+    move a0, v0
+    li  v0, 0
+    syscall
+rec:
+    beqz a0, base
+    push ra
+    push a0
+    addi a0, a0, -1
+    jal  rec
+    pop  a0
+    pop  ra
+    add  v0, v0, a0
+    ret
+base:
+    li v0, 0
+    ret
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::ShadowStack;
+  Opts.ShadowStackDepth = 8; // Much shallower than the recursion.
+  SdtRun Sdt = runSdt(P, Opts);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_GT(Sdt.Stats.ShadowStackHits, 0u);
+  EXPECT_GT(Sdt.Stats.ShadowStackMisses, 0u);
+}
+
+TEST(SdtEngineTest, ReturnCacheServesReturns) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::ReturnCache;
+  SdtRun Sdt = runSdt(P, Opts);
+  RunResult Native = runVM(P);
+  expectSameBehaviour(Native, Sdt.Result);
+  uint64_t RetHits = Sdt.Stats.IBInlineHits[size_t(IBClass::Return)];
+  EXPECT_GE(RetHits, 45u); // Cold misses only.
+}
+
+TEST(SdtEngineTest, TinyFragmentCacheForcesFlushesButStaysCorrect) {
+  isa::Program P = mustAssemble(CallLoop);
+  RunResult Native = runVM(P);
+  SdtOptions Opts;
+  Opts.FragmentCacheBytes = 4096;
+  Opts.MaxFragmentInstrs = 8;
+  SdtRun Sdt = runSdt(P, Opts);
+  expectSameBehaviour(Native, Sdt.Result);
+}
+
+TEST(SdtEngineTest, FastReturnsSurviveCacheFlush) {
+  // A flush retires fragments whose addresses are still in ra / on the
+  // guest stack; the retired-entry map must recover them. Build a program
+  // with enough distinct functions that translating them all (twice: the
+  // outer loop runs two passes) overflows a tiny fragment cache mid-call.
+  std::string Src = "main:\n    li s6, 2\nmpass:\n";
+  for (int F = 0; F != 120; ++F)
+    Src += formatString("    jal fn%d\n", F);
+  Src += "    addi s6, s6, -1\n"
+         "    bnez s6, mpass\n"
+         "    li a0, 0\n    li v0, 0\n    syscall\n";
+  for (int F = 0; F != 120; ++F)
+    Src += formatString("fn%d:\n    push ra\n    jal leaf\n    pop ra\n"
+                        "    ret\n",
+                        F);
+  Src += "leaf:\n    addi v0, a0, 1\n    ret\n";
+
+  isa::Program P = mustAssemble(Src.c_str());
+  RunResult Native = runVM(P);
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::FastReturn;
+  Opts.FragmentCacheBytes = 4096; // Force flushes mid-run.
+  Opts.MaxFragmentInstrs = 4;
+  SdtRun Sdt = runSdt(P, Opts);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_GT(Sdt.Stats.Flushes, 0u);
+}
+
+TEST(SdtEngineTest, InstructionLimitHonoured) {
+  isa::Program P = mustAssemble("main:\n j main\n");
+  ExecOptions Exec;
+  Exec.MaxInstructions = 64;
+  SdtRun Sdt = runSdt(P, {}, Exec);
+  EXPECT_EQ(Sdt.Result.Reason, ExitReason::InstrLimit);
+  EXPECT_EQ(Sdt.Result.InstructionCount, 64u);
+}
+
+TEST(SdtEngineTest, JumpIntoDataFaults) {
+  isa::Program P = mustAssemble(
+      "main:\n la t0, data\n jr t0\ndata: .word 0xFC000000\n");
+  SdtRun Sdt = runSdt(P);
+  EXPECT_EQ(Sdt.Result.Reason, ExitReason::Fault);
+  EXPECT_FALSE(Sdt.Result.FaultMessage.empty());
+}
+
+TEST(SdtEngineTest, MemoryFaultMatchesVM) {
+  isa::Program P = mustAssemble("main:\n li t0, 16\n lw t1, 0(t0)\n halt\n");
+  RunResult Native = runVM(P);
+  SdtRun Sdt = runSdt(P);
+  EXPECT_EQ(Native.Reason, ExitReason::Fault);
+  EXPECT_EQ(Sdt.Result.Reason, ExitReason::Fault);
+  EXPECT_EQ(Native.InstructionCount, Sdt.Result.InstructionCount);
+}
+
+TEST(SdtEngineTest, SiteTargetProfileMatchesVM) {
+  isa::Program P = mustAssemble(CallLoop);
+  ExecOptions Exec;
+  Exec.CollectSiteTargets = true;
+  RunResult Native = runVM(P, Exec);
+  SdtRun Sdt = runSdt(P, {}, Exec);
+  EXPECT_EQ(Native.SiteTargets, Sdt.Result.SiteTargets);
+}
+
+TEST(SdtEngineTest, MaxFragmentInstrsSplitsStraightLineCode) {
+  std::string Src = "main:\n";
+  for (int I = 0; I != 40; ++I)
+    Src += "    addi t0, t0, 1\n";
+  Src += "    halt\n";
+  isa::Program P = mustAssemble(Src.c_str());
+  SdtOptions Opts;
+  Opts.MaxFragmentInstrs = 10;
+  SdtRun Sdt = runSdt(P, Opts);
+  EXPECT_EQ(Sdt.Result.Reason, ExitReason::Halted);
+  EXPECT_GE(Sdt.Stats.FragmentsTranslated, 4u);
+}
+
+TEST(SdtEngineTest, ReportMentionsConfigAndClasses) {
+  isa::Program P = mustAssemble(CallLoop);
+  auto Engine = SdtEngine::create(P, SdtOptions(), ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->run();
+  std::string Report = (*Engine)->report();
+  EXPECT_NE(Report.find("ibtc"), std::string::npos);
+  EXPECT_NE(Report.find("return"), std::string::npos);
+  EXPECT_NE(Report.find("fragments="), std::string::npos);
+}
+
+TEST(SdtEngineTest, SyscallOutputIdenticalUnderTranslation) {
+  const char *Src = R"(
+main:
+    li   t0, 5
+loop:
+    move a0, t0
+    li   v0, 1
+    syscall
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+  SdtRun Sdt = runSdt(P);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_EQ(Sdt.Result.Output, "5\n4\n3\n2\n1\n");
+}
+
+TEST(SdtEngineTest, PerClassMechanismOverrides) {
+  // jalr sites go through a sieve while everything else uses the IBTC —
+  // behaviour identical, and the jump/call stats land on the right
+  // structures.
+  const char *Src = R"(
+main:
+    li   s0, 30
+loop:
+    la   t0, spots
+    andi t1, s0, 1
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    jr   t2                 # indirect jump, alternating targets
+spot0:
+spot1:
+    la   t3, fns
+    lw   t4, 0(t3)
+    move a0, s0
+    jalr t4                 # indirect call
+    add  s7, s7, v0
+    addi s0, s0, -1
+    bnez s0, loop
+    move a0, s7
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+fn:
+    slli v0, a0, 1
+    ret
+spots: .word spot0, spot1
+fns:   .word fn
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Ibtc;
+  Opts.CallMechanism = IBMechanism::Sieve;
+  auto Engine = SdtEngine::create(P, Opts, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+  expectSameBehaviour(Native, Translated);
+  // The sieve (call handler) saw exactly the 30 calls; the shared IBTC
+  // (main) served the jumps and returns.
+  EXPECT_GE((*Engine)->stats().IBExecs[size_t(IBClass::Call)], 30u);
+  std::string Report = (*Engine)->report();
+  EXPECT_NE(Report.find("calls: sieve"), std::string::npos);
+}
+
+TEST(SdtEngineTest, BlockCountInstrumentationCountsEntries) {
+  const char *Src = R"(
+main:
+    li   t0, 25
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+  SdtOptions O;
+  O.InstrumentBlockCounts = true;
+  auto Engine = SdtEngine::create(P, O, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult R = (*Engine)->run();
+  EXPECT_EQ(R.Reason, ExitReason::Exited);
+  // Fragment-granularity counting: the first loop iteration runs inside
+  // the entry fragment (main..bnez), so the loop-head fragment is
+  // entered by the 24 back-edge executions.
+  uint64_t MaxCount = 0, Total = 0;
+  for (const auto &[Entry, Count] : (*Engine)->blockCounts()) {
+    MaxCount = std::max(MaxCount, Count);
+    Total += Count;
+  }
+  EXPECT_EQ(MaxCount, 24u);
+  EXPECT_GE(Total, 25u);
+  // Instrumentation must stay behaviour-transparent.
+  RunResult Native = runVM(P);
+  expectSameBehaviour(Native, R);
+}
+
+TEST(SdtEngineTest, InstrumentationChargesItsOwnCategory) {
+  isa::Program P = mustAssemble(CallLoop);
+  arch::TimingModel Plain(arch::x86Model()), Probed(arch::x86Model());
+  {
+    ExecOptions Exec;
+    Exec.Timing = &Plain;
+    runSdt(P, {}, Exec);
+  }
+  {
+    ExecOptions Exec;
+    Exec.Timing = &Probed;
+    SdtOptions O;
+    O.InstrumentBlockCounts = true;
+    runSdt(P, O, Exec);
+  }
+  EXPECT_EQ(Plain.cycles(arch::CycleCategory::Instrument), 0u);
+  EXPECT_GT(Probed.cycles(arch::CycleCategory::Instrument), 0u);
+  EXPECT_GT(Probed.totalCycles(), Plain.totalCycles());
+}
+
+TEST(SdtEngineTest, ReturnIntegrityCatchesCorruptedReturnAddress) {
+  // The callee overwrites its saved return address on the stack (a
+  // ROP-style redirect to `gadget`). Natively this "works"; under
+  // shadow-stack enforcement it faults.
+  const char *Src = R"(
+main:
+    jal victim
+    li   a0, 0
+    li   v0, 0
+    syscall
+victim:
+    push ra
+    la   t0, gadget
+    sw   t0, 0(sp)       # overwrite the saved return address
+    pop  ra
+    ret                  # hijacked
+gadget:
+    li   a0, 99
+    li   v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+
+  RunResult Native = runVM(P);
+  EXPECT_EQ(Native.Reason, ExitReason::Exited);
+  EXPECT_EQ(Native.ExitCode, 99); // The hijack succeeds natively.
+
+  SdtOptions Plain;
+  Plain.Returns = ReturnStrategy::ShadowStack;
+  SdtRun Unenforced = runSdt(P, Plain);
+  expectSameBehaviour(Native, Unenforced.Result); // Transparent fallback.
+  EXPECT_GT(Unenforced.Stats.ShadowStackMisses, 0u);
+
+  SdtOptions Enforced = Plain;
+  Enforced.EnforceReturnIntegrity = true;
+  SdtRun Protected = runSdt(P, Enforced);
+  EXPECT_EQ(Protected.Result.Reason, ExitReason::Fault);
+  EXPECT_NE(Protected.Result.FaultMessage.find("integrity"),
+            std::string::npos);
+}
+
+TEST(SdtEngineTest, ReturnIntegrityAllowsWellNestedCode) {
+  isa::Program P = mustAssemble(CallLoop);
+  RunResult Native = runVM(P);
+  SdtOptions O;
+  O.Returns = ReturnStrategy::ShadowStack;
+  O.EnforceReturnIntegrity = true;
+  SdtRun Sdt = runSdt(P, O);
+  expectSameBehaviour(Native, Sdt.Result);
+}
+
+TEST(SdtEngineTest, TracesFormOnHotLoops) {
+  // A hot loop whose body spans several blocks joined by direct jumps —
+  // the case traces linearise.
+  const char *Src = R"(
+main:
+    li   t0, 2000
+loop:
+    addi t1, t1, 3
+    j    mid
+mid:
+    xori t1, t1, 85
+    j    tail
+tail:
+    addi t0, t0, -1
+    bnez t0, loop
+    move a0, t1
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+
+  SdtOptions Traced;
+  Traced.EnableTraces = true;
+  Traced.TraceHotThreshold = 20;
+  SdtRun WithTraces = runSdt(P, Traced);
+  expectSameBehaviour(Native, WithTraces.Result);
+  EXPECT_GT(WithTraces.Stats.TracesBuilt, 0u);
+  EXPECT_GT(WithTraces.Stats.TraceGuestInstrs, 0u);
+}
+
+TEST(SdtEngineTest, TracesReduceCyclesOnJumpHeavyLoops) {
+  const char *Src = R"(
+main:
+    li   t0, 5000
+loop:
+    addi t1, t1, 3
+    j    mid
+mid:
+    xori t1, t1, 85
+    j    tail
+tail:
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+
+  auto cyclesWith = [&P](bool Traces) {
+    arch::TimingModel Timing(arch::x86Model());
+    ExecOptions Exec;
+    Exec.Timing = &Timing;
+    SdtOptions O;
+    O.EnableTraces = Traces;
+    O.TraceHotThreshold = 20;
+    auto Engine = SdtEngine::create(P, O, Exec);
+    EXPECT_TRUE(static_cast<bool>(Engine));
+    vm::RunResult R = (*Engine)->run();
+    EXPECT_EQ(R.Reason, ExitReason::Exited);
+    return Timing.totalCycles();
+  };
+
+  uint64_t Without = cyclesWith(false);
+  uint64_t With = cyclesWith(true);
+  EXPECT_LT(With, Without); // Elided jumps + linearised fall-throughs.
+}
+
+TEST(SdtEngineTest, TracesFollowCallsInline) {
+  // The hot loop calls a leaf; the trace inlines the call (SetLink on
+  // trace) and ends at the callee's return.
+  const char *Src = R"(
+main:
+    li   s0, 1000
+loop:
+    move a0, s0
+    jal  leaf
+    add  s7, s7, v0
+    addi s0, s0, -1
+    bnez s0, loop
+    move a0, s7
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+leaf:
+    slli v0, a0, 1
+    ret
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+  SdtOptions O;
+  O.EnableTraces = true;
+  O.TraceHotThreshold = 10;
+  O.Returns = ReturnStrategy::FastReturn;
+  SdtRun Sdt = runSdt(P, O);
+  expectSameBehaviour(Native, Sdt.Result);
+  EXPECT_GT(Sdt.Stats.TracesBuilt, 0u);
+}
+
+TEST(SdtEngineTest, TracesSurviveCacheFlush) {
+  const char *Src = R"(
+main:
+    li   t0, 3000
+loop:
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+  RunResult Native = runVM(P);
+  SdtOptions O;
+  O.EnableTraces = true;
+  O.TraceHotThreshold = 10;
+  O.FragmentCacheBytes = 4096;
+  SdtRun Sdt = runSdt(P, O);
+  expectSameBehaviour(Native, Sdt.Result);
+}
+
+TEST(SdtEngineTest, OverheadNeverBelowNative) {
+  isa::Program P = mustAssemble(CallLoop);
+  arch::TimingModel Native(arch::x86Model());
+  ExecOptions NativeExec;
+  NativeExec.Timing = &Native;
+  runVM(P, NativeExec);
+
+  for (IBMechanism M :
+       {IBMechanism::Dispatcher, IBMechanism::Ibtc, IBMechanism::Sieve}) {
+    arch::TimingModel Sdt(arch::x86Model());
+    ExecOptions SdtExec;
+    SdtExec.Timing = &Sdt;
+    SdtOptions Opts;
+    Opts.Mechanism = M;
+    runSdt(P, Opts, SdtExec);
+    EXPECT_GT(Sdt.totalCycles(), Native.totalCycles())
+        << ibMechanismName(M);
+  }
+}

@@ -1,0 +1,110 @@
+//===- tests/core_fragmentcache_test.cpp - Fragment cache tests --*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FragmentCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+
+static Fragment makeFragment(FragmentCache &Cache, uint32_t GuestEntry,
+                             unsigned Ops = 2) {
+  Fragment F;
+  F.GuestEntry = GuestEntry;
+  F.HostEntryAddr = Cache.beginFragment();
+  for (unsigned I = 0; I != Ops; ++I) {
+    HostInstr HI;
+    HI.Kind = I + 1 == Ops ? HostOpKind::HaltOp : HostOpKind::Guest;
+    HI.HostAddr = Cache.allocateBytes(hostOpBytes(HI.Kind));
+    F.Code.push_back(HI);
+  }
+  F.CodeBytes = Cache.beginFragment() - F.HostEntryAddr;
+  return F;
+}
+
+TEST(FragmentCacheTest, HostOpBytesSane) {
+  EXPECT_EQ(hostOpBytes(HostOpKind::Guest), 4u);
+  EXPECT_EQ(hostOpBytes(HostOpKind::SetLink), 8u);
+  EXPECT_EQ(hostOpBytes(HostOpKind::ExitStub), 16u);
+  EXPECT_EQ(hostOpBytes(HostOpKind::IBLookup), 0u);
+}
+
+TEST(FragmentCacheTest, LookupMissOnEmpty) {
+  FragmentCache C(1 << 20);
+  EXPECT_FALSE(C.lookup(0x1000).valid());
+}
+
+TEST(FragmentCacheTest, InsertThenLookup) {
+  FragmentCache C(1 << 20);
+  Fragment F = makeFragment(C, 0x1000);
+  uint32_t Entry = F.HostEntryAddr;
+  HostLoc Loc = C.insert(std::move(F));
+  EXPECT_TRUE(Loc.valid());
+  EXPECT_EQ(C.lookup(0x1000), Loc);
+  EXPECT_EQ(C.locForEntryAddr(Entry), Loc);
+  EXPECT_EQ(C.fragmentCount(), 1u);
+}
+
+TEST(FragmentCacheTest, AddressesMonotonicAndAligned) {
+  FragmentCache C(1 << 20);
+  uint32_t A = C.allocateBytes(16);
+  uint32_t B = C.allocateBytes(4);
+  EXPECT_EQ(A, FragmentCacheBase);
+  EXPECT_EQ(B, A + 16);
+  EXPECT_EQ(C.usedBytes(), 20u);
+}
+
+TEST(FragmentCacheTest, IsFullAfterCapacity) {
+  FragmentCache C(4096);
+  EXPECT_FALSE(C.isFull());
+  C.allocateBytes(4096);
+  EXPECT_TRUE(C.isFull());
+}
+
+TEST(FragmentCacheTest, FlushDropsLiveKeepsRetired) {
+  FragmentCache C(1 << 20);
+  Fragment F = makeFragment(C, 0x1000);
+  uint32_t Entry = F.HostEntryAddr;
+  C.insert(std::move(F));
+  C.flushAll();
+  EXPECT_FALSE(C.lookup(0x1000).valid());
+  EXPECT_FALSE(C.locForEntryAddr(Entry).valid());
+  EXPECT_EQ(C.retiredGuestEntry(Entry), 0x1000u);
+  EXPECT_EQ(C.retiredGuestEntry(0xDEAD0000), 0u);
+  EXPECT_EQ(C.fragmentCount(), 0u);
+  EXPECT_EQ(C.usedBytes(), 0u);
+  EXPECT_EQ(C.flushCount(), 1u);
+}
+
+TEST(FragmentCacheTest, CursorNotResetByFlush) {
+  FragmentCache C(1 << 20);
+  C.allocateBytes(64);
+  C.flushAll();
+  // New allocations continue past the old ones: addresses never reused.
+  EXPECT_EQ(C.allocateBytes(4), FragmentCacheBase + 64);
+}
+
+TEST(FragmentCacheTest, ReinsertAfterFlush) {
+  FragmentCache C(1 << 20);
+  C.insert(makeFragment(C, 0x1000));
+  C.flushAll();
+  Fragment F2 = makeFragment(C, 0x1000);
+  uint32_t NewEntry = F2.HostEntryAddr;
+  HostLoc Loc = C.insert(std::move(F2));
+  EXPECT_EQ(C.lookup(0x1000), Loc);
+  EXPECT_NE(NewEntry, FragmentCacheBase); // Fresh address.
+}
+
+TEST(FragmentCacheTest, MultipleFragmentsIndependent) {
+  FragmentCache C(1 << 20);
+  HostLoc L1 = C.insert(makeFragment(C, 0x1000));
+  HostLoc L2 = C.insert(makeFragment(C, 0x2000));
+  EXPECT_NE(L1.Frag, L2.Frag);
+  EXPECT_EQ(C.lookup(0x1000), L1);
+  EXPECT_EQ(C.lookup(0x2000), L2);
+  EXPECT_EQ(C.fragment(L2.Frag).GuestEntry, 0x2000u);
+}

@@ -1,0 +1,436 @@
+//===- tests/core_handlers_test.cpp - IB mechanism tests ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DispatcherHandler.h"
+#include "core/IbtcHandler.h"
+#include "core/InlineCacheHandler.h"
+#include "core/ReturnCacheHandler.h"
+#include "core/SieveHandler.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+
+namespace {
+
+struct HandlerFixture : public ::testing::Test {
+  FragmentCache Cache{1 << 20};
+  SdtOptions Opts;
+
+  /// Registers a site and returns its id.
+  uint32_t addSite(IBHandler &H, IBClass Class = IBClass::Jump) {
+    uint32_t Id = NextSite++;
+    SiteCode Code = H.emitSite(Id, Class, 0x1000 + Id * 4, Cache);
+    EXPECT_GT(Code.Bytes, 0u);
+    return Id;
+  }
+
+  uint32_t NextSite = 0;
+};
+
+using DispatcherHandlerTest = HandlerFixture;
+using IbtcHandlerTest = HandlerFixture;
+using SieveHandlerTest = HandlerFixture;
+using ReturnCacheHandlerTest = HandlerFixture;
+using InlineCacheHandlerTest = HandlerFixture;
+
+} // namespace
+
+// --- DispatcherHandler -------------------------------------------------
+
+TEST_F(DispatcherHandlerTest, AlwaysMisses) {
+  DispatcherHandler H;
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  LookupOutcome O = H.lookup(S, 0x2000, nullptr);
+  EXPECT_FALSE(O.Hit);
+  EXPECT_EQ(H.hits(), 0u);
+  EXPECT_EQ(H.misses(), 1u);
+}
+
+// --- IbtcHandler ------------------------------------------------------------
+
+TEST_F(IbtcHandlerTest, MissThenRecordThenHit) {
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  LookupOutcome O = H.lookup(S, 0x2000, nullptr);
+  EXPECT_TRUE(O.Hit);
+  EXPECT_EQ(O.HostEntryAddr, 0x40000100u);
+  EXPECT_EQ(H.hits(), 1u);
+  EXPECT_EQ(H.misses(), 1u);
+}
+
+TEST_F(IbtcHandlerTest, SharedTableVisibleAcrossSites) {
+  Opts.IbtcShared = true;
+  IbtcHandler H(Opts);
+  uint32_t S1 = addSite(H), S2 = addSite(H);
+  H.record(S1, 0x2000, 0x40000100, nullptr);
+  EXPECT_TRUE(H.lookup(S2, 0x2000, nullptr).Hit);
+  EXPECT_EQ(H.tableCount(), 1u);
+}
+
+TEST_F(IbtcHandlerTest, PrivateTablesIsolated) {
+  Opts.IbtcShared = false;
+  IbtcHandler H(Opts);
+  uint32_t S1 = addSite(H), S2 = addSite(H);
+  H.record(S1, 0x2000, 0x40000100, nullptr);
+  EXPECT_TRUE(H.lookup(S1, 0x2000, nullptr).Hit);
+  EXPECT_FALSE(H.lookup(S2, 0x2000, nullptr).Hit);
+  EXPECT_EQ(H.tableCount(), 2u);
+}
+
+TEST_F(IbtcHandlerTest, ConflictReplacementCounted) {
+  Opts.IbtcEntries = 1; // Every distinct target conflicts.
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x3000, 0x40000200, nullptr);
+  EXPECT_EQ(H.replacements(), 1u);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit); // Evicted.
+  EXPECT_TRUE(H.lookup(S, 0x3000, nullptr).Hit);
+}
+
+TEST_F(IbtcHandlerTest, RerecordSameTargetNotAReplacement) {
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x2000, 0x40000300, nullptr); // Retranslation updates.
+  EXPECT_EQ(H.replacements(), 0u);
+  EXPECT_EQ(H.lookup(S, 0x2000, nullptr).HostEntryAddr, 0x40000300u);
+}
+
+TEST_F(IbtcHandlerTest, TwoWaySetHoldsConflictingTargets) {
+  Opts.IbtcEntries = 2;
+  Opts.IbtcAssociativity = 2; // One set, two ways.
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x3000, 0x40000200, nullptr);
+  EXPECT_TRUE(H.lookup(S, 0x2000, nullptr).Hit);
+  EXPECT_TRUE(H.lookup(S, 0x3000, nullptr).Hit);
+  EXPECT_EQ(H.replacements(), 0u);
+  // A direct-mapped table of the same size would have evicted.
+  SdtOptions Direct = Opts;
+  Direct.IbtcAssociativity = 1;
+  FragmentCache C2(1 << 20);
+  IbtcHandler H2(Direct);
+  H2.emitSite(0, IBClass::Jump, 0x1000, C2);
+  H2.record(0, 0x2000, 0x40000100, nullptr);
+  H2.record(0, 0x2008, 0x40000300, nullptr); // Same set index (2 sets).
+  EXPECT_FALSE(H2.lookup(0, 0x2000, nullptr).Hit);
+}
+
+TEST_F(IbtcHandlerTest, LruWayEvictedOnSetOverflow) {
+  Opts.IbtcEntries = 2;
+  Opts.IbtcAssociativity = 2;
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x3000, 0x40000200, nullptr);
+  // Refresh 0x2000 so 0x3000 becomes LRU.
+  EXPECT_TRUE(H.lookup(S, 0x2000, nullptr).Hit);
+  H.record(S, 0x4000, 0x40000300, nullptr);
+  EXPECT_EQ(H.replacements(), 1u);
+  EXPECT_TRUE(H.lookup(S, 0x2000, nullptr).Hit);
+  EXPECT_FALSE(H.lookup(S, 0x3000, nullptr).Hit);
+  EXPECT_TRUE(H.lookup(S, 0x4000, nullptr).Hit);
+}
+
+TEST_F(IbtcHandlerTest, HigherAssociativityChargesMoreProbesOnMiss) {
+  arch::MachineModel Model = arch::simpleModel();
+  uint64_t Cycles[2];
+  int Index = 0;
+  for (uint32_t Assoc : {1u, 4u}) {
+    SdtOptions O = Opts;
+    O.IbtcEntries = 64;
+    O.IbtcAssociativity = Assoc;
+    FragmentCache LocalCache(1 << 20);
+    IbtcHandler H(O);
+    H.emitSite(0, IBClass::Jump, 0x1000, LocalCache);
+    arch::TimingModel T(Model);
+    H.lookup(0, 0x2000, &T); // Full-set miss probes every way.
+    Cycles[Index++] = T.totalCycles();
+  }
+  EXPECT_GT(Cycles[1], Cycles[0]);
+}
+
+TEST_F(IbtcHandlerTest, AdaptiveTableGrowsUnderConflicts) {
+  Opts.IbtcEntries = 4;
+  Opts.IbtcAdaptive = true;
+  Opts.IbtcMaxEntries = 64;
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  // Install many distinct targets: conflicts pile up and the table grows.
+  for (uint32_t I = 0; I != 64; ++I)
+    H.record(S, 0x2000 + I * 4, 0x40000000 + I * 64, nullptr);
+  EXPECT_GT(H.resizes(), 0u);
+  EXPECT_GT(H.currentCapacity(), 4u);
+  EXPECT_LE(H.currentCapacity(), 64u);
+}
+
+TEST_F(IbtcHandlerTest, AdaptiveGrowthPreservesLiveEntries) {
+  Opts.IbtcEntries = 4;
+  Opts.IbtcAdaptive = true;
+  Opts.IbtcMaxEntries = 256;
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  for (uint32_t I = 0; I != 32; ++I)
+    H.record(S, 0x2000 + I * 4, 0x40000000 + I * 64, nullptr);
+  ASSERT_GT(H.resizes(), 0u);
+  // Recently recorded targets survive the rehash.
+  EXPECT_TRUE(H.lookup(S, 0x2000 + 31 * 4, nullptr).Hit);
+  EXPECT_TRUE(H.lookup(S, 0x2000 + 30 * 4, nullptr).Hit);
+}
+
+TEST_F(IbtcHandlerTest, AdaptiveRespectsMaxEntries) {
+  Opts.IbtcEntries = 4;
+  Opts.IbtcAdaptive = true;
+  Opts.IbtcMaxEntries = 16;
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  for (uint32_t I = 0; I != 256; ++I)
+    H.record(S, 0x2000 + I * 4, 0x40000000 + I * 64, nullptr);
+  EXPECT_LE(H.currentCapacity(), 16u);
+}
+
+TEST_F(IbtcHandlerTest, FixedTableNeverResizes) {
+  Opts.IbtcEntries = 4;
+  Opts.IbtcAdaptive = false;
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  for (uint32_t I = 0; I != 64; ++I)
+    H.record(S, 0x2000 + I * 4, 0x40000000 + I * 64, nullptr);
+  EXPECT_EQ(H.resizes(), 0u);
+  EXPECT_EQ(H.currentCapacity(), 4u);
+}
+
+TEST_F(IbtcHandlerTest, FlushEmptiesTables) {
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.flush();
+  uint32_t S2 = addSite(H); // Sites re-register after a flush.
+  EXPECT_FALSE(H.lookup(S2, 0x2000, nullptr).Hit);
+}
+
+TEST_F(IbtcHandlerTest, FullFlagSaveCostsMore) {
+  arch::MachineModel Model = arch::simpleModel();
+  Model.FlagSaveFullCost = 50;
+  Model.FlagSaveLightCost = 1;
+
+  SdtOptions Light = Opts;
+  Light.FullFlagSave = false;
+  SdtOptions Full = Opts;
+  Full.FullFlagSave = true;
+
+  uint64_t Cycles[2];
+  int Index = 0;
+  for (const SdtOptions &O : {Light, Full}) {
+    FragmentCache LocalCache(1 << 20);
+    IbtcHandler H(O);
+    SiteCode Code = H.emitSite(0, IBClass::Jump, 0x1000, LocalCache);
+    EXPECT_GT(Code.Bytes, 0u);
+    arch::TimingModel T(Model);
+    H.record(0, 0x2000, 0x40000100, nullptr);
+    H.lookup(0, 0x2000, &T); // Hit: save + restore charged.
+    Cycles[Index++] = T.totalCycles();
+  }
+  EXPECT_GT(Cycles[1], Cycles[0] + 50);
+}
+
+TEST_F(IbtcHandlerTest, LookupChargesDataCache) {
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  arch::TimingModel T(arch::simpleModel());
+  uint64_t DAccessesBefore = T.dcache().accesses();
+  H.lookup(S, 0x2000, &T);
+  EXPECT_GT(T.dcache().accesses(), DAccessesBefore); // Table load is data.
+}
+
+TEST_F(IbtcHandlerTest, StatsSummaryMentionsConfig) {
+  Opts.IbtcEntries = 512;
+  IbtcHandler H(Opts);
+  EXPECT_NE(H.statsSummary().find("512"), std::string::npos);
+  EXPECT_NE(H.statsSummary().find("shared"), std::string::npos);
+}
+
+// --- SieveHandler -----------------------------------------------------------
+
+TEST_F(SieveHandlerTest, MissRecordHit) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  LookupOutcome O = H.lookup(S, 0x2000, nullptr);
+  EXPECT_TRUE(O.Hit);
+  EXPECT_EQ(O.HostEntryAddr, 0x40000100u);
+  EXPECT_EQ(H.stubCount(), 1u);
+}
+
+TEST_F(SieveHandlerTest, StructureSharedAcrossSites) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S1 = addSite(H), S2 = addSite(H);
+  H.record(S1, 0x2000, 0x40000100, nullptr);
+  EXPECT_TRUE(H.lookup(S2, 0x2000, nullptr).Hit);
+}
+
+TEST_F(SieveHandlerTest, DuplicateTargetsGetOneStub) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  EXPECT_EQ(H.stubCount(), 1u);
+}
+
+TEST_F(SieveHandlerTest, ChainsGrowOnBucketCollisions) {
+  Opts.SieveBuckets = 1; // Everything chains in one bucket.
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x2004, 0x40000200, nullptr);
+  H.record(S, 0x2008, 0x40000300, nullptr);
+  EXPECT_EQ(H.stubCount(), 3u);
+  // The third target sits at chain position 3.
+  EXPECT_TRUE(H.lookup(S, 0x2008, nullptr).Hit);
+  EXPECT_GE(H.chainLengthHistogram().mean(), 3.0);
+}
+
+TEST_F(SieveHandlerTest, StubsLiveInFragmentCache) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  uint32_t Before = Cache.usedBytes();
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  EXPECT_GT(Cache.usedBytes(), Before); // Stub allocated in code space.
+}
+
+TEST_F(SieveHandlerTest, LookupChargesInstructionCache) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  arch::TimingModel T(arch::simpleModel());
+  uint64_t IBefore = T.icache().accesses();
+  uint64_t DBefore = T.dcache().accesses();
+  H.lookup(S, 0x2000, &T);
+  EXPECT_GT(T.icache().accesses(), IBefore); // Stub walk is code.
+  EXPECT_EQ(T.dcache().accesses(), DBefore); // No data-table loads.
+}
+
+TEST_F(SieveHandlerTest, FlushClearsChains) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.flush();
+  H.initialize(Cache);
+  uint32_t S2 = addSite(H);
+  EXPECT_FALSE(H.lookup(S2, 0x2000, nullptr).Hit);
+  EXPECT_EQ(H.stubCount(), 0u);
+}
+
+// --- ReturnCacheHandler -----------------------------------------------------
+
+TEST_F(ReturnCacheHandlerTest, MissRecordHit) {
+  ReturnCacheHandler H(Opts);
+  uint32_t S = addSite(H, IBClass::Return);
+  EXPECT_FALSE(H.lookup(S, 0x2004, nullptr).Hit);
+  H.record(S, 0x2004, 0x40000100, nullptr);
+  EXPECT_TRUE(H.lookup(S, 0x2004, nullptr).Hit);
+}
+
+TEST_F(ReturnCacheHandlerTest, DirectMappedOverwrite) {
+  Opts.ReturnCacheEntries = 1;
+  ReturnCacheHandler H(Opts);
+  uint32_t S = addSite(H, IBClass::Return);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x3000, 0x40000200, nullptr);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit);
+  EXPECT_TRUE(H.lookup(S, 0x3000, nullptr).Hit);
+}
+
+TEST_F(ReturnCacheHandlerTest, NoFlagSaveCharged) {
+  arch::MachineModel Model = arch::simpleModel();
+  Model.FlagSaveFullCost = 1000;
+  Model.FlagSaveLightCost = 1000; // Any flag save would be visible.
+  Opts.FullFlagSave = true;
+  ReturnCacheHandler H(Opts);
+  uint32_t S = addSite(H, IBClass::Return);
+  H.record(S, 0x2004, 0x40000100, nullptr);
+  arch::TimingModel T(Model);
+  H.lookup(S, 0x2004, &T);
+  EXPECT_LT(T.totalCycles(), 1000u);
+}
+
+// --- InlineCacheHandler -----------------------------------------------------
+
+TEST_F(InlineCacheHandlerTest, InlineEntryServesRepeatTargets) {
+  Opts.InlineCacheDepth = 2;
+  InlineCacheHandler H(Opts, std::make_unique<IbtcHandler>(
+                                 Opts, /*ChargeFlagSave=*/false));
+  uint32_t S = addSite(H);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  LookupOutcome O = H.lookup(S, 0x2000, nullptr);
+  EXPECT_TRUE(O.Hit);
+  EXPECT_EQ(H.inlineHits(), 1u);
+  EXPECT_EQ(H.backing().lookups(), 1u); // Only the first miss fell through.
+}
+
+TEST_F(InlineCacheHandlerTest, OverflowGoesToBacking) {
+  Opts.InlineCacheDepth = 1;
+  InlineCacheHandler H(Opts, std::make_unique<IbtcHandler>(
+                                 Opts, /*ChargeFlagSave=*/false));
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr); // Fills the inline slot.
+  H.lookup(S, 0x3000, nullptr);             // Miss everywhere.
+  H.record(S, 0x3000, 0x40000200, nullptr); // Goes to the IBTC.
+  LookupOutcome O = H.lookup(S, 0x3000, nullptr);
+  EXPECT_TRUE(O.Hit);
+  EXPECT_EQ(O.HostEntryAddr, 0x40000200u);
+  EXPECT_EQ(H.inlineHits(), 0u);
+  // Inline entry still serves its own target.
+  EXPECT_TRUE(H.lookup(S, 0x2000, nullptr).Hit);
+  EXPECT_EQ(H.inlineHits(), 1u);
+}
+
+TEST_F(InlineCacheHandlerTest, PerSiteIsolation) {
+  Opts.InlineCacheDepth = 1;
+  Opts.IbtcShared = false;
+  InlineCacheHandler H(Opts, std::make_unique<IbtcHandler>(
+                                 Opts, /*ChargeFlagSave=*/false));
+  uint32_t S1 = addSite(H), S2 = addSite(H);
+  H.record(S1, 0x2000, 0x40000100, nullptr);
+  EXPECT_TRUE(H.lookup(S1, 0x2000, nullptr).Hit);
+  EXPECT_FALSE(H.lookup(S2, 0x2000, nullptr).Hit);
+}
+
+TEST_F(InlineCacheHandlerTest, FlushClearsInlineEntries) {
+  Opts.InlineCacheDepth = 2;
+  InlineCacheHandler H(Opts, std::make_unique<IbtcHandler>(
+                                 Opts, /*ChargeFlagSave=*/false));
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.flush();
+  uint32_t S2 = addSite(H);
+  EXPECT_FALSE(H.lookup(S2, 0x2000, nullptr).Hit);
+}
+
+TEST_F(InlineCacheHandlerTest, StatsSummaryIncludesBacking) {
+  Opts.InlineCacheDepth = 1;
+  InlineCacheHandler H(Opts, std::make_unique<IbtcHandler>(
+                                 Opts, /*ChargeFlagSave=*/false));
+  std::string Summary = H.statsSummary();
+  EXPECT_NE(Summary.find("inline-cache"), std::string::npos);
+  EXPECT_NE(Summary.find("ibtc"), std::string::npos);
+}

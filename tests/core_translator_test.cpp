@@ -1,0 +1,232 @@
+//===- tests/core_translator_test.cpp - Translator structure -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// White-box tests of fragment and trace formation: the exact host-op
+// sequences the translator emits for each guest CTI kind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/Assembler.h"
+#include "core/DispatcherHandler.h"
+#include "core/Translator.h"
+#include "vm/GuestMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::isa;
+
+namespace {
+
+/// Assembles \p Src, loads it, and exposes a ready Translator.
+struct TranslatorFixture : public ::testing::Test {
+  void build(const char *Src, SdtOptions TheOpts = {}) {
+    Expected<Program> P = assembler::assemble(Src);
+    ASSERT_TRUE(static_cast<bool>(P)) << P.error().message();
+    Prog = std::make_unique<Program>(std::move(*P));
+    Memory = std::make_unique<vm::GuestMemory>();
+    ASSERT_TRUE(Memory->loadProgram(*Prog));
+    Decoder = std::make_unique<vm::DecodeCache>(
+        *Memory, Prog->loadAddress(),
+        static_cast<uint32_t>(Prog->image().size()) & ~3u);
+    Opts = TheOpts;
+    Cache = std::make_unique<FragmentCache>(Opts.FragmentCacheBytes);
+    Handler = std::make_unique<DispatcherHandler>();
+    Xlate = std::make_unique<Translator>(*Decoder, *Cache, Opts);
+    Xlate->setHandlers(Handler.get(), Handler.get());
+  }
+
+  const Fragment &translateAt(uint32_t Pc) {
+    Expected<HostLoc> Loc = Xlate->translate(Pc, nullptr, Stats);
+    EXPECT_TRUE(static_cast<bool>(Loc))
+        << (Loc ? "" : Loc.error().message());
+    return Cache->fragment(Loc->Frag);
+  }
+
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<vm::GuestMemory> Memory;
+  std::unique_ptr<vm::DecodeCache> Decoder;
+  std::unique_ptr<FragmentCache> Cache;
+  std::unique_ptr<DispatcherHandler> Handler;
+  std::unique_ptr<Translator> Xlate;
+  SdtOptions Opts;
+  SdtStats Stats;
+};
+
+std::vector<HostOpKind> kindsOf(const Fragment &F) {
+  std::vector<HostOpKind> Kinds;
+  for (const HostInstr &HI : F.Code)
+    Kinds.push_back(HI.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST_F(TranslatorFixture, StraightLineEndsAtHalt) {
+  build("main:\n nop\n nop\n halt\n");
+  const Fragment &F = translateAt(0x1000);
+  EXPECT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::Guest,
+                                                 HostOpKind::Guest,
+                                                 HostOpKind::HaltOp}));
+  EXPECT_EQ(Stats.GuestInstrsTranslated, 3u);
+  // Host addresses are contiguous and monotonically increasing.
+  EXPECT_EQ(F.Code[0].HostAddr, F.HostEntryAddr);
+  EXPECT_EQ(F.Code[1].HostAddr, F.HostEntryAddr + 4);
+}
+
+TEST_F(TranslatorFixture, CondBranchEmitsTwoStubs) {
+  build("main:\n beq t0, t1, main\n halt\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::CondBranch,
+                                                 HostOpKind::ExitStub,
+                                                 HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[1].TargetGuest, 0x1004u); // Fall-through first.
+  EXPECT_EQ(F.Code[2].TargetGuest, 0x1000u); // Taken second.
+  EXPECT_FALSE(F.Code[1].CountsAsGuest);
+  EXPECT_TRUE(F.Code[0].CountsAsGuest);
+}
+
+TEST_F(TranslatorFixture, DirectJumpIsCountingStub) {
+  build("main:\n j main\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::ExitStub}));
+  EXPECT_TRUE(F.Code[0].CountsAsGuest);
+  EXPECT_EQ(F.Code[0].TargetGuest, 0x1000u);
+}
+
+TEST_F(TranslatorFixture, DirectCallSetsLinkThenExits) {
+  build("main:\n jal f\nf: halt\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::SetLink,
+                                                 HostOpKind::ExitStub}));
+  EXPECT_TRUE(F.Code[0].CountsAsGuest);
+  EXPECT_EQ(F.Code[0].TargetGuest, 0x1004u); // Return address.
+  EXPECT_EQ(F.Code[0].GuestI.Rd, unsigned(RegRA));
+  EXPECT_FALSE(F.Code[1].CountsAsGuest);
+  EXPECT_EQ(F.Code[1].TargetGuest, 0x1004u); // Callee.
+}
+
+TEST_F(TranslatorFixture, IndirectCallSetsLinkThenLooksUp) {
+  build("main:\n jalr t2\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::SetLink,
+                                                 HostOpKind::IBLookup}));
+  EXPECT_FALSE(F.Code[0].CountsAsGuest); // The IBLookup retires the jalr.
+  EXPECT_TRUE(F.Code[1].CountsAsGuest);
+  EXPECT_EQ(F.Code[1].SiteClass, IBClass::Call);
+  EXPECT_EQ(F.Code[1].GuestI.Rs1, 10u); // t2.
+  ASSERT_EQ(Xlate->sites().size(), 1u);
+  EXPECT_EQ(Xlate->sites()[0].Class, IBClass::Call);
+}
+
+TEST_F(TranslatorFixture, ReturnIsReturnClassSite) {
+  build("main:\n ret\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::IBLookup}));
+  EXPECT_EQ(F.Code[0].SiteClass, IBClass::Return);
+  EXPECT_EQ(F.Code[0].GuestI.Rs1, unsigned(RegRA));
+}
+
+TEST_F(TranslatorFixture, SyscallEndsFragmentWithContinuation) {
+  build("main:\n syscall\n halt\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::SyscallOp,
+                                                 HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[1].TargetGuest, 0x1004u);
+}
+
+TEST_F(TranslatorFixture, FragmentBudgetSplits) {
+  SdtOptions O;
+  O.MaxFragmentInstrs = 2;
+  build("main:\n nop\n nop\n nop\n halt\n", O);
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::Guest,
+                                                 HostOpKind::Guest,
+                                                 HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[2].TargetGuest, 0x1008u);
+}
+
+TEST_F(TranslatorFixture, InvalidEntryFails) {
+  build("main: .word 0xFC000000\n");
+  Expected<HostLoc> Loc = Xlate->translate(0x1000, nullptr, Stats);
+  EXPECT_FALSE(static_cast<bool>(Loc));
+}
+
+TEST_F(TranslatorFixture, InvalidMidFragmentStops) {
+  build("main:\n nop\ndata: .word 0xFC000000\n");
+  const Fragment &F = translateAt(0x1000);
+  ASSERT_EQ(kindsOf(F), (std::vector<HostOpKind>{HostOpKind::Guest,
+                                                 HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[1].TargetGuest, 0x1004u);
+}
+
+TEST_F(TranslatorFixture, TranslationChargesTranslateCategory) {
+  build("main:\n nop\n halt\n");
+  arch::TimingModel Timing(arch::simpleModel());
+  Expected<HostLoc> Loc = Xlate->translate(0x1000, &Timing, Stats);
+  ASSERT_TRUE(static_cast<bool>(Loc));
+  EXPECT_EQ(Timing.cycles(arch::CycleCategory::Translate),
+            2u * arch::simpleModel().TranslateCostPerInstr);
+  EXPECT_EQ(Timing.cycles(arch::CycleCategory::App), 0u);
+}
+
+// --- Trace building -------------------------------------------------------
+
+TEST_F(TranslatorFixture, TraceLinearisesLoopBody) {
+  // loop: addi; j mid / mid: addi; bnez back to loop.
+  build(R"(
+main:
+loop:
+    addi t1, t1, 1
+    j    mid
+mid:
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+)");
+  translateAt(0x1000); // Head must exist before tracing.
+  // Recorded path: j (cti 1), bnez taken (cti 2), lands back on head.
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {true}, 2, Translator::TraceEnd::CtiBudget, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{
+                HostOpKind::Guest,        // addi t1
+                HostOpKind::Elided,       // j mid (linearised away)
+                HostOpKind::Guest,        // addi t0
+                HostOpKind::TraceBranch,  // bnez (on-trace = taken)
+                HostOpKind::ExitStub,     // off-trace: fall-through exit
+                HostOpKind::ExitStub}));  // loop-close stub to head
+  EXPECT_TRUE(F.Code[3].OnTraceTaken);
+  EXPECT_EQ(F.Code[4].TargetGuest, 0x1010u); // Off-trace fall-through.
+  EXPECT_EQ(F.Code[5].TargetGuest, 0x1000u); // Back to head (self-link).
+  EXPECT_EQ(Stats.TracesBuilt, 1u);
+  // The guest map now points at the trace.
+  EXPECT_EQ(Cache->lookup(0x1000), *Trace);
+}
+
+TEST_F(TranslatorFixture, TraceEndsAtReturn) {
+  build(R"(
+main:
+    jal f
+    halt
+f:
+    addi v0, a0, 1
+    ret
+)");
+  translateAt(0x1000);
+  // Path: jal (cti 1) → f body → ret ends the trace.
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {}, 1, Translator::TraceEnd::AtIB, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::SetLink, // jal, inlined
+                                     HostOpKind::Guest,   // addi v0
+                                     HostOpKind::IBLookup})); // ret
+  EXPECT_TRUE(F.Code[0].CountsAsGuest);
+  EXPECT_EQ(F.Code[2].SiteClass, IBClass::Return);
+}

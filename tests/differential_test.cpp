@@ -1,0 +1,250 @@
+//===- tests/differential_test.cpp - VM vs SDT property tests ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The core correctness property of any SDT: translated execution is
+// observably identical to native execution. Random programs (seeded,
+// terminating by construction) sweep every mechanism configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtEngine.h"
+#include "vm/GuestVM.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+using namespace sdt::workloads;
+
+namespace {
+
+/// One named SDT configuration for the sweep.
+struct ConfigCase {
+  const char *Name;
+  SdtOptions Opts;
+};
+
+std::vector<ConfigCase> allConfigs() {
+  std::vector<ConfigCase> Cases;
+
+  auto add = [&Cases](const char *Name, auto Mutate) {
+    SdtOptions O;
+    Mutate(O);
+    Cases.push_back({Name, O});
+  };
+
+  add("dispatcher",
+      [](SdtOptions &O) { O.Mechanism = IBMechanism::Dispatcher; });
+  add("ibtc_shared", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcShared = true;
+  });
+  add("ibtc_private", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcShared = false;
+    O.IbtcEntries = 64;
+  });
+  add("ibtc_tiny_table", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcEntries = 2; // Constant conflict pressure.
+  });
+  add("ibtc_adaptive", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcEntries = 4;
+    O.IbtcAdaptive = true;
+  });
+  add("ibtc_4way", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcEntries = 16;
+    O.IbtcAssociativity = 4;
+  });
+  add("ibtc_fullflags", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.FullFlagSave = true;
+  });
+  add("ibtc_xorfold", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcHash = HashKind::XorFold;
+  });
+  add("ibtc_fibonacci", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcHash = HashKind::Fibonacci;
+  });
+  add("sieve", [](SdtOptions &O) { O.Mechanism = IBMechanism::Sieve; });
+  add("mixed_per_class", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.JumpMechanism = IBMechanism::Sieve;
+    O.CallMechanism = IBMechanism::Dispatcher;
+  });
+  add("sieve_tiny", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Sieve;
+    O.SieveBuckets = 2; // Long chains.
+  });
+  add("inline1_ibtc", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.InlineCacheDepth = 1;
+  });
+  add("inline3_sieve", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Sieve;
+    O.InlineCacheDepth = 3;
+  });
+  add("return_cache", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ReturnCache;
+    O.ReturnCacheEntries = 16;
+  });
+  add("fast_returns", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::FastReturn;
+  });
+  add("shadow_stack", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ShadowStack;
+  });
+  add("shadow_stack_tiny", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ShadowStack;
+    O.ShadowStackDepth = 2; // Constant wrap pressure.
+  });
+  add("fast_returns_flushy", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::FastReturn;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  add("nolink", [](SdtOptions &O) { O.LinkFragments = false; });
+  add("traces", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 5; // Trace aggressively.
+    O.MaxTraceBlocks = 8;
+  });
+  add("traces_fastret", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 3;
+    O.Returns = ReturnStrategy::FastReturn;
+  });
+  add("traces_flushy", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 3;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  add("traces_shadow_stack", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 4;
+    O.Returns = ReturnStrategy::ShadowStack;
+    O.ShadowStackDepth = 4; // Wrap pressure under traces.
+  });
+  add("instrumented", [](SdtOptions &O) {
+    O.InstrumentBlockCounts = true;
+    O.Returns = ReturnStrategy::FastReturn;
+  });
+  add("flushy_small_fragments", [](SdtOptions &O) {
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 4;
+  });
+  return Cases;
+}
+
+struct DiffParam {
+  ConfigCase Config;
+  uint64_t Seed;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DiffParam> {};
+
+} // namespace
+
+TEST_P(DifferentialTest, TranslatedExecutionIsTransparent) {
+  const DiffParam &P = GetParam();
+  Expected<isa::Program> Program = generateRandomProgram(P.Seed);
+  ASSERT_TRUE(static_cast<bool>(Program));
+
+  ExecOptions Exec;
+  Exec.MaxInstructions = 5000000;
+
+  auto VM = GuestVM::create(*Program, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally())
+      << "random program should terminate: " << Native.FaultMessage;
+
+  auto Engine = SdtEngine::create(*Program, P.Config.Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+
+  EXPECT_EQ(Native.Reason, Translated.Reason)
+      << Translated.FaultMessage;
+  EXPECT_EQ(Native.ExitCode, Translated.ExitCode);
+  EXPECT_EQ(Native.Output, Translated.Output);
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+}
+
+static std::vector<DiffParam> makeParams() {
+  std::vector<DiffParam> Params;
+  for (const ConfigCase &C : allConfigs())
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+      Params.push_back({C, Seed});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, DifferentialTest, ::testing::ValuesIn(makeParams()),
+    [](const ::testing::TestParamInfo<DiffParam> &Info) {
+      return std::string(Info.param.Config.Name) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+// Larger, deeper programs on a smaller config subset.
+class DeepDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeepDifferentialTest, BigProgramsStayTransparent) {
+  RandomProgramOptions RpOpts;
+  RpOpts.NumFunctions = 10;
+  RpOpts.ItemsPerFunction = 10;
+  RpOpts.MainIterations = 5;
+  Expected<isa::Program> Program =
+      generateRandomProgram(GetParam(), RpOpts);
+  ASSERT_TRUE(static_cast<bool>(Program));
+
+  ExecOptions Exec;
+  Exec.MaxInstructions = 20000000;
+  auto VM = GuestVM::create(*Program, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::FastReturn;
+  Opts.InlineCacheDepth = 1;
+  auto Engine = SdtEngine::create(*Program, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  EXPECT_EQ(Native.Reason, Translated.Reason) << Translated.FaultMessage;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepDifferentialTest,
+                         ::testing::Range<uint64_t>(100, 112));
+
+// Random programs must be bit-identical across generator invocations.
+TEST(RandomProgramTest, GenerationDeterministic) {
+  EXPECT_EQ(generateRandomAssembly(42), generateRandomAssembly(42));
+  EXPECT_NE(generateRandomAssembly(42), generateRandomAssembly(43));
+}
+
+TEST(RandomProgramTest, FeatureTogglesRespected) {
+  RandomProgramOptions NoInd;
+  NoInd.AllowIndirectCalls = false;
+  NoInd.AllowIndirectJumps = false;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Expected<isa::Program> P = generateRandomProgram(Seed, NoInd);
+    ASSERT_TRUE(static_cast<bool>(P));
+    auto VM = GuestVM::create(*P, ExecOptions());
+    ASSERT_TRUE(static_cast<bool>(VM));
+    RunResult R = (*VM)->run();
+    EXPECT_TRUE(R.finishedNormally());
+    EXPECT_EQ(R.Cti.IndirectCalls, 0u);
+    EXPECT_EQ(R.Cti.IndirectJumps, 0u);
+  }
+}

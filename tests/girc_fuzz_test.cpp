@@ -1,0 +1,118 @@
+//===- tests/girc_fuzz_test.cpp - MinC compiler fuzzing ----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Differential fuzzing of the girc compiler: randomly generated MinC
+// programs must produce identical observable behaviour across every
+// compiler configuration (optimiser on/off × register allocation
+// on/off) and under the SDT — any divergence is a miscompile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtEngine.h"
+#include "girc/Compiler.h"
+#include "girc/RandomMinc.h"
+#include "vm/GuestVM.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+namespace {
+
+vm::RunResult runProgram(const isa::Program &P) {
+  vm::ExecOptions Exec;
+  Exec.MaxInstructions = 20000000;
+  auto VM = vm::GuestVM::create(P, Exec);
+  EXPECT_TRUE(static_cast<bool>(VM));
+  return (*VM)->run();
+}
+
+class MincFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST(RandomMincTest, GenerationDeterministic) {
+  EXPECT_EQ(generateRandomMinc(7), generateRandomMinc(7));
+  EXPECT_NE(generateRandomMinc(7), generateRandomMinc(8));
+}
+
+TEST_P(MincFuzzTest, AllCompilerConfigsAgree) {
+  std::string Source = generateRandomMinc(GetParam());
+
+  vm::RunResult Reference;
+  bool First = true;
+  for (bool Optimize : {false, true}) {
+    for (bool RegAlloc : {false, true}) {
+      CompileOptions Opts;
+      Opts.Optimize = Optimize;
+      Opts.RegisterAllocate = RegAlloc;
+      Expected<isa::Program> P = compile(Source, Opts);
+      ASSERT_TRUE(static_cast<bool>(P))
+          << P.error().message() << "\n"
+          << Source;
+      vm::RunResult R = runProgram(*P);
+      ASSERT_TRUE(R.finishedNormally())
+          << R.FaultMessage << "\n(opt=" << Optimize
+          << " regalloc=" << RegAlloc << ")\n"
+          << Source;
+      if (First) {
+        Reference = R;
+        First = false;
+        continue;
+      }
+      EXPECT_EQ(R.Output, Reference.Output)
+          << "(opt=" << Optimize << " regalloc=" << RegAlloc << ")";
+      EXPECT_EQ(R.Checksum, Reference.Checksum)
+          << "(opt=" << Optimize << " regalloc=" << RegAlloc << ")";
+      EXPECT_EQ(R.ExitCode, Reference.ExitCode);
+    }
+  }
+}
+
+TEST_P(MincFuzzTest, TranslatedExecutionMatches) {
+  std::string Source = generateRandomMinc(GetParam());
+  Expected<isa::Program> P = compile(Source);
+  ASSERT_TRUE(static_cast<bool>(P));
+  vm::RunResult Native = runProgram(*P);
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  core::SdtOptions Opts;
+  Opts.Returns = core::ReturnStrategy::FastReturn;
+  Opts.EnableTraces = true;
+  Opts.TraceHotThreshold = 5;
+  vm::ExecOptions Exec;
+  Exec.MaxInstructions = 20000000;
+  auto Engine = core::SdtEngine::create(*P, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  vm::RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Native.Output, Translated.Output);
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MincFuzzTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(MincFuzzTest, BiggerProgramsStillAgree) {
+  RandomMincOptions Big;
+  Big.NumFunctions = 9;
+  Big.StmtsPerFunction = 10;
+  Big.MaxExprDepth = 4;
+  for (uint64_t Seed = 100; Seed != 106; ++Seed) {
+    std::string Source = generateRandomMinc(Seed, Big);
+    CompileOptions NoOpt;
+    NoOpt.Optimize = false;
+    NoOpt.RegisterAllocate = false;
+    Expected<isa::Program> P1 = compile(Source, NoOpt);
+    Expected<isa::Program> P2 = compile(Source);
+    ASSERT_TRUE(static_cast<bool>(P1)) << P1.error().message();
+    ASSERT_TRUE(static_cast<bool>(P2)) << P2.error().message();
+    vm::RunResult R1 = runProgram(*P1);
+    vm::RunResult R2 = runProgram(*P2);
+    ASSERT_TRUE(R1.finishedNormally()) << R1.FaultMessage;
+    EXPECT_EQ(R1.Checksum, R2.Checksum) << "seed " << Seed;
+    EXPECT_EQ(R1.Output, R2.Output) << "seed " << Seed;
+  }
+}

@@ -1,0 +1,642 @@
+//===- tests/girc_test.cpp - MinC compiler tests -----------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Timing.h"
+#include "core/SdtEngine.h"
+#include "girc/Compiler.h"
+#include "girc/Lexer.h"
+#include "girc/Parser.h"
+#include "girc/Sema.h"
+#include "vm/GuestVM.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::girc;
+
+namespace {
+
+/// Compiles and runs MinC source natively; returns the run result.
+vm::RunResult runMinc(std::string_view Source) {
+  Expected<isa::Program> P = compile(Source);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  vm::ExecOptions Exec;
+  Exec.MaxInstructions = 50000000;
+  auto VM = vm::GuestVM::create(*P, Exec);
+  EXPECT_TRUE(static_cast<bool>(VM));
+  return (*VM)->run();
+}
+
+std::string compileError(std::string_view Source) {
+  Expected<isa::Program> P = compile(Source);
+  EXPECT_FALSE(static_cast<bool>(P)) << "expected compilation to fail";
+  return P ? "" : P.error().message();
+}
+
+} // namespace
+
+// --- Lexer --------------------------------------------------------------
+
+TEST(GircLexerTest, TokenisesOperatorsAndKeywords) {
+  auto Tokens = lex("func f() { return 1 <= 2 && 3 != 4; } // tail");
+  ASSERT_TRUE(static_cast<bool>(Tokens));
+  std::vector<TokKind> Kinds;
+  for (const Token &T : *Tokens)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::KwFunc, TokKind::Ident, TokKind::LParen,
+                       TokKind::RParen, TokKind::LBrace, TokKind::KwReturn,
+                       TokKind::Number, TokKind::Le, TokKind::Number,
+                       TokKind::AmpAmp, TokKind::Number, TokKind::NotEq,
+                       TokKind::Number, TokKind::Semi, TokKind::RBrace,
+                       TokKind::Eof}));
+}
+
+TEST(GircLexerTest, HexNumbersAndLines) {
+  auto Tokens = lex("1\n0xff\n");
+  ASSERT_TRUE(static_cast<bool>(Tokens));
+  EXPECT_EQ((*Tokens)[0].Value, 1);
+  EXPECT_EQ((*Tokens)[1].Value, 255);
+  EXPECT_EQ((*Tokens)[1].Line, 2u);
+}
+
+TEST(GircLexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(static_cast<bool>(lex("func f() { @ }")));
+  EXPECT_FALSE(static_cast<bool>(lex("12abz_")));
+}
+
+// --- Parser -----------------------------------------------------------
+
+TEST(GircParserTest, ModuleStructure) {
+  Expected<Module> M = parse(R"(
+    var g;
+    array data[16];
+    func helper(a, b) { return a + b; }
+    func main() { return 0; }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << M.error().message();
+  ASSERT_EQ(M->Globals.size(), 2u);
+  EXPECT_FALSE(M->Globals[0].IsArray);
+  EXPECT_TRUE(M->Globals[1].IsArray);
+  EXPECT_EQ(M->Globals[1].ArraySize, 16u);
+  ASSERT_EQ(M->Funcs.size(), 2u);
+  EXPECT_EQ(M->Funcs[0].Params,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(GircParserTest, SyntaxErrorsNameLines) {
+  Expected<Module> M = parse("func main() {\n  return 1 +;\n}\n");
+  ASSERT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(M.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(GircParserTest, RejectsTopLevelStatements) {
+  EXPECT_FALSE(static_cast<bool>(parse("x = 1;")));
+}
+
+// --- Sema diagnostics ----------------------------------------------------
+
+TEST(GircSemaTest, Diagnostics) {
+  EXPECT_NE(compileError("func main() { return x; }").find("undeclared"),
+            std::string::npos);
+  EXPECT_NE(compileError("func main() { var a; var a; }")
+                .find("duplicate local"),
+            std::string::npos);
+  EXPECT_NE(compileError("func f(a) { return a; } "
+                         "func main() { return f(1, 2); }")
+                .find("expects 1"),
+            std::string::npos);
+  EXPECT_NE(compileError("var g; func main() { return g[0]; }")
+                .find("not an array"),
+            std::string::npos);
+  EXPECT_NE(compileError("func f() { return 0; } "
+                         "func main() { f = 3; return 0; }")
+                .find("cannot assign to function"),
+            std::string::npos);
+  EXPECT_NE(compileError("func main() { break; }").find("outside"),
+            std::string::npos);
+  EXPECT_NE(compileError("func f() { return 0; }").find("main"),
+            std::string::npos);
+  EXPECT_NE(compileError("func print(x) { return x; } "
+                         "func main() { return 0; }")
+                .find("builtin"),
+            std::string::npos);
+  EXPECT_NE(compileError("func f(a, b, c, d, e) { return 0; } "
+                         "func main() { return 0; }")
+                .find("parameters"),
+            std::string::npos);
+  EXPECT_NE(compileError("func main() { var main; return 0; }")
+                .find("shadows"),
+            std::string::npos);
+}
+
+// --- End-to-end execution --------------------------------------------------
+
+TEST(GircRunTest, ArithmeticAndPrecedence) {
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      print(2 + 3 * 4);          // 14
+      print((2 + 3) * 4);        // 20
+      print(10 - 2 - 3);         // 5 (left assoc)
+      print(7 / 2);              // 3
+      print(7 % 3);              // 1
+      print(1 << 5);             // 32
+      print(256 >> 4);           // 16
+      print(6 & 3);              // 2
+      print(6 | 1);              // 7
+      print(6 ^ 3);              // 5
+      print(-5);                 // -5
+      print(!0);                 // 1
+      print(!7);                 // 0
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Reason, vm::ExitReason::Exited);
+  EXPECT_EQ(R.Output, "14\n20\n5\n3\n1\n32\n16\n2\n7\n5\n-5\n1\n0\n");
+}
+
+TEST(GircRunTest, Comparisons) {
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      print(3 < 5);  print(5 < 3);   // 1 0
+      print(3 <= 3); print(4 <= 3);  // 1 0
+      print(5 > 3);  print(3 > 5);   // 1 0
+      print(3 >= 3); print(2 >= 3);  // 1 0
+      print(4 == 4); print(4 == 5);  // 1 0
+      print(4 != 5); print(4 != 4);  // 1 0
+      print(-1 < 1);                 // signed compare: 1
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "1\n0\n1\n0\n1\n0\n1\n0\n1\n0\n1\n0\n1\n");
+}
+
+TEST(GircRunTest, ShortCircuitSkipsSideEffects) {
+  vm::RunResult R = runMinc(R"(
+    func noisy() { print(999); return 1; }
+    func main() {
+      print(0 && noisy());  // 0, noisy not called
+      print(1 || noisy());  // 1, noisy not called
+      print(1 && noisy());  // calls noisy: prints 999 then 1
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "0\n1\n999\n1\n");
+}
+
+TEST(GircRunTest, ControlFlow) {
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      var i = 0;
+      var sum = 0;
+      while (i < 10) {
+        i = i + 1;
+        if (i == 3) { continue; }
+        if (i == 8) { break; }
+        sum = sum + i;
+      }
+      print(sum);   // 1+2+4+5+6+7 = 25
+      if (sum > 20) { print(1); } else { print(2); }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "25\n1\n");
+}
+
+TEST(GircRunTest, RecursionFibonacci) {
+  vm::RunResult R = runMinc(R"(
+    func fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    func main() {
+      print(fib(10));
+      return fib(7);
+    }
+  )");
+  EXPECT_EQ(R.Output, "55\n");
+  EXPECT_EQ(R.ExitCode, 13);
+  EXPECT_GT(R.Cti.Returns, 100u); // Recursion produces real returns.
+}
+
+TEST(GircRunTest, GlobalsAndArrays) {
+  vm::RunResult R = runMinc(R"(
+    var count;
+    array squares[10];
+    func fill() {
+      var i = 0;
+      while (i < 10) {
+        squares[i] = i * i;
+        count = count + 1;
+        i = i + 1;
+      }
+      return 0;
+    }
+    func main() {
+      fill();
+      print(squares[7]);  // 49
+      print(count);       // 10
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "49\n10\n");
+}
+
+TEST(GircRunTest, FunctionPointerDispatch) {
+  vm::RunResult R = runMinc(R"(
+    func double_it(x) { return x * 2; }
+    func square_it(x) { return x * x; }
+    array ops[2];
+    func main() {
+      ops[0] = double_it;
+      ops[1] = square_it;
+      var i = 0;
+      var fp;
+      while (i < 6) {
+        fp = ops[i % 2];
+        print(fp(i + 1));   // indirect call through a variable
+        i = i + 1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "2\n4\n6\n16\n10\n36\n");
+  EXPECT_EQ(R.Cti.IndirectCalls, 6u); // The jalr sites are real.
+}
+
+TEST(GircRunTest, BuiltinsPutcAndChecksum) {
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      putc(72); putc(105);   // "Hi"
+      checksum(42);
+      checksum(43);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "Hi");
+  vm::RunResult R2 = runMinc(
+      "func main() { putc(72); putc(105); checksum(42); checksum(44); "
+      "return 0; }");
+  EXPECT_NE(R.Checksum, R2.Checksum);
+}
+
+TEST(GircRunTest, SieveOfEratosthenes) {
+  vm::RunResult R = runMinc(R"(
+    array sieve[100];
+    func main() {
+      var i = 2;
+      while (i < 100) { sieve[i] = 1; i = i + 1; }
+      i = 2;
+      while (i * i < 100) {
+        if (sieve[i]) {
+          var j = i * i;
+          while (j < 100) { sieve[j] = 0; j = j + i; }
+        }
+        i = i + 1;
+      }
+      var count = 0;
+      i = 2;
+      while (i < 100) { count = count + sieve[i]; i = i + 1; }
+      print(count);   // 25 primes below 100
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "25\n");
+}
+
+TEST(GircRunTest, DeepExpressionsBalanceTheStack) {
+  vm::RunResult R = runMinc(R"(
+    func f(a, b, c, d) { return a + b * c - d; }
+    func main() {
+      print(f(1 + 2, 3 * 4, f(1, 2, 3, 4), 5) + f(6, 7, 8, 9) * 2);
+      return 0;
+    }
+  )");
+  // f(3,12,f(1,2,3,4)=3,5) = 3+36-5 = 34; f(6,7,8,9) = 6+56-9 = 53.
+  EXPECT_EQ(R.Output, "140\n");
+}
+
+TEST(GircRunTest, SwitchDenseLowersToJumpTable) {
+  vm::RunResult R = runMinc(R"(
+    func classify(x) {
+      switch (x) {
+        case 0: return 100;
+        case 1: return 101;
+        case 2:
+        case 3: return 123;    // fall-through shares a body
+        case 5: return 105;
+        default: return 99;
+      }
+    }
+    func main() {
+      var i = 0;
+      while (i < 8) { print(classify(i)); i = i + 1; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "100\n101\n123\n123\n99\n105\n99\n99\n");
+  // Dense range [0..5] lowers to a jump table: real indirect jumps.
+  EXPECT_GT(R.Cti.IndirectJumps, 0u);
+}
+
+TEST(GircRunTest, SwitchSparseLowersToCompareChain) {
+  vm::RunResult R = runMinc(R"(
+    func f(x) {
+      switch (x) {
+        case 10: return 1;
+        case 10000: return 2;
+        case -10000: return 3;
+        default: return 0;
+      }
+    }
+    func main() {
+      print(f(10)); print(f(10000)); print(f(-10000)); print(f(7));
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "1\n2\n3\n0\n");
+  // Sparse values: no jump table, hence no indirect jumps.
+  EXPECT_EQ(R.Cti.IndirectJumps, 0u);
+}
+
+TEST(GircRunTest, SwitchFallThroughAndBreak) {
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      var x = 1;
+      switch (x) {
+        case 0: print(0);
+        case 1: print(1);      // entry point: falls through to case 2
+        case 2: print(2); break;
+        case 3: print(3);
+      }
+      switch (9) { case 1: print(111); default: print(42); }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "1\n2\n42\n");
+}
+
+TEST(GircRunTest, SwitchWithoutDefaultSkips) {
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      switch (7) { case 1: print(1); case 2: print(2); }
+      print(77);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "77\n");
+}
+
+TEST(GircSemaTest, SwitchDiagnostics) {
+  EXPECT_NE(compileError("func main() { switch (1) { case 1: case 1: } "
+                         "return 0; }")
+                .find("duplicate case"),
+            std::string::npos);
+  EXPECT_NE(compileError("func main() { switch (1) { default: default: } "
+                         "return 0; }")
+                .find("default"),
+            std::string::npos);
+  EXPECT_NE(compileError("func main() { switch (1) { } return 0; }")
+                .find("no cases"),
+            std::string::npos);
+}
+
+// --- Compiled code under the SDT --------------------------------------------
+
+TEST(GircSdtTest, CompiledProgramsAreTransparent) {
+  const char *Source = R"(
+    func work(x) { return x * 3 + 1; }
+    func twice(x) { return x * 2; }
+    array tab[2];
+    func main() {
+      tab[0] = work;
+      tab[1] = twice;
+      var i = 0;
+      var acc = 0;
+      var fp;
+      while (i < 200) {
+        fp = tab[i & 1];
+        acc = acc + fp(i);
+        i = i + 1;
+      }
+      checksum(acc);
+      print(acc);
+      return 0;
+    }
+  )";
+  Expected<isa::Program> P = compile(Source);
+  ASSERT_TRUE(static_cast<bool>(P));
+  auto VM = vm::GuestVM::create(*P, vm::ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  vm::RunResult Native = (*VM)->run();
+  ASSERT_EQ(Native.Reason, vm::ExitReason::Exited);
+
+  for (core::ReturnStrategy Ret :
+       {core::ReturnStrategy::AsIndirect, core::ReturnStrategy::FastReturn,
+        core::ReturnStrategy::ShadowStack}) {
+    core::SdtOptions Opts;
+    Opts.Returns = Ret;
+    Opts.EnableTraces = Ret == core::ReturnStrategy::FastReturn;
+    Opts.TraceHotThreshold = 10;
+    auto Engine = core::SdtEngine::create(*P, Opts, vm::ExecOptions());
+    ASSERT_TRUE(static_cast<bool>(Engine));
+    vm::RunResult Translated = (*Engine)->run();
+    EXPECT_EQ(Native.Output, Translated.Output);
+    EXPECT_EQ(Native.Checksum, Translated.Checksum);
+    EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  }
+}
+
+// --- Optimiser ------------------------------------------------------------
+
+TEST(GircOptimizerTest, ConstantsFoldToSingleLi) {
+  CompileOptions NoOpt;
+  NoOpt.Optimize = false;
+  Expected<std::string> Plain = compileToAssembly(
+      "func main() { return (2 + 3 * 4) << 2 | 1; }", NoOpt);
+  Expected<std::string> Opt = compileToAssembly(
+      "func main() { return (2 + 3 * 4) << 2 | 1; }");
+  ASSERT_TRUE(static_cast<bool>(Plain));
+  ASSERT_TRUE(static_cast<bool>(Opt));
+  EXPECT_LT(Opt->size(), Plain->size());
+  EXPECT_NE(Opt->find("li v0, 57"), std::string::npos); // 14<<2|1.
+  EXPECT_EQ(Opt->find("mul"), std::string::npos);
+}
+
+TEST(GircOptimizerTest, DeadBranchesEliminated) {
+  Expected<std::string> Opt = compileToAssembly(R"(
+    func main() {
+      if (0) { print(111); }
+      if (1) { print(1); } else { print(222); }
+      while (0) { print(333); }
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Opt));
+  EXPECT_EQ(Opt->find("111"), std::string::npos);
+  EXPECT_EQ(Opt->find("222"), std::string::npos);
+  EXPECT_EQ(Opt->find("333"), std::string::npos);
+  // The live print(1) survives as the function's only syscall pair.
+  EXPECT_NE(Opt->find("li v0, 1"), std::string::npos);
+  EXPECT_NE(Opt->find("syscall"), std::string::npos);
+}
+
+TEST(GircOptimizerTest, SideEffectsNeverDropped) {
+  // f() * 0 must still call f; 1 || f() must not (C semantics).
+  vm::RunResult R = runMinc(R"(
+    func f() { print(7); return 3; }
+    func main() {
+      var x = f() * 0;
+      print(x);
+      print(1 || f());
+      print(0 && f());
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "7\n0\n1\n0\n");
+}
+
+TEST(GircOptimizerTest, SemanticsMatchUnoptimised) {
+  const char *Source = R"(
+    func collatz(n) {
+      var steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+      }
+      return steps;
+    }
+    func main() {
+      var i = 1;
+      while (i < 30 + 0 * 99) {
+        checksum(collatz(i) * 1 + 0);
+        i = i + 1;
+      }
+      return 0;
+    }
+  )";
+  CompileOptions NoOpt;
+  NoOpt.Optimize = false;
+  Expected<isa::Program> P1 = compile(Source, NoOpt);
+  Expected<isa::Program> P2 = compile(Source);
+  ASSERT_TRUE(static_cast<bool>(P1));
+  ASSERT_TRUE(static_cast<bool>(P2));
+  auto V1 = vm::GuestVM::create(*P1, vm::ExecOptions());
+  auto V2 = vm::GuestVM::create(*P2, vm::ExecOptions());
+  vm::RunResult R1 = (*V1)->run();
+  vm::RunResult R2 = (*V2)->run();
+  EXPECT_EQ(R1.Checksum, R2.Checksum);
+  EXPECT_EQ(R1.Reason, R2.Reason);
+  // The optimised build does strictly less work.
+  EXPECT_LT(R2.InstructionCount, R1.InstructionCount);
+}
+
+TEST(GircOptimizerTest, FoldingMatchesVmDivisionSemantics) {
+  // Folded and unfolded division-by-zero must agree with the VM.
+  vm::RunResult R = runMinc(R"(
+    func main() {
+      var z = 0;
+      print(5 / 0);      // folded at compile time
+      print(5 / z);      // computed at run time
+      print(5 % 0);
+      print(5 % z);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Output, "-1\n-1\n5\n5\n");
+}
+
+// --- Register allocation -------------------------------------------------
+
+TEST(GircRegAllocTest, HotLocalsLiveInCalleeSavedRegisters) {
+  Expected<std::string> Asm = compileToAssembly(R"(
+    func main() {
+      var i = 0;
+      var sum = 0;
+      while (i < 100) { sum = sum + i; i = i + 1; }
+      print(sum);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Asm));
+  // The loop variables are promoted: s-registers appear and are saved.
+  EXPECT_NE(Asm->find("move s0"), std::string::npos);
+  EXPECT_NE(Asm->find("sw s0,"), std::string::npos);
+  EXPECT_NE(Asm->find("lw s0,"), std::string::npos);
+}
+
+TEST(GircRegAllocTest, ReducesExecutedCycles) {
+  // Register moves replace frame loads/stores 1:1, so the instruction
+  // count barely changes — the win is cycles (no memory latency).
+  const char *Source = R"(
+    func work(n) {
+      var acc = 0;
+      var i = 0;
+      while (i < n) { acc = acc + i * 3; i = i + 1; }
+      return acc;
+    }
+    func main() {
+      checksum(work(500));
+      return 0;
+    }
+  )";
+  CompileOptions NoRa;
+  NoRa.RegisterAllocate = false;
+  Expected<isa::Program> Slots = compile(Source, NoRa);
+  Expected<isa::Program> Regs = compile(Source);
+  ASSERT_TRUE(static_cast<bool>(Slots));
+  ASSERT_TRUE(static_cast<bool>(Regs));
+
+  auto cyclesOf = [](const isa::Program &P, uint64_t &Checksum) {
+    arch::TimingModel Timing(arch::x86Model());
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto VM = vm::GuestVM::create(P, Exec);
+    vm::RunResult R = (*VM)->run();
+    Checksum = R.Checksum;
+    return Timing.totalCycles();
+  };
+  uint64_t Sum1, Sum2;
+  uint64_t C1 = cyclesOf(*Slots, Sum1);
+  uint64_t C2 = cyclesOf(*Regs, Sum2);
+  EXPECT_EQ(Sum1, Sum2);
+  EXPECT_LT(C2, C1);
+}
+
+TEST(GircRegAllocTest, CalleeSavedRegistersSurviveCalls) {
+  // The caller keeps its loop state in s-registers across calls to a
+  // callee that itself claims s-registers — the save/restore protocol
+  // must preserve both.
+  vm::RunResult R = runMinc(R"(
+    func chew(n) {
+      var a = n; var b = n * 2; var c = n * 3;
+      var k = 0;
+      while (k < 5) { a = a + b + c; k = k + 1; }
+      return a;
+    }
+    func main() {
+      var i = 0;
+      var total = 0;
+      while (i < 10) {
+        total = total + chew(i);
+        i = i + 1;
+      }
+      print(total);   // sum of i*31? chew(n)=n+5*(5n)=26n → 26*45=1170
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.Reason, vm::ExitReason::Exited);
+  EXPECT_EQ(R.Output, "1170\n");
+}
+
+TEST(GircSdtTest, GeneratedAssemblyIsReadable) {
+  Expected<std::string> Asm = compileToAssembly(
+      "func main() { print(1); return 0; }");
+  ASSERT_TRUE(static_cast<bool>(Asm));
+  EXPECT_NE(Asm->find("fn_main:"), std::string::npos);
+  EXPECT_NE(Asm->find("jal fn_main"), std::string::npos);
+  EXPECT_NE(Asm->find(".entry main"), std::string::npos);
+}

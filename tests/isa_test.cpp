@@ -1,0 +1,339 @@
+//===- tests/isa_test.cpp - GIR ISA tests ------------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disassembler.h"
+#include "isa/Encoding.h"
+#include "isa/Instruction.h"
+#include "isa/Opcode.h"
+#include "isa/Program.h"
+#include "isa/Registers.h"
+#include "isa/Serialize.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+// --- Registers -----------------------------------------------------------
+
+TEST(RegistersTest, CanonicalNames) {
+  EXPECT_EQ(registerName(0), "zero");
+  EXPECT_EQ(registerName(RegSP), "sp");
+  EXPECT_EQ(registerName(RegRA), "ra");
+  EXPECT_EQ(registerName(RegV0), "v0");
+  EXPECT_EQ(registerName(RegA0), "a0");
+}
+
+TEST(RegistersTest, ParseCanonicalAndNumeric) {
+  EXPECT_EQ(parseRegisterName("zero"), 0u);
+  EXPECT_EQ(parseRegisterName("SP"), unsigned(RegSP));
+  EXPECT_EQ(parseRegisterName("r0"), 0u);
+  EXPECT_EQ(parseRegisterName("r31"), 31u);
+  EXPECT_EQ(parseRegisterName("R15"), 15u);
+}
+
+TEST(RegistersTest, ParseRejectsBadNames) {
+  EXPECT_FALSE(parseRegisterName("r32"));
+  EXPECT_FALSE(parseRegisterName("r-1"));
+  EXPECT_FALSE(parseRegisterName("x5"));
+  EXPECT_FALSE(parseRegisterName(""));
+  EXPECT_FALSE(parseRegisterName("r"));
+}
+
+TEST(RegistersTest, AllNamesRoundTrip) {
+  for (unsigned I = 0; I != NumRegisters; ++I)
+    EXPECT_EQ(parseRegisterName(registerName(I)), I);
+}
+
+// --- Opcode metadata -------------------------------------------------------
+
+TEST(OpcodeTest, MnemonicsRoundTrip) {
+  for (size_t I = 0, E = static_cast<size_t>(Opcode::NumOpcodes); I != E;
+       ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    EXPECT_EQ(parseMnemonic(opcodeMnemonic(Op)), Op);
+  }
+}
+
+TEST(OpcodeTest, UnknownMnemonic) {
+  EXPECT_FALSE(parseMnemonic("fma"));
+  EXPECT_FALSE(parseMnemonic(""));
+}
+
+TEST(OpcodeTest, IndirectBranchClassification) {
+  EXPECT_TRUE(isIndirectBranch(Opcode::Jr));
+  EXPECT_TRUE(isIndirectBranch(Opcode::Jalr));
+  EXPECT_TRUE(isIndirectBranch(Opcode::Ret));
+  EXPECT_FALSE(isIndirectBranch(Opcode::J));
+  EXPECT_FALSE(isIndirectBranch(Opcode::Jal));
+  EXPECT_FALSE(isIndirectBranch(Opcode::Beq));
+  EXPECT_FALSE(isIndirectBranch(Opcode::Add));
+}
+
+TEST(OpcodeTest, ControlTransferClassification) {
+  EXPECT_TRUE(isControlTransfer(Opcode::Beq));
+  EXPECT_TRUE(isControlTransfer(Opcode::J));
+  EXPECT_TRUE(isControlTransfer(Opcode::Syscall));
+  EXPECT_TRUE(isControlTransfer(Opcode::Halt));
+  EXPECT_FALSE(isControlTransfer(Opcode::Add));
+  EXPECT_FALSE(isControlTransfer(Opcode::Lw));
+  EXPECT_FALSE(isControlTransfer(Opcode::Lui));
+}
+
+// --- Instruction factories ---------------------------------------------------
+
+TEST(InstructionTest, FactoriesSetFields) {
+  Instruction I = makeR(Opcode::Add, 1, 2, 3);
+  EXPECT_EQ(I.Op, Opcode::Add);
+  EXPECT_EQ(I.Rd, 1);
+  EXPECT_EQ(I.Rs1, 2);
+  EXPECT_EQ(I.Rs2, 3);
+
+  Instruction J = makeI(Opcode::Addi, 4, 5, -100);
+  EXPECT_EQ(J.Imm, -100);
+
+  Instruction K = makeMem(Opcode::Lw, 6, 7, 16);
+  EXPECT_EQ(K.Rd, 6);
+  EXPECT_EQ(K.Rs1, 7);
+  EXPECT_EQ(K.Imm, 16);
+}
+
+TEST(InstructionTest, NopIsAddZero) {
+  Instruction N = makeNop();
+  EXPECT_EQ(N.Op, Opcode::Add);
+  EXPECT_EQ(N.Rd, 0);
+}
+
+TEST(InstructionTest, BranchTarget) {
+  Instruction B = makeBranch(Opcode::Beq, 1, 2, -8);
+  EXPECT_EQ(B.branchTarget(0x1010), 0x1008u);
+}
+
+TEST(InstructionTest, DirectTarget) {
+  Instruction J = makeJump(Opcode::J, 0x2000);
+  EXPECT_EQ(J.directTarget(), 0x2000u);
+}
+
+TEST(InstructionTest, CtiKinds) {
+  EXPECT_EQ(makeRet().ctiKind(), CtiKind::Return);
+  EXPECT_EQ(makeJr(5).ctiKind(), CtiKind::IndirectJump);
+  EXPECT_EQ(makeJalr(RegRA, 5).ctiKind(), CtiKind::IndirectCall);
+  EXPECT_EQ(makeSyscall().ctiKind(), CtiKind::Stop);
+  EXPECT_FALSE(makeNop().isCti());
+}
+
+// --- Encoding round trips ------------------------------------------------
+
+static void expectRoundTrip(const Instruction &I) {
+  uint32_t Word = encode(I);
+  Expected<Instruction> D = decode(Word);
+  ASSERT_TRUE(static_cast<bool>(D)) << D.error().message();
+  EXPECT_EQ(*D, I) << "opcode " << std::string(opcodeMnemonic(I.Op));
+}
+
+TEST(EncodingTest, RFormatRoundTrip) {
+  for (Opcode Op : {Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div,
+                    Opcode::Rem, Opcode::And, Opcode::Or, Opcode::Xor,
+                    Opcode::Sll, Opcode::Srl, Opcode::Sra, Opcode::Slt,
+                    Opcode::Sltu})
+    expectRoundTrip(makeR(Op, 31, 0, 17));
+}
+
+TEST(EncodingTest, IFormatRoundTrip) {
+  for (int32_t Imm : {-32768, -1, 0, 1, 32767})
+    expectRoundTrip(makeI(Opcode::Addi, 3, 4, Imm));
+  for (Opcode Op : {Opcode::Slti, Opcode::Sltiu, Opcode::Slli, Opcode::Srli,
+                    Opcode::Srai})
+    expectRoundTrip(makeI(Op, 1, 2, 13));
+}
+
+TEST(EncodingTest, LogicalImmediatesZeroExtend) {
+  for (int32_t Imm : {0, 1, 0x7FFF, 0x8000, 0xFFFF}) {
+    for (Opcode Op : {Opcode::Andi, Opcode::Ori, Opcode::Xori}) {
+      Instruction I = makeI(Op, 5, 6, Imm);
+      Expected<Instruction> D = decode(encode(I));
+      ASSERT_TRUE(static_cast<bool>(D));
+      EXPECT_EQ(D->Imm, Imm); // Never sign-extended.
+    }
+  }
+}
+
+TEST(EncodingTest, LuiRoundTrip) {
+  expectRoundTrip(makeLui(9, 0));
+  expectRoundTrip(makeLui(9, 0xFFFF));
+  expectRoundTrip(makeLui(9, 0x1234));
+}
+
+TEST(EncodingTest, MemRoundTrip) {
+  for (Opcode Op : {Opcode::Lw, Opcode::Lh, Opcode::Lhu, Opcode::Lb,
+                    Opcode::Lbu, Opcode::Sw, Opcode::Sh, Opcode::Sb})
+    expectRoundTrip(makeMem(Op, 10, 29, -4));
+}
+
+TEST(EncodingTest, BranchRoundTrip) {
+  for (Opcode Op : {Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge,
+                    Opcode::Bltu, Opcode::Bgeu}) {
+    expectRoundTrip(makeBranch(Op, 1, 2, -131072)); // -32768 words
+    expectRoundTrip(makeBranch(Op, 1, 2, 131068));  // 32767 words
+    expectRoundTrip(makeBranch(Op, 1, 2, 0));
+  }
+}
+
+TEST(EncodingTest, JumpRoundTrip) {
+  expectRoundTrip(makeJump(Opcode::J, 0));
+  expectRoundTrip(makeJump(Opcode::J, 0x0FFFFFFC));
+  expectRoundTrip(makeJump(Opcode::Jal, 0x1000));
+}
+
+TEST(EncodingTest, IndirectAndSystemRoundTrip) {
+  expectRoundTrip(makeJr(13));
+  expectRoundTrip(makeJalr(31, 7));
+  expectRoundTrip(makeJalr(5, 7));
+  expectRoundTrip(makeRet());
+  expectRoundTrip(makeSyscall());
+  expectRoundTrip(makeHalt());
+}
+
+TEST(EncodingTest, InvalidOpcodeFieldFails) {
+  // Opcode field 63 is far beyond NumOpcodes.
+  Expected<Instruction> D = decode(0xFC000000u);
+  EXPECT_FALSE(static_cast<bool>(D));
+}
+
+TEST(EncodingTest, WordLittleEndian) {
+  uint8_t Bytes[4];
+  writeWordLE(Bytes, 0x11223344);
+  EXPECT_EQ(Bytes[0], 0x44);
+  EXPECT_EQ(Bytes[3], 0x11);
+  EXPECT_EQ(readWordLE(Bytes), 0x11223344u);
+}
+
+// --- Disassembler -------------------------------------------------------
+
+TEST(DisassemblerTest, Formats) {
+  EXPECT_EQ(disassemble(makeR(Opcode::Add, 2, 3, 4), 0),
+            "add v0, v1, a0");
+  EXPECT_EQ(disassemble(makeI(Opcode::Addi, 8, 8, -4), 0),
+            "addi t0, t0, -4");
+  EXPECT_EQ(disassemble(makeMem(Opcode::Lw, 8, 29, 8), 0),
+            "lw t0, 8(sp)");
+  EXPECT_EQ(disassemble(makeJump(Opcode::J, 0x2000), 0), "j 0x2000");
+  EXPECT_EQ(disassemble(makeJr(9), 0), "jr t1");
+  EXPECT_EQ(disassemble(makeJalr(31, 9), 0), "jalr ra, t1");
+  EXPECT_EQ(disassemble(makeRet(), 0), "ret");
+  EXPECT_EQ(disassemble(makeSyscall(), 0), "syscall");
+}
+
+TEST(DisassemblerTest, BranchShowsAbsoluteTarget) {
+  Instruction B = makeBranch(Opcode::Bne, 1, 0, 16);
+  EXPECT_EQ(disassemble(B, 0x1000), "bne at, zero, 0x1010");
+}
+
+TEST(DisassemblerTest, LuiHex) {
+  EXPECT_EQ(disassemble(makeLui(8, 0xABC), 0), "lui t0, 0xabc");
+}
+
+// --- Program ------------------------------------------------------------
+
+TEST(ProgramTest, FetchDecodesInstruction) {
+  std::vector<uint8_t> Image(8, 0);
+  writeWordLE(&Image[0], encode(makeNop()));
+  writeWordLE(&Image[4], encode(makeHalt()));
+  Program P(0x1000, Image);
+  Expected<Instruction> I = P.fetch(0x1004);
+  ASSERT_TRUE(static_cast<bool>(I));
+  EXPECT_EQ(I->Op, Opcode::Halt);
+}
+
+TEST(ProgramTest, FetchRejectsUnalignedAndOutOfRange) {
+  Program P(0x1000, std::vector<uint8_t>(8, 0));
+  EXPECT_FALSE(static_cast<bool>(P.fetch(0x1002)));
+  EXPECT_FALSE(static_cast<bool>(P.fetch(0x0FFC)));
+  EXPECT_FALSE(static_cast<bool>(P.fetch(0x1008)));
+}
+
+TEST(ProgramTest, SymbolsResolve) {
+  Program P(0x1000, std::vector<uint8_t>(4, 0));
+  P.addSymbol("main", 0x1000);
+  Expected<uint32_t> S = P.symbol("main");
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(*S, 0x1000u);
+  EXPECT_FALSE(static_cast<bool>(P.symbol("missing")));
+}
+
+// --- GX serialization ----------------------------------------------------
+
+static Program makeSampleProgram() {
+  std::vector<uint8_t> Image(12);
+  writeWordLE(&Image[0], encode(makeNop()));
+  writeWordLE(&Image[4], encode(makeJr(5)));
+  writeWordLE(&Image[8], 0xDEADBEEF); // Data word.
+  Program P(0x2000, Image);
+  P.setEntry(0x2004);
+  P.addSymbol("main", 0x2004);
+  P.addSymbol("table", 0x2008);
+  return P;
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  Program P = makeSampleProgram();
+  std::vector<uint8_t> Bytes = serializeProgram(P);
+  EXPECT_TRUE(isGxImage(Bytes));
+  Expected<Program> Q = deserializeProgram(Bytes);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error().message();
+  EXPECT_EQ(Q->loadAddress(), P.loadAddress());
+  EXPECT_EQ(Q->entry(), P.entry());
+  EXPECT_EQ(Q->image(), P.image());
+  EXPECT_EQ(Q->symbols(), P.symbols());
+}
+
+TEST(SerializeTest, RejectsBadMagicAndVersion) {
+  Program P = makeSampleProgram();
+  std::vector<uint8_t> Bytes = serializeProgram(P);
+  std::vector<uint8_t> BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(static_cast<bool>(deserializeProgram(BadMagic)));
+  std::vector<uint8_t> BadVersion = Bytes;
+  BadVersion[4] = 99;
+  EXPECT_FALSE(static_cast<bool>(deserializeProgram(BadVersion)));
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  Program P = makeSampleProgram();
+  std::vector<uint8_t> Bytes = serializeProgram(P);
+  for (size_t Cut : {size_t(3), size_t(10), size_t(25),
+                     Bytes.size() - 3}) {
+    std::vector<uint8_t> Short(Bytes.begin(),
+                               Bytes.begin() + static_cast<long>(Cut));
+    EXPECT_FALSE(static_cast<bool>(deserializeProgram(Short)))
+        << "cut at " << Cut;
+  }
+}
+
+TEST(SerializeTest, RejectsTrailingGarbage) {
+  std::vector<uint8_t> Bytes = serializeProgram(makeSampleProgram());
+  Bytes.push_back(0x42);
+  EXPECT_FALSE(static_cast<bool>(deserializeProgram(Bytes)));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Program P = makeSampleProgram();
+  std::string Path = ::testing::TempDir() + "/strataib_test.gx";
+  ASSERT_TRUE(writeProgramFile(Path, P).isSuccess());
+  Expected<Program> Q = readProgramFile(Path);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error().message();
+  EXPECT_EQ(Q->image(), P.image());
+  EXPECT_EQ(Q->symbols(), P.symbols());
+}
+
+TEST(ProgramTest, ContainsAndEnd) {
+  Program P(0x1000, std::vector<uint8_t>(16, 0));
+  EXPECT_TRUE(P.contains(0x1000, 16));
+  EXPECT_FALSE(P.contains(0x1000, 17));
+  EXPECT_FALSE(P.contains(0xFFF));
+  EXPECT_EQ(P.endAddress(), 0x1010u);
+  EXPECT_EQ(P.instructionCapacity(), 4u);
+}

@@ -1,0 +1,77 @@
+//===- tests/options_test.cpp - Configuration surface tests ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Locks down the option-description strings the benchmark reports rely
+// on, and the name functions used throughout the harness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtOptions.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+
+TEST(SdtOptionsTest, DefaultDescribe) {
+  SdtOptions O;
+  EXPECT_EQ(O.describe(), "ibtc(shared,4096,light) returns=as-indirect");
+}
+
+TEST(SdtOptionsTest, DescribeCoversEveryAxis) {
+  SdtOptions O;
+  O.Mechanism = IBMechanism::Sieve;
+  O.SieveBuckets = 256;
+  O.FullFlagSave = true;
+  O.Returns = ReturnStrategy::FastReturn;
+  O.InlineCacheDepth = 2;
+  O.LinkFragments = false;
+  O.EnableTraces = true;
+  O.TraceHotThreshold = 10;
+  O.MaxTraceBlocks = 8;
+  std::string D = O.describe();
+  EXPECT_NE(D.find("sieve(256,full)"), std::string::npos);
+  EXPECT_NE(D.find("returns=fast-return"), std::string::npos);
+  EXPECT_NE(D.find("inline=2"), std::string::npos);
+  EXPECT_NE(D.find("nolink"), std::string::npos);
+  EXPECT_NE(D.find("traces(hot=10,max=8)"), std::string::npos);
+}
+
+TEST(SdtOptionsTest, DescribePerClassOverrides) {
+  SdtOptions O;
+  O.JumpMechanism = IBMechanism::Sieve;
+  O.CallMechanism = IBMechanism::Dispatcher;
+  std::string D = O.describe();
+  EXPECT_NE(D.find("jumps=sieve"), std::string::npos);
+  EXPECT_NE(D.find("calls=dispatcher"), std::string::npos);
+  // Overrides equal to the main mechanism are not noise.
+  SdtOptions Same;
+  Same.JumpMechanism = Same.Mechanism;
+  EXPECT_EQ(Same.describe().find("jumps="), std::string::npos);
+}
+
+TEST(SdtOptionsTest, DescribeAssociativityAndReturnCache) {
+  SdtOptions O;
+  O.IbtcAssociativity = 4;
+  O.IbtcShared = false;
+  O.IbtcEntries = 64;
+  O.Returns = ReturnStrategy::ReturnCache;
+  O.ReturnCacheEntries = 128;
+  std::string D = O.describe();
+  EXPECT_NE(D.find("ibtc(private,64x4,light)"), std::string::npos);
+  EXPECT_NE(D.find("returns=return-cache(128)"), std::string::npos);
+}
+
+TEST(SdtOptionsTest, NameFunctions) {
+  EXPECT_STREQ(ibClassName(IBClass::Jump), "ind-jump");
+  EXPECT_STREQ(ibClassName(IBClass::Call), "ind-call");
+  EXPECT_STREQ(ibClassName(IBClass::Return), "return");
+  EXPECT_STREQ(ibMechanismName(IBMechanism::Dispatcher), "dispatcher");
+  EXPECT_STREQ(ibMechanismName(IBMechanism::Ibtc), "ibtc");
+  EXPECT_STREQ(ibMechanismName(IBMechanism::Sieve), "sieve");
+  EXPECT_STREQ(returnStrategyName(ReturnStrategy::AsIndirect),
+               "as-indirect");
+  EXPECT_STREQ(returnStrategyName(ReturnStrategy::ShadowStack),
+               "shadow-stack");
+}

@@ -1,0 +1,115 @@
+//===- tests/roundtrip_property_test.cpp - Toolchain properties --*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Property tests over randomly generated programs for the toolchain
+// itself: encode/decode and disassemble/reassemble round trips, and
+// generator determinism across option shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/Assembler.h"
+#include "isa/Disassembler.h"
+#include "isa/Encoding.h"
+#include "support/Rng.h"
+#include "vm/GuestVM.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::isa;
+
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+using EncodingRoundTrip = SeededTest;
+using DisasmRoundTrip = SeededTest;
+using GeneratorShape = SeededTest;
+
+} // namespace
+
+// Every instruction in a random program survives encode → decode.
+TEST_P(EncodingRoundTrip, RandomProgramsDecodeToThemselves) {
+  Expected<Program> P = workloads::generateRandomProgram(GetParam());
+  ASSERT_TRUE(static_cast<bool>(P));
+  unsigned Checked = 0;
+  for (uint32_t Addr = P->loadAddress(); Addr < P->endAddress(); Addr += 4) {
+    Expected<Instruction> I = P->fetch(Addr);
+    if (!I)
+      continue; // Data word.
+    Expected<Instruction> Again = decode(encode(*I));
+    ASSERT_TRUE(static_cast<bool>(Again));
+    EXPECT_EQ(*Again, *I);
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 50u);
+}
+
+// Disassembling every instruction and reassembling the whole listing
+// reproduces the image bit-for-bit (data words carried as .word).
+TEST_P(DisasmRoundTrip, DisassembleReassembleIsIdentity) {
+  Expected<Program> P = workloads::generateRandomProgram(GetParam());
+  ASSERT_TRUE(static_cast<bool>(P));
+
+  std::string Listing = ".org 0x1000\n";
+  for (uint32_t Addr = P->loadAddress(); Addr < P->endAddress(); Addr += 4) {
+    Expected<Instruction> I = P->fetch(Addr);
+    uint32_t Word = readWordLE(&P->image()[Addr - P->loadAddress()]);
+    if (I && encode(*I) == Word)
+      Listing += "    " + disassemble(*I, Addr) + "\n";
+    else
+      Listing += "    .word " + std::to_string(Word) + "\n";
+  }
+  Expected<Program> P2 = assembler::assemble(Listing);
+  ASSERT_TRUE(static_cast<bool>(P2)) << P2.error().message();
+  EXPECT_EQ(P->image(), P2->image());
+}
+
+// Every option shape still yields terminating, deterministic programs.
+TEST_P(GeneratorShape, AllFeatureCombinationsTerminate) {
+  uint64_t Seed = GetParam();
+  for (unsigned Mask = 0; Mask != 8; ++Mask) {
+    workloads::RandomProgramOptions Opts;
+    Opts.AllowIndirectCalls = Mask & 1;
+    Opts.AllowIndirectJumps = Mask & 2;
+    Opts.AllowLoops = Mask & 4;
+    Opts.NumFunctions = 4;
+    Opts.ItemsPerFunction = 5;
+    Expected<Program> P = workloads::generateRandomProgram(Seed, Opts);
+    ASSERT_TRUE(static_cast<bool>(P));
+    vm::ExecOptions Exec;
+    Exec.MaxInstructions = 2000000;
+    auto VM = vm::GuestVM::create(*P, Exec);
+    ASSERT_TRUE(static_cast<bool>(VM));
+    vm::RunResult R = (*VM)->run();
+    EXPECT_TRUE(R.finishedNormally())
+        << "mask " << Mask << ": " << R.FaultMessage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Range<uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, DisasmRoundTrip,
+                         ::testing::Range<uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorShape,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// The SPEC proxies also survive the disassemble/reassemble identity.
+TEST(DisasmRoundTripWorkloads, GccProxyIsIdentity) {
+  Expected<Program> P = workloads::buildWorkload("gcc", 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+  std::string Listing = ".org 0x1000\n";
+  for (uint32_t Addr = P->loadAddress(); Addr < P->endAddress(); Addr += 4) {
+    Expected<Instruction> I = P->fetch(Addr);
+    uint32_t Word = readWordLE(&P->image()[Addr - P->loadAddress()]);
+    if (I && encode(*I) == Word)
+      Listing += "    " + disassemble(*I, Addr) + "\n";
+    else
+      Listing += "    .word " + std::to_string(Word) + "\n";
+  }
+  Expected<Program> P2 = assembler::assemble(Listing);
+  ASSERT_TRUE(static_cast<bool>(P2)) << P2.error().message();
+  EXPECT_EQ(P->image(), P2->image());
+}

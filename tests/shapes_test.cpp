@@ -1,0 +1,212 @@
+//===- tests/shapes_test.cpp - Reproduction shape guards ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Regression guards for the paper's qualitative results at small scale:
+// if a refactor breaks an ordering or crossover the experiments depend
+// on, these fail long before anyone reruns the full benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "core/SdtEngine.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+
+namespace {
+
+/// Measures one workload's slowdown under (Model, Opts) at small scale.
+double slowdownOf(const std::string &Workload,
+                  const arch::MachineModel &Model, const SdtOptions &Opts,
+                  uint32_t Scale = 4) {
+  Expected<isa::Program> P = workloads::buildWorkload(Workload, Scale);
+  EXPECT_TRUE(static_cast<bool>(P));
+
+  arch::TimingModel NativeTiming(Model);
+  vm::ExecOptions NativeExec;
+  NativeExec.Timing = &NativeTiming;
+  auto VM = vm::GuestVM::create(*P, NativeExec);
+  EXPECT_TRUE(static_cast<bool>(VM));
+  vm::RunResult Native = (*VM)->run();
+  EXPECT_TRUE(Native.finishedNormally());
+
+  arch::TimingModel SdtTiming(Model);
+  vm::ExecOptions SdtExec;
+  SdtExec.Timing = &SdtTiming;
+  auto Engine = SdtEngine::create(*P, Opts, SdtExec);
+  EXPECT_TRUE(static_cast<bool>(Engine));
+  vm::RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Translated.Checksum, Native.Checksum);
+
+  return static_cast<double>(SdtTiming.totalCycles()) /
+         static_cast<double>(NativeTiming.totalCycles());
+}
+
+SdtOptions withMechanism(IBMechanism M) {
+  SdtOptions O;
+  O.Mechanism = M;
+  return O;
+}
+
+} // namespace
+
+TEST(ShapeTest, DispatcherIsWorstOnIBHeavyCode) {
+  arch::MachineModel X86 = arch::x86Model();
+  for (const char *W : {"perlbmk", "gcc", "vortex"}) {
+    double Disp = slowdownOf(W, X86, withMechanism(IBMechanism::Dispatcher));
+    double Ibtc = slowdownOf(W, X86, withMechanism(IBMechanism::Ibtc));
+    double Sieve = slowdownOf(W, X86, withMechanism(IBMechanism::Sieve));
+    EXPECT_GT(Disp, 2.0 * Ibtc) << W;
+    EXPECT_GT(Disp, 2.0 * Sieve) << W;
+  }
+}
+
+TEST(ShapeTest, IBLightWorkloadsNearNative) {
+  arch::MachineModel X86 = arch::x86Model();
+  for (const char *W : {"mcf", "bzip2"}) {
+    double Disp = slowdownOf(W, X86, withMechanism(IBMechanism::Dispatcher));
+    EXPECT_LT(Disp, 1.6) << W; // Even the worst mechanism barely hurts.
+  }
+}
+
+TEST(ShapeTest, FullFlagSaveHurtsOnX86NotOnSparc) {
+  SdtOptions Light = withMechanism(IBMechanism::Ibtc);
+  SdtOptions Full = Light;
+  Full.FullFlagSave = true;
+
+  double X86Light = slowdownOf("gcc", arch::x86Model(), Light);
+  double X86Full = slowdownOf("gcc", arch::x86Model(), Full);
+  EXPECT_GT(X86Full, 1.3 * X86Light); // Big penalty on x86...
+
+  double SparcLight = slowdownOf("gcc", arch::sparcModel(), Light);
+  double SparcFull = slowdownOf("gcc", arch::sparcModel(), Full);
+  EXPECT_LT(SparcFull, 1.1 * SparcLight); // ...near-noise on SPARC.
+}
+
+TEST(ShapeTest, MechanismWinnerFlipsAcrossArchitectures) {
+  // The paper's headline: sieve-style dispatch wins on the x86-class
+  // model, the IBTC wins on the SPARC-class model (megamorphic case).
+  SdtOptions Ibtc = withMechanism(IBMechanism::Ibtc);
+  SdtOptions Sieve = withMechanism(IBMechanism::Sieve);
+  EXPECT_LT(slowdownOf("perlbmk", arch::x86Model(), Sieve),
+            slowdownOf("perlbmk", arch::x86Model(), Ibtc));
+  EXPECT_LT(slowdownOf("perlbmk", arch::sparcModel(), Ibtc),
+            slowdownOf("perlbmk", arch::sparcModel(), Sieve));
+}
+
+TEST(ShapeTest, IbtcSizeSweepMonotoneOnMegamorphicCode) {
+  arch::MachineModel X86 = arch::x86Model();
+  double Prev = 1e9;
+  for (uint32_t Entries : {4u, 16u, 64u, 1024u}) {
+    SdtOptions O = withMechanism(IBMechanism::Ibtc);
+    O.IbtcEntries = Entries;
+    double S = slowdownOf("perlbmk", X86, O);
+    EXPECT_LE(S, Prev * 1.02) << Entries; // Monotone within noise.
+    Prev = S;
+  }
+}
+
+TEST(ShapeTest, FastReturnsBeatEveryOtherReturnStrategy) {
+  arch::MachineModel X86 = arch::x86Model();
+  for (const char *W : {"crafty", "gcc", "vortex"}) {
+    SdtOptions Base = withMechanism(IBMechanism::Ibtc);
+    SdtOptions Cache = Base;
+    Cache.Returns = ReturnStrategy::ReturnCache;
+    SdtOptions Shadow = Base;
+    Shadow.Returns = ReturnStrategy::ShadowStack;
+    SdtOptions Fast = Base;
+    Fast.Returns = ReturnStrategy::FastReturn;
+
+    double SBase = slowdownOf(W, X86, Base);
+    double SCache = slowdownOf(W, X86, Cache);
+    double SShadow = slowdownOf(W, X86, Shadow);
+    double SFast = slowdownOf(W, X86, Fast);
+    EXPECT_LT(SFast, SCache) << W;
+    EXPECT_LT(SFast, SShadow) << W;
+    EXPECT_LT(SCache, SBase) << W;
+  }
+}
+
+TEST(ShapeTest, InlineCacheHelpsMonomorphicHurtsMegamorphic) {
+  arch::MachineModel X86 = arch::x86Model();
+  SdtOptions Depth0 = withMechanism(IBMechanism::Ibtc);
+  SdtOptions Depth1 = Depth0;
+  Depth1.InlineCacheDepth = 1;
+  SdtOptions Depth4 = Depth0;
+  Depth4.InlineCacheDepth = 4;
+
+  // crafty's return sites are near-monomorphic: depth 1 wins clearly.
+  EXPECT_LT(slowdownOf("crafty", X86, Depth1),
+            slowdownOf("crafty", X86, Depth0));
+  // parser's single megamorphic site: deep inlining regresses.
+  EXPECT_GT(slowdownOf("parser", X86, Depth4),
+            slowdownOf("parser", X86, Depth0));
+}
+
+TEST(ShapeTest, AssociativityHelpsOnlySmallTables) {
+  arch::MachineModel X86 = arch::x86Model();
+  SdtOptions Small1 = withMechanism(IBMechanism::Ibtc);
+  Small1.IbtcEntries = 64;
+  SdtOptions Small4 = Small1;
+  Small4.IbtcAssociativity = 4;
+  EXPECT_LT(slowdownOf("perlbmk", X86, Small4),
+            slowdownOf("perlbmk", X86, Small1));
+
+  SdtOptions Big1 = withMechanism(IBMechanism::Ibtc);
+  Big1.IbtcEntries = 4096;
+  SdtOptions Big4 = Big1;
+  Big4.IbtcAssociativity = 4;
+  EXPECT_GE(slowdownOf("perlbmk", X86, Big4),
+            slowdownOf("perlbmk", X86, Big1) * 0.999);
+}
+
+TEST(ShapeTest, LinkingIsEssential) {
+  arch::MachineModel X86 = arch::x86Model();
+  SdtOptions Linked = withMechanism(IBMechanism::Ibtc);
+  SdtOptions Unlinked = Linked;
+  Unlinked.LinkFragments = false;
+  EXPECT_GT(slowdownOf("gzip", X86, Unlinked),
+            3.0 * slowdownOf("gzip", X86, Linked));
+}
+
+TEST(ShapeTest, BigcodeThrashesTinyFragmentCache) {
+  arch::MachineModel X86 = arch::x86Model();
+  SdtOptions Big = withMechanism(IBMechanism::Ibtc);
+  Big.FragmentCacheBytes = 8 << 20;
+  SdtOptions Tiny = Big;
+  Tiny.FragmentCacheBytes = 8 << 10;
+  EXPECT_GT(slowdownOf("bigcode", X86, Tiny),
+            2.0 * slowdownOf("bigcode", X86, Big));
+}
+
+TEST(ShapeTest, TimingIsDeterministic) {
+  arch::MachineModel X86 = arch::x86Model();
+  SdtOptions O = withMechanism(IBMechanism::Sieve);
+  O.Returns = ReturnStrategy::FastReturn;
+  EXPECT_DOUBLE_EQ(slowdownOf("gcc", X86, O), slowdownOf("gcc", X86, O));
+}
+
+TEST(ShapeTest, BigcodeTransparentUnderFlushPressure) {
+  Expected<isa::Program> P = workloads::buildWorkload("bigcode", 2);
+  ASSERT_TRUE(static_cast<bool>(P));
+  auto VM = vm::GuestVM::create(*P, vm::ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  vm::RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally());
+
+  SdtOptions O;
+  O.FragmentCacheBytes = 4096;
+  O.Returns = ReturnStrategy::FastReturn;
+  auto Engine = SdtEngine::create(*P, O, vm::ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  vm::RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  EXPECT_GT((*Engine)->stats().Flushes, 0u);
+}

@@ -1,0 +1,340 @@
+//===- tests/support_test.cpp - Support library tests ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/TableFormatter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sdt;
+
+// --- Error / Expected ------------------------------------------------------
+
+TEST(ErrorTest, DefaultIsSuccess) {
+  Error E;
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_TRUE(E.isSuccess());
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error E = Error::failure("boom");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "boom");
+}
+
+TEST(ErrorTest, AtLinePrefixesLineNumber) {
+  Error E = Error::atLine(42, "bad register");
+  EXPECT_EQ(E.message(), "line 42: bad register");
+}
+
+TEST(ExpectedTest, SuccessHoldsValue) {
+  Expected<int> V(7);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 7);
+}
+
+TEST(ExpectedTest, FailureHoldsError) {
+  Expected<int> V(Error::failure("nope"));
+  ASSERT_FALSE(static_cast<bool>(V));
+  EXPECT_EQ(V.error().message(), "nope");
+  Error Taken = V.takeError();
+  EXPECT_EQ(Taken.message(), "nope");
+}
+
+TEST(ExpectedTest, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> V(std::make_unique<int>(3));
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(**V, 3);
+}
+
+// --- Hashing ------------------------------------------------------------
+
+TEST(HashingTest, PowerOf2Detection) {
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_TRUE(isPowerOf2(1024));
+  EXPECT_TRUE(isPowerOf2(0x80000000u));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_FALSE(isPowerOf2(1023));
+}
+
+TEST(HashingTest, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(4096), 12u);
+  EXPECT_EQ(log2Floor(0xFFFFFFFFu), 31u);
+}
+
+class HashKindTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashKindTest, IndexAlwaysInRange) {
+  for (uint32_t Size : {1u, 2u, 16u, 4096u, 65536u})
+    for (uint32_t Addr = 0x1000; Addr < 0x1400; Addr += 4)
+      EXPECT_LT(hashAddress(GetParam(), Addr, Size), Size);
+}
+
+TEST_P(HashKindTest, Deterministic) {
+  EXPECT_EQ(hashAddress(GetParam(), 0x1234, 1024),
+            hashAddress(GetParam(), 0x1234, 1024));
+}
+
+TEST_P(HashKindTest, AluCostPositive) {
+  EXPECT_GT(hashAluOpCount(GetParam()), 0u);
+}
+
+TEST_P(HashKindTest, NameNonEmpty) {
+  EXPECT_FALSE(hashKindName(GetParam()).empty());
+}
+
+TEST_P(HashKindTest, SpreadsWordAlignedAddresses) {
+  // Consecutive word-aligned code addresses must not all collide.
+  std::set<uint32_t> Indices;
+  for (uint32_t Addr = 0x1000; Addr < 0x1100; Addr += 4)
+    Indices.insert(hashAddress(GetParam(), Addr, 256));
+  EXPECT_GT(Indices.size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashKindTest,
+                         ::testing::Values(HashKind::ShiftMask,
+                                           HashKind::XorFold,
+                                           HashKind::Fibonacci));
+
+TEST(HashingTest, Mix64Avalanches) {
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(0), 0u);
+}
+
+// --- Rng --------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  bool Differs = false;
+  for (int I = 0; I != 10 && !Differs; ++I)
+    Differs = A.next() != B.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowOneIsZero) {
+  Rng R(7);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_TRUE(R.nextChance(1, 1));
+    EXPECT_FALSE(R.nextChance(0, 1));
+  }
+}
+
+// --- Statistics ------------------------------------------------------------
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.min(), 0.0);
+  EXPECT_EQ(S.max(), 0.0);
+}
+
+TEST(RunningStatTest, TracksMinMaxMean) {
+  RunningStat S;
+  S.addSample(2.0);
+  S.addSample(4.0);
+  S.addSample(9.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 15.0);
+}
+
+TEST(RunningStatTest, NegativeSamples) {
+  RunningStat S;
+  S.addSample(-5.0);
+  S.addSample(5.0);
+  EXPECT_DOUBLE_EQ(S.min(), -5.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(GeoMeanTest, EmptyIsZero) {
+  EXPECT_EQ(geometricMean({}), 0.0);
+}
+
+TEST(GeoMeanTest, SingleValue) {
+  EXPECT_NEAR(geometricMean({4.0}), 4.0, 1e-12);
+}
+
+TEST(GeoMeanTest, ClassicExample) {
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram H(4, 10);
+  H.addSample(0);
+  H.addSample(9);
+  H.addSample(10);
+  H.addSample(39);
+  H.addSample(40); // overflow
+  H.addSample(1000);
+  EXPECT_EQ(H.bucketValue(0), 2u);
+  EXPECT_EQ(H.bucketValue(1), 1u);
+  EXPECT_EQ(H.bucketValue(3), 1u);
+  EXPECT_EQ(H.overflowCount(), 2u);
+  EXPECT_EQ(H.totalCount(), 6u);
+}
+
+TEST(HistogramTest, MeanUsesTrueValues) {
+  Histogram H(2, 1);
+  H.addSample(0);
+  H.addSample(10); // overflow bucket, but mean uses 10
+  EXPECT_DOUBLE_EQ(H.mean(), 5.0);
+}
+
+TEST(HistogramTest, RenderSkipsEmptyBuckets) {
+  Histogram H(8, 1);
+  H.addSample(3);
+  std::string Out = H.render();
+  EXPECT_NE(Out.find("3"), std::string::npos);
+  EXPECT_EQ(Out.find("overflow"), std::string::npos);
+}
+
+// --- StringUtils -----------------------------------------------------------
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\tx\n"), "x");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto F = split("a,b,,c", ',');
+  ASSERT_EQ(F.size(), 4u);
+  EXPECT_EQ(F[0], "a");
+  EXPECT_EQ(F[2], "");
+  EXPECT_EQ(F[3], "c");
+}
+
+TEST(StringUtilsTest, SplitSingleField) {
+  auto F = split("solo", ',');
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], "solo");
+}
+
+TEST(StringUtilsTest, ParseIntegerDecimal) {
+  EXPECT_EQ(parseInteger("0"), 0);
+  EXPECT_EQ(parseInteger("42"), 42);
+  EXPECT_EQ(parseInteger("-42"), -42);
+  EXPECT_EQ(parseInteger("+7"), 7);
+  EXPECT_EQ(parseInteger("  13  "), 13);
+}
+
+TEST(StringUtilsTest, ParseIntegerHexAndBinary) {
+  EXPECT_EQ(parseInteger("0x10"), 16);
+  EXPECT_EQ(parseInteger("0XfF"), 255);
+  EXPECT_EQ(parseInteger("-0x8"), -8);
+  EXPECT_EQ(parseInteger("0b101"), 5);
+}
+
+TEST(StringUtilsTest, ParseIntegerRejectsGarbage) {
+  EXPECT_FALSE(parseInteger(""));
+  EXPECT_FALSE(parseInteger("-"));
+  EXPECT_FALSE(parseInteger("0x"));
+  EXPECT_FALSE(parseInteger("12a"));
+  EXPECT_FALSE(parseInteger("a12"));
+  EXPECT_FALSE(parseInteger("1 2"));
+  EXPECT_FALSE(parseInteger("0b2"));
+  EXPECT_FALSE(parseInteger("99999999999999999999999999"));
+}
+
+TEST(StringUtilsTest, ParseIntegerBoundaries) {
+  EXPECT_EQ(parseInteger("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(parseInteger("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_FALSE(parseInteger("9223372036854775808"));
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_TRUE(startsWith("hello", ""));
+  EXPECT_FALSE(startsWith("he", "hello"));
+}
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(toLower("AbC9_x"), "abc9_x");
+}
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(formatString("%08x", 0x42u), "00000042");
+  EXPECT_EQ(formatString("plain"), "plain");
+}
+
+// --- TableFormatter -------------------------------------------------------
+
+TEST(TableFormatterTest, AlignsColumns) {
+  TableFormatter T({"name", "value"});
+  T.beginRow().addCell(std::string("a")).addCell(uint64_t(100));
+  T.beginRow().addCell(std::string("longer")).addCell(uint64_t(2));
+  std::string Out = T.render();
+  // Header, rule, 2 rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  // Numbers right-aligned: "2" must be preceded by spaces.
+  EXPECT_NE(Out.find("   100"), std::string::npos - 1);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+}
+
+TEST(TableFormatterTest, FixedPointCells) {
+  TableFormatter T({"x"});
+  T.beginRow().addCell(3.14159, 2);
+  EXPECT_NE(T.render().find("3.14"), std::string::npos);
+}
+
+TEST(TableFormatterTest, HeaderOnlyRenders) {
+  TableFormatter T({"a", "b"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("a"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}

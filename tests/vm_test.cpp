@@ -1,0 +1,434 @@
+//===- tests/vm_test.cpp - VM / interpreter tests ----------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assembler/Assembler.h"
+#include "isa/Encoding.h"
+#include "vm/DecodeCache.h"
+#include "vm/ExecSemantics.h"
+#include "vm/GuestMemory.h"
+#include "vm/GuestVM.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::isa;
+using namespace sdt::vm;
+
+// --- GuestMemory -------------------------------------------------------
+
+TEST(GuestMemoryTest, PageZeroUnmapped) {
+  GuestMemory M(1 << 20);
+  uint8_t B;
+  EXPECT_FALSE(M.load8(0, B));
+  EXPECT_FALSE(M.load8(0xFFF, B));
+  EXPECT_TRUE(M.load8(0x1000, B));
+  EXPECT_FALSE(M.store8(0x0800, 1));
+}
+
+TEST(GuestMemoryTest, BoundsChecked) {
+  GuestMemory M(1 << 20);
+  uint32_t W;
+  EXPECT_FALSE(M.load32(M.size(), W));
+  EXPECT_FALSE(M.load32(M.size() - 2, W));
+  EXPECT_TRUE(M.load32(M.size() - 4, W));
+  // Wrap-around attempt.
+  EXPECT_FALSE(M.load32(0xFFFFFFFC, W));
+}
+
+TEST(GuestMemoryTest, AlignmentChecked) {
+  GuestMemory M(1 << 20);
+  uint32_t W;
+  uint16_t H;
+  EXPECT_FALSE(M.load32(0x1002, W));
+  EXPECT_FALSE(M.load16(0x1001, H));
+  EXPECT_TRUE(M.load16(0x1002, H));
+}
+
+TEST(GuestMemoryTest, RoundTripAllWidths) {
+  GuestMemory M(1 << 20);
+  EXPECT_TRUE(M.store32(0x2000, 0xDEADBEEF));
+  uint32_t W;
+  EXPECT_TRUE(M.load32(0x2000, W));
+  EXPECT_EQ(W, 0xDEADBEEFu);
+  uint16_t H;
+  EXPECT_TRUE(M.load16(0x2000, H));
+  EXPECT_EQ(H, 0xBEEF);
+  uint8_t B;
+  EXPECT_TRUE(M.load8(0x2003, B));
+  EXPECT_EQ(B, 0xDE);
+  EXPECT_TRUE(M.store16(0x2000, 0x1122));
+  EXPECT_TRUE(M.load32(0x2000, W));
+  EXPECT_EQ(W, 0xDEAD1122u);
+}
+
+TEST(GuestMemoryTest, LoadProgramPlacesImage) {
+  Program P(0x1000, {1, 2, 3, 4});
+  GuestMemory M(1 << 20);
+  ASSERT_TRUE(M.loadProgram(P));
+  uint8_t B;
+  EXPECT_TRUE(M.load8(0x1002, B));
+  EXPECT_EQ(B, 3);
+}
+
+TEST(GuestMemoryTest, LoadProgramRejectsOversized) {
+  Program P(0x1000, std::vector<uint8_t>(1 << 21, 0));
+  GuestMemory M(1 << 20);
+  EXPECT_FALSE(M.loadProgram(P));
+}
+
+// --- GuestState -----------------------------------------------------------
+
+TEST(GuestStateTest, RegisterZeroStaysZero) {
+  GuestState S;
+  S.setReg(0, 123);
+  EXPECT_EQ(S.reg(0), 0u);
+  S.setReg(5, 7);
+  EXPECT_EQ(S.reg(5), 7u);
+}
+
+// --- ExecSemantics: ALU table-driven ---------------------------------------
+
+struct AluCase {
+  const char *Name;
+  Instruction Instr;
+  uint32_t A, B;
+  uint32_t Want;
+};
+
+class AluSemanticsTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemanticsTest, ComputesExpected) {
+  const AluCase &C = GetParam();
+  GuestState S;
+  GuestMemory M(1 << 20);
+  S.setReg(1, C.A);
+  S.setReg(2, C.B);
+  ExecEffect E = executeNonCti(C.Instr, S, M);
+  EXPECT_FALSE(E.faulted());
+  EXPECT_EQ(S.reg(3), C.Want) << C.Name;
+}
+
+static const AluCase AluCases[] = {
+    {"add", makeR(Opcode::Add, 3, 1, 2), 5, 7, 12},
+    {"add-wrap", makeR(Opcode::Add, 3, 1, 2), 0xFFFFFFFF, 2, 1},
+    {"sub", makeR(Opcode::Sub, 3, 1, 2), 5, 7, 0xFFFFFFFE},
+    {"mul", makeR(Opcode::Mul, 3, 1, 2), 7, 6, 42},
+    {"mul-wrap", makeR(Opcode::Mul, 3, 1, 2), 0x10000, 0x10000, 0},
+    {"div", makeR(Opcode::Div, 3, 1, 2), 42, 5, 8},
+    {"div-neg", makeR(Opcode::Div, 3, 1, 2), static_cast<uint32_t>(-42), 5,
+     static_cast<uint32_t>(-8)},
+    {"div-by-zero", makeR(Opcode::Div, 3, 1, 2), 42, 0, 0xFFFFFFFF},
+    {"div-overflow", makeR(Opcode::Div, 3, 1, 2), 0x80000000,
+     static_cast<uint32_t>(-1), 0x80000000},
+    {"rem", makeR(Opcode::Rem, 3, 1, 2), 42, 5, 2},
+    {"rem-by-zero", makeR(Opcode::Rem, 3, 1, 2), 42, 0, 42},
+    {"rem-overflow", makeR(Opcode::Rem, 3, 1, 2), 0x80000000,
+     static_cast<uint32_t>(-1), 0},
+    {"and", makeR(Opcode::And, 3, 1, 2), 0xF0F0, 0xFF00, 0xF000},
+    {"or", makeR(Opcode::Or, 3, 1, 2), 0xF0F0, 0x0F00, 0xFFF0},
+    {"xor", makeR(Opcode::Xor, 3, 1, 2), 0xFF, 0x0F, 0xF0},
+    {"sll", makeR(Opcode::Sll, 3, 1, 2), 1, 4, 16},
+    {"sll-mask", makeR(Opcode::Sll, 3, 1, 2), 1, 33, 2},
+    {"srl", makeR(Opcode::Srl, 3, 1, 2), 0x80000000, 31, 1},
+    {"sra", makeR(Opcode::Sra, 3, 1, 2), 0x80000000, 31, 0xFFFFFFFF},
+    {"slt-true", makeR(Opcode::Slt, 3, 1, 2), static_cast<uint32_t>(-1), 0,
+     1},
+    {"slt-false", makeR(Opcode::Slt, 3, 1, 2), 0, static_cast<uint32_t>(-1),
+     0},
+    {"sltu-true", makeR(Opcode::Sltu, 3, 1, 2), 0,
+     static_cast<uint32_t>(-1), 1},
+    {"addi", makeI(Opcode::Addi, 3, 1, -3), 5, 0, 2},
+    {"andi-zext", makeI(Opcode::Andi, 3, 1, 0xFFFF), 0x12345678, 0,
+     0x5678},
+    {"ori-zext", makeI(Opcode::Ori, 3, 1, 0x8000), 1, 0, 0x8001},
+    {"xori", makeI(Opcode::Xori, 3, 1, 0xFF), 0x0F, 0, 0xF0},
+    {"slti", makeI(Opcode::Slti, 3, 1, 0), static_cast<uint32_t>(-5), 0, 1},
+    {"sltiu", makeI(Opcode::Sltiu, 3, 1, 10), 5, 0, 1},
+    {"slli", makeI(Opcode::Slli, 3, 1, 3), 2, 0, 16},
+    {"srli", makeI(Opcode::Srli, 3, 1, 4), 0x100, 0, 0x10},
+    {"srai", makeI(Opcode::Srai, 3, 1, 1), 0x80000000, 0, 0xC0000000},
+    {"lui", makeLui(3, 0xABCD), 0, 0, 0xABCD0000},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AluSemanticsTest, ::testing::ValuesIn(AluCases),
+    [](const ::testing::TestParamInfo<AluCase> &Info) {
+      std::string N = Info.param.Name;
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N;
+    });
+
+// --- ExecSemantics: memory --------------------------------------------------
+
+TEST(MemSemanticsTest, LoadSignAndZeroExtend) {
+  GuestState S;
+  GuestMemory M(1 << 20);
+  ASSERT_TRUE(M.store32(0x2000, 0xFFFE8380)); // bytes 80 83 FE FF
+
+  S.setReg(1, 0x2000);
+  ExecEffect E = executeNonCti(makeMem(Opcode::Lb, 3, 1, 0), S, M);
+  EXPECT_FALSE(E.faulted());
+  EXPECT_EQ(S.reg(3), 0xFFFFFF80u);
+  executeNonCti(makeMem(Opcode::Lbu, 3, 1, 0), S, M);
+  EXPECT_EQ(S.reg(3), 0x80u);
+  executeNonCti(makeMem(Opcode::Lh, 3, 1, 0), S, M);
+  EXPECT_EQ(S.reg(3), 0xFFFF8380u);
+  executeNonCti(makeMem(Opcode::Lhu, 3, 1, 0), S, M);
+  EXPECT_EQ(S.reg(3), 0x8380u);
+}
+
+TEST(MemSemanticsTest, StoreWidths) {
+  GuestState S;
+  GuestMemory M(1 << 20);
+  S.setReg(1, 0x2000);
+  S.setReg(3, 0xAABBCCDD);
+  executeNonCti(makeMem(Opcode::Sw, 3, 1, 0), S, M);
+  executeNonCti(makeMem(Opcode::Sb, 3, 1, 4), S, M);
+  executeNonCti(makeMem(Opcode::Sh, 3, 1, 6), S, M);
+  uint32_t W;
+  M.load32(0x2000, W);
+  EXPECT_EQ(W, 0xAABBCCDDu);
+  M.load32(0x2004, W);
+  EXPECT_EQ(W, 0xCCDD00DDu);
+}
+
+TEST(MemSemanticsTest, FaultReportsAddress) {
+  GuestState S;
+  GuestMemory M(1 << 20);
+  S.setReg(1, 0x10); // Page zero.
+  ExecEffect E = executeNonCti(makeMem(Opcode::Lw, 3, 1, 0), S, M);
+  EXPECT_TRUE(E.faulted());
+  EXPECT_EQ(E.Addr, 0x10u);
+}
+
+TEST(MemSemanticsTest, NegativeOffsetAddressing) {
+  GuestState S;
+  GuestMemory M(1 << 20);
+  ASSERT_TRUE(M.store32(0x1FFC, 99));
+  S.setReg(1, 0x2000);
+  executeNonCti(makeMem(Opcode::Lw, 3, 1, -4), S, M);
+  EXPECT_EQ(S.reg(3), 99u);
+}
+
+// --- Branch conditions -------------------------------------------------------
+
+TEST(BranchSemanticsTest, AllConditions) {
+  GuestState S;
+  S.setReg(1, static_cast<uint32_t>(-1));
+  S.setReg(2, 1);
+  EXPECT_FALSE(evalBranchCondition(makeBranch(Opcode::Beq, 1, 2, 0), S));
+  EXPECT_TRUE(evalBranchCondition(makeBranch(Opcode::Bne, 1, 2, 0), S));
+  EXPECT_TRUE(evalBranchCondition(makeBranch(Opcode::Blt, 1, 2, 0), S));
+  EXPECT_FALSE(evalBranchCondition(makeBranch(Opcode::Bge, 1, 2, 0), S));
+  // Unsigned: -1 is max.
+  EXPECT_FALSE(evalBranchCondition(makeBranch(Opcode::Bltu, 1, 2, 0), S));
+  EXPECT_TRUE(evalBranchCondition(makeBranch(Opcode::Bgeu, 1, 2, 0), S));
+  S.setReg(2, static_cast<uint32_t>(-1));
+  EXPECT_TRUE(evalBranchCondition(makeBranch(Opcode::Beq, 1, 2, 0), S));
+  EXPECT_TRUE(evalBranchCondition(makeBranch(Opcode::Bge, 1, 2, 0), S));
+}
+
+// --- DecodeCache ------------------------------------------------------------
+
+TEST(DecodeCacheTest, CachesAndRejects) {
+  GuestMemory M(1 << 20);
+  ASSERT_TRUE(M.store32(0x1000, encode(makeNop())));
+  ASSERT_TRUE(M.store32(0x1004, 0xFC000000)); // invalid opcode
+  DecodeCache D(M, 0x1000, 8);
+  const Instruction *I = D.fetch(0x1000);
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->Op, Opcode::Add);
+  EXPECT_EQ(D.fetch(0x1000), I); // Same slot on re-fetch.
+  EXPECT_EQ(D.fetch(0x1004), nullptr);
+  EXPECT_EQ(D.fetch(0x1004), nullptr); // Cached invalid.
+  EXPECT_EQ(D.fetch(0x1008), nullptr); // Out of region.
+  EXPECT_EQ(D.fetch(0x0FFC), nullptr);
+  EXPECT_EQ(D.fetch(0x1002), nullptr); // Unaligned.
+}
+
+// --- GuestVM end-to-end -------------------------------------------------
+
+static RunResult runProgram(const char *Src, ExecOptions Opts = {}) {
+  Expected<isa::Program> P = assembler::assemble(Src);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  auto VM = GuestVM::create(*P, Opts);
+  EXPECT_TRUE(static_cast<bool>(VM));
+  return (*VM)->run();
+}
+
+TEST(GuestVMTest, ExitCodePropagates) {
+  RunResult R = runProgram("main:\n li a0, 42\n li v0, 0\n syscall\n");
+  EXPECT_EQ(R.Reason, ExitReason::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(GuestVMTest, HaltStops) {
+  RunResult R = runProgram("main:\n halt\n");
+  EXPECT_EQ(R.Reason, ExitReason::Halted);
+  EXPECT_EQ(R.InstructionCount, 1u);
+}
+
+TEST(GuestVMTest, PrintSyscalls) {
+  RunResult R = runProgram(R"(
+main:
+    li a0, -7
+    li v0, 1
+    syscall            # print_int
+    li a0, 65
+    li v0, 2
+    syscall            # print_char 'A'
+    la a0, msg
+    li v0, 3
+    syscall            # print_str
+    li a0, 0
+    li v0, 0
+    syscall
+msg: .asciz "hi"
+)");
+  EXPECT_EQ(R.Reason, ExitReason::Exited);
+  EXPECT_EQ(R.Output, "-7\nAhi");
+}
+
+TEST(GuestVMTest, ChecksumSyscallDeterministic) {
+  const char *Src = "main:\n li a0, 5\n li v0, 4\n syscall\n"
+                    " li a0, 0\n li v0, 0\n syscall\n";
+  RunResult A = runProgram(Src), B = runProgram(Src);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  RunResult C = runProgram("main:\n li a0, 6\n li v0, 4\n syscall\n"
+                           " li a0, 0\n li v0, 0\n syscall\n");
+  EXPECT_NE(A.Checksum, C.Checksum);
+}
+
+TEST(GuestVMTest, UnknownSyscallFaults) {
+  RunResult R = runProgram("main:\n li v0, 99\n syscall\n");
+  EXPECT_EQ(R.Reason, ExitReason::Fault);
+  EXPECT_NE(R.FaultMessage.find("syscall"), std::string::npos);
+}
+
+TEST(GuestVMTest, BadFetchFaults) {
+  // Jump into unmapped space.
+  RunResult R = runProgram("main:\n li t0, 0x8000\n jr t0\n");
+  EXPECT_EQ(R.Reason, ExitReason::Fault);
+  EXPECT_NE(R.FaultMessage.find("fetch"), std::string::npos);
+}
+
+TEST(GuestVMTest, MemoryFaultMessageHasPcAndAddr) {
+  RunResult R = runProgram("main:\n li t0, 16\n lw t1, 0(t0)\n halt\n");
+  EXPECT_EQ(R.Reason, ExitReason::Fault);
+  EXPECT_NE(R.FaultMessage.find("pc=0x"), std::string::npos);
+  EXPECT_NE(R.FaultMessage.find("addr=0x10"), std::string::npos);
+}
+
+TEST(GuestVMTest, InstructionLimit) {
+  ExecOptions Opts;
+  Opts.MaxInstructions = 100;
+  RunResult R = runProgram("main:\n j main\n", Opts);
+  EXPECT_EQ(R.Reason, ExitReason::InstrLimit);
+  EXPECT_EQ(R.InstructionCount, 100u);
+}
+
+TEST(GuestVMTest, CallAndReturn) {
+  RunResult R = runProgram(R"(
+main:
+    li  a0, 10
+    jal double
+    move a0, v0
+    li  v0, 1
+    syscall
+    li  a0, 0
+    li  v0, 0
+    syscall
+double:
+    slli v0, a0, 1
+    ret
+)");
+  EXPECT_EQ(R.Output, "20\n");
+  EXPECT_EQ(R.Cti.DirectCalls, 1u);
+  EXPECT_EQ(R.Cti.Returns, 1u);
+}
+
+TEST(GuestVMTest, CtiStatsCounted) {
+  RunResult R = runProgram(R"(
+main:
+    li   t0, 3
+loop:
+    la   t1, fn
+    jalr t1
+    addi t0, t0, -1
+    bnez t0, loop
+    li   t2, 2
+    la   t3, spot
+    jr   t3
+spot:
+    li   a0, 0
+    li   v0, 0
+    syscall
+fn: ret
+)");
+  EXPECT_EQ(R.Reason, ExitReason::Exited);
+  EXPECT_EQ(R.Cti.IndirectCalls, 3u);
+  EXPECT_EQ(R.Cti.Returns, 3u);
+  EXPECT_EQ(R.Cti.IndirectJumps, 1u);
+  EXPECT_EQ(R.Cti.CondBranches, 3u);
+}
+
+TEST(GuestVMTest, SiteTargetProfileCollected) {
+  ExecOptions Opts;
+  Opts.CollectSiteTargets = true;
+  RunResult R = runProgram(R"(
+main:
+    li   t0, 2
+loop:
+    andi t1, t0, 1
+    slli t1, t1, 2
+    la   t2, tab
+    add  t2, t2, t1
+    lw   t3, 0(t2)
+    jr   t3
+back0:
+back1:
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+tab: .word back0, back1
+)",
+                           Opts);
+  EXPECT_EQ(R.Reason, ExitReason::Exited);
+  ASSERT_EQ(R.SiteTargets.size(), 1u);
+  EXPECT_EQ(R.SiteTargets.begin()->second.size(), 1u); // back0 == back1
+}
+
+TEST(GuestVMTest, StackInitialised) {
+  // push/pop around a call works out of the box.
+  RunResult R = runProgram(R"(
+main:
+    push ra
+    jal  f
+    pop  ra
+    move a0, v0
+    li   v0, 0
+    syscall
+f:  li v0, 9
+    ret
+)");
+  EXPECT_EQ(R.Reason, ExitReason::Exited);
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+TEST(GuestVMTest, TimingChargesCycles) {
+  arch::TimingModel Timing(arch::simpleModel());
+  ExecOptions Opts;
+  Opts.Timing = &Timing;
+  RunResult R = runProgram("main:\n nop\n nop\n halt\n", Opts);
+  EXPECT_EQ(R.Reason, ExitReason::Halted);
+  // 2 nops (1 cycle each) + halt's syscall-free stop; at least 2 cycles.
+  EXPECT_GE(Timing.totalCycles(), 2u);
+  EXPECT_EQ(Timing.cycles(arch::CycleCategory::Dispatch), 0u);
+}

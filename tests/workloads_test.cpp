@@ -1,0 +1,184 @@
+//===- tests/workloads_test.cpp - SPEC proxy workload tests ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtEngine.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::vm;
+using namespace sdt::workloads;
+
+namespace {
+
+RunResult runWorkload(const std::string &Name, uint32_t Scale) {
+  Expected<isa::Program> P = buildWorkload(Name, Scale);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  ExecOptions Exec;
+  Exec.MaxInstructions = 100000000;
+  auto VM = GuestVM::create(*P, Exec);
+  EXPECT_TRUE(static_cast<bool>(VM));
+  return (*VM)->run();
+}
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadInfo> {};
+
+} // namespace
+
+TEST(WorkloadRegistryTest, TwelveSpecIntProxies) {
+  EXPECT_EQ(allWorkloads().size(), 12u);
+  EXPECT_NE(findWorkload("perlbmk"), nullptr);
+  EXPECT_EQ(findWorkload("specrand"), nullptr);
+  EXPECT_FALSE(static_cast<bool>(buildWorkload("specrand", 1)));
+}
+
+TEST_P(WorkloadTest, TerminatesNormally) {
+  RunResult R = runWorkload(GetParam().Name, 1);
+  EXPECT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_GT(R.InstructionCount, 10000u);
+}
+
+TEST_P(WorkloadTest, DeterministicChecksum) {
+  RunResult A = runWorkload(GetParam().Name, 1);
+  RunResult B = runWorkload(GetParam().Name, 1);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.InstructionCount, B.InstructionCount);
+}
+
+TEST_P(WorkloadTest, ScaleIncreasesWork) {
+  RunResult Small = runWorkload(GetParam().Name, 1);
+  RunResult Large = runWorkload(GetParam().Name, 3);
+  EXPECT_GT(Large.InstructionCount, Small.InstructionCount);
+}
+
+TEST_P(WorkloadTest, SourceAvailable) {
+  Expected<std::string> Src = workloadSource(GetParam().Name, 1);
+  ASSERT_TRUE(static_cast<bool>(Src));
+  EXPECT_NE(Src->find("main:"), std::string::npos);
+}
+
+TEST_P(WorkloadTest, IBProfileMatchesAdvertised) {
+  const WorkloadInfo &W = GetParam();
+  RunResult R = runWorkload(W.Name, 2);
+  const CtiStats &C = R.Cti;
+  double PerK = 1000.0 * static_cast<double>(C.indirectTotal()) /
+                static_cast<double>(R.InstructionCount);
+  std::string Profile = W.IBProfile;
+  if (Profile == "low-ib") {
+    EXPECT_LT(PerK, 10.0) << W.Name;
+  } else if (Profile == "returns") {
+    EXPECT_GT(C.Returns, C.IndirectCalls) << W.Name;
+    EXPECT_GT(C.Returns, C.IndirectJumps) << W.Name;
+    EXPECT_GT(PerK, 10.0) << W.Name;
+  } else if (Profile == "ind-jumps") {
+    EXPECT_GT(C.IndirectJumps, C.Returns) << W.Name;
+    EXPECT_GT(C.IndirectJumps, C.IndirectCalls) << W.Name;
+    EXPECT_GT(PerK, 10.0) << W.Name;
+  } else if (Profile == "ind-calls") {
+    EXPECT_GT(C.IndirectCalls, 0u) << W.Name;
+    EXPECT_GE(C.Returns, C.IndirectCalls) << W.Name; // Calls pair returns.
+    EXPECT_GT(PerK, 10.0) << W.Name;
+  } else {
+    EXPECT_EQ(Profile, "mixed");
+    EXPECT_GT(C.indirectTotal(), 0u) << W.Name;
+  }
+}
+
+TEST_P(WorkloadTest, TransparentUnderDefaultSdt) {
+  Expected<isa::Program> P = buildWorkload(GetParam().Name, 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+  ExecOptions Exec;
+  Exec.MaxInstructions = 100000000;
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  auto Engine = core::SdtEngine::create(*P, core::SdtOptions(), Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Native.Checksum, Translated.Checksum) << GetParam().Name;
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  EXPECT_EQ(Native.Reason, Translated.Reason) << Translated.FaultMessage;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwelve, WorkloadTest, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadInfo> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+// --- Extra (non-SPEC) workloads ---------------------------------------------
+
+class ExtraWorkloadTest : public ::testing::TestWithParam<WorkloadInfo> {};
+
+TEST_P(ExtraWorkloadTest, TerminatesAndIsTransparent) {
+  Expected<isa::Program> P = buildWorkload(GetParam().Name, 2);
+  ASSERT_TRUE(static_cast<bool>(P));
+  ExecOptions Exec;
+  Exec.MaxInstructions = 100000000;
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  EXPECT_EQ(Native.Reason, ExitReason::Exited) << Native.FaultMessage;
+  auto Engine = core::SdtEngine::create(*P, core::SdtOptions(), Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extras, ExtraWorkloadTest, ::testing::ValuesIn(extraWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadInfo> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(ExtraWorkloadTest, MincHasCompiledIBProfile) {
+  Expected<isa::Program> P = buildWorkload("minc", 2);
+  ASSERT_TRUE(static_cast<bool>(P));
+  ExecOptions Exec;
+  Exec.MaxInstructions = 100000000;
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult R = (*VM)->run();
+  EXPECT_GT(R.Cti.IndirectCalls, 1000u); // Function-pointer dispatch.
+  EXPECT_GT(R.Cti.Returns, R.Cti.IndirectCalls); // Plus direct-call pairs.
+}
+
+// Table-1 style fan-out collection on the megamorphic interpreter.
+TEST(WorkloadProfileTest, PerlbmkIsMegamorphic) {
+  Expected<isa::Program> P = buildWorkload("perlbmk", 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+  ExecOptions Exec;
+  Exec.CollectSiteTargets = true;
+  Exec.MaxInstructions = 100000000;
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult R = (*VM)->run();
+  // At least one indirect-jump site sees many distinct targets.
+  size_t MaxFanOut = 0;
+  for (const auto &[Site, Targets] : R.SiteTargets)
+    MaxFanOut = std::max(MaxFanOut, Targets.size());
+  EXPECT_GE(MaxFanOut, 8u);
+}
+
+TEST(WorkloadProfileTest, EonVtableFanOut) {
+  Expected<isa::Program> P = buildWorkload("eon", 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+  ExecOptions Exec;
+  Exec.CollectSiteTargets = true;
+  Exec.MaxInstructions = 100000000;
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult R = (*VM)->run();
+  // The single virtual-call site dispatches to all six methods.
+  size_t CallSiteFanOut = 0;
+  for (const auto &[Site, Targets] : R.SiteTargets)
+    CallSiteFanOut = std::max(CallSiteFanOut, Targets.size());
+  EXPECT_EQ(CallSiteFanOut, 6u);
+}
