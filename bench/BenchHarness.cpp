@@ -50,42 +50,51 @@ std::vector<std::string> BenchContext::allWorkloadNames() {
 }
 
 const isa::Program &BenchContext::program(const std::string &Workload) {
-  auto It = Programs.find(Workload);
-  if (It != Programs.end())
-    return It->second;
-  Expected<isa::Program> P = workloads::buildWorkload(Workload, Scale);
-  if (!P) {
-    std::fprintf(stderr, "bench: %s\n", P.error().message().c_str());
-    std::exit(1);
+  Slot<isa::Program> *S;
+  {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    S = &Programs[Workload];
   }
-  return Programs.emplace(Workload, std::move(*P)).first->second;
+  std::call_once(S->Once, [&] {
+    Expected<isa::Program> P = workloads::buildWorkload(Workload, Scale);
+    if (!P) {
+      std::fprintf(stderr, "bench: %s\n", P.error().message().c_str());
+      std::exit(1);
+    }
+    S->Value = std::move(*P);
+  });
+  return *S->Value;
 }
 
 const BenchContext::NativeBaseline &
 BenchContext::native(const std::string &Workload,
                      const arch::MachineModel &Model) {
   std::string Key = Workload + "|" + Model.Name;
-  auto It = Natives.find(Key);
-  if (It != Natives.end())
-    return It->second;
-
-  arch::TimingModel Timing(Model);
-  vm::ExecOptions Exec;
-  Exec.Timing = &Timing;
-  auto VM = vm::GuestVM::create(program(Workload), Exec);
-  if (!VM) {
-    std::fprintf(stderr, "bench: %s\n", VM.error().message().c_str());
-    std::exit(1);
+  Slot<NativeBaseline> *S;
+  {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    S = &Natives[Key];
   }
-  NativeBaseline B;
-  B.Result = (*VM)->run();
-  if (!B.Result.finishedNormally()) {
-    std::fprintf(stderr, "bench: native %s did not finish: %s\n",
-                 Workload.c_str(), B.Result.FaultMessage.c_str());
-    std::exit(1);
-  }
-  B.Cycles = Timing.totalCycles();
-  return Natives.emplace(Key, std::move(B)).first->second;
+  std::call_once(S->Once, [&] {
+    arch::TimingModel Timing(Model);
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto VM = vm::GuestVM::create(program(Workload), Exec);
+    if (!VM) {
+      std::fprintf(stderr, "bench: %s\n", VM.error().message().c_str());
+      std::exit(1);
+    }
+    NativeBaseline B;
+    B.Result = (*VM)->run();
+    if (!B.Result.finishedNormally()) {
+      std::fprintf(stderr, "bench: native %s did not finish: %s\n",
+                   Workload.c_str(), B.Result.FaultMessage.c_str());
+      std::exit(1);
+    }
+    B.Cycles = Timing.totalCycles();
+    S->Value = std::move(B);
+  });
+  return *S->Value;
 }
 
 vm::RunResult BenchContext::runNative(const std::string &Workload,

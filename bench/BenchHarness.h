@@ -24,6 +24,8 @@
 #include "vm/RunResult.h"
 
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,15 @@ struct Measurement {
 
 /// Caches assembled workloads and native baselines across configurations
 /// within one experiment binary.
+///
+/// Thread-safety contract: measure() and runNative() may be called
+/// concurrently from ParallelRunner workers. The workload and baseline
+/// memo maps are slot-per-key with std::call_once construction, so the
+/// first caller builds a given program (or native baseline) while
+/// concurrent callers of the *same* key block and callers of other keys
+/// proceed; after construction the cached objects are only ever read.
+/// Everything downstream of the memos (TimingModel, SdtEngine, GuestVM)
+/// is built per measure() call and never shared across threads.
 class BenchContext {
 public:
   explicit BenchContext(uint32_t Scale);
@@ -93,13 +104,22 @@ private:
     vm::RunResult Result;
   };
 
+  /// A memo slot: built exactly once under its own flag. Slots live in
+  /// std::map, whose nodes never move, so references handed out stay
+  /// valid while new keys are inserted.
+  template <typename T> struct Slot {
+    std::once_flag Once;
+    std::optional<T> Value;
+  };
+
   const isa::Program &program(const std::string &Workload);
   const NativeBaseline &native(const std::string &Workload,
                                const arch::MachineModel &Model);
 
   uint32_t Scale;
-  std::map<std::string, isa::Program> Programs;
-  std::map<std::string, NativeBaseline> Natives; ///< key: workload|model.
+  std::mutex SlotsMutex; ///< Guards map insertion only, not slot fill.
+  std::map<std::string, Slot<isa::Program>> Programs;
+  std::map<std::string, Slot<NativeBaseline>> Natives; ///< workload|model.
 };
 
 /// Reads STRATAIB_SCALE, falling back to \p Fallback.

@@ -1,0 +1,171 @@
+//===- bench/ParallelRunner.cpp --------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See ParallelRunner.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ParallelRunner.h"
+
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+} // namespace
+
+unsigned ParallelRunner::jobsFromEnv() {
+  if (const char *Env = std::getenv("STRATAIB_JOBS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+ParallelRunner::ParallelRunner(BenchContext &Ctx, std::string ExperimentId)
+    : Ctx(Ctx), ExperimentId(std::move(ExperimentId)),
+      Jobs(jobsFromEnv()) {}
+
+size_t ParallelRunner::enqueue(const std::string &Workload,
+                               const arch::MachineModel &Model,
+                               const core::SdtOptions &Opts) {
+  assert(!Ran && "enqueue after runAll");
+  Cell C;
+  C.Kind = CellKind::Sdt;
+  C.Workload = Workload;
+  C.Model = Model;
+  C.Opts = Opts;
+  Cells.push_back(std::move(C));
+  return Cells.size() - 1;
+}
+
+size_t ParallelRunner::enqueueNative(const std::string &Workload,
+                                     bool CollectSiteTargets) {
+  assert(!Ran && "enqueue after runAll");
+  Cell C;
+  C.Kind = CellKind::Native;
+  C.Workload = Workload;
+  C.CollectSiteTargets = CollectSiteTargets;
+  Cells.push_back(std::move(C));
+  return Cells.size() - 1;
+}
+
+void ParallelRunner::runCell(size_t Id) {
+  Cell &C = Cells[Id];
+  auto Start = std::chrono::steady_clock::now();
+  if (C.Kind == CellKind::Sdt)
+    C.M = Ctx.measure(C.Workload, C.Model, C.Opts);
+  else
+    C.NativeResult = Ctx.runNative(C.Workload, C.CollectSiteTargets);
+  C.WallMs = msSince(Start);
+  C.Done = true;
+}
+
+void ParallelRunner::runAll() {
+  assert(!Ran && "runAll called twice");
+  auto Start = std::chrono::steady_clock::now();
+  unsigned Workers = Jobs;
+  if (Cells.size() < Workers)
+    Workers = static_cast<unsigned>(Cells.size());
+
+  if (Workers <= 1) {
+    for (size_t I = 0; I != Cells.size(); ++I)
+      runCell(I);
+  } else {
+    support::ThreadPool Pool(Workers);
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(Cells.size());
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Futures.push_back(Pool.submit([this, I] { runCell(I); }));
+    // Collect in enqueue order; the first failing cell's exception
+    // surfaces here deterministically.
+    for (std::future<void> &F : Futures)
+      F.get();
+  }
+
+  TotalWallMs = msSince(Start);
+  Ran = true;
+
+  if (const char *Env = std::getenv("STRATAIB_SUMMARY"))
+    if (*Env)
+      writeSummaryTo(Env);
+}
+
+const Measurement &ParallelRunner::result(size_t Id) const {
+  assert(Id < Cells.size() && Cells[Id].Done && "result before runAll");
+  assert(Cells[Id].Kind == CellKind::Sdt && "native cell has no Measurement");
+  return Cells[Id].M;
+}
+
+const vm::RunResult &ParallelRunner::nativeResult(size_t Id) const {
+  assert(Id < Cells.size() && Cells[Id].Done && "result before runAll");
+  assert(Cells[Id].Kind == CellKind::Native && "not a native cell");
+  return Cells[Id].NativeResult;
+}
+
+std::string ParallelRunner::summaryJson() const {
+  support::JsonWriter W;
+  W.beginObject();
+  W.key("experiment").value(ExperimentId);
+  W.key("scale").value(Ctx.scale());
+  W.key("jobs").value(static_cast<uint64_t>(Jobs));
+  W.key("wall_ms").value(TotalWallMs);
+  W.key("cells").beginArray();
+  for (const Cell &C : Cells) {
+    W.beginObject();
+    W.key("kind").value(C.Kind == CellKind::Sdt ? "sdt" : "native");
+    W.key("workload").value(C.Workload);
+    W.key("wall_ms").value(C.WallMs);
+    if (C.Kind == CellKind::Sdt) {
+      W.key("model").value(C.Model.Name);
+      W.key("config").value(C.Opts.describe());
+      W.key("native_cycles").value(C.M.NativeCycles);
+      W.key("sdt_cycles").value(C.M.SdtCycles);
+      W.key("slowdown").value(C.M.slowdown());
+      W.key("main_lookups").value(C.M.MainLookups);
+      W.key("main_hits").value(C.M.MainHits);
+      W.key("main_hit_rate").value(C.M.mainHitRate());
+      W.key("instructions").value(C.M.Instructions);
+      W.key("transparent").value(C.M.Transparent);
+      W.key("cycles_by_category").beginObject();
+      for (size_t I = 0; I != C.M.SdtByCategory.size(); ++I)
+        W.key(arch::cycleCategoryName(static_cast<arch::CycleCategory>(I)))
+            .value(C.M.SdtByCategory[I]);
+      W.endObject();
+    } else {
+      W.key("instructions").value(C.NativeResult.InstructionCount);
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+void ParallelRunner::writeSummaryTo(const std::string &Path) const {
+  std::string Doc = summaryJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench: cannot write summary to %s\n",
+                 Path.c_str());
+    return;
+  }
+  std::fwrite(Doc.data(), 1, Doc.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+}

@@ -1,0 +1,107 @@
+//===- bench/ParallelRunner.h - Parallel experiment engine -------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel experiment engine: experiment binaries enqueue their
+/// measurement cells up front, runAll() fans them across a ThreadPool of
+/// STRATAIB_JOBS workers, and the driver then reads results back by cell
+/// id to print its tables. Because every cell's simulated results depend
+/// only on the cell itself (each measure() builds its own TimingModel and
+/// SdtEngine), parallel execution is bit-identical to serial — only the
+/// wall-clock changes. Results are stored per cell id, so report order is
+/// enqueue order no matter which worker finished first.
+///
+/// With STRATAIB_SUMMARY=<path> set, runAll() also writes a
+/// machine-readable JSON summary of every cell (cycles, slowdowns, hit
+/// rates, wall-clock); scripts/run_all_experiments.sh uses this to build
+/// results/bench_summary.json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_BENCH_PARALLELRUNNER_H
+#define STRATAIB_BENCH_PARALLELRUNNER_H
+
+#include "BenchHarness.h"
+
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace bench {
+
+/// Fans measurement cells across worker threads with deterministic,
+/// enqueue-ordered result collection.
+class ParallelRunner {
+public:
+  /// \p ExperimentId names the experiment in the JSON summary (and is
+  /// conventionally the binary name, e.g. "fig3_ibtc_size").
+  ParallelRunner(BenchContext &Ctx, std::string ExperimentId);
+
+  /// Queues a native-vs-translated measurement of \p Workload under
+  /// (\p Model, \p Opts). Returns the cell id used to read the result
+  /// back after runAll().
+  size_t enqueue(const std::string &Workload,
+                 const arch::MachineModel &Model,
+                 const core::SdtOptions &Opts);
+
+  /// Queues a native-only run (IB statistics, instruction counts).
+  size_t enqueueNative(const std::string &Workload,
+                       bool CollectSiteTargets = false);
+
+  /// Executes every queued cell — across jobs() workers when more than
+  /// one, serially otherwise — and blocks until all are done. Worker
+  /// exceptions propagate here in enqueue order. Writes the JSON summary
+  /// when STRATAIB_SUMMARY is set.
+  void runAll();
+
+  /// The measurement for cell \p Id (valid after runAll()).
+  const Measurement &result(size_t Id) const;
+
+  /// The native run for cell \p Id from enqueueNative().
+  const vm::RunResult &nativeResult(size_t Id) const;
+
+  size_t cellCount() const { return Cells.size(); }
+  unsigned jobs() const { return Jobs; }
+  double totalWallMs() const { return TotalWallMs; }
+
+  /// Reads STRATAIB_JOBS; unset or 0 falls back to the hardware thread
+  /// count (at least 1). STRATAIB_JOBS=1 forces serial execution.
+  static unsigned jobsFromEnv();
+
+  /// Writes the JSON summary to \p Path (normally runAll() does this via
+  /// STRATAIB_SUMMARY; exposed for tests).
+  void writeSummaryTo(const std::string &Path) const;
+
+private:
+  enum class CellKind { Sdt, Native };
+
+  struct Cell {
+    CellKind Kind = CellKind::Sdt;
+    std::string Workload;
+    arch::MachineModel Model;
+    core::SdtOptions Opts;
+    bool CollectSiteTargets = false;
+    Measurement M;
+    vm::RunResult NativeResult;
+    double WallMs = 0.0;
+    bool Done = false;
+  };
+
+  void runCell(size_t Id);
+  std::string summaryJson() const;
+
+  BenchContext &Ctx;
+  std::string ExperimentId;
+  unsigned Jobs;
+  std::vector<Cell> Cells;
+  double TotalWallMs = 0.0;
+  bool Ran = false;
+};
+
+} // namespace bench
+} // namespace sdt
+
+#endif // STRATAIB_BENCH_PARALLELRUNNER_H

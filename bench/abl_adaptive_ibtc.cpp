@@ -11,9 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -42,10 +44,20 @@ int main() {
                     "fixed-16384", "hit%adaptive"});
   std::vector<Measurement> Small, Adapt, Large;
 
+  ParallelRunner Runner(Ctx, "abl_adaptive_ibtc");
+  std::vector<std::array<size_t, 3>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back({Runner.enqueue(W, Model, FixedSmall),
+                   Runner.enqueue(W, Model, Adaptive),
+                   Runner.enqueue(W, Model, FixedLarge)});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement S = Ctx.measure(W, Model, FixedSmall);
-    Measurement A = Ctx.measure(W, Model, Adaptive);
-    Measurement L = Ctx.measure(W, Model, FixedLarge);
+    const std::array<size_t, 3> &Cell = Ids[Next++];
+    Measurement S = Runner.result(Cell[0]);
+    Measurement A = Runner.result(Cell[1]);
+    Measurement L = Runner.result(Cell[2]);
     Small.push_back(S);
     Adapt.push_back(A);
     Large.push_back(L);

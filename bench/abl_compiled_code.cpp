@@ -11,9 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -56,9 +58,18 @@ int main() {
   });
 
   TableFormatter T({"configuration", "x86", "sparc", "ret-hit%x86"});
+  ParallelRunner Runner(Ctx, "abl_compiled_code");
+  std::vector<std::array<size_t, 2>> Ids;
+  for (const Config &C : Configs)
+    Ids.push_back({Runner.enqueue("minc", arch::x86Model(), C.Opts),
+                   Runner.enqueue("minc", arch::sparcModel(), C.Opts)});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const Config &C : Configs) {
-    Measurement X = Ctx.measure("minc", arch::x86Model(), C.Opts);
-    Measurement S = Ctx.measure("minc", arch::sparcModel(), C.Opts);
+    const std::array<size_t, 2> &Cell = Ids[Next++];
+    Measurement X = Runner.result(Cell[0]);
+    Measurement S = Runner.result(Cell[1]);
     T.beginRow()
         .addCell(std::string(C.Name))
         .addCell(X.slowdown(), 3)

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/Hashing.h"
 #include "support/TableFormatter.h"
@@ -31,6 +32,13 @@ int main() {
   TableFormatter T({"entries", "hash", "geomean-12", "hit%perlbmk",
                     "hit%gcc"});
 
+  ParallelRunner Runner(Ctx, "abl_hash_functions");
+  struct Row {
+    uint32_t Entries;
+    HashKind Kind;
+    std::vector<size_t> Ids;
+  };
+  std::vector<Row> Rows;
   for (uint32_t Entries : {64u, 256u, 4096u}) {
     for (HashKind Kind :
          {HashKind::ShiftMask, HashKind::XorFold, HashKind::Fibonacci}) {
@@ -39,23 +47,34 @@ int main() {
       Opts.IbtcEntries = Entries;
       Opts.IbtcHash = Kind;
 
-      std::vector<Measurement> All;
-      Measurement Perl, Gcc;
-      for (const std::string &W : BenchContext::allWorkloadNames()) {
-        Measurement M = Ctx.measure(W, Model, Opts);
-        All.push_back(M);
-        if (W == "perlbmk")
-          Perl = M;
-        if (W == "gcc")
-          Gcc = M;
-      }
-      T.beginRow()
-          .addCell(static_cast<uint64_t>(Entries))
-          .addCell(hashKindName(Kind))
-          .addCell(geoMeanSlowdown(All), 3)
-          .addCell(100.0 * Perl.mainHitRate(), 2)
-          .addCell(100.0 * Gcc.mainHitRate(), 2);
+      Row R;
+      R.Entries = Entries;
+      R.Kind = Kind;
+      for (const std::string &W : BenchContext::allWorkloadNames())
+        R.Ids.push_back(Runner.enqueue(W, Model, Opts));
+      Rows.push_back(std::move(R));
     }
+  }
+  Runner.runAll();
+
+  std::vector<std::string> Names = BenchContext::allWorkloadNames();
+  for (const Row &R : Rows) {
+    std::vector<Measurement> All;
+    Measurement Perl, Gcc;
+    for (size_t I = 0; I != R.Ids.size(); ++I) {
+      const Measurement &M = Runner.result(R.Ids[I]);
+      All.push_back(M);
+      if (Names[I] == "perlbmk")
+        Perl = M;
+      if (Names[I] == "gcc")
+        Gcc = M;
+    }
+    T.beginRow()
+        .addCell(static_cast<uint64_t>(R.Entries))
+        .addCell(hashKindName(R.Kind))
+        .addCell(geoMeanSlowdown(All), 3)
+        .addCell(100.0 * Perl.mainHitRate(), 2)
+        .addCell(100.0 * Gcc.mainHitRate(), 2);
   }
 
   std::printf("%s\n", T.render().c_str());

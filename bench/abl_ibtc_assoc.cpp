@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -27,6 +28,13 @@ int main() {
   TableFormatter T({"entries", "ways", "perlbmk", "gcc", "geomean-12",
                     "hit%perlbmk"});
 
+  ParallelRunner Runner(Ctx, "abl_ibtc_assoc");
+  struct Row {
+    uint32_t Entries;
+    uint32_t Assoc;
+    std::vector<size_t> Ids;
+  };
+  std::vector<Row> Rows;
   for (uint32_t Entries : {16u, 64u, 256u, 4096u}) {
     for (uint32_t Assoc : {1u, 2u, 4u}) {
       core::SdtOptions Opts;
@@ -34,24 +42,35 @@ int main() {
       Opts.IbtcEntries = Entries;
       Opts.IbtcAssociativity = Assoc;
 
-      std::vector<Measurement> All;
-      Measurement Perl, Gcc;
-      for (const std::string &W : BenchContext::allWorkloadNames()) {
-        Measurement M = Ctx.measure(W, Model, Opts);
-        All.push_back(M);
-        if (W == "perlbmk")
-          Perl = M;
-        if (W == "gcc")
-          Gcc = M;
-      }
-      T.beginRow()
-          .addCell(static_cast<uint64_t>(Entries))
-          .addCell(static_cast<uint64_t>(Assoc))
-          .addCell(Perl.slowdown(), 3)
-          .addCell(Gcc.slowdown(), 3)
-          .addCell(geoMeanSlowdown(All), 3)
-          .addCell(100.0 * Perl.mainHitRate(), 2);
+      Row R;
+      R.Entries = Entries;
+      R.Assoc = Assoc;
+      for (const std::string &W : BenchContext::allWorkloadNames())
+        R.Ids.push_back(Runner.enqueue(W, Model, Opts));
+      Rows.push_back(std::move(R));
     }
+  }
+  Runner.runAll();
+
+  std::vector<std::string> Names = BenchContext::allWorkloadNames();
+  for (const Row &R : Rows) {
+    std::vector<Measurement> All;
+    Measurement Perl, Gcc;
+    for (size_t I = 0; I != R.Ids.size(); ++I) {
+      const Measurement &M = Runner.result(R.Ids[I]);
+      All.push_back(M);
+      if (Names[I] == "perlbmk")
+        Perl = M;
+      if (Names[I] == "gcc")
+        Gcc = M;
+    }
+    T.beginRow()
+        .addCell(static_cast<uint64_t>(R.Entries))
+        .addCell(static_cast<uint64_t>(R.Assoc))
+        .addCell(Perl.slowdown(), 3)
+        .addCell(Gcc.slowdown(), 3)
+        .addCell(geoMeanSlowdown(All), 3)
+        .addCell(100.0 * Perl.mainHitRate(), 2);
   }
 
   std::printf("%s\n", T.render().c_str());

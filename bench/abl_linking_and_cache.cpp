@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -41,23 +42,41 @@ int main() {
   TableFormatter T({"config", "geomean-12", "gcc", "gcc-dispatch%",
                     "bigcode", "bigcode-flushes", "bigcode-translate%"});
 
+  ParallelRunner Runner(Ctx, "abl_linking_and_cache");
+  struct Row {
+    std::vector<size_t> Ids;
+    size_t BigId = 0;
+  };
+  std::vector<Row> Rows;
   for (const Config &C : Configs) {
     core::SdtOptions Opts;
     Opts.Mechanism = core::IBMechanism::Ibtc;
     Opts.LinkFragments = C.Link;
     Opts.FragmentCacheBytes = C.CacheBytes;
 
-    std::vector<Measurement> All;
-    Measurement Gcc;
-    for (const std::string &W : BenchContext::allWorkloadNames()) {
-      Measurement M = Ctx.measure(W, Model, Opts);
-      All.push_back(M);
-      if (W == "gcc")
-        Gcc = M;
-    }
+    Row R;
+    for (const std::string &W : BenchContext::allWorkloadNames())
+      R.Ids.push_back(Runner.enqueue(W, Model, Opts));
     // The code-footprint stressor: hundreds of functions whose translated
     // working set exceeds the small cache configurations.
-    Measurement Big = Ctx.measure("bigcode", Model, Opts);
+    R.BigId = Runner.enqueue("bigcode", Model, Opts);
+    Rows.push_back(std::move(R));
+  }
+  Runner.runAll();
+
+  std::vector<std::string> Names = BenchContext::allWorkloadNames();
+  size_t Next = 0;
+  for (const Config &C : Configs) {
+    const Row &Cells = Rows[Next++];
+    std::vector<Measurement> All;
+    Measurement Gcc;
+    for (size_t I = 0; I != Cells.Ids.size(); ++I) {
+      const Measurement &M = Runner.result(Cells.Ids[I]);
+      All.push_back(M);
+      if (Names[I] == "gcc")
+        Gcc = M;
+    }
+    const Measurement &Big = Runner.result(Cells.BigId);
     T.beginRow()
         .addCell(std::string(C.Name))
         .addCell(geoMeanSlowdown(All), 3)

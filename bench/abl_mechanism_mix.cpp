@@ -10,9 +10,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -53,16 +55,31 @@ int main() {
 
   TableFormatter T({"configuration", "x86-geomean", "sparc-geomean",
                     "x86-perlbmk", "x86-eon"});
+  ParallelRunner Runner(Ctx, "abl_mechanism_mix");
+  std::vector<std::vector<std::array<size_t, 2>>> Ids;
   for (const Config &C : Configs) {
+    std::vector<std::array<size_t, 2>> PerWorkload;
+    for (const std::string &W : BenchContext::allWorkloadNames())
+      PerWorkload.push_back(
+          {Runner.enqueue(W, arch::x86Model(), C.Opts),
+           Runner.enqueue(W, arch::sparcModel(), C.Opts)});
+    Ids.push_back(std::move(PerWorkload));
+  }
+  Runner.runAll();
+
+  std::vector<std::string> Names = BenchContext::allWorkloadNames();
+  size_t Next = 0;
+  for (const Config &C : Configs) {
+    const std::vector<std::array<size_t, 2>> &PerWorkload = Ids[Next++];
     std::vector<Measurement> X86All, SparcAll;
     Measurement Perl, Eon;
-    for (const std::string &W : BenchContext::allWorkloadNames()) {
-      Measurement MX = Ctx.measure(W, arch::x86Model(), C.Opts);
+    for (size_t I = 0; I != Names.size(); ++I) {
+      const Measurement &MX = Runner.result(PerWorkload[I][0]);
       X86All.push_back(MX);
-      SparcAll.push_back(Ctx.measure(W, arch::sparcModel(), C.Opts));
-      if (W == "perlbmk")
+      SparcAll.push_back(Runner.result(PerWorkload[I][1]));
+      if (Names[I] == "perlbmk")
         Perl = MX;
-      if (W == "eon")
+      if (Names[I] == "eon")
         Eon = MX;
     }
     T.beginRow()

@@ -12,9 +12,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -39,9 +41,18 @@ int main() {
                     "bb-ib%", "traces-ib%"});
   std::vector<Measurement> BbAll, TracedAll;
 
+  ParallelRunner Runner(Ctx, "abl_traces");
+  std::vector<std::array<size_t, 2>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back({Runner.enqueue(W, Model, Bb),
+                   Runner.enqueue(W, Model, Traced)});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement B = Ctx.measure(W, Model, Bb);
-    Measurement R = Ctx.measure(W, Model, Traced);
+    const std::array<size_t, 2> &Cell = Ids[Next++];
+    Measurement B = Runner.result(Cell[0]);
+    Measurement R = Runner.result(Cell[1]);
     BbAll.push_back(B);
     TracedAll.push_back(R);
     T.beginRow()

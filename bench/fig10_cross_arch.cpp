@@ -11,9 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -69,13 +71,28 @@ int main() {
                     "sparc-slowdown", "same-config?"});
   unsigned Different = 0;
 
+  ParallelRunner Runner(Ctx, "fig10_cross_arch");
+  std::vector<std::vector<std::array<size_t, 2>>> Ids;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
+    std::vector<std::array<size_t, 2>> PerCandidate;
+    for (const Candidate &C : Cs)
+      PerCandidate.push_back(
+          {Runner.enqueue(W, arch::x86Model(), C.Opts),
+           Runner.enqueue(W, arch::sparcModel(), C.Opts)});
+    Ids.push_back(std::move(PerCandidate));
+  }
+  Runner.runAll();
+
+  size_t Next = 0;
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    const std::vector<std::array<size_t, 2>> &PerCandidate = Ids[Next++];
     const Candidate *BestX86 = nullptr;
     const Candidate *BestSparc = nullptr;
     double BestX86Slow = 0, BestSparcSlow = 0;
-    for (const Candidate &C : Cs) {
-      double SX = Ctx.measure(W, arch::x86Model(), C.Opts).slowdown();
-      double SS = Ctx.measure(W, arch::sparcModel(), C.Opts).slowdown();
+    for (size_t CI = 0; CI != Cs.size(); ++CI) {
+      const Candidate &C = Cs[CI];
+      double SX = Runner.result(PerCandidate[CI][0]).slowdown();
+      double SS = Runner.result(PerCandidate[CI][1]).slowdown();
       if (!BestX86 || SX < BestX86Slow) {
         BestX86 = &C;
         BestX86Slow = SX;

@@ -10,9 +10,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -38,11 +40,22 @@ int main() {
                     "sparc-baseline", "sparc-best", "sparc-speedup"});
   std::vector<Measurement> XB, XT, SB, ST;
 
+  ParallelRunner Runner(Ctx, "fig11_best_config");
+  std::vector<std::array<size_t, 4>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back({Runner.enqueue(W, arch::x86Model(), Baseline),
+                   Runner.enqueue(W, arch::x86Model(), Best),
+                   Runner.enqueue(W, arch::sparcModel(), Baseline),
+                   Runner.enqueue(W, arch::sparcModel(), Best)});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement MXB = Ctx.measure(W, arch::x86Model(), Baseline);
-    Measurement MXT = Ctx.measure(W, arch::x86Model(), Best);
-    Measurement MSB = Ctx.measure(W, arch::sparcModel(), Baseline);
-    Measurement MST = Ctx.measure(W, arch::sparcModel(), Best);
+    const std::array<size_t, 4> &Cell = Ids[Next++];
+    Measurement MXB = Runner.result(Cell[0]);
+    Measurement MXT = Runner.result(Cell[1]);
+    Measurement MSB = Runner.result(Cell[2]);
+    Measurement MST = Runner.result(Cell[3]);
     XB.push_back(MXB);
     XT.push_back(MXT);
     SB.push_back(MSB);

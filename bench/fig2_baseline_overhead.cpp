@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -32,8 +33,15 @@ int main() {
                     "dispatch%", "translate%", "ib/1k"});
   std::vector<Measurement> All;
 
+  ParallelRunner Runner(Ctx, "fig2_baseline_overhead");
+  std::vector<size_t> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back(Runner.enqueue(W, Model, Opts));
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement M = Ctx.measure(W, Model, Opts);
+    const Measurement &M = Runner.result(Ids[Next++]);
     All.push_back(M);
     T.beginRow()
         .addCell(W)

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -33,20 +34,36 @@ int main() {
   Headers.push_back("geomean-12");
   TableFormatter T(Headers);
 
+  ParallelRunner Runner(Ctx, "fig3_ibtc_size");
+  struct Row {
+    uint32_t Entries;
+    std::vector<size_t> Ids;
+  };
+  std::vector<Row> Rows;
   for (uint32_t Entries = 4; Entries <= 65536; Entries *= 4) {
     core::SdtOptions Opts;
     Opts.Mechanism = core::IBMechanism::Ibtc;
     Opts.IbtcShared = true;
     Opts.IbtcEntries = Entries;
 
+    Row R;
+    R.Entries = Entries;
+    for (const std::string &W : BenchContext::allWorkloadNames())
+      R.Ids.push_back(Runner.enqueue(W, Model, Opts));
+    Rows.push_back(std::move(R));
+  }
+  Runner.runAll();
+
+  std::vector<std::string> Names = BenchContext::allWorkloadNames();
+  for (const Row &R : Rows) {
     std::vector<Measurement> All;
     std::map<std::string, double> Slowdowns;
-    for (const std::string &W : BenchContext::allWorkloadNames()) {
-      Measurement M = Ctx.measure(W, Model, Opts);
+    for (size_t I = 0; I != R.Ids.size(); ++I) {
+      const Measurement &M = Runner.result(R.Ids[I]);
       All.push_back(M);
-      Slowdowns[W] = M.slowdown();
+      Slowdowns[Names[I]] = M.slowdown();
     }
-    T.beginRow().addCell(static_cast<uint64_t>(Entries));
+    T.beginRow().addCell(static_cast<uint64_t>(R.Entries));
     for (const std::string &W : Shown)
       T.addCell(Slowdowns.at(W), 3);
     T.addCell(geoMeanSlowdown(All), 3);

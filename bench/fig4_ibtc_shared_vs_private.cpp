@@ -9,9 +9,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -36,10 +38,20 @@ int main() {
                     "private-256", "hit%shared", "hit%priv256"});
   std::vector<Measurement> Shared, Private, PrivateSmall;
 
+  ParallelRunner Runner(Ctx, "fig4_ibtc_shared_vs_private");
+  std::vector<std::array<size_t, 3>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back({Runner.enqueue(W, Model, configFor(true, 4096)),
+                   Runner.enqueue(W, Model, configFor(false, 4096)),
+                   Runner.enqueue(W, Model, configFor(false, 256))});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement S = Ctx.measure(W, Model, configFor(true, 4096));
-    Measurement P = Ctx.measure(W, Model, configFor(false, 4096));
-    Measurement Q = Ctx.measure(W, Model, configFor(false, 256));
+    const std::array<size_t, 3> &Cell = Ids[Next++];
+    Measurement S = Runner.result(Cell[0]);
+    Measurement P = Runner.result(Cell[1]);
+    Measurement Q = Runner.result(Cell[2]);
     Shared.push_back(S);
     Private.push_back(P);
     PrivateSmall.push_back(Q);

@@ -11,9 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -36,11 +38,23 @@ int main() {
                     "sparc-full", "sparc-light", "sparc-gain%"});
   std::vector<Measurement> XF, XL, SF, SL;
 
+  ParallelRunner Runner(Ctx, "fig5_flag_save");
+  std::vector<std::array<size_t, 4>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back(
+        {Runner.enqueue(W, arch::x86Model(), configFor(true)),
+         Runner.enqueue(W, arch::x86Model(), configFor(false)),
+         Runner.enqueue(W, arch::sparcModel(), configFor(true)),
+         Runner.enqueue(W, arch::sparcModel(), configFor(false))});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement MXF = Ctx.measure(W, arch::x86Model(), configFor(true));
-    Measurement MXL = Ctx.measure(W, arch::x86Model(), configFor(false));
-    Measurement MSF = Ctx.measure(W, arch::sparcModel(), configFor(true));
-    Measurement MSL = Ctx.measure(W, arch::sparcModel(), configFor(false));
+    const std::array<size_t, 4> &Cell = Ids[Next++];
+    Measurement MXF = Runner.result(Cell[0]);
+    Measurement MXL = Runner.result(Cell[1]);
+    Measurement MSF = Runner.result(Cell[2]);
+    Measurement MSL = Runner.result(Cell[3]);
     XF.push_back(MXF);
     XL.push_back(MXL);
     SF.push_back(MSF);

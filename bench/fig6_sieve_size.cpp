@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -35,19 +36,35 @@ int main() {
   Headers.push_back("geomean-12");
   TableFormatter T(Headers);
 
+  ParallelRunner Runner(Ctx, "fig6_sieve_size");
+  struct Row {
+    uint32_t Buckets;
+    std::vector<size_t> Ids;
+  };
+  std::vector<Row> Rows;
   for (uint32_t Buckets = 4; Buckets <= 65536; Buckets *= 4) {
     core::SdtOptions Opts;
     Opts.Mechanism = core::IBMechanism::Sieve;
     Opts.SieveBuckets = Buckets;
 
+    Row R;
+    R.Buckets = Buckets;
+    for (const std::string &W : BenchContext::allWorkloadNames())
+      R.Ids.push_back(Runner.enqueue(W, Model, Opts));
+    Rows.push_back(std::move(R));
+  }
+  Runner.runAll();
+
+  std::vector<std::string> Names = BenchContext::allWorkloadNames();
+  for (const Row &R : Rows) {
     std::vector<Measurement> All;
     std::map<std::string, double> Slowdowns;
-    for (const std::string &W : BenchContext::allWorkloadNames()) {
-      Measurement M = Ctx.measure(W, Model, Opts);
+    for (size_t I = 0; I != R.Ids.size(); ++I) {
+      const Measurement &M = Runner.result(R.Ids[I]);
       All.push_back(M);
-      Slowdowns[W] = M.slowdown();
+      Slowdowns[Names[I]] = M.slowdown();
     }
-    T.beginRow().addCell(static_cast<uint64_t>(Buckets));
+    T.beginRow().addCell(static_cast<uint64_t>(R.Buckets));
     for (const std::string &W : Shown)
       T.addCell(Slowdowns.at(W), 3);
     T.addCell(geoMeanSlowdown(All), 3);

@@ -9,9 +9,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -33,11 +35,22 @@ int main() {
   std::vector<Measurement> XI, XS, SI, SS;
   unsigned X86IbtcWins = 0, SparcIbtcWins = 0;
 
+  ParallelRunner Runner(Ctx, "fig7_ibtc_vs_sieve");
+  std::vector<std::array<size_t, 4>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back({Runner.enqueue(W, arch::x86Model(), Ibtc),
+                   Runner.enqueue(W, arch::x86Model(), Sieve),
+                   Runner.enqueue(W, arch::sparcModel(), Ibtc),
+                   Runner.enqueue(W, arch::sparcModel(), Sieve)});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement MXI = Ctx.measure(W, arch::x86Model(), Ibtc);
-    Measurement MXS = Ctx.measure(W, arch::x86Model(), Sieve);
-    Measurement MSI = Ctx.measure(W, arch::sparcModel(), Ibtc);
-    Measurement MSS = Ctx.measure(W, arch::sparcModel(), Sieve);
+    const std::array<size_t, 4> &Cell = Ids[Next++];
+    Measurement MXI = Runner.result(Cell[0]);
+    Measurement MXS = Runner.result(Cell[1]);
+    Measurement MSI = Runner.result(Cell[2]);
+    Measurement MSS = Runner.result(Cell[3]);
     XI.push_back(MXI);
     XS.push_back(MXS);
     SI.push_back(MSI);

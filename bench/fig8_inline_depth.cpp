@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -31,14 +32,27 @@ int main() {
     Headers.push_back("depth-" + std::to_string(D));
   TableFormatter T(Headers);
 
-  std::vector<std::vector<Measurement>> ByDepth(std::size(Depths));
+  ParallelRunner Runner(Ctx, "fig8_inline_depth");
+  std::vector<std::vector<size_t>> Ids;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    T.beginRow().addCell(W);
+    std::vector<size_t> Row;
     for (size_t I = 0; I != std::size(Depths); ++I) {
       core::SdtOptions Opts;
       Opts.Mechanism = core::IBMechanism::Ibtc;
       Opts.InlineCacheDepth = Depths[I];
-      Measurement M = Ctx.measure(W, Model, Opts);
+      Row.push_back(Runner.enqueue(W, Model, Opts));
+    }
+    Ids.push_back(std::move(Row));
+  }
+  Runner.runAll();
+
+  std::vector<std::vector<Measurement>> ByDepth(std::size(Depths));
+  size_t Next = 0;
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    T.beginRow().addCell(W);
+    const std::vector<size_t> &Row = Ids[Next++];
+    for (size_t I = 0; I != std::size(Depths); ++I) {
+      const Measurement &M = Runner.result(Row[I]);
       ByDepth[I].push_back(M);
       T.addCell(M.slowdown(), 3);
     }

@@ -10,9 +10,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace sdt;
@@ -37,15 +39,27 @@ int main() {
                     "shadow-stack", "fast-return", "fastret-direct%"});
   std::vector<Measurement> AsInd, RetCache, ShadowStack, FastRet;
 
+  ParallelRunner Runner(Ctx, "fig9_returns");
+  std::vector<std::array<size_t, 4>> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back(
+        {Runner.enqueue(W, Model,
+                        configFor(core::ReturnStrategy::AsIndirect)),
+         Runner.enqueue(W, Model,
+                        configFor(core::ReturnStrategy::ReturnCache)),
+         Runner.enqueue(W, Model,
+                        configFor(core::ReturnStrategy::ShadowStack)),
+         Runner.enqueue(W, Model,
+                        configFor(core::ReturnStrategy::FastReturn))});
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement A =
-        Ctx.measure(W, Model, configFor(core::ReturnStrategy::AsIndirect));
-    Measurement R =
-        Ctx.measure(W, Model, configFor(core::ReturnStrategy::ReturnCache));
-    Measurement S = Ctx.measure(
-        W, Model, configFor(core::ReturnStrategy::ShadowStack));
-    Measurement F =
-        Ctx.measure(W, Model, configFor(core::ReturnStrategy::FastReturn));
+    const std::array<size_t, 4> &Cell = Ids[Next++];
+    Measurement A = Runner.result(Cell[0]);
+    Measurement R = Runner.result(Cell[1]);
+    Measurement S = Runner.result(Cell[2]);
+    Measurement F = Runner.result(Cell[3]);
     AsInd.push_back(A);
     RetCache.push_back(R);
     ShadowStack.push_back(S);

@@ -12,6 +12,7 @@
 #include "arch/CacheSim.h"
 #include "arch/MachineModel.h"
 #include "assembler/Assembler.h"
+#include "core/FragmentCache.h"
 #include "core/SdtEngine.h"
 #include "isa/Encoding.h"
 #include "support/Hashing.h"
@@ -58,6 +59,71 @@ static void BM_CacheSimAccess(benchmark::State &State) {
         Cache.access(static_cast<uint32_t>(R.nextBelow(1 << 20))));
 }
 BENCHMARK(BM_CacheSimAccess);
+
+// The MRU fast path: repeated hits on the same line are the simulator's
+// dominant cache pattern (straight-line fetch, repeated table probes).
+static void BM_CacheSimAccessMruHit(benchmark::State &State) {
+  arch::CacheSim Cache({16 * 1024, 64, 4});
+  Cache.access(0x1000);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cache.access(0x1000));
+}
+BENCHMARK(BM_CacheSimAccessMruHit);
+
+// The slow path the memo skips: hits that alternate between two lines of
+// the same set, forcing a way scan on every access.
+static void BM_CacheSimAccessSetScan(benchmark::State &State) {
+  arch::CacheSim Cache({16 * 1024, 64, 4});
+  // Same set, different tags: addresses 16KB/4-way = 4KB apart.
+  const uint32_t A = 0x1000, B = 0x1000 + 4096;
+  Cache.access(A);
+  Cache.access(B);
+  bool Flip = false;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.access(Flip ? A : B));
+    Flip = !Flip;
+  }
+}
+BENCHMARK(BM_CacheSimAccessSetScan);
+
+// FragmentCache::lookup on the same hot guest PC: served by the
+// one-entry memo without touching the hash map.
+static void BM_FragmentCacheLookupMemoHit(benchmark::State &State) {
+  core::FragmentCache FC(1 << 20);
+  for (uint32_t I = 0; I != 64; ++I) {
+    core::Fragment F;
+    F.GuestEntry = 0x1000 + I * 4;
+    F.HostEntryAddr = FC.allocateBytes(16);
+    core::HostInstr HI;
+    HI.HostAddr = F.HostEntryAddr;
+    F.Code.push_back(HI);
+    FC.insert(std::move(F));
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(FC.lookup(0x1000 + 32 * 4));
+}
+BENCHMARK(BM_FragmentCacheLookupMemoHit);
+
+// Alternating guest PCs defeat the memo: every lookup pays the hash-map
+// probe — the cost the memo removes from hot dispatch.
+static void BM_FragmentCacheLookupAlternating(benchmark::State &State) {
+  core::FragmentCache FC(1 << 20);
+  for (uint32_t I = 0; I != 64; ++I) {
+    core::Fragment F;
+    F.GuestEntry = 0x1000 + I * 4;
+    F.HostEntryAddr = FC.allocateBytes(16);
+    core::HostInstr HI;
+    HI.HostAddr = F.HostEntryAddr;
+    F.Code.push_back(HI);
+    FC.insert(std::move(F));
+  }
+  bool Flip = false;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(FC.lookup(Flip ? 0x1000 : 0x1000 + 63 * 4));
+    Flip = !Flip;
+  }
+}
+BENCHMARK(BM_FragmentCacheLookupAlternating);
 
 static void BM_PredictorConditional(benchmark::State &State) {
   arch::BranchPredictor P({4096, 512, 16});

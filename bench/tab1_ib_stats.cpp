@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 #include "workloads/Workloads.h"
@@ -30,8 +31,15 @@ int main() {
                     "icall/1k", "ijump/1k", "ib/1k", "ib-sites",
                     "max-fanout"});
 
+  ParallelRunner Runner(Ctx, "tab1_ib_stats");
+  std::vector<size_t> Ids;
+  for (const workloads::WorkloadInfo &W : workloads::allWorkloads())
+    Ids.push_back(Runner.enqueueNative(W.Name, /*CollectSiteTargets=*/true));
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const workloads::WorkloadInfo &W : workloads::allWorkloads()) {
-    vm::RunResult R = Ctx.runNative(W.Name, /*CollectSiteTargets=*/true);
+    const vm::RunResult &R = Runner.nativeResult(Ids[Next++]);
     double Instrs = static_cast<double>(R.InstructionCount);
     auto PerK = [Instrs](uint64_t N) {
       return 1000.0 * static_cast<double>(N) / Instrs;

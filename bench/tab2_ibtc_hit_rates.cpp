@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -30,14 +31,29 @@ int main() {
     Headers.push_back("hit%" + std::to_string(S));
   TableFormatter T(Headers);
 
+  ParallelRunner Runner(Ctx, "tab2_ibtc_hit_rates");
+  std::vector<std::vector<size_t>> Ids;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    T.beginRow().addCell(W);
-    bool First = true;
+    std::vector<size_t> Row;
     for (uint32_t S : Sizes) {
       core::SdtOptions Opts;
       Opts.Mechanism = core::IBMechanism::Ibtc;
       Opts.IbtcEntries = S;
-      Measurement M = Ctx.measure(W, Model, Opts);
+      Row.push_back(Runner.enqueue(W, Model, Opts));
+    }
+    Ids.push_back(std::move(Row));
+  }
+  Runner.runAll();
+
+  size_t Next = 0;
+  for (const std::string &W : BenchContext::allWorkloadNames()) {
+    T.beginRow().addCell(W);
+    bool First = true;
+    size_t SI = 0;
+    const std::vector<size_t> &Row = Ids[Next++];
+    for (uint32_t S : Sizes) {
+      (void)S;
+      const Measurement &M = Runner.result(Row[SI++]);
       if (First) {
         T.addCell(1000.0 *
                       static_cast<double>(M.NativeCti.indirectTotal()) /

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+#include "ParallelRunner.h"
 
 #include "support/TableFormatter.h"
 
@@ -34,8 +35,15 @@ int main() {
   TableFormatter T({"benchmark", "slowdown", "app%", "translate%",
                     "dispatch%", "ib-lookup%", "link%"});
 
+  ParallelRunner Runner(Ctx, "tab3_overhead_breakdown");
+  std::vector<size_t> Ids;
+  for (const std::string &W : BenchContext::allWorkloadNames())
+    Ids.push_back(Runner.enqueue(W, Model, Opts));
+  Runner.runAll();
+
+  size_t Next = 0;
   for (const std::string &W : BenchContext::allWorkloadNames()) {
-    Measurement M = Ctx.measure(W, Model, Opts);
+    const Measurement &M = Runner.result(Ids[Next++]);
     T.beginRow()
         .addCell(W)
         .addCell(M.slowdown(), 3)

@@ -1,13 +1,18 @@
 #!/usr/bin/env sh
 # Runs every experiment and ablation binary, writing one output file per
-# experiment under results/ plus a combined log. Usage:
-#   scripts/run_all_experiments.sh [build-dir] [scale]
+# experiment under results/ plus a combined log and a machine-readable
+# summary (results/bench_summary.json). Usage:
+#   scripts/run_all_experiments.sh [build-dir] [scale] [jobs]
+# `jobs` is forwarded as STRATAIB_JOBS to every binary: each experiment
+# fans its measurement cells across that many worker threads (0 = one
+# per hardware thread). Cycle counts are identical for any job count.
 set -eu
 
 BUILD="${1:-build}"
 SCALE="${2:-20}"
+JOBS="${3:-${STRATAIB_JOBS:-0}}"
 OUT="results"
-mkdir -p "$OUT"
+mkdir -p "$OUT" "$OUT/summary"
 
 if [ ! -d "$BUILD/bench" ]; then
   echo "error: '$BUILD/bench' not found; build first:" >&2
@@ -23,14 +28,29 @@ for BIN in "$BUILD"/bench/*; do
     micro_primitives) continue ;; # google-benchmark; run separately
     *.cmake|*.a) continue ;;
   esac
-  echo "== $NAME (STRATAIB_SCALE=$SCALE) =="
-  STRATAIB_SCALE="$SCALE" "$BIN" | tee "$OUT/$NAME.txt" \
+  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS) =="
+  STRATAIB_SCALE="$SCALE" STRATAIB_JOBS="$JOBS" \
+    STRATAIB_SUMMARY="$OUT/summary/$NAME.json" \
+    "$BIN" | tee "$OUT/$NAME.txt" \
     >> "$OUT/all_experiments.txt"
   echo >> "$OUT/all_experiments.txt"
 done
+
+# Merge the per-experiment JSON documents into one machine-readable file.
+{
+  printf '{\n"experiments": [\n'
+  FIRST=1
+  for J in "$OUT"/summary/*.json; do
+    [ -f "$J" ] || continue
+    [ "$FIRST" = 1 ] || printf ',\n'
+    FIRST=0
+    cat "$J"
+  done
+  printf ']\n}\n'
+} > "$OUT/bench_summary.json"
 
 echo "== micro_primitives =="
 "$BUILD"/bench/micro_primitives --benchmark_min_time=0.05 \
   | tee "$OUT/micro_primitives.txt" >> "$OUT/all_experiments.txt" 2>&1
 
-echo "done: outputs in $OUT/"
+echo "done: outputs in $OUT/ (summary: $OUT/bench_summary.json)"

@@ -21,6 +21,7 @@ CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
   LineShift = log2Floor(Config.LineBytes);
   SetMask = Config.numSets() - 1;
   Ways.resize(static_cast<size_t>(Config.numSets()) * Config.Associativity);
+  MruWay.assign(Config.numSets(), 0);
 }
 
 uint32_t CacheSim::setIndex(uint32_t Addr) const {
@@ -37,11 +38,22 @@ bool CacheSim::access(uint32_t Addr) {
   uint32_t Tag = tagOf(Addr);
   Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
 
+  // MRU memo: consecutive touches to a set overwhelmingly land on the
+  // same line (straight-line fetch, repeated table probes), so check the
+  // last-touched way before scanning them all.
+  Way &Mru = Base[MruWay[Set]];
+  if (Mru.Valid && Mru.Tag == Tag) {
+    Mru.LastUse = Clock;
+    ++Hits;
+    return true;
+  }
+
   Way *Victim = Base;
   for (uint32_t W = 0; W != Config.Associativity; ++W) {
     Way &Candidate = Base[W];
     if (Candidate.Valid && Candidate.Tag == Tag) {
       Candidate.LastUse = Clock;
+      MruWay[Set] = W;
       ++Hits;
       return true;
     }
@@ -53,6 +65,7 @@ bool CacheSim::access(uint32_t Addr) {
   Victim->Tag = Tag;
   Victim->Valid = true;
   Victim->LastUse = Clock;
+  MruWay[Set] = static_cast<uint32_t>(Victim - Base);
   ++Misses;
   return false;
 }

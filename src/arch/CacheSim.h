@@ -41,6 +41,11 @@ public:
 
   /// Touches the line containing \p Addr. Returns true on hit. Misses
   /// allocate (write-allocate policy for stores too).
+  ///
+  /// Fast path: each set remembers its most-recently-used way, so the
+  /// common touch-the-same-line-again case hits without scanning every
+  /// way. Hit/miss results, LRU state, and counters are bit-identical to
+  /// the full scan.
   bool access(uint32_t Addr);
 
   /// True if the line containing \p Addr is currently resident (no state
@@ -71,6 +76,7 @@ private:
   uint32_t LineShift;
   uint32_t SetMask;
   std::vector<Way> Ways; ///< numSets x Associativity, row-major.
+  std::vector<uint32_t> MruWay; ///< Per set: way index touched last.
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;

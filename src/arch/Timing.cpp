@@ -37,12 +37,17 @@ TimingModel::TimingModel(const MachineModel &Model)
     : Model(Model), ICache(Model.ICache), DCache(Model.DCache),
       Predictor(Model.Predictor) {}
 
+// Each cost method has an explicit-category core; the category-less form
+// charges the current category, so pre-existing callers (the native VM
+// loop, tests) behave exactly as before.
+
 void TimingModel::chargeFetch(uint32_t Addr) {
   if (!ICache.access(Addr))
     charge(Model.ICacheMissPenalty);
 }
 
-void TimingModel::chargeCodeRange(uint32_t Addr, uint32_t Bytes) {
+void TimingModel::chargeCodeRange(CycleCategory C, uint32_t Addr,
+                                  uint32_t Bytes) {
   if (Bytes == 0)
     return;
   uint32_t Line = Model.ICache.LineBytes;
@@ -50,23 +55,31 @@ void TimingModel::chargeCodeRange(uint32_t Addr, uint32_t Bytes) {
   uint32_t Last = (Addr + Bytes - 1) & ~(Line - 1);
   for (uint32_t A = First;; A += Line) {
     if (!ICache.access(A))
-      charge(Model.ICacheMissPenalty);
+      charge(C, Model.ICacheMissPenalty);
     if (A == Last)
       break;
   }
 }
 
-void TimingModel::chargeLoad(uint32_t Addr) {
-  charge(Model.LoadCost);
-  if (!DCache.access(Addr))
-    charge(Model.DCacheMissPenalty);
+void TimingModel::chargeCodeRange(uint32_t Addr, uint32_t Bytes) {
+  chargeCodeRange(Current, Addr, Bytes);
 }
 
-void TimingModel::chargeStore(uint32_t Addr) {
-  charge(Model.StoreCost);
+void TimingModel::chargeLoad(CycleCategory C, uint32_t Addr) {
+  charge(C, Model.LoadCost);
   if (!DCache.access(Addr))
-    charge(Model.DCacheMissPenalty);
+    charge(C, Model.DCacheMissPenalty);
 }
+
+void TimingModel::chargeLoad(uint32_t Addr) { chargeLoad(Current, Addr); }
+
+void TimingModel::chargeStore(CycleCategory C, uint32_t Addr) {
+  charge(C, Model.StoreCost);
+  if (!DCache.access(Addr))
+    charge(C, Model.DCacheMissPenalty);
+}
+
+void TimingModel::chargeStore(uint32_t Addr) { chargeStore(Current, Addr); }
 
 void TimingModel::chargeExecute(const Instruction &I) {
   switch (I.Op) {
@@ -83,58 +96,108 @@ void TimingModel::chargeExecute(const Instruction &I) {
   }
 }
 
-void TimingModel::chargeCondBranch(uint32_t Pc, bool Taken) {
-  charge(Model.BranchCost);
+void TimingModel::chargeCondBranch(CycleCategory C, uint32_t Pc,
+                                   bool Taken) {
+  charge(C, Model.BranchCost);
   if (!Predictor.predictConditional(Pc, Taken))
-    charge(Model.CondMispredictPenalty);
+    charge(C, Model.CondMispredictPenalty);
 }
 
-void TimingModel::chargeDirectJump() { charge(Model.JumpCost); }
+void TimingModel::chargeCondBranch(uint32_t Pc, bool Taken) {
+  chargeCondBranch(Current, Pc, Taken);
+}
+
+void TimingModel::chargeDirectJump(CycleCategory C) {
+  charge(C, Model.JumpCost);
+}
+
+void TimingModel::chargeDirectJump() { chargeDirectJump(Current); }
 
 void TimingModel::chargeCallLink(uint32_t ReturnAddr) {
   charge(Model.JumpCost);
   Predictor.pushReturn(ReturnAddr);
 }
 
-void TimingModel::chargeIndirectJump(uint32_t Pc, uint32_t Target) {
-  charge(Model.IndirectCost);
+void TimingModel::chargeIndirectJump(CycleCategory C, uint32_t Pc,
+                                     uint32_t Target) {
+  charge(C, Model.IndirectCost);
   if (!Predictor.predictIndirect(Pc, Target))
-    charge(Model.IndirectMispredictPenalty);
+    charge(C, Model.IndirectMispredictPenalty);
+}
+
+void TimingModel::chargeIndirectJump(uint32_t Pc, uint32_t Target) {
+  chargeIndirectJump(Current, Pc, Target);
+}
+
+void TimingModel::chargeReturn(CycleCategory C, uint32_t Target) {
+  charge(C, Model.IndirectCost);
+  if (!Predictor.predictReturn(Target))
+    charge(C, Model.ReturnMispredictPenalty);
 }
 
 void TimingModel::chargeReturn(uint32_t Target) {
-  charge(Model.IndirectCost);
-  if (!Predictor.predictReturn(Target))
-    charge(Model.ReturnMispredictPenalty);
+  chargeReturn(Current, Target);
 }
 
 void TimingModel::chargeSyscall() { charge(Model.SyscallCost); }
 
-void TimingModel::chargeContextSave() { charge(Model.ContextSaveCost); }
+void TimingModel::chargeContextSave(CycleCategory C) {
+  charge(C, Model.ContextSaveCost);
+}
 
-void TimingModel::chargeContextRestore() {
-  charge(Model.ContextRestoreCost);
+void TimingModel::chargeContextSave() { chargeContextSave(Current); }
+
+void TimingModel::chargeContextRestore(CycleCategory C) {
+  charge(C, Model.ContextRestoreCost);
+}
+
+void TimingModel::chargeContextRestore() { chargeContextRestore(Current); }
+
+void TimingModel::chargeFlagSave(CycleCategory C, bool FullSave) {
+  charge(C, FullSave ? Model.FlagSaveFullCost : Model.FlagSaveLightCost);
 }
 
 void TimingModel::chargeFlagSave(bool FullSave) {
-  charge(FullSave ? Model.FlagSaveFullCost : Model.FlagSaveLightCost);
+  chargeFlagSave(Current, FullSave);
+}
+
+void TimingModel::chargeFlagRestore(CycleCategory C, bool FullSave) {
+  charge(C,
+         FullSave ? Model.FlagRestoreFullCost : Model.FlagRestoreLightCost);
 }
 
 void TimingModel::chargeFlagRestore(bool FullSave) {
-  charge(FullSave ? Model.FlagRestoreFullCost : Model.FlagRestoreLightCost);
+  chargeFlagRestore(Current, FullSave);
 }
 
-void TimingModel::chargeMapLookup() { charge(Model.MapLookupCost); }
+void TimingModel::chargeMapLookup(CycleCategory C) {
+  charge(C, Model.MapLookupCost);
+}
+
+void TimingModel::chargeMapLookup() { chargeMapLookup(Current); }
+
+void TimingModel::chargeTranslation(CycleCategory C,
+                                    unsigned GuestInstrCount) {
+  charge(C, static_cast<uint64_t>(Model.TranslateCostPerInstr) *
+                GuestInstrCount);
+}
 
 void TimingModel::chargeTranslation(unsigned GuestInstrCount) {
-  charge(static_cast<uint64_t>(Model.TranslateCostPerInstr) *
-         GuestInstrCount);
+  chargeTranslation(Current, GuestInstrCount);
 }
 
-void TimingModel::chargeLinkPatch() { charge(Model.LinkPatchCost); }
+void TimingModel::chargeLinkPatch(CycleCategory C) {
+  charge(C, Model.LinkPatchCost);
+}
+
+void TimingModel::chargeLinkPatch() { chargeLinkPatch(Current); }
+
+void TimingModel::chargeAluOps(CycleCategory C, unsigned Count) {
+  charge(C, static_cast<uint64_t>(Model.AluCost) * Count);
+}
 
 void TimingModel::chargeAluOps(unsigned Count) {
-  charge(static_cast<uint64_t>(Model.AluCost) * Count);
+  chargeAluOps(Current, Count);
 }
 
 uint64_t TimingModel::totalCycles() const {

@@ -76,6 +76,14 @@ public:
   void charge(uint64_t Cycles) {
     Accumulated[static_cast<size_t>(Current)] += Cycles;
   }
+  /// Accumulates directly into \p C without touching the current
+  /// category. The explicit-category overloads below are the hot-path
+  /// form: per-op category flips (setCategory pairs, CategoryScope
+  /// save/restore churn) disappear from the simulation loop, while the
+  /// attribution stays exactly the same.
+  void charge(CycleCategory C, uint64_t Cycles) {
+    Accumulated[static_cast<size_t>(C)] += Cycles;
+  }
 
   // --- Instruction-level charging -------------------------------------------
   /// Instruction fetch at \p Addr: I-cache access; miss penalty on miss.
@@ -86,10 +94,13 @@ public:
   /// footprint exceeds one host instruction (the sieve's stub chains, the
   /// IBTC's inline probe sequence).
   void chargeCodeRange(uint32_t Addr, uint32_t Bytes);
+  void chargeCodeRange(CycleCategory C, uint32_t Addr, uint32_t Bytes);
 
   /// Data access at \p Addr: op cost + D-cache miss penalty on miss.
   void chargeLoad(uint32_t Addr);
+  void chargeLoad(CycleCategory C, uint32_t Addr);
   void chargeStore(uint32_t Addr);
+  void chargeStore(CycleCategory C, uint32_t Addr);
 
   /// Charges the execute cost of non-control \p I (no fetch, no memory:
   /// callers charge those with the address-aware methods above).
@@ -97,23 +108,35 @@ public:
 
   // --- Control flow (prediction-aware) ---------------------------------------
   void chargeCondBranch(uint32_t Pc, bool Taken);
+  void chargeCondBranch(CycleCategory C, uint32_t Pc, bool Taken);
   void chargeDirectJump();
+  void chargeDirectJump(CycleCategory C);
   /// Direct or indirect call: jump cost + RAS push for \p ReturnAddr.
   void chargeCallLink(uint32_t ReturnAddr);
   void chargeIndirectJump(uint32_t Pc, uint32_t Target);
+  void chargeIndirectJump(CycleCategory C, uint32_t Pc, uint32_t Target);
   void chargeReturn(uint32_t Target);
+  void chargeReturn(CycleCategory C, uint32_t Target);
   void chargeSyscall();
 
   // --- SDT-mechanism costs -----------------------------------------------
   void chargeContextSave();
+  void chargeContextSave(CycleCategory C);
   void chargeContextRestore();
+  void chargeContextRestore(CycleCategory C);
   void chargeFlagSave(bool FullSave);
+  void chargeFlagSave(CycleCategory C, bool FullSave);
   void chargeFlagRestore(bool FullSave);
+  void chargeFlagRestore(CycleCategory C, bool FullSave);
   void chargeMapLookup();
+  void chargeMapLookup(CycleCategory C);
   void chargeTranslation(unsigned GuestInstrCount);
+  void chargeTranslation(CycleCategory C, unsigned GuestInstrCount);
   void chargeLinkPatch();
+  void chargeLinkPatch(CycleCategory C);
   /// N inline ALU ops (hash computation etc.).
   void chargeAluOps(unsigned Count);
+  void chargeAluOps(CycleCategory C, unsigned Count);
 
   // --- Results ----------------------------------------------------------
   uint64_t totalCycles() const;

@@ -39,10 +39,15 @@ FragmentCache::FragmentCache(uint32_t CapacityBytes)
 }
 
 HostLoc FragmentCache::lookup(uint32_t GuestPc) const {
+  if (LastGuestValid && LastGuestPc == GuestPc)
+    return LastGuestLoc;
   auto It = GuestMap.find(GuestPc);
   if (It == GuestMap.end())
     return HostLoc();
-  return HostLoc{It->second, 0};
+  LastGuestValid = true;
+  LastGuestPc = GuestPc;
+  LastGuestLoc = HostLoc{It->second, 0};
+  return LastGuestLoc;
 }
 
 uint32_t FragmentCache::beginFragment() { return Cursor; }
@@ -65,6 +70,7 @@ HostLoc FragmentCache::insert(Fragment Frag) {
   (void)GuestInserted;
   EntryMap.emplace(Frag.HostEntryAddr, Index);
   Fragments.push_back(std::move(Frag));
+  invalidateMemos();
   return HostLoc{Index, 0};
 }
 
@@ -76,10 +82,12 @@ HostLoc FragmentCache::replaceForGuest(Fragment Frag) {
   It->second = Index;
   EntryMap.emplace(Frag.HostEntryAddr, Index);
   Fragments.push_back(std::move(Frag));
+  invalidateMemos();
   return HostLoc{Index, 0};
 }
 
 void FragmentCache::flushAll() {
+  invalidateMemos();
   for (const Fragment &F : Fragments)
     RetiredEntries.emplace(F.HostEntryAddr, F.GuestEntry);
   Fragments.clear();
@@ -92,10 +100,15 @@ void FragmentCache::flushAll() {
 }
 
 HostLoc FragmentCache::locForEntryAddr(uint32_t HostEntryAddr) const {
+  if (LastEntryValid && LastEntryAddr == HostEntryAddr)
+    return LastEntryLoc;
   auto It = EntryMap.find(HostEntryAddr);
   if (It == EntryMap.end())
     return HostLoc();
-  return HostLoc{It->second, 0};
+  LastEntryValid = true;
+  LastEntryAddr = HostEntryAddr;
+  LastEntryLoc = HostLoc{It->second, 0};
+  return LastEntryLoc;
 }
 
 uint32_t FragmentCache::retiredGuestEntry(uint32_t HostEntryAddr) const {

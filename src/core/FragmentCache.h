@@ -45,7 +45,9 @@ public:
   explicit FragmentCache(uint32_t CapacityBytes);
 
   /// Looks up the fragment translating guest address \p GuestPc; invalid
-  /// HostLoc when absent.
+  /// HostLoc when absent. Repeated lookups of the same guest address
+  /// (hot dispatch targets) are served from a one-entry memo without
+  /// touching the hash map.
   HostLoc lookup(uint32_t GuestPc) const;
 
   /// Registers \p Frag (translated code for Frag.GuestEntry). Returns its
@@ -77,7 +79,8 @@ public:
   void flushAll();
 
   /// Maps a live fragment entry address to its location; invalid HostLoc
-  /// when unknown (e.g. flushed).
+  /// when unknown (e.g. flushed). Memoised like lookup(): IB mechanisms
+  /// resolve the same hot entry address on every dispatch.
   HostLoc locForEntryAddr(uint32_t HostEntryAddr) const;
 
   /// For a fragment entry address retired by a flush: the guest PC it used
@@ -93,6 +96,11 @@ public:
   uint64_t flushCount() const { return Flushes; }
 
 private:
+  void invalidateMemos() {
+    LastGuestValid = false;
+    LastEntryValid = false;
+  }
+
   uint32_t CapacityBytes;
   uint32_t Cursor = FragmentCacheBase;
   uint32_t UsedBytes = 0;
@@ -101,6 +109,15 @@ private:
   std::unordered_map<uint32_t, uint32_t> GuestMap; ///< guest PC -> index.
   std::unordered_map<uint32_t, uint32_t> EntryMap; ///< host addr -> index.
   std::unordered_map<uint32_t, uint32_t> RetiredEntries; ///< host -> guest.
+
+  /// One-entry memos for the two hot map lookups. Only successful
+  /// lookups are memoised; any mutation invalidates both.
+  mutable bool LastGuestValid = false;
+  mutable uint32_t LastGuestPc = 0;
+  mutable HostLoc LastGuestLoc;
+  mutable bool LastEntryValid = false;
+  mutable uint32_t LastEntryAddr = 0;
+  mutable HostLoc LastEntryLoc;
 };
 
 } // namespace core

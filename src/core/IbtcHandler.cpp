@@ -69,26 +69,32 @@ LookupOutcome IbtcHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
 
   if (Timing) {
     // The site's inline code beyond the first host word.
-    Timing->chargeCodeRange(SiteAddr + 4, InlineBytes - 4);
+    Timing->chargeCodeRange(arch::CycleCategory::IBLookup, SiteAddr + 4,
+                              InlineBytes - 4);
     if (ChargeFlagSave)
-      Timing->chargeFlagSave(Opts.FullFlagSave);
-    Timing->chargeAluOps(hashAluOpCount(Opts.IbtcHash) + 1); // + addr calc
+      Timing->chargeFlagSave(arch::CycleCategory::IBLookup,
+                             Opts.FullFlagSave);
+    Timing->chargeAluOps(arch::CycleCategory::IBLookup,
+                         hashAluOpCount(Opts.IbtcHash) + 1); // + addr calc
   }
 
   for (uint32_t Way = 0; Way != Assoc; ++Way) {
     uint32_t EntryAddr = T.DataAddr + (SetBase + Way) * 8;
     if (Timing) {
-      Timing->chargeLoad(EntryAddr); // tag
-      Timing->chargeAluOps(1);       // compare
+      Timing->chargeLoad(arch::CycleCategory::IBLookup, EntryAddr); // tag
+      Timing->chargeAluOps(arch::CycleCategory::IBLookup, 1);       // compare
     }
     Entry &E = T.Entries[SetBase + Way];
     if (E.GuestTag == GuestTarget) {
       E.LastUse = ++Clock;
       if (Timing) {
-        Timing->chargeLoad(EntryAddr + 4); // translated target
+        Timing->chargeLoad(arch::CycleCategory::IBLookup,
+                           EntryAddr + 4); // translated target
         if (ChargeFlagSave)
-          Timing->chargeFlagRestore(Opts.FullFlagSave);
-        Timing->chargeIndirectJump(SiteAddr, E.HostEntryAddr);
+          Timing->chargeFlagRestore(arch::CycleCategory::IBLookup,
+                                    Opts.FullFlagSave);
+        Timing->chargeIndirectJump(arch::CycleCategory::IBLookup, SiteAddr,
+                                   E.HostEntryAddr);
       }
       countLookup(/*Hit=*/true);
       return {true, E.HostEntryAddr};
@@ -131,8 +137,8 @@ void IbtcHandler::record(uint32_t SiteId, uint32_t GuestTarget,
     uint32_t EntryAddr =
         T.DataAddr +
         static_cast<uint32_t>(Victim - T.Entries.data()) * 8;
-    Timing->chargeStore(EntryAddr);
-    Timing->chargeStore(EntryAddr + 4);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr + 4);
   }
 
   if (Opts.IbtcAdaptive &&
@@ -169,17 +175,17 @@ void IbtcHandler::growTable(Table &T, arch::TimingModel *Timing) {
       Slot = &T.Entries[SetBase]; // Conflict even after growth: drop one.
     *Slot = E;
     if (Timing) {
-      Timing->chargeLoad(OldAddr + Index * 8);
+      Timing->chargeLoad(arch::CycleCategory::IBLookup, OldAddr + Index * 8);
       uint32_t NewAddr =
           T.DataAddr + static_cast<uint32_t>(Slot - T.Entries.data()) * 8;
-      Timing->chargeStore(NewAddr);
-      Timing->chargeStore(NewAddr + 4);
+      Timing->chargeStore(arch::CycleCategory::IBLookup, NewAddr);
+      Timing->chargeStore(arch::CycleCategory::IBLookup, NewAddr + 4);
     }
     ++Index;
   }
   // Every IB site's inline mask constant gets patched to the new size.
   if (Timing)
-    Timing->chargeLinkPatch();
+    Timing->chargeLinkPatch(arch::CycleCategory::IBLookup);
 }
 
 void IbtcHandler::flush() {

@@ -41,7 +41,8 @@ LookupOutcome InlineCacheHandler::lookup(uint32_t SiteId,
   Site &S = Sites.at(SiteId);
 
   if (Timing)
-    Timing->chargeFlagSave(Opts.FullFlagSave);
+    Timing->chargeFlagSave(arch::CycleCategory::IBLookup,
+                           Opts.FullFlagSave);
 
   for (size_t I = 0, E = S.Entries.size(); I != E; ++I) {
     const InlineEntry &Entry = S.Entries[I];
@@ -49,16 +50,21 @@ LookupOutcome InlineCacheHandler::lookup(uint32_t SiteId,
                                               EntryBytes;
     bool Match = Entry.GuestTarget == GuestTarget;
     if (Timing) {
-      Timing->chargeCodeRange(EntryAddr, EntryBytes);
-      Timing->chargeAluOps(2); // Materialise the predicted target, compare.
+      Timing->chargeCodeRange(arch::CycleCategory::IBLookup, EntryAddr,
+                              EntryBytes);
+      // Materialise the predicted target, compare.
+      Timing->chargeAluOps(arch::CycleCategory::IBLookup, 2);
       // The inlined compare is an ordinary conditional branch: highly
       // predictable at monomorphic sites, which is the whole point.
-      Timing->chargeCondBranch(EntryAddr, Match);
+      Timing->chargeCondBranch(arch::CycleCategory::IBLookup, EntryAddr,
+                               Match);
     }
     if (Match) {
       if (Timing) {
-        Timing->chargeFlagRestore(Opts.FullFlagSave);
-        Timing->chargeDirectJump(); // Straight to the fragment.
+        Timing->chargeFlagRestore(arch::CycleCategory::IBLookup,
+                                  Opts.FullFlagSave);
+        // Straight to the fragment.
+        Timing->chargeDirectJump(arch::CycleCategory::IBLookup);
       }
       ++InlineHits;
       countLookup(/*Hit=*/true);
@@ -82,8 +88,8 @@ void InlineCacheHandler::record(uint32_t SiteId, uint32_t GuestTarget,
       uint32_t EntryAddr =
           S.CodeAddr + 8 +
           static_cast<uint32_t>(S.Entries.size() - 1) * EntryBytes;
-      Timing->chargeStore(EntryAddr);
-      Timing->chargeStore(EntryAddr + 4);
+      Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr);
+      Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr + 4);
     }
     return;
   }

@@ -39,18 +39,21 @@ LookupOutcome ReturnCacheHandler::lookup(uint32_t SiteId,
   uint32_t SiteAddr = SiteCodeAddr.at(SiteId);
 
   if (Timing) {
-    Timing->chargeCodeRange(SiteAddr + 4, SiteBytes - 4);
+    Timing->chargeCodeRange(arch::CycleCategory::IBLookup, SiteAddr + 4,
+                            SiteBytes - 4);
     // No flag save: condition codes are dead across returns.
-    Timing->chargeAluOps(hashAluOpCount(HashKind::ShiftMask) + 1);
-    Timing->chargeLoad(EntryAddr);
-    Timing->chargeAluOps(1);
+    Timing->chargeAluOps(arch::CycleCategory::IBLookup,
+                         hashAluOpCount(HashKind::ShiftMask) + 1);
+    Timing->chargeLoad(arch::CycleCategory::IBLookup, EntryAddr);
+    Timing->chargeAluOps(arch::CycleCategory::IBLookup, 1);
   }
 
   Entry &E = Entries[Index];
   if (E.GuestTag == GuestTarget) {
     if (Timing) {
-      Timing->chargeLoad(EntryAddr + 4);
-      Timing->chargeIndirectJump(SiteAddr, E.HostEntryAddr);
+      Timing->chargeLoad(arch::CycleCategory::IBLookup, EntryAddr + 4);
+      Timing->chargeIndirectJump(arch::CycleCategory::IBLookup, SiteAddr,
+                                 E.HostEntryAddr);
     }
     countLookup(/*Hit=*/true);
     return {true, E.HostEntryAddr};
@@ -68,8 +71,8 @@ void ReturnCacheHandler::record(uint32_t SiteId, uint32_t GuestTarget,
   Entries[Index] = {GuestTarget, HostEntryAddr};
   if (Timing) {
     uint32_t EntryAddr = ReturnCacheRegionBase + Index * 8;
-    Timing->chargeStore(EntryAddr);
-    Timing->chargeStore(EntryAddr + 4);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr + 4);
   }
 }
 

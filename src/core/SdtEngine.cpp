@@ -112,10 +112,8 @@ void SdtEngine::finishTrace(Translator::TraceEnd End) {
   Trampoline.Linked = true;
   Cache.fragment(OldFrag).Code[0] = Trampoline;
   ++Stats.LinksPatched;
-  if (Exec.Timing) {
-    TimingModel::CategoryScope Scope(*Exec.Timing, CycleCategory::Link);
-    Exec.Timing->chargeLinkPatch();
-  }
+  if (Exec.Timing)
+    Exec.Timing->chargeLinkPatch(CycleCategory::Link);
 }
 
 void SdtEngine::flushEverything() {
@@ -147,9 +145,8 @@ HostLoc SdtEngine::dispatchTo(uint32_t GuestPc) {
   ++Stats.DispatchEntries;
   TimingModel *T = Exec.Timing;
   if (T) {
-    TimingModel::CategoryScope Scope(*T, CycleCategory::Dispatch);
-    T->chargeContextSave();
-    T->chargeMapLookup();
+    T->chargeContextSave(CycleCategory::Dispatch);
+    T->chargeMapLookup(CycleCategory::Dispatch);
   }
 
   HostLoc Loc = Cache.lookup(GuestPc);
@@ -164,10 +161,8 @@ HostLoc SdtEngine::dispatchTo(uint32_t GuestPc) {
     Loc = *Translated;
   }
 
-  if (T) {
-    TimingModel::CategoryScope Scope(*T, CycleCategory::Dispatch);
-    T->chargeContextRestore();
-  }
+  if (T)
+    T->chargeContextRestore(CycleCategory::Dispatch);
   return Loc;
 }
 
@@ -207,7 +202,6 @@ RunResult SdtEngine::run() {
   while (!Done) {
     if (Executed >= Exec.MaxInstructions) {
       finish(ExitReason::InstrLimit);
-      Result.Reason = ExitReason::InstrLimit;
       break;
     }
 
@@ -218,13 +212,11 @@ RunResult SdtEngine::run() {
         ++BlockCounts[Entered.GuestEntry];
         if (T) {
           // The injected probe: load the block's counter, bump, store.
-          TimingModel::CategoryScope Scope(*T,
-                                           CycleCategory::Instrument);
           uint32_t CounterAddr =
               BlockCounterRegionBase + (Entered.GuestEntry & 0x03FFFFFC);
-          T->chargeLoad(CounterAddr);
-          T->chargeAluOps(1);
-          T->chargeStore(CounterAddr);
+          T->chargeLoad(CycleCategory::Instrument, CounterAddr);
+          T->chargeAluOps(CycleCategory::Instrument, 1);
+          T->chargeStore(CycleCategory::Instrument, CounterAddr);
         }
       }
       if (Opts.EnableTraces) {
@@ -249,10 +241,9 @@ RunResult SdtEngine::run() {
     // references into it (and finishTrace may patch Code[0] in place).
     const HostInstr HI = Cache.fragment(Cur.Frag).Code[Cur.Index];
 
-    if (T) {
-      T->setCategory(CycleCategory::App);
-      T->chargeFetch(HI.HostAddr);
-    }
+    if (T)
+      T->chargeFetch(HI.HostAddr); // Current category stays App throughout.
+
     if (HI.CountsAsGuest)
       ++Executed;
 
@@ -338,10 +329,8 @@ RunResult SdtEngine::run() {
         Orig.TargetHost = Loc;
         Orig.Linked = true;
         ++Stats.LinksPatched;
-        if (T) {
-          TimingModel::CategoryScope Scope(*T, CycleCategory::Link);
-          T->chargeLinkPatch();
-        }
+        if (T)
+          T->chargeLinkPatch(CycleCategory::Link);
       }
       Cur = Loc;
       break;
@@ -379,12 +368,12 @@ RunResult SdtEngine::run() {
         Shadow[Slot] = {HI.TargetGuest, ReturnPointHost};
         ++ShadowTop;
         if (T) {
-          TimingModel::CategoryScope Scope(*T, CycleCategory::IBLookup);
           uint32_t SlotAddr =
               ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
-          T->chargeStore(SlotAddr);
-          T->chargeStore(SlotAddr + 4);
-          T->chargeAluOps(1); // Bump the shadow stack pointer.
+          T->chargeStore(CycleCategory::IBLookup, SlotAddr);
+          T->chargeStore(CycleCategory::IBLookup, SlotAddr + 4);
+          // Bump the shadow stack pointer.
+          T->chargeAluOps(CycleCategory::IBLookup, 1);
         }
       }
       State.setReg(HI.GuestI.Rd, LinkValue);
@@ -426,10 +415,8 @@ RunResult SdtEngine::run() {
       if (HI.SiteClass == IBClass::Return &&
           Opts.Returns == ReturnStrategy::FastReturn &&
           Target >= FragmentCacheBase) {
-        if (T) {
-          TimingModel::CategoryScope Scope(*T, CycleCategory::IBLookup);
-          T->chargeReturn(Target);
-        }
+        if (T)
+          T->chargeReturn(CycleCategory::IBLookup, Target);
         HostLoc Loc = Cache.locForEntryAddr(Target);
         if (Loc.valid()) {
           ++Stats.FastReturnDirect;
@@ -467,17 +454,17 @@ RunResult SdtEngine::run() {
           uint32_t SlotAddr =
               ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
           if (T) {
-            TimingModel::CategoryScope Scope(*T, CycleCategory::IBLookup);
-            T->chargeLoad(SlotAddr); // Guest tag.
-            T->chargeAluOps(2);      // Pointer math + compare.
+            T->chargeLoad(CycleCategory::IBLookup, SlotAddr); // Guest tag.
+            // Pointer math + compare.
+            T->chargeAluOps(CycleCategory::IBLookup, 2);
           }
           --ShadowTop; // Pop on match *and* on mismatch (resync).
           if (Guest == Target) {
             if (T) {
-              TimingModel::CategoryScope Scope(*T,
-                                               CycleCategory::IBLookup);
-              T->chargeLoad(SlotAddr + 4); // Translated target.
-              T->chargeIndirectJump(HI.HostAddr, Host);
+              // Translated target.
+              T->chargeLoad(CycleCategory::IBLookup, SlotAddr + 4);
+              T->chargeIndirectJump(CycleCategory::IBLookup, HI.HostAddr,
+                                    Host);
             }
             HostLoc Loc = Cache.locForEntryAddr(Host);
             if (Loc.valid()) {
@@ -519,15 +506,10 @@ RunResult SdtEngine::run() {
         // Otherwise fall through to the general mechanism below.
       }
 
+      // Handlers attribute their own charges to IBLookup; no category
+      // flip needed around the call.
       IBHandler *H = handlerFor(HI.SiteClass);
-      LookupOutcome Outcome;
-      {
-        if (T)
-          T->setCategory(CycleCategory::IBLookup);
-        Outcome = H->lookup(HI.SiteId, Target, T);
-        if (T)
-          T->setCategory(CycleCategory::App);
-      }
+      LookupOutcome Outcome = H->lookup(HI.SiteId, Target, T);
       if (Outcome.Hit) {
         ++Stats.IBInlineHits[ClassIdx];
         HostLoc Loc = Cache.locForEntryAddr(Outcome.HostEntryAddr);
@@ -545,11 +527,7 @@ RunResult SdtEngine::run() {
       }
       if (Cache.flushCount() == FlushesBefore) {
         uint32_t EntryAddr = Cache.fragment(Loc.Frag).HostEntryAddr;
-        if (T)
-          T->setCategory(CycleCategory::IBLookup);
         H->record(HI.SiteId, Target, EntryAddr, T);
-        if (T)
-          T->setCategory(CycleCategory::App);
       }
       Cur = Loc;
       break;

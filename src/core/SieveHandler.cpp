@@ -44,14 +44,19 @@ LookupOutcome SieveHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
   uint32_t HeaderAddr = HeadersAddr + Bucket * HeaderBytes;
 
   if (Timing) {
-    Timing->chargeCodeRange(SiteAddr + 4, SiteBytes - 4);
+    Timing->chargeCodeRange(arch::CycleCategory::IBLookup, SiteAddr + 4,
+                            SiteBytes - 4);
     if (ChargeFlagSave)
-      Timing->chargeFlagSave(Opts.FullFlagSave);
-    Timing->chargeAluOps(hashAluOpCount(Opts.SieveHash) + 1); // + addr calc
+      Timing->chargeFlagSave(arch::CycleCategory::IBLookup,
+                             Opts.FullFlagSave);
+    Timing->chargeAluOps(arch::CycleCategory::IBLookup,
+                         hashAluOpCount(Opts.SieveHash) + 1); // + addr calc
     // The computed jump into the bucket header (an indirect branch the
     // BTB must predict).
-    Timing->chargeIndirectJump(SiteAddr, HeaderAddr);
-    Timing->chargeCodeRange(HeaderAddr, HeaderBytes);
+    Timing->chargeIndirectJump(arch::CycleCategory::IBLookup, SiteAddr,
+                               HeaderAddr);
+    Timing->chargeCodeRange(arch::CycleCategory::IBLookup, HeaderAddr,
+                            HeaderBytes);
   }
 
   const std::vector<Stub> &Chain = Buckets[Bucket];
@@ -62,15 +67,20 @@ LookupOutcome SieveHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
       // One compare-and-branch stub: fetch, materialise/compare the tag
       // (per-machine op count), then a *conditional* branch the
       // predictor must get right — chain walks are mispredict-prone.
-      Timing->chargeCodeRange(S.StubAddr, StubBytes);
-      Timing->chargeAluOps(Timing->model().SieveStubOps);
-      Timing->chargeCondBranch(S.StubAddr, Match);
+      Timing->chargeCodeRange(arch::CycleCategory::IBLookup, S.StubAddr,
+                              StubBytes);
+      Timing->chargeAluOps(arch::CycleCategory::IBLookup,
+                           Timing->model().SieveStubOps);
+      Timing->chargeCondBranch(arch::CycleCategory::IBLookup, S.StubAddr,
+                               Match);
     }
     if (Match) {
       if (Timing) {
         if (ChargeFlagSave)
-          Timing->chargeFlagRestore(Opts.FullFlagSave);
-        Timing->chargeDirectJump(); // Stub jumps straight to the fragment.
+          Timing->chargeFlagRestore(arch::CycleCategory::IBLookup,
+                                    Opts.FullFlagSave);
+        // Stub jumps straight to the fragment.
+        Timing->chargeDirectJump(arch::CycleCategory::IBLookup);
       }
       ChainLengths.addSample(I + 1);
       countLookup(/*Hit=*/true);
@@ -80,7 +90,7 @@ LookupOutcome SieveHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
 
   // Chain exhausted: the final fall-through trampolines to the dispatcher.
   if (Timing)
-    Timing->chargeDirectJump();
+    Timing->chargeDirectJump(arch::CycleCategory::IBLookup);
   ChainLengths.addSample(Chain.size());
   countLookup(/*Hit=*/false);
   return {};
@@ -109,9 +119,9 @@ void SieveHandler::record(uint32_t SiteId, uint32_t GuestTarget,
 
   if (Timing) {
     // Writing the stub into the code cache (code is data to the writer).
-    Timing->chargeStore(S.StubAddr);
-    Timing->chargeStore(S.StubAddr + 4);
-    Timing->chargeStore(S.StubAddr + 8);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, S.StubAddr);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, S.StubAddr + 4);
+    Timing->chargeStore(arch::CycleCategory::IBLookup, S.StubAddr + 8);
   }
 }
 

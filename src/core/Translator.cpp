@@ -177,11 +177,8 @@ Expected<HostLoc> Translator::translate(uint32_t GuestPc,
   Frag.CodeBytes = Cache.beginFragment() - Frag.HostEntryAddr;
   ++Stats.FragmentsTranslated;
   Stats.GuestInstrsTranslated += GuestCount;
-  if (Timing) {
-    arch::TimingModel::CategoryScope Scope(*Timing,
-                                           arch::CycleCategory::Translate);
-    Timing->chargeTranslation(GuestCount);
-  }
+  if (Timing)
+    Timing->chargeTranslation(arch::CycleCategory::Translate, GuestCount);
   return Cache.insert(std::move(Frag));
 }
 
@@ -333,10 +330,7 @@ Expected<HostLoc> Translator::buildTrace(
   ++Stats.TracesBuilt;
   Stats.GuestInstrsTranslated += GuestCount;
   Stats.TraceGuestInstrs += GuestCount;
-  if (Timing) {
-    arch::TimingModel::CategoryScope Scope(*Timing,
-                                           arch::CycleCategory::Translate);
-    Timing->chargeTranslation(GuestCount);
-  }
+  if (Timing)
+    Timing->chargeTranslation(arch::CycleCategory::Translate, GuestCount);
   return Cache.replaceForGuest(std::move(Frag));
 }

@@ -1,0 +1,156 @@
+//===- support/Json.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Json.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::support;
+
+std::string sdt::support::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::newline() {
+  Out += '\n';
+  Out.append(2 * HasItem.size(), ' ');
+}
+
+void JsonWriter::beforeItem() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // The key already placed the comma and indentation.
+  }
+  if (!HasItem.empty()) {
+    if (HasItem.back())
+      Out += ',';
+    HasItem.back() = true;
+    newline();
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeItem();
+  HasItem.push_back(false);
+  Out += '{';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!HasItem.empty() && "endObject with no open container");
+  bool Any = HasItem.back();
+  HasItem.pop_back();
+  if (Any)
+    newline();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeItem();
+  HasItem.push_back(false);
+  Out += '[';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!HasItem.empty() && "endArray with no open container");
+  bool Any = HasItem.back();
+  HasItem.pop_back();
+  if (Any)
+    newline();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &Name) {
+  assert(!PendingKey && "key directly after key");
+  beforeItem();
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\": ";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &S) {
+  beforeItem();
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *S) {
+  return value(std::string(S));
+}
+
+JsonWriter &JsonWriter::value(double D) {
+  beforeItem();
+  if (!std::isfinite(D)) {
+    Out += "null"; // JSON has no inf/nan.
+    return *this;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", D);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t N) {
+  beforeItem();
+  Out += std::to_string(N);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t N) {
+  beforeItem();
+  Out += std::to_string(N);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  beforeItem();
+  Out += B ? "true" : "false";
+  return *this;
+}
+
+const std::string &JsonWriter::str() const {
+  assert(HasItem.empty() && "unclosed JSON container");
+  return Out;
+}

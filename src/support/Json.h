@@ -1,0 +1,71 @@
+//===- support/Json.h - Minimal JSON emission -------------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer for machine-readable experiment output
+/// (results/bench_summary.json). Emission only — the repo never parses
+/// JSON — with correct string escaping and automatic comma placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_JSON_H
+#define STRATAIB_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace support {
+
+/// Escapes \p S for use inside a JSON string literal (no surrounding
+/// quotes).
+std::string jsonEscape(const std::string &S);
+
+/// Streaming JSON writer with two-space indentation. Usage:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("cells").beginArray();
+///   W.beginObject().key("slowdown").value(1.25).endObject();
+///   W.endArray().endObject();
+///   std::string Doc = W.str();
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; the next emission must be its value.
+  JsonWriter &key(const std::string &Name);
+
+  JsonWriter &value(const std::string &S);
+  JsonWriter &value(const char *S);
+  JsonWriter &value(double D);
+  JsonWriter &value(uint64_t N);
+  JsonWriter &value(int64_t N);
+  JsonWriter &value(uint32_t N) { return value(static_cast<uint64_t>(N)); }
+  JsonWriter &value(int N) { return value(static_cast<int64_t>(N)); }
+  JsonWriter &value(bool B);
+
+  /// The finished document. All containers must be closed.
+  const std::string &str() const;
+
+private:
+  void beforeItem();
+  void newline();
+
+  std::string Out;
+  /// One entry per open container: whether it already holds an item.
+  std::vector<bool> HasItem;
+  bool PendingKey = false;
+};
+
+} // namespace support
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_JSON_H

@@ -1,0 +1,43 @@
+//===- support/ThreadPool.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See ThreadPool.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace sdt;
+using namespace sdt::support;
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  if (WorkerCount == 0)
+    WorkerCount = 1;
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I != WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task(); // packaged_task captures exceptions into the future.
+  }
+}

@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with future-based task submission. Built for
+/// the parallel experiment engine: measurement cells are independent, so
+/// the pool only needs submit-and-wait semantics — no work stealing, no
+/// priorities. Exceptions thrown by a task are captured into its future
+/// and rethrown at get(), so worker failures surface at the submission
+/// site instead of tearing down the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SUPPORT_THREADPOOL_H
+#define STRATAIB_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sdt {
+namespace support {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+
+  /// Drains nothing: tasks already queued still run to completion, then
+  /// the workers are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Queues \p F for execution and returns a future for its result. The
+  /// future rethrows any exception \p F throws. Safe to call from
+  /// multiple threads; results are consumed through the futures, so
+  /// submission order is whatever ordering the caller imposes on their
+  /// future collection.
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(F));
+    std::future<Result> Future = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.emplace_back([Task] { (*Task)(); });
+    }
+    Ready.notify_one();
+    return Future;
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  bool Stopping = false;
+};
+
+} // namespace support
+} // namespace sdt
+
+#endif // STRATAIB_SUPPORT_THREADPOOL_H

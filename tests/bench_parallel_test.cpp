@@ -1,0 +1,163 @@
+//===- tests/bench_parallel_test.cpp - Parallel engine tests -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The contract the parallel experiment engine must keep: running a sweep
+// across N workers produces bit-identical simulated cycle counts to the
+// serial run. Worker count is an execution detail; the simulation is
+// deterministic per cell.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+
+/// Scoped STRATAIB_JOBS override (restored on destruction).
+class JobsEnv {
+public:
+  explicit JobsEnv(const char *Value) {
+    if (const char *Old = std::getenv("STRATAIB_JOBS"))
+      Saved = Old;
+    ::setenv("STRATAIB_JOBS", Value, 1);
+  }
+  ~JobsEnv() {
+    if (Saved)
+      ::setenv("STRATAIB_JOBS", Saved->c_str(), 1);
+    else
+      ::unsetenv("STRATAIB_JOBS");
+  }
+
+private:
+  std::optional<std::string> Saved;
+};
+
+struct CellSnapshot {
+  uint64_t NativeCycles;
+  uint64_t SdtCycles;
+  std::array<uint64_t, size_t(arch::CycleCategory::NumCategories)> ByCategory;
+  uint64_t MainLookups;
+  uint64_t MainHits;
+  uint64_t Instructions;
+  bool Transparent;
+};
+
+/// Runs the reference sweep (2 workloads x 2 configs) under the given
+/// worker count and snapshots every cell.
+std::vector<CellSnapshot> runSweep(const char *Jobs) {
+  JobsEnv Env(Jobs);
+  BenchContext Ctx(/*Scale=*/4);
+  arch::MachineModel Model = arch::x86Model();
+
+  core::SdtOptions Dispatcher;
+  Dispatcher.Mechanism = core::IBMechanism::Dispatcher;
+  core::SdtOptions Ibtc;
+  Ibtc.Mechanism = core::IBMechanism::Ibtc;
+  Ibtc.IbtcShared = true;
+  Ibtc.IbtcEntries = 512;
+
+  ParallelRunner Runner(Ctx, "bench_parallel_test");
+  std::vector<size_t> Ids;
+  for (const std::string &W : {std::string("gcc"), std::string("perlbmk")})
+    for (const core::SdtOptions &Opts : {Dispatcher, Ibtc})
+      Ids.push_back(Runner.enqueue(W, Model, Opts));
+  Runner.runAll();
+
+  std::vector<CellSnapshot> Out;
+  for (size_t Id : Ids) {
+    const Measurement &M = Runner.result(Id);
+    CellSnapshot S;
+    S.NativeCycles = M.NativeCycles;
+    S.SdtCycles = M.SdtCycles;
+    S.ByCategory = M.SdtByCategory;
+    S.MainLookups = M.MainLookups;
+    S.MainHits = M.MainHits;
+    S.Instructions = M.Instructions;
+    S.Transparent = M.Transparent;
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(BenchParallelTest, JobsFromEnvParsesOverride) {
+  JobsEnv Env("3");
+  EXPECT_EQ(ParallelRunner::jobsFromEnv(), 3u);
+}
+
+TEST(BenchParallelTest, JobsFromEnvIgnoresGarbage) {
+  JobsEnv Env("not-a-number");
+  EXPECT_GE(ParallelRunner::jobsFromEnv(), 1u);
+}
+
+TEST(BenchParallelTest, ParallelSweepMatchesSerialBitIdentically) {
+  std::vector<CellSnapshot> Serial = runSweep("1");
+  std::vector<CellSnapshot> Parallel = runSweep("4");
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t I = 0; I != Serial.size(); ++I) {
+    SCOPED_TRACE("cell " + std::to_string(I));
+    EXPECT_EQ(Serial[I].NativeCycles, Parallel[I].NativeCycles);
+    EXPECT_EQ(Serial[I].SdtCycles, Parallel[I].SdtCycles);
+    EXPECT_EQ(Serial[I].ByCategory, Parallel[I].ByCategory);
+    EXPECT_EQ(Serial[I].MainLookups, Parallel[I].MainLookups);
+    EXPECT_EQ(Serial[I].MainHits, Parallel[I].MainHits);
+    EXPECT_EQ(Serial[I].Instructions, Parallel[I].Instructions);
+    EXPECT_TRUE(Serial[I].Transparent);
+    EXPECT_TRUE(Parallel[I].Transparent);
+  }
+}
+
+TEST(BenchParallelTest, NativeCellsRunInParallel) {
+  JobsEnv Env("4");
+  BenchContext Ctx(/*Scale=*/4);
+  ParallelRunner Runner(Ctx, "bench_parallel_test_native");
+  size_t A = Runner.enqueueNative("gzip");
+  size_t B = Runner.enqueueNative("mcf");
+  Runner.runAll();
+  EXPECT_GT(Runner.nativeResult(A).InstructionCount, 0u);
+  EXPECT_GT(Runner.nativeResult(B).InstructionCount, 0u);
+}
+
+TEST(BenchParallelTest, SummaryJsonWrittenWhenRequested) {
+  JobsEnv Env("2");
+  std::string Path = ::testing::TempDir() + "strataib_summary_test.json";
+  ::setenv("STRATAIB_SUMMARY", Path.c_str(), 1);
+  {
+    BenchContext Ctx(/*Scale=*/4);
+    arch::MachineModel Model = arch::x86Model();
+    core::SdtOptions Opts;
+    Opts.Mechanism = core::IBMechanism::Ibtc;
+    ParallelRunner Runner(Ctx, "bench_parallel_test_summary");
+    Runner.enqueue("gzip", Model, Opts);
+    Runner.runAll();
+  }
+  ::unsetenv("STRATAIB_SUMMARY");
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Doc;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Doc.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_EQ(Doc.front(), '{');
+  EXPECT_NE(Doc.find("\"experiment\": \"bench_parallel_test_summary\""),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\"sdt_cycles\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"cycles_by_category\""), std::string::npos);
+}

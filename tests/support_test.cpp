@@ -6,14 +6,18 @@
 
 #include "support/Error.h"
 #include "support/Hashing.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TableFormatter.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 using namespace sdt;
 
@@ -337,4 +341,119 @@ TEST(TableFormatterTest, HeaderOnlyRenders) {
   std::string Out = T.render();
   EXPECT_NE(Out.find("a"), std::string::npos);
   EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, WorkerCountAtLeastOne) {
+  support::ThreadPool P(0);
+  EXPECT_EQ(P.workerCount(), 1u);
+  support::ThreadPool Q(3);
+  EXPECT_EQ(Q.workerCount(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  support::ThreadPool P(2);
+  std::future<int> F = P.submit([] { return 41 + 1; });
+  EXPECT_EQ(F.get(), 42);
+}
+
+TEST(ThreadPoolTest, FuturesCollectInSubmissionOrder) {
+  support::ThreadPool P(4);
+  std::vector<std::future<size_t>> Futures;
+  for (size_t I = 0; I != 64; ++I)
+    Futures.push_back(P.submit([I] { return I * I; }));
+  for (size_t I = 0; I != Futures.size(); ++I)
+    EXPECT_EQ(Futures[I].get(), I * I);
+}
+
+TEST(ThreadPoolTest, AllTasksRunExactlyOnce) {
+  std::atomic<unsigned> Count{0};
+  {
+    support::ThreadPool P(4);
+    std::vector<std::future<void>> Futures;
+    for (int I = 0; I != 100; ++I)
+      Futures.push_back(P.submit([&Count] { ++Count; }));
+    for (auto &F : Futures)
+      F.get();
+  }
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  support::ThreadPool P(2);
+  std::future<int> Ok = P.submit([] { return 1; });
+  std::future<int> Bad =
+      P.submit([]() -> int { throw std::runtime_error("cell failed"); });
+  EXPECT_EQ(Ok.get(), 1);
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  EXPECT_EQ(P.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<unsigned> Count{0};
+  {
+    // One worker so most tasks are still queued at destruction time.
+    support::ThreadPool P(1);
+    for (int I = 0; I != 50; ++I)
+      P.submit([&Count] { ++Count; });
+  }
+  EXPECT_EQ(Count.load(), 50u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  support::ThreadPool P(2);
+  for (int Batch = 0; Batch != 3; ++Batch) {
+    std::vector<std::future<int>> Futures;
+    for (int I = 0; I != 10; ++I)
+      Futures.push_back(P.submit([I] { return I; }));
+    int Sum = 0;
+    for (auto &F : Futures)
+      Sum += F.get();
+    EXPECT_EQ(Sum, 45);
+  }
+}
+
+// --- JsonWriter ------------------------------------------------------------
+
+TEST(JsonTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(support::jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(support::jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(support::jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(support::jsonEscape("plain"), "plain");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  support::JsonWriter W;
+  W.beginObject().endObject();
+  EXPECT_EQ(W.str(), "{}");
+  support::JsonWriter A;
+  A.beginArray().endArray();
+  EXPECT_EQ(A.str(), "[]");
+}
+
+TEST(JsonTest, ObjectWithScalarValues) {
+  support::JsonWriter W;
+  W.beginObject();
+  W.key("s").value("x");
+  W.key("n").value(uint64_t(7));
+  W.key("d").value(1.5);
+  W.key("b").value(true);
+  W.endObject();
+  std::string Doc = W.str();
+  EXPECT_NE(Doc.find("\"s\": \"x\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"n\": 7"), std::string::npos);
+  EXPECT_NE(Doc.find("1.5"), std::string::npos);
+  EXPECT_NE(Doc.find("true"), std::string::npos);
+}
+
+TEST(JsonTest, NestedArrayCommaPlacement) {
+  support::JsonWriter W;
+  W.beginObject().key("xs").beginArray();
+  W.value(uint64_t(1)).value(uint64_t(2)).value(uint64_t(3));
+  W.endArray().endObject();
+  std::string Doc = W.str();
+  // Three elements, two commas between them.
+  EXPECT_EQ(std::count(Doc.begin(), Doc.end(), ','), 2);
 }
