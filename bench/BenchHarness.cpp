@@ -24,6 +24,60 @@ uint32_t sdt::bench::scaleFromEnv(uint32_t Fallback) {
   return V > 0 ? static_cast<uint32_t>(V) : Fallback;
 }
 
+std::string sdt::bench::tracePrefixFromEnv() {
+  const char *Env = std::getenv("STRATAIB_TRACE");
+  return Env ? std::string(Env) : std::string();
+}
+
+/// Ring capacity for traced runs (STRATAIB_TRACE_EVENTS).
+static size_t traceCapacityFromEnv() {
+  const char *Env = std::getenv("STRATAIB_TRACE_EVENTS");
+  if (!Env)
+    return trace::TraceSink::DefaultCapacity;
+  long V = std::strtol(Env, nullptr, 10);
+  return V > 0 ? static_cast<size_t>(V) : trace::TraceSink::DefaultCapacity;
+}
+
+std::string sdt::bench::traceFileBase(const std::string &Prefix,
+                                      const std::string &Workload,
+                                      const std::string &ModelName,
+                                      const core::SdtOptions &Opts) {
+  std::string Base = Prefix + "_" + Workload + "_" + ModelName + "_" +
+                     Opts.describe();
+  // Keep the cell-identifying part filename-safe.
+  for (size_t I = Prefix.size(); I < Base.size(); ++I) {
+    char &C = Base[I];
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '-' || C == '.' || C == '_';
+    if (!Ok)
+      C = '-';
+  }
+  return Base;
+}
+
+trace::StatsExpectation sdt::bench::traceExpectations(core::SdtEngine &E) {
+  trace::StatsExpectation Expect;
+  const core::SdtStats &S = E.stats();
+  Expect.DispatchEntries = S.DispatchEntries;
+  Expect.FragmentsTranslated = S.FragmentsTranslated;
+  Expect.TracesBuilt = S.TracesBuilt;
+  Expect.LinksPatched = S.LinksPatched;
+  Expect.Flushes = S.Flushes;
+  auto add = [&Expect](core::IBHandler *H) {
+    for (trace::MechExpectation &M : Expect.Mechanisms)
+      if (M.Name == H->name()) {
+        M.Lookups += H->lookups();
+        M.Hits += H->hits();
+        return;
+      }
+    Expect.Mechanisms.push_back({H->name(), H->lookups(), H->hits()});
+  };
+  for (core::IBHandler *H : E.allHandlers())
+    for (; H; H = H->backingHandler())
+      add(H);
+  return Expect;
+}
+
 void sdt::bench::printHeader(const std::string &ExperimentId,
                              const std::string &Title, uint32_t Scale) {
   std::printf("=== %s: %s ===\n", ExperimentId.c_str(), Title.c_str());
@@ -122,7 +176,26 @@ Measurement BenchContext::measure(const std::string &Workload,
     std::fprintf(stderr, "bench: %s\n", Engine.error().message().c_str());
     std::exit(1);
   }
+
+  std::string TracePrefix = tracePrefixFromEnv();
+  std::unique_ptr<trace::TraceSink> Sink;
+  if (!TracePrefix.empty()) {
+    Sink = std::make_unique<trace::TraceSink>(traceCapacityFromEnv());
+    (*Engine)->setTraceSink(Sink.get());
+  }
+
   vm::RunResult Translated = (*Engine)->run();
+
+  if (Sink) {
+    trace::StatsExpectation Expect = traceExpectations(**Engine);
+    std::string Base = traceFileBase(TracePrefix, Workload, Model.Name, Opts);
+    if (!trace::writeJsonl(*Sink, Base + ".jsonl", &Expect) ||
+        !trace::writeChromeTrace(*Sink, Base + ".chrome.json")) {
+      std::fprintf(stderr, "bench: cannot write trace files at %s.*\n",
+                   Base.c_str());
+      std::exit(1);
+    }
+  }
 
   Measurement M;
   M.NativeCycles = Base.Cycles;

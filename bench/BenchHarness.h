@@ -21,6 +21,7 @@
 #include "core/SdtEngine.h"
 #include "core/SdtOptions.h"
 #include "isa/Program.h"
+#include "trace/TraceExport.h"
 #include "vm/RunResult.h"
 
 #include <map>
@@ -124,6 +125,25 @@ private:
 
 /// Reads STRATAIB_SCALE, falling back to \p Fallback.
 uint32_t scaleFromEnv(uint32_t Fallback);
+
+/// Reads STRATAIB_TRACE: the path prefix for per-cell trace files, or ""
+/// when tracing is off. When set, measure() attaches a TraceSink to each
+/// engine run and writes <base>.jsonl and <base>.chrome.json next to the
+/// prefix (see traceFileBase); the ring capacity comes from
+/// STRATAIB_TRACE_EVENTS (default trace::TraceSink::DefaultCapacity).
+std::string tracePrefixFromEnv();
+
+/// Filename base (no extension) for one traced cell:
+/// "<prefix>_<workload>_<model>_<sanitised options>".
+std::string traceFileBase(const std::string &Prefix,
+                          const std::string &Workload,
+                          const std::string &ModelName,
+                          const core::SdtOptions &Opts);
+
+/// Builds the reconciliation expectations for a finished engine run
+/// (SdtStats counters plus per-mechanism lookup totals, wrappers'
+/// backing mechanisms included, merged by mechanism name).
+trace::StatsExpectation traceExpectations(core::SdtEngine &Engine);
 
 /// Prints the uniform experiment banner.
 void printHeader(const std::string &ExperimentId, const std::string &Title,

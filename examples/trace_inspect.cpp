@@ -1,0 +1,376 @@
+//===- examples/trace_inspect.cpp - Trace summariser CLI ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Reads a JSONL trace produced by STRATAIB_TRACE (see docs/Tracing.md),
+// prints per-kind and per-mechanism summaries plus a dispatch
+// inter-arrival histogram, and reconciles the trace's full-run event
+// totals against the engine's own SdtStats counters embedded in the
+// summary line. Exits non-zero if the trace and the stats disagree — a
+// trace is only trustworthy if it saw every event the engine counted.
+//
+// Usage: trace_inspect <trace.jsonl> [--event <kind>] [--mech <name>]
+//                      [--limit N]
+//   --event <kind>  print retained events of one kind (dispatch-entry,
+//                   ib-lookup-miss, ...) instead of the summary
+//   --mech <name>   restrict --event output to one mechanism
+//   --limit N       print at most N events (default 20)
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using sdt::Log2Histogram;
+
+namespace {
+
+/// A parsed JSON value — only the shapes the exporter emits (objects,
+/// strings, unsigned integers, booleans).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object } K = Kind::Null;
+  bool B = false;
+  uint64_t N = 0;
+  std::string S;
+  std::map<std::string, JsonValue> O;
+
+  const JsonValue *field(const std::string &Name) const {
+    auto It = O.find(Name);
+    return It == O.end() ? nullptr : &It->second;
+  }
+  uint64_t num(const std::string &Name) const {
+    const JsonValue *V = field(Name);
+    return V ? V->N : 0;
+  }
+  std::string str(const std::string &Name) const {
+    const JsonValue *V = field(Name);
+    return V ? V->S : std::string();
+  }
+};
+
+/// Minimal recursive-descent parser for one exporter-produced line.
+class LineParser {
+public:
+  explicit LineParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out) { return parseValue(Out) && skipWs() == npos; }
+
+private:
+  static constexpr size_t npos = std::string::npos;
+
+  size_t skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t'))
+      ++Pos;
+    return Pos < Text.size() ? Pos : npos;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (skipWs() == npos)
+      return false;
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.S);
+    }
+    if (C == 't' || C == 'f') {
+      bool True = C == 't';
+      const char *Word = True ? "true" : "false";
+      if (Text.compare(Pos, std::strlen(Word), Word) != 0)
+        return false;
+      Pos += std::strlen(Word);
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = True;
+      return true;
+    }
+    if (C >= '0' && C <= '9') {
+      Out.K = JsonValue::Kind::Number;
+      Out.N = 0;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        Out.N = Out.N * 10 + (Text[Pos++] - '0');
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Text[Pos] != '"')
+      return false;
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n': C = '\n'; break;
+        case 't': C = '\t'; break;
+        case 'r': C = '\r'; break;
+        default: C = E; break; // \" \\ \/ and anything exotic.
+        }
+      }
+      Out += C;
+    }
+    if (Pos >= Text.size())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    if (skipWs() == npos)
+      return false;
+    if (Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      if (skipWs() == npos)
+        return false;
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (skipWs() == npos || Text[Pos] != ':')
+        return false;
+      ++Pos;
+      if (!parseValue(Out.O[Key]))
+        return false;
+      if (skipWs() == npos)
+        return false;
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+struct MechCount {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+int reconcileFailures(const JsonValue &Summary) {
+  int Failures = 0;
+  auto check = [&Failures](const char *What, uint64_t Trace,
+                           uint64_t Stats) {
+    if (Trace == Stats)
+      return;
+    std::fprintf(stderr,
+                 "RECONCILE MISMATCH: %s: trace=%llu stats=%llu\n", What,
+                 static_cast<unsigned long long>(Trace),
+                 static_cast<unsigned long long>(Stats));
+    ++Failures;
+  };
+
+  const JsonValue *Totals = Summary.field("event_totals");
+  const JsonValue *Stats = Summary.field("stats");
+  if (!Totals)
+    return 0;
+  if (Stats) {
+    check("dispatch entries", Totals->num("dispatch-entry"),
+          Stats->num("dispatch_entries"));
+    check("fragments translated", Totals->num("fragment-translated"),
+          Stats->num("fragments_translated"));
+    check("traces built", Totals->num("trace-built"),
+          Stats->num("traces_built"));
+    check("links patched", Totals->num("link-patch"),
+          Stats->num("links_patched"));
+    check("cache flushes", Totals->num("cache-flush"),
+          Stats->num("flushes"));
+  }
+
+  const JsonValue *MechTotals = Summary.field("mech_totals");
+  const JsonValue *Expected = Summary.field("expected_mechanisms");
+  if (MechTotals && Expected) {
+    for (const auto &[Name, Exp] : Expected->O) {
+      const JsonValue *Got = MechTotals->field(Name);
+      uint64_t Hits = Got ? Got->num("hits") : 0;
+      uint64_t Misses = Got ? Got->num("misses") : 0;
+      check((Name + " lookups").c_str(), Hits + Misses,
+            Exp.num("lookups"));
+      check((Name + " hits").c_str(), Hits, Exp.num("hits"));
+    }
+    for (const auto &[Name, Got] : MechTotals->O)
+      if (!Expected->field(Name)) {
+        std::fprintf(stderr,
+                     "RECONCILE MISMATCH: trace mechanism '%s' unknown "
+                     "to the engine stats\n",
+                     Name.c_str());
+        ++Failures;
+      }
+  }
+  return Failures;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path;
+  std::string EventFilter;
+  std::string MechFilter;
+  uint64_t Limit = 20;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--event" && I + 1 < argc)
+      EventFilter = argv[++I];
+    else if (Arg == "--mech" && I + 1 < argc)
+      MechFilter = argv[++I];
+    else if (Arg == "--limit" && I + 1 < argc)
+      Limit = std::strtoull(argv[++I], nullptr, 10);
+    else if (Path.empty() && !Arg.empty() && Arg[0] != '-')
+      Path = Arg;
+    else {
+      std::fprintf(stderr,
+                   "usage: trace_inspect <trace.jsonl> [--event <kind>] "
+                   "[--mech <name>] [--limit N]\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "trace_inspect: no trace file given\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "trace_inspect: cannot open %s\n", Path.c_str());
+    return 2;
+  }
+
+  std::map<std::string, uint64_t> KindCounts;
+  std::map<std::string, MechCount> MechCounts;
+  Log2Histogram DispatchGaps;
+  uint64_t Retained = 0;
+  uint64_t FirstCycle = 0, LastCycle = 0;
+  uint64_t LastDispatchCycle = 0;
+  bool SawDispatch = false;
+  uint64_t Printed = 0;
+  JsonValue Summary;
+  bool SawSummary = false;
+
+  std::string Line;
+  uint64_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    JsonValue V;
+    if (!LineParser(Line).parse(V) || V.K != JsonValue::Kind::Object) {
+      std::fprintf(stderr, "trace_inspect: %s:%llu: unparseable line\n",
+                   Path.c_str(), static_cast<unsigned long long>(LineNo));
+      return 2;
+    }
+    const JsonValue *IsSummary = V.field("summary");
+    if (IsSummary && IsSummary->B) {
+      Summary = std::move(V);
+      SawSummary = true;
+      continue;
+    }
+
+    std::string Kind = V.str("ev");
+    uint64_t Cycle = V.num("cycle");
+    if (Retained == 0)
+      FirstCycle = Cycle;
+    LastCycle = Cycle;
+    ++Retained;
+    ++KindCounts[Kind];
+    if (Kind == "ib-lookup-hit")
+      ++MechCounts[V.str("mech")].Hits;
+    else if (Kind == "ib-lookup-miss")
+      ++MechCounts[V.str("mech")].Misses;
+    else if (Kind == "dispatch-entry") {
+      if (SawDispatch)
+        DispatchGaps.addSample(Cycle - LastDispatchCycle);
+      LastDispatchCycle = Cycle;
+      SawDispatch = true;
+    }
+
+    if (!EventFilter.empty() && Kind == EventFilter &&
+        (MechFilter.empty() || V.str("mech") == MechFilter) &&
+        Printed < Limit) {
+      std::printf("%s\n", Line.c_str());
+      ++Printed;
+    }
+  }
+
+  if (!EventFilter.empty()) {
+    std::printf("(%llu of %llu retained events shown)\n",
+                static_cast<unsigned long long>(Printed),
+                static_cast<unsigned long long>(
+                    KindCounts.count(EventFilter) ? KindCounts[EventFilter]
+                                                  : 0));
+  } else {
+    std::printf("trace: %s\n", Path.c_str());
+    std::printf("retained events: %llu  (cycles %llu..%llu)\n",
+                static_cast<unsigned long long>(Retained),
+                static_cast<unsigned long long>(FirstCycle),
+                static_cast<unsigned long long>(LastCycle));
+    if (SawSummary)
+      std::printf("full run: %llu events, %llu dropped by the ring "
+                  "(capacity %llu)\n",
+                  static_cast<unsigned long long>(Summary.num("total")),
+                  static_cast<unsigned long long>(Summary.num("dropped")),
+                  static_cast<unsigned long long>(Summary.num("capacity")));
+    std::printf("\nretained by kind:\n");
+    for (const auto &[Kind, Count] : KindCounts)
+      std::printf("  %-20s %llu\n", Kind.c_str(),
+                  static_cast<unsigned long long>(Count));
+    if (!MechCounts.empty()) {
+      std::printf("\nretained IB lookups by mechanism:\n");
+      for (const auto &[Mech, C] : MechCounts) {
+        uint64_t Lookups = C.Hits + C.Misses;
+        std::printf("  %-16s lookups=%llu hit-rate=%.2f%%\n", Mech.c_str(),
+                    static_cast<unsigned long long>(Lookups),
+                    Lookups ? 100.0 * double(C.Hits) / double(Lookups)
+                            : 0.0);
+      }
+    }
+    if (DispatchGaps.totalCount() > 0) {
+      std::printf("\ndispatch inter-arrival cycles (mean %.1f):\n%s",
+                  DispatchGaps.mean(), DispatchGaps.render().c_str());
+    }
+  }
+
+  if (!SawSummary) {
+    std::fprintf(stderr, "trace_inspect: no summary line (truncated "
+                         "trace?)\n");
+    return 1;
+  }
+  if (Retained != Summary.num("recorded")) {
+    std::fprintf(stderr,
+                 "trace_inspect: %llu event lines but summary says "
+                 "recorded=%llu\n",
+                 static_cast<unsigned long long>(Retained),
+                 static_cast<unsigned long long>(Summary.num("recorded")));
+    return 1;
+  }
+  int Failures = reconcileFailures(Summary);
+  if (Failures) {
+    std::fprintf(stderr, "trace_inspect: %d reconciliation failure(s)\n",
+                 Failures);
+    return 1;
+  }
+  if (EventFilter.empty() && Summary.field("stats"))
+    std::printf("\nreconciliation: trace totals match engine stats\n");
+  return 0;
+}

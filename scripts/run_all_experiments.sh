@@ -6,6 +6,13 @@
 # `jobs` is forwarded as STRATAIB_JOBS to every binary: each experiment
 # fans its measurement cells across that many worker threads (0 = one
 # per hardware thread). Cycle counts are identical for any job count.
+#
+# When STRATAIB_TRACE is set in the environment, each experiment writes
+# event traces under results/traces/<experiment>/ (see docs/Tracing.md).
+#
+# Any experiment that crashes or exits non-zero aborts the run with a
+# non-zero exit status, and no partial summary is merged into
+# results/bench_summary.json.
 set -eu
 
 BUILD="${1:-build}"
@@ -20,6 +27,24 @@ if [ ! -d "$BUILD/bench" ]; then
   exit 1
 fi
 
+# `cmd | tee` under `set -eu` reports tee's status, not cmd's, so a
+# crashed experiment would sail through a pipeline unnoticed. Run each
+# binary with its output redirected to the per-experiment file, echo the
+# file on success, and abort (dropping the partial summary) on failure.
+run_experiment() {
+  NAME="$1"
+  shift
+  if "$@" > "$OUT/$NAME.txt" 2>&1; then
+    cat "$OUT/$NAME.txt" >> "$OUT/all_experiments.txt"
+  else
+    STATUS=$?
+    cat "$OUT/$NAME.txt"
+    echo "error: $NAME failed with exit status $STATUS" >&2
+    rm -f "$OUT/summary/$NAME.json"
+    exit "$STATUS"
+  fi
+}
+
 : > "$OUT/all_experiments.txt"
 for BIN in "$BUILD"/bench/*; do
   [ -f "$BIN" ] && [ -x "$BIN" ] || continue # Skip CMake artifacts.
@@ -29,19 +54,27 @@ for BIN in "$BUILD"/bench/*; do
     *.cmake|*.a) continue ;;
   esac
   echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS) =="
-  STRATAIB_SCALE="$SCALE" STRATAIB_JOBS="$JOBS" \
-    STRATAIB_SUMMARY="$OUT/summary/$NAME.json" \
-    "$BIN" | tee "$OUT/$NAME.txt" \
-    >> "$OUT/all_experiments.txt"
+  TRACE_ENV=""
+  if [ -n "${STRATAIB_TRACE:-}" ]; then
+    mkdir -p "$OUT/traces/$NAME"
+    TRACE_ENV="$OUT/traces/$NAME/trace"
+  fi
+  run_experiment "$NAME" \
+    env STRATAIB_SCALE="$SCALE" STRATAIB_JOBS="$JOBS" \
+      STRATAIB_SUMMARY="$OUT/summary/$NAME.json" \
+      ${TRACE_ENV:+STRATAIB_TRACE="$TRACE_ENV"} \
+      "$BIN"
   echo >> "$OUT/all_experiments.txt"
 done
 
 # Merge the per-experiment JSON documents into one machine-readable file.
+# Only reached when every experiment above succeeded; empty documents from
+# an interrupted write are skipped rather than corrupting the merge.
 {
   printf '{\n"experiments": [\n'
   FIRST=1
   for J in "$OUT"/summary/*.json; do
-    [ -f "$J" ] || continue
+    [ -s "$J" ] || continue
     [ "$FIRST" = 1 ] || printf ',\n'
     FIRST=0
     cat "$J"
@@ -50,7 +83,7 @@ done
 } > "$OUT/bench_summary.json"
 
 echo "== micro_primitives =="
-"$BUILD"/bench/micro_primitives --benchmark_min_time=0.05 \
-  | tee "$OUT/micro_primitives.txt" >> "$OUT/all_experiments.txt" 2>&1
+run_experiment micro_primitives \
+  "$BUILD"/bench/micro_primitives --benchmark_min_time=0.05
 
 echo "done: outputs in $OUT/ (summary: $OUT/bench_summary.json)"

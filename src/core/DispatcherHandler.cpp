@@ -21,11 +21,9 @@ SiteCode DispatcherHandler::emitSite(uint32_t SiteId, IBClass Class,
 
 LookupOutcome DispatcherHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
                                         arch::TimingModel *Timing) {
-  (void)SiteId;
-  (void)GuestTarget;
   (void)Timing; // Inline cost is just the trampoline jump the engine
                 // already charged; the dispatcher path charges the rest.
-  countLookup(/*Hit=*/false);
+  countLookup(/*Hit=*/false, SiteId, GuestTarget);
   return {};
 }
 

@@ -87,6 +87,9 @@ HostLoc FragmentCache::replaceForGuest(Fragment Frag) {
 }
 
 void FragmentCache::flushAll() {
+  if (Sink)
+    Sink->record(trace::EventKind::CacheFlush,
+                 static_cast<uint32_t>(Fragments.size()), UsedBytes);
   invalidateMemos();
   for (const Fragment &F : Fragments)
     RetiredEntries.emplace(F.HostEntryAddr, F.GuestEntry);

@@ -17,6 +17,7 @@
 #define STRATAIB_CORE_FRAGMENTCACHE_H
 
 #include "core/HostInstr.h"
+#include "trace/TraceSink.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -95,6 +96,10 @@ public:
   uint32_t usedBytes() const { return UsedBytes; }
   uint64_t flushCount() const { return Flushes; }
 
+  /// Attaches the engine's trace sink (null = tracing off); flushAll()
+  /// emits a CacheFlush event through it.
+  void setTraceSink(trace::TraceSink *S) { Sink = S; }
+
 private:
   void invalidateMemos() {
     LastGuestValid = false;
@@ -102,6 +107,7 @@ private:
   }
 
   uint32_t CapacityBytes;
+  trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
   uint32_t Cursor = FragmentCacheBase;
   uint32_t UsedBytes = 0;
   uint64_t Flushes = 0;

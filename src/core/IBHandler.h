@@ -27,6 +27,7 @@
 #include "arch/Timing.h"
 #include "core/FragmentCache.h"
 #include "core/SdtOptions.h"
+#include "trace/TraceSink.h"
 
 #include <cstdint>
 #include <string>
@@ -95,12 +96,27 @@ public:
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Lookups - Hits; }
 
+  /// Attaches (or detaches, with null) the engine's trace sink. Wrapping
+  /// mechanisms (inline caches) forward this to their backing handler.
+  virtual void setTraceSink(trace::TraceSink *S) { Sink = S; }
+
+  /// The wrapped backing mechanism when this handler is a wrapper (the
+  /// inline cache); null otherwise. Lets callers enumerate every
+  /// event-emitting mechanism without knowing the wrapping structure.
+  virtual IBHandler *backingHandler() { return nullptr; }
+
 protected:
-  void countLookup(bool Hit) {
+  void countLookup(bool Hit, uint32_t SiteId, uint32_t GuestTarget) {
     ++Lookups;
     if (Hit)
       ++Hits;
+    if (Sink)
+      Sink->record(Hit ? trace::EventKind::IBLookupHit
+                       : trace::EventKind::IBLookupMiss,
+                   SiteId, GuestTarget, name());
   }
+
+  trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
 
 private:
   uint64_t Lookups = 0;

@@ -96,11 +96,11 @@ LookupOutcome IbtcHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
         Timing->chargeIndirectJump(arch::CycleCategory::IBLookup, SiteAddr,
                                    E.HostEntryAddr);
       }
-      countLookup(/*Hit=*/true);
+      countLookup(/*Hit=*/true, SiteId, GuestTarget);
       return {true, E.HostEntryAddr};
     }
   }
-  countLookup(/*Hit=*/false);
+  countLookup(/*Hit=*/false, SiteId, GuestTarget);
   return {};
 }
 

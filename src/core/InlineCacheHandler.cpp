@@ -67,13 +67,13 @@ LookupOutcome InlineCacheHandler::lookup(uint32_t SiteId,
         Timing->chargeDirectJump(arch::CycleCategory::IBLookup);
       }
       ++InlineHits;
-      countLookup(/*Hit=*/true);
+      countLookup(/*Hit=*/true, SiteId, GuestTarget);
       return {true, Entry.HostEntryAddr};
     }
   }
 
   LookupOutcome Outcome = Backing->lookup(SiteId, GuestTarget, Timing);
-  countLookup(Outcome.Hit);
+  countLookup(Outcome.Hit, SiteId, GuestTarget);
   return Outcome;
 }
 

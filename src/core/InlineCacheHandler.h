@@ -51,6 +51,14 @@ public:
 
   std::string statsSummary() const override;
 
+  /// The backing mechanism emits its own lookup events under its own name.
+  void setTraceSink(trace::TraceSink *S) override {
+    IBHandler::setTraceSink(S);
+    Backing->setTraceSink(S);
+  }
+
+  IBHandler *backingHandler() override { return Backing.get(); }
+
   /// Hits served by an inlined entry (vs. the backing mechanism).
   uint64_t inlineHits() const { return InlineHits; }
 

@@ -55,10 +55,10 @@ LookupOutcome ReturnCacheHandler::lookup(uint32_t SiteId,
       Timing->chargeIndirectJump(arch::CycleCategory::IBLookup, SiteAddr,
                                  E.HostEntryAddr);
     }
-    countLookup(/*Hit=*/true);
+    countLookup(/*Hit=*/true, SiteId, GuestTarget);
     return {true, E.HostEntryAddr};
   }
-  countLookup(/*Hit=*/false);
+  countLookup(/*Hit=*/false, SiteId, GuestTarget);
   return {};
 }
 

@@ -79,6 +79,20 @@ SdtEngine::SdtEngine(const Program &P, const SdtOptions &Opts,
   State.setReg(RegFP, Memory.stackTop() - 16);
 }
 
+void SdtEngine::setTraceSink(trace::TraceSink *S) {
+  Sink = S;
+  if (S && Exec.Timing)
+    S->setClock(
+        [](const void *Ctx) {
+          return static_cast<const TimingModel *>(Ctx)->totalCycles();
+        },
+        Exec.Timing);
+  Cache.setTraceSink(S);
+  Xlate.setTraceSink(S);
+  for (IBHandler *H : allHandlers())
+    H->setTraceSink(S);
+}
+
 Expected<std::unique_ptr<SdtEngine>>
 SdtEngine::create(const Program &P, const SdtOptions &Opts,
                   const ExecOptions &Exec) {
@@ -112,6 +126,8 @@ void SdtEngine::finishTrace(Translator::TraceEnd End) {
   Trampoline.Linked = true;
   Cache.fragment(OldFrag).Code[0] = Trampoline;
   ++Stats.LinksPatched;
+  if (Sink)
+    Sink->record(trace::EventKind::LinkPatch, TraceHead, Trampoline.HostAddr);
   if (Exec.Timing)
     Exec.Timing->chargeLinkPatch(CycleCategory::Link);
 }
@@ -143,6 +159,8 @@ void SdtEngine::flushEverything() {
 
 HostLoc SdtEngine::dispatchTo(uint32_t GuestPc) {
   ++Stats.DispatchEntries;
+  if (Sink)
+    Sink->record(trace::EventKind::DispatchEntry, GuestPc);
   TimingModel *T = Exec.Timing;
   if (T) {
     T->chargeContextSave(CycleCategory::Dispatch);
@@ -329,6 +347,9 @@ RunResult SdtEngine::run() {
         Orig.TargetHost = Loc;
         Orig.Linked = true;
         ++Stats.LinksPatched;
+        if (Sink)
+          Sink->record(trace::EventKind::LinkPatch, HI.TargetGuest,
+                       HI.HostAddr);
         if (T)
           T->chargeLinkPatch(CycleCategory::Link);
       }
@@ -509,6 +530,8 @@ RunResult SdtEngine::run() {
       // Handlers attribute their own charges to IBLookup; no category
       // flip needed around the call.
       IBHandler *H = handlerFor(HI.SiteClass);
+      if (Sink)
+        Sink->setIbClass(static_cast<uint8_t>(HI.SiteClass));
       LookupOutcome Outcome = H->lookup(HI.SiteId, Target, T);
       if (Outcome.Hit) {
         ++Stats.IBInlineHits[ClassIdx];

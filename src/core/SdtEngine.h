@@ -60,6 +60,26 @@ public:
   /// The dedicated return mechanism, or the main one.
   IBHandler &returnHandler() { return ReturnH ? *ReturnH : *Main; }
 
+  /// Every distinct top-level mechanism instance (main + any per-class
+  /// overrides), in a stable order.
+  std::vector<IBHandler *> allHandlers() {
+    std::vector<IBHandler *> Hs{Main.get()};
+    if (JumpH)
+      Hs.push_back(JumpH.get());
+    if (CallH)
+      Hs.push_back(CallH.get());
+    if (ReturnH)
+      Hs.push_back(ReturnH.get());
+    return Hs;
+  }
+
+  /// Attaches (or detaches, with null) a trace sink to the whole engine —
+  /// fragment cache, translator, and every mechanism — and points the
+  /// sink's clock at this run's timing model so events carry simulated
+  /// cycle timestamps. Recording never charges the timing model, so cycle
+  /// counts are bit-identical with or without a sink.
+  void setTraceSink(trace::TraceSink *S);
+
   /// Multi-line report: stats counters + mechanism summaries.
   std::string report() const;
 
@@ -111,6 +131,7 @@ private:
   std::unique_ptr<IBHandler> ReturnH; ///< Only for ReturnStrategy::ReturnCache.
   Translator Xlate;
   SdtStats Stats;
+  trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
   std::string PendingFault; ///< Set by dispatchTo on translation failure.
 
   /// Software shadow stack (ReturnStrategy::ShadowStack): (guest return

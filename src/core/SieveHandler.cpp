@@ -83,7 +83,7 @@ LookupOutcome SieveHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
         Timing->chargeDirectJump(arch::CycleCategory::IBLookup);
       }
       ChainLengths.addSample(I + 1);
-      countLookup(/*Hit=*/true);
+      countLookup(/*Hit=*/true, SiteId, GuestTarget);
       return {true, S.HostEntryAddr};
     }
   }
@@ -92,7 +92,7 @@ LookupOutcome SieveHandler::lookup(uint32_t SiteId, uint32_t GuestTarget,
   if (Timing)
     Timing->chargeDirectJump(arch::CycleCategory::IBLookup);
   ChainLengths.addSample(Chain.size());
-  countLookup(/*Hit=*/false);
+  countLookup(/*Hit=*/false, SiteId, GuestTarget);
   return {};
 }
 

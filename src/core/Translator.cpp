@@ -179,6 +179,8 @@ Expected<HostLoc> Translator::translate(uint32_t GuestPc,
   Stats.GuestInstrsTranslated += GuestCount;
   if (Timing)
     Timing->chargeTranslation(arch::CycleCategory::Translate, GuestCount);
+  if (Sink)
+    Sink->record(trace::EventKind::FragmentTranslated, GuestPc, GuestCount);
   return Cache.insert(std::move(Frag));
 }
 
@@ -332,5 +334,9 @@ Expected<HostLoc> Translator::buildTrace(
   Stats.TraceGuestInstrs += GuestCount;
   if (Timing)
     Timing->chargeTranslation(arch::CycleCategory::Translate, GuestCount);
+  if (Sink) {
+    Sink->record(trace::EventKind::FragmentTranslated, Head, GuestCount);
+    Sink->record(trace::EventKind::TraceBuilt, Head, GuestCount);
+  }
   return Cache.replaceForGuest(std::move(Frag));
 }

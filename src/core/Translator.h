@@ -81,12 +81,17 @@ public:
   /// Drops all site registrations (fragment cache was flushed).
   void clearSites() { Sites.clear(); }
 
+  /// Attaches the engine's trace sink (null = tracing off); translate()
+  /// and buildTrace() emit FragmentTranslated / TraceBuilt events.
+  void setTraceSink(trace::TraceSink *S) { Sink = S; }
+
 private:
   vm::DecodeCache &Decoder;
   FragmentCache &Cache;
   SdtOptions Opts;
   IBHandler *Handlers[NumIBClasses] = {nullptr, nullptr, nullptr};
   std::vector<IBSiteInfo> Sites;
+  trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
 };
 
 } // namespace core

@@ -77,3 +77,42 @@ std::string Histogram::render() const {
   }
   return Out;
 }
+
+Log2Histogram::Log2Histogram(size_t BucketCount) : Buckets(BucketCount, 0) {
+  assert(BucketCount > 0 && BucketCount <= 65 && "degenerate histogram");
+}
+
+void Log2Histogram::addSample(uint64_t X) {
+  // Bucket 0 holds 0; bucket floor(log2(X)) + 1 holds X > 0.
+  size_t Index = 0;
+  for (uint64_t V = X; V != 0; V >>= 1)
+    ++Index;
+  if (Index >= Buckets.size())
+    ++Overflow;
+  else
+    ++Buckets[Index];
+  ++Total;
+  Sum += X;
+}
+
+std::string Log2Histogram::render() const {
+  std::string Out;
+  char Line[128];
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    uint64_t Lo = bucketLow(I);
+    uint64_t Hi = bucketLow(I + 1) - 1;
+    std::snprintf(Line, sizeof(Line), "%12llu..%llu: %llu\n",
+                  static_cast<unsigned long long>(Lo),
+                  static_cast<unsigned long long>(Hi),
+                  static_cast<unsigned long long>(Buckets[I]));
+    Out += Line;
+  }
+  if (Overflow != 0) {
+    std::snprintf(Line, sizeof(Line), "overflow: %llu\n",
+                  static_cast<unsigned long long>(Overflow));
+    Out += Line;
+  }
+  return Out;
+}

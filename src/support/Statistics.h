@@ -72,6 +72,40 @@ private:
   uint64_t Sum = 0;
 };
 
+/// Power-of-two bucket histogram over non-negative integer samples: bucket
+/// 0 holds the value 0, bucket i>0 holds [2^(i-1), 2^i). Suited to
+/// heavy-tailed cycle-gap distributions where fixed-width buckets either
+/// truncate the tail or wash out the head.
+class Log2Histogram {
+public:
+  /// \p BucketCount buckets (so values up to 2^(BucketCount-1) - 1), plus
+  /// overflow.
+  explicit Log2Histogram(size_t BucketCount = 40);
+
+  void addSample(uint64_t X);
+
+  size_t bucketCount() const { return Buckets.size(); }
+  uint64_t bucketValue(size_t I) const { return Buckets[I]; }
+  /// Lower bound of bucket \p I (0, then 2^(I-1)).
+  static uint64_t bucketLow(size_t I) {
+    return I == 0 ? 0 : uint64_t(1) << (I - 1);
+  }
+  uint64_t overflowCount() const { return Overflow; }
+  uint64_t totalCount() const { return Total; }
+
+  /// Mean of all recorded samples (true values, not bucket midpoints).
+  double mean() const { return Total == 0 ? 0.0 : double(Sum) / Total; }
+
+  /// Renders "low..high: count" lines, skipping empty buckets.
+  std::string render() const;
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Overflow = 0;
+  uint64_t Total = 0;
+  uint64_t Sum = 0;
+};
+
 } // namespace sdt
 
 #endif // STRATAIB_SUPPORT_STATISTICS_H

@@ -1,0 +1,64 @@
+//===- trace/TraceEvent.h - Typed SDT trace events ---------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed events the SDT hot path can emit: one small POD per event,
+/// stamped with the simulated cycle at which it fired. The trace layer
+/// deliberately depends only on support/ — core components hold a
+/// TraceSink pointer and emit through it, so IB classes and mechanism
+/// names arrive here as a raw byte and a static string respectively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_TRACE_TRACEEVENT_H
+#define STRATAIB_TRACE_TRACEEVENT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdt {
+namespace trace {
+
+/// Every event kind the SDT engine and its components emit.
+enum class EventKind : uint8_t {
+  FragmentTranslated, ///< A fragment was built (A=guest entry, B=instrs).
+  TraceBuilt,         ///< A hot path became a trace (A=head, B=instrs).
+  DispatchEntry,      ///< Slow-path dispatcher entry (A=guest target).
+  IBLookupHit,        ///< Inline IB lookup hit (A=site id, B=guest target).
+  IBLookupMiss,       ///< Inline IB lookup miss (A=site id, B=guest target).
+  LinkPatch,          ///< A stub was patched (A=guest target, B=stub addr).
+  CacheFlush,         ///< Fragment cache flushed (A=fragments, B=used bytes).
+  NumKinds,
+};
+
+inline constexpr size_t NumEventKinds =
+    static_cast<size_t>(EventKind::NumKinds);
+
+/// Stable short name used by the exporters ("dispatch-entry", ...).
+const char *eventKindName(EventKind K);
+
+/// IbClass value for events that are not IB lookups.
+inline constexpr uint8_t NoIbClass = 0xFF;
+
+/// Label for a core::IBClass value carried in TraceEvent::IbClass
+/// ("ind-jump" / "ind-call" / "return", matching core's naming), or "-"
+/// for NoIbClass / unknown values.
+const char *ibClassLabel(uint8_t Class);
+
+/// One recorded event. A and B are kind-specific operands (see EventKind).
+struct TraceEvent {
+  uint64_t Cycle = 0;         ///< Simulated cycle timestamp.
+  uint32_t A = 0;             ///< Kind-specific operand.
+  uint32_t B = 0;             ///< Kind-specific operand.
+  const char *Mech = nullptr; ///< Mechanism name for IB lookup events.
+  EventKind Kind = EventKind::DispatchEntry;
+  uint8_t IbClass = NoIbClass; ///< IB class for IB lookup events.
+};
+
+} // namespace trace
+} // namespace sdt
+
+#endif // STRATAIB_TRACE_TRACEEVENT_H

@@ -1,0 +1,194 @@
+//===- trace/TraceExport.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See TraceExport.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceExport.h"
+
+#include "support/Json.h"
+
+#include <fstream>
+
+using namespace sdt;
+using namespace sdt::trace;
+using support::jsonEscape;
+using support::JsonWriter;
+
+namespace {
+
+void appendField(std::string &Out, const char *Key, uint64_t V) {
+  Out += ",\"";
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(V);
+}
+
+void appendField(std::string &Out, const char *Key, const char *V) {
+  Out += ",\"";
+  Out += Key;
+  Out += "\":\"";
+  Out += jsonEscape(V);
+  Out += '"';
+}
+
+} // namespace
+
+// JSONL lines are hand-assembled: support::JsonWriter pretty-prints with
+// newlines, and JSONL needs exactly one object per line.
+std::string sdt::trace::jsonlLine(const TraceEvent &E) {
+  std::string Out = "{\"ev\":\"";
+  Out += eventKindName(E.Kind);
+  Out += "\",\"cycle\":";
+  Out += std::to_string(E.Cycle);
+  switch (E.Kind) {
+  case EventKind::FragmentTranslated:
+    appendField(Out, "guest_pc", E.A);
+    appendField(Out, "instrs", E.B);
+    break;
+  case EventKind::TraceBuilt:
+    appendField(Out, "head_pc", E.A);
+    appendField(Out, "instrs", E.B);
+    break;
+  case EventKind::DispatchEntry:
+    appendField(Out, "guest_pc", E.A);
+    break;
+  case EventKind::IBLookupHit:
+  case EventKind::IBLookupMiss:
+    appendField(Out, "mech", E.Mech ? E.Mech : "?");
+    appendField(Out, "class", ibClassLabel(E.IbClass));
+    appendField(Out, "site", E.A);
+    appendField(Out, "target", E.B);
+    break;
+  case EventKind::LinkPatch:
+    appendField(Out, "target_pc", E.A);
+    appendField(Out, "stub_addr", E.B);
+    break;
+  case EventKind::CacheFlush:
+    appendField(Out, "fragments", E.A);
+    appendField(Out, "used_bytes", E.B);
+    break;
+  case EventKind::NumKinds:
+    break;
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
+                                         const StatsExpectation *Expect) {
+  std::string Out = "{\"summary\":true";
+  appendField(Out, "capacity", static_cast<uint64_t>(Sink.capacity()));
+  appendField(Out, "recorded", static_cast<uint64_t>(Sink.recordedCount()));
+  appendField(Out, "dropped", Sink.droppedCount());
+  appendField(Out, "total", Sink.totalCount());
+
+  Out += ",\"event_totals\":{";
+  for (size_t K = 0; K != NumEventKinds; ++K) {
+    if (K)
+      Out += ',';
+    Out += '"';
+    Out += eventKindName(static_cast<EventKind>(K));
+    Out += "\":";
+    Out += std::to_string(Sink.totalCount(static_cast<EventKind>(K)));
+  }
+  Out += '}';
+
+  Out += ",\"mech_totals\":{";
+  bool First = true;
+  for (const TraceSink::MechTotals &M : Sink.mechTotals()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(M.Name ? M.Name : "?");
+    Out += "\":{\"hits\":";
+    Out += std::to_string(M.Hits);
+    Out += ",\"misses\":";
+    Out += std::to_string(M.Misses);
+    Out += '}';
+  }
+  Out += '}';
+
+  if (Expect) {
+    Out += ",\"stats\":{";
+    Out += "\"dispatch_entries\":";
+    Out += std::to_string(Expect->DispatchEntries);
+    Out += ",\"fragments_translated\":";
+    Out += std::to_string(Expect->FragmentsTranslated);
+    Out += ",\"traces_built\":";
+    Out += std::to_string(Expect->TracesBuilt);
+    Out += ",\"links_patched\":";
+    Out += std::to_string(Expect->LinksPatched);
+    Out += ",\"flushes\":";
+    Out += std::to_string(Expect->Flushes);
+    Out += '}';
+    Out += ",\"expected_mechanisms\":{";
+    First = true;
+    for (const MechExpectation &M : Expect->Mechanisms) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += jsonEscape(M.Name);
+      Out += "\":{\"lookups\":";
+      Out += std::to_string(M.Lookups);
+      Out += ",\"hits\":";
+      Out += std::to_string(M.Hits);
+      Out += '}';
+    }
+    Out += '}';
+  }
+
+  Out += '}';
+  return Out;
+}
+
+bool sdt::trace::writeJsonl(const TraceSink &Sink, const std::string &Path,
+                            const StatsExpectation *Expect) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  Sink.forEach([&OS](const TraceEvent &E) { OS << jsonlLine(E) << '\n'; });
+  OS << jsonlSummaryLine(Sink, Expect) << '\n';
+  return static_cast<bool>(OS);
+}
+
+std::string sdt::trace::chromeTraceJson(const TraceSink &Sink) {
+  // Instant events ("ph":"i") on a microsecond timeline; we map one
+  // simulated cycle to one microsecond so Perfetto renders cycle offsets
+  // directly.
+  JsonWriter W;
+  W.beginObject();
+  W.key("displayTimeUnit").value("ns");
+  W.key("traceEvents").beginArray();
+  Sink.forEach([&W](const TraceEvent &E) {
+    W.beginObject();
+    W.key("name").value(eventKindName(E.Kind));
+    W.key("ph").value("i");
+    W.key("s").value("t");
+    W.key("ts").value(E.Cycle);
+    W.key("pid").value(1);
+    W.key("tid").value(1);
+    W.key("cat").value(E.Mech ? E.Mech : "engine");
+    W.key("args").beginObject();
+    W.key("a").value(E.A);
+    W.key("b").value(E.B);
+    if (E.IbClass != NoIbClass)
+      W.key("class").value(ibClassLabel(E.IbClass));
+    W.endObject();
+    W.endObject();
+  });
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+bool sdt::trace::writeChromeTrace(const TraceSink &Sink,
+                                  const std::string &Path) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << chromeTraceJson(Sink) << '\n';
+  return static_cast<bool>(OS);
+}

@@ -1,0 +1,74 @@
+//===- trace/TraceExport.h - Trace file exporters ----------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exporters for a recorded TraceSink:
+///
+///  - JSONL: one JSON object per line per event, terminated by a summary
+///    line carrying the full-run per-kind/per-mechanism totals (immune to
+///    ring wrap) and, when provided, the engine's own counters so a
+///    reader can reconcile the trace against SdtStats exactly.
+///  - Chrome trace_event JSON: instant events on a simulated-cycle
+///    timeline, loadable in Perfetto / chrome://tracing.
+///
+/// The schema is documented in docs/Tracing.md; examples/trace_inspect.cpp
+/// is the reference reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_TRACE_TRACEEXPORT_H
+#define STRATAIB_TRACE_TRACEEXPORT_H
+
+#include "trace/TraceSink.h"
+
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace trace {
+
+/// One mechanism's engine-side counters, for reconciliation.
+struct MechExpectation {
+  std::string Name;
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+};
+
+/// The engine-side counters a trace must reconcile against (filled from
+/// core::SdtStats and the IB handlers by the caller; the trace layer has
+/// no core dependency).
+struct StatsExpectation {
+  uint64_t DispatchEntries = 0;
+  uint64_t FragmentsTranslated = 0;
+  uint64_t TracesBuilt = 0;
+  uint64_t LinksPatched = 0;
+  uint64_t Flushes = 0;
+  std::vector<MechExpectation> Mechanisms;
+};
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+std::string jsonlLine(const TraceEvent &E);
+
+/// Renders the JSONL summary line for \p Sink (with reconciliation
+/// expectations when \p Expect is non-null).
+std::string jsonlSummaryLine(const TraceSink &Sink,
+                             const StatsExpectation *Expect);
+
+/// Writes the JSONL trace to \p Path. Returns false on I/O failure.
+bool writeJsonl(const TraceSink &Sink, const std::string &Path,
+                const StatsExpectation *Expect = nullptr);
+
+/// Renders the Chrome trace_event document for \p Sink.
+std::string chromeTraceJson(const TraceSink &Sink);
+
+/// Writes the Chrome trace_event document to \p Path. Returns false on
+/// I/O failure.
+bool writeChromeTrace(const TraceSink &Sink, const std::string &Path);
+
+} // namespace trace
+} // namespace sdt
+
+#endif // STRATAIB_TRACE_TRACEEXPORT_H

@@ -1,0 +1,89 @@
+//===- trace/TraceSink.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See TraceSink.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceSink.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace sdt;
+using namespace sdt::trace;
+
+const char *sdt::trace::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::FragmentTranslated:
+    return "fragment-translated";
+  case EventKind::TraceBuilt:
+    return "trace-built";
+  case EventKind::DispatchEntry:
+    return "dispatch-entry";
+  case EventKind::IBLookupHit:
+    return "ib-lookup-hit";
+  case EventKind::IBLookupMiss:
+    return "ib-lookup-miss";
+  case EventKind::LinkPatch:
+    return "link-patch";
+  case EventKind::CacheFlush:
+    return "cache-flush";
+  case EventKind::NumKinds:
+    break;
+  }
+  assert(false && "invalid event kind");
+  return "unknown";
+}
+
+const char *sdt::trace::ibClassLabel(uint8_t Class) {
+  // Matches core::ibClassName for the three IBClass values; the trace
+  // layer keeps its own copy to stay core-independent.
+  switch (Class) {
+  case 0:
+    return "ind-jump";
+  case 1:
+    return "ind-call";
+  case 2:
+    return "return";
+  default:
+    return "-";
+  }
+}
+
+TraceSink::TraceSink(size_t CapacityEvents)
+    : Ring(CapacityEvents > 0 ? CapacityEvents : 1) {}
+
+void TraceSink::bumpMech(const char *Mech, bool Hit) {
+  if (!Mech)
+    return;
+  for (MechTotals &M : Mechs) {
+    // Names are static strings but may come from distinct handler
+    // instances; compare by content.
+    if (M.Name == Mech || std::strcmp(M.Name, Mech) == 0) {
+      ++(Hit ? M.Hits : M.Misses);
+      return;
+    }
+  }
+  MechTotals M;
+  M.Name = Mech;
+  (Hit ? M.Hits : M.Misses) = 1;
+  Mechs.push_back(M);
+}
+
+void TraceSink::record(EventKind K, uint32_t A, uint32_t B,
+                       const char *Mech) {
+  TraceEvent E;
+  E.Cycle = Clock ? Clock(ClockCtx) : 0;
+  E.A = A;
+  E.B = B;
+  E.Mech = Mech;
+  E.Kind = K;
+  if (K == EventKind::IBLookupHit || K == EventKind::IBLookupMiss) {
+    E.IbClass = CurrentIbClass;
+    bumpMech(Mech, K == EventKind::IBLookupHit);
+  }
+  Ring[Head] = E;
+  Head = Head + 1 == Ring.size() ? 0 : Head + 1;
+  ++Total;
+  ++Totals[static_cast<size_t>(K)];
+}

@@ -1,0 +1,102 @@
+//===- trace/TraceSink.h - Event-trace ring buffer ---------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-engine trace sink: a fixed-capacity ring buffer of TraceEvents
+/// plus full per-kind and per-mechanism totals that keep counting even
+/// after the ring wraps (the oldest events are dropped, the accounting is
+/// not). Recording never charges the timing model — timestamps are read
+/// through an optional clock callback — so attaching a sink leaves the
+/// simulated cycle counts bit-identical.
+///
+/// Emitters guard every record() with `if (Sink)`; a null sink is the
+/// tracing-off fast path and costs one predictable branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_TRACE_TRACESINK_H
+#define STRATAIB_TRACE_TRACESINK_H
+
+#include "trace/TraceEvent.h"
+
+#include <array>
+#include <vector>
+
+namespace sdt {
+namespace trace {
+
+/// Fixed-capacity event recorder. Create one per engine run; not
+/// thread-safe (each simulated engine is single-threaded; parallel bench
+/// cells each get their own sink).
+class TraceSink {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+  explicit TraceSink(size_t CapacityEvents = DefaultCapacity);
+
+  /// Timestamp source: a plain function pointer + context (usually the
+  /// run's TimingModel), so the trace layer needs no arch dependency.
+  /// Unset, events are stamped with cycle 0.
+  using CycleFn = uint64_t (*)(const void *);
+  void setClock(CycleFn Fn, const void *Ctx) {
+    Clock = Fn;
+    ClockCtx = Ctx;
+  }
+
+  /// The engine sets the dynamic IB class before consulting a mechanism;
+  /// handler-emitted lookup events are stamped with it.
+  void setIbClass(uint8_t Class) { CurrentIbClass = Class; }
+
+  /// Records one event (the hot-path entry point; emitters guard the call
+  /// with `if (Sink)`).
+  void record(EventKind K, uint32_t A = 0, uint32_t B = 0,
+              const char *Mech = nullptr);
+
+  size_t capacity() const { return Ring.size(); }
+  /// Events currently retained in the ring.
+  size_t recordedCount() const {
+    return Total < Ring.size() ? static_cast<size_t>(Total) : Ring.size();
+  }
+  /// Events recorded over the run, including any the ring dropped.
+  uint64_t totalCount() const { return Total; }
+  uint64_t totalCount(EventKind K) const {
+    return Totals[static_cast<size_t>(K)];
+  }
+  uint64_t droppedCount() const { return Total - recordedCount(); }
+
+  /// Full-run lookup totals per mechanism name (never dropped).
+  struct MechTotals {
+    const char *Name = nullptr;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  const std::vector<MechTotals> &mechTotals() const { return Mechs; }
+
+  /// Visits the retained events oldest-to-newest.
+  template <typename Fn> void forEach(Fn F) const {
+    size_t N = recordedCount();
+    size_t Start = Total > N ? Head : 0;
+    for (size_t I = 0; I != N; ++I)
+      F(Ring[(Start + I) % Ring.size()]);
+  }
+
+private:
+  void bumpMech(const char *Mech, bool Hit);
+
+  std::vector<TraceEvent> Ring;
+  size_t Head = 0; ///< Next write index.
+  uint64_t Total = 0;
+  std::array<uint64_t, NumEventKinds> Totals{};
+  std::vector<MechTotals> Mechs;
+  CycleFn Clock = nullptr;
+  const void *ClockCtx = nullptr;
+  uint8_t CurrentIbClass = NoIbClass;
+};
+
+} // namespace trace
+} // namespace sdt
+
+#endif // STRATAIB_TRACE_TRACESINK_H

@@ -26,23 +26,30 @@ using namespace sdt::bench;
 
 namespace {
 
-/// Scoped STRATAIB_JOBS override (restored on destruction).
-class JobsEnv {
+/// Scoped environment-variable override (restored on destruction).
+class ScopedEnv {
 public:
-  explicit JobsEnv(const char *Value) {
-    if (const char *Old = std::getenv("STRATAIB_JOBS"))
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name))
       Saved = Old;
-    ::setenv("STRATAIB_JOBS", Value, 1);
+    ::setenv(Name, Value, 1);
   }
-  ~JobsEnv() {
+  ~ScopedEnv() {
     if (Saved)
-      ::setenv("STRATAIB_JOBS", Saved->c_str(), 1);
+      ::setenv(Name, Saved->c_str(), 1);
     else
-      ::unsetenv("STRATAIB_JOBS");
+      ::unsetenv(Name);
   }
 
 private:
+  const char *Name;
   std::optional<std::string> Saved;
+};
+
+/// Scoped STRATAIB_JOBS override.
+class JobsEnv : public ScopedEnv {
+public:
+  explicit JobsEnv(const char *Value) : ScopedEnv("STRATAIB_JOBS", Value) {}
 };
 
 struct CellSnapshot {
@@ -119,6 +126,44 @@ TEST(BenchParallelTest, ParallelSweepMatchesSerialBitIdentically) {
     EXPECT_TRUE(Serial[I].Transparent);
     EXPECT_TRUE(Parallel[I].Transparent);
   }
+}
+
+// The TraceSink guard must not perturb simulated cycles (events are
+// timestamped through a read-only clock callback) nor race across workers
+// (each cell owns its sink). Running serial-untraced, serial-traced, and
+// 4-worker-traced sweeps must all agree bit-for-bit; under
+// -DSTRATAIB_TSAN=ON this test also puts the per-cell sink wiring under
+// the race detector.
+TEST(BenchParallelTest, ParallelSweepUnperturbedByTracing) {
+  std::vector<CellSnapshot> Untraced = runSweep("1");
+
+  std::string Prefix = ::testing::TempDir() + "strataib_trace_test";
+  ScopedEnv Trace("STRATAIB_TRACE", Prefix.c_str());
+  ScopedEnv Capacity("STRATAIB_TRACE_EVENTS", "1024");
+  std::vector<CellSnapshot> TracedSerial = runSweep("1");
+  std::vector<CellSnapshot> TracedParallel = runSweep("4");
+
+  ASSERT_EQ(Untraced.size(), TracedSerial.size());
+  ASSERT_EQ(Untraced.size(), TracedParallel.size());
+  for (size_t I = 0; I != Untraced.size(); ++I) {
+    SCOPED_TRACE("cell " + std::to_string(I));
+    EXPECT_EQ(Untraced[I].SdtCycles, TracedSerial[I].SdtCycles);
+    EXPECT_EQ(Untraced[I].SdtCycles, TracedParallel[I].SdtCycles);
+    EXPECT_EQ(Untraced[I].ByCategory, TracedSerial[I].ByCategory);
+    EXPECT_EQ(Untraced[I].ByCategory, TracedParallel[I].ByCategory);
+    EXPECT_EQ(Untraced[I].MainLookups, TracedParallel[I].MainLookups);
+    EXPECT_EQ(Untraced[I].MainHits, TracedParallel[I].MainHits);
+    EXPECT_TRUE(TracedParallel[I].Transparent);
+  }
+
+  // The traced sweeps actually wrote trace files for their cells.
+  core::SdtOptions Dispatcher;
+  Dispatcher.Mechanism = core::IBMechanism::Dispatcher;
+  std::string Base =
+      traceFileBase(Prefix, "gcc", arch::x86Model().Name, Dispatcher);
+  std::FILE *F = std::fopen((Base + ".jsonl").c_str(), "r");
+  ASSERT_NE(F, nullptr) << Base + ".jsonl";
+  std::fclose(F);
 }
 
 TEST(BenchParallelTest, NativeCellsRunInParallel) {

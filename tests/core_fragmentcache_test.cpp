@@ -99,6 +99,49 @@ TEST(FragmentCacheTest, ReinsertAfterFlush) {
   EXPECT_NE(NewEntry, FragmentCacheBase); // Fresh address.
 }
 
+// Regression tests for the one-entry lookup memos: a memoised hit must
+// never outlive the mutation that invalidates it. Each test primes the
+// memo with a successful lookup first, so a missing invalidation would
+// serve the stale answer.
+
+TEST(FragmentCacheTest, MemoisedLookupInvalidatedByFlush) {
+  FragmentCache C(1 << 20);
+  HostLoc Loc = C.insert(makeFragment(C, 0x1000));
+  ASSERT_EQ(C.lookup(0x1000), Loc); // Prime the guest-PC memo.
+  C.flushAll();
+  EXPECT_FALSE(C.lookup(0x1000).valid());
+}
+
+TEST(FragmentCacheTest, MemoisedEntryAddrInvalidatedByFlush) {
+  FragmentCache C(1 << 20);
+  Fragment F = makeFragment(C, 0x1000);
+  uint32_t Entry = F.HostEntryAddr;
+  HostLoc Loc = C.insert(std::move(F));
+  ASSERT_EQ(C.locForEntryAddr(Entry), Loc); // Prime the entry-addr memo.
+  C.flushAll();
+  EXPECT_FALSE(C.locForEntryAddr(Entry).valid());
+  // The retired mapping still resolves the guest address.
+  EXPECT_EQ(C.retiredGuestEntry(Entry), 0x1000u);
+}
+
+TEST(FragmentCacheTest, MemoisedLookupFollowsReplaceForGuest) {
+  FragmentCache C(1 << 20);
+  HostLoc Old = C.insert(makeFragment(C, 0x1000));
+  ASSERT_EQ(C.lookup(0x1000), Old); // Prime the memo on the old fragment.
+  HostLoc Trace = C.replaceForGuest(makeFragment(C, 0x1000));
+  EXPECT_NE(Trace, Old);
+  EXPECT_EQ(C.lookup(0x1000), Trace);
+}
+
+TEST(FragmentCacheTest, MemoisedLookupSurvivesUnrelatedInsert) {
+  FragmentCache C(1 << 20);
+  HostLoc L1 = C.insert(makeFragment(C, 0x1000));
+  ASSERT_EQ(C.lookup(0x1000), L1);
+  C.insert(makeFragment(C, 0x2000)); // Invalidates, must then re-fill.
+  EXPECT_EQ(C.lookup(0x1000), L1);
+  EXPECT_EQ(C.lookup(0x1000), L1); // Second hit served from the memo.
+}
+
 TEST(FragmentCacheTest, MultipleFragmentsIndependent) {
   FragmentCache C(1 << 20);
   HostLoc L1 = C.insert(makeFragment(C, 0x1000));

@@ -4,10 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "assembler/Assembler.h"
 #include "core/DispatcherHandler.h"
 #include "core/IbtcHandler.h"
 #include "core/InlineCacheHandler.h"
 #include "core/ReturnCacheHandler.h"
+#include "core/SdtEngine.h"
 #include "core/SieveHandler.h"
 
 #include <gtest/gtest.h>
@@ -433,4 +435,103 @@ TEST_F(InlineCacheHandlerTest, StatsSummaryIncludesBacking) {
   std::string Summary = H.statsSummary();
   EXPECT_NE(Summary.find("inline-cache"), std::string::npos);
   EXPECT_NE(Summary.find("ibtc"), std::string::npos);
+}
+
+// --- Dispatch accounting ----------------------------------------------------
+
+namespace {
+
+/// Indirect-call + return workout: a loop alternating two callees through
+/// a function-pointer table, so every configured mechanism sees both hits
+/// and misses.
+const char *const DispatchWorkout = R"(
+main:
+    li   s0, 40
+    li   s7, 0
+loop:
+    la   t0, fns
+    andi t1, s0, 1
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    move a0, s0
+    jalr t2
+    add  s7, s7, v0
+    addi s0, s0, -1
+    bnez s0, loop
+    move a0, s7
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+f_even:
+    slli v0, a0, 1
+    ret
+f_odd:
+    addi v0, a0, 100
+    ret
+fns: .word f_even, f_odd
+)";
+
+} // namespace
+
+// Pins the DispatchEntries accounting against the per-mechanism miss
+// counters: with fragment linking on, no flushes, and no trace building,
+// every slow-path entry is either the initial entry, the one dispatch
+// behind each patched link, or a top-level IB miss — each counted exactly
+// once (an IBTC miss that falls through to the dispatcher must not count
+// twice).
+TEST(DispatchAccountingTest, DispatchEntriesMatchMissCounters) {
+  Expected<isa::Program> P = assembler::assemble(DispatchWorkout);
+  ASSERT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+
+  struct Config {
+    const char *Label;
+    IBMechanism Mechanism;
+    unsigned InlineDepth;
+    ReturnStrategy Returns;
+  };
+  const Config Configs[] = {
+      {"dispatcher", IBMechanism::Dispatcher, 0, ReturnStrategy::AsIndirect},
+      {"ibtc", IBMechanism::Ibtc, 0, ReturnStrategy::AsIndirect},
+      {"sieve", IBMechanism::Sieve, 0, ReturnStrategy::AsIndirect},
+      {"ibtc+inline", IBMechanism::Ibtc, 2, ReturnStrategy::AsIndirect},
+      {"ibtc+retcache", IBMechanism::Ibtc, 0, ReturnStrategy::ReturnCache},
+      {"sieve+retcache", IBMechanism::Sieve, 0,
+       ReturnStrategy::ReturnCache},
+  };
+
+  for (const Config &C : Configs) {
+    SdtOptions Opts;
+    Opts.Mechanism = C.Mechanism;
+    Opts.InlineCacheDepth = C.InlineDepth;
+    Opts.Returns = C.Returns;
+
+    auto Engine = SdtEngine::create(*P, Opts, {});
+    ASSERT_TRUE(static_cast<bool>(Engine)) << C.Label;
+    vm::RunResult R = (*Engine)->run();
+    EXPECT_EQ(R.Reason, vm::ExitReason::Exited) << C.Label;
+
+    const SdtStats &S = (*Engine)->stats();
+    ASSERT_EQ(S.Flushes, 0u) << C.Label;
+
+    IBHandler &Main = (*Engine)->mainHandler();
+    IBHandler &Ret = (*Engine)->returnHandler();
+    uint64_t Misses = Main.misses();
+    uint64_t Lookups = Main.lookups();
+    if (&Ret != &Main) {
+      Misses += Ret.misses();
+      Lookups += Ret.lookups();
+    }
+
+    // Every executed IB site ran exactly one top-level lookup.
+    uint64_t IBExecTotal = 0;
+    for (unsigned Class = 0; Class != NumIBClasses; ++Class)
+      IBExecTotal += S.IBExecs[Class];
+    EXPECT_EQ(Lookups, IBExecTotal) << C.Label;
+
+    EXPECT_EQ(S.DispatchEntries, 1 + S.LinksPatched + Misses) << C.Label;
+    EXPECT_GT(Misses, 0u) << C.Label;
+  }
 }

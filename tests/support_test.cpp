@@ -242,6 +242,44 @@ TEST(HistogramTest, RenderSkipsEmptyBuckets) {
   EXPECT_EQ(Out.find("overflow"), std::string::npos);
 }
 
+TEST(Log2HistogramTest, PowerOfTwoBucketing) {
+  Log2Histogram H(6); // Buckets: 0, 1, 2-3, 4-7, 8-15, 16-31, overflow.
+  H.addSample(0);
+  H.addSample(1);
+  H.addSample(2);
+  H.addSample(3);
+  H.addSample(4);
+  H.addSample(15);
+  H.addSample(31);
+  H.addSample(32); // Overflow.
+  EXPECT_EQ(H.bucketValue(0), 1u);
+  EXPECT_EQ(H.bucketValue(1), 1u);
+  EXPECT_EQ(H.bucketValue(2), 2u);
+  EXPECT_EQ(H.bucketValue(3), 1u);
+  EXPECT_EQ(H.bucketValue(4), 1u);
+  EXPECT_EQ(H.bucketValue(5), 1u);
+  EXPECT_EQ(H.overflowCount(), 1u);
+  EXPECT_EQ(H.totalCount(), 8u);
+  EXPECT_EQ(Log2Histogram::bucketLow(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucketLow(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucketLow(5), 16u);
+}
+
+TEST(Log2HistogramTest, MeanUsesTrueValues) {
+  Log2Histogram H(4);
+  H.addSample(2);
+  H.addSample(1000); // Overflow, but its true value feeds the mean.
+  EXPECT_DOUBLE_EQ(H.mean(), 501.0);
+}
+
+TEST(Log2HistogramTest, RenderSkipsEmptyBuckets) {
+  Log2Histogram H(10);
+  H.addSample(5);
+  std::string Out = H.render();
+  EXPECT_NE(Out.find("4..7"), std::string::npos);
+  EXPECT_EQ(Out.find("overflow"), std::string::npos);
+}
+
 // --- StringUtils -----------------------------------------------------------
 
 TEST(StringUtilsTest, Trim) {

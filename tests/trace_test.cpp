@@ -1,0 +1,295 @@
+//===- tests/trace_test.cpp - Event-tracing subsystem ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "assembler/Assembler.h"
+#include "core/SdtEngine.h"
+#include "trace/TraceExport.h"
+#include "trace/TraceSink.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::core;
+using trace::EventKind;
+using trace::TraceEvent;
+using trace::TraceSink;
+
+namespace {
+
+isa::Program mustAssemble(const char *Src) {
+  Expected<isa::Program> P = assembler::assemble(Src);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  return *P;
+}
+
+/// Indirect-call + return workout (same shape as the engine tests).
+const char *const CallLoop = R"(
+main:
+    li   s0, 50
+    li   s7, 0
+loop:
+    la   t0, fns
+    andi t1, s0, 1
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    move a0, s0
+    jalr t2
+    add  s7, s7, v0
+    addi s0, s0, -1
+    bnez s0, loop
+    move a0, s7
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+f_even:
+    slli v0, a0, 1
+    ret
+f_odd:
+    addi v0, a0, 100
+    ret
+fns: .word f_even, f_odd
+)";
+
+std::vector<TraceEvent> collect(const TraceSink &Sink) {
+  std::vector<TraceEvent> Events;
+  Sink.forEach([&Events](const TraceEvent &E) { Events.push_back(E); });
+  return Events;
+}
+
+} // namespace
+
+TEST(TraceSinkTest, RetainsEverythingBelowCapacity) {
+  TraceSink Sink(8);
+  Sink.record(EventKind::DispatchEntry, 0x100);
+  Sink.record(EventKind::FragmentTranslated, 0x100, 7);
+  Sink.record(EventKind::LinkPatch, 0x104, 0x40000010);
+
+  EXPECT_EQ(Sink.capacity(), 8u);
+  EXPECT_EQ(Sink.totalCount(), 3u);
+  EXPECT_EQ(Sink.recordedCount(), 3u);
+  EXPECT_EQ(Sink.droppedCount(), 0u);
+  EXPECT_EQ(Sink.totalCount(EventKind::DispatchEntry), 1u);
+  EXPECT_EQ(Sink.totalCount(EventKind::FragmentTranslated), 1u);
+  EXPECT_EQ(Sink.totalCount(EventKind::LinkPatch), 1u);
+  EXPECT_EQ(Sink.totalCount(EventKind::CacheFlush), 0u);
+
+  std::vector<TraceEvent> Events = collect(Sink);
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Kind, EventKind::DispatchEntry);
+  EXPECT_EQ(Events[0].A, 0x100u);
+  EXPECT_EQ(Events[1].Kind, EventKind::FragmentTranslated);
+  EXPECT_EQ(Events[1].B, 7u);
+  EXPECT_EQ(Events[2].Kind, EventKind::LinkPatch);
+}
+
+TEST(TraceSinkTest, RingDropsOldestButKeepsTotals) {
+  TraceSink Sink(4);
+  for (uint32_t I = 0; I != 10; ++I)
+    Sink.record(EventKind::DispatchEntry, I);
+
+  EXPECT_EQ(Sink.totalCount(), 10u);
+  EXPECT_EQ(Sink.recordedCount(), 4u);
+  EXPECT_EQ(Sink.droppedCount(), 6u);
+  EXPECT_EQ(Sink.totalCount(EventKind::DispatchEntry), 10u);
+
+  // The retained window is the newest four, oldest first.
+  std::vector<TraceEvent> Events = collect(Sink);
+  ASSERT_EQ(Events.size(), 4u);
+  for (uint32_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Events[I].A, 6 + I);
+}
+
+TEST(TraceSinkTest, MechTotalsSurviveRingWrap) {
+  TraceSink Sink(2);
+  for (int I = 0; I != 5; ++I)
+    Sink.record(EventKind::IBLookupHit, 0, 0x200, "ibtc");
+  for (int I = 0; I != 3; ++I)
+    Sink.record(EventKind::IBLookupMiss, 0, 0x204, "ibtc");
+  Sink.record(EventKind::IBLookupMiss, 1, 0x300, "sieve");
+
+  ASSERT_EQ(Sink.mechTotals().size(), 2u);
+  EXPECT_STREQ(Sink.mechTotals()[0].Name, "ibtc");
+  EXPECT_EQ(Sink.mechTotals()[0].Hits, 5u);
+  EXPECT_EQ(Sink.mechTotals()[0].Misses, 3u);
+  EXPECT_STREQ(Sink.mechTotals()[1].Name, "sieve");
+  EXPECT_EQ(Sink.mechTotals()[1].Misses, 1u);
+}
+
+TEST(TraceSinkTest, ClockAndIbClassStampEvents) {
+  uint64_t Now = 41;
+  TraceSink Sink(8);
+  Sink.setClock(
+      [](const void *Ctx) { return *static_cast<const uint64_t *>(Ctx); },
+      &Now);
+  Sink.setIbClass(2); // IBClass::Return.
+  Sink.record(EventKind::IBLookupMiss, 3, 0x500, "ibtc");
+  Now = 99;
+  Sink.record(EventKind::DispatchEntry, 0x500);
+
+  std::vector<TraceEvent> Events = collect(Sink);
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Cycle, 41u);
+  EXPECT_EQ(Events[0].IbClass, 2);
+  EXPECT_EQ(Events[1].Cycle, 99u);
+  // Non-lookup events never carry an IB class.
+  EXPECT_EQ(Events[1].IbClass, trace::NoIbClass);
+}
+
+TEST(TraceExportTest, JsonlLineCarriesKindSpecificFields) {
+  TraceEvent E;
+  E.Kind = EventKind::IBLookupMiss;
+  E.Cycle = 1234;
+  E.A = 7;
+  E.B = 0x2000;
+  E.Mech = "sieve";
+  E.IbClass = 1;
+  EXPECT_EQ(trace::jsonlLine(E),
+            "{\"ev\":\"ib-lookup-miss\",\"cycle\":1234,\"mech\":\"sieve\","
+            "\"class\":\"ind-call\",\"site\":7,\"target\":8192}");
+
+  TraceEvent F;
+  F.Kind = EventKind::CacheFlush;
+  F.Cycle = 9;
+  F.A = 12;
+  F.B = 4096;
+  EXPECT_EQ(trace::jsonlLine(F),
+            "{\"ev\":\"cache-flush\",\"cycle\":9,\"fragments\":12,"
+            "\"used_bytes\":4096}");
+}
+
+TEST(TraceExportTest, JsonlFileEndsWithReconcilableSummary) {
+  TraceSink Sink(4);
+  Sink.record(EventKind::DispatchEntry, 0x100);
+  Sink.record(EventKind::IBLookupHit, 0, 0x200, "ibtc");
+
+  trace::StatsExpectation Expect;
+  Expect.DispatchEntries = 1;
+  Expect.Mechanisms.push_back({"ibtc", 1, 1});
+
+  std::string Path = ::testing::TempDir() + "trace_test_out.jsonl";
+  ASSERT_TRUE(trace::writeJsonl(Sink, Path, &Expect));
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_NE(Lines[0].find("\"ev\":\"dispatch-entry\""), std::string::npos);
+  EXPECT_NE(Lines[1].find("\"ev\":\"ib-lookup-hit\""), std::string::npos);
+  const std::string &Summary = Lines.back();
+  EXPECT_NE(Summary.find("\"summary\":true"), std::string::npos);
+  EXPECT_NE(Summary.find("\"recorded\":2"), std::string::npos);
+  EXPECT_NE(Summary.find("\"dispatch-entry\":1"), std::string::npos);
+  EXPECT_NE(Summary.find("\"ibtc\":{\"hits\":1,\"misses\":0}"),
+            std::string::npos);
+  EXPECT_NE(Summary.find("\"dispatch_entries\":1"), std::string::npos);
+  EXPECT_NE(Summary.find("\"ibtc\":{\"lookups\":1,\"hits\":1}"),
+            std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeTraceIsInstantEventsOnCycleTimeline) {
+  TraceSink Sink(4);
+  uint64_t Now = 77;
+  Sink.setClock(
+      [](const void *Ctx) { return *static_cast<const uint64_t *>(Ctx); },
+      &Now);
+  Sink.record(EventKind::FragmentTranslated, 0x100, 5);
+
+  std::string Doc = trace::chromeTraceJson(Sink);
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"name\": \"fragment-translated\""),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ts\": 77"), std::string::npos);
+}
+
+TEST(TraceEngineTest, EventTotalsReconcileWithEngineStats) {
+  isa::Program P = mustAssemble(CallLoop);
+  arch::TimingModel Timing(*arch::modelByName("x86"));
+  vm::ExecOptions Exec;
+  Exec.Timing = &Timing;
+  SdtOptions Opts; // IBTC, returns as-indirect, linking on.
+  auto Engine = SdtEngine::create(P, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+
+  TraceSink Sink;
+  (*Engine)->setTraceSink(&Sink);
+  vm::RunResult R = (*Engine)->run();
+  EXPECT_EQ(R.Reason, vm::ExitReason::Exited);
+
+  const SdtStats &S = (*Engine)->stats();
+  EXPECT_EQ(Sink.totalCount(EventKind::DispatchEntry), S.DispatchEntries);
+  EXPECT_EQ(Sink.totalCount(EventKind::FragmentTranslated),
+            S.FragmentsTranslated);
+  EXPECT_EQ(Sink.totalCount(EventKind::TraceBuilt), S.TracesBuilt);
+  EXPECT_EQ(Sink.totalCount(EventKind::LinkPatch), S.LinksPatched);
+  EXPECT_EQ(Sink.totalCount(EventKind::CacheFlush), S.Flushes);
+
+  // One mechanism (IBTC serves all classes); its event totals must match
+  // the handler's own counters, and every lookup the engine executed must
+  // have produced exactly one hit-or-miss event.
+  ASSERT_EQ(Sink.mechTotals().size(), 1u);
+  const TraceSink::MechTotals &M = Sink.mechTotals()[0];
+  EXPECT_STREQ(M.Name, "ibtc");
+  IBHandler &H = (*Engine)->mainHandler();
+  EXPECT_EQ(M.Hits, H.hits());
+  EXPECT_EQ(M.Hits + M.Misses, H.lookups());
+  EXPECT_EQ(Sink.totalCount(EventKind::IBLookupHit) +
+                Sink.totalCount(EventKind::IBLookupMiss),
+            H.lookups());
+  EXPECT_GT(H.lookups(), 0u);
+
+  // Lookup events carry the dynamic IB class the engine stamped.
+  uint64_t Calls = 0, Returns = 0;
+  Sink.forEach([&](const TraceEvent &E) {
+    if (E.Kind != EventKind::IBLookupHit &&
+        E.Kind != EventKind::IBLookupMiss)
+      return;
+    if (E.IbClass == 1)
+      ++Calls;
+    else if (E.IbClass == 2)
+      ++Returns;
+  });
+  EXPECT_GT(Calls, 0u);
+  EXPECT_GT(Returns, 0u);
+}
+
+TEST(TraceEngineTest, AttachingASinkDoesNotPerturbCycles) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.EnableTraces = true; // Exercise buildTrace + trampoline patching.
+  Opts.TraceHotThreshold = 5;
+
+  auto runOnce = [&](TraceSink *Sink, uint64_t &CyclesOut) {
+    arch::TimingModel Timing(*arch::modelByName("x86"));
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto Engine = SdtEngine::create(P, Opts, Exec);
+    ASSERT_TRUE(static_cast<bool>(Engine));
+    if (Sink)
+      (*Engine)->setTraceSink(Sink);
+    vm::RunResult R = (*Engine)->run();
+    EXPECT_EQ(R.Reason, vm::ExitReason::Exited);
+    CyclesOut = Timing.totalCycles();
+  };
+
+  uint64_t Untraced = 0, Traced = 0;
+  runOnce(nullptr, Untraced);
+  TraceSink Sink(64); // Tiny ring: wrap handling must not perturb either.
+  runOnce(&Sink, Traced);
+  EXPECT_EQ(Untraced, Traced);
+  EXPECT_GT(Sink.droppedCount(), 0u);
+}
