@@ -29,6 +29,33 @@ std::string sdt::bench::tracePrefixFromEnv() {
   return Env ? std::string(Env) : std::string();
 }
 
+core::SdtOptions sdt::bench::withCacheEnvOverrides(core::SdtOptions Opts) {
+  if (const char *Env = std::getenv("STRATAIB_CACHE_BYTES")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V >= 4096)
+      Opts.FragmentCacheBytes = static_cast<uint32_t>(V);
+    else if (*Env)
+      std::fprintf(stderr,
+                   "bench: ignoring STRATAIB_CACHE_BYTES=%s (minimum 4096)\n",
+                   Env);
+  }
+  if (const char *Env = std::getenv("STRATAIB_CACHE_POLICY")) {
+    if (*Env) {
+      std::optional<cachemgr::CachePolicyKind> Kind =
+          cachemgr::parseCachePolicy(Env);
+      if (!Kind) {
+        std::fprintf(stderr,
+                     "bench: unknown STRATAIB_CACHE_POLICY '%s' (expected "
+                     "full-flush, fifo, or generational)\n",
+                     Env);
+        std::exit(2);
+      }
+      Opts.CachePolicy = *Kind;
+    }
+  }
+  return Opts;
+}
+
 /// Ring capacity for traced runs (STRATAIB_TRACE_EVENTS).
 static size_t traceCapacityFromEnv() {
   const char *Env = std::getenv("STRATAIB_TRACE_EVENTS");
@@ -63,6 +90,9 @@ trace::StatsExpectation sdt::bench::traceExpectations(core::SdtEngine &E) {
   Expect.TracesBuilt = S.TracesBuilt;
   Expect.LinksPatched = S.LinksPatched;
   Expect.Flushes = S.Flushes;
+  Expect.PartialEvictions = S.PartialEvictions;
+  Expect.EvictedBytes = S.EvictedBytes;
+  Expect.LinksUnlinked = S.LinksUnlinked;
   auto add = [&Expect](core::IBHandler *H) {
     for (trace::MechExpectation &M : Expect.Mechanisms)
       if (M.Name == H->name()) {
@@ -165,8 +195,9 @@ vm::RunResult BenchContext::runNative(const std::string &Workload,
 
 Measurement BenchContext::measure(const std::string &Workload,
                                   const arch::MachineModel &Model,
-                                  const core::SdtOptions &Opts) {
+                                  const core::SdtOptions &RequestedOpts) {
   const NativeBaseline &Base = native(Workload, Model);
+  const core::SdtOptions Opts = withCacheEnvOverrides(RequestedOpts);
 
   arch::TimingModel Timing(Model);
   vm::ExecOptions Exec;

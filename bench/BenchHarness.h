@@ -88,12 +88,13 @@ public:
   /// The twelve SPEC INT proxy names, in suite order.
   static std::vector<std::string> allWorkloadNames();
 
-  /// Runs \p Workload natively and under (\p Model, \p Opts). Native
-  /// results are cached per (workload, model) pair. Aborts the process on
-  /// build/run errors (experiment binaries are tools).
+  /// Runs \p Workload natively and under (\p Model, \p Opts) — with the
+  /// STRATAIB_CACHE_BYTES/STRATAIB_CACHE_POLICY env overrides applied.
+  /// Native results are cached per (workload, model) pair. Aborts the
+  /// process on build/run errors (experiment binaries are tools).
   Measurement measure(const std::string &Workload,
                       const arch::MachineModel &Model,
-                      const core::SdtOptions &Opts);
+                      const core::SdtOptions &RequestedOpts);
 
   /// Native-only run (IB statistics, instruction counts).
   vm::RunResult runNative(const std::string &Workload,
@@ -125,6 +126,16 @@ private:
 
 /// Reads STRATAIB_SCALE, falling back to \p Fallback.
 uint32_t scaleFromEnv(uint32_t Fallback);
+
+/// Applies the cache-management env overrides to \p Opts:
+/// STRATAIB_CACHE_BYTES (fragment-cache capacity, >= 4096) and
+/// STRATAIB_CACHE_POLICY (full-flush / fifo / generational). measure()
+/// and the JSON summary both use the overridden options, so every
+/// experiment can be re-run under a different policy without code
+/// changes — note this overrides cells that sweep these knobs
+/// themselves (e.g. e14_cache_pressure). Exits on an unknown policy
+/// name.
+core::SdtOptions withCacheEnvOverrides(core::SdtOptions Opts);
 
 /// Reads STRATAIB_TRACE: the path prefix for per-cell trace files, or ""
 /// when tracing is off. When set, measure() attaches a TraceSink to each

@@ -132,8 +132,14 @@ std::string ParallelRunner::summaryJson() const {
     W.key("workload").value(C.Workload);
     W.key("wall_ms").value(C.WallMs);
     if (C.Kind == CellKind::Sdt) {
+      // The summary must describe what actually ran, so the env
+      // overrides measure() applied are re-applied here.
+      core::SdtOptions Effective = withCacheEnvOverrides(C.Opts);
       W.key("model").value(C.Model.Name);
-      W.key("config").value(C.Opts.describe());
+      W.key("config").value(Effective.describe());
+      W.key("cache_policy")
+          .value(cachemgr::cachePolicyName(Effective.CachePolicy));
+      W.key("cache_bytes").value(Effective.FragmentCacheBytes);
       W.key("native_cycles").value(C.M.NativeCycles);
       W.key("sdt_cycles").value(C.M.SdtCycles);
       W.key("slowdown").value(C.M.slowdown());
@@ -142,6 +148,12 @@ std::string ParallelRunner::summaryJson() const {
       W.key("main_hit_rate").value(C.M.mainHitRate());
       W.key("instructions").value(C.M.Instructions);
       W.key("transparent").value(C.M.Transparent);
+      W.key("flushes").value(C.M.Stats.Flushes);
+      W.key("partial_evictions").value(C.M.Stats.PartialEvictions);
+      W.key("evicted_bytes").value(C.M.Stats.EvictedBytes);
+      W.key("retranslations_after_eviction")
+          .value(C.M.Stats.RetranslationsAfterEviction);
+      W.key("links_unlinked").value(C.M.Stats.LinksUnlinked);
       W.key("cycles_by_category").beginObject();
       for (size_t I = 0; I != C.M.SdtByCategory.size(); ++I)
         W.key(arch::cycleCategoryName(static_cast<arch::CycleCategory>(I)))

@@ -1,0 +1,155 @@
+//===- bench/e14_cache_pressure.cpp - Cache capacity x policy x IB -*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// E14: indirect-branch mechanism cost under code-cache pressure. Sweeps
+// fragment-cache capacity x eviction policy x IB mechanism and reports
+// slowdown plus retranslation rate. The unbounded row is the no-pressure
+// baseline; the bounded rows show what each mechanism pays when its
+// pointers into the cache keep dying — the dispatcher caches nothing and
+// degrades least, while sieve/inline caches add invalidation work on top
+// of the retranslation cost every other mechanism shares.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+
+struct MechConfig {
+  const char *Name;
+  core::IBMechanism Mechanism;
+  unsigned InlineDepth;
+};
+
+struct RowConfig {
+  const char *Name;
+  uint32_t CacheBytes;
+  cachemgr::CachePolicyKind Policy;
+};
+
+core::SdtOptions makeOpts(const RowConfig &R, const MechConfig &M) {
+  core::SdtOptions Opts;
+  Opts.Mechanism = M.Mechanism;
+  Opts.InlineCacheDepth = M.InlineDepth;
+  Opts.FragmentCacheBytes = R.CacheBytes;
+  Opts.CachePolicy = R.Policy;
+  return Opts;
+}
+
+} // namespace
+
+int main() {
+  uint32_t Scale = scaleFromEnv(10);
+  printHeader("E14 (Cache pressure: capacity x policy x IB mechanism)",
+              "bounded code cache with pluggable eviction, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  // Code-footprint-heavy workloads: bigcode is the sequential-thrash
+  // stressor, hotcold is the hot-kernel-under-pressure stressor, and
+  // gcc/perlbmk are the suite's largest translated working sets.
+  const std::vector<std::string> Workloads = {"bigcode", "hotcold", "gcc",
+                                              "perlbmk"};
+
+  const MechConfig Mechs[] = {
+      {"dispatcher", core::IBMechanism::Dispatcher, 0},
+      {"ibtc", core::IBMechanism::Ibtc, 0},
+      {"sieve", core::IBMechanism::Sieve, 0},
+      {"inline2+ibtc", core::IBMechanism::Ibtc, 2},
+  };
+  using cachemgr::CachePolicyKind;
+  const RowConfig Rows[] = {
+      {"8MB, full-flush", 8 << 20, CachePolicyKind::FullFlush},
+      {"64KB, full-flush", 64 << 10, CachePolicyKind::FullFlush},
+      {"64KB, fifo", 64 << 10, CachePolicyKind::Fifo},
+      {"64KB, generational", 64 << 10, CachePolicyKind::Generational},
+      {"16KB, full-flush", 16 << 10, CachePolicyKind::FullFlush},
+      {"16KB, fifo", 16 << 10, CachePolicyKind::Fifo},
+      {"16KB, generational", 16 << 10, CachePolicyKind::Generational},
+  };
+
+  ParallelRunner Runner(Ctx, "e14_cache_pressure");
+  // Ids[row][mech][workload].
+  std::vector<std::vector<std::vector<size_t>>> Ids;
+  for (const RowConfig &R : Rows) {
+    std::vector<std::vector<size_t>> PerMech;
+    for (const MechConfig &M : Mechs) {
+      std::vector<size_t> PerWorkload;
+      for (const std::string &W : Workloads)
+        PerWorkload.push_back(Runner.enqueue(W, Model, makeOpts(R, M)));
+      PerMech.push_back(std::move(PerWorkload));
+    }
+    Ids.push_back(std::move(PerMech));
+  }
+  Runner.runAll();
+
+  // Table 1: slowdown (geomean over the workloads) per capacity/policy
+  // row and mechanism.
+  {
+    std::vector<std::string> Header{"cache, policy"};
+    for (const MechConfig &M : Mechs)
+      Header.push_back(M.Name);
+    TableFormatter T(Header);
+    for (size_t R = 0; R != std::size(Rows); ++R) {
+      T.beginRow().addCell(std::string(Rows[R].Name));
+      for (size_t M = 0; M != std::size(Mechs); ++M) {
+        std::vector<Measurement> Ms;
+        for (size_t W = 0; W != Workloads.size(); ++W)
+          Ms.push_back(Runner.result(Ids[R][M][W]));
+        T.addCell(geoMeanSlowdown(Ms), 3);
+      }
+    }
+    std::printf(
+        "Slowdown vs native (geomean of bigcode/hotcold/gcc/perlbmk):\n%s\n",
+        T.render().c_str());
+  }
+
+  // Table 2: policy thrash behaviour at 16KB under ibtc — retranslation
+  // rate (retranslations / fragments translated) per workload, plus the
+  // flush/eviction counts behind it.
+  {
+    TableFormatter T({"policy @16KB, ibtc", "workload", "flushes",
+                      "partial-evicts", "evicted-KB", "retrans-rate",
+                      "links-unlinked"});
+    const size_t Ibtc = 1; // Mechs[1].
+    for (size_t R = 4; R != std::size(Rows); ++R) { // The 16KB rows.
+      for (size_t W = 0; W != Workloads.size(); ++W) {
+        const Measurement &M = Runner.result(Ids[R][Ibtc][W]);
+        double Rate =
+            M.Stats.FragmentsTranslated == 0
+                ? 0.0
+                : static_cast<double>(M.Stats.RetranslationsAfterEviction) /
+                      static_cast<double>(M.Stats.FragmentsTranslated);
+        T.beginRow()
+            .addCell(std::string(Rows[R].Name))
+            .addCell(Workloads[W])
+            .addCell(M.Stats.Flushes)
+            .addCell(M.Stats.PartialEvictions)
+            .addCell(static_cast<double>(M.Stats.EvictedBytes) / 1024.0, 1)
+            .addCell(Rate, 3)
+            .addCell(M.Stats.LinksUnlinked);
+      }
+    }
+    std::printf("%s\n", T.render().c_str());
+  }
+
+  std::printf(
+      "Shape targets: the dispatcher degrades least under pressure (it\n"
+      "caches no fragment pointers, so eviction costs it nothing beyond\n"
+      "retranslation); sieve and inline caches pay the largest\n"
+      "invalidation cost (code-resident stubs / patched compare slots\n"
+      "must be unchained); generational beats full-flush on retranslation\n"
+      "rate for hot-loop workloads (the hot generation survives every\n"
+      "collection).\n");
+  return 0;
+}

@@ -9,12 +9,15 @@
 // summary line. Exits non-zero if the trace and the stats disagree — a
 // trace is only trustworthy if it saw every event the engine counted.
 //
-// Usage: trace_inspect <trace.jsonl> [--event <kind>] [--mech <name>]
-//                      [--limit N]
-//   --event <kind>  print retained events of one kind (dispatch-entry,
-//                   ib-lookup-miss, ...) instead of the summary
-//   --mech <name>   restrict --event output to one mechanism
-//   --limit N       print at most N events (default 20)
+// Usage: trace_inspect <trace.jsonl> [--event <kind>] [--events a,b,...]
+//                      [--mech <name>] [--limit N]
+//   --event <kind>   print retained events of one kind (dispatch-entry,
+//                    ib-lookup-miss, ...) instead of the summary
+//   --events <list>  same, for a comma-separated list of kinds; the
+//                    aliases "eviction" (cache-evict) and "unlink"
+//                    (link-unlink) are accepted alongside full names
+//   --mech <name>    restrict event output to one mechanism
+//   --limit N        print at most N events (default 20)
 //
 //===----------------------------------------------------------------------===//
 
@@ -169,6 +172,31 @@ struct MechCount {
   uint64_t Misses = 0;
 };
 
+/// Maps the user-facing aliases onto exporter kind names; full names
+/// pass through unchanged.
+std::string normalizeEventKind(const std::string &Name) {
+  if (Name == "eviction")
+    return "cache-evict";
+  if (Name == "unlink")
+    return "link-unlink";
+  return Name;
+}
+
+/// Splits a --events comma list into normalized kind names.
+std::vector<std::string> splitEventList(const std::string &List) {
+  std::vector<std::string> Kinds;
+  size_t Start = 0;
+  while (Start <= List.size()) {
+    size_t Comma = List.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    if (Comma > Start)
+      Kinds.push_back(normalizeEventKind(List.substr(Start, Comma - Start)));
+    Start = Comma + 1;
+  }
+  return Kinds;
+}
+
 int reconcileFailures(const JsonValue &Summary) {
   int Failures = 0;
   auto check = [&Failures](const char *What, uint64_t Trace,
@@ -197,6 +225,10 @@ int reconcileFailures(const JsonValue &Summary) {
           Stats->num("links_patched"));
     check("cache flushes", Totals->num("cache-flush"),
           Stats->num("flushes"));
+    check("partial evictions", Totals->num("cache-evict"),
+          Stats->num("partial_evictions"));
+    check("links unlinked", Totals->num("link-unlink"),
+          Stats->num("links_unlinked"));
   }
 
   const JsonValue *MechTotals = Summary.field("mech_totals");
@@ -226,14 +258,17 @@ int reconcileFailures(const JsonValue &Summary) {
 
 int main(int argc, char **argv) {
   std::string Path;
-  std::string EventFilter;
+  std::vector<std::string> EventFilter; ///< Empty = summary mode.
   std::string MechFilter;
   uint64_t Limit = 20;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--event" && I + 1 < argc)
-      EventFilter = argv[++I];
-    else if (Arg == "--mech" && I + 1 < argc)
+      EventFilter.push_back(normalizeEventKind(argv[++I]));
+    else if (Arg == "--events" && I + 1 < argc) {
+      for (std::string &Kind : splitEventList(argv[++I]))
+        EventFilter.push_back(std::move(Kind));
+    } else if (Arg == "--mech" && I + 1 < argc)
       MechFilter = argv[++I];
     else if (Arg == "--limit" && I + 1 < argc)
       Limit = std::strtoull(argv[++I], nullptr, 10);
@@ -242,7 +277,7 @@ int main(int argc, char **argv) {
     else {
       std::fprintf(stderr,
                    "usage: trace_inspect <trace.jsonl> [--event <kind>] "
-                   "[--mech <name>] [--limit N]\n");
+                   "[--events a,b,...] [--mech <name>] [--limit N]\n");
       return 2;
     }
   }
@@ -260,10 +295,13 @@ int main(int argc, char **argv) {
   std::map<std::string, uint64_t> KindCounts;
   std::map<std::string, MechCount> MechCounts;
   Log2Histogram DispatchGaps;
+  Log2Histogram EvictionGaps;
   uint64_t Retained = 0;
   uint64_t FirstCycle = 0, LastCycle = 0;
   uint64_t LastDispatchCycle = 0;
   bool SawDispatch = false;
+  uint64_t LastEvictCycle = 0;
+  bool SawEvict = false;
   uint64_t Printed = 0;
   JsonValue Summary;
   bool SawSummary = false;
@@ -303,10 +341,20 @@ int main(int argc, char **argv) {
         DispatchGaps.addSample(Cycle - LastDispatchCycle);
       LastDispatchCycle = Cycle;
       SawDispatch = true;
+    } else if (Kind == "cache-evict") {
+      if (SawEvict)
+        EvictionGaps.addSample(Cycle - LastEvictCycle);
+      LastEvictCycle = Cycle;
+      SawEvict = true;
     }
 
-    if (!EventFilter.empty() && Kind == EventFilter &&
-        (MechFilter.empty() || V.str("mech") == MechFilter) &&
+    bool Selected = false;
+    for (const std::string &Want : EventFilter)
+      if (Kind == Want) {
+        Selected = true;
+        break;
+      }
+    if (Selected && (MechFilter.empty() || V.str("mech") == MechFilter) &&
         Printed < Limit) {
       std::printf("%s\n", Line.c_str());
       ++Printed;
@@ -314,11 +362,13 @@ int main(int argc, char **argv) {
   }
 
   if (!EventFilter.empty()) {
+    uint64_t Matching = 0;
+    for (const std::string &Want : EventFilter)
+      if (auto It = KindCounts.find(Want); It != KindCounts.end())
+        Matching += It->second;
     std::printf("(%llu of %llu retained events shown)\n",
                 static_cast<unsigned long long>(Printed),
-                static_cast<unsigned long long>(
-                    KindCounts.count(EventFilter) ? KindCounts[EventFilter]
-                                                  : 0));
+                static_cast<unsigned long long>(Matching));
   } else {
     std::printf("trace: %s\n", Path.c_str());
     std::printf("retained events: %llu  (cycles %llu..%llu)\n",
@@ -348,6 +398,10 @@ int main(int argc, char **argv) {
     if (DispatchGaps.totalCount() > 0) {
       std::printf("\ndispatch inter-arrival cycles (mean %.1f):\n%s",
                   DispatchGaps.mean(), DispatchGaps.render().c_str());
+    }
+    if (EvictionGaps.totalCount() > 0) {
+      std::printf("\neviction inter-arrival cycles (mean %.1f):\n%s",
+                  EvictionGaps.mean(), EvictionGaps.render().c_str());
     }
   }
 

@@ -10,6 +10,14 @@
 # When STRATAIB_TRACE is set in the environment, each experiment writes
 # event traces under results/traces/<experiment>/ (see docs/Tracing.md).
 #
+# STRATAIB_CACHE_POLICY / STRATAIB_CACHE_BYTES pass through to every
+# binary (docs/CodeCacheManagement.md): the whole suite re-runs under a
+# different eviction policy or cache capacity without code changes, and
+# every cell in results/bench_summary.json records the effective
+# `cache_policy` and `cache_bytes`, so summaries from different policy
+# runs stay distinguishable after merging. e14_cache_pressure sweeps
+# these knobs itself — leave them unset when its sweep is the point.
+#
 # Any experiment that crashes or exits non-zero aborts the run with a
 # non-zero exit status, and no partial summary is merged into
 # results/bench_summary.json.
@@ -53,7 +61,7 @@ for BIN in "$BUILD"/bench/*; do
     micro_primitives) continue ;; # google-benchmark; run separately
     *.cmake|*.a) continue ;;
   esac
-  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS) =="
+  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS${STRATAIB_CACHE_POLICY:+ STRATAIB_CACHE_POLICY=$STRATAIB_CACHE_POLICY}) =="
   TRACE_ENV=""
   if [ -n "${STRATAIB_TRACE:-}" ]; then
     mkdir -p "$OUT/traces/$NAME"

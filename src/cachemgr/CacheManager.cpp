@@ -1,0 +1,34 @@
+//===- cachemgr/CacheManager.cpp -------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See CacheManager.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachemgr/CacheManager.h"
+
+using namespace sdt;
+using namespace sdt::cachemgr;
+
+EvictionPlan CacheManager::plan(const std::vector<FragmentView> &Live,
+                                const CacheUsage &Usage, uint32_t Pinned) {
+  EvictionPlan P = Policy->plan(Live, Usage, Pinned);
+  if (P.FullFlush)
+    return P;
+  // Both shipped policies emit victims in Live (allocation) order, so a
+  // single merge walk tallies the freed bytes.
+  uint64_t Freed = 0;
+  size_t LiveIt = 0;
+  for (uint32_t Victim : P.Victims) {
+    while (LiveIt != Live.size() && Live[LiveIt].Index != Victim)
+      ++LiveIt;
+    if (LiveIt != Live.size())
+      Freed += Live[LiveIt].Bytes;
+  }
+  // Progress guarantee: the eviction must get usage strictly back under
+  // capacity, or the engine would immediately be full again.
+  if (P.Victims.empty() || Usage.UsedBytes - Freed >= Usage.CapacityBytes) {
+    P.FullFlush = true;
+    P.Victims.clear();
+  }
+  return P;
+}

@@ -1,0 +1,51 @@
+//===- cachemgr/CacheManager.h - Capacity decision owner ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CacheManager owns the fragment-cache capacity decision: when the
+/// engine reports the cache full, the manager consults its policy and
+/// returns a plan that is guaranteed to make progress — a plan whose
+/// victim set is empty, or frees too little to get back under capacity,
+/// is escalated to a full flush. The manager is deliberately free of any
+/// core dependency (it sees FragmentView snapshots, not fragments), so
+/// policies stay unit-testable without an engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CACHEMGR_CACHEMANAGER_H
+#define STRATAIB_CACHEMGR_CACHEMANAGER_H
+
+#include "cachemgr/CachePolicy.h"
+
+namespace sdt {
+namespace cachemgr {
+
+/// Owns a CachePolicy and enforces the progress guarantee on its plans.
+class CacheManager {
+public:
+  explicit CacheManager(CachePolicyKind Kind,
+                        const PolicyConfig &Config = PolicyConfig())
+      : Policy(makeCachePolicy(Kind, Config)) {}
+
+  CachePolicyKind kind() const { return Policy->kind(); }
+  const char *policyName() const { return cachePolicyName(Policy->kind()); }
+
+  /// Returns the policy's plan, escalated to a full flush when it would
+  /// not bring usage back under capacity (empty victim set included).
+  EvictionPlan plan(const std::vector<FragmentView> &Live,
+                    const CacheUsage &Usage, uint32_t Pinned);
+
+  /// Forwarded to the policy when the engine flushes everything.
+  void notifyFlush() { Policy->notifyFlush(); }
+
+private:
+  std::unique_ptr<CachePolicy> Policy;
+};
+
+} // namespace cachemgr
+} // namespace sdt
+
+#endif // STRATAIB_CACHEMGR_CACHEMANAGER_H

@@ -1,0 +1,129 @@
+//===- cachemgr/CachePolicy.cpp --------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See CachePolicy.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachemgr/CachePolicy.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::cachemgr;
+
+const char *sdt::cachemgr::cachePolicyName(CachePolicyKind Kind) {
+  switch (Kind) {
+  case CachePolicyKind::FullFlush:
+    return "full-flush";
+  case CachePolicyKind::Fifo:
+    return "fifo";
+  case CachePolicyKind::Generational:
+    return "generational";
+  }
+  assert(false && "invalid cache policy kind");
+  return "unknown";
+}
+
+std::optional<CachePolicyKind>
+sdt::cachemgr::parseCachePolicy(std::string_view Name) {
+  if (Name == "full-flush" || Name == "fullflush" || Name == "flush")
+    return CachePolicyKind::FullFlush;
+  if (Name == "fifo")
+    return CachePolicyKind::Fifo;
+  if (Name == "generational" || Name == "gen")
+    return CachePolicyKind::Generational;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The pre-subsystem baseline: every capacity overrun drops the whole
+/// cache at once.
+class FullFlushPolicy final : public CachePolicy {
+public:
+  CachePolicyKind kind() const override { return CachePolicyKind::FullFlush; }
+
+  EvictionPlan plan(const std::vector<FragmentView> &, const CacheUsage &,
+                    uint32_t) override {
+    EvictionPlan P;
+    P.FullFlush = true;
+    return P;
+  }
+};
+
+/// Evicts the oldest fragments in allocation order (live fragments are
+/// presented in allocation order, so a front-to-back walk is FIFO)
+/// until usage drops to EvictTargetPct of capacity.
+class FifoPolicy final : public CachePolicy {
+public:
+  explicit FifoPolicy(const PolicyConfig &Config) : Config(Config) {}
+
+  CachePolicyKind kind() const override { return CachePolicyKind::Fifo; }
+
+  EvictionPlan plan(const std::vector<FragmentView> &Live,
+                    const CacheUsage &Usage, uint32_t Pinned) override {
+    EvictionPlan P;
+    uint64_t Target = static_cast<uint64_t>(Usage.CapacityBytes) *
+                      Config.EvictTargetPct / 100;
+    uint64_t Remaining = Usage.UsedBytes;
+    for (const FragmentView &F : Live) {
+      if (Remaining <= Target)
+        break;
+      if (F.Index == Pinned)
+        continue;
+      P.Victims.push_back(F.Index);
+      Remaining -= F.Bytes;
+    }
+    return P;
+  }
+
+private:
+  PolicyConfig Config;
+};
+
+/// Two logical generations split by execution count: fragments that
+/// reached GenPromoteExecs head executions are "hot" (promotion is
+/// sticky — ExecCount only grows), everything else is the cold
+/// generation and is evicted wholesale. When the cold generation is
+/// empty (or frees too little), the manager escalates to a full flush,
+/// which is exactly the semi-space collection of the hot generation.
+class GenerationalPolicy final : public CachePolicy {
+public:
+  explicit GenerationalPolicy(const PolicyConfig &Config) : Config(Config) {}
+
+  CachePolicyKind kind() const override {
+    return CachePolicyKind::Generational;
+  }
+
+  EvictionPlan plan(const std::vector<FragmentView> &Live, const CacheUsage &,
+                    uint32_t Pinned) override {
+    EvictionPlan P;
+    for (const FragmentView &F : Live) {
+      if (F.Index == Pinned)
+        continue;
+      if (F.ExecCount < Config.GenPromoteExecs)
+        P.Victims.push_back(F.Index);
+    }
+    return P;
+  }
+
+private:
+  PolicyConfig Config;
+};
+
+} // namespace
+
+std::unique_ptr<CachePolicy>
+sdt::cachemgr::makeCachePolicy(CachePolicyKind Kind,
+                               const PolicyConfig &Config) {
+  switch (Kind) {
+  case CachePolicyKind::FullFlush:
+    return std::make_unique<FullFlushPolicy>();
+  case CachePolicyKind::Fifo:
+    return std::make_unique<FifoPolicy>(Config);
+  case CachePolicyKind::Generational:
+    return std::make_unique<GenerationalPolicy>(Config);
+  }
+  assert(false && "invalid cache policy kind");
+  return nullptr;
+}

@@ -1,0 +1,110 @@
+//===- cachemgr/CachePolicy.h - Code-cache eviction policies -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable eviction policies for the bounded fragment cache. A policy
+/// sees a lightweight view of the live fragments (index, entry address,
+/// size, execution count) plus the capacity situation, and returns an
+/// EvictionPlan: either "flush everything" or a concrete victim set.
+/// Policies are pure capacity deciders — the mechanics of tombstoning
+/// victims and invalidating the structures that reference them live in
+/// core (FragmentCache::evict and the IB handlers), driven by the
+/// CacheManager.
+///
+/// Shipped policies (docs/CodeCacheManagement.md has the full semantics):
+///  - FullFlush:    always flush everything (the pre-subsystem baseline).
+///  - Fifo:         evict the oldest fragments in allocation order until
+///                  usage drops to EvictTargetPct of capacity.
+///  - Generational: treat fragments with ExecCount >= GenPromoteExecs as
+///                  the hot generation and evict the cold generation
+///                  wholesale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CACHEMGR_CACHEPOLICY_H
+#define STRATAIB_CACHEMGR_CACHEPOLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sdt {
+namespace cachemgr {
+
+/// The selectable eviction policies.
+enum class CachePolicyKind : uint8_t {
+  FullFlush,
+  Fifo,
+  Generational,
+};
+
+/// Stable lower-case name ("full-flush", "fifo", "generational").
+const char *cachePolicyName(CachePolicyKind Kind);
+
+/// Parses a policy name as accepted by STRATAIB_CACHE_POLICY
+/// ("full-flush"/"fullflush"/"flush", "fifo", "generational"/"gen");
+/// nullopt for anything else.
+std::optional<CachePolicyKind> parseCachePolicy(std::string_view Name);
+
+/// What a policy sees of one live fragment.
+struct FragmentView {
+  uint32_t Index = 0;     ///< Fragment-cache index (stable, tombstoned).
+  uint32_t EntryAddr = 0; ///< Simulated host entry address.
+  uint32_t Bytes = 0;     ///< Simulated code bytes.
+  uint64_t ExecCount = 0; ///< Head-of-fragment execution count.
+};
+
+/// Capacity situation at decision time.
+struct CacheUsage {
+  uint32_t CapacityBytes = 0;
+  uint32_t UsedBytes = 0;
+};
+
+/// A policy decision: full flush, or a concrete victim set (fragment
+/// indices). An empty victim set without FullFlush means the policy
+/// could not free anything — the manager escalates to a full flush.
+struct EvictionPlan {
+  bool FullFlush = false;
+  std::vector<uint32_t> Victims;
+};
+
+/// Policy tuning knobs (mirrored in core::SdtOptions).
+struct PolicyConfig {
+  /// Fifo evicts until UsedBytes <= CapacityBytes * EvictTargetPct / 100.
+  uint32_t EvictTargetPct = 50;
+  /// Generational promotes fragments with ExecCount >= this threshold
+  /// into the hot generation (never evicted while any cold one exists).
+  uint32_t GenPromoteExecs = 8;
+};
+
+/// Abstract eviction policy.
+class CachePolicy {
+public:
+  virtual ~CachePolicy() = default;
+
+  virtual CachePolicyKind kind() const = 0;
+
+  /// Decides what to free. \p Live lists the live fragments in
+  /// allocation order; \p Pinned is the fragment index the engine is
+  /// currently executing (never a valid victim; UINT32_MAX when none).
+  virtual EvictionPlan plan(const std::vector<FragmentView> &Live,
+                            const CacheUsage &Usage, uint32_t Pinned) = 0;
+
+  /// Notification that the cache was fully flushed (policy state, if
+  /// any, should reset).
+  virtual void notifyFlush() {}
+};
+
+/// Builds the policy for \p Kind with \p Config.
+std::unique_ptr<CachePolicy> makeCachePolicy(CachePolicyKind Kind,
+                                             const PolicyConfig &Config);
+
+} // namespace cachemgr
+} // namespace sdt
+
+#endif // STRATAIB_CACHEMGR_CACHEPOLICY_H

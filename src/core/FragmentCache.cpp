@@ -6,6 +6,7 @@
 
 #include "core/FragmentCache.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace sdt;
@@ -31,6 +32,35 @@ uint32_t sdt::core::hostOpBytes(HostOpKind Kind) {
   }
   assert(false && "invalid host op kind");
   return 4;
+}
+
+void EvictedRanges::add(uint32_t Begin, uint32_t End) {
+  if (Begin < End)
+    Spans.emplace_back(Begin, End);
+}
+
+void EvictedRanges::finalize() {
+  std::sort(Spans.begin(), Spans.end());
+  size_t Out = 0;
+  for (size_t I = 0; I != Spans.size(); ++I) {
+    if (Out != 0 && Spans[I].first <= Spans[Out - 1].second)
+      Spans[Out - 1].second = std::max(Spans[Out - 1].second, Spans[I].second);
+    else
+      Spans[Out++] = Spans[I];
+  }
+  Spans.resize(Out);
+}
+
+bool EvictedRanges::contains(uint32_t Addr) const {
+  auto It = std::upper_bound(
+      Spans.begin(), Spans.end(), Addr,
+      [](uint32_t A, const std::pair<uint32_t, uint32_t> &S) {
+        return A < S.first;
+      });
+  if (It == Spans.begin())
+    return false;
+  --It;
+  return Addr < It->second;
 }
 
 FragmentCache::FragmentCache(uint32_t CapacityBytes)
@@ -68,8 +98,11 @@ HostLoc FragmentCache::insert(Fragment Frag) {
   assert(GuestInserted && "double translation of a guest address");
   (void)GuestIt;
   (void)GuestInserted;
+  if (EvictedGuests.erase(Frag.GuestEntry))
+    ++Retranslations;
   EntryMap.emplace(Frag.HostEntryAddr, Index);
   Fragments.push_back(std::move(Frag));
+  ++LiveCount;
   invalidateMemos();
   return HostLoc{Index, 0};
 }
@@ -82,6 +115,7 @@ HostLoc FragmentCache::replaceForGuest(Fragment Frag) {
   It->second = Index;
   EntryMap.emplace(Frag.HostEntryAddr, Index);
   Fragments.push_back(std::move(Frag));
+  ++LiveCount;
   invalidateMemos();
   return HostLoc{Index, 0};
 }
@@ -89,17 +123,89 @@ HostLoc FragmentCache::replaceForGuest(Fragment Frag) {
 void FragmentCache::flushAll() {
   if (Sink)
     Sink->record(trace::EventKind::CacheFlush,
-                 static_cast<uint32_t>(Fragments.size()), UsedBytes);
+                 static_cast<uint32_t>(LiveCount), UsedBytes);
   invalidateMemos();
-  for (const Fragment &F : Fragments)
+  for (const Fragment &F : Fragments) {
+    if (!F.Live)
+      continue; // Tombstones were retired when they were evicted.
     RetiredEntries.emplace(F.HostEntryAddr, F.GuestEntry);
+    EvictedGuests.insert(F.GuestEntry);
+  }
   Fragments.clear();
   GuestMap.clear();
   EntryMap.clear();
   UsedBytes = 0;
+  LiveCount = 0;
   ++Flushes;
   // Cursor intentionally NOT reset: host addresses are never reused, so
   // stale translated addresses (fast returns) stay distinguishable.
+}
+
+EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims) {
+  EvictionOutcome Out;
+  if (Victims.empty())
+    return Out;
+  invalidateMemos();
+  std::vector<bool> IsVictim(Fragments.size(), false);
+  for (uint32_t Index : Victims) {
+    Fragment &F = Fragments[Index];
+    assert(F.Live && "evicting a fragment twice");
+    IsVictim[Index] = true;
+    F.Live = false;
+    --LiveCount;
+    RetiredEntries.emplace(F.HostEntryAddr, F.GuestEntry);
+    EvictedGuests.insert(F.GuestEntry);
+    // A trace replacement may have re-pointed this guest entry at a
+    // newer fragment; only drop the mapping if it is still ours.
+    auto It = GuestMap.find(F.GuestEntry);
+    if (It != GuestMap.end() && It->second == Index)
+      GuestMap.erase(It);
+    EntryMap.erase(F.HostEntryAddr);
+    UsedBytes -= F.CodeBytes;
+    Out.Ranges.add(F.HostEntryAddr, F.HostEntryAddr + F.CodeBytes);
+    ++Out.FragmentsEvicted;
+    Out.BytesFreed += F.CodeBytes;
+    F.Code.clear();
+    F.Code.shrink_to_fit();
+  }
+  Out.Ranges.finalize();
+  // Revert every live fragment's direct links into the freed ranges:
+  // patched exit stubs and trace trampolines (JumpHost) go back to
+  // unlinked exit stubs, cached SetLink return points are dropped.
+  for (Fragment &F : Fragments) {
+    if (!F.Live)
+      continue;
+    for (HostInstr &HI : F.Code) {
+      if (HI.Kind == HostOpKind::JumpHost && HI.TargetHost.valid() &&
+          IsVictim[HI.TargetHost.Frag]) {
+        HI.Kind = HostOpKind::ExitStub;
+        HI.TargetHost = HostLoc();
+        HI.Linked = false;
+        ++Out.LinksUnlinked;
+        if (Sink)
+          Sink->record(trace::EventKind::LinkUnlink, HI.TargetGuest,
+                       HI.HostAddr);
+      } else if (HI.Kind == HostOpKind::SetLink && HI.Linked &&
+                 Out.Ranges.contains(HI.TargetHostAddr)) {
+        HI.Linked = false;
+        HI.TargetHostAddr = 0;
+        ++Out.LinksUnlinked;
+        if (Sink)
+          Sink->record(trace::EventKind::LinkUnlink, HI.TargetGuest,
+                       HI.HostAddr);
+      }
+    }
+  }
+  if (Sink)
+    Sink->record(trace::EventKind::CacheEvict,
+                 static_cast<uint32_t>(Out.FragmentsEvicted),
+                 static_cast<uint32_t>(Out.BytesFreed));
+  return Out;
+}
+
+void FragmentCache::releaseBytes(uint32_t Bytes) {
+  assert(Bytes <= UsedBytes && "releasing more bytes than are in use");
+  UsedBytes -= Bytes;
 }
 
 HostLoc FragmentCache::locForEntryAddr(uint32_t HostEntryAddr) const {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace sdt {
@@ -38,6 +39,38 @@ struct Fragment {
   uint32_t CodeBytes = 0;     ///< Total simulated bytes (incl. IB inline).
   std::vector<HostInstr> Code;
   uint64_t ExecCount = 0;
+  /// False once a policy has evicted this fragment. Evicted fragments
+  /// stay in the vector as tombstones so HostLoc fragment indices held
+  /// by linked JumpHost ops remain stable.
+  bool Live = true;
+};
+
+/// The simulated host address ranges freed by one partial eviction, in
+/// the form every referencing structure needs to test its cached
+/// pointers against. Ranges are half-open [Begin, End).
+class EvictedRanges {
+public:
+  void add(uint32_t Begin, uint32_t End);
+  /// Sorts and merges; must be called once before contains().
+  void finalize();
+  bool contains(uint32_t Addr) const;
+  bool empty() const { return Spans.empty(); }
+  const std::vector<std::pair<uint32_t, uint32_t>> &ranges() const {
+    return Spans;
+  }
+
+private:
+  std::vector<std::pair<uint32_t, uint32_t>> Spans;
+};
+
+/// What one FragmentCache::evict() call did.
+struct EvictionOutcome {
+  uint64_t FragmentsEvicted = 0;
+  uint64_t BytesFreed = 0;
+  /// Incoming direct links (JumpHost / cached SetLink targets) reverted
+  /// to dispatcher stubs because they pointed into the evicted ranges.
+  uint64_t LinksUnlinked = 0;
+  EvictedRanges Ranges;
 };
 
 /// The translated-code cache.
@@ -79,6 +112,30 @@ public:
   /// translated addresses can still be recognised via retiredGuestEntry().
   void flushAll();
 
+  /// Evicts the fragments at \p Victims (live-fragment indices). Victims
+  /// become tombstones — their vector slots survive so HostLoc indices
+  /// stay stable — and every live fragment's direct links into the freed
+  /// ranges are reverted to unlinked exit stubs. The caller must then
+  /// invalidate IB-handler state against the returned ranges before
+  /// executing any translated code.
+  EvictionOutcome evict(const std::vector<uint32_t> &Victims);
+
+  /// Returns \p Bytes of simulated code space to the capacity budget
+  /// (used when code-resident handler structures — sieve stubs — are
+  /// discarded during invalidation). Addresses are never reused; only
+  /// the pressure accounting shrinks.
+  void releaseBytes(uint32_t Bytes);
+
+  /// True when the fragment at \p Index has not been evicted.
+  bool isLive(uint32_t Index) const { return Fragments[Index].Live; }
+
+  /// Live (non-tombstoned) fragments.
+  size_t liveFragmentCount() const { return LiveCount; }
+
+  /// Fragments re-inserted for a guest entry previously freed by
+  /// evict() or flushAll() — the retranslation (thrash) counter.
+  uint64_t retranslations() const { return Retranslations; }
+
   /// Maps a live fragment entry address to its location; invalid HostLoc
   /// when unknown (e.g. flushed). Memoised like lookup(): IB mechanisms
   /// resolve the same hot entry address on every dispatch.
@@ -111,10 +168,15 @@ private:
   uint32_t Cursor = FragmentCacheBase;
   uint32_t UsedBytes = 0;
   uint64_t Flushes = 0;
+  size_t LiveCount = 0;
+  uint64_t Retranslations = 0;
   std::vector<Fragment> Fragments;
   std::unordered_map<uint32_t, uint32_t> GuestMap; ///< guest PC -> index.
   std::unordered_map<uint32_t, uint32_t> EntryMap; ///< host addr -> index.
   std::unordered_map<uint32_t, uint32_t> RetiredEntries; ///< host -> guest.
+  /// Guest entries whose translation was freed (evicted or flushed) and
+  /// not yet re-translated; feeds the retranslation counter.
+  std::unordered_set<uint32_t> EvictedGuests;
 
   /// One-entry memos for the two hot map lookups. Only successful
   /// lookups are memoised; any mutation invalidates both.

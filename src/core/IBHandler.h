@@ -88,6 +88,21 @@ public:
   /// translated address is stale). initialize() runs again afterwards.
   virtual void flush() = 0;
 
+  /// Invalidates every cached translated-target pointer that lies inside
+  /// the freed \p Ranges after a partial eviction, charging \p Timing for
+  /// the stores that clear them. Unlike flush(), all other state (tables,
+  /// site code, code-resident structures outside the ranges) survives.
+  /// Returns the number of pointers invalidated. The default (stateless
+  /// mechanisms, e.g. the dispatcher) has nothing to do.
+  virtual uint64_t invalidateEvicted(const EvictedRanges &Ranges,
+                                     FragmentCache &Cache,
+                                     arch::TimingModel *Timing) {
+    (void)Ranges;
+    (void)Cache;
+    (void)Timing;
+    return 0;
+  }
+
   /// Multi-line human-readable statistics for reports (may be empty).
   virtual std::string statsSummary() const;
 

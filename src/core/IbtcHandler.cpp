@@ -194,6 +194,30 @@ void IbtcHandler::flush() {
   SiteCodeAddr.clear();
 }
 
+uint64_t IbtcHandler::invalidateEvicted(const EvictedRanges &Ranges,
+                                        FragmentCache &Cache,
+                                        arch::TimingModel *Timing) {
+  (void)Cache; // Tables are data-resident; nothing to return to the cache.
+  uint64_t Cleared = 0;
+  auto ClearTable = [&](Table &T) {
+    for (uint32_t I = 0; I != T.Capacity; ++I) {
+      Entry &E = T.Entries[I];
+      if (E.GuestTag == 0 || !Ranges.contains(E.HostEntryAddr))
+        continue;
+      E = Entry();
+      ++Cleared;
+      if (Timing)
+        Timing->chargeStore(arch::CycleCategory::IBLookup, T.DataAddr + I * 8);
+    }
+  };
+  if (Opts.IbtcShared)
+    ClearTable(Shared);
+  else
+    for (auto &[SiteId, T] : PerSite)
+      ClearTable(T);
+  return Cleared;
+}
+
 uint32_t IbtcHandler::currentCapacity() const {
   if (Opts.IbtcShared)
     return Shared.Capacity;

@@ -101,6 +101,27 @@ void InlineCacheHandler::flush() {
   Backing->flush();
 }
 
+uint64_t InlineCacheHandler::invalidateEvicted(const EvictedRanges &Ranges,
+                                               FragmentCache &Cache,
+                                               arch::TimingModel *Timing) {
+  uint64_t Cleared = 0;
+  for (auto &[SiteId, S] : Sites) {
+    for (size_t I = S.Entries.size(); I-- > 0;) {
+      if (!Ranges.contains(S.Entries[I].HostEntryAddr))
+        continue;
+      if (Timing) {
+        // Neutralise the inlined compare (patch its branch dead).
+        uint32_t EntryAddr =
+            S.CodeAddr + 8 + static_cast<uint32_t>(I) * EntryBytes;
+        Timing->chargeStore(arch::CycleCategory::IBLookup, EntryAddr);
+      }
+      S.Entries.erase(S.Entries.begin() + static_cast<ptrdiff_t>(I));
+      ++Cleared;
+    }
+  }
+  return Cleared + Backing->invalidateEvicted(Ranges, Cache, Timing);
+}
+
 std::string InlineCacheHandler::statsSummary() const {
   std::string Out = formatString(
       "inline-cache: depth %u, lookups=%llu inline-hits=%llu (%.2f%%)\n",

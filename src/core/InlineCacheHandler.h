@@ -49,6 +49,11 @@ public:
 
   void flush() override;
 
+  /// Clears inlined predictions patched to evicted fragments (a store
+  /// per cleared compare slot) and forwards to the backing mechanism.
+  uint64_t invalidateEvicted(const EvictedRanges &Ranges, FragmentCache &Cache,
+                             arch::TimingModel *Timing) override;
+
   std::string statsSummary() const override;
 
   /// The backing mechanism emits its own lookup events under its own name.

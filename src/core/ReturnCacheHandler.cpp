@@ -81,6 +81,24 @@ void ReturnCacheHandler::flush() {
   SiteCodeAddr.clear();
 }
 
+uint64_t ReturnCacheHandler::invalidateEvicted(const EvictedRanges &Ranges,
+                                               FragmentCache &Cache,
+                                               arch::TimingModel *Timing) {
+  (void)Cache; // The table is data-resident.
+  uint64_t Cleared = 0;
+  for (uint32_t I = 0; I != Opts.ReturnCacheEntries; ++I) {
+    Entry &E = Entries[I];
+    if (E.GuestTag == 0 || !Ranges.contains(E.HostEntryAddr))
+      continue;
+    E = Entry();
+    ++Cleared;
+    if (Timing)
+      Timing->chargeStore(arch::CycleCategory::IBLookup,
+                          ReturnCacheRegionBase + I * 8);
+  }
+  return Cleared;
+}
+
 std::string ReturnCacheHandler::statsSummary() const {
   return formatString(
       "return-cache: %u entries, lookups=%llu hits=%llu (%.2f%%)",

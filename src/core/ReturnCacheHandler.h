@@ -42,6 +42,9 @@ public:
 
   void flush() override;
 
+  uint64_t invalidateEvicted(const EvictedRanges &Ranges, FragmentCache &Cache,
+                             arch::TimingModel *Timing) override;
+
   std::string statsSummary() const override;
 
 private:

@@ -53,6 +53,9 @@ SdtEngine::SdtEngine(const Program &P, const SdtOptions &Opts,
       Decoder(Memory, P.loadAddress(),
               static_cast<uint32_t>(P.image().size()) & ~3u),
       Cache(Opts.FragmentCacheBytes),
+      CacheMgr(Opts.CachePolicy,
+               cachemgr::PolicyConfig{Opts.CacheEvictTargetPct,
+                                      Opts.CacheGenPromoteExecs}),
       Main(makeHandler(Opts, Opts.Mechanism)), Xlate(Decoder, Cache, Opts) {
   if (Opts.JumpMechanism && *Opts.JumpMechanism != Opts.Mechanism)
     JumpH = makeHandler(Opts, *Opts.JumpMechanism);
@@ -122,6 +125,9 @@ void SdtEngine::finishTrace(Translator::TraceEnd End) {
   HostInstr Trampoline;
   Trampoline.Kind = HostOpKind::JumpHost;
   Trampoline.TargetHost = *TraceLoc;
+  // Keep the guest head address so an eviction of the trace can revert
+  // this trampoline to a dispatchable exit stub.
+  Trampoline.TargetGuest = TraceHead;
   Trampoline.HostAddr = Cache.fragment(OldFrag).Code[0].HostAddr;
   Trampoline.Linked = true;
   Cache.fragment(OldFrag).Code[0] = Trampoline;
@@ -151,13 +157,57 @@ void SdtEngine::flushEverything() {
     ReturnH->initialize(Cache);
   }
   Xlate.clearSites();
+  CacheMgr.notifyFlush();
   ++Stats.Flushes;
   // The translated-code footprint is gone; drop its I-cache lines.
   if (Exec.Timing)
     Exec.Timing->icache().flush();
 }
 
-HostLoc SdtEngine::dispatchTo(uint32_t GuestPc) {
+void SdtEngine::handleCachePressure(uint32_t PinnedFrag) {
+  if (CacheMgr.kind() == cachemgr::CachePolicyKind::FullFlush) {
+    flushEverything();
+    return;
+  }
+  std::vector<cachemgr::FragmentView> Live;
+  Live.reserve(Cache.liveFragmentCount());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Cache.fragmentCount());
+       I != E; ++I) {
+    if (!Cache.isLive(I))
+      continue;
+    const Fragment &F = Cache.fragment(I);
+    Live.push_back({I, F.HostEntryAddr, F.CodeBytes, F.ExecCount});
+  }
+  cachemgr::EvictionPlan Plan = CacheMgr.plan(
+      Live, {Opts.FragmentCacheBytes, Cache.usedBytes()}, PinnedFrag);
+  if (Plan.FullFlush) {
+    flushEverything();
+    return;
+  }
+
+  EvictionOutcome Out = Cache.evict(Plan.Victims);
+  ++Stats.PartialEvictions;
+  Stats.EvictedBytes += Out.BytesFreed;
+  Stats.LinksUnlinked += Out.LinksUnlinked;
+  TimingModel *T = Exec.Timing;
+  if (T)
+    for (uint64_t I = 0; I != Out.LinksUnlinked; ++I)
+      T->chargeLinkPatch(CycleCategory::Link);
+  // Every mechanism pointer into the freed ranges must die before any
+  // translated code runs again: the IB hit path jumps through them
+  // without a liveness check, exactly like real inline lookup code.
+  for (IBHandler *H : allHandlers())
+    H->invalidateEvicted(Out.Ranges, Cache, T);
+  // Evicted I-cache lines are not flushed: the simulated lines age out
+  // naturally, matching a real cache's view of overwritten code space.
+
+  // If the head being recorded was evicted, abandon the recording; it is
+  // not marked as traced, so a re-hot head can record again.
+  if (Recording && !Cache.lookup(TraceHead).valid())
+    Recording = false;
+}
+
+HostLoc SdtEngine::dispatchTo(uint32_t GuestPc, uint32_t PinnedFrag) {
   ++Stats.DispatchEntries;
   if (Sink)
     Sink->record(trace::EventKind::DispatchEntry, GuestPc);
@@ -170,13 +220,14 @@ HostLoc SdtEngine::dispatchTo(uint32_t GuestPc) {
   HostLoc Loc = Cache.lookup(GuestPc);
   if (!Loc.valid()) {
     if (Cache.isFull())
-      flushEverything();
+      handleCachePressure(PinnedFrag);
     Expected<HostLoc> Translated = Xlate.translate(GuestPc, T, Stats);
     if (!Translated) {
       PendingFault = Translated.error().message();
       return HostLoc();
     }
     Loc = *Translated;
+    Stats.RetranslationsAfterEviction = Cache.retranslations();
   }
 
   if (T)
@@ -335,7 +386,7 @@ RunResult SdtEngine::run() {
         recordCtiStep(-1);
       }
       uint64_t FlushesBefore = Cache.flushCount();
-      HostLoc Loc = dispatchTo(HI.TargetGuest);
+      HostLoc Loc = dispatchTo(HI.TargetGuest, Cur.Frag);
       if (!Loc.valid()) {
         fault(PendingFault);
         break;
@@ -369,7 +420,7 @@ RunResult SdtEngine::run() {
           // Resolve the return point's fragment now (translating it if
           // needed) so a translated address is available at call time.
           uint64_t FlushesBefore = Cache.flushCount();
-          HostLoc Loc = dispatchTo(HI.TargetGuest);
+          HostLoc Loc = dispatchTo(HI.TargetGuest, Cur.Frag);
           if (!Loc.valid()) {
             fault(PendingFault);
             break;
@@ -453,7 +504,7 @@ RunResult SdtEngine::run() {
               Target, HI.GuestPc));
           break;
         }
-        HostLoc Redo = dispatchTo(Guest);
+        HostLoc Redo = dispatchTo(Guest, Cur.Frag);
         if (!Redo.valid()) {
           fault(PendingFault);
           break;
@@ -495,7 +546,7 @@ RunResult SdtEngine::run() {
             } else {
               // The fragment was flushed; redo by guest address.
               ++Stats.ShadowStackMisses;
-              HostLoc Redo = dispatchTo(Target);
+              HostLoc Redo = dispatchTo(Target, Cur.Frag);
               if (!Redo.valid()) {
                 fault(PendingFault);
                 break;
@@ -543,7 +594,7 @@ RunResult SdtEngine::run() {
       }
 
       uint64_t FlushesBefore = Cache.flushCount();
-      HostLoc Loc = dispatchTo(Target);
+      HostLoc Loc = dispatchTo(Target, Cur.Frag);
       if (!Loc.valid()) {
         fault(PendingFault);
         break;
@@ -609,6 +660,16 @@ std::string SdtEngine::report() const {
         "traces=%llu trace-guest-instrs=%llu\n",
         static_cast<unsigned long long>(Stats.TracesBuilt),
         static_cast<unsigned long long>(Stats.TraceGuestInstrs));
+  if (Opts.CachePolicy != cachemgr::CachePolicyKind::FullFlush ||
+      Stats.PartialEvictions != 0)
+    Out += formatString(
+        "cache: policy=%s partial-evictions=%llu evicted-bytes=%llu "
+        "retranslations=%llu links-unlinked=%llu\n",
+        CacheMgr.policyName(),
+        static_cast<unsigned long long>(Stats.PartialEvictions),
+        static_cast<unsigned long long>(Stats.EvictedBytes),
+        static_cast<unsigned long long>(Stats.RetranslationsAfterEviction),
+        static_cast<unsigned long long>(Stats.LinksUnlinked));
   for (unsigned C = 0; C != NumIBClasses; ++C) {
     IBClass Class = static_cast<IBClass>(C);
     Out += formatString("%-9s execs=%llu inline-hit-rate=%.2f%%\n",

@@ -17,6 +17,7 @@
 #ifndef STRATAIB_CORE_SDTENGINE_H
 #define STRATAIB_CORE_SDTENGINE_H
 
+#include "cachemgr/CacheManager.h"
 #include "core/FragmentCache.h"
 #include "core/IBHandler.h"
 #include "core/SdtOptions.h"
@@ -98,7 +99,15 @@ private:
 
   /// The slow path: context switch, map lookup, translate on miss.
   /// Invalid HostLoc + FaultMessage on translation failure.
-  HostLoc dispatchTo(uint32_t GuestPc);
+  /// \p PinnedFrag is the fragment the engine is currently executing
+  /// (never evicted by a capacity decision taken here; UINT32_MAX on the
+  /// initial dispatch).
+  HostLoc dispatchTo(uint32_t GuestPc, uint32_t PinnedFrag = UINT32_MAX);
+
+  /// The cache is full: ask the CacheManager for a plan and carry it out
+  /// — a full flush, or a partial eviction followed by coherent
+  /// invalidation of every IB-handler pointer into the freed ranges.
+  void handleCachePressure(uint32_t PinnedFrag);
 
   /// Ends the active trace recording: builds the trace fragment, points
   /// the guest map at it, and patches the old fragment's head into a
@@ -125,6 +134,7 @@ private:
   vm::GuestState State;
   vm::DecodeCache Decoder;
   FragmentCache Cache;
+  cachemgr::CacheManager CacheMgr;
   std::unique_ptr<IBHandler> Main;
   std::unique_ptr<IBHandler> JumpH; ///< Only when JumpMechanism overrides.
   std::unique_ptr<IBHandler> CallH; ///< Only when CallMechanism overrides.

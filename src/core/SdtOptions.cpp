@@ -88,5 +88,9 @@ std::string SdtOptions::describe() const {
   if (EnableTraces)
     Out += formatString(" traces(hot=%u,max=%u)", TraceHotThreshold,
                         MaxTraceBlocks);
+  // The default policy is omitted so pre-subsystem config strings (and
+  // the result keys derived from them) are unchanged.
+  if (CachePolicy != cachemgr::CachePolicyKind::FullFlush)
+    Out += formatString(" cache=%s", cachemgr::cachePolicyName(CachePolicy));
   return Out;
 }

@@ -15,6 +15,7 @@
 #ifndef STRATAIB_CORE_SDTOPTIONS_H
 #define STRATAIB_CORE_SDTOPTIONS_H
 
+#include "cachemgr/CachePolicy.h"
 #include "support/Hashing.h"
 
 #include <cstdint>
@@ -142,6 +143,16 @@ struct SdtOptions {
   /// Patch direct-branch exits to jump fragment-to-fragment (fragment
   /// linking). Disabling it recreates the pre-linking overhead world.
   bool LinkFragments = true;
+  /// What happens when the cache fills: flush everything (the baseline)
+  /// or evict a victim set chosen by the policy, coherently invalidating
+  /// every structure that points into the freed ranges. See
+  /// docs/CodeCacheManagement.md. Env override: STRATAIB_CACHE_POLICY.
+  cachemgr::CachePolicyKind CachePolicy = cachemgr::CachePolicyKind::FullFlush;
+  /// Fifo evicts until usage drops to this percentage of capacity.
+  uint32_t CacheEvictTargetPct = 50;
+  /// Generational promotes fragments with this many head executions into
+  /// the hot generation.
+  uint32_t CacheGenPromoteExecs = 8;
 
   // --- Traces (NET-style superblocks) -------------------------------------
   /// Re-translate hot paths into linear traces: conditional branches are

@@ -27,7 +27,20 @@ namespace core {
 struct SdtStats {
   uint64_t FragmentsTranslated = 0;
   uint64_t GuestInstrsTranslated = 0;
+  /// Full cache flushes (every fragment dropped at once).
   uint64_t Flushes = 0;
+  /// Partial evictions performed by a bounded-cache policy (each one
+  /// tombstones a victim set and invalidates the referencing structures).
+  uint64_t PartialEvictions = 0;
+  /// Total simulated code bytes freed by partial evictions.
+  uint64_t EvictedBytes = 0;
+  /// Fragments re-translated for a guest entry that a policy had
+  /// previously freed (by eviction or flush) — the thrash metric E14
+  /// compares policies on.
+  uint64_t RetranslationsAfterEviction = 0;
+  /// Direct links reverted to dispatcher stubs because their target
+  /// fragment was evicted.
+  uint64_t LinksUnlinked = 0;
   /// Slow-path entries (context switch + map lookup): initial entry,
   /// unlinked stubs, and IB-lookup misses.
   uint64_t DispatchEntries = 0;

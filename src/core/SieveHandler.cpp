@@ -133,6 +133,32 @@ void SieveHandler::flush() {
   // initialize() reallocates the headers after the cache flush.
 }
 
+uint64_t SieveHandler::invalidateEvicted(const EvictedRanges &Ranges,
+                                         FragmentCache &Cache,
+                                         arch::TimingModel *Timing) {
+  // Stale stubs must be unchained: a stub jumps straight to its
+  // translated fragment, so a stub whose target was evicted would jump
+  // into freed code. Unchaining rewrites the predecessor's fall-through
+  // (one store per removed stub) and returns the stub's bytes to the
+  // capacity budget. The headers and surviving stubs stay where they
+  // are — their addresses are planted in fragment code.
+  uint64_t Removed = 0;
+  for (std::vector<Stub> &B : Buckets) {
+    for (size_t I = B.size(); I-- > 0;) {
+      const Stub &S = B[I];
+      if (!Ranges.contains(S.HostEntryAddr))
+        continue;
+      if (Timing)
+        Timing->chargeStore(arch::CycleCategory::IBLookup, S.StubAddr);
+      Cache.releaseBytes(StubBytes);
+      B.erase(B.begin() + static_cast<ptrdiff_t>(I));
+      --Stubs;
+      ++Removed;
+    }
+  }
+  return Removed;
+}
+
 std::string SieveHandler::statsSummary() const {
   return formatString(
       "sieve: %u buckets, stubs=%llu, lookups=%llu hits=%llu (%.2f%%), "

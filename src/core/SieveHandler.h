@@ -50,6 +50,13 @@ public:
 
   void flush() override;
 
+  /// Unchains every stub whose translated target was evicted and returns
+  /// its bytes to the cache's capacity budget (stubs are code-resident,
+  /// so invalidation is code-cache surgery — the sieve's extra cost
+  /// under cache pressure).
+  uint64_t invalidateEvicted(const EvictedRanges &Ranges, FragmentCache &Cache,
+                             arch::TimingModel *Timing) override;
+
   std::string statsSummary() const override;
 
   /// Total compare-and-branch stubs currently allocated.

@@ -31,6 +31,9 @@ enum class EventKind : uint8_t {
   IBLookupMiss,       ///< Inline IB lookup miss (A=site id, B=guest target).
   LinkPatch,          ///< A stub was patched (A=guest target, B=stub addr).
   CacheFlush,         ///< Fragment cache flushed (A=fragments, B=used bytes).
+  CacheEvict,         ///< Partial eviction (A=fragments, B=bytes freed).
+  LinkUnlink,         ///< A link reverted to a stub (A=guest target,
+                      ///< B=stub addr) because its target was evicted.
   NumKinds,
 };
 

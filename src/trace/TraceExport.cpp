@@ -68,6 +68,14 @@ std::string sdt::trace::jsonlLine(const TraceEvent &E) {
     appendField(Out, "fragments", E.A);
     appendField(Out, "used_bytes", E.B);
     break;
+  case EventKind::CacheEvict:
+    appendField(Out, "fragments", E.A);
+    appendField(Out, "freed_bytes", E.B);
+    break;
+  case EventKind::LinkUnlink:
+    appendField(Out, "target_pc", E.A);
+    appendField(Out, "stub_addr", E.B);
+    break;
   case EventKind::NumKinds:
     break;
   }
@@ -122,6 +130,12 @@ std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
     Out += std::to_string(Expect->LinksPatched);
     Out += ",\"flushes\":";
     Out += std::to_string(Expect->Flushes);
+    Out += ",\"partial_evictions\":";
+    Out += std::to_string(Expect->PartialEvictions);
+    Out += ",\"evicted_bytes\":";
+    Out += std::to_string(Expect->EvictedBytes);
+    Out += ",\"links_unlinked\":";
+    Out += std::to_string(Expect->LinksUnlinked);
     Out += '}';
     Out += ",\"expected_mechanisms\":{";
     First = true;

@@ -46,6 +46,9 @@ struct StatsExpectation {
   uint64_t TracesBuilt = 0;
   uint64_t LinksPatched = 0;
   uint64_t Flushes = 0;
+  uint64_t PartialEvictions = 0;
+  uint64_t EvictedBytes = 0;
+  uint64_t LinksUnlinked = 0;
   std::vector<MechExpectation> Mechanisms;
 };
 

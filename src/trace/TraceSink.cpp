@@ -28,6 +28,10 @@ const char *sdt::trace::eventKindName(EventKind K) {
     return "link-patch";
   case EventKind::CacheFlush:
     return "cache-flush";
+  case EventKind::CacheEvict:
+    return "cache-evict";
+  case EventKind::LinkUnlink:
+    return "link-unlink";
   case EventKind::NumKinds:
     break;
   }

@@ -55,6 +55,7 @@ void genGap(assembler::AsmBuilder &B, uint32_t Scale);
 
 // --- Extra (non-SPEC) workloads ------------------------------------------
 void genBigCode(assembler::AsmBuilder &B, uint32_t Scale);
+void genHotCold(assembler::AsmBuilder &B, uint32_t Scale);
 /// Compiled by the girc MinC compiler (WorkloadsMinc.cpp).
 void genMinc(assembler::AsmBuilder &B, uint32_t Scale);
 

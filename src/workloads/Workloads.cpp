@@ -75,6 +75,9 @@ const std::vector<WorkloadInfo> &sdt::workloads::extraWorkloads() {
       {"bigcode", "hundreds of small functions: translated-code footprint "
                   "exceeds small fragment caches",
        "returns", genBigCode},
+      {"hotcold", "hot indirect-dispatch kernel + per-phase cold code "
+                  "swath: the generational-eviction showcase",
+       "mixed", genHotCold},
       {"minc", "girc-compiled recursive evaluator with function-pointer "
                "operator dispatch",
        "ind-calls", genMinc},

@@ -51,8 +51,9 @@ struct WorkloadInfo {
 const std::vector<WorkloadInfo> &allWorkloads();
 
 /// Extra (non-SPEC) workloads: "bigcode", a many-function program whose
-/// translated footprint exceeds small fragment caches — used by the
-/// code-cache-pressure ablations.
+/// translated footprint exceeds small fragment caches, and "hotcold", a
+/// hot indirect-dispatch kernel plus a per-phase cold code swath — both
+/// used by the code-cache-pressure ablations (E14).
 const std::vector<WorkloadInfo> &extraWorkloads();
 
 /// Looks up a workload by name ("gzip" ... "twolf", or an extra);

@@ -452,3 +452,119 @@ void detail::genBigCode(AsmBuilder &B, uint32_t Scale) {
     B.emit("ret");
   }
 }
+
+/// hotcold: a generational-eviction showcase (not a SPEC proxy). A hot
+/// kernel — an indirect-dispatch loop over 32 distinct handlers — runs at
+/// the top of every phase, then the phase walks a large population of cold
+/// functions exactly once. The cold swath overflows a small fragment cache
+/// each phase, so a policy that protects the hot generation keeps the
+/// kernel (and its IBTC entries) translated across collections, while
+/// full-flush rethrashes it every phase.
+void detail::genHotCold(AsmBuilder &B, uint32_t Scale) {
+  constexpr unsigned NumHot = 128; // power of two (LCG mask selects).
+  unsigned NumCold = 30 + Scale * 6;
+  unsigned Phases = 4 + Scale / 2;
+  // Enough trips that every handler averages ~20 executions per phase —
+  // all kernel fragments cross any sane generational promotion threshold
+  // before the cold swath first fills the cache (floored so tiny scales
+  // keep the property too).
+  unsigned HotIters = 256 * Scale < 2048 ? 2048 : 256 * Scale;
+
+  emitHeader(B);
+  B.emit("li s0, 987654321"); // LCG state
+  B.emit("li s7, 0");         // checksum
+  B.emitf("li s5, %u", Phases);
+
+  B.label("hc_phase");
+  // Hot kernel: indirect dispatch through the handler table.
+  B.emitf("li s6, %u", HotIters);
+  B.label("hc_hot");
+  emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emitf("andi t0, t0, %u", NumHot - 1);
+  B.emit("slli t0, t0, 2");
+  B.emit("la t1, hc_htab");
+  B.emit("add t1, t1, t0");
+  B.emit("lw t2, 0(t1)");
+  B.emit("srli a0, s0, 8");
+  B.emit("jalr t2"); // the hot indirect call site
+  B.emit("add s7, s7, v0");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, hc_hot");
+  // Cold swath: each cold function exactly once per phase.
+  for (unsigned F = 0; F != NumCold; ++F) {
+    B.emitf("li a0, %u", F * 13 + 5);
+    B.emitf("jal hc_c%u", F);
+    B.emit("add s7, s7, v0");
+  }
+  B.emit("addi s5, s5, -1");
+  B.emit("bnez s5, hc_phase");
+  emitChecksumExit(B, "s7");
+
+  // The hot handlers: distinct, deliberately fat bodies so the hot
+  // generation is a meaningful slice of the code footprint (that slice is
+  // exactly what full-flush retranslates every phase and generational
+  // does not).
+  for (unsigned H = 0; H != NumHot; ++H) {
+    B.label(formatString("hc_h%u", H));
+    B.emitf("addi v0, a0, %u", H * 3 + 1);
+    switch (H % 4) {
+    case 0:
+      B.emit("slli t0, v0, 2");
+      B.emit("sub v0, t0, v0");
+      break;
+    case 1:
+      B.emitf("xori v0, v0, %u", (H * 19) & 0xFFFF);
+      B.emit("srli t0, v0, 3");
+      B.emit("add v0, v0, t0");
+      break;
+    case 2:
+      B.emit("li t0, 41");
+      B.emit("mul v0, v0, t0");
+      break;
+    case 3:
+      B.emit("slli t0, v0, 1");
+      B.emit("xor v0, v0, t0");
+      B.emit("addi v0, v0, 13");
+      break;
+    }
+    B.emitf("xori v0, v0, %u", (H * 29 + 7) & 0xFFFF);
+    B.emit("slli t0, v0, 4");
+    B.emit("add v0, v0, t0");
+    B.emit("srli t0, v0, 5");
+    B.emit("xor v0, v0, t0");
+    B.emit("ret");
+  }
+
+  for (unsigned F = 0; F != NumCold; ++F) {
+    B.label(formatString("hc_c%u", F));
+    // Distinct bodies so no two functions fold together.
+    B.emitf("addi v0, a0, %u", F + 2);
+    switch (F % 4) {
+    case 0:
+      B.emit("slli t0, v0, 3");
+      B.emit("sub v0, t0, v0");
+      break;
+    case 1:
+      B.emitf("xori v0, v0, %u", (F * 11) & 0xFFFF);
+      B.emit("srli t0, v0, 2");
+      B.emit("add v0, v0, t0");
+      break;
+    case 2:
+      B.emit("li t0, 29");
+      B.emit("mul v0, v0, t0");
+      break;
+    case 3:
+      B.emit("slli t0, v0, 1");
+      B.emit("xor v0, v0, t0");
+      B.emit("addi v0, v0, 7");
+      break;
+    }
+    B.emit("ret");
+  }
+
+  B.emit(".align 4");
+  B.label("hc_htab");
+  for (unsigned H = 0; H != NumHot; ++H)
+    B.emitf(".word hc_h%u", H);
+}

@@ -1,0 +1,308 @@
+//===- tests/core_cachemgr_test.cpp - Cache-management tests -----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The code-cache management subsystem: eviction policies and the
+// CacheManager's progress guarantee (pure unit tests against
+// FragmentView snapshots), the per-handler invalidation paths that keep
+// IB state coherent across partial evictions, and an engine-level run
+// that exercises the whole pipeline under real pressure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachemgr/CacheManager.h"
+#include "cachemgr/CachePolicy.h"
+#include "core/DispatcherHandler.h"
+#include "core/IbtcHandler.h"
+#include "core/InlineCacheHandler.h"
+#include "core/ReturnCacheHandler.h"
+#include "core/SdtEngine.h"
+#include "core/SieveHandler.h"
+#include "vm/GuestVM.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::cachemgr;
+using namespace sdt::core;
+
+// --- Policy selection --------------------------------------------------
+
+TEST(CachePolicyTest, NamesRoundTripThroughParse) {
+  for (CachePolicyKind Kind :
+       {CachePolicyKind::FullFlush, CachePolicyKind::Fifo,
+        CachePolicyKind::Generational}) {
+    std::optional<CachePolicyKind> Parsed =
+        parseCachePolicy(cachePolicyName(Kind));
+    ASSERT_TRUE(Parsed.has_value()) << cachePolicyName(Kind);
+    EXPECT_EQ(*Parsed, Kind);
+  }
+}
+
+TEST(CachePolicyTest, ParseAcceptsAliases) {
+  EXPECT_EQ(parseCachePolicy("flush"), CachePolicyKind::FullFlush);
+  EXPECT_EQ(parseCachePolicy("fullflush"), CachePolicyKind::FullFlush);
+  EXPECT_EQ(parseCachePolicy("gen"), CachePolicyKind::Generational);
+  EXPECT_FALSE(parseCachePolicy("lru").has_value());
+  EXPECT_FALSE(parseCachePolicy("").has_value());
+}
+
+// --- Policy planning ---------------------------------------------------
+
+namespace {
+
+/// Builds a FragmentView list from (bytes, execCount) pairs, indexed in
+/// allocation order.
+std::vector<FragmentView>
+makeViews(std::initializer_list<std::pair<uint32_t, uint64_t>> Specs) {
+  std::vector<FragmentView> Views;
+  uint32_t Index = 0, Addr = 0x40000000;
+  for (const auto &[Bytes, Execs] : Specs) {
+    Views.push_back({Index++, Addr, Bytes, Execs});
+    Addr += Bytes;
+  }
+  return Views;
+}
+
+constexpr uint32_t NoPin = UINT32_MAX;
+
+} // namespace
+
+TEST(CachePolicyTest, FullFlushAlwaysFlushes) {
+  auto P = makeCachePolicy(CachePolicyKind::FullFlush, PolicyConfig());
+  EvictionPlan Plan =
+      P->plan(makeViews({{100, 5}, {100, 0}}), {4096, 200}, NoPin);
+  EXPECT_TRUE(Plan.FullFlush);
+}
+
+TEST(CachePolicyTest, FifoEvictsOldestUntilTarget) {
+  PolicyConfig Config;
+  Config.EvictTargetPct = 50;
+  auto P = makeCachePolicy(CachePolicyKind::Fifo, Config);
+  // Capacity 100, used 100, target 50: evicting fragments 0 and 1
+  // (30 bytes each) reaches 40 <= 50; fragment 2 survives.
+  EvictionPlan Plan =
+      P->plan(makeViews({{30, 9}, {30, 9}, {40, 0}}), {100, 100}, NoPin);
+  EXPECT_FALSE(Plan.FullFlush);
+  EXPECT_EQ(Plan.Victims, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(CachePolicyTest, FifoSkipsPinnedFragment) {
+  PolicyConfig Config;
+  Config.EvictTargetPct = 50;
+  auto P = makeCachePolicy(CachePolicyKind::Fifo, Config);
+  EvictionPlan Plan = P->plan(makeViews({{30, 9}, {30, 9}, {40, 0}}),
+                              {100, 100}, /*Pinned=*/0);
+  EXPECT_FALSE(Plan.FullFlush);
+  EXPECT_EQ(Plan.Victims, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(CachePolicyTest, GenerationalEvictsColdGenerationOnly) {
+  PolicyConfig Config;
+  Config.GenPromoteExecs = 8;
+  auto P = makeCachePolicy(CachePolicyKind::Generational, Config);
+  // Exec counts {10, 2, 8, 0}: 10 and 8 are promoted (>= threshold),
+  // the cold generation {1, 3} goes wholesale.
+  EvictionPlan Plan = P->plan(
+      makeViews({{10, 10}, {10, 2}, {10, 8}, {10, 0}}), {40, 40}, NoPin);
+  EXPECT_FALSE(Plan.FullFlush);
+  EXPECT_EQ(Plan.Victims, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(CachePolicyTest, GenerationalSkipsPinnedColdFragment) {
+  PolicyConfig Config;
+  Config.GenPromoteExecs = 8;
+  auto P = makeCachePolicy(CachePolicyKind::Generational, Config);
+  EvictionPlan Plan = P->plan(makeViews({{10, 0}, {10, 0}}), {20, 20},
+                              /*Pinned=*/0);
+  EXPECT_EQ(Plan.Victims, (std::vector<uint32_t>{1}));
+}
+
+// --- CacheManager escalation -------------------------------------------
+
+TEST(CacheManagerTest, EscalatesEmptyVictimSetToFullFlush) {
+  CacheManager M(CachePolicyKind::Generational);
+  // Every fragment is hot: the policy has nothing to evict, so the
+  // manager must fall back to a full flush rather than loop forever.
+  EvictionPlan Plan =
+      M.plan(makeViews({{10, 100}, {10, 100}}), {20, 20}, NoPin);
+  EXPECT_TRUE(Plan.FullFlush);
+}
+
+TEST(CacheManagerTest, EscalatesInsufficientPlanToFullFlush) {
+  PolicyConfig Config;
+  Config.EvictTargetPct = 50;
+  CacheManager M(CachePolicyKind::Fifo, Config);
+  // The pinned fragment holds nearly everything; evicting the rest
+  // still leaves usage at capacity, so the plan cannot make progress.
+  EvictionPlan Plan = M.plan(makeViews({{100, 1}, {20, 1}}), {100, 120},
+                             /*Pinned=*/0);
+  EXPECT_TRUE(Plan.FullFlush);
+}
+
+TEST(CacheManagerTest, PassesViablePlanThrough) {
+  PolicyConfig Config;
+  Config.EvictTargetPct = 50;
+  CacheManager M(CachePolicyKind::Fifo, Config);
+  EvictionPlan Plan =
+      M.plan(makeViews({{60, 1}, {40, 1}}), {100, 100}, NoPin);
+  EXPECT_FALSE(Plan.FullFlush);
+  EXPECT_EQ(Plan.Victims, (std::vector<uint32_t>{0}));
+}
+
+// --- Handler invalidation ----------------------------------------------
+
+namespace {
+
+struct InvalidationFixture : public ::testing::Test {
+  FragmentCache Cache{1 << 20};
+  SdtOptions Opts;
+
+  uint32_t addSite(IBHandler &H, IBClass Class = IBClass::Jump) {
+    uint32_t Id = NextSite++;
+    H.emitSite(Id, Class, 0x1000 + Id * 4, Cache);
+    return Id;
+  }
+
+  /// A finalized range covering exactly [Addr, Addr + 16).
+  static EvictedRanges rangeAt(uint32_t Addr) {
+    EvictedRanges R;
+    R.add(Addr, Addr + 16);
+    R.finalize();
+    return R;
+  }
+
+  uint32_t NextSite = 0;
+};
+
+using DispatcherInvalidationTest = InvalidationFixture;
+using IbtcInvalidationTest = InvalidationFixture;
+using SieveInvalidationTest = InvalidationFixture;
+using ReturnCacheInvalidationTest = InvalidationFixture;
+using InlineCacheInvalidationTest = InvalidationFixture;
+
+} // namespace
+
+TEST_F(DispatcherInvalidationTest, NothingToInvalidate) {
+  DispatcherHandler H;
+  addSite(H);
+  EXPECT_EQ(H.invalidateEvicted(rangeAt(0x40000100), Cache, nullptr), 0u);
+}
+
+TEST_F(IbtcInvalidationTest, ClearsOnlyEntriesInRange) {
+  Opts.IbtcEntries = 64;
+  IbtcHandler H(Opts);
+  uint32_t S = addSite(H);
+  // 0x2000 and 0x2044 hash to distinct sets under shift-mask.
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x2044, 0x40005000, nullptr);
+  EXPECT_EQ(H.invalidateEvicted(rangeAt(0x40000100), Cache, nullptr), 1u);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit); // Stale entry cleared.
+  EXPECT_TRUE(H.lookup(S, 0x2044, nullptr).Hit);  // Survivor untouched.
+}
+
+TEST_F(IbtcInvalidationTest, PrivateTablesAllScanned) {
+  Opts.IbtcShared = false;
+  IbtcHandler H(Opts);
+  uint32_t S1 = addSite(H), S2 = addSite(H);
+  H.record(S1, 0x2000, 0x40000100, nullptr);
+  H.record(S2, 0x2000, 0x40000100, nullptr);
+  EXPECT_EQ(H.invalidateEvicted(rangeAt(0x40000100), Cache, nullptr), 2u);
+  EXPECT_FALSE(H.lookup(S1, 0x2000, nullptr).Hit);
+  EXPECT_FALSE(H.lookup(S2, 0x2000, nullptr).Hit);
+}
+
+TEST_F(SieveInvalidationTest, UnchainsStubsAndReturnsTheirBytes) {
+  SieveHandler H(Opts);
+  H.initialize(Cache);
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr);
+  H.record(S, 0x3000, 0x40005000, nullptr);
+  uint32_t UsedBefore = Cache.usedBytes();
+  ASSERT_EQ(H.stubCount(), 2u);
+
+  EXPECT_EQ(H.invalidateEvicted(rangeAt(0x40000100), Cache, nullptr), 1u);
+  EXPECT_EQ(H.stubCount(), 1u);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit);
+  EXPECT_TRUE(H.lookup(S, 0x3000, nullptr).Hit);
+  // The dead stub's code bytes went back to the capacity budget.
+  EXPECT_LT(Cache.usedBytes(), UsedBefore);
+}
+
+TEST_F(ReturnCacheInvalidationTest, ClearsStaleReturnEntries) {
+  Opts.ReturnCacheEntries = 64;
+  ReturnCacheHandler H(Opts);
+  uint32_t S = addSite(H, IBClass::Return);
+  // 0x2004 and 0x2044 land in distinct direct-mapped slots (1 and 17).
+  H.record(S, 0x2004, 0x40000100, nullptr);
+  H.record(S, 0x2044, 0x40005000, nullptr);
+  EXPECT_EQ(H.invalidateEvicted(rangeAt(0x40000100), Cache, nullptr), 1u);
+  EXPECT_FALSE(H.lookup(S, 0x2004, nullptr).Hit);
+  EXPECT_TRUE(H.lookup(S, 0x2044, nullptr).Hit);
+}
+
+TEST_F(InlineCacheInvalidationTest, ClearsInlineSlotsAndBacking) {
+  Opts.InlineCacheDepth = 1;
+  InlineCacheHandler H(Opts, std::make_unique<IbtcHandler>(
+                                 Opts, /*ChargeFlagSave=*/false));
+  uint32_t S = addSite(H);
+  H.record(S, 0x2000, 0x40000100, nullptr); // Fills the inline slot.
+  H.lookup(S, 0x3000, nullptr);
+  H.record(S, 0x3000, 0x40000108, nullptr); // Overflows to the IBTC.
+  ASSERT_TRUE(H.lookup(S, 0x2000, nullptr).Hit);
+  ASSERT_TRUE(H.lookup(S, 0x3000, nullptr).Hit);
+
+  // One range covering both targets: the inline slot and the backing
+  // IBTC entry must both go.
+  EXPECT_EQ(H.invalidateEvicted(rangeAt(0x40000100), Cache, nullptr), 2u);
+  EXPECT_FALSE(H.lookup(S, 0x2000, nullptr).Hit);
+  EXPECT_FALSE(H.lookup(S, 0x3000, nullptr).Hit);
+}
+
+// --- Engine integration ------------------------------------------------
+
+// A tiny bounded cache under each partial-eviction policy: the engine
+// must actually evict (not just flush) and stay transparent. The
+// programs are the big-program generator shape — the small ones never
+// outgrow the 4096-byte floor the fragment cache enforces.
+TEST(CacheManagerEngineTest, PartialEvictionsHappenAndStayTransparent) {
+  workloads::RandomProgramOptions RpOpts;
+  RpOpts.NumFunctions = 10;
+  RpOpts.ItemsPerFunction = 10;
+  RpOpts.MainIterations = 5;
+  for (CachePolicyKind Policy :
+       {CachePolicyKind::Fifo, CachePolicyKind::Generational}) {
+    uint64_t TotalEvictions = 0;
+    for (uint64_t Seed = 101; Seed <= 103; ++Seed) {
+      Expected<isa::Program> Program =
+          workloads::generateRandomProgram(Seed, RpOpts);
+      ASSERT_TRUE(static_cast<bool>(Program));
+
+      vm::ExecOptions Exec;
+      Exec.MaxInstructions = 20000000;
+      auto VM = vm::GuestVM::create(*Program, Exec);
+      ASSERT_TRUE(static_cast<bool>(VM));
+      vm::RunResult Native = (*VM)->run();
+      ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+      SdtOptions Opts;
+      Opts.CachePolicy = Policy;
+      Opts.FragmentCacheBytes = 4096;
+      Opts.MaxFragmentInstrs = 6;
+      Opts.CacheGenPromoteExecs = 4;
+      auto Engine = SdtEngine::create(*Program, Opts, Exec);
+      ASSERT_TRUE(static_cast<bool>(Engine));
+      vm::RunResult Translated = (*Engine)->run();
+
+      EXPECT_EQ(Native.Checksum, Translated.Checksum)
+          << cachePolicyName(Policy) << " seed " << Seed;
+      EXPECT_EQ(Native.Output, Translated.Output);
+      EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+      TotalEvictions += (*Engine)->stats().PartialEvictions;
+    }
+    // At least one seed must have hit real partial-eviction pressure,
+    // or this test exercises nothing.
+    EXPECT_GT(TotalEvictions, 0u) << cachePolicyName(Policy);
+  }
+}

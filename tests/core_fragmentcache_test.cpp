@@ -151,3 +151,187 @@ TEST(FragmentCacheTest, MultipleFragmentsIndependent) {
   EXPECT_EQ(C.lookup(0x2000), L2);
   EXPECT_EQ(C.fragment(L2.Frag).GuestEntry, 0x2000u);
 }
+
+// --- Partial eviction -------------------------------------------------------
+
+TEST(EvictedRangesTest, MergesAndContains) {
+  EvictedRanges R;
+  R.add(0x100, 0x110);
+  R.add(0x110, 0x120); // Adjacent: merges with the first.
+  R.add(0x200, 0x210);
+  R.add(0x150, 0x150); // Empty: dropped.
+  R.finalize();
+  ASSERT_EQ(R.ranges().size(), 2u);
+  EXPECT_TRUE(R.contains(0x100));
+  EXPECT_TRUE(R.contains(0x11C));
+  EXPECT_FALSE(R.contains(0x120)); // Half-open.
+  EXPECT_FALSE(R.contains(0x150));
+  EXPECT_TRUE(R.contains(0x200));
+  EXPECT_FALSE(R.contains(0x210));
+  EXPECT_FALSE(R.contains(0x0));
+}
+
+TEST(FragmentCacheTest, EvictRemovesMappingsKeepsRetired) {
+  FragmentCache C(1 << 20);
+  Fragment F1 = makeFragment(C, 0x1000);
+  uint32_t Entry1 = F1.HostEntryAddr;
+  HostLoc L1 = C.insert(std::move(F1));
+  HostLoc L2 = C.insert(makeFragment(C, 0x2000));
+  uint32_t UsedBefore = C.usedBytes();
+
+  EvictionOutcome Out = C.evict({L1.Frag});
+  EXPECT_EQ(Out.FragmentsEvicted, 1u);
+  EXPECT_GT(Out.BytesFreed, 0u);
+  EXPECT_TRUE(Out.Ranges.contains(Entry1));
+
+  // The victim is gone from every live map but stays resolvable as a
+  // retired entry, exactly like a flushed fragment.
+  EXPECT_FALSE(C.lookup(0x1000).valid());
+  EXPECT_FALSE(C.locForEntryAddr(Entry1).valid());
+  EXPECT_EQ(C.retiredGuestEntry(Entry1), 0x1000u);
+
+  // The survivor is untouched; the slot indices are stable (tombstone).
+  EXPECT_EQ(C.lookup(0x2000), L2);
+  EXPECT_EQ(C.fragmentCount(), 2u); // Vector slot survives...
+  EXPECT_EQ(C.liveFragmentCount(), 1u); // ...but only one is live.
+  EXPECT_FALSE(C.isLive(L1.Frag));
+  EXPECT_TRUE(C.isLive(L2.Frag));
+  EXPECT_EQ(C.usedBytes(), UsedBefore - Out.BytesFreed);
+  // Partial eviction is not a flush.
+  EXPECT_EQ(C.flushCount(), 0u);
+}
+
+TEST(FragmentCacheTest, MemoisedLookupInvalidatedByEvict) {
+  FragmentCache C(1 << 20);
+  HostLoc Loc = C.insert(makeFragment(C, 0x1000));
+  ASSERT_EQ(C.lookup(0x1000), Loc); // Prime the guest-PC memo.
+  C.evict({Loc.Frag});
+  EXPECT_FALSE(C.lookup(0x1000).valid());
+}
+
+TEST(FragmentCacheTest, MemoisedEntryAddrInvalidatedByEvict) {
+  FragmentCache C(1 << 20);
+  Fragment F = makeFragment(C, 0x1000);
+  uint32_t Entry = F.HostEntryAddr;
+  HostLoc Loc = C.insert(std::move(F));
+  ASSERT_EQ(C.locForEntryAddr(Entry), Loc); // Prime the entry-addr memo.
+  C.evict({Loc.Frag});
+  EXPECT_FALSE(C.locForEntryAddr(Entry).valid());
+  EXPECT_EQ(C.retiredGuestEntry(Entry), 0x1000u);
+}
+
+TEST(FragmentCacheTest, EvictUnlinksIncomingJumpHost) {
+  FragmentCache C(1 << 20);
+  Fragment Victim = makeFragment(C, 0x2000);
+  HostLoc VictimLoc = C.insert(std::move(Victim));
+
+  // A surviving fragment whose tail was patched into a direct jump to
+  // the victim (the linked-ExitStub shape the dispatcher produces).
+  Fragment Src;
+  Src.GuestEntry = 0x1000;
+  Src.HostEntryAddr = C.beginFragment();
+  HostInstr Jump;
+  Jump.Kind = HostOpKind::JumpHost;
+  Jump.HostAddr = C.allocateBytes(hostOpBytes(HostOpKind::ExitStub));
+  Jump.TargetGuest = 0x2000;
+  Jump.TargetHost = VictimLoc;
+  Jump.Linked = true;
+  Jump.CountsAsGuest = true;
+  Src.Code.push_back(Jump);
+  Src.CodeBytes = C.beginFragment() - Src.HostEntryAddr;
+  HostLoc SrcLoc = C.insert(std::move(Src));
+
+  EvictionOutcome Out = C.evict({VictimLoc.Frag});
+  EXPECT_EQ(Out.LinksUnlinked, 1u);
+  const HostInstr &Reverted = C.fragment(SrcLoc.Frag).Code[0];
+  EXPECT_EQ(Reverted.Kind, HostOpKind::ExitStub);
+  EXPECT_FALSE(Reverted.TargetHost.valid());
+  EXPECT_FALSE(Reverted.Linked);
+  // The stub still knows its guest target, so it can re-dispatch.
+  EXPECT_EQ(Reverted.TargetGuest, 0x2000u);
+  EXPECT_TRUE(Reverted.CountsAsGuest); // Retirement semantics unchanged.
+}
+
+TEST(FragmentCacheTest, EvictUnlinksCachedSetLink) {
+  FragmentCache C(1 << 20);
+  Fragment Victim = makeFragment(C, 0x2000);
+  uint32_t VictimEntry = Victim.HostEntryAddr;
+  HostLoc VictimLoc = C.insert(std::move(Victim));
+
+  // A fast-return SetLink that cached the victim's entry address.
+  Fragment Src;
+  Src.GuestEntry = 0x1000;
+  Src.HostEntryAddr = C.beginFragment();
+  HostInstr Link;
+  Link.Kind = HostOpKind::SetLink;
+  Link.HostAddr = C.allocateBytes(hostOpBytes(HostOpKind::SetLink));
+  Link.TargetGuest = 0x2000;
+  Link.TargetHostAddr = VictimEntry;
+  Link.Linked = true;
+  Src.Code.push_back(Link);
+  Src.CodeBytes = C.beginFragment() - Src.HostEntryAddr;
+  HostLoc SrcLoc = C.insert(std::move(Src));
+
+  EvictionOutcome Out = C.evict({VictimLoc.Frag});
+  EXPECT_EQ(Out.LinksUnlinked, 1u);
+  const HostInstr &Reverted = C.fragment(SrcLoc.Frag).Code[0];
+  EXPECT_EQ(Reverted.Kind, HostOpKind::SetLink);
+  EXPECT_FALSE(Reverted.Linked);
+  EXPECT_EQ(Reverted.TargetHostAddr, 0u); // Re-resolves on next run.
+  EXPECT_EQ(Reverted.TargetGuest, 0x2000u);
+}
+
+TEST(FragmentCacheTest, RetranslationCountedAfterEvict) {
+  FragmentCache C(1 << 20);
+  HostLoc Loc = C.insert(makeFragment(C, 0x1000));
+  C.evict({Loc.Frag});
+  EXPECT_EQ(C.retranslations(), 0u);
+  C.insert(makeFragment(C, 0x1000)); // Same guest entry: thrash.
+  EXPECT_EQ(C.retranslations(), 1u);
+  C.insert(makeFragment(C, 0x3000)); // Fresh entry: not a retranslation.
+  EXPECT_EQ(C.retranslations(), 1u);
+}
+
+TEST(FragmentCacheTest, RetranslationCountedAfterFlush) {
+  FragmentCache C(1 << 20);
+  C.insert(makeFragment(C, 0x1000));
+  C.flushAll();
+  C.insert(makeFragment(C, 0x1000));
+  EXPECT_EQ(C.retranslations(), 1u);
+  // Re-inserting again without another free is not a second thrash.
+  C.flushAll();
+  C.insert(makeFragment(C, 0x1000));
+  EXPECT_EQ(C.retranslations(), 2u);
+}
+
+TEST(FragmentCacheTest, ReleaseBytesShrinksPressure) {
+  FragmentCache C(4096);
+  C.allocateBytes(4096);
+  ASSERT_TRUE(C.isFull());
+  C.releaseBytes(1024);
+  EXPECT_FALSE(C.isFull());
+  EXPECT_EQ(C.usedBytes(), 3072u);
+  // Addresses are never reused: the cursor continues past the released
+  // space.
+  EXPECT_EQ(C.allocateBytes(4), FragmentCacheBase + 4096);
+}
+
+TEST(FragmentCacheTest, EvictedGuestReachableThroughRetiredEntry) {
+  // retiredGuestEntry() must resolve addresses freed by a *policy*, not
+  // just by flushAll(): a fast-return address pointing at an evicted
+  // fragment redirects through the retired map to its guest PC.
+  FragmentCache C(1 << 20);
+  Fragment F = makeFragment(C, 0x5000);
+  uint32_t Entry = F.HostEntryAddr;
+  HostLoc Loc = C.insert(std::move(F));
+  C.evict({Loc.Frag});
+  EXPECT_EQ(C.retiredGuestEntry(Entry), 0x5000u);
+  // Re-translate and evict again: still exactly one retired mapping for
+  // the *old* address, and the new address resolves too.
+  Fragment F2 = makeFragment(C, 0x5000);
+  uint32_t Entry2 = F2.HostEntryAddr;
+  HostLoc Loc2 = C.insert(std::move(F2));
+  C.evict({Loc2.Frag});
+  EXPECT_EQ(C.retiredGuestEntry(Entry), 0x5000u);
+  EXPECT_EQ(C.retiredGuestEntry(Entry2), 0x5000u);
+}

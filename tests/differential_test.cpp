@@ -8,6 +8,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "cachemgr/CachePolicy.h"
 #include "core/SdtEngine.h"
 #include "vm/GuestVM.h"
 #include "workloads/RandomProgram.h"
@@ -141,6 +144,30 @@ std::vector<ConfigCase> allConfigs() {
     O.FragmentCacheBytes = 4096;
     O.MaxFragmentInstrs = 4;
   });
+  add("fifo_evict", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  add("generational_evict", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Generational;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.CacheGenPromoteExecs = 4;
+  });
+  add("fifo_evict_fastret", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.Returns = ReturnStrategy::FastReturn;
+  });
+  add("fifo_evict_traces", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 3;
+  });
   return Cases;
 }
 
@@ -226,6 +253,103 @@ TEST_P(DeepDifferentialTest, BigProgramsStayTransparent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeepDifferentialTest,
                          ::testing::Range<uint64_t>(100, 112));
+
+// The eviction-policy pinning tests: a policy may only change *when*
+// translations are thrown away, never what the guest observes.
+
+namespace {
+
+const cachemgr::CachePolicyKind AllPolicies[] = {
+    cachemgr::CachePolicyKind::FullFlush,
+    cachemgr::CachePolicyKind::Fifo,
+    cachemgr::CachePolicyKind::Generational,
+};
+
+} // namespace
+
+// Guest-visible results are bit-identical across all policies at every
+// swept capacity (including ones tight enough to evict constantly).
+// Big-program seeds: 101/102 overflow a 4096-byte cache many times
+// (dozens of real partial evictions), 103 a few, so every policy's
+// eviction path actually runs.
+TEST(CachePolicyDifferentialTest, OutputIdenticalAcrossPoliciesAndCapacities) {
+  RandomProgramOptions RpOpts;
+  RpOpts.NumFunctions = 10;
+  RpOpts.ItemsPerFunction = 10;
+  RpOpts.MainIterations = 5;
+  const uint32_t Capacities[] = {4096, 16384, 1u << 20};
+  for (uint64_t Seed = 101; Seed <= 103; ++Seed) {
+    Expected<isa::Program> Program = generateRandomProgram(Seed, RpOpts);
+    ASSERT_TRUE(static_cast<bool>(Program));
+
+    ExecOptions Exec;
+    Exec.MaxInstructions = 20000000;
+    auto VM = GuestVM::create(*Program, Exec);
+    ASSERT_TRUE(static_cast<bool>(VM));
+    RunResult Native = (*VM)->run();
+    ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+    for (uint32_t Cap : Capacities) {
+      for (cachemgr::CachePolicyKind Policy : AllPolicies) {
+        SdtOptions Opts;
+        Opts.CachePolicy = Policy;
+        Opts.FragmentCacheBytes = Cap;
+        Opts.MaxFragmentInstrs = 6; // Many small fragments: real pressure.
+        Opts.CacheGenPromoteExecs = 4;
+
+        auto Engine = SdtEngine::create(*Program, Opts, Exec);
+        ASSERT_TRUE(static_cast<bool>(Engine));
+        RunResult Translated = (*Engine)->run();
+
+        std::string Label = std::string(cachemgr::cachePolicyName(Policy)) +
+                            " @" + std::to_string(Cap) + " seed " +
+                            std::to_string(Seed);
+        EXPECT_EQ(Native.Reason, Translated.Reason)
+            << Label << ": " << Translated.FaultMessage;
+        EXPECT_EQ(Native.Output, Translated.Output) << Label;
+        EXPECT_EQ(Native.Checksum, Translated.Checksum) << Label;
+        EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount)
+            << Label;
+      }
+    }
+  }
+}
+
+// With an effectively unbounded cache no policy ever has to act, so
+// selecting one must not change the timing model's cycle count at all —
+// the subsystem is exactly free until pressure exists. (FullFlush here
+// is the pre-subsystem configuration, so this also pins the other
+// policies to the pre-PR cycle counts.)
+TEST(CachePolicyDifferentialTest, UnboundedCapacityCyclesIdentical) {
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    Expected<isa::Program> Program = generateRandomProgram(Seed);
+    ASSERT_TRUE(static_cast<bool>(Program));
+
+    std::vector<uint64_t> Cycles;
+    for (cachemgr::CachePolicyKind Policy : AllPolicies) {
+      arch::TimingModel Timing(arch::simpleModel());
+      ExecOptions Exec;
+      Exec.MaxInstructions = 5000000;
+      Exec.Timing = &Timing;
+
+      SdtOptions Opts;
+      Opts.CachePolicy = Policy; // Default (8MB) capacity: never full.
+      auto Engine = SdtEngine::create(*Program, Opts, Exec);
+      ASSERT_TRUE(static_cast<bool>(Engine));
+      RunResult Translated = (*Engine)->run();
+      ASSERT_TRUE(Translated.finishedNormally())
+          << Translated.FaultMessage;
+
+      const SdtStats &S = (*Engine)->stats();
+      EXPECT_EQ(S.Flushes, 0u);
+      EXPECT_EQ(S.PartialEvictions, 0u);
+      Cycles.push_back(Timing.totalCycles());
+    }
+    EXPECT_EQ(Cycles[0], Cycles[1]) << "fifo diverged, seed " << Seed;
+    EXPECT_EQ(Cycles[0], Cycles[2])
+        << "generational diverged, seed " << Seed;
+  }
+}
 
 // Random programs must be bit-identical across generator invocations.
 TEST(RandomProgramTest, GenerationDeterministic) {
