@@ -10,18 +10,34 @@
 #include "vm/GuestVM.h"
 #include "workloads/Workloads.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace sdt;
 using namespace sdt::bench;
 
-uint32_t sdt::bench::scaleFromEnv(uint32_t Fallback) {
-  const char *Env = std::getenv("STRATAIB_SCALE");
-  if (!Env)
+long sdt::bench::envNumberOr(const char *Name, long Fallback, long Min,
+                             long Max) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
     return Fallback;
-  long V = std::strtol(Env, nullptr, 10);
-  return V > 0 ? static_cast<uint32_t>(V) : Fallback;
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(Env, &End, 10);
+  if (errno != 0 || End == Env || *End != '\0' || V < Min || V > Max) {
+    std::fprintf(stderr, "bench: invalid %s='%s' (expected integer in "
+                         "[%ld, %ld])\n",
+                 Name, Env, Min, Max);
+    std::exit(2);
+  }
+  return V;
+}
+
+uint32_t sdt::bench::scaleFromEnv(uint32_t Fallback) {
+  return static_cast<uint32_t>(
+      envNumberOr("STRATAIB_SCALE", Fallback, 1, 1000000));
 }
 
 std::string sdt::bench::tracePrefixFromEnv() {
@@ -30,15 +46,10 @@ std::string sdt::bench::tracePrefixFromEnv() {
 }
 
 core::SdtOptions sdt::bench::withCacheEnvOverrides(core::SdtOptions Opts) {
-  if (const char *Env = std::getenv("STRATAIB_CACHE_BYTES")) {
-    long V = std::strtol(Env, nullptr, 10);
-    if (V >= 4096)
-      Opts.FragmentCacheBytes = static_cast<uint32_t>(V);
-    else if (*Env)
-      std::fprintf(stderr,
-                   "bench: ignoring STRATAIB_CACHE_BYTES=%s (minimum 4096)\n",
-                   Env);
-  }
+  long CacheBytes =
+      envNumberOr("STRATAIB_CACHE_BYTES", -1, 4096, INT32_MAX);
+  if (CacheBytes >= 0)
+    Opts.FragmentCacheBytes = static_cast<uint32_t>(CacheBytes);
   if (const char *Env = std::getenv("STRATAIB_CACHE_POLICY")) {
     if (*Env) {
       std::optional<cachemgr::CachePolicyKind> Kind =
@@ -58,11 +69,9 @@ core::SdtOptions sdt::bench::withCacheEnvOverrides(core::SdtOptions Opts) {
 
 /// Ring capacity for traced runs (STRATAIB_TRACE_EVENTS).
 static size_t traceCapacityFromEnv() {
-  const char *Env = std::getenv("STRATAIB_TRACE_EVENTS");
-  if (!Env)
-    return trace::TraceSink::DefaultCapacity;
-  long V = std::strtol(Env, nullptr, 10);
-  return V > 0 ? static_cast<size_t>(V) : trace::TraceSink::DefaultCapacity;
+  return static_cast<size_t>(envNumberOr(
+      "STRATAIB_TRACE_EVENTS",
+      static_cast<long>(trace::TraceSink::DefaultCapacity), 1, INT32_MAX));
 }
 
 std::string sdt::bench::traceFileBase(const std::string &Prefix,
@@ -93,6 +102,9 @@ trace::StatsExpectation sdt::bench::traceExpectations(core::SdtEngine &E) {
   Expect.PartialEvictions = S.PartialEvictions;
   Expect.EvictedBytes = S.EvictedBytes;
   Expect.LinksUnlinked = S.LinksUnlinked;
+  Expect.CodeWriteInvalidations = S.CodeWriteInvalidations;
+  Expect.FragmentsInvalidatedByWrite = S.FragmentsInvalidatedByWrite;
+  Expect.StaleBytesDiscarded = S.StaleBytesDiscarded;
   auto add = [&Expect](core::IBHandler *H) {
     for (trace::MechExpectation &M : Expect.Mechanisms)
       if (M.Name == H->name()) {

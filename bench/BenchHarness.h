@@ -124,6 +124,14 @@ private:
   std::map<std::string, Slot<NativeBaseline>> Natives; ///< workload|model.
 };
 
+/// Strict parser for numeric STRATAIB_* knobs: returns \p Fallback when
+/// \p Name is unset or empty, else the parsed value. Anything
+/// non-numeric, trailing garbage, or outside [\p Min, \p Max] is a
+/// configuration error — diagnostic to stderr and exit(2), matching
+/// STRATAIB_CACHE_POLICY's behaviour. A typo'd knob silently falling
+/// back would run the wrong experiment.
+long envNumberOr(const char *Name, long Fallback, long Min, long Max);
+
 /// Reads STRATAIB_SCALE, falling back to \p Fallback.
 uint32_t scaleFromEnv(uint32_t Fallback);
 
@@ -134,7 +142,7 @@ uint32_t scaleFromEnv(uint32_t Fallback);
 /// experiment can be re-run under a different policy without code
 /// changes — note this overrides cells that sweep these knobs
 /// themselves (e.g. e14_cache_pressure). Exits on an unknown policy
-/// name.
+/// name or an out-of-range/non-numeric byte count.
 core::SdtOptions withCacheEnvOverrides(core::SdtOptions Opts);
 
 /// Reads STRATAIB_TRACE: the path prefix for per-cell trace files, or ""

@@ -28,11 +28,11 @@ double msSince(std::chrono::steady_clock::time_point Start) {
 } // namespace
 
 unsigned ParallelRunner::jobsFromEnv() {
-  if (const char *Env = std::getenv("STRATAIB_JOBS")) {
-    long V = std::strtol(Env, nullptr, 10);
-    if (V > 0)
-      return static_cast<unsigned>(V);
-  }
+  // 0 (the fallback) means "use the hardware concurrency"; an explicit
+  // STRATAIB_JOBS=0 asks for the same thing.
+  long V = envNumberOr("STRATAIB_JOBS", 0, 0, 4096);
+  if (V > 0)
+    return static_cast<unsigned>(V);
   unsigned HW = std::thread::hardware_concurrency();
   return HW > 0 ? HW : 1;
 }
@@ -154,6 +154,11 @@ std::string ParallelRunner::summaryJson() const {
       W.key("retranslations_after_eviction")
           .value(C.M.Stats.RetranslationsAfterEviction);
       W.key("links_unlinked").value(C.M.Stats.LinksUnlinked);
+      W.key("code_write_invalidations")
+          .value(C.M.Stats.CodeWriteInvalidations);
+      W.key("fragments_invalidated_by_write")
+          .value(C.M.Stats.FragmentsInvalidatedByWrite);
+      W.key("stale_bytes_discarded").value(C.M.Stats.StaleBytesDiscarded);
       W.key("cycles_by_category").beginObject();
       for (size_t I = 0; I != C.M.SdtByCategory.size(); ++I)
         W.key(arch::cycleCategoryName(static_cast<arch::CycleCategory>(I)))

@@ -1,0 +1,120 @@
+//===- bench/e15_smc_cost.cpp - Self-modifying-code cost x IB ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// E15: per-mechanism cost of self-modifying-code coherence. Runs the two
+// self-patching guests (smcpatch: kernel rewriter; smctable: jump-table
+// rewriter) plus gzip as a never-writes-code control under every IB
+// mechanism, and reports slowdown alongside the invalidation counters.
+// The control row pins the coherence machinery's zero-overhead claim:
+// when no code write fires, the counters are zero and cycle counts are
+// identical to a build without the subsystem. On the SMC guests the
+// dispatcher pays only retranslation; IBTC adds table scrubbing; sieve
+// pays most — its code-resident stubs must be unchained and their cache
+// space released on every invalidation (the same ordering E14 measures
+// for capacity evictions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include "support/TableFormatter.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+
+struct MechConfig {
+  const char *Name;
+  core::IBMechanism Mechanism;
+  unsigned InlineDepth;
+};
+
+core::SdtOptions makeOpts(const MechConfig &M) {
+  core::SdtOptions Opts;
+  Opts.Mechanism = M.Mechanism;
+  Opts.InlineCacheDepth = M.InlineDepth;
+  return Opts;
+}
+
+} // namespace
+
+int main() {
+  uint32_t Scale = scaleFromEnv(10);
+  printHeader("E15 (Self-modifying code: invalidation cost x IB mechanism)",
+              "self-patching guests vs a non-SMC control, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  // gzip is the control: same harness, zero code writes.
+  const std::vector<std::string> Workloads = {"smcpatch", "smctable",
+                                              "gzip"};
+
+  const MechConfig Mechs[] = {
+      {"dispatcher", core::IBMechanism::Dispatcher, 0},
+      {"ibtc", core::IBMechanism::Ibtc, 0},
+      {"sieve", core::IBMechanism::Sieve, 0},
+      {"inline2+ibtc", core::IBMechanism::Ibtc, 2},
+  };
+
+  ParallelRunner Runner(Ctx, "e15_smc_cost");
+  // Ids[workload][mech].
+  std::vector<std::vector<size_t>> Ids;
+  for (const std::string &W : Workloads) {
+    std::vector<size_t> PerMech;
+    for (const MechConfig &M : Mechs)
+      PerMech.push_back(Runner.enqueue(W, Model, makeOpts(M)));
+    Ids.push_back(std::move(PerMech));
+  }
+  Runner.runAll();
+
+  // Table 1: slowdown vs native per workload and mechanism.
+  {
+    std::vector<std::string> Header{"workload"};
+    for (const MechConfig &M : Mechs)
+      Header.push_back(M.Name);
+    TableFormatter T(Header);
+    for (size_t W = 0; W != Workloads.size(); ++W) {
+      T.beginRow().addCell(Workloads[W]);
+      for (size_t M = 0; M != std::size(Mechs); ++M)
+        T.addCell(Runner.result(Ids[W][M]).slowdown(), 3);
+    }
+    std::printf("Slowdown vs native (gzip = non-SMC control):\n%s\n",
+                T.render().c_str());
+  }
+
+  // Table 2: the coherence work behind those slowdowns, under ibtc.
+  {
+    TableFormatter T({"workload (ibtc)", "code-writes", "frags-invalidated",
+                      "stale-KB", "retranslations", "links-unlinked"});
+    const size_t Ibtc = 1; // Mechs[1].
+    for (size_t W = 0; W != Workloads.size(); ++W) {
+      const Measurement &M = Runner.result(Ids[W][Ibtc]);
+      T.beginRow()
+          .addCell(Workloads[W])
+          .addCell(M.Stats.CodeWriteInvalidations)
+          .addCell(M.Stats.FragmentsInvalidatedByWrite)
+          .addCell(static_cast<double>(M.Stats.StaleBytesDiscarded) / 1024.0,
+                   1)
+          .addCell(M.Stats.RetranslationsAfterEviction)
+          .addCell(M.Stats.LinksUnlinked);
+    }
+    std::printf("%s\n", T.render().c_str());
+  }
+
+  std::printf(
+      "Shape targets: the control row is all zeros (word-granular write\n"
+      "detection means plain data stores cost nothing); every mechanism\n"
+      "stays bit-transparent on the SMC guests (that is the bugfix under\n"
+      "test); the dispatcher pays by far the most on the return-dense\n"
+      "patcher (every invalidation throws its fragments back onto the\n"
+      "slow dispatch path); and in the counter table retranslations track\n"
+      "frags-invalidated one-for-one — invalidated code is re-built on\n"
+      "next execution, never resurrected stale.\n");
+  return 0;
+}

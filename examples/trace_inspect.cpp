@@ -14,8 +14,9 @@
 //   --event <kind>   print retained events of one kind (dispatch-entry,
 //                    ib-lookup-miss, ...) instead of the summary
 //   --events <list>  same, for a comma-separated list of kinds; the
-//                    aliases "eviction" (cache-evict) and "unlink"
-//                    (link-unlink) are accepted alongside full names
+//                    aliases "eviction" (cache-evict), "unlink"
+//                    (link-unlink), "smc" (code-write) and "invalidate"
+//                    (frag-invalidate) are accepted alongside full names
 //   --mech <name>    restrict event output to one mechanism
 //   --limit N        print at most N events (default 20)
 //
@@ -179,6 +180,10 @@ std::string normalizeEventKind(const std::string &Name) {
     return "cache-evict";
   if (Name == "unlink")
     return "link-unlink";
+  if (Name == "smc")
+    return "code-write";
+  if (Name == "invalidate")
+    return "frag-invalidate";
   return Name;
 }
 
@@ -229,6 +234,10 @@ int reconcileFailures(const JsonValue &Summary) {
           Stats->num("partial_evictions"));
     check("links unlinked", Totals->num("link-unlink"),
           Stats->num("links_unlinked"));
+    check("code-write invalidations", Totals->num("code-write"),
+          Stats->num("code_write_invalidations"));
+    check("fragments invalidated by write", Totals->num("frag-invalidate"),
+          Stats->num("fragments_invalidated_by_write"));
   }
 
   const JsonValue *MechTotals = Summary.field("mech_totals");

@@ -141,7 +141,8 @@ void FragmentCache::flushAll() {
   // stale translated addresses (fast returns) stay distinguishable.
 }
 
-EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims) {
+EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims,
+                                     bool EmitEvent) {
   EvictionOutcome Out;
   if (Victims.empty())
     return Out;
@@ -196,7 +197,7 @@ EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims) {
       }
     }
   }
-  if (Sink)
+  if (Sink && EmitEvent)
     Sink->record(trace::EventKind::CacheEvict,
                  static_cast<uint32_t>(Out.FragmentsEvicted),
                  static_cast<uint32_t>(Out.BytesFreed));

@@ -37,12 +37,23 @@ struct Fragment {
   uint32_t GuestEntry = 0;    ///< Guest PC this fragment translates.
   uint32_t HostEntryAddr = 0; ///< Simulated address of the first host op.
   uint32_t CodeBytes = 0;     ///< Total simulated bytes (incl. IB inline).
+  /// Guest source hull [GuestLow, GuestHigh): every guest code word read
+  /// to build this fragment lies inside it. Traces can span discontiguous
+  /// regions, so the hull over-approximates — which only over-invalidates
+  /// when a guest store dirties nearby code, never misses a dependency.
+  uint32_t GuestLow = 0;
+  uint32_t GuestHigh = 0;
   std::vector<HostInstr> Code;
   uint64_t ExecCount = 0;
   /// False once a policy has evicted this fragment. Evicted fragments
   /// stay in the vector as tombstones so HostLoc fragment indices held
   /// by linked JumpHost ops remain stable.
   bool Live = true;
+
+  /// True when the source hull intersects guest range [Begin, End).
+  bool overlapsGuest(uint32_t Begin, uint32_t End) const {
+    return GuestLow < End && Begin < GuestHigh;
+  }
 };
 
 /// The simulated host address ranges freed by one partial eviction, in
@@ -117,8 +128,12 @@ public:
   /// stay stable — and every live fragment's direct links into the freed
   /// ranges are reverted to unlinked exit stubs. The caller must then
   /// invalidate IB-handler state against the returned ranges before
-  /// executing any translated code.
-  EvictionOutcome evict(const std::vector<uint32_t> &Victims);
+  /// executing any translated code. \p EmitEvent controls the aggregate
+  /// CacheEvict trace event: capacity evictions emit it (reconciled
+  /// against SdtStats::PartialEvictions); code-write invalidations pass
+  /// false and emit their own per-fragment events instead.
+  EvictionOutcome evict(const std::vector<uint32_t> &Victims,
+                        bool EmitEvent = true);
 
   /// Returns \p Bytes of simulated code space to the capacity budget
   /// (used when code-resident handler structures — sieve stubs — are

@@ -80,6 +80,10 @@ SdtEngine::SdtEngine(const Program &P, const SdtOptions &Opts,
   State.Pc = P.entry();
   State.setReg(RegSP, Memory.stackTop() - 16);
   State.setReg(RegFP, Memory.stackTop() - 16);
+
+  // Watch the code-bearing image for guest stores so stale translations
+  // are never executed (self-modifying-code coherence).
+  Memory.trackCodeWrites(Decoder.base(), Decoder.size());
 }
 
 void SdtEngine::setTraceSink(trace::TraceSink *S) {
@@ -99,6 +103,9 @@ void SdtEngine::setTraceSink(trace::TraceSink *S) {
 Expected<std::unique_ptr<SdtEngine>>
 SdtEngine::create(const Program &P, const SdtOptions &Opts,
                   const ExecOptions &Exec) {
+  if (const char *Problem = GuestMemory::sizeProblem(Exec.MemorySize))
+    return Error::failure(formatString("invalid ExecOptions::MemorySize %u: %s",
+                                       Exec.MemorySize, Problem));
   auto Engine =
       std::unique_ptr<SdtEngine>(new SdtEngine(P, Opts, Exec));
   if (!Engine->Memory.loadProgram(P))
@@ -205,6 +212,89 @@ void SdtEngine::handleCachePressure(uint32_t PinnedFrag) {
   // not marked as traced, so a re-hot head can record again.
   if (Recording && !Cache.lookup(TraceHead).valid())
     Recording = false;
+}
+
+bool SdtEngine::handleCodeWrite(uint32_t StoreAddr, uint32_t CurFrag) {
+  std::vector<std::pair<uint32_t, uint32_t>> Dirty =
+      Memory.takePendingCodeWrites();
+  assert(!Dirty.empty() && "code-write handler fired with nothing pending");
+
+  uint32_t DirtyBytes = 0;
+  uint32_t SlotsReset = 0;
+  for (const auto &[Begin, End] : Dirty) {
+    DirtyBytes += End - Begin;
+    SlotsReset += Decoder.invalidate(Begin, End - Begin);
+  }
+
+  // Images mix code and data on the same pages, so plain data stores land
+  // here too; they must not show up in the counters, the trace, or the
+  // fragment cache. Every word inside a live fragment's source hull was
+  // fetched through the decoder when the fragment was built, so a store
+  // that reset no decode slot cannot overlap any fragment — skip the
+  // whole-cache scan on that (overwhelmingly common) path.
+  if (SlotsReset == 0)
+    return false;
+
+  // Collect every live fragment whose source hull covers a dirtied word.
+  std::vector<uint32_t> Victims;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Cache.fragmentCount());
+       I != E; ++I) {
+    if (!Cache.isLive(I))
+      continue;
+    const Fragment &F = Cache.fragment(I);
+    for (const auto &[Begin, End] : Dirty) {
+      if (F.overlapsGuest(Begin, End)) {
+        Victims.push_back(I);
+        break;
+      }
+    }
+  }
+
+  ++Stats.CodeWriteInvalidations;
+  if (Sink)
+    Sink->record(trace::EventKind::CodeWrite, StoreAddr, DirtyBytes);
+
+  // A recorded path may already have crossed the patched words; abandon
+  // the recording. The head is not marked traced, so it can re-record
+  // against the new code once it is hot again.
+  Recording = false;
+
+  if (Victims.empty())
+    return false;
+
+  if (Sink)
+    for (uint32_t V : Victims) {
+      const Fragment &F = Cache.fragment(V);
+      Sink->record(trace::EventKind::FragInvalidate, F.GuestEntry,
+                   F.CodeBytes);
+    }
+
+  // Reuse the eviction machinery (tombstones, link unlinking, handler
+  // scrubbing), but keep the accounting separate from capacity
+  // evictions so E14's policy comparisons stay untouched. No CacheEvict
+  // event either — the per-fragment FragInvalidate events above are the
+  // trace-side record.
+  EvictionOutcome Out = Cache.evict(Victims, /*EmitEvent=*/false);
+  Stats.FragmentsInvalidatedByWrite += Out.FragmentsEvicted;
+  Stats.StaleBytesDiscarded += Out.BytesFreed;
+  Stats.LinksUnlinked += Out.LinksUnlinked;
+  TimingModel *T = Exec.Timing;
+  if (T)
+    for (uint64_t I = 0; I != Out.LinksUnlinked; ++I)
+      T->chargeLinkPatch(CycleCategory::Link);
+  for (IBHandler *H : allHandlers())
+    H->invalidateEvicted(Out.Ranges, Cache, T);
+
+  bool KilledCurrent = false;
+  for (uint32_t V : Victims) {
+    if (V == CurFrag)
+      KilledCurrent = true;
+    // Let the invalidated heads trace again once re-translated: the new
+    // code may have a different hot path.
+    if (Opts.EnableTraces)
+      TracedHeads.erase(Cache.fragment(V).GuestEntry);
+  }
+  return KilledCurrent;
 }
 
 HostLoc SdtEngine::dispatchTo(uint32_t GuestPc, uint32_t PinnedFrag) {
@@ -333,6 +423,20 @@ RunResult SdtEngine::run() {
         } else {
           T->chargeExecute(HI.GuestI);
         }
+      }
+      // Self-modifying code: a store into the decoded code range kills
+      // every translation built from the dirtied words. If that includes
+      // the fragment being executed, resume at the next guest pc through
+      // the dispatcher (HI was copied above, so it is still valid).
+      if (Effect.IsStore && Memory.hasPendingCodeWrites() &&
+          handleCodeWrite(Effect.Addr, Cur.Frag)) {
+        HostLoc Loc = dispatchTo(HI.GuestPc + isa::InstructionSize);
+        if (!Loc.valid()) {
+          fault(PendingFault);
+          break;
+        }
+        Cur = Loc;
+        break;
       }
       ++Cur.Index;
       break;
@@ -670,6 +774,13 @@ std::string SdtEngine::report() const {
         static_cast<unsigned long long>(Stats.EvictedBytes),
         static_cast<unsigned long long>(Stats.RetranslationsAfterEviction),
         static_cast<unsigned long long>(Stats.LinksUnlinked));
+  if (Stats.CodeWriteInvalidations != 0)
+    Out += formatString(
+        "smc: code-write-invalidations=%llu frags-invalidated=%llu "
+        "stale-bytes=%llu\n",
+        static_cast<unsigned long long>(Stats.CodeWriteInvalidations),
+        static_cast<unsigned long long>(Stats.FragmentsInvalidatedByWrite),
+        static_cast<unsigned long long>(Stats.StaleBytesDiscarded));
   for (unsigned C = 0; C != NumIBClasses; ++C) {
     IBClass Class = static_cast<IBClass>(C);
     Out += formatString("%-9s execs=%llu inline-hit-rate=%.2f%%\n",

@@ -109,6 +109,14 @@ private:
   /// invalidation of every IB-handler pointer into the freed ranges.
   void handleCachePressure(uint32_t PinnedFrag);
 
+  /// A guest store dirtied the decoded code range (self-modifying code):
+  /// invalidates the decode cache over every dirtied page and evicts
+  /// every fragment whose guest source hull overlaps them, scrubbing
+  /// links and IB-handler pointers exactly like a capacity eviction.
+  /// Returns true when the currently-executing fragment \p CurFrag was
+  /// among the victims (the caller must re-dispatch instead of advancing).
+  bool handleCodeWrite(uint32_t StoreAddr, uint32_t CurFrag);
+
   /// Ends the active trace recording: builds the trace fragment, points
   /// the guest map at it, and patches the old fragment's head into a
   /// trampoline. Safe to call mid-execution (only Code[0] of the old

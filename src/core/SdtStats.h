@@ -41,6 +41,13 @@ struct SdtStats {
   /// Direct links reverted to dispatcher stubs because their target
   /// fragment was evicted.
   uint64_t LinksUnlinked = 0;
+  /// Detected guest writes into the decoded code range that triggered an
+  /// invalidation pass (self-modifying code coherence).
+  uint64_t CodeWriteInvalidations = 0;
+  /// Fragments discarded because a guest write dirtied their source range.
+  uint64_t FragmentsInvalidatedByWrite = 0;
+  /// Simulated code bytes those invalidated fragments occupied.
+  uint64_t StaleBytesDiscarded = 0;
   /// Slow-path entries (context switch + map lookup): initial entry,
   /// unlinked stubs, and IB-lookup misses.
   uint64_t DispatchEntries = 0;

@@ -8,6 +8,7 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace sdt;
@@ -74,6 +75,8 @@ Expected<HostLoc> Translator::translate(uint32_t GuestPc,
   Fragment Frag;
   Frag.GuestEntry = GuestPc;
   Frag.HostEntryAddr = Cache.beginFragment();
+  Frag.GuestLow = GuestPc;
+  Frag.GuestHigh = GuestPc;
 
   uint32_t Pc = GuestPc;
   unsigned GuestCount = 0;
@@ -90,6 +93,8 @@ Expected<HostLoc> Translator::translate(uint32_t GuestPc,
       break;
     }
     ++GuestCount;
+    Frag.GuestLow = std::min(Frag.GuestLow, Pc);
+    Frag.GuestHigh = std::max(Frag.GuestHigh, Pc + InstructionSize);
 
     switch (opcodeInfo(I->Op).Cti) {
     case CtiKind::None: {
@@ -197,6 +202,8 @@ Expected<HostLoc> Translator::buildTrace(
   Fragment Frag;
   Frag.GuestEntry = Head;
   Frag.HostEntryAddr = Cache.beginFragment();
+  Frag.GuestLow = Head;
+  Frag.GuestHigh = Head;
 
   uint32_t Pc = Head;
   size_t OutcomeIdx = 0;
@@ -217,6 +224,8 @@ Expected<HostLoc> Translator::buildTrace(
       break;
     }
     ++GuestCount;
+    Frag.GuestLow = std::min(Frag.GuestLow, Pc);
+    Frag.GuestHigh = std::max(Frag.GuestHigh, Pc + InstructionSize);
 
     switch (opcodeInfo(I->Op).Cti) {
     case CtiKind::None: {

@@ -37,7 +37,11 @@ Expected<isa::Program> sdt::girc::compile(std::string_view Source,
   if (!Asm)
     return Asm.takeError();
   Expected<isa::Program> P = assembler::assemble(*Asm);
-  // Generated assembly failing to assemble is a compiler bug.
-  assert(P && "girc emitted assembly that does not assemble");
+  // Generated assembly failing to assemble is a compiler bug; report it
+  // as such in every build mode (an assert vanishes under NDEBUG).
+  if (!P)
+    return Error::failure("girc emitted assembly that does not assemble "
+                          "(compiler bug): " +
+                          P.error().message());
   return P;
 }

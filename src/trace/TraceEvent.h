@@ -34,6 +34,10 @@ enum class EventKind : uint8_t {
   CacheEvict,         ///< Partial eviction (A=fragments, B=bytes freed).
   LinkUnlink,         ///< A link reverted to a stub (A=guest target,
                       ///< B=stub addr) because its target was evicted.
+  CodeWrite,          ///< A guest store dirtied decoded code (A=store
+                      ///< addr, B=dirtied bytes, word-granular).
+  FragInvalidate,     ///< A fragment died because a guest write hit its
+                      ///< source range (A=guest entry, B=code bytes).
   NumKinds,
 };
 

@@ -76,6 +76,14 @@ std::string sdt::trace::jsonlLine(const TraceEvent &E) {
     appendField(Out, "target_pc", E.A);
     appendField(Out, "stub_addr", E.B);
     break;
+  case EventKind::CodeWrite:
+    appendField(Out, "store_addr", E.A);
+    appendField(Out, "dirty_bytes", E.B);
+    break;
+  case EventKind::FragInvalidate:
+    appendField(Out, "guest_pc", E.A);
+    appendField(Out, "code_bytes", E.B);
+    break;
   case EventKind::NumKinds:
     break;
   }
@@ -136,6 +144,12 @@ std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
     Out += std::to_string(Expect->EvictedBytes);
     Out += ",\"links_unlinked\":";
     Out += std::to_string(Expect->LinksUnlinked);
+    Out += ",\"code_write_invalidations\":";
+    Out += std::to_string(Expect->CodeWriteInvalidations);
+    Out += ",\"fragments_invalidated_by_write\":";
+    Out += std::to_string(Expect->FragmentsInvalidatedByWrite);
+    Out += ",\"stale_bytes_discarded\":";
+    Out += std::to_string(Expect->StaleBytesDiscarded);
     Out += '}';
     Out += ",\"expected_mechanisms\":{";
     First = true;

@@ -49,6 +49,9 @@ struct StatsExpectation {
   uint64_t PartialEvictions = 0;
   uint64_t EvictedBytes = 0;
   uint64_t LinksUnlinked = 0;
+  uint64_t CodeWriteInvalidations = 0;
+  uint64_t FragmentsInvalidatedByWrite = 0;
+  uint64_t StaleBytesDiscarded = 0;
   std::vector<MechExpectation> Mechanisms;
 };
 

@@ -32,6 +32,10 @@ const char *sdt::trace::eventKindName(EventKind K) {
     return "cache-evict";
   case EventKind::LinkUnlink:
     return "link-unlink";
+  case EventKind::CodeWrite:
+    return "code-write";
+  case EventKind::FragInvalidate:
+    return "frag-invalidate";
   case EventKind::NumKinds:
     break;
   }

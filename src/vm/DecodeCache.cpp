@@ -8,6 +8,7 @@
 
 #include "isa/Encoding.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace sdt;
@@ -22,6 +23,24 @@ DecodeCache::DecodeCache(const GuestMemory &Memory, uint32_t Base,
   size_t Slots = Size / InstructionSize;
   Decoded.resize(Slots);
   States.assign(Slots, SlotState::Unknown);
+}
+
+uint32_t DecodeCache::invalidate(uint32_t Addr, uint32_t Bytes) {
+  uint64_t Lo = std::max<uint64_t>(Addr, Base);
+  uint64_t Hi = std::min(static_cast<uint64_t>(Addr) + Bytes,
+                         static_cast<uint64_t>(Base) + Size);
+  uint32_t Reset = 0;
+  if (Lo >= Hi)
+    return Reset;
+  size_t First = static_cast<size_t>(Lo - Base) / InstructionSize;
+  size_t Last = static_cast<size_t>(Hi - Base + InstructionSize - 1) /
+                InstructionSize;
+  for (size_t Slot = First; Slot != Last; ++Slot)
+    if (States[Slot] != SlotState::Unknown) {
+      States[Slot] = SlotState::Unknown;
+      ++Reset;
+    }
+  return Reset;
 }
 
 const Instruction *DecodeCache::fetch(uint32_t Addr) {

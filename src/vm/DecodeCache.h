@@ -9,8 +9,10 @@
 /// fixed-width ISA is deterministic, so both the interpreter and the SDT
 /// translator fetch through this cache; it models a hardware decoder /
 /// decoded-ops cache and keeps million-instruction runs fast. Guest code
-/// is immutable after load (no self-modifying code in GIR programs), which
-/// makes the cache sound.
+/// is *not* immutable: GIR programs may store into their own code range
+/// (self-modifying code). The owning engine watches GuestMemory's
+/// code-write tracking and calls invalidate() on every dirtied range,
+/// which is what keeps this cache sound.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +37,11 @@ public:
   /// Returns the decoded instruction at \p Addr, or nullptr if \p Addr is
   /// unaligned, outside the code region, or holds an invalid encoding.
   const isa::Instruction *fetch(uint32_t Addr);
+
+  /// Forgets the decoded view of [Addr, Addr+Bytes), clamped to the code
+  /// region: a guest store rewrote those words, so the next fetch must
+  /// re-read and re-decode them. Returns the number of slots reset.
+  uint32_t invalidate(uint32_t Addr, uint32_t Bytes);
 
   uint32_t base() const { return Base; }
   uint32_t size() const { return Size; }

@@ -13,8 +13,54 @@ using namespace sdt;
 using namespace sdt::vm;
 
 GuestMemory::GuestMemory(uint32_t Size) : Bytes(Size, 0) {
-  assert(Size >= 2 * PageSize && "guest memory too small");
-  assert(Size % PageSize == 0 && "guest memory must be page-aligned");
+  assert(!sizeProblem(Size) && "invalid guest memory size");
+}
+
+const char *GuestMemory::sizeProblem(uint32_t Size) {
+  if (Size < 2 * PageSize)
+    return "guest memory too small (needs the unmapped null page plus at "
+           "least one usable page)";
+  if (Size % PageSize != 0)
+    return "guest memory size must be a multiple of the page size";
+  return nullptr;
+}
+
+void GuestMemory::trackCodeWrites(uint32_t Base, uint32_t Bytes) {
+  PendingWrites.clear();
+  if (Bytes == 0) {
+    TrackBase = 0;
+    TrackSize = 0;
+    return;
+  }
+  // Snap outward to word boundaries: decode slots are word-granular, and
+  // a slightly wider window only over-reports (never misses a write).
+  uint64_t End = static_cast<uint64_t>(Base) + Bytes;
+  TrackBase = Base & ~3u;
+  TrackSize =
+      static_cast<uint32_t>(((End + 3) & ~static_cast<uint64_t>(3)) -
+                            TrackBase);
+}
+
+void GuestMemory::noteCodeWrite(uint32_t Addr) {
+  // Aligned accesses never straddle a word (stores wider than a byte are
+  // alignment-checked), so the word holding Addr covers the whole store.
+  uint32_t Begin = Addr & ~3u;
+  uint32_t End = Begin + 4;
+  if (!PendingWrites.empty() && PendingWrites.back().second >= Begin &&
+      PendingWrites.back().first <= Begin) {
+    // Sequential patch loops write adjacent words; coalesce in place.
+    if (End > PendingWrites.back().second)
+      PendingWrites.back().second = End;
+    return;
+  }
+  PendingWrites.emplace_back(Begin, End);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+GuestMemory::takePendingCodeWrites() {
+  std::vector<std::pair<uint32_t, uint32_t>> Out;
+  Out.swap(PendingWrites);
+  return Out;
 }
 
 bool GuestMemory::loadProgram(const isa::Program &P) {
@@ -52,6 +98,10 @@ bool GuestMemory::load32(uint32_t Addr, uint32_t &Out) const {
 bool GuestMemory::store8(uint32_t Addr, uint8_t Value) {
   if (!validRange(Addr, 1))
     return false;
+  // Unsigned wrap makes this one compare; always false while tracking is
+  // off (TrackSize == 0).
+  if (Addr - TrackBase < TrackSize)
+    noteCodeWrite(Addr);
   Bytes[Addr] = Value;
   return true;
 }
@@ -59,6 +109,8 @@ bool GuestMemory::store8(uint32_t Addr, uint8_t Value) {
 bool GuestMemory::store16(uint32_t Addr, uint16_t Value) {
   if (Addr % 2 != 0 || !validRange(Addr, 2))
     return false;
+  if (Addr - TrackBase < TrackSize)
+    noteCodeWrite(Addr);
   Bytes[Addr] = static_cast<uint8_t>(Value);
   Bytes[Addr + 1] = static_cast<uint8_t>(Value >> 8);
   return true;
@@ -67,6 +119,8 @@ bool GuestMemory::store16(uint32_t Addr, uint16_t Value) {
 bool GuestMemory::store32(uint32_t Addr, uint32_t Value) {
   if (Addr % 4 != 0 || !validRange(Addr, 4))
     return false;
+  if (Addr - TrackBase < TrackSize)
+    noteCodeWrite(Addr);
   Bytes[Addr] = static_cast<uint8_t>(Value);
   Bytes[Addr + 1] = static_cast<uint8_t>(Value >> 8);
   Bytes[Addr + 2] = static_cast<uint8_t>(Value >> 16);

@@ -18,6 +18,7 @@
 #include "isa/Program.h"
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace sdt {
@@ -59,8 +60,47 @@ public:
   /// just below this.
   uint32_t stackTop() const { return size() & ~3u; }
 
+  /// \name Code-write tracking (self-modifying-code coherence).
+  /// Write detection over the code-bearing part of the image. Off by
+  /// default, so the store path pays only one always-false range
+  /// compare; the execution engines enable it over their decoded window
+  /// and drain the pending writes to invalidate stale decoded /
+  /// translated views. Detection is word-granular: guest images freely
+  /// mix code and data (jump tables, buffers) on the same page, so
+  /// page-granular dirtying would invalidate live translations on plain
+  /// data stores — perturbing programs that never modify code at all.
+  /// @{
+
+  /// Starts tracking writes over [Base, Base+Bytes), snapped outward to
+  /// word boundaries. Replaces any previous window and drops pending
+  /// writes; Bytes == 0 turns tracking off.
+  void trackCodeWrites(uint32_t Base, uint32_t Bytes);
+
+  /// True when a tracked word has been written since the last
+  /// takePendingCodeWrites().
+  bool hasPendingCodeWrites() const { return !PendingWrites.empty(); }
+
+  /// The written words as half-open word-aligned [Begin, End) address
+  /// ranges, in write order (consecutive writes to adjacent/overlapping
+  /// words coalesce); clears the pending set.
+  std::vector<std::pair<uint32_t, uint32_t>> takePendingCodeWrites();
+
+  /// @}
+
+  /// Why \p Size is not usable as a guest-memory size (a static string),
+  /// or nullptr when it is. GuestVM::create / SdtEngine::create report
+  /// this as a proper error instead of tripping the constructor asserts.
+  static const char *sizeProblem(uint32_t Size);
+
 private:
+  /// Store-path slow half: records the tracked word(s) holding \p Addr.
+  void noteCodeWrite(uint32_t Addr);
+
   std::vector<uint8_t> Bytes;
+  uint32_t TrackBase = 0; ///< Word-aligned start of the tracked window.
+  uint32_t TrackSize = 0; ///< Window bytes; 0 while tracking is off.
+  /// Word-aligned half-open ranges written since the last drain.
+  std::vector<std::pair<uint32_t, uint32_t>> PendingWrites;
 };
 
 } // namespace vm

@@ -39,10 +39,16 @@ GuestVM::GuestVM(const Program &P, const ExecOptions &Opts)
   // inside memory.
   State.setReg(RegSP, Memory.stackTop() - 16);
   State.setReg(RegFP, Memory.stackTop() - 16);
+  // Watch the decoded window for guest stores so self-modifying code
+  // invalidates the decode cache instead of executing stale decodes.
+  Memory.trackCodeWrites(Decoder.base(), Decoder.size());
 }
 
 Expected<std::unique_ptr<GuestVM>> GuestVM::create(const Program &P,
                                                    const ExecOptions &Opts) {
+  if (const char *Problem = GuestMemory::sizeProblem(Opts.MemorySize))
+    return Error::failure(formatString("invalid ExecOptions::MemorySize %u: %s",
+                                       Opts.MemorySize, Problem));
   auto VM = std::unique_ptr<GuestVM>(new GuestVM(P, Opts));
   if (!VM->Memory.loadProgram(P))
     return Error::failure("program image does not fit in guest memory");
@@ -89,6 +95,13 @@ RunResult GuestVM::run() {
           Timing->chargeExecute(*I);
         }
       }
+      // A store into the code range stales the decode cache; drop the
+      // dirtied words before the next fetch. No cycles are charged: the
+      // oracle models native execution, where the hardware keeps
+      // instruction fetch coherent with stores.
+      if (Effect.IsStore && Memory.hasPendingCodeWrites())
+        for (const auto &[Begin, End] : Memory.takePendingCodeWrites())
+          Decoder.invalidate(Begin, End - Begin);
       State.Pc = Pc + InstructionSize;
       continue;
     }

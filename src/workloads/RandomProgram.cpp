@@ -309,6 +309,12 @@ sdt::workloads::generateRandomProgram(uint64_t Seed,
                                       const RandomProgramOptions &Opts) {
   Expected<isa::Program> P =
       assembler::assemble(generateRandomAssembly(Seed, Opts));
-  assert(P && "random program failed to assemble");
+  // A generator emitting unassemblable code is a bug, but an assert
+  // vanishes under NDEBUG — name the seed so the failure reproduces.
+  if (!P)
+    return Error::failure(
+        formatString("random program (seed %llu) failed to assemble: %s",
+                     static_cast<unsigned long long>(Seed),
+                     P.error().message().c_str()));
   return P;
 }

@@ -59,6 +59,10 @@ void genHotCold(assembler::AsmBuilder &B, uint32_t Scale);
 /// Compiled by the girc MinC compiler (WorkloadsMinc.cpp).
 void genMinc(assembler::AsmBuilder &B, uint32_t Scale);
 
+// --- Self-modifying guests (WorkloadsSmc.cpp) ----------------------------
+void genSmcPatch(assembler::AsmBuilder &B, uint32_t Scale);
+void genSmcTable(assembler::AsmBuilder &B, uint32_t Scale);
+
 } // namespace detail
 } // namespace workloads
 } // namespace sdt

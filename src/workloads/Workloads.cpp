@@ -81,6 +81,12 @@ const std::vector<WorkloadInfo> &sdt::workloads::extraWorkloads() {
       {"minc", "girc-compiled recursive evaluator with function-pointer "
                "operator dispatch",
        "ind-calls", genMinc},
+      {"smcpatch", "JIT-style self-patcher: rewrites its hot kernel's "
+                   "increment at every phase boundary",
+       "returns", genSmcPatch},
+      {"smctable", "jump-table rewriter: indirect jumps into a page of "
+                   "jump slots that is rotated mid-run",
+       "ind-jumps", genSmcTable},
   };
   return Registry;
 }
@@ -104,7 +110,11 @@ Expected<isa::Program> sdt::workloads::buildWorkload(std::string_view Name,
   AsmBuilder B;
   W->Generate(B, Scale);
   Expected<isa::Program> P = B.build();
-  assert(P && "registered workload failed to assemble");
+  // A generator emitting unassemblable code is a bug, but an assert
+  // vanishes under NDEBUG — propagate a diagnosable error instead.
+  if (!P)
+    return Error::failure("workload '" + std::string(Name) +
+                          "' failed to assemble: " + P.error().message());
   return P;
 }
 

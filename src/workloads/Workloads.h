@@ -51,17 +51,21 @@ struct WorkloadInfo {
 const std::vector<WorkloadInfo> &allWorkloads();
 
 /// Extra (non-SPEC) workloads: "bigcode", a many-function program whose
-/// translated footprint exceeds small fragment caches, and "hotcold", a
-/// hot indirect-dispatch kernel plus a per-phase cold code swath — both
-/// used by the code-cache-pressure ablations (E14).
+/// translated footprint exceeds small fragment caches, "hotcold", a
+/// hot indirect-dispatch kernel plus a per-phase cold code swath (both
+/// used by the code-cache-pressure ablations, E14), "minc", a
+/// girc-compiled evaluator, and the self-modifying pair
+/// "smcpatch"/"smctable" used by the SMC coherence experiment (E15).
 const std::vector<WorkloadInfo> &extraWorkloads();
 
 /// Looks up a workload by name ("gzip" ... "twolf", or an extra);
 /// nullptr if unknown.
 const WorkloadInfo *findWorkload(std::string_view Name);
 
-/// Generates and assembles the named workload. Fails on unknown names
-/// (assembly of a registered workload never fails; that is asserted).
+/// Generates and assembles the named workload. Fails on unknown names,
+/// and — should a generator ever emit bad assembly — propagates the
+/// assembler's error with the workload named (in every build mode; a
+/// generator bug must not surface as a mystery failure under NDEBUG).
 Expected<isa::Program> buildWorkload(std::string_view Name, uint32_t Scale);
 
 /// Returns the generated assembly source (for inspection / examples).

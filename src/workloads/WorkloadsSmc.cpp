@@ -1,0 +1,168 @@
+//===- workloads/WorkloadsSmc.cpp ------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. Self-modifying guests: programs that store into
+// their own code range mid-run, so every stale translation an SDT fails
+// to invalidate changes the observable output. Both generators keep the
+// rewritten words on their own page — write detection is word-granular,
+// so this is isolation hygiene rather than a correctness requirement:
+// it keeps the invalidation traffic confined to the code under test.
+// Both patch by copying whole instruction words from never-executed
+// template code; GIR direct jumps are absolutely encoded, so a copied
+// word keeps its target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadGenerators.h"
+
+#include "support/StringUtils.h"
+
+using namespace sdt;
+using namespace sdt::workloads;
+using assembler::AsmBuilder;
+
+/// smcpatch: a JIT-style self-patcher. A hot leaf kernel is called in
+/// phases; at each phase boundary the main loop overwrites the kernel's
+/// one live instruction ("addi s1, s1, K") with the next phase's
+/// template word, changing the per-call increment. The final printed
+/// value is analytic — calls-per-phase times the sum of the K sequence —
+/// so an engine that keeps executing the stale kernel translation is
+/// observably wrong, not just slow.
+void detail::genSmcPatch(AsmBuilder &B, uint32_t Scale) {
+  // Per-phase increments; phase 0 is the initial code, phases 1..5 are
+  // patched in. Sum = 29, so the printed total is CallsPerPhase * 29.
+  static const unsigned K[6] = {1, 2, 3, 5, 7, 11};
+  unsigned CallsPerPhase = Scale * 300u;
+
+  emitHeader(B);
+  B.emit("li s1, 0"); // the kernel's accumulator
+  B.emit("li s2, 0"); // phase index
+
+  B.label("sp_phase");
+  B.emitf("li s6, %u", CallsPerPhase);
+  B.label("sp_call");
+  B.emit("jal sp_kernel");
+  B.emit("addi s6, s6, -1");
+  B.emit("bnez s6, sp_call");
+  B.emit("addi s2, s2, 1");
+  B.emit("li t0, 6");
+  B.emit("bge s2, t0, sp_done");
+  B.comment("patch the kernel: copy template word s2 over sp_live");
+  B.emit("la t1, sp_tmpls");
+  B.emit("slli t2, s2, 2");
+  B.emit("add t1, t1, t2");
+  B.emit("lw t3, 0(t1)");
+  B.emit("la t4, sp_live");
+  B.emit("sw t3, 0(t4)"); // the self-modifying store
+  B.emit("j sp_phase");
+
+  B.label("sp_done");
+  B.emit("move a0, s1");
+  B.emit("li v0, 1");
+  B.emit("syscall"); // print the analytic total
+  emitChecksumExit(B, "s1");
+
+  B.comment("the kernel sits alone on its page so patches only ever");
+  B.comment("invalidate kernel translations, never the main loop");
+  B.emit(".align 4096");
+  B.label("sp_kernel");
+  B.label("sp_live");
+  B.emitf("addi s1, s1, %u", K[0]);
+  B.emit("ret");
+  B.comment("never-executed template instructions, one per phase");
+  B.label("sp_tmpls");
+  for (unsigned P = 0; P != 6; ++P)
+    B.emitf("addi s1, s1, %u", K[P]);
+}
+
+/// smctable: a jump-table rewriter. Indirect jumps land *inside* a page
+/// of single-instruction jump slots ("j st_hN"); every 2048 iterations
+/// the table is rotated by copying slot words from a template block, so
+/// the same slot address dispatches to a different handler. Handlers mix
+/// the checksum non-commutatively — executing even one stale slot
+/// translation after a rotation diverges the checksum. Because the
+/// indirect-branch targets are themselves the rewritten words, this is
+/// the workload that makes the IB mechanisms (IBTC / sieve / inline
+/// caches) prove their invalidation is coherent, not just the fragment
+/// map's.
+void detail::genSmcTable(AsmBuilder &B, uint32_t Scale) {
+  unsigned Iters = 2048u * (2u + Scale);
+
+  emitHeader(B);
+  B.emit("li s0, 123456789"); // LCG state
+  B.emit("li s7, 0");         // checksum
+  B.emit("li s3, 0");         // rotation phase
+  B.emitf("li s6, %u", Iters);
+
+  B.label("st_loop");
+  emitLcgStep(B, "s0", "t6");
+  B.emit("srli t0, s0, 16");
+  B.emit("andi t0, t0, 7");
+  B.emit("slli t0, t0, 2");
+  B.emit("la t1, st_slots");
+  B.emit("add t1, t1, t0");
+  B.emit("jr t1"); // indirect jump into the rewritable table
+
+  B.label("st_back");
+  B.emit("addi s6, s6, -1");
+  B.emit("beqz s6, st_done");
+  B.emit("andi t0, s6, 2047");
+  B.emit("bnez t0, st_loop");
+  B.comment("rotate: slot i now jumps where slot i+1 used to");
+  B.emit("addi s3, s3, 1");
+  B.emit("andi s3, s3, 3");
+  B.emit("li t0, 0");
+  B.label("st_rot");
+  B.emit("add t1, t0, s3");
+  B.emit("andi t1, t1, 3");
+  B.emit("slli t1, t1, 2");
+  B.emit("la t2, st_tmpls");
+  B.emit("add t2, t2, t1");
+  B.emit("lw t3, 0(t2)");
+  B.emit("slli t4, t0, 2");
+  B.emit("la t5, st_slots");
+  B.emit("add t5, t5, t4");
+  B.emit("sw t3, 0(t5)"); // rewrite one live jump-table slot
+  B.emit("addi t0, t0, 1");
+  B.emit("li t1, 8");
+  B.emit("blt t0, t1, st_rot");
+  B.emit("j st_loop");
+
+  B.label("st_done");
+  B.emit("move a0, s7");
+  B.emit("li v0, 1");
+  B.emit("syscall");
+  emitChecksumExit(B, "s7");
+
+  B.comment("handlers: distinct non-commutative checksum mixers");
+  B.label("st_h0");
+  B.emit("slli t2, s7, 1");
+  B.emit("add s7, s7, t2");
+  B.emit("addi s7, s7, 17");
+  B.emit("j st_back");
+  B.label("st_h1");
+  B.emit("slli t2, s7, 5");
+  B.emit("xor s7, s7, t2");
+  B.emit("addi s7, s7, 7");
+  B.emit("j st_back");
+  B.label("st_h2");
+  B.emit("srli t2, s7, 3");
+  B.emit("add s7, s7, t2");
+  B.emit("xori s7, s7, 11");
+  B.emit("j st_back");
+  B.label("st_h3");
+  B.emit("li t2, 37");
+  B.emit("mul s7, s7, t2");
+  B.emit("addi s7, s7, 1");
+  B.emit("j st_back");
+
+  B.comment("the rewritable slots (and their templates) on their own");
+  B.comment("page; direct-jump words are absolutely encoded, so the");
+  B.comment("copied templates keep their handler targets");
+  B.emit(".align 4096");
+  B.label("st_slots");
+  for (unsigned S = 0; S != 8; ++S)
+    B.emitf("j st_h%u", S % 4);
+  B.label("st_tmpls");
+  for (unsigned T = 0; T != 4; ++T)
+    B.emitf("j st_h%u", T);
+}

@@ -106,8 +106,23 @@ TEST(BenchParallelTest, JobsFromEnvParsesOverride) {
   EXPECT_EQ(ParallelRunner::jobsFromEnv(), 3u);
 }
 
-TEST(BenchParallelTest, JobsFromEnvIgnoresGarbage) {
+// Garbage in a STRATAIB_* numeric knob is a hard configuration error
+// (exit 2 with a diagnostic), not something to silently fall back from:
+// a typo'd STRATAIB_JOBS=1O must not quietly run a different experiment.
+TEST(BenchParallelTest, JobsFromEnvRejectsGarbage) {
   JobsEnv Env("not-a-number");
+  EXPECT_EXIT(ParallelRunner::jobsFromEnv(), ::testing::ExitedWithCode(2),
+              "invalid STRATAIB_JOBS");
+}
+
+TEST(BenchParallelTest, JobsFromEnvRejectsOutOfRange) {
+  JobsEnv Env("-3");
+  EXPECT_EXIT(ParallelRunner::jobsFromEnv(), ::testing::ExitedWithCode(2),
+              "invalid STRATAIB_JOBS");
+}
+
+TEST(BenchParallelTest, JobsFromEnvEmptyMeansDefault) {
+  JobsEnv Env("");
   EXPECT_GE(ParallelRunner::jobsFromEnv(), 1u);
 }
 

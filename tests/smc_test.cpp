@@ -1,0 +1,414 @@
+//===- tests/smc_test.cpp - Self-modifying-code coherence tests --*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The SMC bugfix under test: a guest store into its own code range must
+// invalidate every stale decoded/translated view before it can execute
+// again. Covers the GuestMemory write-tracking primitive, DecodeCache
+// invalidation, engine-level fragment invalidation (including killing
+// the currently-executing fragment), the analytic smcpatch regression,
+// differential sweeps of both SMC workloads across mechanism and
+// cache-policy configurations, and trace/stat reconciliation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "assembler/Assembler.h"
+#include "cachemgr/CachePolicy.h"
+#include "core/SdtEngine.h"
+#include "isa/Encoding.h"
+#include "trace/TraceSink.h"
+#include "vm/DecodeCache.h"
+#include "vm/GuestVM.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+using namespace sdt::workloads;
+
+using Ranges = std::vector<std::pair<uint32_t, uint32_t>>;
+
+// --- GuestMemory write tracking ---------------------------------------------
+
+TEST(CodeWriteTrackingTest, OffByDefault) {
+  GuestMemory M(1 << 20);
+  EXPECT_FALSE(M.hasPendingCodeWrites());
+  ASSERT_TRUE(M.store32(0x1000, 0xDEADBEEF));
+  ASSERT_TRUE(M.store8(0x2000, 7));
+  EXPECT_FALSE(M.hasPendingCodeWrites());
+  EXPECT_TRUE(M.takePendingCodeWrites().empty());
+}
+
+TEST(CodeWriteTrackingTest, WordSnappedRanges) {
+  GuestMemory M(1 << 20);
+  M.trackCodeWrites(0x1000, 64);
+
+  // A byte store dirties exactly the word holding it.
+  ASSERT_TRUE(M.store8(0x1001, 0xAA));
+  ASSERT_TRUE(M.hasPendingCodeWrites());
+  Ranges R = M.takePendingCodeWrites();
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], std::make_pair(0x1000u, 0x1004u));
+  EXPECT_FALSE(M.hasPendingCodeWrites());
+
+  // Halfword in the upper half of a word still maps to that word.
+  ASSERT_TRUE(M.store16(0x1012, 0xBEEF));
+  R = M.takePendingCodeWrites();
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], std::make_pair(0x1010u, 0x1014u));
+
+  // Stores outside the window never record.
+  M.trackCodeWrites(0x2000, 64);
+  ASSERT_TRUE(M.store32(0x2040, 1)); // one past the end
+  ASSERT_TRUE(M.store32(0x1FFC, 1)); // just below
+  ASSERT_TRUE(M.store32(0x8000, 1)); // far away
+  EXPECT_FALSE(M.hasPendingCodeWrites());
+}
+
+TEST(CodeWriteTrackingTest, AdjacentWritesCoalesce) {
+  GuestMemory M(1 << 20);
+  M.trackCodeWrites(0x1000, 0x1000);
+
+  // A sequential patch loop becomes one range...
+  ASSERT_TRUE(M.store32(0x1100, 1));
+  ASSERT_TRUE(M.store32(0x1104, 2));
+  ASSERT_TRUE(M.store32(0x1108, 3));
+  // ...and a disjoint store starts a new one.
+  ASSERT_TRUE(M.store32(0x1200, 4));
+  Ranges R = M.takePendingCodeWrites();
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], std::make_pair(0x1100u, 0x110Cu));
+  EXPECT_EQ(R[1], std::make_pair(0x1200u, 0x1204u));
+}
+
+TEST(CodeWriteTrackingTest, DisableDropsWindowAndPending) {
+  GuestMemory M(1 << 20);
+  M.trackCodeWrites(0x1000, 0x100);
+  ASSERT_TRUE(M.store32(0x1000, 1));
+  EXPECT_TRUE(M.hasPendingCodeWrites());
+  M.trackCodeWrites(0, 0); // off: drops the pending set too
+  EXPECT_FALSE(M.hasPendingCodeWrites());
+  ASSERT_TRUE(M.store32(0x1000, 2));
+  EXPECT_FALSE(M.hasPendingCodeWrites());
+}
+
+TEST(CodeWriteTrackingTest, SizeProblemStrings) {
+  EXPECT_NE(GuestMemory::sizeProblem(0), nullptr);
+  EXPECT_NE(GuestMemory::sizeProblem(GuestMemory::PageSize), nullptr);
+  EXPECT_NE(GuestMemory::sizeProblem(2 * GuestMemory::PageSize + 4),
+            nullptr);
+  EXPECT_EQ(GuestMemory::sizeProblem(2 * GuestMemory::PageSize), nullptr);
+  EXPECT_EQ(GuestMemory::sizeProblem(GuestMemory::DefaultSize), nullptr);
+}
+
+// --- DecodeCache invalidation -----------------------------------------------
+
+TEST(DecodeCacheInvalidateTest, RefetchSeesPatchedWord) {
+  GuestMemory M(1 << 20);
+  ASSERT_TRUE(M.store32(0x1000, isa::encode(isa::makeNop())));
+  DecodeCache D(M, 0x1000, 8);
+  const isa::Instruction *I = D.fetch(0x1000);
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->Op, isa::Opcode::Add);
+
+  // Overwrite with an invalid encoding; the cached view is stale until
+  // the owner invalidates.
+  ASSERT_TRUE(M.store32(0x1000, 0xFC000000));
+  EXPECT_NE(D.fetch(0x1000), nullptr); // still the stale decode
+  EXPECT_EQ(D.invalidate(0x1000, 4), 1u);
+  EXPECT_EQ(D.fetch(0x1000), nullptr); // re-decoded: invalid now
+
+  // Invalidating untouched or out-of-region ranges resets nothing.
+  EXPECT_EQ(D.invalidate(0x1004, 4), 0u); // never fetched
+  EXPECT_EQ(D.invalidate(0x4000, 64), 0u);
+  EXPECT_EQ(D.invalidate(0x0800, 0x800), 0u); // clamps to region start
+}
+
+// --- create()-time memory-size validation -----------------------------------
+
+TEST(MemorySizeValidationTest, BadSizesAreErrorsNotAsserts) {
+  Expected<isa::Program> P =
+      assembler::assemble("main:\n li a0, 0\n li v0, 0\n syscall\n");
+  ASSERT_TRUE(static_cast<bool>(P));
+
+  ExecOptions Exec;
+  Exec.MemorySize = 2 * GuestMemory::PageSize + 4; // not page-aligned
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_FALSE(static_cast<bool>(VM));
+  EXPECT_NE(VM.error().message().find("MemorySize"), std::string::npos);
+
+  auto Engine = SdtEngine::create(*P, SdtOptions(), Exec);
+  ASSERT_FALSE(static_cast<bool>(Engine));
+  EXPECT_NE(Engine.error().message().find("MemorySize"), std::string::npos);
+
+  Exec.MemorySize = GuestMemory::PageSize; // too small
+  EXPECT_FALSE(static_cast<bool>(GuestVM::create(*P, Exec)));
+  EXPECT_FALSE(
+      static_cast<bool>(SdtEngine::create(*P, SdtOptions(), Exec)));
+}
+
+// --- Killing the currently-executing fragment -------------------------------
+
+// The store and the word it rewrites sit in the SAME basic block, so the
+// engine must abandon the fragment it is standing in and resume at the
+// next guest pc through the dispatcher. A stale engine executes the old
+// "addi s1, s1, 1" and exits 2; a coherent one exits 200.
+TEST(SelfModifyTest, StorePatchingOwnFragmentTakesEffectImmediately) {
+  static const char *Src = R"(
+main:
+    la t0, ps
+    la t1, tmpl
+    lw t2, 0(t1)
+    li s1, 0
+    jal blk
+    jal blk
+    move a0, s1
+    li v0, 0
+    syscall
+blk:
+    sw t2, 0(t0)      # rewrites ps, one instruction ahead in this block
+ps:
+    addi s1, s1, 1    # replaced by the template before it ever runs
+    ret
+tmpl:
+    addi s1, s1, 100  # never executed in place
+)";
+  Expected<isa::Program> P = assembler::assemble(Src);
+  ASSERT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+
+  auto VM = GuestVM::create(*P, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_EQ(Native.Reason, ExitReason::Exited) << Native.FaultMessage;
+  ASSERT_EQ(Native.ExitCode, 200);
+
+  for (IBMechanism Mech : {IBMechanism::Dispatcher, IBMechanism::Ibtc,
+                           IBMechanism::Sieve}) {
+    SdtOptions Opts;
+    Opts.Mechanism = Mech;
+    auto Engine = SdtEngine::create(*P, Opts, ExecOptions());
+    ASSERT_TRUE(static_cast<bool>(Engine));
+    RunResult Translated = (*Engine)->run();
+    EXPECT_EQ(Translated.Reason, ExitReason::Exited)
+        << Translated.FaultMessage;
+    EXPECT_EQ(Translated.ExitCode, 200);
+    EXPECT_EQ(Translated.InstructionCount, Native.InstructionCount);
+    // Both calls patch (same bytes the second time, but stores are
+    // detected by address, not value).
+    EXPECT_EQ((*Engine)->stats().CodeWriteInvalidations, 2u);
+    EXPECT_GE((*Engine)->stats().FragmentsInvalidatedByWrite, 2u);
+  }
+}
+
+// --- The analytic smcpatch regression ---------------------------------------
+
+// smcpatch's printed total is CallsPerPhase * sum(K) by construction.
+// An engine that keeps executing the stale kernel translation prints
+// CallsPerPhase * 6 * K[0] instead — this is the test that fails on the
+// pre-fix engine and passes on the fixed one.
+TEST(SelfModifyTest, SmcPatchMatchesAnalyticTotal) {
+  const uint32_t Scale = 1;
+  Expected<isa::Program> P = buildWorkload("smcpatch", Scale);
+  ASSERT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+
+  auto VM = GuestVM::create(*P, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  const uint64_t Analytic = Scale * 300ull * (1 + 2 + 3 + 5 + 7 + 11);
+  EXPECT_NE(Native.Output.find(std::to_string(Analytic)),
+            std::string::npos)
+      << "oracle output: " << Native.Output;
+
+  auto Engine = SdtEngine::create(*P, SdtOptions(), ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Native.Output, Translated.Output);
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  // 5 phase-boundary patches, each invalidating at least the kernel.
+  EXPECT_EQ((*Engine)->stats().CodeWriteInvalidations, 5u);
+  EXPECT_GE((*Engine)->stats().FragmentsInvalidatedByWrite, 5u);
+  EXPECT_GT((*Engine)->stats().StaleBytesDiscarded, 0u);
+}
+
+// --- Differential sweep: SMC workloads x configurations ---------------------
+
+namespace {
+
+struct SmcConfig {
+  const char *Name;
+  SdtOptions Opts;
+};
+
+std::vector<SmcConfig> smcConfigs() {
+  std::vector<SmcConfig> Cases;
+  auto add = [&Cases](const char *Name, auto Mutate) {
+    SdtOptions O;
+    Mutate(O);
+    Cases.push_back({Name, O});
+  };
+  add("dispatcher",
+      [](SdtOptions &O) { O.Mechanism = IBMechanism::Dispatcher; });
+  add("ibtc", [](SdtOptions &O) { O.Mechanism = IBMechanism::Ibtc; });
+  add("ibtc_private", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.IbtcShared = false;
+    O.IbtcEntries = 16;
+  });
+  add("sieve", [](SdtOptions &O) { O.Mechanism = IBMechanism::Sieve; });
+  add("sieve_tiny", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Sieve;
+    O.SieveBuckets = 2;
+  });
+  add("inline2_ibtc", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.InlineCacheDepth = 2;
+  });
+  add("return_cache", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ReturnCache;
+    O.ReturnCacheEntries = 16;
+  });
+  add("fast_returns",
+      [](SdtOptions &O) { O.Returns = ReturnStrategy::FastReturn; });
+  add("shadow_stack",
+      [](SdtOptions &O) { O.Returns = ReturnStrategy::ShadowStack; });
+  add("nolink", [](SdtOptions &O) { O.LinkFragments = false; });
+  add("traces", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 4;
+  });
+  // Bounded caches: capacity eviction and SMC invalidation interleave.
+  add("flush_4k", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::FullFlush;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  add("fifo_4k", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  add("generational_4k", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Generational;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.CacheGenPromoteExecs = 4;
+  });
+  add("fifo_4k_traces", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 3;
+  });
+  return Cases;
+}
+
+struct SmcDiffParam {
+  const char *Workload;
+  SmcConfig Config;
+};
+
+class SmcDifferentialTest
+    : public ::testing::TestWithParam<SmcDiffParam> {};
+
+} // namespace
+
+TEST_P(SmcDifferentialTest, SelfModifyingGuestStaysTransparent) {
+  const SmcDiffParam &P = GetParam();
+  Expected<isa::Program> Program = buildWorkload(P.Workload, 1);
+  ASSERT_TRUE(static_cast<bool>(Program))
+      << (Program ? "" : Program.error().message());
+
+  ExecOptions Exec;
+  Exec.MaxInstructions = 50000000;
+  auto VM = GuestVM::create(*Program, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  auto Engine = SdtEngine::create(*Program, P.Config.Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+
+  EXPECT_EQ(Native.Reason, Translated.Reason) << Translated.FaultMessage;
+  EXPECT_EQ(Native.ExitCode, Translated.ExitCode);
+  EXPECT_EQ(Native.Output, Translated.Output);
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  // Every configuration must actually see the code writes.
+  EXPECT_GT((*Engine)->stats().CodeWriteInvalidations, 0u);
+}
+
+static std::vector<SmcDiffParam> makeSmcParams() {
+  std::vector<SmcDiffParam> Params;
+  for (const char *W : {"smcpatch", "smctable"})
+    for (const SmcConfig &C : smcConfigs())
+      Params.push_back({W, C});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, SmcDifferentialTest, ::testing::ValuesIn(makeSmcParams()),
+    [](const ::testing::TestParamInfo<SmcDiffParam> &Info) {
+      return std::string(Info.param.Workload) + "_" +
+             Info.param.Config.Name;
+    });
+
+// --- Trace / stats reconciliation -------------------------------------------
+
+TEST(SelfModifyTest, TraceEventsMatchCounters) {
+  Expected<isa::Program> P = buildWorkload("smctable", 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+
+  trace::TraceSink Sink(1 << 16);
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Ibtc;
+  auto Engine = SdtEngine::create(*P, Opts, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setTraceSink(&Sink);
+  RunResult R = (*Engine)->run();
+  ASSERT_TRUE(R.finishedNormally()) << R.FaultMessage;
+
+  const SdtStats &S = (*Engine)->stats();
+  EXPECT_GT(S.CodeWriteInvalidations, 0u);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::CodeWrite),
+            S.CodeWriteInvalidations);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::FragInvalidate),
+            S.FragmentsInvalidatedByWrite);
+}
+
+// --- Non-SMC guests are untouched -------------------------------------------
+
+// Random guests store heavily into data that shares pages with code; the
+// word-granular tracker must classify all of it as data, leaving every
+// SMC counter at zero (and therefore the simulated cycle counts exactly
+// as they were before this subsystem existed).
+TEST(SelfModifyTest, DataStoresNeverInvalidate) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    Expected<isa::Program> P = generateRandomProgram(Seed);
+    ASSERT_TRUE(static_cast<bool>(P));
+    arch::TimingModel Timing(arch::simpleModel());
+    ExecOptions Exec;
+    Exec.MaxInstructions = 5000000;
+    Exec.Timing = &Timing;
+    auto Engine = SdtEngine::create(*P, SdtOptions(), Exec);
+    ASSERT_TRUE(static_cast<bool>(Engine));
+    RunResult R = (*Engine)->run();
+    ASSERT_TRUE(R.finishedNormally()) << R.FaultMessage;
+    const SdtStats &S = (*Engine)->stats();
+    EXPECT_EQ(S.CodeWriteInvalidations, 0u) << "seed " << Seed;
+    EXPECT_EQ(S.FragmentsInvalidatedByWrite, 0u) << "seed " << Seed;
+    EXPECT_EQ(S.StaleBytesDiscarded, 0u) << "seed " << Seed;
+  }
+}
