@@ -105,6 +105,9 @@ trace::StatsExpectation sdt::bench::traceExpectations(core::SdtEngine &E) {
   Expect.CodeWriteInvalidations = S.CodeWriteInvalidations;
   Expect.FragmentsInvalidatedByWrite = S.FragmentsInvalidatedByWrite;
   Expect.StaleBytesDiscarded = S.StaleBytesDiscarded;
+  Expect.TracesOptimized = S.TracesOptimized;
+  Expect.SpecGuardHits = S.SpecGuardHits;
+  Expect.SpecGuardMisses = S.SpecGuardMisses;
   auto add = [&Expect](core::IBHandler *H) {
     for (trace::MechExpectation &M : Expect.Mechanisms)
       if (M.Name == H->name()) {

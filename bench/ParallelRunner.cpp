@@ -159,6 +159,14 @@ std::string ParallelRunner::summaryJson() const {
       W.key("fragments_invalidated_by_write")
           .value(C.M.Stats.FragmentsInvalidatedByWrite);
       W.key("stale_bytes_discarded").value(C.M.Stats.StaleBytesDiscarded);
+      W.key("traces_built").value(C.M.Stats.TracesBuilt);
+      W.key("traces_optimized").value(C.M.Stats.TracesOptimized);
+      W.key("trace_instrs_eliminated")
+          .value(C.M.Stats.traceInstrsEliminated());
+      W.key("spec_guards_emitted").value(C.M.Stats.SpecGuardsEmitted);
+      W.key("spec_guard_hits").value(C.M.Stats.SpecGuardHits);
+      W.key("spec_guard_misses").value(C.M.Stats.SpecGuardMisses);
+      W.key("spec_guard_hit_rate").value(C.M.Stats.specGuardHitRate());
       W.key("cycles_by_category").beginObject();
       for (size_t I = 0; I != C.M.SdtByCategory.size(); ++I)
         W.key(arch::cycleCategoryName(static_cast<arch::CycleCategory>(I)))

@@ -1,0 +1,159 @@
+//===- bench/e16_superblock_opt.cpp - E16: superblock optimizer --*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// E16: the superblock optimizer and speculative IB-target inlining on
+// top of NET-style traces. Sweeps mechanism × speculation threshold on
+// the fig2 workload set (x86 model, traces enabled throughout):
+//
+//   traces   — trace formation alone (the A4/fig-baseline config)
+//   opt      — + redundancy-elimination passes over stitched traces
+//   spec@N   — + monomorphic IB targets inlined behind guards, where a
+//              site qualifies after N consecutive same-target hits
+//
+// The question: how far below the traced baseline can redundancy
+// elimination plus guarded inlining push the geo-mean slowdown, and
+// where does speculation pay (monomorphic ind-call/return code) versus
+// tread water (megamorphic interpreter dispatch)?
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include "support/TableFormatter.h"
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  bool Optimize;
+  bool Speculate;
+  uint32_t Threshold;
+};
+
+constexpr std::array<Variant, 5> Variants = {{
+    {"traces", false, false, 0},
+    {"opt", true, false, 0},
+    {"spec@4", true, true, 4},
+    {"spec@16", true, true, 16},
+    {"spec@64", true, true, 64},
+}};
+
+core::SdtOptions makeOpts(core::IBMechanism Mech, const Variant &V) {
+  core::SdtOptions O;
+  O.Mechanism = Mech;
+  O.EnableTraces = true;
+  O.TraceHotThreshold = 50;
+  O.OptimizeTraces = V.Optimize;
+  O.TraceSpeculate = V.Speculate;
+  if (V.Speculate)
+    O.TraceSpeculateThreshold = V.Threshold;
+  return O;
+}
+
+} // namespace
+
+int main() {
+  uint32_t Scale = scaleFromEnv(10);
+  printHeader("E16 (Superblock optimizer)",
+              "redundancy elimination + speculative IB inlining over "
+              "traces, x86 model",
+              Scale);
+  BenchContext Ctx(Scale);
+  arch::MachineModel Model = arch::x86Model();
+
+  const std::array<core::IBMechanism, 2> Mechs = {
+      core::IBMechanism::Ibtc, core::IBMechanism::Sieve};
+  const std::array<const char *, 2> MechNames = {"ibtc", "sieve"};
+
+  ParallelRunner Runner(Ctx, "e16_superblock_opt");
+  // Ids[mech][workload][variant]
+  std::vector<std::vector<std::array<size_t, Variants.size()>>> Ids(
+      Mechs.size());
+  for (size_t MI = 0; MI != Mechs.size(); ++MI)
+    for (const std::string &W : BenchContext::allWorkloadNames()) {
+      std::array<size_t, Variants.size()> Row;
+      for (size_t VI = 0; VI != Variants.size(); ++VI)
+        Row[VI] = Runner.enqueue(W, Model, makeOpts(Mechs[MI], Variants[VI]));
+      Ids[MI].push_back(Row);
+    }
+  Runner.runAll();
+
+  double BestGeo = 0.0, BaseGeo = 0.0;
+  const char *BestLabel = "";
+  for (size_t MI = 0; MI != Mechs.size(); ++MI) {
+    std::printf("--- mechanism: %s ---\n", MechNames[MI]);
+    TableFormatter T({"benchmark", "traces", "opt", "spec@4", "spec@16",
+                      "spec@64", "hit%@16", "elim/trace"});
+    std::array<std::vector<Measurement>, Variants.size()> All;
+    size_t Next = 0;
+    for (const std::string &W : BenchContext::allWorkloadNames()) {
+      const std::array<size_t, Variants.size()> &Row = Ids[MI][Next++];
+      std::array<Measurement, Variants.size()> Ms;
+      for (size_t VI = 0; VI != Variants.size(); ++VI) {
+        Ms[VI] = Runner.result(Row[VI]);
+        All[VI].push_back(Ms[VI]);
+      }
+      const core::SdtStats &Spec16 = Ms[3].Stats;
+      double ElimPerTrace =
+          Spec16.TracesBuilt
+              ? static_cast<double>(Spec16.traceInstrsEliminated()) /
+                    static_cast<double>(Spec16.TracesBuilt)
+              : 0.0;
+      T.beginRow()
+          .addCell(W)
+          .addCell(Ms[0].slowdown(), 3)
+          .addCell(Ms[1].slowdown(), 3)
+          .addCell(Ms[2].slowdown(), 3)
+          .addCell(Ms[3].slowdown(), 3)
+          .addCell(Ms[4].slowdown(), 3)
+          .addCell(100.0 * Spec16.specGuardHitRate(), 1)
+          .addCell(ElimPerTrace, 1);
+    }
+    TableFormatter &GeoRow = T.beginRow().addCell(std::string("geo-mean"));
+    for (size_t VI = 0; VI != Variants.size(); ++VI)
+      GeoRow.addCell(geoMeanSlowdown(All[VI]), 3);
+    GeoRow.addCell(std::string("-")).addCell(std::string("-"));
+    std::printf("%s\n", T.render().c_str());
+
+    double Base = geoMeanSlowdown(All[0]);
+    for (size_t VI = 1; VI != Variants.size(); ++VI) {
+      double G = geoMeanSlowdown(All[VI]);
+      if (BestLabel[0] == '\0' || G < BestGeo) {
+        BestGeo = G;
+        BaseGeo = Base;
+        BestLabel = Variants[VI].Name;
+      }
+    }
+  }
+
+  std::printf("Best optimized geo-mean %.3fx (%s) vs traced baseline "
+              "%.3fx: %.1f%% of the\nremaining overhead above native "
+              "removed.\n\n",
+              BestGeo, BestLabel,
+              BaseGeo,
+              BaseGeo > 1.0
+                  ? 100.0 * (BaseGeo - BestGeo) / (BaseGeo - 1.0)
+                  : 0.0);
+  std::printf(
+      "Shape targets: the redundancy passes help everywhere traces form "
+      "(dead link\nstores on call-heavy code, outlined stubs tightening "
+      "hot lines); speculation\nis the big lever on monomorphic sites — "
+      "eon/vortex ind-calls and, via the\nguarded loop-close, "
+      "parser/gap-style dispatch loops with a dominant state —\nwhile "
+      "megamorphic perlbmk gains little beyond the passes and low "
+      "thresholds\n(spec@4) risk guards on unstable sites. The passes "
+      "alone are cycle-neutral\n(they never add retired work) but can "
+      "shift icache layout either way; the\ngeo-mean win comes from "
+      "speculation, and the best spec threshold beats the\ntraced "
+      "baseline.\n");
+  return 0;
+}

@@ -179,6 +179,113 @@ static void BM_InterpreterTimedThroughput(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterTimedThroughput)->Unit(benchmark::kMillisecond);
 
+// --- Speculative-guard cost rows ------------------------------------------
+//
+// Three variants of the same monomorphic indirect-jump loop, isolating
+// the per-crossing cost of (a) the bound mechanism's full dispatch, (b)
+// a speculation-guard hit, and (c) a sustained guard miss falling back
+// to the mechanism. Items = IB crossings; the sim_cycles_per_crossing
+// counter carries the simulated-cycle cost (loop bookkeeping included,
+// identical across the three rows, so deltas are the guard economics).
+
+namespace {
+
+constexpr uint32_t GuardLoopIters = 20000;
+
+const char *guardHitSrc() {
+  return R"(
+main:
+    la   t0, tgt
+    li   t4, 20000
+    li   s1, 0
+loop:
+    addi s1, s1, 1
+    jr   t0
+back:
+    blt  s1, t4, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+tgt:
+    j    back
+)";
+}
+
+const char *guardMissSrc() {
+  // Monomorphic to tgta long enough to build the speculative trace,
+  // then switches to tgtb forever: every later crossing misses the
+  // guard and takes the fallback site.
+  return R"(
+main:
+    la   t0, tgta
+    la   t1, tgtb
+    li   t4, 20000
+    li   t5, 1000
+    li   s1, 0
+loop:
+    addi s1, s1, 1
+    jr   t0
+back:
+    bne  s1, t5, skip
+    move t0, t1
+skip:
+    blt  s1, t4, loop
+    li   a0, 0
+    li   v0, 0
+    syscall
+tgta:
+    j    back
+tgtb:
+    j    back
+)";
+}
+
+void runGuardLoop(benchmark::State &State, const char *Src,
+                  bool Speculate) {
+  Expected<isa::Program> P = assembler::assemble(Src);
+  uint64_t Crossings = 0;
+  uint64_t SimCycles = 0;
+  for (auto _ : State) {
+    arch::TimingModel Timing(arch::simpleModel());
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    core::SdtOptions Opts;
+    Opts.Mechanism = core::IBMechanism::Ibtc;
+    Opts.EnableTraces = true;
+    Opts.TraceHotThreshold = 8;
+    Opts.OptimizeTraces = true;
+    Opts.TraceSpeculate = Speculate;
+    Opts.TraceSpeculateThreshold = 4;
+    auto Engine = core::SdtEngine::create(*P, Opts, Exec);
+    vm::RunResult R = (*Engine)->run();
+    benchmark::DoNotOptimize(R.Checksum);
+    Crossings += GuardLoopIters;
+    SimCycles += Timing.totalCycles();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Crossings));
+  State.counters["sim_cycles_per_crossing"] =
+      Crossings ? static_cast<double>(SimCycles) /
+                      static_cast<double>(Crossings)
+                : 0.0;
+}
+
+} // namespace
+
+static void BM_IBCrossingHandlerDispatch(benchmark::State &State) {
+  runGuardLoop(State, guardHitSrc(), /*Speculate=*/false);
+}
+BENCHMARK(BM_IBCrossingHandlerDispatch)->Unit(benchmark::kMillisecond);
+
+static void BM_IBCrossingGuardHit(benchmark::State &State) {
+  runGuardLoop(State, guardHitSrc(), /*Speculate=*/true);
+}
+BENCHMARK(BM_IBCrossingGuardHit)->Unit(benchmark::kMillisecond);
+
+static void BM_IBCrossingGuardMiss(benchmark::State &State) {
+  runGuardLoop(State, guardMissSrc(), /*Speculate=*/true);
+}
+BENCHMARK(BM_IBCrossingGuardMiss)->Unit(benchmark::kMillisecond);
+
 static void BM_SdtThroughput(benchmark::State &State) {
   Expected<isa::Program> P = workloads::buildWorkload("gcc", 1);
   uint64_t Instrs = 0;

@@ -238,6 +238,12 @@ int reconcileFailures(const JsonValue &Summary) {
           Stats->num("code_write_invalidations"));
     check("fragments invalidated by write", Totals->num("frag-invalidate"),
           Stats->num("fragments_invalidated_by_write"));
+    check("traces optimized", Totals->num("trace-optimized"),
+          Stats->num("traces_optimized"));
+    check("spec guard hits", Totals->num("spec-guard-hit"),
+          Stats->num("spec_guard_hits"));
+    check("spec guard misses", Totals->num("spec-guard-miss"),
+          Stats->num("spec_guard_misses"));
   }
 
   const JsonValue *MechTotals = Summary.field("mech_totals");

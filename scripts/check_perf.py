@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for StrataIB bench binaries.
+
+Runs a bench binary with STRATAIB_SUMMARY set, computes the geo-mean
+simulated slowdown per configuration from the emitted JSON, and compares
+against a checked-in baseline. The simulator is deterministic, so at a
+fixed workload scale the slowdowns are exact numbers, not samples: any
+drift is a real behaviour change, and the tolerance only exists to let
+intentional small perf trade-offs land without churning the baseline.
+
+Fail conditions (exit 1):
+  - any per-config geo-mean regresses more than --threshold (default 2%)
+    over the baseline value;
+  - the overall geo-mean across all cells regresses more than the
+    threshold;
+  - a config recorded in the baseline disappears from the bench output
+    (renames must update the baseline deliberately).
+
+New configs not in the baseline are reported but do not fail; improvements
+beyond the threshold are flagged as a hint to refresh the baseline.
+
+Regenerate the baseline after an intentional perf change:
+
+  python3 scripts/check_perf.py --bench build/bench/e16_superblock_opt \
+      --baseline scripts/perf_baseline.json --update
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def geo_mean(values):
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(bench, scale, jobs):
+    fd, summary_path = tempfile.mkstemp(prefix="check_perf_", suffix=".json")
+    os.close(fd)
+    env = dict(os.environ)
+    env["STRATAIB_SUMMARY"] = summary_path
+    env["STRATAIB_SCALE"] = str(scale)
+    if jobs:
+        env["STRATAIB_JOBS"] = str(jobs)
+    try:
+        proc = subprocess.run(
+            [bench], env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(
+                f"check_perf: {bench} exited with {proc.returncode}")
+        with open(summary_path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(summary_path)
+
+
+def collect_geo_means(summary):
+    by_config = {}
+    for cell in summary.get("cells", []):
+        if cell.get("kind") != "sdt":
+            continue
+        by_config.setdefault(cell["config"], []).append(cell["slowdown"])
+    means = {cfg: geo_mean(vals) for cfg, vals in sorted(by_config.items())}
+    overall = geo_mean([v for vals in by_config.values() for v in vals])
+    return means, overall
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True,
+                    help="bench binary to run (must honour STRATAIB_SUMMARY)")
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in baseline JSON path")
+    ap.add_argument("--scale", type=int, default=3,
+                    help="STRATAIB_SCALE for the run (default 3)")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="STRATAIB_JOBS override (0 = leave to the binary)")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="allowed geo-mean regression in percent (default 2)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run and exit")
+    args = ap.parse_args()
+
+    summary = run_bench(args.bench, args.scale, args.jobs)
+    means, overall = collect_geo_means(summary)
+    if not means:
+        raise SystemExit("check_perf: bench summary contains no sdt cells")
+
+    bench_name = summary.get("experiment", os.path.basename(args.bench))
+    if args.update:
+        doc = {
+            "bench": bench_name,
+            "scale": args.scale,
+            "overall_geo_mean": round(overall, 6),
+            "geo_means": {cfg: round(v, 6) for cfg, v in means.items()},
+        }
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"check_perf: baseline written to {args.baseline} "
+              f"({len(means)} configs, overall {overall:.4f}x)")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"check_perf: baseline {args.baseline} not found; generate it "
+            f"with --update")
+
+    if base.get("scale") != args.scale:
+        raise SystemExit(
+            f"check_perf: baseline scale {base.get('scale')} != run scale "
+            f"{args.scale}; regenerate with --update or pass --scale "
+            f"{base.get('scale')}")
+
+    tol = args.threshold / 100.0
+    failures = []
+    notes = []
+    base_means = base.get("geo_means", {})
+    for cfg, base_val in sorted(base_means.items()):
+        if cfg not in means:
+            failures.append(f"config vanished from bench output: {cfg}")
+            continue
+        cur = means[cfg]
+        delta = (cur - base_val) / base_val
+        line = f"{cfg}\n    baseline {base_val:.4f}x  now {cur:.4f}x  " \
+               f"({delta * 100.0:+.2f}%)"
+        if delta > tol:
+            failures.append(f"geo-mean regression past {args.threshold}%: "
+                            f"{line}")
+        elif delta < -tol:
+            notes.append(f"improved past threshold (refresh baseline?): "
+                         f"{line}")
+    for cfg in means:
+        if cfg not in base_means:
+            notes.append(f"new config not in baseline: {cfg} "
+                         f"({means[cfg]:.4f}x)")
+
+    base_overall = base.get("overall_geo_mean")
+    if base_overall:
+        delta = (overall - base_overall) / base_overall
+        if delta > tol:
+            failures.append(
+                f"overall geo-mean regression past {args.threshold}%: "
+                f"baseline {base_overall:.4f}x  now {overall:.4f}x  "
+                f"({delta * 100.0:+.2f}%)")
+
+    for n in notes:
+        print(f"check_perf: note: {n}")
+    if failures:
+        for f_ in failures:
+            print(f"check_perf: FAIL: {f_}", file=sys.stderr)
+        return 1
+    print(f"check_perf: OK — {len(base_means)} configs within "
+          f"{args.threshold}% of baseline (overall {overall:.4f}x vs "
+          f"{base_overall:.4f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

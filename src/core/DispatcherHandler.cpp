@@ -10,10 +10,12 @@ using namespace sdt;
 using namespace sdt::core;
 
 SiteCode DispatcherHandler::emitSite(uint32_t SiteId, IBClass Class,
-                                     uint32_t GuestPc, FragmentCache &Cache) {
+                                     uint32_t GuestPc, FragmentCache &Cache,
+                                     bool SpeculativeFallback) {
   (void)SiteId;
   (void)Class;
   (void)GuestPc;
+  (void)SpeculativeFallback; // The trampoline is already minimal.
   // Just a trampoline to the dispatcher.
   uint32_t Bytes = 8;
   return {Cache.allocateBytes(Bytes), Bytes};

@@ -26,7 +26,8 @@ public:
   const char *name() const override { return "dispatcher"; }
 
   SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
-                    FragmentCache &Cache) override;
+                    FragmentCache &Cache,
+                    bool SpeculativeFallback = false) override;
 
   LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
                        arch::TimingModel *Timing) override;

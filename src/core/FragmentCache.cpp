@@ -29,9 +29,22 @@ uint32_t sdt::core::hostOpBytes(HostOpKind Kind) {
     return 16; // Target constant + trampoline into the dispatcher.
   case HostOpKind::IBLookup:
     return 0; // The handler reports the mechanism's inline footprint.
+  case HostOpKind::SpecGuard:
+    // Flag save + materialise predicted target + compare-and-branch +
+    // flag restore (the save/restore halves shrink when coalesced; see
+    // hostInstrBytes).
+    return 20;
   }
   assert(false && "invalid host op kind");
   return 4;
+}
+
+uint32_t sdt::core::hostInstrBytes(const HostInstr &HI) {
+  if (HI.Kind == HostOpKind::SpecGuard)
+    return 12 + (HI.FlagSaveElided ? 0 : 4) + (HI.FlagRestoreElided ? 0 : 4);
+  if (HI.Kind == HostOpKind::SetLink && HI.LinkDead)
+    return 0;
+  return hostOpBytes(HI.Kind);
 }
 
 void EvictedRanges::add(uint32_t Begin, uint32_t End) {

@@ -67,6 +67,12 @@ enum class HostOpKind : uint8_t {
   /// A direct jump eliminated by trace linearisation: retires one guest
   /// instruction at zero simulated cost and falls through.
   Elided,
+  /// A speculative IB-target guard on a trace: compares the dynamic
+  /// target (register GuestI.Rs1) against the predicted guest target
+  /// (TargetGuest). On a match execution falls through into the inlined
+  /// continuation; on a miss it branches to the fallback IBLookup at
+  /// OffTraceIndex, which runs the bound mechanism's normal sequence.
+  SpecGuard,
 };
 
 /// One host instruction.
@@ -90,6 +96,9 @@ struct HostInstr {
   uint32_t SiteId = 0;
   /// IBLookup: which dynamic class this site is.
   IBClass SiteClass = IBClass::Jump;
+  /// IBLookup: this site is the fallback behind a SpecGuard — it only
+  /// executes on guard misses, so handlers may emit a slimmer site.
+  bool SpecFallback = false;
   /// TraceBranch: the branch direction that continues along the trace.
   bool OnTraceTaken = false;
   /// True when executing this op corresponds to retiring one guest
@@ -98,12 +107,39 @@ struct HostInstr {
   /// counts when it stands for a direct `j`; a SetLink counts when it
   /// stands for a direct `jal` (a `jalr`'s count lives on its IBLookup).
   bool CountsAsGuest = false;
+
+  // --- Trace-optimizer annotations (src/opt) ----------------------------
+  /// TraceBranch: fragment-local index of the off-trace exit stub.
+  /// SpecGuard: fragment-local index of the fallback IBLookup site.
+  /// Set at emission (the op right after); stub outlining retargets it.
+  uint32_t OffTraceIndex = 0;
+  /// Elided direct jumps folded into this op by glue elimination: each
+  /// one retires a guest instruction before this op executes.
+  uint16_t ElidedJumps = 0;
+  /// Guest op whose result was proven constant within the trace: the
+  /// executor writes FoldedValue to GuestI.Rd instead of re-computing
+  /// (modeled as a constant materialisation, 1 ALU op).
+  bool Folded = false;
+  uint32_t FoldedValue = 0;
+  /// SetLink proven dead (link register overwritten before any read, no
+  /// trace exit in between): retires its guest instruction but skips the
+  /// register write and its cost; occupies no code bytes.
+  bool LinkDead = false;
+  /// SpecGuard: flag save/restore elided by coalescing with an adjacent
+  /// guard (back-to-back guards share one save/restore pair).
+  bool FlagSaveElided = false;
+  bool FlagRestoreElided = false;
 };
 
 /// Simulated host code-size of each HostOpKind, in bytes. IBLookup sites
 /// additionally occupy the mechanism's inline footprint (reported by the
 /// handler when the site is emitted).
 uint32_t hostOpBytes(HostOpKind Kind);
+
+/// Code-size of one concrete op, honouring optimizer annotations: a dead
+/// SetLink occupies nothing, and a SpecGuard shrinks when its flag
+/// save/restore was coalesced away.
+uint32_t hostInstrBytes(const HostInstr &HI);
 
 } // namespace core
 } // namespace sdt

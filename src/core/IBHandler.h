@@ -69,9 +69,13 @@ public:
   virtual void initialize(FragmentCache &Cache);
 
   /// Emits the inline lookup sequence for a new IB site and returns its
-  /// code footprint (allocated from \p Cache).
+  /// code footprint (allocated from \p Cache). \p SpeculativeFallback
+  /// marks a site that sits behind a trace speculation guard and only
+  /// executes on guard misses — mechanisms may emit a slimmer sequence
+  /// (the guard already covers the monomorphic fast path).
   virtual SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
-                            FragmentCache &Cache) = 0;
+                            FragmentCache &Cache,
+                            bool SpeculativeFallback = false) = 0;
 
   /// Executes the inline lookup for \p SiteId on dynamic target
   /// \p GuestTarget. Charges \p Timing (may be null for untimed runs) for

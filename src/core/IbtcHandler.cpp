@@ -49,9 +49,11 @@ size_t IbtcHandler::tableCount() const {
 }
 
 SiteCode IbtcHandler::emitSite(uint32_t SiteId, IBClass Class,
-                               uint32_t GuestPc, FragmentCache &Cache) {
+                               uint32_t GuestPc, FragmentCache &Cache,
+                               bool SpeculativeFallback) {
   (void)Class;
   (void)GuestPc;
+  (void)SpeculativeFallback; // Table lookup code is the same either way.
   uint32_t Addr = Cache.allocateBytes(InlineBytes);
   SiteCodeAddr[SiteId] = Addr;
   if (!Opts.IbtcShared)

@@ -25,13 +25,18 @@ void InlineCacheHandler::initialize(FragmentCache &Cache) {
 }
 
 SiteCode InlineCacheHandler::emitSite(uint32_t SiteId, IBClass Class,
-                                      uint32_t GuestPc,
-                                      FragmentCache &Cache) {
-  uint32_t InlineBytes = 8 /*flag save*/ + Opts.InlineCacheDepth * EntryBytes;
+                                      uint32_t GuestPc, FragmentCache &Cache,
+                                      bool SpeculativeFallback) {
   Site S;
+  // A site behind a trace speculation guard never sees its monomorphic
+  // target (the guard intercepts it), so inlined compares would only
+  // burn bytes and cycles on the already-slow miss path.
+  S.Depth = SpeculativeFallback ? 0 : Opts.InlineCacheDepth;
+  uint32_t InlineBytes = 8 /*flag save*/ + S.Depth * EntryBytes;
   S.CodeAddr = Cache.allocateBytes(InlineBytes);
   Sites.emplace(SiteId, std::move(S));
-  SiteCode BackingCode = Backing->emitSite(SiteId, Class, GuestPc, Cache);
+  SiteCode BackingCode =
+      Backing->emitSite(SiteId, Class, GuestPc, Cache, SpeculativeFallback);
   return {Sites.at(SiteId).CodeAddr, InlineBytes + BackingCode.Bytes};
 }
 
@@ -81,7 +86,7 @@ void InlineCacheHandler::record(uint32_t SiteId, uint32_t GuestTarget,
                                 uint32_t HostEntryAddr,
                                 arch::TimingModel *Timing) {
   Site &S = Sites.at(SiteId);
-  if (S.Entries.size() < Opts.InlineCacheDepth) {
+  if (S.Entries.size() < S.Depth) {
     S.Entries.push_back({GuestTarget, HostEntryAddr});
     if (Timing) {
       // Patching the inline compare's immediate and jump target.

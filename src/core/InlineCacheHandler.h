@@ -38,8 +38,12 @@ public:
 
   void initialize(FragmentCache &Cache) override;
 
+  /// Speculative-fallback sites get zero inlined compares: the trace
+  /// guard already covers the monomorphic prediction, so the fallback
+  /// goes straight to the backing mechanism.
   SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
-                    FragmentCache &Cache) override;
+                    FragmentCache &Cache,
+                    bool SpeculativeFallback = false) override;
 
   LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
                        arch::TimingModel *Timing) override;
@@ -77,7 +81,8 @@ private:
 
   struct Site {
     uint32_t CodeAddr = 0;
-    std::vector<InlineEntry> Entries; ///< Up to Opts.InlineCacheDepth.
+    uint32_t Depth = 0;               ///< 0 for speculative fallbacks.
+    std::vector<InlineEntry> Entries; ///< Up to Depth.
   };
 
   static constexpr uint32_t EntryBytes = 12; ///< li + cmp + branch.

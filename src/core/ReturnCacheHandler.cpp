@@ -20,9 +20,10 @@ ReturnCacheHandler::ReturnCacheHandler(const SdtOptions &Opts) : Opts(Opts) {
 }
 
 SiteCode ReturnCacheHandler::emitSite(uint32_t SiteId, IBClass Class,
-                                      uint32_t GuestPc,
-                                      FragmentCache &Cache) {
+                                      uint32_t GuestPc, FragmentCache &Cache,
+                                      bool SpeculativeFallback) {
   (void)GuestPc;
+  (void)SpeculativeFallback; // The hashed table jump is fixed-size.
   assert(Class == IBClass::Return && "return cache bound to a non-return");
   (void)Class;
   uint32_t Addr = Cache.allocateBytes(SiteBytes);

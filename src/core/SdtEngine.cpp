@@ -122,8 +122,9 @@ void SdtEngine::finishTrace(Translator::TraceEnd End) {
   assert(OldLoc.valid() && "trace head lost its fragment");
   uint32_t OldFrag = OldLoc.Frag;
 
-  Expected<HostLoc> TraceLoc = Xlate.buildTrace(
-      TraceHead, TraceOutcomes, TraceCtis, End, Exec.Timing, Stats);
+  Expected<HostLoc> TraceLoc =
+      Xlate.buildTrace(TraceHead, TraceOutcomes, TraceSpecTargets, TraceCtis,
+                       End, Exec.Timing, Stats);
   if (!TraceLoc)
     return; // Head stays marked; execution continues on the old path.
 
@@ -391,6 +392,7 @@ RunResult SdtEngine::run() {
           Recording = true;
           TraceHead = Entered.GuestEntry;
           TraceOutcomes.clear();
+          TraceSpecTargets.clear();
           TraceCtis = 0;
         }
       }
@@ -406,8 +408,27 @@ RunResult SdtEngine::run() {
     if (HI.CountsAsGuest)
       ++Executed;
 
+    // Direct jumps folded into this op by glue elimination: each one
+    // retires a guest instruction (before the op itself, in path order).
+    if (HI.ElidedJumps) {
+      Executed += HI.ElidedJumps;
+      Result.Cti.DirectJumps += HI.ElidedJumps;
+      for (uint16_t N = HI.ElidedJumps; N; --N)
+        recordCtiStep(-1);
+    }
+
     switch (HI.Kind) {
     case HostOpKind::Guest: {
+      if (HI.Folded) {
+        // Constant-folded ALU op: a single materialisation of the value
+        // the optimizer computed through vm::evalPureAlu — the
+        // architectural result is identical by construction.
+        State.setReg(HI.GuestI.Rd, HI.FoldedValue);
+        if (T)
+          T->chargeAluOps(1);
+        ++Cur.Index;
+        break;
+      }
       ExecEffect Effect = executeNonCti(HI.GuestI, State, Memory);
       if (Effect.faulted()) {
         fault(formatString("%s at pc=0x%x (addr=0x%x)", Effect.FaultReason,
@@ -459,10 +480,14 @@ RunResult SdtEngine::run() {
         T->chargeCondBranch(HI.HostAddr, Taken);
       ++Result.Cti.CondBranches;
       recordCtiStep(Taken ? 1 : 0);
-      // The on-trace direction falls through past the off-trace stub at
-      // Index+1 — a trace turns its hot direction into straight-line
-      // code.
-      Cur.Index += (Taken == HI.OnTraceTaken) ? 2 : 1;
+      // The on-trace direction falls through — past the off-trace stub
+      // when it still sits adjacent at Index+1, or directly when stub
+      // outlining moved it to the tail. The off-trace direction goes to
+      // the stub wherever it lives.
+      if (Taken == HI.OnTraceTaken)
+        Cur.Index += (HI.OffTraceIndex == Cur.Index + 1) ? 2 : 1;
+      else
+        Cur.Index = HI.OffTraceIndex;
       break;
     }
 
@@ -513,6 +538,21 @@ RunResult SdtEngine::run() {
     }
 
     case HostOpKind::SetLink: {
+      if (HI.LinkDead) {
+        // The optimizer proved the link register is overwritten before
+        // any read with no trace exit in between: the op retires its
+        // guest instruction but does no work and occupies no bytes. The
+        // return predictor is deliberately not pushed — the overwritten
+        // link value could never be returned through.
+        if (HI.CountsAsGuest) {
+          ++Result.Cti.DirectCalls;
+          recordCtiStep(-1);
+        } else {
+          ++Result.Cti.IndirectCalls; // Retired by its IBLookup/guard.
+        }
+        ++Cur.Index;
+        break;
+      }
       uint32_t LinkValue = HI.TargetGuest;
       bool NeedsHostAddr = Opts.Returns == ReturnStrategy::FastReturn ||
                            Opts.Returns == ReturnStrategy::ShadowStack;
@@ -568,9 +608,20 @@ RunResult SdtEngine::run() {
     }
 
     case HostOpKind::IBLookup: {
-      if (Recording)
-        finishTrace(Translator::TraceEnd::AtIB);
       uint32_t Target = State.reg(HI.GuestI.Rs1);
+      if (Recording) {
+        if (canSpeculate(HI.SiteClass) &&
+            profileMonomorphic(HI.GuestPc, Target)) {
+          // Monomorphic site: record a speculated crossing and keep the
+          // recording alive through the predicted target.
+          TraceSpecTargets.push_back(Target);
+          recordCtiStep(-1);
+        } else {
+          finishTrace(Translator::TraceEnd::AtIB);
+        }
+      }
+      if (canSpeculate(HI.SiteClass))
+        updateIBProfile(HI.GuestPc, Target);
       size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
       ++Stats.IBExecs[ClassIdx];
       switch (HI.SiteClass) {
@@ -711,6 +762,70 @@ RunResult SdtEngine::run() {
       break;
     }
 
+    case HostOpKind::SpecGuard: {
+      uint32_t Target = State.reg(HI.GuestI.Rs1);
+      bool Hit = Target == HI.TargetGuest;
+      size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
+      if (T) {
+        // The inline guard: save flags, materialise the predicted
+        // target, compare, branch to the fallback site on mismatch.
+        // The first host word was charged by the fetch above.
+        T->chargeCodeRange(CycleCategory::IBLookup, HI.HostAddr + 4,
+                           hostInstrBytes(HI) - 4);
+        if (!HI.FlagSaveElided)
+          T->chargeFlagSave(CycleCategory::IBLookup, Opts.FullFlagSave);
+        T->chargeAluOps(CycleCategory::IBLookup, 2);
+        T->chargeCondBranch(CycleCategory::IBLookup, HI.HostAddr, !Hit);
+        // On the hot (hit) path the restore may have been coalesced
+        // into a following guard; the miss path always restores before
+        // entering the fallback mechanism's own sequence.
+        if (!Hit || !HI.FlagRestoreElided)
+          T->chargeFlagRestore(CycleCategory::IBLookup, Opts.FullFlagSave);
+      }
+      if (Recording) {
+        if (Hit && canSpeculate(HI.SiteClass) &&
+            profileMonomorphic(HI.GuestPc, Target)) {
+          TraceSpecTargets.push_back(Target);
+          recordCtiStep(-1);
+        } else if (Hit) {
+          finishTrace(Translator::TraceEnd::AtIB);
+        }
+        // On a miss the fallback IBLookup right behind decides.
+      }
+      if (Hit) {
+        ++Executed; // Retires the guest IB (the guard doesn't count).
+        ++Stats.IBExecs[ClassIdx];
+        ++Stats.IBInlineHits[ClassIdx];
+        ++Stats.SpecGuardHits;
+        updateIBProfile(HI.GuestPc, Target);
+        switch (HI.SiteClass) {
+        case IBClass::Jump:
+          ++Result.Cti.IndirectJumps;
+          break;
+        case IBClass::Call:
+          break; // Counted at the preceding SetLink.
+        case IBClass::Return:
+          ++Result.Cti.Returns;
+          break;
+        }
+        if (Exec.CollectSiteTargets)
+          Result.SiteTargets[HI.GuestPc].insert(Target);
+        if (Sink)
+          Sink->record(trace::EventKind::SpecGuardHit, HI.GuestPc, Target);
+        // Fall into the inlined continuation: past the adjacent fallback
+        // site, or directly when stub outlining moved it to the tail.
+        Cur.Index += (HI.OffTraceIndex == Cur.Index + 1) ? 2 : 1;
+      } else {
+        ++Stats.SpecGuardMisses;
+        if (Sink)
+          Sink->record(trace::EventKind::SpecGuardMiss, HI.GuestPc, Target);
+        // The fallback IBLookup runs the bound mechanism's sequence and
+        // retires the instruction (it keeps CountsAsGuest).
+        Cur.Index = HI.OffTraceIndex;
+      }
+      break;
+    }
+
     case HostOpKind::SyscallOp: {
       if (Recording)
         finishTrace(Translator::TraceEnd::AtStop);
@@ -764,6 +879,23 @@ std::string SdtEngine::report() const {
         "traces=%llu trace-guest-instrs=%llu\n",
         static_cast<unsigned long long>(Stats.TracesBuilt),
         static_cast<unsigned long long>(Stats.TraceGuestInstrs));
+  if (Opts.OptimizeTraces)
+    Out += formatString(
+        "trace-opt: optimized=%llu glue-elided=%llu const-folds=%llu "
+        "dead-links=%llu stubs-outlined=%llu flag-pairs-elided=%llu\n",
+        static_cast<unsigned long long>(Stats.TracesOptimized),
+        static_cast<unsigned long long>(Stats.TraceGlueElided),
+        static_cast<unsigned long long>(Stats.TraceConstFolds),
+        static_cast<unsigned long long>(Stats.TraceDeadLinks),
+        static_cast<unsigned long long>(Stats.TraceStubsOutlined),
+        static_cast<unsigned long long>(Stats.TraceFlagPairsElided));
+  if (Opts.TraceSpeculate)
+    Out += formatString(
+        "trace-spec: guards=%llu hits=%llu misses=%llu hit-rate=%.2f%%\n",
+        static_cast<unsigned long long>(Stats.SpecGuardsEmitted),
+        static_cast<unsigned long long>(Stats.SpecGuardHits),
+        static_cast<unsigned long long>(Stats.SpecGuardMisses),
+        100.0 * Stats.specGuardHitRate());
   if (Opts.CachePolicy != cachemgr::CachePolicyKind::FullFlush ||
       Stats.PartialEvictions != 0)
     Out += formatString(

@@ -34,6 +34,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 namespace sdt {
 namespace core {
@@ -167,6 +168,47 @@ private:
   std::vector<bool> TraceOutcomes; ///< Conditional directions, path order.
   unsigned TraceCtis = 0;          ///< Guest CTIs recorded so far.
   std::set<uint32_t> TracedHeads;  ///< Heads already traced (or aborted).
+
+  // --- Speculative IB inlining (TraceSpeculate) ------------------------
+  /// Monomorphic targets recorded for speculated IB crossings, path
+  /// order (consumed by buildTrace).
+  std::vector<uint32_t> TraceSpecTargets;
+  /// Per-IB-site target profile: guest pc → (last dynamic target, run
+  /// length of that target). An IB is considered monomorphic once one
+  /// target repeats TraceSpeculateThreshold times in a row.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> IBProfile;
+
+  bool speculationOn() const {
+    return Opts.EnableTraces && Opts.TraceSpeculate;
+  }
+
+  /// Whether class-\p C sites may be speculated through. Returns only
+  /// qualify under plain as-indirect handling: the fast-return and
+  /// shadow-stack strategies resolve returns before the IB site runs,
+  /// and the return cache already serves them inline.
+  bool canSpeculate(IBClass C) const {
+    if (!speculationOn())
+      return false;
+    if (C == IBClass::Return && Opts.Returns != ReturnStrategy::AsIndirect)
+      return false;
+    return true;
+  }
+
+  void updateIBProfile(uint32_t Pc, uint32_t Target) {
+    if (!speculationOn())
+      return;
+    auto &Entry = IBProfile[Pc];
+    if (Entry.first == Target)
+      ++Entry.second;
+    else
+      Entry = {Target, 1};
+  }
+
+  bool profileMonomorphic(uint32_t Pc, uint32_t Target) const {
+    auto It = IBProfile.find(Pc);
+    return It != IBProfile.end() && It->second.first == Target &&
+           It->second.second >= Opts.TraceSpeculateThreshold;
+  }
 };
 
 } // namespace core

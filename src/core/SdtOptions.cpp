@@ -85,9 +85,24 @@ std::string SdtOptions::describe() const {
     Out += formatString(" inline=%u", InlineCacheDepth);
   if (!LinkFragments)
     Out += " nolink";
-  if (EnableTraces)
-    Out += formatString(" traces(hot=%u,max=%u)", TraceHotThreshold,
+  if (EnableTraces) {
+    Out += formatString(" traces(hot=%u,max=%u", TraceHotThreshold,
                         MaxTraceBlocks);
+    // Pass toggles only show when the optimizer deviates from
+    // all-passes-on, keeping config keys short for the common sweeps.
+    if (OptimizeTraces) {
+      Out += ",opt";
+      if (!(OptConstForward && OptDeadLink && OptElideGlue &&
+            OptOutlineStubs && OptCoalesceFlags))
+        Out += formatString("[%s%s%s%s%s]", OptConstForward ? "c" : "",
+                            OptDeadLink ? "d" : "", OptElideGlue ? "g" : "",
+                            OptOutlineStubs ? "o" : "",
+                            OptCoalesceFlags ? "f" : "");
+    }
+    if (TraceSpeculate)
+      Out += formatString(",spec=%u", TraceSpeculateThreshold);
+    Out += ")";
+  }
   // The default policy is omitted so pre-subsystem config strings (and
   // the result keys derived from them) are unchanged.
   if (CachePolicy != cachemgr::CachePolicyKind::FullFlush)

@@ -166,6 +166,26 @@ struct SdtOptions {
   /// Maximum control transfers recorded into one trace.
   uint32_t MaxTraceBlocks = 16;
 
+  // --- Superblock optimizer (src/opt; docs/Superblocks.md) ----------------
+  /// Run the redundancy-elimination pass pipeline over each stitched
+  /// trace before code emission. Off by default: the unoptimized trace
+  /// stream (and its cycle counts) is the established baseline.
+  bool OptimizeTraces = false;
+  /// Individual pass toggles (effective only with OptimizeTraces).
+  bool OptConstForward = true;  ///< Forward-propagate constants.
+  bool OptDeadLink = true;      ///< Kill dead link-register stores.
+  bool OptElideGlue = true;     ///< Remove elided-jump glue ops.
+  bool OptOutlineStubs = true;  ///< Move off-trace stubs to the tail.
+  bool OptCoalesceFlags = true; ///< Share flag saves between guards.
+
+  /// Speculative IB target inlining: extend traces through monomorphic
+  /// indirect branches behind an emitted guard compare; a guard miss
+  /// falls back to the bound mechanism's normal sequence.
+  bool TraceSpeculate = false;
+  /// Consecutive same-target observations at an IB site before the
+  /// recorder speculates through it.
+  uint32_t TraceSpeculateThreshold = 16;
+
   /// Short human-readable description for benchmark output, e.g.
   /// "ibtc(shared,4096,light) returns=fast-return inline=1".
   std::string describe() const;

@@ -71,6 +71,41 @@ struct SdtStats {
   /// GuestInstrsTranslated).
   uint64_t TraceGuestInstrs = 0;
 
+  // --- Superblock optimizer (OptimizeTraces) ----------------------------
+  /// Traces the pass pipeline ran over (one per optimized buildTrace).
+  uint64_t TracesOptimized = 0;
+  /// Elided-jump glue ops removed from trace streams.
+  uint64_t TraceGlueElided = 0;
+  /// Guest ALU ops folded to constant materialisations.
+  uint64_t TraceConstFolds = 0;
+  /// Dead link-register stores eliminated.
+  uint64_t TraceDeadLinks = 0;
+  /// Off-trace stubs moved out of the hot straight-line path.
+  uint64_t TraceStubsOutlined = 0;
+  /// Flag save/restore pairs shared between adjacent guards.
+  uint64_t TraceFlagPairsElided = 0;
+
+  // --- Speculative IB inlining (TraceSpeculate) -------------------------
+  /// Guards emitted into traces (one per speculated IB crossing).
+  uint64_t SpecGuardsEmitted = 0;
+  /// Guard executions where the prediction held (stayed on trace).
+  uint64_t SpecGuardHits = 0;
+  /// Guard executions that fell back to the bound IB mechanism.
+  uint64_t SpecGuardMisses = 0;
+
+  /// Host ops the optimizer removed or de-materialised, total.
+  uint64_t traceInstrsEliminated() const {
+    return TraceGlueElided + TraceDeadLinks + TraceFlagPairsElided;
+  }
+
+  /// Fraction of guard executions that stayed on trace.
+  double specGuardHitRate() const {
+    uint64_t Total = SpecGuardHits + SpecGuardMisses;
+    return Total ? static_cast<double>(SpecGuardHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+
   /// Returns served by the shadow stack's top entry.
   uint64_t ShadowStackHits = 0;
   /// Returns whose target did not match the shadow-stack top (or found

@@ -28,9 +28,11 @@ void SieveHandler::initialize(FragmentCache &Cache) {
 }
 
 SiteCode SieveHandler::emitSite(uint32_t SiteId, IBClass Class,
-                                uint32_t GuestPc, FragmentCache &Cache) {
+                                uint32_t GuestPc, FragmentCache &Cache,
+                                bool SpeculativeFallback) {
   (void)Class;
   (void)GuestPc;
+  (void)SpeculativeFallback; // The computed jump into the sieve is fixed.
   uint32_t Addr = Cache.allocateBytes(SiteBytes);
   SiteCodeAddr[SiteId] = Addr;
   return {Addr, SiteBytes};

@@ -40,7 +40,8 @@ public:
   void initialize(FragmentCache &Cache) override;
 
   SiteCode emitSite(uint32_t SiteId, IBClass Class, uint32_t GuestPc,
-                    FragmentCache &Cache) override;
+                    FragmentCache &Cache,
+                    bool SpeculativeFallback = false) override;
 
   LookupOutcome lookup(uint32_t SiteId, uint32_t GuestTarget,
                        arch::TimingModel *Timing) override;

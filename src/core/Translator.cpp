@@ -6,6 +6,7 @@
 
 #include "core/Translator.h"
 
+#include "opt/TraceOptimizer.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -52,7 +53,8 @@ static void emitIBSite(Translator &X, std::vector<IBSiteInfo> &Sites,
                        FragmentCache &Cache, Fragment &Frag, IBClass Class,
                        uint32_t Pc, unsigned TargetReg) {
   uint32_t SiteId = static_cast<uint32_t>(Sites.size());
-  SiteCode Code = X.handlerFor(Class)->emitSite(SiteId, Class, Pc, Cache);
+  SiteCode Code = X.handlerFor(Class)->emitSite(SiteId, Class, Pc, Cache,
+                                                /*SpeculativeFallback=*/false);
   Sites.push_back({Pc, Class, Code});
 
   HostInstr HI;
@@ -190,8 +192,9 @@ Expected<HostLoc> Translator::translate(uint32_t GuestPc,
 }
 
 Expected<HostLoc> Translator::buildTrace(
-    uint32_t Head, const std::vector<bool> &CondOutcomes, unsigned CtiCount,
-    TraceEnd End, arch::TimingModel *Timing, SdtStats &Stats) {
+    uint32_t Head, const std::vector<bool> &CondOutcomes,
+    const std::vector<uint32_t> &SpecTargets, unsigned CtiCount, TraceEnd End,
+    arch::TimingModel *Timing, SdtStats &Stats) {
   assert(handlerFor(IBClass::Jump) && "buildTrace before setHandlers");
   assert(Cache.lookup(Head).valid() &&
          "trace head must already have a fragment");
@@ -201,26 +204,77 @@ Expected<HostLoc> Translator::buildTrace(
 
   Fragment Frag;
   Frag.GuestEntry = Head;
-  Frag.HostEntryAddr = Cache.beginFragment();
   Frag.GuestLow = Head;
   Frag.GuestHigh = Head;
 
+  // Phase 1: stitch the recorded path into a pending op stream. Host
+  // addresses are not assigned and IB sites not registered yet, so the
+  // optimizer below may still remove and reorder ops for free.
+  std::vector<HostInstr> Ops;
+  auto pushExitStub = [&Ops](uint32_t Target, bool Counts) {
+    HostInstr HI;
+    HI.Kind = HostOpKind::ExitStub;
+    HI.TargetGuest = Target;
+    HI.CountsAsGuest = Counts;
+    Ops.push_back(HI);
+  };
+  auto pushIBSite = [&Ops](IBClass Class, uint32_t Pc, unsigned TargetReg,
+                           bool Fallback) {
+    HostInstr HI;
+    HI.Kind = HostOpKind::IBLookup;
+    HI.GuestPc = Pc;
+    HI.SiteClass = Class;
+    HI.SpecFallback = Fallback;
+    HI.GuestI.Rs1 = static_cast<uint8_t>(TargetReg);
+    HI.CountsAsGuest = true;
+    Ops.push_back(HI);
+  };
+
   uint32_t Pc = Head;
   size_t OutcomeIdx = 0;
+  size_t SpecIdx = 0;
   unsigned Ctis = 0;
   unsigned GuestCount = 0;
   bool Done = false;
+
+  // An indirect CTI either crosses the trace behind a speculation guard
+  // (when recording captured a monomorphic target for it) or terminates
+  // it with a normal IB-lookup site.
+  auto emitIndirect = [&](IBClass Class, unsigned TargetReg) {
+    if (SpecIdx < SpecTargets.size()) {
+      uint32_t Predicted = SpecTargets[SpecIdx++];
+      HostInstr G;
+      G.Kind = HostOpKind::SpecGuard;
+      G.GuestPc = Pc;
+      G.GuestI.Rs1 = static_cast<uint8_t>(TargetReg);
+      G.TargetGuest = Predicted;
+      G.SiteClass = Class;
+      G.CountsAsGuest = false; // the executor retires it on guard hits
+      G.OffTraceIndex = static_cast<uint32_t>(Ops.size()) + 1;
+      Ops.push_back(G);
+      pushIBSite(Class, Pc, TargetReg, /*Fallback=*/true);
+      ++Stats.SpecGuardsEmitted;
+      Pc = Predicted;
+      ++Ctis;
+      return;
+    }
+    assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
+           "trace walk diverged from the recorded path");
+    pushIBSite(Class, Pc, TargetReg, /*Fallback=*/false);
+    Done = true;
+  };
+
   while (!Done) {
     if (GuestCount >= InstrBudget) {
-      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      pushExitStub(Pc, /*Counts=*/false);
       break;
     }
     const Instruction *I = Decoder.fetch(Pc);
     if (!I) {
-      if (Frag.Code.empty())
+      if (Ops.empty())
         return Error::failure(formatString(
             "cannot build trace: invalid guest code at 0x%x", Pc));
-      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      pushExitStub(Pc, /*Counts=*/false);
       break;
     }
     ++GuestCount;
@@ -234,7 +288,7 @@ Expected<HostLoc> Translator::buildTrace(
       HI.GuestI = *I;
       HI.GuestPc = Pc;
       HI.CountsAsGuest = true;
-      emitOp(Cache, Frag, HI);
+      Ops.push_back(HI);
       Pc += InstructionSize;
       break;
     }
@@ -248,11 +302,13 @@ Expected<HostLoc> Translator::buildTrace(
       HI.GuestPc = Pc;
       HI.OnTraceTaken = Taken;
       HI.CountsAsGuest = true;
-      emitOp(Cache, Frag, HI);
+      HI.OffTraceIndex = static_cast<uint32_t>(Ops.size()) + 1;
+      Ops.push_back(HI);
       uint32_t TakenTarget = I->branchTarget(Pc);
       uint32_t FallThrough = Pc + InstructionSize;
-      // Off-trace exit stub sits right after the branch.
-      emitExitStub(Cache, Frag, Taken ? FallThrough : TakenTarget, false);
+      // Off-trace exit stub sits right after the branch (until stub
+      // outlining moves it to the tail and retargets OffTraceIndex).
+      pushExitStub(Taken ? FallThrough : TakenTarget, false);
       Pc = Taken ? TakenTarget : FallThrough;
       ++Ctis;
       break;
@@ -263,7 +319,7 @@ Expected<HostLoc> Translator::buildTrace(
       HI.GuestPc = Pc;
       HI.TargetGuest = I->directTarget();
       HI.CountsAsGuest = true;
-      emitOp(Cache, Frag, HI);
+      Ops.push_back(HI);
       Pc = I->directTarget();
       ++Ctis;
       break;
@@ -276,36 +332,27 @@ Expected<HostLoc> Translator::buildTrace(
       Link.GuestPc = Pc;
       Link.TargetGuest = Pc + InstructionSize;
       Link.CountsAsGuest = true;
-      emitOp(Cache, Frag, Link);
+      Ops.push_back(Link);
       Pc = I->directTarget();
       ++Ctis;
       break;
     }
     case CtiKind::IndirectJump:
-      assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
-             "trace walk diverged from the recorded path");
-      emitIBSite(*this, Sites, Cache, Frag, IBClass::Jump, Pc, I->Rs1);
-      Done = true;
+      emitIndirect(IBClass::Jump, I->Rs1);
       break;
     case CtiKind::IndirectCall: {
-      assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
-             "trace walk diverged from the recorded path");
       HostInstr Link;
       Link.Kind = HostOpKind::SetLink;
       Link.GuestI.Rd = I->Rd;
       Link.GuestPc = Pc;
       Link.TargetGuest = Pc + InstructionSize;
       Link.CountsAsGuest = false;
-      emitOp(Cache, Frag, Link);
-      emitIBSite(*this, Sites, Cache, Frag, IBClass::Call, Pc, I->Rs1);
-      Done = true;
+      Ops.push_back(Link);
+      emitIndirect(IBClass::Call, I->Rs1);
       break;
     }
     case CtiKind::Return:
-      assert(End == TraceEnd::AtIB && Ctis == CtiCount &&
-             "trace walk diverged from the recorded path");
-      emitIBSite(*this, Sites, Cache, Frag, IBClass::Return, Pc, RegRA);
-      Done = true;
+      emitIndirect(IBClass::Return, RegRA);
       break;
     case CtiKind::Stop:
       assert(End == TraceEnd::AtStop && Ctis == CtiCount &&
@@ -315,14 +362,14 @@ Expected<HostLoc> Translator::buildTrace(
         HI.Kind = HostOpKind::HaltOp;
         HI.GuestPc = Pc;
         HI.CountsAsGuest = true;
-        emitOp(Cache, Frag, HI);
+        Ops.push_back(HI);
       } else {
         HostInstr HI;
         HI.Kind = HostOpKind::SyscallOp;
         HI.GuestPc = Pc;
         HI.CountsAsGuest = true;
-        emitOp(Cache, Frag, HI);
-        emitExitStub(Cache, Frag, Pc + InstructionSize, false);
+        Ops.push_back(HI);
+        pushExitStub(Pc + InstructionSize, false);
       }
       Done = true;
       break;
@@ -331,10 +378,43 @@ Expected<HostLoc> Translator::buildTrace(
     // The recorded path ends after CtiCount transfers (loop-close lands
     // back on Head; the stub below then self-links to this trace).
     if (!Done && End == TraceEnd::CtiBudget && Ctis == CtiCount) {
-      emitExitStub(Cache, Frag, Pc, /*Counts=*/false);
+      pushExitStub(Pc, /*Counts=*/false);
       Done = true;
     }
   }
+
+  // Phase 2: the superblock pass pipeline (docs/Superblocks.md).
+  if (Opts.OptimizeTraces) {
+    opt::TraceOptStats O = opt::optimizeTrace(Ops, Opts);
+    ++Stats.TracesOptimized;
+    Stats.TraceGlueElided += O.GlueElided;
+    Stats.TraceConstFolds += O.ConstFolds;
+    Stats.TraceDeadLinks += O.DeadLinks;
+    Stats.TraceStubsOutlined += O.StubsOutlined;
+    Stats.TraceFlagPairsElided += O.FlagPairsElided;
+    if (Sink)
+      Sink->record(trace::EventKind::TraceOptimized, Head,
+                   static_cast<uint32_t>(O.GlueElided + O.DeadLinks +
+                                         O.FlagPairsElided));
+  }
+
+  // Phase 3: layout — assign final simulated addresses and register IB
+  // sites through the bound mechanisms, in (possibly reordered) order.
+  Frag.HostEntryAddr = Cache.beginFragment();
+  for (HostInstr &HI : Ops) {
+    if (HI.Kind == HostOpKind::IBLookup) {
+      uint32_t SiteId = static_cast<uint32_t>(Sites.size());
+      SiteCode Code = handlerFor(HI.SiteClass)
+                          ->emitSite(SiteId, HI.SiteClass, HI.GuestPc, Cache,
+                                     HI.SpecFallback);
+      Sites.push_back({HI.GuestPc, HI.SiteClass, Code});
+      HI.SiteId = SiteId;
+      HI.HostAddr = Code.Addr;
+    } else {
+      HI.HostAddr = Cache.allocateBytes(hostInstrBytes(HI));
+    }
+  }
+  Frag.Code = std::move(Ops);
 
   Frag.CodeBytes = Cache.beginFragment() - Frag.HostEntryAddr;
   ++Stats.FragmentsTranslated;

@@ -68,13 +68,26 @@ public:
 
   /// Re-translates the hot path starting at \p Head as a linear trace:
   /// \p CondOutcomes are the recorded conditional-branch directions (in
-  /// path order), \p CtiCount the number of guest CTIs recorded, and
-  /// \p End how recording stopped. The new fragment replaces the
-  /// guest-map entry for \p Head. Fails if \p Head decodes invalid.
+  /// path order), \p SpecTargets the recorded monomorphic IB targets to
+  /// inline behind guards (in path order, possibly empty), \p CtiCount
+  /// the number of guest CTIs recorded, and \p End how recording
+  /// stopped. When Opts.OptimizeTraces is set the stitched stream runs
+  /// through the opt:: pass pipeline before layout. The new fragment
+  /// replaces the guest-map entry for \p Head. Fails if \p Head decodes
+  /// invalid.
+  Expected<HostLoc> buildTrace(uint32_t Head,
+                               const std::vector<bool> &CondOutcomes,
+                               const std::vector<uint32_t> &SpecTargets,
+                               unsigned CtiCount, TraceEnd End,
+                               arch::TimingModel *Timing, SdtStats &Stats);
+
+  /// Convenience overload: no speculated IB crossings.
   Expected<HostLoc> buildTrace(uint32_t Head,
                                const std::vector<bool> &CondOutcomes,
                                unsigned CtiCount, TraceEnd End,
-                               arch::TimingModel *Timing, SdtStats &Stats);
+                               arch::TimingModel *Timing, SdtStats &Stats) {
+    return buildTrace(Head, CondOutcomes, {}, CtiCount, End, Timing, Stats);
+  }
 
   const std::vector<IBSiteInfo> &sites() const { return Sites; }
 

@@ -1,0 +1,322 @@
+//===- opt/TraceOptimizer.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See TraceOptimizer.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/TraceOptimizer.h"
+
+#include "vm/ExecSemantics.h"
+
+#include <array>
+#include <cassert>
+#include <optional>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::opt;
+using sdt::isa::Instruction;
+using sdt::isa::Opcode;
+
+namespace {
+
+bool isLoadOp(Opcode Op) {
+  return Op == Opcode::Lw || Op == Opcode::Lh || Op == Opcode::Lhu ||
+         Op == Opcode::Lb || Op == Opcode::Lbu;
+}
+
+bool isStoreOp(Opcode Op) {
+  return Op == Opcode::Sw || Op == Opcode::Sh || Op == Opcode::Sb;
+}
+
+/// Remaps every OffTraceIndex through \p Remap (old index -> new index).
+void remapOffTrace(std::vector<HostInstr> &Ops,
+                   const std::vector<uint32_t> &Remap) {
+  for (HostInstr &HI : Ops)
+    if (HI.Kind == HostOpKind::TraceBranch || HI.Kind == HostOpKind::SpecGuard)
+      HI.OffTraceIndex = Remap[HI.OffTraceIndex];
+}
+
+//===----------------------------------------------------------------------===//
+// const-forward
+//===----------------------------------------------------------------------===//
+
+/// Forward-propagates constants along the trace and folds pure ALU ops
+/// whose inputs are all known. Sound because traces are single-entry:
+/// execution can only reach op i by flowing through ops 0..i-1 (links,
+/// trampolines, and the dispatcher always enter fragments at index 0),
+/// so facts survive across conditional exits — an off-trace exit leaves
+/// the fragment entirely.
+uint64_t constForwardPass(std::vector<HostInstr> &Ops) {
+  uint64_t Folds = 0;
+  // Known[r] = the constant register r holds at this point, if proven.
+  std::array<std::optional<uint32_t>, 32> Known;
+  Known[0] = 0; // r0 is hardwired zero.
+
+  auto kill = [&Known](uint8_t Reg) {
+    if (Reg != 0)
+      Known[Reg].reset();
+  };
+
+  for (HostInstr &HI : Ops) {
+    switch (HI.Kind) {
+    case HostOpKind::Guest: {
+      const Instruction &I = HI.GuestI;
+      if (vm::isPureAlu(I.Op)) {
+        bool NeedRs1 = vm::pureAluReadsRs1(I.Op);
+        bool NeedRs2 = vm::pureAluReadsRs2(I.Op);
+        if ((!NeedRs1 || Known[I.Rs1]) && (!NeedRs2 || Known[I.Rs2])) {
+          uint32_t A = NeedRs1 ? *Known[I.Rs1] : 0;
+          uint32_t B = NeedRs2 ? *Known[I.Rs2] : 0;
+          uint32_t V = vm::evalPureAlu(I, A, B);
+          if (!HI.Folded)
+            ++Folds;
+          HI.Folded = true;
+          HI.FoldedValue = V;
+          if (I.Rd != 0)
+            Known[I.Rd] = V;
+        } else {
+          kill(I.Rd);
+        }
+      } else if (isLoadOp(I.Op)) {
+        kill(I.Rd); // loaded value is unknown
+      }
+      // Stores write no register.
+      break;
+    }
+    case HostOpKind::SetLink:
+      // Writes the link register with a translation-time-variable value
+      // (host address under fast returns) — treat as unknown.
+      kill(HI.GuestI.Rd);
+      break;
+    case HostOpKind::SyscallOp:
+      // Syscalls may clobber any register.
+      for (unsigned R = 1; R != 32; ++R)
+        Known[R].reset();
+      break;
+    case HostOpKind::CondBranch:
+    case HostOpKind::TraceBranch:
+    case HostOpKind::SpecGuard:
+    case HostOpKind::IBLookup:
+    case HostOpKind::ExitStub:
+    case HostOpKind::JumpHost:
+    case HostOpKind::Elided:
+    case HostOpKind::HaltOp:
+      // No guest-register writes.
+      break;
+    }
+  }
+  return Folds;
+}
+
+//===----------------------------------------------------------------------===//
+// dead-link
+//===----------------------------------------------------------------------===//
+
+/// True if op \p HI reads guest register \p Reg.
+bool readsReg(const HostInstr &HI, uint8_t Reg) {
+  switch (HI.Kind) {
+  case HostOpKind::Guest: {
+    const Instruction &I = HI.GuestI;
+    if (vm::isPureAlu(I.Op))
+      return (vm::pureAluReadsRs1(I.Op) && I.Rs1 == Reg) ||
+             (vm::pureAluReadsRs2(I.Op) && I.Rs2 == Reg);
+    if (isLoadOp(I.Op))
+      return I.Rs1 == Reg; // base address
+    if (isStoreOp(I.Op))
+      return I.Rs1 == Reg || I.Rd == Reg; // base + stored value
+    return true; // unknown shape: assume it reads
+  }
+  case HostOpKind::TraceBranch:
+  case HostOpKind::CondBranch:
+    return HI.GuestI.Rs1 == Reg || HI.GuestI.Rs2 == Reg;
+  case HostOpKind::IBLookup:
+  case HostOpKind::SpecGuard:
+    return HI.GuestI.Rs1 == Reg; // dynamic target register
+  default:
+    return false;
+  }
+}
+
+/// Register op \p HI overwrites, or 0 if none (r0 writes are no-ops).
+uint8_t writesReg(const HostInstr &HI) {
+  switch (HI.Kind) {
+  case HostOpKind::Guest: {
+    const Instruction &I = HI.GuestI;
+    if (vm::isPureAlu(I.Op) || isLoadOp(I.Op))
+      return I.Rd;
+    return 0;
+  }
+  case HostOpKind::SetLink:
+    return HI.GuestI.Rd;
+  default:
+    return 0;
+  }
+}
+
+/// Kills SetLink ops whose link register is overwritten before any read
+/// with no possible trace exit in between. The scan is strictly along
+/// the straight line; any op that can leave the fragment (branch, stub,
+/// IB site, guard, syscall, halt) is a barrier because the link value
+/// would be live off-trace. Never runs under shadow-stack returns: the
+/// predictor pairs every SetLink push with a return pop, and skipping
+/// pushes would desynchronise it (the caller gates on Opts).
+uint64_t deadLinkPass(std::vector<HostInstr> &Ops) {
+  uint64_t Dead = 0;
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    HostInstr &Link = Ops[I];
+    if (Link.Kind != HostOpKind::SetLink || Link.LinkDead)
+      continue;
+    uint8_t Rd = Link.GuestI.Rd;
+    if (Rd == 0)
+      continue;
+    for (size_t J = I + 1; J != Ops.size(); ++J) {
+      const HostInstr &Next = Ops[J];
+      if (readsReg(Next, Rd))
+        break; // live
+      if (writesReg(Next) == Rd) {
+        Link.LinkDead = true;
+        ++Dead;
+        break;
+      }
+      bool Barrier = Next.Kind != HostOpKind::Guest &&
+                     Next.Kind != HostOpKind::SetLink &&
+                     Next.Kind != HostOpKind::Elided;
+      if (Barrier)
+        break; // execution may leave the trace with Rd live
+    }
+  }
+  return Dead;
+}
+
+//===----------------------------------------------------------------------===//
+// elide-glue
+//===----------------------------------------------------------------------===//
+
+/// Removes Elided jump markers from the stream, folding each one's guest
+/// retirement into the next surviving op's ElidedJumps count. A trailing
+/// Elided (no successor op) is kept — something must still retire it.
+uint64_t elideGluePass(std::vector<HostInstr> &Ops) {
+  uint64_t Removed = 0;
+  std::vector<uint32_t> Remap(Ops.size());
+  size_t Out = 0;
+  uint32_t Pending = 0;
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    if (Ops[I].Kind == HostOpKind::Elided && I + 1 != Ops.size()) {
+      Pending += 1u + Ops[I].ElidedJumps;
+      Remap[I] = static_cast<uint32_t>(Out); // folds into the successor
+      ++Removed;
+      continue;
+    }
+    assert(Pending <= UINT16_MAX && "elided-jump count overflow");
+    Ops[I].ElidedJumps = static_cast<uint16_t>(Ops[I].ElidedJumps + Pending);
+    Pending = 0;
+    Remap[I] = static_cast<uint32_t>(Out);
+    if (Out != I)
+      Ops[Out] = Ops[I];
+    ++Out;
+  }
+  Ops.resize(Out);
+  remapOffTrace(Ops, Remap);
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// outline-stubs
+//===----------------------------------------------------------------------===//
+
+/// Moves cold ops — off-trace exit stubs and speculation-fallback IB
+/// sites, i.e. everything referenced by an OffTraceIndex — to the
+/// fragment tail, preserving relative order within each partition. The
+/// hot straight line then occupies contiguous I-cache lines with no
+/// 16-byte stubs interleaved.
+uint64_t outlineStubsPass(std::vector<HostInstr> &Ops) {
+  std::vector<char> Cold(Ops.size(), 0);
+  for (const HostInstr &HI : Ops)
+    if (HI.Kind == HostOpKind::TraceBranch ||
+        HI.Kind == HostOpKind::SpecGuard) {
+      assert(HI.OffTraceIndex < Ops.size() && HI.OffTraceIndex != 0);
+      Cold[HI.OffTraceIndex] = 1;
+    }
+
+  std::vector<uint32_t> Remap(Ops.size());
+  std::vector<HostInstr> New;
+  New.reserve(Ops.size());
+  for (size_t I = 0; I != Ops.size(); ++I)
+    if (!Cold[I]) {
+      Remap[I] = static_cast<uint32_t>(New.size());
+      New.push_back(Ops[I]);
+    }
+  size_t HotCount = New.size();
+  for (size_t I = 0; I != Ops.size(); ++I)
+    if (Cold[I]) {
+      Remap[I] = static_cast<uint32_t>(New.size());
+      New.push_back(Ops[I]);
+    }
+  uint64_t Moved = 0;
+  for (size_t I = 0; I != Ops.size(); ++I)
+    if (Cold[I] && Remap[I] != I)
+      ++Moved;
+  Ops = std::move(New);
+  remapOffTrace(Ops, Remap);
+  (void)HotCount;
+  return Moved;
+}
+
+//===----------------------------------------------------------------------===//
+// coalesce-flags
+//===----------------------------------------------------------------------===//
+
+/// On-trace successor of op \p I: guards and trace branches fall past an
+/// adjacent off-trace op (when it was not outlined), everything else
+/// falls through.
+size_t nextOnTrace(const std::vector<HostInstr> &Ops, size_t I) {
+  const HostInstr &HI = Ops[I];
+  if (HI.Kind == HostOpKind::TraceBranch || HI.Kind == HostOpKind::SpecGuard)
+    return HI.OffTraceIndex == I + 1 ? I + 2 : I + 1;
+  return I + 1;
+}
+
+/// When two guards are adjacent on the hot path (separated only by
+/// flag-neutral glue: SetLink materialisations and elided jumps), the
+/// first guard's flag restore and the second's flag save cancel — the
+/// app's flag state is untouched in between. Each elision is 4 bytes
+/// and one save/restore charge off the hit path.
+uint64_t coalesceFlagsPass(std::vector<HostInstr> &Ops) {
+  uint64_t Pairs = 0;
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    if (Ops[I].Kind != HostOpKind::SpecGuard || Ops[I].FlagRestoreElided)
+      continue;
+    size_t J = nextOnTrace(Ops, I);
+    while (J < Ops.size() && (Ops[J].Kind == HostOpKind::SetLink ||
+                              Ops[J].Kind == HostOpKind::Elided))
+      J = nextOnTrace(Ops, J);
+    if (J < Ops.size() && Ops[J].Kind == HostOpKind::SpecGuard &&
+        !Ops[J].FlagSaveElided) {
+      Ops[I].FlagRestoreElided = true;
+      Ops[J].FlagSaveElided = true;
+      ++Pairs;
+    }
+  }
+  return Pairs;
+}
+
+} // namespace
+
+TraceOptStats sdt::opt::optimizeTrace(std::vector<HostInstr> &Ops,
+                                      const SdtOptions &Opts) {
+  TraceOptStats S;
+  if (Ops.empty())
+    return S;
+  if (Opts.OptConstForward)
+    S.ConstFolds = constForwardPass(Ops);
+  if (Opts.OptDeadLink && Opts.Returns != ReturnStrategy::ShadowStack)
+    S.DeadLinks = deadLinkPass(Ops);
+  if (Opts.OptElideGlue)
+    S.GlueElided = elideGluePass(Ops);
+  if (Opts.OptOutlineStubs)
+    S.StubsOutlined = outlineStubsPass(Ops);
+  if (Opts.OptCoalesceFlags)
+    S.FlagPairsElided = coalesceFlagsPass(Ops);
+  return S;
+}

@@ -1,0 +1,65 @@
+//===- opt/TraceOptimizer.h - Superblock pass pipeline -----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-optimization pipeline: a sequence of peephole/redundancy
+/// passes that run over a stitched superblock's HostInstr stream between
+/// trace stitching and code emission (docs/Superblocks.md). The passes
+/// never change guest-visible behaviour — they only remove work the
+/// linearised layout made redundant:
+///
+///  - const-forward: forward-propagate constants established within the
+///    trace and fold pure ALU ops to constant materialisations (exact
+///    semantics via vm::evalPureAlu — the same evaluator the
+///    interpreter uses);
+///  - dead-link: kill SetLink ops whose link register is overwritten
+///    before any read with no trace exit in between;
+///  - elide-glue: remove the zero-byte Elided jump markers entirely,
+///    folding their guest-retirement bookkeeping into the successor op;
+///  - outline-stubs: move off-trace exit stubs and speculation-fallback
+///    lookup sites out of the hot straight line to the fragment tail,
+///    shrinking the hot path's I-cache footprint;
+///  - coalesce-flags: share one flag save/restore pair between adjacent
+///    speculation guards.
+///
+/// The pipeline operates on the pre-layout op stream (no host addresses
+/// assigned yet, IB sites not yet registered), so removed ops cost
+/// nothing and reordered ops land at their final addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_OPT_TRACEOPTIMIZER_H
+#define STRATAIB_OPT_TRACEOPTIMIZER_H
+
+#include "core/HostInstr.h"
+#include "core/SdtOptions.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace opt {
+
+/// What one optimizeTrace() invocation did, per pass.
+struct TraceOptStats {
+  uint64_t GlueElided = 0;      ///< Elided ops removed.
+  uint64_t ConstFolds = 0;      ///< Guest ALU ops folded to constants.
+  uint64_t DeadLinks = 0;       ///< SetLink ops proven dead.
+  uint64_t StubsOutlined = 0;   ///< Cold ops moved to the tail.
+  uint64_t FlagPairsElided = 0; ///< Guard flag save/restores shared.
+};
+
+/// Runs the enabled passes (Opts.Opt* toggles) over the pending trace
+/// stream \p Ops in place. \p Ops uses fragment-local indices in
+/// OffTraceIndex; the pipeline keeps them consistent across removals and
+/// reordering. Must run before layout (host addresses are reassigned).
+TraceOptStats optimizeTrace(std::vector<core::HostInstr> &Ops,
+                            const core::SdtOptions &Opts);
+
+} // namespace opt
+} // namespace sdt
+
+#endif // STRATAIB_OPT_TRACEOPTIMIZER_H

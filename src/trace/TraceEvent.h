@@ -38,6 +38,12 @@ enum class EventKind : uint8_t {
                       ///< addr, B=dirtied bytes, word-granular).
   FragInvalidate,     ///< A fragment died because a guest write hit its
                       ///< source range (A=guest entry, B=code bytes).
+  TraceOptimized,     ///< The superblock pass pipeline ran over a trace
+                      ///< (A=head, B=host ops eliminated).
+  SpecGuardHit,       ///< A speculation guard's prediction held
+                      ///< (A=site guest pc, B=dynamic target).
+  SpecGuardMiss,      ///< A speculation guard fell back to the bound
+                      ///< mechanism (A=site guest pc, B=dynamic target).
   NumKinds,
 };
 

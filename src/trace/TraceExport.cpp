@@ -84,6 +84,15 @@ std::string sdt::trace::jsonlLine(const TraceEvent &E) {
     appendField(Out, "guest_pc", E.A);
     appendField(Out, "code_bytes", E.B);
     break;
+  case EventKind::TraceOptimized:
+    appendField(Out, "head_pc", E.A);
+    appendField(Out, "eliminated", E.B);
+    break;
+  case EventKind::SpecGuardHit:
+  case EventKind::SpecGuardMiss:
+    appendField(Out, "site_pc", E.A);
+    appendField(Out, "target", E.B);
+    break;
   case EventKind::NumKinds:
     break;
   }
@@ -150,6 +159,12 @@ std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
     Out += std::to_string(Expect->FragmentsInvalidatedByWrite);
     Out += ",\"stale_bytes_discarded\":";
     Out += std::to_string(Expect->StaleBytesDiscarded);
+    Out += ",\"traces_optimized\":";
+    Out += std::to_string(Expect->TracesOptimized);
+    Out += ",\"spec_guard_hits\":";
+    Out += std::to_string(Expect->SpecGuardHits);
+    Out += ",\"spec_guard_misses\":";
+    Out += std::to_string(Expect->SpecGuardMisses);
     Out += '}';
     Out += ",\"expected_mechanisms\":{";
     First = true;

@@ -52,6 +52,9 @@ struct StatsExpectation {
   uint64_t CodeWriteInvalidations = 0;
   uint64_t FragmentsInvalidatedByWrite = 0;
   uint64_t StaleBytesDiscarded = 0;
+  uint64_t TracesOptimized = 0;
+  uint64_t SpecGuardHits = 0;
+  uint64_t SpecGuardMisses = 0;
   std::vector<MechExpectation> Mechanisms;
 };
 

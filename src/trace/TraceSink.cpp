@@ -36,6 +36,12 @@ const char *sdt::trace::eventKindName(EventKind K) {
     return "code-write";
   case EventKind::FragInvalidate:
     return "frag-invalidate";
+  case EventKind::TraceOptimized:
+    return "trace-optimized";
+  case EventKind::SpecGuardHit:
+    return "spec-guard-hit";
+  case EventKind::SpecGuardMiss:
+    return "spec-guard-miss";
   case EventKind::NumKinds:
     break;
   }

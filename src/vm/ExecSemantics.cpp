@@ -31,6 +31,82 @@ static int32_t signedRem(int32_t A, int32_t B) {
   return A % B;
 }
 
+bool sdt::vm::isPureAlu(Opcode Op) {
+  return static_cast<uint8_t>(Op) >= static_cast<uint8_t>(Opcode::Add) &&
+         static_cast<uint8_t>(Op) <= static_cast<uint8_t>(Opcode::Lui);
+}
+
+bool sdt::vm::pureAluReadsRs1(Opcode Op) {
+  assert(isPureAlu(Op) && "not a pure ALU opcode");
+  return Op != Opcode::Lui;
+}
+
+bool sdt::vm::pureAluReadsRs2(Opcode Op) {
+  assert(isPureAlu(Op) && "not a pure ALU opcode");
+  return opcodeInfo(Op).Form == Format::R;
+}
+
+uint32_t sdt::vm::evalPureAlu(const Instruction &I, uint32_t A, uint32_t B) {
+  uint32_t ImmU = static_cast<uint32_t>(I.Imm);
+  switch (I.Op) {
+  // --- Register-register ALU ------------------------------------------
+  case Opcode::Add:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::Div:
+    return static_cast<uint32_t>(
+        signedDiv(static_cast<int32_t>(A), static_cast<int32_t>(B)));
+  case Opcode::Rem:
+    return static_cast<uint32_t>(
+        signedRem(static_cast<int32_t>(A), static_cast<int32_t>(B)));
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Sll:
+    return A << (B & 31);
+  case Opcode::Srl:
+    return A >> (B & 31);
+  case Opcode::Sra:
+    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (B & 31));
+  case Opcode::Slt:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
+  case Opcode::Sltu:
+    return A < B;
+
+  // --- Register-immediate ALU -----------------------------------------
+  case Opcode::Addi:
+    return A + ImmU;
+  case Opcode::Andi:
+    return A & ImmU;
+  case Opcode::Ori:
+    return A | ImmU;
+  case Opcode::Xori:
+    return A ^ ImmU;
+  case Opcode::Slti:
+    return static_cast<int32_t>(A) < I.Imm;
+  case Opcode::Sltiu:
+    return A < ImmU;
+  case Opcode::Slli:
+    return A << (ImmU & 31);
+  case Opcode::Srli:
+    return A >> (ImmU & 31);
+  case Opcode::Srai:
+    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (ImmU & 31));
+  case Opcode::Lui:
+    return ImmU << 16;
+
+  default:
+    assert(false && "evalPureAlu given a non-ALU opcode");
+    return 0;
+  }
+}
+
 ExecEffect sdt::vm::executeNonCti(const Instruction &I, GuestState &State,
                                   GuestMemory &Memory) {
   assert(!I.isCti() && "executeNonCti given a control-transfer instruction");
@@ -40,84 +116,12 @@ ExecEffect sdt::vm::executeNonCti(const Instruction &I, GuestState &State,
   uint32_t B = State.reg(I.Rs2);
   uint32_t ImmU = static_cast<uint32_t>(I.Imm);
 
+  if (isPureAlu(I.Op)) {
+    State.setReg(I.Rd, evalPureAlu(I, A, B));
+    return Effect;
+  }
+
   switch (I.Op) {
-  // --- Register-register ALU ------------------------------------------
-  case Opcode::Add:
-    State.setReg(I.Rd, A + B);
-    return Effect;
-  case Opcode::Sub:
-    State.setReg(I.Rd, A - B);
-    return Effect;
-  case Opcode::Mul:
-    State.setReg(I.Rd, A * B);
-    return Effect;
-  case Opcode::Div:
-    State.setReg(I.Rd, static_cast<uint32_t>(signedDiv(
-                           static_cast<int32_t>(A), static_cast<int32_t>(B))));
-    return Effect;
-  case Opcode::Rem:
-    State.setReg(I.Rd, static_cast<uint32_t>(signedRem(
-                           static_cast<int32_t>(A), static_cast<int32_t>(B))));
-    return Effect;
-  case Opcode::And:
-    State.setReg(I.Rd, A & B);
-    return Effect;
-  case Opcode::Or:
-    State.setReg(I.Rd, A | B);
-    return Effect;
-  case Opcode::Xor:
-    State.setReg(I.Rd, A ^ B);
-    return Effect;
-  case Opcode::Sll:
-    State.setReg(I.Rd, A << (B & 31));
-    return Effect;
-  case Opcode::Srl:
-    State.setReg(I.Rd, A >> (B & 31));
-    return Effect;
-  case Opcode::Sra:
-    State.setReg(I.Rd, static_cast<uint32_t>(static_cast<int32_t>(A) >>
-                                             (B & 31)));
-    return Effect;
-  case Opcode::Slt:
-    State.setReg(I.Rd, static_cast<int32_t>(A) < static_cast<int32_t>(B));
-    return Effect;
-  case Opcode::Sltu:
-    State.setReg(I.Rd, A < B);
-    return Effect;
-
-  // --- Register-immediate ALU ---------------------------------------------
-  case Opcode::Addi:
-    State.setReg(I.Rd, A + ImmU);
-    return Effect;
-  case Opcode::Andi:
-    State.setReg(I.Rd, A & ImmU);
-    return Effect;
-  case Opcode::Ori:
-    State.setReg(I.Rd, A | ImmU);
-    return Effect;
-  case Opcode::Xori:
-    State.setReg(I.Rd, A ^ ImmU);
-    return Effect;
-  case Opcode::Slti:
-    State.setReg(I.Rd, static_cast<int32_t>(A) < I.Imm);
-    return Effect;
-  case Opcode::Sltiu:
-    State.setReg(I.Rd, A < ImmU);
-    return Effect;
-  case Opcode::Slli:
-    State.setReg(I.Rd, A << (ImmU & 31));
-    return Effect;
-  case Opcode::Srli:
-    State.setReg(I.Rd, A >> (ImmU & 31));
-    return Effect;
-  case Opcode::Srai:
-    State.setReg(I.Rd, static_cast<uint32_t>(static_cast<int32_t>(A) >>
-                                             (ImmU & 31)));
-    return Effect;
-  case Opcode::Lui:
-    State.setReg(I.Rd, ImmU << 16);
-    return Effect;
-
   // --- Memory ------------------------------------------------------------
   case Opcode::Lw: {
     uint32_t Addr = A + ImmU;

@@ -44,6 +44,24 @@ struct ExecEffect {
 ExecEffect executeNonCti(const isa::Instruction &I, GuestState &State,
                          GuestMemory &Memory);
 
+/// True for pure ALU opcodes (Add..Sltu, Addi..Srai, Lui): no memory
+/// access, no control transfer, result a function of register/immediate
+/// inputs only. These are the ops a constant-forwarding optimizer may
+/// fold.
+bool isPureAlu(isa::Opcode Op);
+
+/// Whether a pure-ALU opcode reads Rs1 / Rs2 (Lui reads neither;
+/// immediate forms read only Rs1).
+bool pureAluReadsRs1(isa::Opcode Op);
+bool pureAluReadsRs2(isa::Opcode Op);
+
+/// Computes the result of pure-ALU instruction \p I given operand values
+/// \p A (Rs1) and \p B (Rs2). This is the single source of ALU semantics:
+/// executeNonCti delegates here, so constant folding over translated code
+/// is exact by construction (RISC-V division conventions, shift masking,
+/// 32-bit wrapping).
+uint32_t evalPureAlu(const isa::Instruction &I, uint32_t A, uint32_t B);
+
 /// Evaluates the condition of conditional branch \p I (beq/bne/blt/bge/
 /// bltu/bgeu) against \p State.
 bool evalBranchCondition(const isa::Instruction &I, const GuestState &State);

@@ -1,0 +1,750 @@
+//===- tests/opt_superblock_test.cpp - Superblock optimizer tests *- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The trace-optimization pipeline (src/opt) and speculative IB-target
+// inlining under test: pass-level structure checks against hand-written
+// guests, guest-visible identity across every pass/speculation
+// configuration (including under eviction pressure and self-modifying
+// code), and the coherence regression — a guest store into a
+// speculatively-inlined target's source range must invalidate the trace
+// that inlined it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "assembler/Assembler.h"
+#include "cachemgr/CachePolicy.h"
+#include "core/DispatcherHandler.h"
+#include "core/SdtEngine.h"
+#include "core/Translator.h"
+#include "trace/TraceSink.h"
+#include "vm/GuestMemory.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::isa;
+using namespace sdt::vm;
+using namespace sdt::workloads;
+
+namespace {
+
+/// Assembles \p Src, loads it, and exposes a ready Translator (same
+/// shape as core_translator_test, plus per-test SdtOptions).
+struct OptTraceFixture : public ::testing::Test {
+  void build(const char *Src, SdtOptions TheOpts = {}) {
+    Expected<Program> P = assembler::assemble(Src);
+    ASSERT_TRUE(static_cast<bool>(P)) << P.error().message();
+    Prog = std::make_unique<Program>(std::move(*P));
+    Memory = std::make_unique<vm::GuestMemory>();
+    ASSERT_TRUE(Memory->loadProgram(*Prog));
+    Decoder = std::make_unique<vm::DecodeCache>(
+        *Memory, Prog->loadAddress(),
+        static_cast<uint32_t>(Prog->image().size()) & ~3u);
+    Opts = TheOpts;
+    Cache = std::make_unique<FragmentCache>(Opts.FragmentCacheBytes);
+    Handler = std::make_unique<DispatcherHandler>();
+    Xlate = std::make_unique<Translator>(*Decoder, *Cache, Opts);
+    Xlate->setHandlers(Handler.get(), Handler.get());
+  }
+
+  const Fragment &translateAt(uint32_t Pc) {
+    Expected<HostLoc> Loc = Xlate->translate(Pc, nullptr, Stats);
+    EXPECT_TRUE(static_cast<bool>(Loc))
+        << (Loc ? "" : Loc.error().message());
+    return Cache->fragment(Loc->Frag);
+  }
+
+  /// Options with the optimizer on but every pass off — tests switch on
+  /// exactly the passes they assert about.
+  static SdtOptions optBase() {
+    SdtOptions O;
+    O.OptimizeTraces = true;
+    O.OptConstForward = false;
+    O.OptDeadLink = false;
+    O.OptElideGlue = false;
+    O.OptOutlineStubs = false;
+    O.OptCoalesceFlags = false;
+    return O;
+  }
+
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<vm::GuestMemory> Memory;
+  std::unique_ptr<vm::DecodeCache> Decoder;
+  std::unique_ptr<FragmentCache> Cache;
+  std::unique_ptr<DispatcherHandler> Handler;
+  std::unique_ptr<Translator> Xlate;
+  SdtOptions Opts;
+  SdtStats Stats;
+};
+
+std::vector<HostOpKind> kindsOf(const Fragment &F) {
+  std::vector<HostOpKind> Kinds;
+  for (const HostInstr &HI : F.Code)
+    Kinds.push_back(HI.Kind);
+  return Kinds;
+}
+
+// The loop whose unoptimized trace is pinned by
+// TranslatorFixture.TraceLinearisesLoopBody: addi / j mid / addi / bnez.
+const char *LoopSrc = R"(
+main:
+loop:
+    addi t1, t1, 1
+    j    mid
+mid:
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pass-level structure
+//===----------------------------------------------------------------------===//
+
+TEST_F(OptTraceFixture, GlueElisionFoldsJumpIntoSuccessor) {
+  SdtOptions O = optBase();
+  O.OptElideGlue = true;
+  build(LoopSrc, O);
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {true}, 2, Translator::TraceEnd::CtiBudget, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  // The Elided marker for `j mid` is gone; its retirement rides on the
+  // second addi.
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::Guest, HostOpKind::Guest,
+                                     HostOpKind::TraceBranch,
+                                     HostOpKind::ExitStub,
+                                     HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[0].ElidedJumps, 0u);
+  EXPECT_EQ(F.Code[1].ElidedJumps, 1u);
+  // OffTraceIndex was remapped across the removed op.
+  EXPECT_EQ(F.Code[2].OffTraceIndex, 3u);
+  EXPECT_EQ(F.Code[3].TargetGuest, 0x1010u); // Off-trace fall-through.
+  EXPECT_EQ(F.Code[4].TargetGuest, 0x1000u); // Loop close.
+  EXPECT_EQ(Stats.TraceGlueElided, 1u);
+  EXPECT_EQ(Stats.TracesOptimized, 1u);
+}
+
+TEST_F(OptTraceFixture, OutliningMovesOffTraceStubToTail) {
+  SdtOptions O = optBase();
+  O.OptElideGlue = true;
+  O.OptOutlineStubs = true;
+  build(LoopSrc, O);
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {true}, 2, Translator::TraceEnd::CtiBudget, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  // The off-trace stub no longer sits between the branch and the
+  // loop-close stub: the hot line is [addi, addi, bnez, close].
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::Guest, HostOpKind::Guest,
+                                     HostOpKind::TraceBranch,
+                                     HostOpKind::ExitStub,
+                                     HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[2].OffTraceIndex, 4u);
+  EXPECT_EQ(F.Code[3].TargetGuest, 0x1000u); // Close stub first now.
+  EXPECT_EQ(F.Code[4].TargetGuest, 0x1010u); // Cold stub at the tail.
+  EXPECT_LT(F.Code[3].HostAddr, F.Code[4].HostAddr);
+  EXPECT_EQ(Stats.TraceStubsOutlined, 1u);
+}
+
+TEST_F(OptTraceFixture, ConstForwardingFoldsKnownAlu) {
+  SdtOptions O = optBase();
+  O.OptConstForward = true;
+  build(R"(
+main:
+loop:
+    li   t0, 6
+    li   t1, 7
+    mul  t2, t0, t1
+    j    loop
+)",
+        O);
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {}, 1, Translator::TraceEnd::CtiBudget, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  // li expands to lui+ori; all five ALU ops have provable results.
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::Guest, HostOpKind::Guest,
+                                     HostOpKind::Guest, HostOpKind::Guest,
+                                     HostOpKind::Guest, HostOpKind::Elided,
+                                     HostOpKind::ExitStub}));
+  EXPECT_TRUE(F.Code[4].Folded);
+  EXPECT_EQ(F.Code[4].FoldedValue, 42u); // mul of forwarded constants
+  EXPECT_EQ(Stats.TraceConstFolds, 5u);
+}
+
+TEST_F(OptTraceFixture, DeadLinkKilledWhenOverwrittenUnreadFirst) {
+  SdtOptions O = optBase();
+  O.OptDeadLink = true;
+  build(R"(
+main:
+    jal f
+    halt
+f:
+    jal g
+    halt
+g:
+    ret
+)",
+        O);
+  translateAt(0x1000);
+  // Path: jal f, jal g, ret — the first link store dies at the second.
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {}, 2, Translator::TraceEnd::AtIB, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::SetLink, HostOpKind::SetLink,
+                                     HostOpKind::IBLookup}));
+  EXPECT_TRUE(F.Code[0].LinkDead);
+  EXPECT_FALSE(F.Code[1].LinkDead); // read by the ret's IB site
+  EXPECT_EQ(hostInstrBytes(F.Code[0]), 0u);
+  EXPECT_EQ(F.Code[1].HostAddr, F.Code[0].HostAddr);
+  EXPECT_EQ(Stats.TraceDeadLinks, 1u);
+}
+
+TEST_F(OptTraceFixture, DeadLinkGatedOffUnderShadowStack) {
+  SdtOptions O = optBase();
+  O.OptDeadLink = true;
+  O.Returns = ReturnStrategy::ShadowStack;
+  build(R"(
+main:
+    jal f
+    halt
+f:
+    jal g
+    halt
+g:
+    ret
+)",
+        O);
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {}, 2, Translator::TraceEnd::AtIB, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  // Skipping the push would desynchronise the shadow stack's pops.
+  EXPECT_FALSE(F.Code[0].LinkDead);
+  EXPECT_EQ(Stats.TraceDeadLinks, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Speculative IB-target inlining (translator level)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *SpecLoopSrc = R"(
+main:
+loop:
+    addi s1, s1, 1
+    jr   t2
+tgt:
+    addi s2, s2, 1
+    bnez s1, loop
+    halt
+)";
+
+} // namespace
+
+TEST_F(OptTraceFixture, SpecGuardCrossesMonomorphicIB) {
+  SdtOptions O; // optimizer off: raw guard emission
+  build(SpecLoopSrc, O);
+  translateAt(0x1000);
+  // jr t2 recorded monomorphic to tgt (0x1008): guard + fallback site,
+  // then the trace continues through the target block.
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {true}, {0x1008}, 2, Translator::TraceEnd::CtiBudget, nullptr,
+      Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{
+                HostOpKind::Guest,       // addi s1
+                HostOpKind::SpecGuard,   // jr t2, predicted 0x1008
+                HostOpKind::IBLookup,    // fallback site (guard miss)
+                HostOpKind::Guest,       // addi s2 — inlined target block
+                HostOpKind::TraceBranch, // bnez back to head
+                HostOpKind::ExitStub,    // off-trace fall-through (halt)
+                HostOpKind::ExitStub})); // loop close
+  const HostInstr &Guard = F.Code[1];
+  EXPECT_EQ(Guard.TargetGuest, 0x1008u);
+  EXPECT_EQ(Guard.OffTraceIndex, 2u);
+  EXPECT_EQ(Guard.SiteClass, IBClass::Jump);
+  EXPECT_FALSE(Guard.CountsAsGuest); // retired manually on guard hits
+  const HostInstr &Fallback = F.Code[2];
+  EXPECT_TRUE(Fallback.SpecFallback);
+  EXPECT_TRUE(Fallback.CountsAsGuest);
+  EXPECT_EQ(Fallback.SiteClass, IBClass::Jump);
+  EXPECT_EQ(Stats.SpecGuardsEmitted, 1u);
+  // The head BB's own jr site plus the trace's fallback site.
+  ASSERT_EQ(Xlate->sites().size(), 2u);
+  // The trace's guest hull covers the inlined target block, so an SMC
+  // write into tgt invalidates this trace (the coherence property the
+  // engine-level regression below depends on).
+  EXPECT_LE(F.GuestLow, 0x1000u);
+  EXPECT_GE(F.GuestHigh, 0x1010u);
+}
+
+TEST_F(OptTraceFixture, OutliningMovesSpecFallbackToTail) {
+  SdtOptions O = optBase();
+  O.OptElideGlue = true;
+  O.OptOutlineStubs = true;
+  build(SpecLoopSrc, O);
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {true}, {0x1008}, 2, Translator::TraceEnd::CtiBudget, nullptr,
+      Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  // Hot straight line first, cold fallback site + off-trace stub last.
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{
+                HostOpKind::Guest, HostOpKind::SpecGuard, HostOpKind::Guest,
+                HostOpKind::TraceBranch, HostOpKind::ExitStub,
+                HostOpKind::IBLookup, HostOpKind::ExitStub}));
+  EXPECT_EQ(F.Code[1].OffTraceIndex, 5u); // guard -> outlined fallback
+  EXPECT_TRUE(F.Code[5].SpecFallback);
+  EXPECT_EQ(F.Code[3].OffTraceIndex, 6u); // branch -> outlined stub
+  EXPECT_EQ(F.Code[4].TargetGuest, 0x1000u);
+  EXPECT_EQ(Stats.TraceStubsOutlined, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace-end edge cases
+//===----------------------------------------------------------------------===//
+
+TEST_F(OptTraceFixture, AtStopTraceEndsOnHalt) {
+  build(R"(
+main:
+    j    body
+body:
+    nop
+    halt
+)");
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {}, 1, Translator::TraceEnd::AtStop, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::Elided, HostOpKind::Guest,
+                                     HostOpKind::HaltOp}));
+}
+
+TEST_F(OptTraceFixture, AtStopTraceWithGlueElision) {
+  SdtOptions O = optBase();
+  O.OptElideGlue = true;
+  build(R"(
+main:
+    j    body
+body:
+    nop
+    halt
+)",
+        O);
+  translateAt(0x1000);
+  Expected<HostLoc> Trace = Xlate->buildTrace(
+      0x1000, {}, 1, Translator::TraceEnd::AtStop, nullptr, Stats);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  const Fragment &F = Cache->fragment(Trace->Frag);
+  // The leading elided jump folds into the nop's retirement count.
+  ASSERT_EQ(kindsOf(F),
+            (std::vector<HostOpKind>{HostOpKind::Guest, HostOpKind::HaltOp}));
+  EXPECT_EQ(F.Code[0].ElidedJumps, 1u);
+}
+
+TEST_F(OptTraceFixture, PassesPreserveRetiredInstructionAccounting) {
+  // The optimized trace must promise exactly the same number of retired
+  // guest instructions as the unoptimized one: CountsAsGuest ops plus
+  // folded ElidedJumps.
+  auto retirements = [](const Fragment &F) {
+    uint64_t N = 0;
+    for (const HostInstr &HI : F.Code) {
+      if (HI.CountsAsGuest)
+        ++N;
+      N += HI.ElidedJumps;
+      // SpecGuard hits retire the crossing manually.
+      if (HI.Kind == HostOpKind::SpecGuard)
+        ++N;
+    }
+    return N;
+  };
+
+  build(SpecLoopSrc);
+  translateAt(0x1000);
+  Expected<HostLoc> Plain = Xlate->buildTrace(
+      0x1000, {true}, {0x1008}, 2, Translator::TraceEnd::CtiBudget, nullptr,
+      Stats);
+  ASSERT_TRUE(static_cast<bool>(Plain));
+  uint64_t PlainCount = retirements(Cache->fragment(Plain->Frag));
+
+  SdtOptions O;
+  O.OptimizeTraces = true; // all passes on
+  build(SpecLoopSrc, O);
+  translateAt(0x1000);
+  SdtStats S2;
+  Expected<HostLoc> Opt = Xlate->buildTrace(
+      0x1000, {true}, {0x1008}, 2, Translator::TraceEnd::CtiBudget, nullptr,
+      S2);
+  ASSERT_TRUE(static_cast<bool>(Opt));
+  // The fallback IBLookup also counts, but it and the guard can never
+  // both retire on one crossing — subtract the double-promise.
+  uint64_t OptCount =
+      retirements(Cache->fragment(Opt->Frag)) - S2.SpecGuardsEmitted;
+  EXPECT_EQ(OptCount, PlainCount - Stats.SpecGuardsEmitted);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-level differential sweep: pass/speculation configs × workloads
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct OptConfig {
+  const char *Name;
+  SdtOptions Opts;
+};
+
+std::vector<OptConfig> optConfigs() {
+  std::vector<OptConfig> Cases;
+  auto add = [&Cases](const char *Name, auto Mutate) {
+    SdtOptions O;
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 4;
+    Mutate(O);
+    Cases.push_back({Name, O});
+  };
+  add("traces_noopt", [](SdtOptions &) {});
+  add("opt_all", [](SdtOptions &O) { O.OptimizeTraces = true; });
+  add("opt_noconst", [](SdtOptions &O) {
+    O.OptimizeTraces = true;
+    O.OptConstForward = false;
+  });
+  add("opt_nodeadlink", [](SdtOptions &O) {
+    O.OptimizeTraces = true;
+    O.OptDeadLink = false;
+  });
+  add("opt_noglue", [](SdtOptions &O) {
+    O.OptimizeTraces = true;
+    O.OptElideGlue = false;
+  });
+  add("opt_nooutline", [](SdtOptions &O) {
+    O.OptimizeTraces = true;
+    O.OptOutlineStubs = false;
+  });
+  add("opt_nocoalesce", [](SdtOptions &O) {
+    O.OptimizeTraces = true;
+    O.OptCoalesceFlags = false;
+  });
+  add("spec_noopt", [](SdtOptions &O) {
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  add("opt_spec", [](SdtOptions &O) {
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  add("opt_spec_sieve", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Sieve;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  add("opt_spec_inline2", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.InlineCacheDepth = 2;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  add("opt_spec_retcache", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ReturnCache;
+    O.ReturnCacheEntries = 16;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  add("opt_spec_fastret", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::FastReturn;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  add("opt_spec_shadow", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ShadowStack;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  // Truncated recordings: every trace ends at the block budget.
+  add("opt_spec_maxblocks2", [](SdtOptions &O) {
+    O.MaxTraceBlocks = 2;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  // Eviction pressure: optimized/speculative traces are built, evicted,
+  // and rebuilt while the guest runs.
+  add("opt_spec_fifo4k", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+    O.TraceHotThreshold = 3;
+  });
+  add("opt_spec_flush4k", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::FullFlush;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+    O.TraceHotThreshold = 3;
+  });
+  return Cases;
+}
+
+struct OptDiffParam {
+  const char *Workload;
+  OptConfig Config;
+};
+
+class OptDifferentialTest : public ::testing::TestWithParam<OptDiffParam> {};
+
+} // namespace
+
+TEST_P(OptDifferentialTest, GuestVisibleIdentity) {
+  const OptDiffParam &P = GetParam();
+  Expected<isa::Program> Program = buildWorkload(P.Workload, 1);
+  ASSERT_TRUE(static_cast<bool>(Program))
+      << (Program ? "" : Program.error().message());
+
+  ExecOptions Exec;
+  Exec.MaxInstructions = 50000000;
+  auto VM = GuestVM::create(*Program, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  auto Engine = SdtEngine::create(*Program, P.Config.Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+
+  EXPECT_EQ(Native.Reason, Translated.Reason) << Translated.FaultMessage;
+  EXPECT_EQ(Native.ExitCode, Translated.ExitCode);
+  EXPECT_EQ(Native.Output, Translated.Output);
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+  EXPECT_GT((*Engine)->stats().TracesBuilt, 0u);
+  if (P.Config.Opts.OptimizeTraces)
+    EXPECT_EQ((*Engine)->stats().TracesOptimized,
+              (*Engine)->stats().TracesBuilt);
+}
+
+static std::vector<OptDiffParam> makeOptDiffParams() {
+  std::vector<OptDiffParam> Params;
+  // parser/eon: ind-jump and ind-call heavy (speculation engages);
+  // crafty: return-dominated (exercises the per-strategy gates);
+  // smctable: self-modifying jump tables under every config.
+  for (const char *W : {"parser", "eon", "crafty", "smctable"})
+    for (const OptConfig &C : optConfigs())
+      Params.push_back({W, C});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, OptDifferentialTest, ::testing::ValuesIn(makeOptDiffParams()),
+    [](const ::testing::TestParamInfo<OptDiffParam> &Info) {
+      return std::string(Info.param.Workload) + "_" +
+             Info.param.Config.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Speculation smoke: guards engage and the optimizer never costs cycles
+//===----------------------------------------------------------------------===//
+
+TEST(OptSuperblockTest, SpeculationEngagesOnMonomorphicWorkload) {
+  Expected<isa::Program> P = buildWorkload("eon", 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+
+  ExecOptions Exec;
+  auto VM = GuestVM::create(*P, Exec);
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally());
+
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Ibtc;
+  Opts.EnableTraces = true;
+  Opts.TraceHotThreshold = 8;
+  Opts.OptimizeTraces = true;
+  Opts.TraceSpeculate = true;
+  Opts.TraceSpeculateThreshold = 4;
+  auto Engine = SdtEngine::create(*P, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult R = (*Engine)->run();
+  ASSERT_TRUE(R.finishedNormally()) << R.FaultMessage;
+  EXPECT_EQ(Native.Output, R.Output);
+  EXPECT_EQ(Native.InstructionCount, R.InstructionCount);
+
+  const SdtStats &S = (*Engine)->stats();
+  EXPECT_GT(S.TracesBuilt, 0u);
+  EXPECT_GT(S.TracesOptimized, 0u);
+  EXPECT_GT(S.SpecGuardsEmitted, 0u);
+  EXPECT_GT(S.SpecGuardHits, 0u);
+}
+
+TEST(OptSuperblockTest, OptimizerNeverAddsCycles) {
+  // The redundancy passes only remove bytes and charges, so with
+  // speculation off the optimized engine can never be slower. The
+  // simulator is deterministic: this is an exact invariant, not a
+  // statistical one.
+  for (const char *W : {"parser", "crafty"}) {
+    Expected<isa::Program> P = buildWorkload(W, 1);
+    ASSERT_TRUE(static_cast<bool>(P));
+    uint64_t Cycles[2];
+    for (int Optimized = 0; Optimized != 2; ++Optimized) {
+      arch::TimingModel Timing(arch::simpleModel());
+      ExecOptions Exec;
+      Exec.Timing = &Timing;
+      SdtOptions Opts;
+      Opts.EnableTraces = true;
+      Opts.TraceHotThreshold = 8;
+      Opts.OptimizeTraces = Optimized != 0;
+      auto Engine = SdtEngine::create(*P, Opts, Exec);
+      ASSERT_TRUE(static_cast<bool>(Engine));
+      RunResult R = (*Engine)->run();
+      ASSERT_TRUE(R.finishedNormally()) << R.FaultMessage;
+      Cycles[Optimized] = Timing.totalCycles();
+    }
+    EXPECT_LE(Cycles[1], Cycles[0]) << W;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trace events reconcile with the new counters
+//===----------------------------------------------------------------------===//
+
+TEST(OptSuperblockTest, TraceEventsMatchOptimizerCounters) {
+  Expected<isa::Program> P = buildWorkload("eon", 1);
+  ASSERT_TRUE(static_cast<bool>(P));
+
+  trace::TraceSink Sink(1 << 16);
+  SdtOptions Opts;
+  Opts.EnableTraces = true;
+  Opts.TraceHotThreshold = 8;
+  Opts.OptimizeTraces = true;
+  Opts.TraceSpeculate = true;
+  Opts.TraceSpeculateThreshold = 4;
+  auto Engine = SdtEngine::create(*P, Opts, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setTraceSink(&Sink);
+  RunResult R = (*Engine)->run();
+  ASSERT_TRUE(R.finishedNormally()) << R.FaultMessage;
+
+  const SdtStats &S = (*Engine)->stats();
+  EXPECT_GT(S.TracesOptimized, 0u);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::TraceOptimized),
+            S.TracesOptimized);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::SpecGuardHit),
+            S.SpecGuardHits);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::SpecGuardMiss),
+            S.SpecGuardMisses);
+}
+
+//===----------------------------------------------------------------------===//
+// Coherence regression: SMC write into a speculatively-inlined target
+//===----------------------------------------------------------------------===//
+
+// The hot loop's trace speculatively inlines `tgt` (reached only through
+// `jr t0`). At iteration 100 the guest rewrites tgt's addi from +1 to
+// +5. The inlined copy lives inside the trace, physically far from the
+// loop's own blocks — only the extended guest hull (which covers every
+// walked pc, inlined targets included) lets the code-write invalidation
+// find and evict the trace. An engine that kept the stale trace would
+// keep adding 1 on every guard hit and exit with the wrong total.
+TEST(OptSuperblockTest, SmcWriteToInlinedTargetInvalidatesTrace) {
+  static const char *Src = R"(
+main:
+    la   t0, tgt
+    la   t1, patchslot
+    la   t2, tmpl
+    lw   t3, 0(t2)
+    li   t4, 200
+    li   t5, 100
+    li   s1, 0
+    li   s2, 0
+loop:
+    addi s1, s1, 1
+    jr   t0
+back:
+    bne  s1, t5, skip
+    sw   t3, 0(t1)
+skip:
+    blt  s1, t4, loop
+    move a0, s2
+    li   v0, 0
+    syscall
+tgt:
+patchslot:
+    addi s2, s2, 1
+    j    back
+tmpl:
+    addi s2, s2, 5
+)";
+  Expected<isa::Program> P = assembler::assemble(Src);
+  ASSERT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+
+  auto VM = GuestVM::create(*P, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_EQ(Native.Reason, ExitReason::Exited) << Native.FaultMessage;
+  // 100 iterations of +1, then 100 of +5.
+  ASSERT_EQ(Native.ExitCode, 600);
+
+  SdtOptions Opts;
+  Opts.EnableTraces = true;
+  Opts.TraceHotThreshold = 8;
+  Opts.OptimizeTraces = true;
+  Opts.TraceSpeculate = true;
+  Opts.TraceSpeculateThreshold = 4;
+  auto Engine = SdtEngine::create(*P, Opts, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  RunResult Translated = (*Engine)->run();
+  EXPECT_EQ(Translated.Reason, ExitReason::Exited)
+      << Translated.FaultMessage;
+  EXPECT_EQ(Native.ExitCode, Translated.ExitCode);
+  EXPECT_EQ(Native.Checksum, Translated.Checksum);
+  EXPECT_EQ(Native.InstructionCount, Translated.InstructionCount);
+
+  const SdtStats &S = (*Engine)->stats();
+  // The trace really did inline the target behind a guard and run hot...
+  EXPECT_GT(S.TracesBuilt, 0u);
+  EXPECT_GT(S.SpecGuardsEmitted, 0u);
+  EXPECT_GT(S.SpecGuardHits, 0u);
+  // ...and the patch invalidated it (trace hull covers patchslot).
+  EXPECT_EQ(S.CodeWriteInvalidations, 1u);
+  EXPECT_GE(S.FragmentsInvalidatedByWrite, 1u);
+}
