@@ -67,6 +67,40 @@ core::SdtOptions sdt::bench::withCacheEnvOverrides(core::SdtOptions Opts) {
   return Opts;
 }
 
+arch::MachineModel
+sdt::bench::withPredictorEnvOverrides(arch::MachineModel Model) {
+  arch::PredictorConfig P = Model.Predictor;
+  bool Overridden = false;
+  if (const char *Env = std::getenv("STRATAIB_PREDICTOR")) {
+    if (*Env) {
+      std::optional<arch::PredictorKind> Kind =
+          arch::parsePredictorKind(Env);
+      if (!Kind) {
+        std::fprintf(stderr,
+                     "bench: unknown STRATAIB_PREDICTOR '%s' (expected "
+                     "none, btb, ibtb, or perfect)\n",
+                     Env);
+        std::exit(2);
+      }
+      P.Kind = *Kind;
+      Overridden = true;
+    }
+  }
+  long Entries = envNumberOr("STRATAIB_BTB_ENTRIES", -1, 1, 1 << 24);
+  if (Entries >= 0) {
+    if ((Entries & (Entries - 1)) != 0) {
+      std::fprintf(stderr,
+                   "bench: STRATAIB_BTB_ENTRIES=%ld is not a power of "
+                   "two\n",
+                   Entries);
+      std::exit(2);
+    }
+    P.BtbEntries = static_cast<uint32_t>(Entries);
+    Overridden = true;
+  }
+  return Overridden ? arch::withPredictor(Model, P) : Model;
+}
+
 /// Ring capacity for traced runs (STRATAIB_TRACE_EVENTS).
 static size_t traceCapacityFromEnv() {
   return static_cast<size_t>(envNumberOr(
@@ -209,8 +243,9 @@ vm::RunResult BenchContext::runNative(const std::string &Workload,
 }
 
 Measurement BenchContext::measure(const std::string &Workload,
-                                  const arch::MachineModel &Model,
+                                  const arch::MachineModel &RequestedModel,
                                   const core::SdtOptions &RequestedOpts) {
+  const arch::MachineModel Model = withPredictorEnvOverrides(RequestedModel);
   const NativeBaseline &Base = native(Workload, Model);
   const core::SdtOptions Opts = withCacheEnvOverrides(RequestedOpts);
 
@@ -251,6 +286,11 @@ Measurement BenchContext::measure(const std::string &Workload,
   M.Stats = (*Engine)->stats();
   M.MainLookups = (*Engine)->mainHandler().lookups();
   M.MainHits = (*Engine)->mainHandler().hits();
+  const arch::BranchPredictor &Pred = Timing.predictor();
+  M.SdtIndirectLookups = Pred.indirectLookups();
+  M.SdtIndirectMispredicts = Pred.indirectMispredicts();
+  M.SdtReturnLookups = Pred.returnLookups();
+  M.SdtReturnMispredicts = Pred.returnMispredicts();
   M.NativeCti = Base.Result.Cti;
   M.Instructions = Base.Result.InstructionCount;
   M.Transparent = Translated.Reason == Base.Result.Reason &&

@@ -47,11 +47,28 @@ struct Measurement {
   /// Main-mechanism structure lookups/hits (IBTC table or sieve).
   uint64_t MainLookups = 0;
   uint64_t MainHits = 0;
+  /// Host indirect-predictor behaviour during the translated run: how
+  /// many indirect transfers the emitted code issued and how many the
+  /// modeled predictor missed (the E17 axis).
+  uint64_t SdtIndirectLookups = 0;
+  uint64_t SdtIndirectMispredicts = 0;
+  uint64_t SdtReturnLookups = 0;
+  uint64_t SdtReturnMispredicts = 0;
 
   double mainHitRate() const {
     return MainLookups == 0 ? 0.0
                             : static_cast<double>(MainHits) /
                                   static_cast<double>(MainLookups);
+  }
+
+  /// Mispredict rate over the translated run's indirect transfers
+  /// (indirect jumps and return-shaped jumps combined).
+  double ibMispredictRate() const {
+    uint64_t Lookups = SdtIndirectLookups + SdtReturnLookups;
+    return Lookups == 0 ? 0.0
+                        : static_cast<double>(SdtIndirectMispredicts +
+                                              SdtReturnMispredicts) /
+                              static_cast<double>(Lookups);
   }
 
   double slowdown() const {
@@ -89,9 +106,12 @@ public:
   static std::vector<std::string> allWorkloadNames();
 
   /// Runs \p Workload natively and under (\p Model, \p Opts) — with the
-  /// STRATAIB_CACHE_BYTES/STRATAIB_CACHE_POLICY env overrides applied.
-  /// Native results are cached per (workload, model) pair. Aborts the
-  /// process on build/run errors (experiment binaries are tools).
+  /// STRATAIB_CACHE_BYTES/STRATAIB_CACHE_POLICY and STRATAIB_PREDICTOR/
+  /// STRATAIB_BTB_ENTRIES env overrides applied. Native results are
+  /// cached per (workload, model) pair; predictor overrides rename the
+  /// model so overridden and unoverridden cells never share a baseline.
+  /// Aborts the process on build/run errors (experiment binaries are
+  /// tools).
   Measurement measure(const std::string &Workload,
                       const arch::MachineModel &Model,
                       const core::SdtOptions &RequestedOpts);
@@ -144,6 +164,15 @@ uint32_t scaleFromEnv(uint32_t Fallback);
 /// themselves (e.g. e14_cache_pressure). Exits on an unknown policy
 /// name or an out-of-range/non-numeric byte count.
 core::SdtOptions withCacheEnvOverrides(core::SdtOptions Opts);
+
+/// Applies the indirect-predictor env overrides to \p Model:
+/// STRATAIB_PREDICTOR (none / btb / ibtb / perfect) and
+/// STRATAIB_BTB_ENTRIES (power-of-two indirect-target entry count, all
+/// kinds). When either is set the model is renamed via withPredictor()
+/// so memoised native baselines cannot collide with the unoverridden
+/// configuration. Exits with status 2 on an unknown kind name or a
+/// non-numeric / non-power-of-two entry count.
+arch::MachineModel withPredictorEnvOverrides(arch::MachineModel Model);
 
 /// Reads STRATAIB_TRACE: the path prefix for per-cell trace files, or ""
 /// when tracing is off. When set, measure() attaches a TraceSink to each

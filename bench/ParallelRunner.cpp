@@ -135,8 +135,10 @@ std::string ParallelRunner::summaryJson() const {
       // The summary must describe what actually ran, so the env
       // overrides measure() applied are re-applied here.
       core::SdtOptions Effective = withCacheEnvOverrides(C.Opts);
-      W.key("model").value(C.Model.Name);
+      arch::MachineModel EffModel = withPredictorEnvOverrides(C.Model);
+      W.key("model").value(EffModel.Name);
       W.key("config").value(Effective.describe());
+      W.key("predictor").value(EffModel.Predictor.describe());
       W.key("cache_policy")
           .value(cachemgr::cachePolicyName(Effective.CachePolicy));
       W.key("cache_bytes").value(Effective.FragmentCacheBytes);
@@ -146,6 +148,13 @@ std::string ParallelRunner::summaryJson() const {
       W.key("main_lookups").value(C.M.MainLookups);
       W.key("main_hits").value(C.M.MainHits);
       W.key("main_hit_rate").value(C.M.mainHitRate());
+      W.key("ib_lookups")
+          .value(C.M.SdtIndirectLookups + C.M.SdtReturnLookups);
+      W.key("ib_mispredicts")
+          .value(C.M.SdtIndirectMispredicts + C.M.SdtReturnMispredicts);
+      W.key("ib_mispredict_rate").value(C.M.ibMispredictRate());
+      W.key("return_lookups").value(C.M.SdtReturnLookups);
+      W.key("return_mispredicts").value(C.M.SdtReturnMispredicts);
       W.key("instructions").value(C.M.Instructions);
       W.key("transparent").value(C.M.Transparent);
       W.key("flushes").value(C.M.Stats.Flushes);

@@ -1,0 +1,229 @@
+//===- bench/e17_predictor_quality.cpp - E17: predictor-quality sweep -----===//
+//
+// Part of StrataIB.
+//
+// The modern sequel to the paper's x86-vs-SPARC crossover: which software
+// IB mechanism wins depends on how well the *hardware* predicts the
+// indirect jumps that mechanism emits. This experiment sweeps the
+// mechanism shootout across the indirect-predictor family — the analytic
+// bounds (none / perfect) and real organisations in between (small and
+// default last-target BTBs, the tagged path-history iBTB) — and reports
+// per-mechanism geo-mean overhead and IB-mispredict rates.
+//
+// Why a ranking flip is expected: the IBTC, the sieve, and fast returns
+// all funnel every resolved transfer through one indirect (or
+// return-shaped) jump, so their overhead scales with the indirect
+// predictor's miss rate. Inline caches are the predictor-immune point in
+// the design space — a hit resolves through gshare-predicted compares
+// and a *direct* jump, never issuing the indirect jump at all — at the
+// price of a guard chain on every lookup. When every indirect transfer
+// mispredicts (none), paying the guards to skip the jump is the best
+// configuration on the board; under perfect prediction the jump is
+// nearly free and the same guards drop the configuration to dead last.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include "support/TableFormatter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+
+struct Mechanism {
+  const char *Label;
+  core::SdtOptions Opts;
+};
+
+struct CellGroup {
+  double GeoMean = 0.0;
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+
+  double rate() const {
+    return Lookups == 0 ? 0.0
+                        : static_cast<double>(Mispredicts) /
+                              static_cast<double>(Lookups);
+  }
+};
+
+} // namespace
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E17 (predictor quality)",
+              "mechanism ranking vs indirect-predictor quality", Scale);
+  BenchContext Ctx(Scale);
+
+  // The STRATAIB_PREDICTOR / STRATAIB_BTB_ENTRIES knobs pass through
+  // measure() and clobber every cell with one pinned configuration —
+  // useful for re-running *other* experiments under a different
+  // predictor, but it collapses this sweep's predictor axis, so the
+  // ranking-inversion acceptance check below would be meaningless.
+  auto envSet = [](const char *Name) {
+    const char *V = std::getenv(Name);
+    return V && *V;
+  };
+  const bool PredictorPinned =
+      envSet("STRATAIB_PREDICTOR") || envSet("STRATAIB_BTB_ENTRIES");
+  if (PredictorPinned)
+    std::printf("note: STRATAIB_PREDICTOR/STRATAIB_BTB_ENTRIES pin every "
+                "cell to one predictor\nconfiguration; the predictor axis "
+                "below is collapsed and the ranking-inversion\ncheck is "
+                "skipped. Unset them to run the real sweep.\n\n");
+
+  std::vector<Mechanism> Mechanisms;
+  {
+    core::SdtOptions Ibtc;
+    Ibtc.Mechanism = core::IBMechanism::Ibtc;
+    Mechanisms.push_back({"ibtc", Ibtc});
+
+    core::SdtOptions Sieve;
+    Sieve.Mechanism = core::IBMechanism::Sieve;
+    Mechanisms.push_back({"sieve", Sieve});
+
+    core::SdtOptions FastRet;
+    FastRet.Mechanism = core::IBMechanism::Ibtc;
+    FastRet.Returns = core::ReturnStrategy::FastReturn;
+    Mechanisms.push_back({"ibtc+fastret", FastRet});
+
+    // The predictor-immune configuration: inline guards resolve hot
+    // targets with gshare-predicted compares and a *direct* jump, so a
+    // hit never issues the indirect jump at all. Expensive base cost,
+    // zero exposure to indirect-predictor quality.
+    core::SdtOptions Inline;
+    Inline.Mechanism = core::IBMechanism::Ibtc;
+    Inline.InlineCacheDepth = 2;
+    Mechanisms.push_back({"ibtc+inline2", Inline});
+  }
+
+  // Weak → strong. The first two are the "weak end", the last two the
+  // "strong end" of the acceptance check below.
+  std::vector<arch::PredictorConfig> Predictors;
+  {
+    arch::PredictorConfig P = arch::x86Model().Predictor;
+    P.Kind = arch::PredictorKind::None;
+    Predictors.push_back(P);
+    P.Kind = arch::PredictorKind::Btb;
+    P.BtbEntries = 64;
+    Predictors.push_back(P);
+    P.BtbEntries = 512;
+    Predictors.push_back(P);
+    P.Kind = arch::PredictorKind::TaggedIbtb;
+    P.IbtbWays = 4;
+    P.IbtbHistoryBits = 8;
+    Predictors.push_back(P);
+    P.Kind = arch::PredictorKind::Perfect;
+    Predictors.push_back(P);
+  }
+
+  std::vector<std::string> Workloads = BenchContext::allWorkloadNames();
+
+  ParallelRunner Runner(Ctx, "e17_predictor_quality");
+  // Ids[p][m][w]
+  std::vector<std::vector<std::vector<size_t>>> Ids;
+  for (const arch::PredictorConfig &P : Predictors) {
+    arch::MachineModel Model = arch::withPredictor(arch::x86Model(), P);
+    Ids.emplace_back();
+    for (const Mechanism &M : Mechanisms) {
+      Ids.back().emplace_back();
+      for (const std::string &W : Workloads)
+        Ids.back().back().push_back(Runner.enqueue(W, Model, M.Opts));
+    }
+  }
+  Runner.runAll();
+
+  // Groups[p][m]
+  std::vector<std::vector<CellGroup>> Groups;
+  for (size_t P = 0; P != Predictors.size(); ++P) {
+    Groups.emplace_back();
+    for (size_t M = 0; M != Mechanisms.size(); ++M) {
+      std::vector<Measurement> Ms;
+      CellGroup G;
+      for (size_t W = 0; W != Workloads.size(); ++W) {
+        const Measurement &Meas = Runner.result(Ids[P][M][W]);
+        Ms.push_back(Meas);
+        G.Lookups += Meas.SdtIndirectLookups + Meas.SdtReturnLookups;
+        G.Mispredicts +=
+            Meas.SdtIndirectMispredicts + Meas.SdtReturnMispredicts;
+      }
+      G.GeoMean = geoMeanSlowdown(Ms);
+      Groups.back().push_back(G);
+    }
+  }
+
+  std::vector<std::string> Header = {"predictor"};
+  for (const Mechanism &M : Mechanisms) {
+    Header.push_back(M.Label);
+    Header.push_back(std::string(M.Label) + "-ibmr");
+  }
+  Header.push_back("winner");
+  TableFormatter T(Header);
+
+  auto winnerAt = [&](size_t P) {
+    size_t Best = 0;
+    for (size_t M = 1; M != Mechanisms.size(); ++M)
+      if (Groups[P][M].GeoMean < Groups[P][Best].GeoMean)
+        Best = M;
+    return Best;
+  };
+  // Rank order of mechanisms by geo-mean under predictor config P.
+  auto rankingAt = [&](size_t P) {
+    std::vector<size_t> Order(Mechanisms.size());
+    for (size_t M = 0; M != Order.size(); ++M)
+      Order[M] = M;
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return Groups[P][A].GeoMean < Groups[P][B].GeoMean;
+    });
+    return Order;
+  };
+
+  for (size_t P = 0; P != Predictors.size(); ++P) {
+    T.beginRow().addCell(Predictors[P].describe());
+    for (size_t M = 0; M != Mechanisms.size(); ++M)
+      T.addCell(Groups[P][M].GeoMean, 3).addCell(Groups[P][M].rate(), 3);
+    T.addCell(std::string(Mechanisms[winnerAt(P)].Label));
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("(geo-mean slowdowns over %zu workloads; *-ibmr = that "
+              "mechanism's indirect+return\nmispredict rate during the "
+              "translated run)\n\n",
+              Workloads.size());
+
+  // Acceptance check: the mechanism ranking must differ between the weak
+  // end (none / small BTB) and the strong end (tagged iBTB / perfect).
+  bool Inverted = false;
+  for (size_t Weak = 0; Weak != 2 && !Inverted; ++Weak)
+    for (size_t Strong = Predictors.size() - 2;
+         Strong != Predictors.size() && !Inverted; ++Strong)
+      Inverted = rankingAt(Weak) != rankingAt(Strong);
+
+  for (size_t P = 0; P != Predictors.size(); ++P) {
+    std::vector<size_t> Order = rankingAt(P);
+    std::printf("%-14s ranking:", Predictors[P].describe().c_str());
+    for (size_t M : Order)
+      std::printf(" %s", Mechanisms[M].Label);
+    std::printf("\n");
+  }
+  std::printf("\nranking inversion between weak and strong predictors: "
+              "%s\n",
+              PredictorPinned ? "SKIPPED (predictor pinned by env)"
+              : Inverted      ? "YES"
+                              : "NO");
+  std::printf("Shape targets: with no indirect predictor the "
+              "inline-guard configuration wins\noutright (its hits never "
+              "issue an indirect jump); under perfect prediction the\n"
+              "same guards make it the worst on the board. Fast returns "
+              "take over as soon as\na RAS is usable, and the tagged "
+              "path-history iBTB cuts the IBTC's mispredict\nrate well "
+              "below the last-target BTB's.\n");
+  return (Inverted || PredictorPinned) ? 0 : 1;
+}

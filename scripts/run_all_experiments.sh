@@ -18,6 +18,16 @@
 # runs stay distinguishable after merging. e14_cache_pressure sweeps
 # these knobs itself — leave them unset when its sweep is the point.
 #
+# STRATAIB_PREDICTOR / STRATAIB_BTB_ENTRIES likewise pass through
+# (docs/TimingModel.md): the whole suite re-runs under a different
+# indirect-branch predictor organisation (none, btb, ibtb, perfect;
+# entries must be a power of two), and every cell records the effective
+# `predictor` plus ib_lookups / ib_mispredict_rate. e17_predictor_quality
+# sweeps the predictor family itself: pinning it from the environment
+# collapses its predictor axis, so it prints a note and skips its
+# ranking-inversion check — leave these unset when its sweep is the
+# point. Garbage values exit 2 before any cell runs.
+#
 # Any experiment that crashes or exits non-zero aborts the run with a
 # non-zero exit status, and no partial summary is merged into
 # results/bench_summary.json.
@@ -61,7 +71,7 @@ for BIN in "$BUILD"/bench/*; do
     micro_primitives) continue ;; # google-benchmark; run separately
     *.cmake|*.a) continue ;;
   esac
-  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS${STRATAIB_CACHE_POLICY:+ STRATAIB_CACHE_POLICY=$STRATAIB_CACHE_POLICY}) =="
+  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS${STRATAIB_CACHE_POLICY:+ STRATAIB_CACHE_POLICY=$STRATAIB_CACHE_POLICY}${STRATAIB_PREDICTOR:+ STRATAIB_PREDICTOR=$STRATAIB_PREDICTOR}${STRATAIB_BTB_ENTRIES:+ STRATAIB_BTB_ENTRIES=$STRATAIB_BTB_ENTRIES}) =="
   TRACE_ENV=""
   if [ -n "${STRATAIB_TRACE:-}" ]; then
     mkdir -p "$OUT/traces/$NAME"

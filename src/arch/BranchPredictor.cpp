@@ -7,30 +7,85 @@
 #include "arch/BranchPredictor.h"
 
 #include "support/Hashing.h"
+#include "support/StringUtils.h"
 
 #include <cassert>
 
 using namespace sdt;
 using namespace sdt::arch;
 
+const char *sdt::arch::predictorKindName(PredictorKind K) {
+  switch (K) {
+  case PredictorKind::None:
+    return "none";
+  case PredictorKind::Btb:
+    return "btb";
+  case PredictorKind::TaggedIbtb:
+    return "ibtb";
+  case PredictorKind::Perfect:
+    return "perfect";
+  }
+  assert(false && "invalid predictor kind");
+  return "?";
+}
+
+std::optional<PredictorKind>
+sdt::arch::parsePredictorKind(const std::string &Name) {
+  if (Name == "none")
+    return PredictorKind::None;
+  if (Name == "btb")
+    return PredictorKind::Btb;
+  if (Name == "ibtb")
+    return PredictorKind::TaggedIbtb;
+  if (Name == "perfect")
+    return PredictorKind::Perfect;
+  return std::nullopt;
+}
+
+std::string PredictorConfig::describe() const {
+  switch (Kind) {
+  case PredictorKind::None:
+    return "none";
+  case PredictorKind::Btb:
+    return formatString("btb:%u", BtbEntries);
+  case PredictorKind::TaggedIbtb:
+    return formatString("ibtb:%ux%uh%u", BtbEntries, IbtbWays,
+                        IbtbHistoryBits);
+  case PredictorKind::Perfect:
+    return "perfect";
+  }
+  assert(false && "invalid predictor kind");
+  return "?";
+}
+
 BranchPredictor::BranchPredictor(const PredictorConfig &Config)
     : Config(Config) {
   assert(isPowerOf2(Config.GshareEntries) && isPowerOf2(Config.BtbEntries) &&
          "predictor tables must be powers of two");
   assert(Config.RasDepth > 0 && "RAS must have at least one entry");
+  if (Config.Kind == PredictorKind::TaggedIbtb) {
+    assert(isPowerOf2(Config.IbtbWays) &&
+           Config.IbtbWays <= Config.BtbEntries &&
+           "iBTB ways must be a power of two <= entries");
+    assert(Config.IbtbHistoryBits <= 32 && "path history is 32 bits wide");
+  }
   Counters.assign(Config.GshareEntries, 1); // Weakly not-taken.
-  Btb.assign(Config.BtbEntries, 0);
+  Targets.assign(Config.BtbEntries, TargetEntry());
   Ras.assign(Config.RasDepth, 0);
 }
 
 void BranchPredictor::reset() {
   Counters.assign(Config.GshareEntries, 1);
-  Btb.assign(Config.BtbEntries, 0);
+  Targets.assign(Config.BtbEntries, TargetEntry());
   RasTop = 0;
   History = 0;
+  PathHistory = 0;
+  Clock = 0;
   CondMispredicts = 0;
   IndirectMispredicts = 0;
   ReturnMispredicts = 0;
+  IndirectLookups = 0;
+  ReturnLookups = 0;
 }
 
 bool BranchPredictor::predictConditional(uint32_t Pc, bool Taken) {
@@ -50,10 +105,78 @@ bool BranchPredictor::predictConditional(uint32_t Pc, bool Taken) {
   return Correct;
 }
 
-bool BranchPredictor::predictIndirect(uint32_t Pc, uint32_t Target) {
+bool BranchPredictor::predictIndirectBtb(uint32_t Pc, uint32_t Target) {
   uint32_t Index = (Pc >> 2) & (Config.BtbEntries - 1);
-  bool Correct = Btb[Index] == Target;
-  Btb[Index] = Target;
+  TargetEntry &E = Targets[Index];
+  // A prediction only counts when the entry is live *and* belongs to
+  // this branch: a cold or aliased entry has nothing to say.
+  bool Correct = E.Valid && E.Tag == Pc && E.Target == Target;
+  E.Tag = Pc;
+  E.Target = Target;
+  E.Valid = true;
+  return Correct;
+}
+
+bool BranchPredictor::predictIndirectIbtb(uint32_t Pc, uint32_t Target) {
+  uint32_t Set = ((Pc >> 2) ^ PathHistory) & (ibtbSets() - 1);
+  uint32_t Base = Set * Config.IbtbWays;
+
+  TargetEntry *Hit = nullptr;
+  for (uint32_t Way = 0; Way != Config.IbtbWays && !Hit; ++Way) {
+    TargetEntry &E = Targets[Base + Way];
+    if (E.Valid && E.Tag == Pc)
+      Hit = &E;
+  }
+  if (Hit) {
+    bool Correct = Hit->Target == Target;
+    Hit->Target = Target;
+    Hit->LastUse = ++Clock;
+    return Correct;
+  }
+
+  // Tag mismatch or cold: allocate an invalid way first, else the LRU.
+  TargetEntry *Victim = nullptr;
+  for (uint32_t Way = 0; Way != Config.IbtbWays && !Victim; ++Way)
+    if (!Targets[Base + Way].Valid)
+      Victim = &Targets[Base + Way];
+  if (!Victim) {
+    Victim = &Targets[Base];
+    for (uint32_t Way = 1; Way != Config.IbtbWays; ++Way)
+      if (Targets[Base + Way].LastUse < Victim->LastUse)
+        Victim = &Targets[Base + Way];
+  }
+  Victim->Tag = Pc;
+  Victim->Target = Target;
+  Victim->LastUse = ++Clock;
+  Victim->Valid = true;
+  return false;
+}
+
+bool BranchPredictor::predictIndirect(uint32_t Pc, uint32_t Target) {
+  ++IndirectLookups;
+  bool Correct;
+  switch (Config.Kind) {
+  case PredictorKind::None:
+    Correct = false;
+    break;
+  case PredictorKind::Btb:
+    Correct = predictIndirectBtb(Pc, Target);
+    break;
+  case PredictorKind::TaggedIbtb:
+    Correct = predictIndirectIbtb(Pc, Target);
+    break;
+  case PredictorKind::Perfect:
+    Correct = true;
+    break;
+  }
+  // Path history folds in the resolved target's low (word) bits so the
+  // same branch PC occupies distinct iBTB sets per calling context.
+  if (Config.IbtbHistoryBits != 0) {
+    uint32_t Mask = Config.IbtbHistoryBits >= 32
+                        ? 0xFFFFFFFFu
+                        : (1u << Config.IbtbHistoryBits) - 1;
+    PathHistory = ((PathHistory << 4) | ((Target >> 2) & 0xF)) & Mask;
+  }
   if (!Correct)
     ++IndirectMispredicts;
   return Correct;
@@ -66,6 +189,15 @@ void BranchPredictor::pushReturn(uint32_t ReturnAddr) {
 }
 
 bool BranchPredictor::predictReturn(uint32_t Target) {
+  ++ReturnLookups;
+  // The analytic bounds cover the whole indirect-control-flow side,
+  // returns included; the RAS is left untouched so pushes stay cheap.
+  if (Config.Kind == PredictorKind::None) {
+    ++ReturnMispredicts;
+    return false;
+  }
+  if (Config.Kind == PredictorKind::Perfect)
+    return true;
   if (RasTop == 0) {
     ++ReturnMispredicts;
     return false;

@@ -6,13 +6,38 @@
 ///
 /// \file
 /// Branch prediction substrate: a gshare-style conditional predictor, a
-/// direct-mapped BTB for indirect branches, and a return-address stack.
+/// pluggable *indirect-target* predictor family, and a return-address
+/// stack.
 ///
 /// This model is what gives the paper's architecture story its teeth:
 /// native hardware predicts *returns* almost perfectly through the RAS,
 /// but an SDT that translates returns into hash-table lookups issues an
-/// indirect jump the BTB must predict instead — destroying the RAS win.
-/// Fast returns recover it, which is why they matter so much.
+/// indirect jump the indirect predictor must handle instead — destroying
+/// the RAS win. Fast returns recover it, which is why they matter so
+/// much.
+///
+/// The indirect-target side is a family, because which *software* IB
+/// mechanism wins depends on how well the *hardware* predicts the
+/// indirect jumps that mechanism emits (the modern sequel to the paper's
+/// x86-vs-SPARC crossover; see bench/e17_predictor_quality.cpp):
+///
+///   - None:       analytic lower bound — every indirect transfer
+///                 mispredicts (a machine with no indirect predictor).
+///   - Btb:        tagged direct-mapped last-target BTB (the classic
+///                 organisation; what older hardware shipped).
+///   - TaggedIbtb: set-associative iBTB indexed by a hash of the branch
+///                 PC and a global *path history* of recent indirect
+///                 targets, LRU within a set (Sniper-style ibtb.h; the
+///                 organisation "BTB Reverse Engineering on Arm"
+///                 documents). Path history lets one polymorphic site
+///                 hold a target per calling context.
+///   - Perfect:    analytic upper bound — no indirect transfer ever
+///                 mispredicts.
+///
+/// None and Perfect bound the host's *entire* indirect-control-flow
+/// prediction, returns included: under None even RAS-friendly returns
+/// mispredict, under Perfect everything hits. Btb and TaggedIbtb pair
+/// with a real RAS for returns.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,16 +45,39 @@
 #define STRATAIB_ARCH_BRANCHPREDICTOR_H
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace sdt {
 namespace arch {
 
+/// Which indirect-target predictor the machine models.
+enum class PredictorKind : uint8_t {
+  None,       ///< Every indirect transfer mispredicts (lower bound).
+  Btb,        ///< Tagged direct-mapped last-target BTB.
+  TaggedIbtb, ///< Set-associative, PC ^ path-history indexed, tagged.
+  Perfect,    ///< No indirect transfer ever mispredicts (upper bound).
+};
+
+/// Returns "none", "btb", "ibtb", or "perfect".
+const char *predictorKindName(PredictorKind K);
+
+/// Parses a predictorKindName() string; std::nullopt for unknown names.
+std::optional<PredictorKind> parsePredictorKind(const std::string &Name);
+
 /// Predictor geometry. All table sizes must be powers of two.
 struct PredictorConfig {
   uint32_t GshareEntries = 4096; ///< 2-bit counters.
-  uint32_t BtbEntries = 512;     ///< Indirect-target cache.
+  uint32_t BtbEntries = 512;     ///< Indirect-target entries (all kinds).
   uint32_t RasDepth = 16;        ///< Return-address stack.
+  PredictorKind Kind = PredictorKind::Btb;
+  uint32_t IbtbWays = 4;        ///< TaggedIbtb set associativity.
+  uint32_t IbtbHistoryBits = 8; ///< Path-history bits hashed into the index.
+
+  /// Short label for benchmark output: "none", "btb:512",
+  /// "ibtb:512x4h8", "perfect".
+  std::string describe() const;
 };
 
 /// Combined conditional/indirect/return predictor.
@@ -42,7 +90,7 @@ public:
   bool predictConditional(uint32_t Pc, bool Taken);
 
   /// Predicts and trains on an indirect branch at \p Pc resolving to
-  /// \p Target. Returns true if the BTB predicted the target.
+  /// \p Target. Returns true if the indirect predictor named the target.
   bool predictIndirect(uint32_t Pc, uint32_t Target);
 
   /// Records a call: pushes \p ReturnAddr onto the RAS.
@@ -50,6 +98,8 @@ public:
 
   /// Predicts and trains on a return resolving to \p Target. Returns true
   /// if the RAS top matched (the common case for well-nested code).
+  /// Under PredictorKind::None / Perfect the analytic bound applies
+  /// instead of the RAS.
   bool predictReturn(uint32_t Target);
 
   /// Drops all state (used across benchmark repetitions).
@@ -58,18 +108,42 @@ public:
   uint64_t conditionalMispredicts() const { return CondMispredicts; }
   uint64_t indirectMispredicts() const { return IndirectMispredicts; }
   uint64_t returnMispredicts() const { return ReturnMispredicts; }
+  /// Total predictIndirect / predictReturn calls (for mispredict rates).
+  uint64_t indirectLookups() const { return IndirectLookups; }
+  uint64_t returnLookups() const { return ReturnLookups; }
 
 private:
+  /// One indirect-target entry, shared by the Btb and TaggedIbtb kinds.
+  /// The explicit valid bit matters: guest address 0 is a legal indirect
+  /// target, so "empty" must not be encodable as a target value (a cold
+  /// entry once stored 0 and silently counted a genuine 0-target as a
+  /// correct prediction). The tag rejects aliased PCs that an untagged
+  /// table would mispredict *as hits*.
+  struct TargetEntry {
+    uint32_t Tag = 0;
+    uint32_t Target = 0;
+    uint64_t LastUse = 0; ///< LRU clock (TaggedIbtb only).
+    bool Valid = false;
+  };
+
+  bool predictIndirectBtb(uint32_t Pc, uint32_t Target);
+  bool predictIndirectIbtb(uint32_t Pc, uint32_t Target);
+  uint32_t ibtbSets() const { return Config.BtbEntries / Config.IbtbWays; }
+
   PredictorConfig Config;
-  std::vector<uint8_t> Counters; ///< 2-bit saturating, init weakly-taken.
-  std::vector<uint32_t> Btb;     ///< Last target per entry (0 = empty).
+  std::vector<uint8_t> Counters; ///< 2-bit saturating, init weakly not-taken.
+  std::vector<TargetEntry> Targets; ///< BTB / iBTB storage.
   std::vector<uint32_t> Ras;
-  uint32_t RasTop = 0;  ///< Number of valid entries.
-  uint32_t History = 0; ///< Global branch history for gshare.
+  uint32_t RasTop = 0;      ///< Number of valid entries.
+  uint32_t History = 0;     ///< Global branch history for gshare.
+  uint32_t PathHistory = 0; ///< Recent indirect-target bits (TaggedIbtb).
+  uint64_t Clock = 0;       ///< LRU clock for the TaggedIbtb sets.
 
   uint64_t CondMispredicts = 0;
   uint64_t IndirectMispredicts = 0;
   uint64_t ReturnMispredicts = 0;
+  uint64_t IndirectLookups = 0;
+  uint64_t ReturnLookups = 0;
 };
 
 } // namespace arch

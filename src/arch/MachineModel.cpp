@@ -155,3 +155,10 @@ sdt::arch::modelByName(const std::string &Name) {
 std::vector<std::string> sdt::arch::allModelNames() {
   return {"x86", "sparc", "simple"};
 }
+
+MachineModel sdt::arch::withPredictor(MachineModel M,
+                                      const PredictorConfig &P) {
+  M.Predictor = P;
+  M.Name += "/" + P.describe();
+  return M;
+}

@@ -98,6 +98,12 @@ MachineModel simpleModel();
 /// unknown names.
 std::optional<MachineModel> modelByName(const std::string &Name);
 
+/// Returns \p M with its indirect-predictor configuration replaced by
+/// \p P and its Name suffixed with the predictor label ("x86/ibtb:512x4h8").
+/// The rename matters: benchmark harnesses memoise native baselines per
+/// model name, and the native cycle count depends on the predictor.
+MachineModel withPredictor(MachineModel M, const PredictorConfig &P);
+
 /// Names accepted by modelByName().
 std::vector<std::string> allModelNames();
 

@@ -542,8 +542,14 @@ RunResult SdtEngine::run() {
         // The optimizer proved the link register is overwritten before
         // any read with no trace exit in between: the op retires its
         // guest instruction but does no work and occupies no bytes. The
-        // return predictor is deliberately not pushed — the overwritten
-        // link value could never be returned through.
+        // return predictor is still pushed — the RAS tracks call-shaped
+        // control flow, not link-register liveness, so every guest call
+        // must push exactly once in both execution modes (the interpreter
+        // pushes unconditionally). The guest return point is the right
+        // value: no return ever pops this slot's match, exactly as in
+        // native execution of the same dead-link call.
+        if (T)
+          T->predictor().pushReturn(HI.TargetGuest);
         if (HI.CountsAsGuest) {
           ++Result.Cti.DirectCalls;
           recordCtiStep(-1);
@@ -638,38 +644,42 @@ RunResult SdtEngine::run() {
         Result.SiteTargets[HI.GuestPc].insert(Target);
 
       // Fast returns: a translated link value jumps straight to its
-      // fragment, with native-like return prediction.
+      // fragment, with native-like return prediction. The return-shaped
+      // host jump consumes the RAS on *both* paths — the hardware pops
+      // on the instruction, not on where it lands — so the transparency
+      // fallback below must not skip the chargeReturn, or every push of
+      // a fallback's call would skew all later return predictions
+      // relative to native execution.
       if (HI.SiteClass == IBClass::Return &&
-          Opts.Returns == ReturnStrategy::FastReturn &&
-          Target >= FragmentCacheBase) {
+          Opts.Returns == ReturnStrategy::FastReturn) {
         if (T)
           T->chargeReturn(CycleCategory::IBLookup, Target);
-        HostLoc Loc = Cache.locForEntryAddr(Target);
-        if (Loc.valid()) {
-          ++Stats.FastReturnDirect;
-          Cur = Loc;
+        if (Target >= FragmentCacheBase) {
+          HostLoc Loc = Cache.locForEntryAddr(Target);
+          if (Loc.valid()) {
+            ++Stats.FastReturnDirect;
+            Cur = Loc;
+            break;
+          }
+          // The fragment was flushed since the call; recover via its
+          // guest address.
+          uint32_t Guest = Cache.retiredGuestEntry(Target);
+          if (Guest == 0) {
+            fault(formatString(
+                "return to unknown translated address 0x%x at pc=0x%x",
+                Target, HI.GuestPc));
+            break;
+          }
+          HostLoc Redo = dispatchTo(Guest, Cur.Frag);
+          if (!Redo.valid()) {
+            fault(PendingFault);
+            break;
+          }
+          Cur = Redo;
           break;
         }
-        // The fragment was flushed since the call; recover via its guest
-        // address.
-        uint32_t Guest = Cache.retiredGuestEntry(Target);
-        if (Guest == 0) {
-          fault(formatString(
-              "return to unknown translated address 0x%x at pc=0x%x",
-              Target, HI.GuestPc));
-          break;
-        }
-        HostLoc Redo = dispatchTo(Guest, Cur.Frag);
-        if (!Redo.valid()) {
-          fault(PendingFault);
-          break;
-        }
-        Cur = Redo;
-        break;
-      }
-      if (HI.SiteClass == IBClass::Return &&
-          Opts.Returns == ReturnStrategy::FastReturn)
         ++Stats.FastReturnFallback;
+      }
 
       // Shadow stack: probe the top entry before any general mechanism.
       if (HI.SiteClass == IBClass::Return &&

@@ -133,6 +133,170 @@ TEST(BranchPredictorTest, ResetClearsState) {
   EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000)); // Cold again.
 }
 
+TEST(BranchPredictorTest, GshareInitialStatePredictsNotTaken) {
+  // Counters initialise to 1 = weakly not-taken: a fresh predictor gets
+  // a not-taken branch right and a taken branch wrong. Pinned so the
+  // documented initial state and the code cannot drift apart again.
+  BranchPredictor P({64, 16, 4});
+  EXPECT_TRUE(P.predictConditional(0x1000, false));
+  BranchPredictor Q({64, 16, 4});
+  EXPECT_FALSE(Q.predictConditional(0x1000, true));
+  EXPECT_EQ(Q.conditionalMispredicts(), 1u);
+}
+
+TEST(BranchPredictorTest, GshareIndexAliasing) {
+  // 64 counters: PCs 64 words apart XOR-fold onto the same counter when
+  // the global history is identical, so training one branch leaks into
+  // its alias — the classic gshare conflict.
+  BranchPredictor P({64, 16, 4});
+  for (int I = 0; I != 20; ++I)
+    P.predictConditional(0x1000, true); // Saturate; history = all ones.
+  // 0x1100 = 0x1000 + 64 words: same index under the same history.
+  EXPECT_TRUE(P.predictConditional(0x1100, true));
+}
+
+// The sentinel regression: target 0 is a legal guest address, and the
+// old table encoded "empty" as target 0 with no valid bit — a cold
+// entry counted a genuine 0-target as a correct prediction. This test
+// fails on that implementation.
+TEST(BranchPredictorTest, ColdEntryDoesNotPredictTargetZero) {
+  BranchPredictor P({64, 16, 4});
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x0));
+  EXPECT_EQ(P.indirectMispredicts(), 1u);
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x0)); // Now trained.
+}
+
+TEST(BranchPredictorTest, BtbAliasedPcIsNotAHit) {
+  // 4-entry BTB: 0x1000 and 0x1010 share entry 0. Without per-entry
+  // tags the second branch would "hit" on the first one's target.
+  BranchPredictor P({64, 4, 4});
+  P.predictIndirect(0x1000, 0x2000);
+  EXPECT_FALSE(P.predictIndirect(0x1010, 0x2000)); // Alias, not a hit.
+  // And the alias evicted the original's entry.
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000));
+}
+
+namespace {
+PredictorConfig configOfKind(PredictorKind Kind, uint32_t Entries = 16,
+                             uint32_t Ways = 2, uint32_t HistBits = 8) {
+  PredictorConfig C{64, Entries, 4};
+  C.Kind = Kind;
+  C.IbtbWays = Ways;
+  C.IbtbHistoryBits = HistBits;
+  return C;
+}
+} // namespace
+
+TEST(BranchPredictorTest, NoneBoundMispredictsEverything) {
+  BranchPredictor P(configOfKind(PredictorKind::None));
+  for (int I = 0; I != 5; ++I)
+    EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000)); // Never trains.
+  P.pushReturn(0x100);
+  EXPECT_FALSE(P.predictReturn(0x100)); // Even RAS-friendly returns.
+  EXPECT_EQ(P.indirectMispredicts(), 5u);
+  EXPECT_EQ(P.returnMispredicts(), 1u);
+}
+
+TEST(BranchPredictorTest, PerfectBoundPredictsEverything) {
+  BranchPredictor P(configOfKind(PredictorKind::Perfect));
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x2000)); // Cold is still right.
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x3000));
+  EXPECT_TRUE(P.predictReturn(0x100)); // Empty RAS is still right.
+  EXPECT_EQ(P.indirectMispredicts(), 0u);
+  EXPECT_EQ(P.returnMispredicts(), 0u);
+  EXPECT_EQ(P.indirectLookups(), 2u);
+  EXPECT_EQ(P.returnLookups(), 1u);
+}
+
+// iBTB geometry note for the tests below: 8 entries x 2 ways = 4 sets,
+// set = ((Pc >> 2) ^ PathHistory) & 3. Targets are chosen with
+// (Target >> 2) & 0xF == 0 so the path history stays zero and the set
+// index is purely PC-derived.
+TEST(BranchPredictorTest, IbtbTagMismatchIsAMiss) {
+  BranchPredictor P(configOfKind(PredictorKind::TaggedIbtb, 8, 2));
+  P.predictIndirect(0x1000, 0x2000);
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x2000));
+  // 0x1010 maps to the same set but carries a different tag: with both
+  // ways available it allocates its own way instead of falsely hitting.
+  EXPECT_FALSE(P.predictIndirect(0x1010, 0x2000));
+  EXPECT_TRUE(P.predictIndirect(0x1010, 0x2000));
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x2000)); // Still co-resident.
+}
+
+TEST(BranchPredictorTest, IbtbCapacityMissEvictsLru) {
+  BranchPredictor P(configOfKind(PredictorKind::TaggedIbtb, 8, 2));
+  P.predictIndirect(0x1000, 0x2000); // Set 0, way A.
+  P.predictIndirect(0x1010, 0x2040); // Set 0, way B.
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x2000));
+  EXPECT_TRUE(P.predictIndirect(0x1010, 0x2040)); // LRU is now 0x1000.
+  P.predictIndirect(0x1020, 0x2080);              // Evicts 0x1000.
+  EXPECT_TRUE(P.predictIndirect(0x1010, 0x2040)); // Survivor first: the
+  // miss below re-allocates and would evict it.
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000)); // Capacity miss.
+}
+
+TEST(BranchPredictorTest, IbtbPathHistorySplitsPolymorphicSite) {
+  // One site alternating between two targets defeats a last-target BTB
+  // completely but trains cleanly in the iBTB: the path history differs
+  // before each target, so the site occupies one entry per context.
+  BranchPredictor Btb({64, 64, 4});
+  BranchPredictor Ibtb(configOfKind(PredictorKind::TaggedIbtb, 64, 4));
+  const uint32_t Site = 0x1000, A = 0x2004, B = 0x2008;
+  for (int I = 0; I != 8; ++I) { // Warm up both.
+    Btb.predictIndirect(Site, A);
+    Btb.predictIndirect(Site, B);
+    Ibtb.predictIndirect(Site, A);
+    Ibtb.predictIndirect(Site, B);
+  }
+  uint64_t BtbBefore = Btb.indirectMispredicts();
+  uint64_t IbtbBefore = Ibtb.indirectMispredicts();
+  for (int I = 0; I != 8; ++I) {
+    Btb.predictIndirect(Site, A);
+    Btb.predictIndirect(Site, B);
+    EXPECT_TRUE(Ibtb.predictIndirect(Site, A));
+    EXPECT_TRUE(Ibtb.predictIndirect(Site, B));
+  }
+  EXPECT_EQ(Btb.indirectMispredicts(), BtbBefore + 16); // Every one.
+  EXPECT_EQ(Ibtb.indirectMispredicts(), IbtbBefore);
+}
+
+TEST(BranchPredictorTest, ResetClearsIbtbAndCounters) {
+  BranchPredictor P(configOfKind(PredictorKind::TaggedIbtb, 8, 2));
+  P.predictIndirect(0x1000, 0x2004); // Nonzero path history.
+  P.predictIndirect(0x1000, 0x2004);
+  P.predictReturn(0x100);
+  EXPECT_NE(P.indirectLookups(), 0u);
+  P.reset();
+  EXPECT_EQ(P.indirectLookups(), 0u);
+  EXPECT_EQ(P.returnLookups(), 0u);
+  EXPECT_EQ(P.indirectMispredicts(), 0u);
+  EXPECT_EQ(P.returnMispredicts(), 0u);
+  // Cold again, and set indexing starts from zero path history: with a
+  // zero-nibble target the second access only hits if the stale
+  // pre-reset history was actually cleared.
+  EXPECT_FALSE(P.predictIndirect(0x1000, 0x2000));
+  EXPECT_TRUE(P.predictIndirect(0x1000, 0x2000));
+}
+
+TEST(PredictorConfigTest, DescribeAndParse) {
+  PredictorConfig C{4096, 512, 16};
+  EXPECT_EQ(C.describe(), "btb:512");
+  C.Kind = PredictorKind::TaggedIbtb;
+  C.IbtbWays = 4;
+  C.IbtbHistoryBits = 8;
+  EXPECT_EQ(C.describe(), "ibtb:512x4h8");
+  C.Kind = PredictorKind::None;
+  EXPECT_EQ(C.describe(), "none");
+  C.Kind = PredictorKind::Perfect;
+  EXPECT_EQ(C.describe(), "perfect");
+
+  for (PredictorKind K :
+       {PredictorKind::None, PredictorKind::Btb, PredictorKind::TaggedIbtb,
+        PredictorKind::Perfect})
+    EXPECT_EQ(parsePredictorKind(predictorKindName(K)), K);
+  EXPECT_FALSE(parsePredictorKind("oracle").has_value());
+}
+
 // --- MachineModel --------------------------------------------------------
 
 TEST(MachineModelTest, FactoriesHaveNames) {

@@ -58,16 +58,25 @@ struct CellSnapshot {
   std::array<uint64_t, size_t(arch::CycleCategory::NumCategories)> ByCategory;
   uint64_t MainLookups;
   uint64_t MainHits;
+  uint64_t IbLookups;
+  uint64_t IbMispredicts;
   uint64_t Instructions;
   bool Transparent;
 };
 
-/// Runs the reference sweep (2 workloads x 2 configs) under the given
-/// worker count and snapshots every cell.
+/// Runs the reference sweep (2 workloads x 3 configs, one of them under
+/// the tagged path-history iBTB) under the given worker count and
+/// snapshots every cell.
 std::vector<CellSnapshot> runSweep(const char *Jobs) {
   JobsEnv Env(Jobs);
   BenchContext Ctx(/*Scale=*/4);
   arch::MachineModel Model = arch::x86Model();
+  // One predictor-enabled cell: the iBTB's path history and LRU clocks
+  // are per-TimingModel state, so its cycles must stay bit-identical
+  // across worker counts like everything else.
+  arch::PredictorConfig Ibtb = Model.Predictor;
+  Ibtb.Kind = arch::PredictorKind::TaggedIbtb;
+  arch::MachineModel IbtbModel = arch::withPredictor(Model, Ibtb);
 
   core::SdtOptions Dispatcher;
   Dispatcher.Mechanism = core::IBMechanism::Dispatcher;
@@ -78,9 +87,11 @@ std::vector<CellSnapshot> runSweep(const char *Jobs) {
 
   ParallelRunner Runner(Ctx, "bench_parallel_test");
   std::vector<size_t> Ids;
-  for (const std::string &W : {std::string("gcc"), std::string("perlbmk")})
+  for (const std::string &W : {std::string("gcc"), std::string("perlbmk")}) {
     for (const core::SdtOptions &Opts : {Dispatcher, Ibtc})
       Ids.push_back(Runner.enqueue(W, Model, Opts));
+    Ids.push_back(Runner.enqueue(W, IbtbModel, Ibtc));
+  }
   Runner.runAll();
 
   std::vector<CellSnapshot> Out;
@@ -92,6 +103,8 @@ std::vector<CellSnapshot> runSweep(const char *Jobs) {
     S.ByCategory = M.SdtByCategory;
     S.MainLookups = M.MainLookups;
     S.MainHits = M.MainHits;
+    S.IbLookups = M.SdtIndirectLookups + M.SdtReturnLookups;
+    S.IbMispredicts = M.SdtIndirectMispredicts + M.SdtReturnMispredicts;
     S.Instructions = M.Instructions;
     S.Transparent = M.Transparent;
     Out.push_back(S);
@@ -126,6 +139,43 @@ TEST(BenchParallelTest, JobsFromEnvEmptyMeansDefault) {
   EXPECT_GE(ParallelRunner::jobsFromEnv(), 1u);
 }
 
+// The predictor knobs follow the same strict-parse contract as the
+// cache knobs: unknown names and malformed geometry are configuration
+// errors (exit 2), never silent fallbacks.
+TEST(BenchParallelTest, PredictorEnvRejectsUnknownKind) {
+  ScopedEnv Env("STRATAIB_PREDICTOR", "oracle");
+  EXPECT_EXIT(withPredictorEnvOverrides(arch::x86Model()),
+              ::testing::ExitedWithCode(2), "unknown STRATAIB_PREDICTOR");
+}
+
+TEST(BenchParallelTest, PredictorEnvRejectsNonPowerOfTwoEntries) {
+  ScopedEnv Env("STRATAIB_BTB_ENTRIES", "100");
+  EXPECT_EXIT(withPredictorEnvOverrides(arch::x86Model()),
+              ::testing::ExitedWithCode(2), "not a power of two");
+}
+
+TEST(BenchParallelTest, PredictorEnvRejectsGarbageEntries) {
+  ScopedEnv Env("STRATAIB_BTB_ENTRIES", "fast");
+  EXPECT_EXIT(withPredictorEnvOverrides(arch::x86Model()),
+              ::testing::ExitedWithCode(2), "invalid STRATAIB_BTB_ENTRIES");
+}
+
+TEST(BenchParallelTest, PredictorEnvOverridesRenameModel) {
+  ScopedEnv Kind("STRATAIB_PREDICTOR", "ibtb");
+  ScopedEnv Entries("STRATAIB_BTB_ENTRIES", "256");
+  arch::MachineModel M = withPredictorEnvOverrides(arch::x86Model());
+  EXPECT_EQ(M.Predictor.Kind, arch::PredictorKind::TaggedIbtb);
+  EXPECT_EQ(M.Predictor.BtbEntries, 256u);
+  // The rename keeps memoised native baselines from colliding.
+  EXPECT_EQ(M.Name, "x86/ibtb:256x4h8");
+}
+
+TEST(BenchParallelTest, PredictorEnvUnsetLeavesModelAlone) {
+  arch::MachineModel M = withPredictorEnvOverrides(arch::x86Model());
+  EXPECT_EQ(M.Name, "x86");
+  EXPECT_EQ(M.Predictor.Kind, arch::PredictorKind::Btb);
+}
+
 TEST(BenchParallelTest, ParallelSweepMatchesSerialBitIdentically) {
   std::vector<CellSnapshot> Serial = runSweep("1");
   std::vector<CellSnapshot> Parallel = runSweep("4");
@@ -137,6 +187,8 @@ TEST(BenchParallelTest, ParallelSweepMatchesSerialBitIdentically) {
     EXPECT_EQ(Serial[I].ByCategory, Parallel[I].ByCategory);
     EXPECT_EQ(Serial[I].MainLookups, Parallel[I].MainLookups);
     EXPECT_EQ(Serial[I].MainHits, Parallel[I].MainHits);
+    EXPECT_EQ(Serial[I].IbLookups, Parallel[I].IbLookups);
+    EXPECT_EQ(Serial[I].IbMispredicts, Parallel[I].IbMispredicts);
     EXPECT_EQ(Serial[I].Instructions, Parallel[I].Instructions);
     EXPECT_TRUE(Serial[I].Transparent);
     EXPECT_TRUE(Parallel[I].Transparent);

@@ -1,0 +1,166 @@
+//===- tests/predictor_differential_test.cpp - RAS symmetry ------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The RAS push/pop symmetry contract: every guest call pushes the return
+// predictor exactly once and every fast return pops it exactly once, in
+// both execution modes. Under ReturnStrategy::FastReturn the SDT's
+// return-shaped host jumps should therefore see *exactly* the native
+// returnMispredicts() count — calls push the host return point (an
+// injective, flush-stable image of the guest return address) and returns
+// pop with the matching host target, so the hit/miss pattern is
+// identical to the interpreter's guest-address pattern.
+//
+// This differential catches both historical asymmetries: dead-link calls
+// that skipped the push (optimized traces), and transparency fallbacks
+// that skipped the pop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "assembler/Assembler.h"
+#include "core/SdtEngine.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+
+namespace {
+
+struct RasCase {
+  const char *Name;
+  SdtOptions Opts;
+};
+
+std::vector<RasCase> rasConfigs() {
+  std::vector<RasCase> Cases;
+  auto add = [&Cases](const char *Name, auto Mutate) {
+    SdtOptions O;
+    O.Returns = ReturnStrategy::FastReturn;
+    Mutate(O);
+    Cases.push_back({Name, O});
+  };
+  add("fastret_ibtc", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+  });
+  add("fastret_sieve", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Sieve;
+  });
+  add("fastret_traces", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.EnableTraces = true;
+  });
+  // The dead-link eliminator must keep pushing for elided SetLinks, and
+  // speculation guards must not introduce extra pops.
+  add("fastret_opt_spec", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.EnableTraces = true;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+  });
+  return Cases;
+}
+
+class RasDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<const char *, size_t>> {};
+
+} // namespace
+
+TEST_P(RasDifferentialTest, ReturnMispredictsMatchNative) {
+  const char *Workload = std::get<0>(GetParam());
+  const RasCase Case = rasConfigs()[std::get<1>(GetParam())];
+
+  Expected<isa::Program> P = workloads::buildWorkload(Workload, 3);
+  ASSERT_TRUE(bool(P)) << P.error().message();
+
+  arch::MachineModel Model = arch::x86Model();
+
+  arch::TimingModel NativeTiming(Model);
+  ExecOptions NativeExec;
+  NativeExec.Timing = &NativeTiming;
+  auto VM = GuestVM::create(*P, NativeExec);
+  ASSERT_TRUE(bool(VM)) << VM.error().message();
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  arch::TimingModel SdtTiming(Model);
+  ExecOptions SdtExec;
+  SdtExec.Timing = &SdtTiming;
+  auto Engine = SdtEngine::create(*P, Case.Opts, SdtExec);
+  ASSERT_TRUE(bool(Engine)) << Engine.error().message();
+  RunResult Translated = (*Engine)->run();
+  ASSERT_TRUE(Translated.finishedNormally()) << Translated.FaultMessage;
+  ASSERT_EQ(Translated.Checksum, Native.Checksum);
+
+  // Same number of return-shaped pops...
+  EXPECT_EQ(SdtTiming.predictor().returnLookups(),
+            NativeTiming.predictor().returnLookups())
+      << Case.Name;
+  // ...and the same hit/miss pattern through them.
+  EXPECT_EQ(SdtTiming.predictor().returnMispredicts(),
+            NativeTiming.predictor().returnMispredicts())
+      << Case.Name;
+  // Sanity: these are call-heavy workloads; the differential is vacuous
+  // if no returns executed.
+  EXPECT_GT(NativeTiming.predictor().returnLookups(), 0u);
+}
+
+// The transparency fallback must pop too: a return whose link register
+// holds a synthesized *guest* address takes the fallback path, but the
+// return-shaped host jump still consumed the RAS — the hardware pops on
+// the instruction, not on where it lands. Before the fix this path
+// skipped the pop, shifting every later return prediction.
+TEST(RasDifferentialTest, FallbackReturnStillPops) {
+  Expected<isa::Program> P = assembler::assemble(R"(
+main:
+    jal  f
+    la   ra, done
+    ret
+done:
+    li   a0, 0
+    li   v0, 0
+    syscall
+f:
+    ret
+)");
+  ASSERT_TRUE(bool(P)) << P.error().message();
+
+  arch::MachineModel Model = arch::x86Model();
+  arch::TimingModel NativeTiming(Model);
+  vm::ExecOptions NativeExec;
+  NativeExec.Timing = &NativeTiming;
+  auto VM = GuestVM::create(*P, NativeExec);
+  ASSERT_TRUE(bool(VM));
+  RunResult Native = (*VM)->run();
+  ASSERT_TRUE(Native.finishedNormally()) << Native.FaultMessage;
+
+  SdtOptions Opts;
+  Opts.Returns = ReturnStrategy::FastReturn;
+  arch::TimingModel SdtTiming(Model);
+  vm::ExecOptions SdtExec;
+  SdtExec.Timing = &SdtTiming;
+  auto Engine = SdtEngine::create(*P, Opts, SdtExec);
+  ASSERT_TRUE(bool(Engine));
+  RunResult Translated = (*Engine)->run();
+  ASSERT_TRUE(Translated.finishedNormally()) << Translated.FaultMessage;
+
+  EXPECT_EQ((*Engine)->stats().FastReturnFallback, 1u);
+  EXPECT_EQ(SdtTiming.predictor().returnLookups(),
+            NativeTiming.predictor().returnLookups());
+  EXPECT_EQ(SdtTiming.predictor().returnMispredicts(),
+            NativeTiming.predictor().returnMispredicts());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CallHeavy, RasDifferentialTest,
+    ::testing::Combine(::testing::Values("gcc", "crafty", "vortex", "eon"),
+                       ::testing::Range<size_t>(0, rasConfigs().size())),
+    [](const ::testing::TestParamInfo<RasDifferentialTest::ParamType> &I) {
+      return std::string(std::get<0>(I.param)) + "_" +
+             rasConfigs()[std::get<1>(I.param)].Name;
+    });
