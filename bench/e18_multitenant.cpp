@@ -1,0 +1,504 @@
+//===- bench/e18_multitenant.cpp - E18: multi-tenant service --------------===//
+//
+// Part of StrataIB.
+//
+// Translation-as-a-service: many tenants share one SDT host through the
+// EngineServer, which admits sessions from a Zipfian popularity trace,
+// keeps every fragment cache under one global budget
+// (STRATAIB_GLOBAL_CACHE_BYTES), and retains warm-start snapshots
+// between a tenant's admissions. The experiment sweeps
+//
+//   mechanism {ibtc, sieve} x arbiter {isolation, shared-budget}
+//                           x start   {cold, warm}
+//
+// over one fixed admission trace and reports per-tenant geo-mean
+// overhead, translation cycles, warm-start hit counts, and the
+// cross-tenant evictions each arbiter mode produces.
+//
+// Shape targets: warm starts replace nearly all Translate cycles with
+// the far cheaper snapshot-load install cost (2 + bytes/16 per
+// fragment), so repeat admissions of a popular tenant run close to its
+// steady-state overhead. Isolation mode never touches another tenant's
+// warm state (reclaims stay 0) but confines every tenant to one slice;
+// shared-budget mode lets grants and snapshots share the pool and
+// instead evicts the least-recently-active tenants' snapshots under
+// pressure — the Zipf-popular tenants keep their warm state, the long
+// tail loses it.
+//
+// The global budget auto-sizes from an untimed per-tenant sizing probe
+// (see below) so retained warm state overflows the pool at every
+// STRATAIB_SCALE; set STRATAIB_GLOBAL_CACHE_BYTES to pin it instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include "service/EngineServer.h"
+#include "service/ZipfTrace.h"
+#include "support/Json.h"
+#include "support/TableFormatter.h"
+#include "trace/TraceExport.h"
+#include "trace/TraceSink.h"
+#include "vm/GuestVM.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+namespace {
+
+struct Mechanism {
+  const char *Label;
+  core::SdtOptions Opts;
+};
+
+/// One native baseline per tenant workload.
+struct Baseline {
+  uint64_t Cycles = 0;
+  vm::RunResult Result;
+};
+
+/// Everything one swept cell produces.
+struct CellResult {
+  const char *Mech = nullptr;
+  service::ArbiterMode Mode = service::ArbiterMode::Isolation;
+  bool Warm = false;
+  double GeoMean = 0.0;
+  std::vector<double> TenantGeoMeans; ///< Indexed by tenant id.
+  uint64_t TranslateCycles = 0;
+  uint64_t SnapshotLoadCycles = 0;
+  uint64_t WarmSessions = 0;
+  uint64_t SnapshotLoads = 0;
+  uint64_t SnapshotSaves = 0;
+  uint64_t Reclaims = 0;          ///< Arbiter warm-state reclaims.
+  uint64_t LedgerEvictions = 0;   ///< Cross-engine partial evictions.
+  uint64_t LedgerFlushes = 0;
+};
+
+double geoMean(const std::vector<double> &Vs) {
+  if (Vs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Vs)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Vs.size()));
+}
+
+bool envSet(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && *V;
+}
+
+} // namespace
+
+int main() {
+  uint32_t Scale = scaleFromEnv(20);
+  printHeader("E18 (multi-tenant service)",
+              "global cache budget + warm-start snapshots", Scale);
+
+  // Strict knobs: a typo'd value is a configuration error (exit 2), not
+  // a silent fallback.
+  uint32_t Tenants =
+      static_cast<uint32_t>(envNumberOr("STRATAIB_TENANTS", 6, 1, 64));
+  uint32_t GlobalBytes = static_cast<uint32_t>(
+      envNumberOr("STRATAIB_GLOBAL_CACHE_BYTES", 0, 0, 1L << 30));
+  if (GlobalBytes != 0 && GlobalBytes < 4096) {
+    std::fprintf(stderr,
+                 "bench: STRATAIB_GLOBAL_CACHE_BYTES must be 0 (auto) or "
+                 ">= 4096, got %u\n",
+                 GlobalBytes);
+    return 2;
+  }
+  uint32_t ZipfS =
+      static_cast<uint32_t>(envNumberOr("STRATAIB_ZIPF_S", 120, 0, 400));
+  long WarmPin = envNumberOr("STRATAIB_WARM_START", -1, 0, 1);
+
+  // Any pinned knob changes the contention picture the acceptance checks
+  // assume, so they are skipped (the sweep itself still runs).
+  const bool Pinned =
+      envSet("STRATAIB_TENANTS") || envSet("STRATAIB_GLOBAL_CACHE_BYTES") ||
+      envSet("STRATAIB_ZIPF_S") || envSet("STRATAIB_WARM_START");
+  if (Pinned)
+    std::printf("note: STRATAIB_TENANTS/STRATAIB_GLOBAL_CACHE_BYTES/"
+                "STRATAIB_ZIPF_S/STRATAIB_WARM_START\npin the service "
+                "configuration; the warm-vs-cold and shared-vs-isolation\n"
+                "acceptance checks are skipped. Unset them for the "
+                "canonical run.\n\n");
+
+  std::vector<Mechanism> Mechanisms;
+  {
+    core::SdtOptions Ibtc;
+    Ibtc.Mechanism = core::IBMechanism::Ibtc;
+    Mechanisms.push_back({"ibtc", Ibtc});
+
+    core::SdtOptions Sieve;
+    Sieve.Mechanism = core::IBMechanism::Sieve;
+    Mechanisms.push_back({"sieve", Sieve});
+  }
+
+  const arch::MachineModel Model = withPredictorEnvOverrides(arch::x86Model());
+
+  // Tenant k runs workload k mod |suite| (the suite order is fixed, so
+  // the tenant population is reproducible).
+  std::vector<std::string> Suite = BenchContext::allWorkloadNames();
+  std::vector<std::string> TenantWorkload(Tenants);
+  std::vector<isa::Program> TenantProgram(Tenants);
+  for (uint32_t T = 0; T != Tenants; ++T) {
+    TenantWorkload[T] = Suite[T % Suite.size()];
+    Expected<isa::Program> P =
+        workloads::buildWorkload(TenantWorkload[T], Scale);
+    if (!P) {
+      std::fprintf(stderr, "bench: %s\n", P.error().message().c_str());
+      return 1;
+    }
+    TenantProgram[T] = std::move(*P);
+  }
+
+  // Native baselines (one per distinct workload) for slowdowns and
+  // transparency checks.
+  std::map<std::string, Baseline> Natives;
+  for (uint32_t T = 0; T != Tenants; ++T) {
+    const std::string &W = TenantWorkload[T];
+    if (Natives.count(W))
+      continue;
+    arch::TimingModel Timing(Model);
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto VM = vm::GuestVM::create(TenantProgram[T], Exec);
+    if (!VM) {
+      std::fprintf(stderr, "bench: %s\n", VM.error().message().c_str());
+      return 1;
+    }
+    Baseline B;
+    B.Result = (*VM)->run();
+    if (!B.Result.finishedNormally()) {
+      std::fprintf(stderr, "bench: native %s did not finish: %s\n", W.c_str(),
+                   B.Result.FaultMessage.c_str());
+      return 1;
+    }
+    B.Cycles = Timing.totalCycles();
+    Natives.emplace(W, std::move(B));
+  }
+
+  // Sizing probe: one untimed cold run per (tenant, mechanism) under a
+  // roomy cache measures the session's real footprint; each tenant then
+  // requests 1.25x that. The auto-sized global budget is the summed
+  // requests, floored at (window * MinGrant + requests/2) so that even
+  // when tiny footprints make the per-session MinGrant floor dominate
+  // the in-flight grants, retained warm state still overflows the pool:
+  // every admission runs, and shared-budget mode must evict warm state
+  // under the Zipf trace at any scale.
+  // RequestBytes[m][t].
+  std::vector<std::vector<uint32_t>> RequestBytes(
+      Mechanisms.size(), std::vector<uint32_t>(Tenants, 0));
+  for (size_t M = 0; M != Mechanisms.size(); ++M) {
+    for (uint32_t T = 0; T != Tenants; ++T) {
+      core::SdtOptions Opts = withCacheEnvOverrides(Mechanisms[M].Opts);
+      Opts.FragmentCacheBytes = 8u << 20;
+      vm::ExecOptions Exec;
+      auto Probe = core::SdtEngine::create(TenantProgram[T], Opts, Exec);
+      if (!Probe) {
+        std::fprintf(stderr, "bench: %s\n", Probe.error().message().c_str());
+        return 1;
+      }
+      vm::RunResult R = (*Probe)->run();
+      if (!R.finishedNormally()) {
+        std::fprintf(stderr, "bench: probe %s/%s did not finish: %s\n",
+                     TenantWorkload[T].c_str(), Mechanisms[M].Label,
+                     R.FaultMessage.c_str());
+        return 1;
+      }
+      uint32_t Used = (*Probe)->fragmentCache().usedBytes();
+      RequestBytes[M][T] = Used + Used / 4;
+    }
+  }
+
+  // One admission trace shared by every cell: same tenants, same order,
+  // so the axes differ only in arbiter mode / warm start / mechanism.
+  uint32_t Sessions = 5 * Tenants;
+  std::vector<uint32_t> Trace =
+      service::zipfTrace(Tenants, Sessions, ZipfS, /*Seed=*/0xE18C0FFEEULL);
+
+  std::string TracePrefix = tracePrefixFromEnv();
+  unsigned Workers = ParallelRunner::jobsFromEnv();
+
+  std::vector<bool> WarmAxis;
+  if (WarmPin < 0) {
+    WarmAxis = {false, true};
+  } else {
+    WarmAxis = {WarmPin != 0};
+  }
+  const service::ArbiterMode Modes[] = {service::ArbiterMode::Isolation,
+                                        service::ArbiterMode::SharedBudget};
+
+  std::vector<CellResult> Cells;
+  // JSON summary rows (one per tenant per cell), ParallelRunner-shaped
+  // so scripts/check_perf.py can consume them unchanged.
+  struct SummaryRow {
+    std::string Workload;
+    std::string Config;
+    uint64_t NativeCycles = 0;
+    uint64_t SdtCycles = 0;
+    double Slowdown = 0.0;
+    uint64_t Sessions = 0;
+    bool Transparent = true;
+  };
+  std::vector<SummaryRow> SummaryRows;
+
+  const uint32_t Window = 4;
+  const uint32_t MinGrant = 4096;
+
+  for (size_t M = 0; M != Mechanisms.size(); ++M) {
+    uint64_t RequestSum = 0;
+    for (uint32_t T = 0; T != Tenants; ++T)
+      RequestSum += RequestBytes[M][T];
+    uint32_t Budget =
+        GlobalBytes != 0
+            ? GlobalBytes
+            : static_cast<uint32_t>(std::max<uint64_t>(
+                  RequestSum, Window * MinGrant + RequestSum / 2));
+
+    for (service::ArbiterMode Mode : Modes) {
+      for (bool Warm : WarmAxis) {
+        service::ServerConfig SC;
+        SC.Mode = Mode;
+        SC.GlobalCacheBytes = Budget;
+        SC.MaxTenants = Tenants;
+        SC.MinGrantBytes = MinGrant;
+        SC.WarmStart = Warm;
+        SC.Workers = Workers;
+        SC.AdmissionWindow = Window;
+        service::EngineServer Server(SC);
+
+        core::SdtOptions Opts = withCacheEnvOverrides(Mechanisms[M].Opts);
+        for (uint32_t T = 0; T != Tenants; ++T)
+          Server.registerTenant(TenantWorkload[T], TenantProgram[T], Opts,
+                                Model, RequestBytes[M][T]);
+
+        trace::TraceSink Sink;
+        if (!TracePrefix.empty())
+          Server.setTraceSink(&Sink);
+
+        std::vector<service::SessionResult> Results = Server.runTrace(Trace);
+
+        CellResult Cell;
+        Cell.Mech = Mechanisms[M].Label;
+        Cell.Mode = Mode;
+        Cell.Warm = Warm;
+        std::vector<std::vector<double>> PerTenant(Tenants);
+        std::vector<uint64_t> TenantSdtCycles(Tenants, 0);
+        std::vector<bool> TenantTransparent(Tenants, true);
+        std::vector<double> AllSlowdowns;
+        for (const service::SessionResult &R : Results) {
+          if (!R.EngineError.empty()) {
+            std::fprintf(stderr, "bench: tenant %u session failed: %s\n",
+                         R.Tenant, R.EngineError.c_str());
+            return 1;
+          }
+          const Baseline &B = Natives.at(TenantWorkload[R.Tenant]);
+          bool Transparent = R.Run.Reason == B.Result.Reason &&
+                             R.Run.Output == B.Result.Output &&
+                             R.Run.Checksum == B.Result.Checksum &&
+                             R.Run.InstructionCount ==
+                                 B.Result.InstructionCount;
+          if (!Transparent) {
+            std::fprintf(stderr,
+                         "bench: tenant %u (%s) session not transparent "
+                         "under %s/%s/%s\n",
+                         R.Tenant, TenantWorkload[R.Tenant].c_str(),
+                         Mechanisms[M].Label,
+                         service::arbiterModeName(Mode),
+                         Warm ? "warm" : "cold");
+            TenantTransparent[R.Tenant] = false;
+          }
+          double Slow = static_cast<double>(R.TotalCycles) /
+                        static_cast<double>(B.Cycles);
+          PerTenant[R.Tenant].push_back(Slow);
+          AllSlowdowns.push_back(Slow);
+          TenantSdtCycles[R.Tenant] += R.TotalCycles;
+          Cell.TranslateCycles += R.CyclesByCategory[static_cast<size_t>(
+              arch::CycleCategory::Translate)];
+          Cell.SnapshotLoadCycles += R.CyclesByCategory[static_cast<size_t>(
+              arch::CycleCategory::SnapshotLoad)];
+          Cell.WarmSessions += R.Warm ? 1 : 0;
+        }
+        Cell.GeoMean = geoMean(AllSlowdowns);
+        Cell.TenantGeoMeans.resize(Tenants, 0.0);
+        for (uint32_t T = 0; T != Tenants; ++T)
+          Cell.TenantGeoMeans[T] = geoMean(PerTenant[T]);
+        trace::StatsExpectation E = Server.expectations();
+        Cell.SnapshotLoads = E.SnapshotLoads;
+        Cell.SnapshotSaves = E.SnapshotSaves;
+        Cell.Reclaims = Server.arbiter().reclaims();
+        Cell.LedgerEvictions =
+            Server.arbiter().ledger().PartialEvictions.load();
+        Cell.LedgerFlushes = Server.arbiter().ledger().Flushes.load();
+
+        if (!TracePrefix.empty()) {
+          std::string Base =
+              TracePrefix + "_e18_" + Mechanisms[M].Label + "_" +
+              service::arbiterModeName(Mode) + (Warm ? "_warm" : "_cold");
+          if (!trace::writeJsonl(Sink, Base + ".jsonl", &E) ||
+              !trace::writeChromeTrace(Sink, Base + ".chrome.json")) {
+            std::fprintf(stderr, "bench: cannot write trace files at %s.*\n",
+                         Base.c_str());
+            return 1;
+          }
+        }
+
+        std::string Config = Opts.describe() + " server(" +
+                             service::arbiterModeName(Mode) +
+                             (Warm ? ",warm)" : ",cold)");
+        for (uint32_t T = 0; T != Tenants; ++T) {
+          SummaryRow Row;
+          Row.Workload = TenantWorkload[T];
+          Row.Config = Config;
+          Row.NativeCycles = Natives.at(TenantWorkload[T]).Cycles;
+          Row.SdtCycles = TenantSdtCycles[T];
+          Row.Slowdown = Cell.TenantGeoMeans[T];
+          Row.Sessions = PerTenant[T].size();
+          Row.Transparent = TenantTransparent[T];
+          SummaryRows.push_back(std::move(Row));
+        }
+        Cells.push_back(std::move(Cell));
+      }
+    }
+  }
+
+  // --- Report -------------------------------------------------------------
+  TableFormatter T({"mechanism", "arbiter", "start", "geomean", "xlate-cyc",
+                    "snapload-cyc", "warm", "snaps", "reclaims", "evicts"});
+  for (const CellResult &C : Cells) {
+    T.beginRow()
+        .addCell(std::string(C.Mech))
+        .addCell(std::string(service::arbiterModeName(C.Mode)))
+        .addCell(C.Warm ? "warm" : "cold")
+        .addCell(C.GeoMean, 3)
+        .addCell(C.TranslateCycles)
+        .addCell(C.SnapshotLoadCycles)
+        .addCell(C.WarmSessions)
+        .addCell(C.SnapshotSaves)
+        .addCell(C.Reclaims)
+        .addCell(C.LedgerEvictions + C.LedgerFlushes);
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "(%u tenants, %u sessions, zipf s=%.2f, budget=auto%s; geomean over "
+      "all sessions\nvs the tenant's native run; warm = sessions started "
+      "from a rehydrated snapshot;\nreclaims = warm-state evictions the "
+      "arbiter performed; evicts = in-engine cache\nevictions+flushes "
+      "across all tenants)\n\n",
+      Tenants, Sessions, ZipfS / 100.0, GlobalBytes != 0 ? " (pinned)" : "");
+
+  // Per-tenant view of the most contended configuration (first
+  // mechanism, shared budget, warm) — the Zipf head keeps its snapshot,
+  // the tail loses it.
+  for (const CellResult &C : Cells) {
+    if (C.Mode != service::ArbiterMode::SharedBudget || !C.Warm ||
+        std::string(C.Mech) != Mechanisms[0].Label)
+      continue;
+    std::printf("per-tenant geo-mean (%s, shared, warm):", C.Mech);
+    for (uint32_t Ten = 0; Ten != Tenants; ++Ten)
+      std::printf(" t%u=%.3f", Ten, C.TenantGeoMeans[Ten]);
+    std::printf("\n\n");
+  }
+
+  // --- JSON summary (ParallelRunner-compatible cells) ---------------------
+  if (const char *Env = std::getenv("STRATAIB_SUMMARY")) {
+    if (*Env) {
+      support::JsonWriter W;
+      W.beginObject();
+      W.key("experiment").value("e18_multitenant");
+      W.key("scale").value(Scale);
+      W.key("jobs").value(static_cast<uint64_t>(Workers));
+      W.key("tenants").value(Tenants);
+      W.key("sessions").value(Sessions);
+      W.key("cells").beginArray();
+      for (const SummaryRow &Row : SummaryRows) {
+        W.beginObject();
+        W.key("kind").value("sdt");
+        W.key("workload").value(Row.Workload);
+        W.key("model").value(Model.Name);
+        W.key("config").value(Row.Config);
+        W.key("native_cycles").value(Row.NativeCycles);
+        W.key("sdt_cycles").value(Row.SdtCycles);
+        W.key("slowdown").value(Row.Slowdown);
+        W.key("sessions").value(Row.Sessions);
+        W.key("transparent").value(Row.Transparent);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+      std::FILE *F = std::fopen(Env, "w");
+      if (!F) {
+        std::fprintf(stderr, "bench: cannot write summary to %s\n", Env);
+        return 1;
+      }
+      std::fwrite(W.str().data(), 1, W.str().size(), F);
+      std::fputc('\n', F);
+      std::fclose(F);
+    }
+  }
+
+  for (const SummaryRow &Row : SummaryRows)
+    if (!Row.Transparent)
+      return 1;
+
+  if (Pinned) {
+    std::printf("acceptance: SKIPPED (service knobs pinned by env)\n");
+    return 0;
+  }
+
+  // --- Acceptance ---------------------------------------------------------
+  // (a) Warm starts must be measurably cheaper than cold: under
+  //     isolation (snapshots never reclaimed) warm translation work
+  //     drops by at least half; under shared budget it never rises.
+  // (b) The arbiter modes must actually differ: shared-budget warm runs
+  //     reclaim warm state under this budget, isolation never does.
+  auto cellAt = [&](const char *Mech, service::ArbiterMode Mode,
+                    bool Warm) -> const CellResult & {
+    for (const CellResult &C : Cells)
+      if (std::string(C.Mech) == Mech && C.Mode == Mode && C.Warm == Warm)
+        return C;
+    std::fprintf(stderr, "bench: missing cell\n");
+    std::exit(1);
+  };
+
+  bool Ok = true;
+  for (const Mechanism &M : Mechanisms) {
+    const CellResult &IsoCold =
+        cellAt(M.Label, service::ArbiterMode::Isolation, false);
+    const CellResult &IsoWarm =
+        cellAt(M.Label, service::ArbiterMode::Isolation, true);
+    const CellResult &ShCold =
+        cellAt(M.Label, service::ArbiterMode::SharedBudget, false);
+    const CellResult &ShWarm =
+        cellAt(M.Label, service::ArbiterMode::SharedBudget, true);
+
+    bool WarmCheaper = IsoWarm.TranslateCycles * 2 < IsoCold.TranslateCycles &&
+                       ShWarm.TranslateCycles <= ShCold.TranslateCycles &&
+                       IsoWarm.GeoMean < IsoCold.GeoMean;
+    bool ModesDiffer = ShWarm.Reclaims > 0 && IsoWarm.Reclaims == 0 &&
+                       IsoCold.Reclaims == 0 && ShCold.Reclaims == 0;
+    std::printf("%s: warm-start cheaper than cold: %s (xlate %llu -> %llu "
+                "under isolation)\n",
+                M.Label, WarmCheaper ? "YES" : "NO",
+                static_cast<unsigned long long>(IsoCold.TranslateCycles),
+                static_cast<unsigned long long>(IsoWarm.TranslateCycles));
+    std::printf("%s: arbiter modes diverge: %s (shared-warm reclaims %llu, "
+                "isolation always 0)\n",
+                M.Label, ModesDiffer ? "YES" : "NO",
+                static_cast<unsigned long long>(ShWarm.Reclaims));
+    Ok = Ok && WarmCheaper && ModesDiffer;
+  }
+  return Ok ? 0 : 1;
+}

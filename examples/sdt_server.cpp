@@ -1,0 +1,191 @@
+//===- examples/sdt_server.cpp - Multi-tenant server CLI ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// Command-line front end for the translation service: registers a set of
+// tenant workloads, drives a Zipfian admission trace through the
+// EngineServer, and prints one line per session plus the per-tenant
+// summary. The service knobs come from the environment:
+//
+//   STRATAIB_TENANTS            tenant count (1..64, default 6)
+//   STRATAIB_GLOBAL_CACHE_BYTES global budget (0 = auto-size, default)
+//   STRATAIB_ZIPF_S             Zipf exponent in hundredths (default 120)
+//   STRATAIB_WARM_START         0 = cold only, 1 = warm (default 1)
+//   STRATAIB_JOBS               worker threads (wall time only)
+//   STRATAIB_SCALE              workload scale
+//
+// Usage:
+//   sdt_server [mechanism [sessions]]
+//     mechanism: ibtc (default), sieve, inline, dispatcher
+//     sessions:  admission-trace length (default 5 * tenants)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "ParallelRunner.h"
+
+#include "service/EngineServer.h"
+#include "service/ZipfTrace.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::bench;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: sdt_server [mechanism [sessions]]\n"
+               "  mechanism: ibtc | sieve | inline | dispatcher\n"
+               "  sessions:  admission-trace length (default 5 * tenants)\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  core::SdtOptions Opts;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "ibtc") == 0) {
+      Opts.Mechanism = core::IBMechanism::Ibtc;
+    } else if (std::strcmp(argv[1], "sieve") == 0) {
+      Opts.Mechanism = core::IBMechanism::Sieve;
+    } else if (std::strcmp(argv[1], "inline") == 0) {
+      Opts.Mechanism = core::IBMechanism::Ibtc;
+      Opts.InlineCacheDepth = 2;
+    } else if (std::strcmp(argv[1], "dispatcher") == 0) {
+      Opts.Mechanism = core::IBMechanism::Dispatcher;
+    } else {
+      return usage();
+    }
+  }
+  Opts = withCacheEnvOverrides(Opts);
+
+  uint32_t Scale = scaleFromEnv(10);
+  uint32_t Tenants =
+      static_cast<uint32_t>(envNumberOr("STRATAIB_TENANTS", 6, 1, 64));
+  uint32_t GlobalBytes = static_cast<uint32_t>(
+      envNumberOr("STRATAIB_GLOBAL_CACHE_BYTES", 0, 0, 1L << 30));
+  if (GlobalBytes != 0 && GlobalBytes < 4096) {
+    std::fprintf(stderr,
+                 "sdt_server: STRATAIB_GLOBAL_CACHE_BYTES must be 0 (auto) "
+                 "or >= 4096, got %u\n",
+                 GlobalBytes);
+    return 2;
+  }
+  uint32_t ZipfS =
+      static_cast<uint32_t>(envNumberOr("STRATAIB_ZIPF_S", 120, 0, 400));
+  bool WarmStart = envNumberOr("STRATAIB_WARM_START", 1, 0, 1) != 0;
+
+  uint32_t Sessions = 5 * Tenants;
+  if (argc > 2) {
+    long S = std::strtol(argv[2], nullptr, 10);
+    if (S < 1 || S > 100000)
+      return usage();
+    Sessions = static_cast<uint32_t>(S);
+  }
+  if (argc > 3)
+    return usage();
+
+  const arch::MachineModel Model = withPredictorEnvOverrides(arch::x86Model());
+  std::vector<std::string> Suite = BenchContext::allWorkloadNames();
+
+  // Register tenants round-robin over the workload suite; each requests
+  // 1.25x the footprint an untimed probe run measures.
+  std::vector<isa::Program> Programs(Tenants);
+  std::vector<std::string> Names(Tenants);
+  std::vector<uint32_t> Requests(Tenants);
+  uint64_t RequestSum = 0;
+  for (uint32_t T = 0; T != Tenants; ++T) {
+    Names[T] = Suite[T % Suite.size()];
+    Expected<isa::Program> P = workloads::buildWorkload(Names[T], Scale);
+    if (!P) {
+      std::fprintf(stderr, "sdt_server: %s\n", P.error().message().c_str());
+      return 1;
+    }
+    Programs[T] = std::move(*P);
+
+    core::SdtOptions ProbeOpts = Opts;
+    ProbeOpts.FragmentCacheBytes = 8u << 20;
+    vm::ExecOptions Exec;
+    auto Probe = core::SdtEngine::create(Programs[T], ProbeOpts, Exec);
+    if (!Probe) {
+      std::fprintf(stderr, "sdt_server: %s\n",
+                   Probe.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = (*Probe)->run();
+    if (!R.finishedNormally()) {
+      std::fprintf(stderr, "sdt_server: probe %s did not finish: %s\n",
+                   Names[T].c_str(), R.FaultMessage.c_str());
+      return 1;
+    }
+    uint32_t Used = (*Probe)->fragmentCache().usedBytes();
+    Requests[T] = Used + Used / 4;
+    RequestSum += Requests[T];
+  }
+
+  service::ServerConfig SC;
+  SC.Mode = service::ArbiterMode::SharedBudget;
+  SC.MaxTenants = Tenants;
+  SC.WarmStart = WarmStart;
+  SC.Workers = ParallelRunner::jobsFromEnv();
+  SC.GlobalCacheBytes =
+      GlobalBytes != 0
+          ? GlobalBytes
+          : static_cast<uint32_t>(std::max<uint64_t>(
+                RequestSum, SC.AdmissionWindow * SC.MinGrantBytes +
+                                RequestSum / 2));
+
+  service::EngineServer Server(SC);
+  for (uint32_t T = 0; T != Tenants; ++T)
+    Server.registerTenant(Names[T], Programs[T], Opts, Model, Requests[T]);
+
+  std::printf("sdt_server: %u tenants, %u sessions, budget %u bytes, "
+              "%s arbiter, warm-start %s, %u workers\n",
+              Tenants, Sessions, SC.GlobalCacheBytes,
+              service::arbiterModeName(SC.Mode), WarmStart ? "on" : "off",
+              SC.Workers);
+
+  std::vector<uint32_t> Trace =
+      service::zipfTrace(Tenants, Sessions, ZipfS, /*Seed=*/0xE18C0FFEEULL);
+  std::vector<service::SessionResult> Results = Server.runTrace(Trace);
+
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const service::SessionResult &R = Results[I];
+    if (!R.EngineError.empty()) {
+      std::fprintf(stderr, "sdt_server: session %zu failed: %s\n", I,
+                   R.EngineError.c_str());
+      return 1;
+    }
+    std::printf("session %3zu  tenant %2u (%-10s) %s grant %7u  cycles "
+                "%12llu  frags %5llu rehydrated %5llu%s\n",
+                I, R.Tenant, Server.registry().tenant(R.Tenant).Name.c_str(),
+                R.Warm ? "warm" : "cold", R.GrantBytes,
+                static_cast<unsigned long long>(R.TotalCycles),
+                static_cast<unsigned long long>(R.Stats.FragmentsTranslated),
+                static_cast<unsigned long long>(R.Stats.RehydratedFragments),
+                R.SnapshotError.empty() ? "" : "  [snapshot discarded]");
+  }
+
+  std::printf("\nper-tenant summary:\n");
+  for (uint32_t T = 0; T != Tenants; ++T) {
+    const service::TenantRecord &Rec = Server.registry().tenant(T);
+    std::printf("  tenant %2u (%-10s): %llu sessions, %llu warm, %llu "
+                "snapshots discarded, %u bytes retained\n",
+                T, Rec.Name.c_str(),
+                static_cast<unsigned long long>(Rec.Sessions),
+                static_cast<unsigned long long>(Rec.WarmSessions),
+                static_cast<unsigned long long>(Rec.SnapshotsDiscarded),
+                Server.arbiter().retainedBytes(T));
+  }
+  std::printf("arbiter: %llu warm-state reclaims, %u bytes retained in "
+              "total, %zu snapshots stored (%zu blob bytes)\n",
+              static_cast<unsigned long long>(Server.arbiter().reclaims()),
+              Server.arbiter().retainedTotal(), Server.snapshots().count(),
+              Server.snapshots().storedBlobBytes());
+  return 0;
+}

@@ -184,6 +184,10 @@ std::string normalizeEventKind(const std::string &Name) {
     return "code-write";
   if (Name == "invalidate")
     return "frag-invalidate";
+  if (Name == "admit")
+    return "tenant-admit";
+  if (Name == "reclaim")
+    return "tenant-evict";
   return Name;
 }
 
@@ -244,6 +248,14 @@ int reconcileFailures(const JsonValue &Summary) {
           Stats->num("spec_guard_hits"));
     check("spec guard misses", Totals->num("spec-guard-miss"),
           Stats->num("spec_guard_misses"));
+    check("tenant admissions", Totals->num("tenant-admit"),
+          Stats->num("tenant_admissions"));
+    check("tenant evictions", Totals->num("tenant-evict"),
+          Stats->num("tenant_evictions"));
+    check("snapshot saves", Totals->num("snapshot-save"),
+          Stats->num("snapshot_saves"));
+    check("snapshot loads", Totals->num("snapshot-load"),
+          Stats->num("snapshot_loads"));
   }
 
   const JsonValue *MechTotals = Summary.field("mech_totals");

@@ -28,6 +28,16 @@
 # ranking-inversion check — leave these unset when its sweep is the
 # point. Garbage values exit 2 before any cell runs.
 #
+# STRATAIB_TENANTS / STRATAIB_GLOBAL_CACHE_BYTES / STRATAIB_ZIPF_S /
+# STRATAIB_WARM_START configure the translation service
+# (docs/Service.md): tenant count, the global fragment-cache budget
+# (0 = auto-size from probed footprints), the Zipf exponent of the
+# admission trace in hundredths, and whether snapshots rehydrate.
+# e18_multitenant sweeps the {isolation, shared} x {cold, warm} grid
+# itself: pinning any of these collapses an axis, so it prints a note
+# and skips its acceptance checks — leave them unset when its sweep is
+# the point. Garbage values exit 2 before any cell runs.
+#
 # Any experiment that crashes or exits non-zero aborts the run with a
 # non-zero exit status, and no partial summary is merged into
 # results/bench_summary.json.

@@ -26,6 +26,8 @@ const char *sdt::arch::cycleCategoryName(CycleCategory C) {
     return "link";
   case CycleCategory::Instrument:
     return "instrument";
+  case CycleCategory::SnapshotLoad:
+    return "snapshot-load";
   case CycleCategory::NumCategories:
     break;
   }

@@ -39,6 +39,7 @@ enum class CycleCategory : uint8_t {
   IBLookup,   ///< Inline IB-handling code (IBTC probes, sieve walks, ...).
   Link,       ///< Patching direct-branch link stubs.
   Instrument, ///< Injected instrumentation probes (block counters).
+  SnapshotLoad, ///< Rehydrating a warm-start snapshot (service layer).
   NumCategories,
 };
 

@@ -30,6 +30,12 @@ public:
                         const PolicyConfig &Config = PolicyConfig())
       : Policy(makeCachePolicy(Kind, Config)) {}
 
+  /// Adopts an already-built policy — the service layer uses this to
+  /// install an ArbitratedPolicy wrapper (GlobalBudget.h) around one of
+  /// the shipped policies.
+  explicit CacheManager(std::unique_ptr<CachePolicy> AdoptedPolicy)
+      : Policy(std::move(AdoptedPolicy)) {}
+
   CachePolicyKind kind() const { return Policy->kind(); }
   const char *policyName() const { return cachePolicyName(Policy->kind()); }
 

@@ -1,0 +1,47 @@
+//===- cachemgr/GlobalBudget.cpp -------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See GlobalBudget.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachemgr/GlobalBudget.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::cachemgr;
+
+ArbitratedPolicy::ArbitratedPolicy(std::unique_ptr<CachePolicy> InnerPolicy,
+                                   GlobalBudgetLedger &SharedLedger)
+    : Inner(std::move(InnerPolicy)), Ledger(SharedLedger) {
+  assert(Inner && "ArbitratedPolicy needs an inner policy");
+}
+
+EvictionPlan ArbitratedPolicy::plan(const std::vector<FragmentView> &Live,
+                                    const CacheUsage &Usage, uint32_t Pinned) {
+  EvictionPlan P = Inner->plan(Live, Usage, Pinned);
+  if (P.FullFlush)
+    return P; // The engine's flush calls notifyFlush(); counted there.
+  // Mirror of the CacheManager progress-guarantee walk: a plan that
+  // frees too little is escalated to a full flush above us and never
+  // executes as a partial eviction, so only charge the ledger for plans
+  // that will actually run.
+  uint64_t Freed = 0;
+  size_t LiveIt = 0;
+  for (uint32_t Victim : P.Victims) {
+    while (LiveIt != Live.size() && Live[LiveIt].Index != Victim)
+      ++LiveIt;
+    if (LiveIt != Live.size())
+      Freed += Live[LiveIt].Bytes;
+  }
+  if (!P.Victims.empty() && Usage.UsedBytes - Freed < Usage.CapacityBytes) {
+    Ledger.PartialEvictions.fetch_add(1, std::memory_order_relaxed);
+    Ledger.EvictedBytes.fetch_add(Freed, std::memory_order_relaxed);
+  }
+  return P;
+}
+
+void ArbitratedPolicy::notifyFlush() {
+  Ledger.Flushes.fetch_add(1, std::memory_order_relaxed);
+  Inner->notifyFlush();
+}

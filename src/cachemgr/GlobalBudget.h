@@ -1,0 +1,81 @@
+//===- cachemgr/GlobalBudget.h - Cross-engine cache accounting ---*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-engine accounting for a fleet of fragment caches sharing one
+/// host. Each tenant engine keeps its private CachePolicy, but the
+/// service layer wraps it in an ArbitratedPolicy that charges every
+/// eviction decision to a shared GlobalBudgetLedger — the sum of all
+/// tenants' cache activity becomes observable (and therefore testable)
+/// without the engines knowing about each other.
+///
+/// The wrapper is deliberately decision-transparent: kind() and plan()
+/// delegate to the inner policy unchanged, so an engine running under
+/// the arbiter with the same capacity produces bit-identical cycles to
+/// a standalone engine (pinned by a differential test). Capacity
+/// *grants* — how many bytes each tenant's cache may use under the
+/// global budget — are decided at admission time by the service-layer
+/// GlobalCacheArbiter, not here; this layer only accounts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_CACHEMGR_GLOBALBUDGET_H
+#define STRATAIB_CACHEMGR_GLOBALBUDGET_H
+
+#include "cachemgr/CachePolicy.h"
+
+#include <atomic>
+
+namespace sdt {
+namespace cachemgr {
+
+/// Shared counters for all engines running under one global budget.
+/// Written from worker threads (relaxed atomics — counters only, never
+/// read back into any simulation decision), read after the workers are
+/// joined.
+struct GlobalBudgetLedger {
+  /// Partial-eviction plans executed across all tenant engines.
+  std::atomic<uint64_t> PartialEvictions{0};
+  /// Bytes freed by those partial evictions.
+  std::atomic<uint64_t> EvictedBytes{0};
+  /// Full cache flushes across all tenant engines (policy flushes and
+  /// manager escalations alike — counted where the flush happens).
+  std::atomic<uint64_t> Flushes{0};
+
+  void reset() {
+    PartialEvictions.store(0, std::memory_order_relaxed);
+    EvictedBytes.store(0, std::memory_order_relaxed);
+    Flushes.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// CachePolicy wrapper that forwards every decision to an inner policy
+/// and charges the outcome to a GlobalBudgetLedger. Installed via
+/// core::SdtOptions::PolicyFactory by the engine server.
+class ArbitratedPolicy : public CachePolicy {
+public:
+  ArbitratedPolicy(std::unique_ptr<CachePolicy> Inner,
+                   GlobalBudgetLedger &Ledger);
+
+  /// Delegates to the inner policy: the engine short-circuits pressure
+  /// handling to a flush when kind() == FullFlush, so reporting our own
+  /// kind would change eviction behaviour.
+  CachePolicyKind kind() const override { return Inner->kind(); }
+
+  EvictionPlan plan(const std::vector<FragmentView> &Live,
+                    const CacheUsage &Usage, uint32_t Pinned) override;
+
+  void notifyFlush() override;
+
+private:
+  std::unique_ptr<CachePolicy> Inner;
+  GlobalBudgetLedger &Ledger;
+};
+
+} // namespace cachemgr
+} // namespace sdt
+
+#endif // STRATAIB_CACHEMGR_GLOBALBUDGET_H

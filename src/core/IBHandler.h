@@ -124,6 +124,29 @@ public:
   /// event-emitting mechanism without knowing the wrapping structure.
   virtual IBHandler *backingHandler() { return nullptr; }
 
+  // --- Warm-start snapshots (src/service; SdtEngine::prewarm) -------------
+
+  /// Appends every guest target held in this mechanism's *shared* target
+  /// table to \p GuestTargets. Only mappings keyed purely by guest target
+  /// (the shared IBTC) are snapshot-portable; per-site tables, sieve
+  /// stubs, return caches, and inline-cache slots key on site ids or stub
+  /// addresses that are not stable across engine lifetimes, so they are
+  /// rebuilt cold. The default exports nothing.
+  virtual void exportSharedTargets(std::vector<uint32_t> &GuestTargets) const {
+    (void)GuestTargets;
+  }
+
+  /// Installs one rehydrated shared-table mapping (guest target → its
+  /// re-translated fragment entry). Returns false when this mechanism has
+  /// no shared table — the caller skips the snapshot entry.
+  virtual bool importSharedTarget(uint32_t GuestTarget, uint32_t HostEntryAddr,
+                                  arch::TimingModel *Timing) {
+    (void)GuestTarget;
+    (void)HostEntryAddr;
+    (void)Timing;
+    return false;
+  }
+
 protected:
   void countLookup(bool Hit, uint32_t SiteId, uint32_t GuestTarget) {
     ++Lookups;

@@ -220,6 +220,24 @@ uint64_t IbtcHandler::invalidateEvicted(const EvictedRanges &Ranges,
   return Cleared;
 }
 
+void IbtcHandler::exportSharedTargets(
+    std::vector<uint32_t> &GuestTargets) const {
+  if (!Opts.IbtcShared)
+    return; // Per-site keys (site ids) do not survive an engine lifetime.
+  for (const Entry &E : Shared.Entries)
+    if (E.GuestTag != 0)
+      GuestTargets.push_back(E.GuestTag);
+}
+
+bool IbtcHandler::importSharedTarget(uint32_t GuestTarget,
+                                     uint32_t HostEntryAddr,
+                                     arch::TimingModel *Timing) {
+  if (!Opts.IbtcShared)
+    return false;
+  record(/*SiteId=*/0, GuestTarget, HostEntryAddr, Timing);
+  return true;
+}
+
 uint32_t IbtcHandler::currentCapacity() const {
   if (Opts.IbtcShared)
     return Shared.Capacity;

@@ -55,6 +55,15 @@ public:
 
   std::string statsSummary() const override;
 
+  /// Shared-table mappings are keyed purely by guest target, so they are
+  /// snapshot-portable (per-site tables are not; they export nothing).
+  void exportSharedTargets(std::vector<uint32_t> &GuestTargets) const override;
+
+  /// Reinstalls a mapping into the shared table (a plain record()).
+  /// False in per-site mode.
+  bool importSharedTarget(uint32_t GuestTarget, uint32_t HostEntryAddr,
+                          arch::TimingModel *Timing) override;
+
   /// Entries replaced while holding a different valid tag (conflicts).
   uint64_t replacements() const { return Replacements; }
   /// Number of tables currently allocated (1 when shared).

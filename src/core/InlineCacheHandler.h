@@ -68,6 +68,16 @@ public:
 
   IBHandler *backingHandler() override { return Backing.get(); }
 
+  /// Inline slots key on site ids (not snapshot-portable); only the
+  /// backing mechanism's shared table participates in snapshots.
+  void exportSharedTargets(std::vector<uint32_t> &GuestTargets) const override {
+    Backing->exportSharedTargets(GuestTargets);
+  }
+  bool importSharedTarget(uint32_t GuestTarget, uint32_t HostEntryAddr,
+                          arch::TimingModel *Timing) override {
+    return Backing->importSharedTarget(GuestTarget, HostEntryAddr, Timing);
+  }
+
   /// Hits served by an inlined entry (vs. the backing mechanism).
   uint64_t inlineHits() const { return InlineHits; }
 

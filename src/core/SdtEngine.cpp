@@ -47,15 +47,23 @@ static std::unique_ptr<IBHandler> makeHandler(const SdtOptions &Opts,
   return Inner;
 }
 
+/// Builds the cache manager, routing through SdtOptions::PolicyFactory
+/// when the service layer installed one (global-budget accounting).
+static cachemgr::CacheManager makeCacheManager(const SdtOptions &Opts) {
+  cachemgr::PolicyConfig Config{Opts.CacheEvictTargetPct,
+                                Opts.CacheGenPromoteExecs};
+  if (Opts.PolicyFactory)
+    return cachemgr::CacheManager(Opts.PolicyFactory(Opts.CachePolicy, Config));
+  return cachemgr::CacheManager(Opts.CachePolicy, Config);
+}
+
 SdtEngine::SdtEngine(const Program &P, const SdtOptions &Opts,
                      const ExecOptions &Exec)
     : Opts(Opts), Exec(Exec), Memory(Exec.MemorySize),
       Decoder(Memory, P.loadAddress(),
               static_cast<uint32_t>(P.image().size()) & ~3u),
       Cache(Opts.FragmentCacheBytes),
-      CacheMgr(Opts.CachePolicy,
-               cachemgr::PolicyConfig{Opts.CacheEvictTargetPct,
-                                      Opts.CacheGenPromoteExecs}),
+      CacheMgr(makeCacheManager(Opts)),
       Main(makeHandler(Opts, Opts.Mechanism)), Xlate(Decoder, Cache, Opts) {
   if (Opts.JumpMechanism && *Opts.JumpMechanism != Opts.Mechanism)
     JumpH = makeHandler(Opts, *Opts.JumpMechanism);
@@ -111,6 +119,61 @@ SdtEngine::create(const Program &P, const SdtOptions &Opts,
   if (!Engine->Memory.loadProgram(P))
     return Error::failure("program image does not fit in guest memory");
   return Engine;
+}
+
+void SdtEngine::prewarm(const PrewarmImage &Image) {
+  assert(Cache.fragmentCount() == 0 && "prewarm must precede run()");
+  TimingModel *T = Exec.Timing;
+  uint64_t Fragments = 0;
+  uint64_t Bytes = 0;
+  for (uint32_t GuestPc : Image.FragmentEntries) {
+    // Duplicates, cache-full (grant below the snapshot's footprint —
+    // partial warm start), and failed translations all degrade to a
+    // colder start for that entry.
+    if (Cache.lookup(GuestPc).valid() || Cache.isFull()) {
+      ++Stats.RehydrationsSkipped;
+      continue;
+    }
+    Expected<HostLoc> Loc = Xlate.translate(GuestPc, /*Timing=*/nullptr, Stats);
+    if (!Loc) {
+      ++Stats.RehydrationsSkipped;
+      continue;
+    }
+    uint32_t FragBytes = Cache.fragment(Loc->Frag).CodeBytes;
+    ++Fragments;
+    Bytes += FragBytes;
+    // Rehydration streams pre-built code out of the snapshot: a fixed
+    // install cost plus a bulk-copy cost — charged to SnapshotLoad, not
+    // the full per-instruction Translate decode cost. That gap is the
+    // warm-start saving E18 measures.
+    if (T)
+      T->charge(CycleCategory::SnapshotLoad, 2 + FragBytes / 16);
+  }
+
+  std::vector<IBHandler *> Hs = allHandlers();
+  uint64_t Installed = 0;
+  for (const PrewarmImage::SharedTarget &S : Image.SharedTargets) {
+    HostLoc Loc = S.HandlerIndex < Hs.size() ? Cache.lookup(S.GuestTarget)
+                                             : HostLoc();
+    if (!Loc.valid()) { // Unknown handler, or its fragment was skipped.
+      ++Stats.RehydrationsSkipped;
+      continue;
+    }
+    uint32_t EntryAddr = Cache.fragment(Loc.Frag).HostEntryAddr;
+    if (!Hs[S.HandlerIndex]->importSharedTarget(S.GuestTarget, EntryAddr,
+                                                /*Timing=*/nullptr)) {
+      ++Stats.RehydrationsSkipped;
+      continue;
+    }
+    ++Installed;
+    if (T)
+      T->charge(CycleCategory::SnapshotLoad, 2); // Two-word entry install.
+  }
+
+  ++Stats.SnapshotLoads;
+  Stats.RehydratedFragments += Fragments;
+  Stats.RehydratedBytes += Bytes;
+  Stats.RehydratedIbtcEntries += Installed;
 }
 
 void SdtEngine::finishTrace(Translator::TraceEnd End) {

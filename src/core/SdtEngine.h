@@ -39,6 +39,24 @@
 namespace sdt {
 namespace core {
 
+/// A decoded warm-start snapshot: what SdtEngine::prewarm rebuilds
+/// before run(). Produced by the service layer's snapshot codec
+/// (src/service/Snapshot.h) from a previous session of the same
+/// program under the same options.
+struct PrewarmImage {
+  /// Guest entry pcs of the fragments to pre-translate, in snapshot
+  /// (allocation) order.
+  std::vector<uint32_t> FragmentEntries;
+  /// One shared-table IB mapping to reinstall: which mechanism instance
+  /// (index in allHandlers() order) and which guest target. The
+  /// translated address is re-resolved against the rebuilt cache.
+  struct SharedTarget {
+    uint32_t HandlerIndex = 0;
+    uint32_t GuestTarget = 0;
+  };
+  std::vector<SharedTarget> SharedTargets;
+};
+
 /// The SDT engine. Create one per run.
 class SdtEngine {
 public:
@@ -50,6 +68,17 @@ public:
 
   /// Runs under translation until exit/halt/fault/instruction budget.
   vm::RunResult run();
+
+  /// Rehydrates a warm-start snapshot before run(): re-translates each
+  /// snapshot fragment (charging the cheap CycleCategory::SnapshotLoad
+  /// install cost instead of the full Translate cost) and reinstalls the
+  /// shared-table IB mappings. Entries that no longer translate, that
+  /// overflow the granted cache (partial warm start), or that name a
+  /// handler without a shared table are skipped and counted in
+  /// SdtStats::RehydrationsSkipped — a damaged snapshot degrades to a
+  /// colder start, never to a fault. Untraced: the service layer records
+  /// the snapshot-load event on its own control-thread sink.
+  void prewarm(const PrewarmImage &Image);
 
   const SdtStats &stats() const { return Stats; }
   const SdtOptions &options() const { return Opts; }

@@ -19,6 +19,8 @@
 #include "support/Hashing.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -153,6 +155,15 @@ struct SdtOptions {
   /// Generational promotes fragments with this many head executions into
   /// the hot generation.
   uint32_t CacheGenPromoteExecs = 8;
+  /// Optional hook: when set, the engine builds its eviction policy
+  /// through this factory instead of cachemgr::makeCachePolicy. The
+  /// service layer uses it to wrap the configured policy with
+  /// cross-engine global-budget accounting (cachemgr/GlobalBudget.h).
+  /// Deliberately not part of describe(): a wrapper installed here must
+  /// be decision-transparent, never changing any eviction outcome.
+  std::function<std::unique_ptr<cachemgr::CachePolicy>(
+      cachemgr::CachePolicyKind, const cachemgr::PolicyConfig &)>
+      PolicyFactory;
 
   // --- Traces (NET-style superblocks) -------------------------------------
   /// Re-translate hot paths into linear traces: conditional branches are

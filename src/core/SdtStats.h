@@ -106,6 +106,19 @@ struct SdtStats {
                  : 0.0;
   }
 
+  // --- Warm-start snapshots (src/service; SdtEngine::prewarm) -----------
+  /// Successful prewarm() calls (0 on a cold run, 1 on a warm one).
+  uint64_t SnapshotLoads = 0;
+  /// Fragments rehydrated from a snapshot before the run started.
+  uint64_t RehydratedFragments = 0;
+  /// Simulated code bytes those rehydrated fragments occupy.
+  uint64_t RehydratedBytes = 0;
+  /// Shared-table IB mappings reinstalled from a snapshot.
+  uint64_t RehydratedIbtcEntries = 0;
+  /// Snapshot entries skipped because the granted cache filled (partial
+  /// warm start) or the entry no longer translated.
+  uint64_t RehydrationsSkipped = 0;
+
   /// Returns served by the shadow stack's top entry.
   uint64_t ShadowStackHits = 0;
   /// Returns whose target did not match the shadow-stack top (or found

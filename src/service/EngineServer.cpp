@@ -1,0 +1,244 @@
+//===- service/EngineServer.cpp --------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See EngineServer.h for the interface and the
+// determinism contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/EngineServer.h"
+
+#include "service/Snapshot.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <utility>
+
+using namespace sdt;
+using namespace sdt::service;
+
+static GlobalCacheArbiter::Config arbiterConfig(const ServerConfig &C) {
+  GlobalCacheArbiter::Config A;
+  A.Mode = C.Mode;
+  A.BudgetBytes = C.GlobalCacheBytes;
+  A.MaxTenants = C.MaxTenants;
+  A.MinGrantBytes = C.MinGrantBytes;
+  return A;
+}
+
+EngineServer::EngineServer(const ServerConfig &C) : Cfg(C), Arb(arbiterConfig(C)) {
+  if (Cfg.MaxTenants == 0)
+    Cfg.MaxTenants = 1;
+  if (Cfg.Workers == 0)
+    Cfg.Workers = 1;
+  if (Cfg.AdmissionWindow == 0)
+    Cfg.AdmissionWindow = 1;
+  if (Cfg.AdmissionWindow > Cfg.MaxTenants)
+    Cfg.AdmissionWindow = Cfg.MaxTenants;
+}
+
+uint32_t EngineServer::registerTenant(std::string Name, isa::Program P,
+                                      const core::SdtOptions &Opts,
+                                      const arch::MachineModel &Model,
+                                      uint32_t RequestBytes) {
+  return Reg.add(std::move(Name), std::move(P), Opts, Model, RequestBytes).Id;
+}
+
+void EngineServer::emit(trace::EventKind K, uint32_t A, uint32_t B) {
+  if (Sink)
+    Sink->record(K, A, B);
+}
+
+EngineServer::WorkerOutput
+EngineServer::runSession(const TenantRecord &T, uint32_t GrantBytes, bool Warm,
+                         core::PrewarmImage Image) const {
+  WorkerOutput Out;
+  SessionResult &R = Out.Result;
+  R.Tenant = T.Id;
+  R.Warm = Warm;
+  R.GrantBytes = GrantBytes;
+
+  arch::TimingModel Timing(T.Model);
+  vm::ExecOptions Exec;
+  Exec.Timing = &Timing;
+  if (Cfg.MaxInstructions != 0)
+    Exec.MaxInstructions = Cfg.MaxInstructions;
+
+  core::SdtOptions Opts = T.Opts;
+  Opts.FragmentCacheBytes = GrantBytes;
+  // Route every capacity decision through the arbiter's ledger so
+  // cross-engine eviction pressure is observable globally. The wrapper is
+  // decision-transparent (same kind, same plans), so per-tenant cycle
+  // counts match a standalone engine bit-for-bit.
+  cachemgr::GlobalBudgetLedger *Led =
+      &const_cast<GlobalCacheArbiter &>(Arb).ledger();
+  Opts.PolicyFactory = [Led](cachemgr::CachePolicyKind Kind,
+                             const cachemgr::PolicyConfig &Config) {
+    return std::make_unique<cachemgr::ArbitratedPolicy>(
+        cachemgr::makeCachePolicy(Kind, Config), *Led);
+  };
+
+  auto EngineOr = core::SdtEngine::create(T.Program, Opts, Exec);
+  if (!EngineOr) {
+    R.EngineError = EngineOr.takeError().message();
+    return Out;
+  }
+  core::SdtEngine &Engine = **EngineOr;
+
+  if (Warm)
+    Engine.prewarm(Image);
+
+  R.Run = Engine.run();
+  R.Stats = Engine.stats();
+  R.TotalCycles = Timing.totalCycles();
+  for (size_t C = 0;
+       C != static_cast<size_t>(arch::CycleCategory::NumCategories); ++C)
+    R.CyclesByCategory[C] = Timing.cycles(static_cast<arch::CycleCategory>(C));
+
+  // Snapshot the finished cache for the tenant's next admission.
+  // Trace-enabled configurations are excluded: retired trace heads and
+  // promotion state do not rehydrate deterministically.
+  if (Cfg.WarmStart && !T.Opts.EnableTraces) {
+    // The cache may overshoot its nominal capacity by one in-flight
+    // fragment; reserve at most the grant — rehydration is
+    // capacity-bounded anyway (prewarm skips once the next cache fills).
+    Out.SnapshotCacheBytes =
+        std::min(Engine.fragmentCache().usedBytes(), GrantBytes);
+    if (Out.SnapshotCacheBytes != 0)
+      Out.SnapshotBlob = encodeSnapshot(Engine, T.ProgramFp);
+  }
+  return Out;
+}
+
+std::vector<SessionResult>
+EngineServer::runTrace(const std::vector<uint32_t> &TenantTrace) {
+  std::vector<SessionResult> Results(TenantTrace.size());
+  support::ThreadPool Pool(Cfg.Workers);
+
+  struct Pending {
+    size_t TraceIndex = 0;
+    uint32_t Tenant = 0;
+    uint32_t GrantBytes = 0;
+    std::string SnapshotError; ///< Cold-fallback diagnostic, if any.
+    std::future<WorkerOutput> Fut;
+  };
+  std::deque<Pending> Window;
+
+  // Completion runs on the control thread in admission order: release the
+  // grant, then (maybe) retain the new snapshot. This is the only place
+  // arbiter or store state changes after admission.
+  auto Complete = [&](Pending P) {
+    WorkerOutput Out = P.Fut.get();
+    Arb.sessionDone(P.Tenant, P.GrantBytes);
+
+    TenantRecord &T = Reg.tenant(P.Tenant);
+    ++T.Sessions;
+    if (Out.Result.Warm)
+      ++T.WarmSessions;
+
+    if (Cfg.WarmStart && Out.Result.EngineError.empty() &&
+        !Out.SnapshotBlob.empty() && Out.SnapshotCacheBytes != 0) {
+      GlobalCacheArbiter::Retention R =
+          Arb.retain(P.Tenant, Out.SnapshotCacheBytes);
+      for (const Reclaim &V : R.Reclaimed) {
+        Store.drop(V.Tenant);
+        emit(trace::EventKind::TenantEvict, V.Tenant, V.CacheBytes);
+        ++TenantEvictions;
+      }
+      if (R.Accepted) {
+        emit(trace::EventKind::SnapshotSave, P.Tenant, Out.SnapshotCacheBytes);
+        ++SnapshotSaves;
+        Store.store(P.Tenant, std::move(Out.SnapshotBlob),
+                    Out.SnapshotCacheBytes);
+      } else {
+        // No reservation, no blob: admission consumed the previous one,
+        // so a stale stored copy would be unaccounted warm state.
+        Store.drop(P.Tenant);
+      }
+    }
+    assert(Arb.invariantHolds() && "arbiter accounting out of budget");
+    Out.Result.SnapshotError = std::move(P.SnapshotError);
+    Results[P.TraceIndex] = std::move(Out.Result);
+  };
+
+  for (size_t I = 0; I != TenantTrace.size(); ++I) {
+    // The accounting window: admission I sees exactly the completions of
+    // sessions up to I - AdmissionWindow, independent of worker count.
+    while (Window.size() >= Cfg.AdmissionWindow) {
+      Complete(std::move(Window.front()));
+      Window.pop_front();
+    }
+
+    uint32_t Id = TenantTrace[I];
+    assert(Id < Reg.size() && "trace names an unregistered tenant");
+    TenantRecord &T = Reg.tenant(Id);
+
+    GlobalCacheArbiter::Admission A = Arb.admit(Id, T.RequestBytes);
+    for (const Reclaim &V : A.Reclaimed) {
+      Store.drop(V.Tenant);
+      emit(trace::EventKind::TenantEvict, V.Tenant, V.CacheBytes);
+      ++TenantEvictions;
+    }
+    emit(trace::EventKind::TenantAdmit, Id, A.GrantBytes);
+    ++TenantAdmissions;
+
+    // Decode on the control thread: a rejected snapshot mutates the store
+    // and the arbiter, which only this thread may do.
+    bool Warm = false;
+    core::PrewarmImage Image;
+    std::string SnapErr;
+    if (Cfg.WarmStart) {
+      if (const std::vector<uint8_t> *Blob = Store.lookup(Id)) {
+        Expected<SnapshotInfo> Info =
+            decodeSnapshot(*Blob, T.OptionsFp, T.ProgramFp);
+        if (Info) {
+          Warm = true;
+          Image = std::move(Info->Image);
+          emit(trace::EventKind::SnapshotLoad, Id, Info->CacheBytes);
+          ++SnapshotLoads;
+        } else {
+          SnapErr = Info.takeError().message();
+          std::fprintf(stderr,
+                       "sdt-server: tenant %u (%s): discarding snapshot: %s "
+                       "(starting cold)\n",
+                       Id, T.Name.c_str(), SnapErr.c_str());
+          Store.drop(Id);
+          Arb.dropRetained(Id);
+          ++T.SnapshotsDiscarded;
+        }
+      }
+    }
+
+    Pending P;
+    P.TraceIndex = I;
+    P.Tenant = Id;
+    P.GrantBytes = A.GrantBytes;
+    // The worker reads only immutable tenant fields plus its private
+    // copies; all shared mutation stays on this thread.
+    P.SnapshotError = std::move(SnapErr);
+    P.Fut = Pool.submit(
+        [this, &T, Grant = A.GrantBytes, Warm,
+         Img = std::move(Image)]() mutable {
+          return runSession(T, Grant, Warm, std::move(Img));
+        });
+    Window.push_back(std::move(P));
+  }
+
+  while (!Window.empty()) {
+    Complete(std::move(Window.front()));
+    Window.pop_front();
+  }
+  return Results;
+}
+
+trace::StatsExpectation EngineServer::expectations() const {
+  trace::StatsExpectation E;
+  E.TenantAdmissions = TenantAdmissions;
+  E.TenantEvictions = TenantEvictions;
+  E.SnapshotSaves = SnapshotSaves;
+  E.SnapshotLoads = SnapshotLoads;
+  return E;
+}

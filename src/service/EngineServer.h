@@ -1,0 +1,152 @@
+//===- service/EngineServer.h - Multi-tenant SDT server ----------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation-as-a-service: a long-lived server that admits guest
+/// sessions (program + workload + mechanism config) from many tenants
+/// over one shared host. Per-session SdtEngine instances run on a
+/// support::ThreadPool; a GlobalCacheArbiter keeps the sum of all
+/// in-flight fragment caches plus retained warm state under one global
+/// budget; a SnapshotStore retains each tenant's warm state (fragment
+/// entries + shared IBTC mappings, Snapshot.h) and rehydrates it on the
+/// tenant's next admission.
+///
+/// Admission lifecycle (docs/Service.md):
+///   admit -> [reclaim LRA warm state] -> grant -> [decode snapshot]
+///         -> run on worker -> complete -> [retain new snapshot]
+///
+/// Determinism contract: every accounting decision (grants, reclaims,
+/// retention) happens on the control thread in admission order, and a
+/// session is admitted only after the session AdmissionWindow places
+/// ahead of it has *completed* — so results depend on the configured
+/// window, never on the worker count. STRATAIB_JOBS changes wall time
+/// only; cycle counts are bit-identical for any job count (pinned by a
+/// ctest, race-clean under TSan).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SERVICE_ENGINESERVER_H
+#define STRATAIB_SERVICE_ENGINESERVER_H
+
+#include "core/SdtEngine.h"
+#include "service/GlobalCacheArbiter.h"
+#include "service/SnapshotStore.h"
+#include "service/TenantRegistry.h"
+#include "trace/TraceExport.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdt {
+namespace service {
+
+struct ServerConfig {
+  ArbiterMode Mode = ArbiterMode::SharedBudget;
+  /// The global budget covering all in-flight caches + retained warm
+  /// state (STRATAIB_GLOBAL_CACHE_BYTES).
+  uint32_t GlobalCacheBytes = 1u << 20;
+  /// Isolation-slice denominator and admission-window upper bound.
+  uint32_t MaxTenants = 8;
+  uint32_t MinGrantBytes = 4096;
+  /// Retain warm state and rehydrate it on re-admission
+  /// (STRATAIB_WARM_START).
+  bool WarmStart = true;
+  /// Worker threads executing sessions. Affects wall time only, never
+  /// results (see the determinism contract above).
+  unsigned Workers = 1;
+  /// Sessions that may be in flight at once — the *accounting* window.
+  /// Part of the server configuration, so results are reproducible
+  /// regardless of STRATAIB_JOBS. Clamped to [1, MaxTenants].
+  unsigned AdmissionWindow = 4;
+  /// Per-session guest instruction budget (0 = engine default).
+  uint64_t MaxInstructions = 0;
+};
+
+/// Everything observable about one completed session.
+struct SessionResult {
+  uint32_t Tenant = 0;
+  bool Warm = false;          ///< Started from a rehydrated snapshot.
+  uint32_t GrantBytes = 0;
+  uint64_t TotalCycles = 0;
+  std::array<uint64_t,
+             static_cast<size_t>(arch::CycleCategory::NumCategories)>
+      CyclesByCategory{};
+  core::SdtStats Stats;
+  vm::RunResult Run;
+  /// Non-empty when the engine could not be built (the session did not
+  /// run; Run is default-initialized).
+  std::string EngineError;
+  /// Non-empty when a retained snapshot was rejected at admission (the
+  /// session started cold; the diagnostic names the defect).
+  std::string SnapshotError;
+};
+
+class EngineServer {
+public:
+  explicit EngineServer(const ServerConfig &C);
+
+  const ServerConfig &config() const { return Cfg; }
+
+  /// Registers a tenant (before runTrace). \p RequestBytes is the cache
+  /// capacity each of its sessions requests from the arbiter.
+  /// Trace-enabled configurations run fine but are never snapshotted
+  /// (trace fragments do not rehydrate deterministically), so their
+  /// sessions always start cold.
+  uint32_t registerTenant(std::string Name, isa::Program P,
+                          const core::SdtOptions &Opts,
+                          const arch::MachineModel &Model,
+                          uint32_t RequestBytes);
+
+  /// Runs one session per entry of \p TenantTrace (tenant ids in
+  /// admission order). Returns results in trace order.
+  std::vector<SessionResult> runTrace(const std::vector<uint32_t> &TenantTrace);
+
+  GlobalCacheArbiter &arbiter() { return Arb; }
+  const GlobalCacheArbiter &arbiter() const { return Arb; }
+  TenantRegistry &registry() { return Reg; }
+  SnapshotStore &snapshots() { return Store; }
+
+  /// Attaches a control-thread-only sink: the server records
+  /// tenant-admit / tenant-evict / snapshot-save / snapshot-load events
+  /// on it (never from workers; per-session engines run untraced).
+  void setTraceSink(trace::TraceSink *S) { Sink = S; }
+
+  /// Reconciliation expectations for the server's own trace (the four
+  /// service counters; everything engine-level is zero because no
+  /// engine events are recorded on the server sink).
+  trace::StatsExpectation expectations() const;
+
+private:
+  struct WorkerOutput {
+    SessionResult Result;
+    std::vector<uint8_t> SnapshotBlob; ///< Empty when not snapshotted.
+    uint32_t SnapshotCacheBytes = 0;
+  };
+
+  WorkerOutput runSession(const TenantRecord &T, uint32_t GrantBytes,
+                          bool Warm, core::PrewarmImage Image) const;
+
+  void emit(trace::EventKind K, uint32_t A, uint32_t B);
+
+  ServerConfig Cfg;
+  GlobalCacheArbiter Arb;
+  TenantRegistry Reg;
+  SnapshotStore Store;
+  trace::TraceSink *Sink = nullptr;
+
+  // Service counters (control thread; mirrored into expectations()).
+  uint64_t TenantAdmissions = 0;
+  uint64_t TenantEvictions = 0;
+  uint64_t SnapshotSaves = 0;
+  uint64_t SnapshotLoads = 0;
+};
+
+} // namespace service
+} // namespace sdt
+
+#endif // STRATAIB_SERVICE_ENGINESERVER_H

@@ -1,0 +1,165 @@
+//===- service/GlobalCacheArbiter.cpp --------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See GlobalCacheArbiter.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/GlobalCacheArbiter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::service;
+
+const char *sdt::service::arbiterModeName(ArbiterMode M) {
+  return M == ArbiterMode::Isolation ? "isolation" : "shared";
+}
+
+GlobalCacheArbiter::GlobalCacheArbiter(const Config &C) : Cfg(C) {
+  assert(Cfg.MaxTenants > 0 && "arbiter needs at least one tenant slot");
+  assert(Cfg.MinGrantBytes > 0 && "grant floor must be positive");
+}
+
+uint32_t GlobalCacheArbiter::sliceBytes() const {
+  return std::max(Cfg.BudgetBytes / Cfg.MaxTenants, Cfg.MinGrantBytes);
+}
+
+uint64_t GlobalCacheArbiter::reclaimFor(uint32_t Tenant, uint64_t NeededBytes,
+                                        std::vector<Reclaim> &Out) {
+  uint64_t Free = static_cast<uint64_t>(Cfg.BudgetBytes) >=
+                          static_cast<uint64_t>(Inflight) + Retained
+                      ? Cfg.BudgetBytes - Inflight - Retained
+                      : 0;
+  while (Free < NeededBytes) {
+    // Least-recently-active victim with retained state; never the
+    // admitting tenant, never a tenant with sessions in flight (its warm
+    // state is about to be refreshed anyway). Ties break toward the
+    // lowest tenant id (map order), keeping the walk deterministic.
+    TenantAcct *Victim = nullptr;
+    uint32_t VictimId = 0;
+    for (auto &[Id, Acct] : Tenants) {
+      if (Id == Tenant || Acct.RetainedBytes == 0 ||
+          Acct.InflightSessions != 0)
+        continue;
+      if (!Victim || Acct.LastActive < Victim->LastActive) {
+        Victim = &Acct;
+        VictimId = Id;
+      }
+    }
+    if (!Victim)
+      break;
+    Out.push_back({VictimId, Victim->RetainedBytes});
+    Free += Victim->RetainedBytes;
+    Retained -= Victim->RetainedBytes;
+    Victim->RetainedBytes = 0;
+    ++Reclaims;
+  }
+  return Free;
+}
+
+GlobalCacheArbiter::Admission GlobalCacheArbiter::admit(uint32_t Tenant,
+                                                        uint32_t RequestBytes) {
+  TenantAcct &Acct = Tenants[Tenant];
+  Acct.LastActive = ++Stamp;
+  ++Acct.InflightSessions;
+  ++InflightSessions;
+
+  // The tenant's retained reservation is consumed by this admission: the
+  // snapshot's bytes move into the session's granted cache (the server
+  // keeps the blob around for the decode). The session re-reserves via
+  // retain() when it completes — or loses the warm state if that is
+  // refused, so the reservation never double-counts against the grant.
+  Retained -= Acct.RetainedBytes;
+  Acct.RetainedBytes = 0;
+
+  Admission A;
+  if (Cfg.Mode == ArbiterMode::Isolation) {
+    // The tenant lives in its own slice; the slice also hosts its
+    // retained snapshot, so no cross-tenant interaction ever happens.
+    A.GrantBytes =
+        std::max(std::min(RequestBytes, sliceBytes()), Cfg.MinGrantBytes);
+  } else {
+    uint64_t Want = std::max(std::min(RequestBytes, Cfg.BudgetBytes),
+                             Cfg.MinGrantBytes);
+    uint64_t Free = reclaimFor(Tenant, Want, A.Reclaimed);
+    A.GrantBytes = static_cast<uint32_t>(
+        std::max<uint64_t>(std::min(Want, Free), Cfg.MinGrantBytes));
+  }
+  Inflight += A.GrantBytes;
+  return A;
+}
+
+void GlobalCacheArbiter::sessionDone(uint32_t Tenant, uint32_t GrantBytes) {
+  auto It = Tenants.find(Tenant);
+  assert(It != Tenants.end() && It->second.InflightSessions > 0 &&
+         "sessionDone without admit");
+  --It->second.InflightSessions;
+  --InflightSessions;
+  assert(Inflight >= GrantBytes && "releasing more than granted");
+  Inflight -= GrantBytes;
+}
+
+GlobalCacheArbiter::Retention GlobalCacheArbiter::retain(uint32_t Tenant,
+                                                         uint32_t CacheBytes) {
+  Retention R;
+  if (CacheBytes == 0)
+    return R;
+  TenantAcct &Acct = Tenants[Tenant];
+
+  if (Cfg.Mode == ArbiterMode::Isolation) {
+    // Must fit the tenant's own slice; nobody else is affected.
+    if (CacheBytes > sliceBytes())
+      return R;
+    Retained = Retained - Acct.RetainedBytes + CacheBytes;
+    Acct.RetainedBytes = CacheBytes;
+    R.Accepted = true;
+    return R;
+  }
+
+  // The tenant's previous reservation is being replaced, so it does not
+  // count against the space the new one needs.
+  uint64_t Needed = CacheBytes > Acct.RetainedBytes
+                        ? static_cast<uint64_t>(CacheBytes) -
+                              Acct.RetainedBytes
+                        : 0;
+  uint64_t Free = reclaimFor(Tenant, Needed, R.Reclaimed);
+  if (Free < Needed)
+    return R; // Refused; the caller discards the unreservable blob.
+  Retained = Retained - Acct.RetainedBytes + CacheBytes;
+  Acct.RetainedBytes = CacheBytes;
+  R.Accepted = true;
+  return R;
+}
+
+void GlobalCacheArbiter::dropRetained(uint32_t Tenant) {
+  auto It = Tenants.find(Tenant);
+  if (It == Tenants.end())
+    return;
+  Retained -= It->second.RetainedBytes;
+  It->second.RetainedBytes = 0;
+}
+
+uint32_t GlobalCacheArbiter::retainedBytes(uint32_t Tenant) const {
+  auto It = Tenants.find(Tenant);
+  return It == Tenants.end() ? 0 : It->second.RetainedBytes;
+}
+
+bool GlobalCacheArbiter::invariantHolds() const {
+  if (Cfg.Mode == ArbiterMode::Isolation) {
+    // Isolation enforces the budget per slice, not globally: every grant
+    // and every retained reservation fits its tenant's slice, and a
+    // tenant running K concurrent sessions holds K slices.
+    uint32_t Slice = sliceBytes();
+    for (const auto &[Id, Acct] : Tenants)
+      if (Acct.RetainedBytes > Slice)
+        return false;
+    return Inflight <= static_cast<uint64_t>(InflightSessions) * Slice &&
+           Retained <= static_cast<uint64_t>(Cfg.MaxTenants) * Slice;
+  }
+  // Shared budget: one pool for grants + retained state, overshooting
+  // only by the per-session MinGrantBytes floor.
+  return static_cast<uint64_t>(Inflight) + Retained <=
+         static_cast<uint64_t>(Cfg.BudgetBytes) +
+             static_cast<uint64_t>(InflightSessions) * Cfg.MinGrantBytes;
+}

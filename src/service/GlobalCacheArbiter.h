@@ -1,0 +1,156 @@
+//===- service/GlobalCacheArbiter.h - Global cache budget --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The capacity arbiter for a multi-tenant engine fleet: one global
+/// fragment-cache budget (STRATAIB_GLOBAL_CACHE_BYTES) covers both the
+/// caches of in-flight sessions (grants) and the warm state retained for
+/// future admissions (snapshots). Two modes:
+///
+///  - Isolation: the budget is cut into MaxTenants equal slices; a
+///    tenant's grant and retained snapshot live inside its own slice and
+///    tenants never affect each other (reclaims() stays 0).
+///  - SharedBudget: grants and retained snapshots draw from one pool;
+///    when an admission (or a retention) does not fit, the arbiter
+///    reclaims retained warm state from the least-recently-active
+///    tenants until it does — Zipf-popular tenants keep their snapshots,
+///    cold tenants lose theirs.
+///
+/// An admission consumes the tenant's own retained reservation (the
+/// snapshot's bytes move into the granted cache); the completed session
+/// re-reserves through retain(), or loses its warm state if that is
+/// refused. Every session is guaranteed a MinGrantBytes floor even under
+/// an exhausted budget, so the shared-mode accounting invariant is
+///   inflight + retained <= budget + inflightSessions * MinGrantBytes
+/// while isolation mode enforces the budget per slice (each grant and
+/// each reservation fits one slice; K concurrent sessions hold K
+/// slices). Both are checked by invariantHolds() and pinned by a ctest.
+///
+/// All methods run on the server's control thread in admission order —
+/// grants therefore depend only on the admission/completion sequence,
+/// never on worker scheduling, which keeps server results bit-identical
+/// for any STRATAIB_JOBS. The embedded GlobalBudgetLedger is the one
+/// piece workers touch (relaxed atomic counters, via ArbitratedPolicy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SERVICE_GLOBALCACHEARBITER_H
+#define STRATAIB_SERVICE_GLOBALCACHEARBITER_H
+
+#include "cachemgr/GlobalBudget.h"
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace sdt {
+namespace service {
+
+enum class ArbiterMode : uint8_t { Isolation, SharedBudget };
+
+/// Returns "isolation" or "shared".
+const char *arbiterModeName(ArbiterMode M);
+
+/// One reclaimed warm-state reservation (for TenantEvict events).
+struct Reclaim {
+  uint32_t Tenant = 0;
+  uint32_t CacheBytes = 0;
+};
+
+class GlobalCacheArbiter {
+public:
+  struct Config {
+    ArbiterMode Mode = ArbiterMode::SharedBudget;
+    uint32_t BudgetBytes = 1u << 20;
+    /// Slice denominator in isolation mode; also the admission-window
+    /// upper bound the server enforces.
+    uint32_t MaxTenants = 8;
+    /// Grant floor: no session runs with a cache smaller than this.
+    uint32_t MinGrantBytes = 4096;
+  };
+
+  struct Admission {
+    uint32_t GrantBytes = 0;
+    std::vector<Reclaim> Reclaimed;
+  };
+
+  struct Retention {
+    bool Accepted = false;
+    std::vector<Reclaim> Reclaimed;
+  };
+
+  explicit GlobalCacheArbiter(const Config &C);
+
+  const Config &config() const { return Cfg; }
+
+  /// Admits one session for \p Tenant requesting \p RequestBytes of
+  /// cache. Returns the grant plus any least-recently-active warm state
+  /// reclaimed to make room (the caller drops those snapshots).
+  Admission admit(uint32_t Tenant, uint32_t RequestBytes);
+
+  /// The session admitted with \p GrantBytes finished; its cache is gone.
+  void sessionDone(uint32_t Tenant, uint32_t GrantBytes);
+
+  /// Asks to retain \p CacheBytes of warm state for \p Tenant. May
+  /// reclaim other tenants' warm state in shared mode; refuses when the
+  /// budget cannot cover it even after reclaiming (the caller then
+  /// discards the blob — admission already consumed any previous
+  /// reservation).
+  Retention retain(uint32_t Tenant, uint32_t CacheBytes);
+
+  /// The tenant's snapshot became unusable (corrupt blob, config
+  /// change); releases its reservation without counting a reclaim.
+  void dropRetained(uint32_t Tenant);
+
+  uint32_t retainedBytes(uint32_t Tenant) const;
+  uint32_t retainedTotal() const { return Retained; }
+  uint32_t inflightBytes() const { return Inflight; }
+  uint32_t inflightSessions() const { return InflightSessions; }
+
+  /// Warm-state reservations reclaimed under budget pressure (the
+  /// cross-tenant eviction count E18 compares across modes; always 0 in
+  /// isolation mode).
+  uint64_t reclaims() const { return Reclaims; }
+
+  /// The accounting invariant documented above (mode-dependent).
+  bool invariantHolds() const;
+
+  /// Cross-engine eviction counters, written by every tenant engine's
+  /// ArbitratedPolicy from the worker threads.
+  cachemgr::GlobalBudgetLedger &ledger() { return Ledger; }
+  const cachemgr::GlobalBudgetLedger &ledger() const { return Ledger; }
+
+private:
+  struct TenantAcct {
+    uint32_t RetainedBytes = 0;
+    uint32_t InflightSessions = 0;
+    uint64_t LastActive = 0; ///< Admission stamp (recency for LRA).
+  };
+
+  uint32_t sliceBytes() const;
+
+  /// Reclaims least-recently-active retained state (excluding \p Tenant
+  /// and tenants with in-flight sessions) until \p NeededBytes fit in
+  /// the free pool or nothing reclaimable remains. Appends victims to
+  /// \p Out and returns the free pool size afterwards.
+  uint64_t reclaimFor(uint32_t Tenant, uint64_t NeededBytes,
+                      std::vector<Reclaim> &Out);
+
+  Config Cfg;
+  std::map<uint32_t, TenantAcct> Tenants;
+  uint32_t Inflight = 0;
+  uint32_t InflightSessions = 0;
+  uint32_t Retained = 0;
+  uint64_t Stamp = 0;
+  uint64_t Reclaims = 0;
+  cachemgr::GlobalBudgetLedger Ledger;
+};
+
+} // namespace service
+} // namespace sdt
+
+#endif // STRATAIB_SERVICE_GLOBALCACHEARBITER_H

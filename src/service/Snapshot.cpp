@@ -1,0 +1,205 @@
+//===- service/Snapshot.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See Snapshot.h for the interface and blob layout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Snapshot.h"
+
+#include "support/StringUtils.h"
+
+#include <cstring>
+
+using namespace sdt;
+using namespace sdt::service;
+
+namespace {
+
+constexpr char Magic[4] = {'S', 'I', 'B', 'S'};
+constexpr uint32_t EndianMarker = 0x01020304;
+
+void appendU32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+/// The endianness guard is the one word written in *native* byte order:
+/// a blob moved to an opposite-endian host decodes it as 0x04030201.
+void appendNativeU32(std::vector<uint8_t> &Out, uint32_t V) {
+  uint8_t Raw[4];
+  std::memcpy(Raw, &V, 4);
+  Out.insert(Out.end(), Raw, Raw + 4);
+}
+
+uint32_t fnv1a(const uint8_t *Data, size_t Size) {
+  uint32_t Hash = 2166136261u;
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= Data[I];
+    Hash *= 16777619u;
+  }
+  return Hash;
+}
+
+/// Bounds-checked little-endian reader (the Serialize.cpp idiom).
+class Reader {
+public:
+  Reader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  bool readU32(uint32_t &V) {
+    if (Size - Pos < 4)
+      return false;
+    V = static_cast<uint32_t>(Data[Pos]) |
+        (static_cast<uint32_t>(Data[Pos + 1]) << 8) |
+        (static_cast<uint32_t>(Data[Pos + 2]) << 16) |
+        (static_cast<uint32_t>(Data[Pos + 3]) << 24);
+    Pos += 4;
+    return true;
+  }
+
+  bool readNativeU32(uint32_t &V) {
+    if (Size - Pos < 4)
+      return false;
+    std::memcpy(&V, Data + Pos, 4);
+    Pos += 4;
+    return true;
+  }
+
+  bool readBytes(uint8_t *Out, size_t N) {
+    if (Size - Pos < N)
+      return false;
+    std::memcpy(Out, Data + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  size_t pos() const { return Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+uint32_t sdt::service::optionsFingerprint(const core::SdtOptions &Opts) {
+  std::string D = Opts.describe();
+  return fnv1a(reinterpret_cast<const uint8_t *>(D.data()), D.size());
+}
+
+uint32_t sdt::service::programFingerprint(const isa::Program &P) {
+  uint32_t Hash = fnv1a(P.image().data(), P.image().size());
+  uint8_t Tail[8];
+  uint32_t Entry = P.entry();
+  uint32_t Load = P.loadAddress();
+  std::memcpy(Tail, &Entry, 4);
+  std::memcpy(Tail + 4, &Load, 4);
+  // Fold entry + load address on top of the image hash.
+  Hash ^= fnv1a(Tail, 8);
+  return Hash;
+}
+
+std::vector<uint8_t> sdt::service::encodeSnapshot(core::SdtEngine &Engine,
+                                                  uint32_t ProgramFp) {
+  core::FragmentCache &Cache = Engine.fragmentCache();
+
+  std::vector<uint32_t> Entries;
+  for (uint32_t I = 0; I != Cache.fragmentCount(); ++I) {
+    if (!Cache.isLive(I))
+      continue;
+    uint32_t GuestEntry = Cache.fragment(I).GuestEntry;
+    // Only fragments the guest map still points at are worth carrying
+    // (a retired trace head's original fragment would re-translate into
+    // something else anyway).
+    if (Cache.lookup(GuestEntry).Frag == I)
+      Entries.push_back(GuestEntry);
+  }
+
+  std::vector<core::PrewarmImage::SharedTarget> Targets;
+  std::vector<core::IBHandler *> Hs = Engine.allHandlers();
+  for (uint32_t H = 0; H != Hs.size(); ++H) {
+    std::vector<uint32_t> GuestTargets;
+    Hs[H]->exportSharedTargets(GuestTargets);
+    for (uint32_t T : GuestTargets)
+      Targets.push_back({H, T});
+  }
+
+  std::vector<uint8_t> Blob;
+  Blob.insert(Blob.end(), Magic, Magic + 4);
+  appendNativeU32(Blob, EndianMarker);
+  appendU32(Blob, SnapshotVersion);
+  appendU32(Blob, optionsFingerprint(Engine.options()));
+  appendU32(Blob, ProgramFp);
+  appendU32(Blob, Cache.usedBytes());
+  appendU32(Blob, static_cast<uint32_t>(Entries.size()));
+  appendU32(Blob, static_cast<uint32_t>(Targets.size()));
+  for (uint32_t E : Entries)
+    appendU32(Blob, E);
+  for (const core::PrewarmImage::SharedTarget &T : Targets) {
+    appendU32(Blob, T.HandlerIndex);
+    appendU32(Blob, T.GuestTarget);
+  }
+  appendU32(Blob, fnv1a(Blob.data(), Blob.size()));
+  return Blob;
+}
+
+Expected<SnapshotInfo>
+sdt::service::decodeSnapshot(const std::vector<uint8_t> &Blob,
+                             uint32_t OptionsFp, uint32_t ProgramFp) {
+  if (Blob.size() < 4 || std::memcmp(Blob.data(), Magic, 4) != 0)
+    return Error::failure("not a snapshot (bad magic)");
+  if (Blob.size() < 4 + 4)
+    return Error::failure("truncated snapshot header");
+  // Everything before the trailing checksum word must hash to it.
+  if (Blob.size() < 4 + 4 + 4)
+    return Error::failure("truncated snapshot header");
+  Reader Tail(Blob.data() + Blob.size() - 4, 4);
+  uint32_t Checksum = 0;
+  Tail.readU32(Checksum);
+  if (fnv1a(Blob.data(), Blob.size() - 4) != Checksum)
+    return Error::failure("snapshot checksum mismatch (corrupt)");
+
+  Reader R(Blob.data() + 4, Blob.size() - 8); // Skip magic and checksum.
+  uint32_t Endian = 0;
+  uint32_t Version = 0;
+  uint32_t OFp = 0;
+  uint32_t PFp = 0;
+  SnapshotInfo Info;
+  uint32_t NumEntries = 0;
+  uint32_t NumTargets = 0;
+  if (!R.readNativeU32(Endian) || !R.readU32(Version) || !R.readU32(OFp) ||
+      !R.readU32(PFp) || !R.readU32(Info.CacheBytes) ||
+      !R.readU32(NumEntries) || !R.readU32(NumTargets))
+    return Error::failure("truncated snapshot header");
+  if (Endian != EndianMarker)
+    return Error::failure("snapshot endianness mismatch (foreign host)");
+  if (Version != SnapshotVersion)
+    return Error::failure(
+        formatString("unsupported snapshot version %u", Version));
+  if (OFp != OptionsFp)
+    return Error::failure("snapshot was taken under a different "
+                          "engine configuration");
+  if (PFp != ProgramFp)
+    return Error::failure("snapshot belongs to a different program");
+
+  Info.Image.FragmentEntries.reserve(NumEntries);
+  for (uint32_t I = 0; I != NumEntries; ++I) {
+    uint32_t E = 0;
+    if (!R.readU32(E))
+      return Error::failure("truncated snapshot fragment table");
+    Info.Image.FragmentEntries.push_back(E);
+  }
+  Info.Image.SharedTargets.reserve(NumTargets);
+  for (uint32_t I = 0; I != NumTargets; ++I) {
+    core::PrewarmImage::SharedTarget T;
+    if (!R.readU32(T.HandlerIndex) || !R.readU32(T.GuestTarget))
+      return Error::failure("truncated snapshot target table");
+    Info.Image.SharedTargets.push_back(T);
+  }
+  if (!R.atEnd())
+    return Error::failure("snapshot has trailing garbage");
+  return Info;
+}

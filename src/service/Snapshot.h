@@ -1,0 +1,85 @@
+//===- service/Snapshot.h - Warm-start snapshot codec ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of a finished session's warm state — the fragment
+/// cache's guest entry points plus the shared-table IBTC mappings — into
+/// a self-validating blob, following the src/isa/Serialize.cpp idiom:
+/// fixed magic, explicit little-endian words, version gate, and typed
+/// Expected<> errors from a bounds-checked reader. The snapshot layer
+/// adds an endianness guard and a trailing checksum so a corrupted or
+/// foreign blob degrades to a diagnostic + cold start, never to a crash.
+///
+/// Blob layout (all words little-endian unless noted):
+///   bytes 0..3   magic "SIBS"
+///   u32          endianness marker: 0x01020304 in *native* byte order
+///   u32          format version (currently 1)
+///   u32          options fingerprint (over SdtOptions::describe())
+///   u32          program fingerprint (image + entry + load address)
+///   u32          cache bytes at snapshot time (the warm-state footprint
+///                the arbiter accounts as retained)
+///   u32          fragment count N
+///   u32          shared-target count M
+///   N x u32      fragment guest entry pcs, allocation order
+///   M x (u32,u32) shared-table mappings: handler index, guest target
+///   u32          FNV-1a checksum over every preceding byte
+///
+/// Only state keyed by guest addresses is snapshotted: fragment code is
+/// re-emitted deterministically from the guest image at rehydration
+/// (charged as a cheap SnapshotLoad bulk install, not a full Translate),
+/// and per-site tables / sieve stubs / inline-cache slots — keyed by
+/// site ids and stub addresses that are not stable across engine
+/// lifetimes — rebuild cold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SERVICE_SNAPSHOT_H
+#define STRATAIB_SERVICE_SNAPSHOT_H
+
+#include "core/SdtEngine.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace service {
+
+inline constexpr uint32_t SnapshotVersion = 1;
+
+/// Fingerprint of the options a snapshot was taken under. A snapshot
+/// only rehydrates into an engine with the identical configuration.
+uint32_t optionsFingerprint(const core::SdtOptions &Opts);
+
+/// Fingerprint of the guest program (image bytes + entry + load
+/// address). Guards against rehydrating one program's warm state into
+/// another program that happens to share a tenant name.
+uint32_t programFingerprint(const isa::Program &P);
+
+/// A decoded snapshot: the prewarm image plus the warm-state footprint
+/// recorded at encode time.
+struct SnapshotInfo {
+  uint32_t CacheBytes = 0;
+  core::PrewarmImage Image;
+};
+
+/// Serializes \p Engine's warm state (call after run()). \p ProgramFp
+/// is the fingerprint of the program the engine ran (the engine itself
+/// does not retain it).
+std::vector<uint8_t> encodeSnapshot(core::SdtEngine &Engine,
+                                    uint32_t ProgramFp);
+
+/// Validates and decodes \p Blob. Every defect — bad magic, foreign
+/// endianness, unsupported version, fingerprint mismatch, truncation,
+/// checksum failure — returns a typed error; the caller logs it and
+/// starts cold.
+Expected<SnapshotInfo> decodeSnapshot(const std::vector<uint8_t> &Blob,
+                                      uint32_t OptionsFp, uint32_t ProgramFp);
+
+} // namespace service
+} // namespace sdt
+
+#endif // STRATAIB_SERVICE_SNAPSHOT_H

@@ -1,0 +1,75 @@
+//===- service/SnapshotStore.h - Retained warm-state store -------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-side home for retained warm state: one encoded snapshot
+/// blob per tenant, replaced on every retained session and dropped when
+/// the arbiter reclaims the tenant's reservation. Mutated only on the
+/// server's control thread (admission order), so it needs no locking —
+/// workers receive blob *copies*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SERVICE_SNAPSHOTSTORE_H
+#define STRATAIB_SERVICE_SNAPSHOTSTORE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sdt {
+namespace service {
+
+/// Per-tenant snapshot blobs with their warm-state footprints.
+class SnapshotStore {
+public:
+  /// Stores (or replaces) \p Tenant's snapshot. \p CacheBytes is the
+  /// simulated cache footprint the snapshot rehydrates to — the quantity
+  /// the arbiter accounts as retained.
+  void store(uint32_t Tenant, std::vector<uint8_t> Blob,
+             uint32_t CacheBytes) {
+    Entry &E = Entries[Tenant];
+    E.Blob = std::move(Blob);
+    E.CacheBytes = CacheBytes;
+  }
+
+  /// The tenant's blob, or null when nothing is retained.
+  const std::vector<uint8_t> *lookup(uint32_t Tenant) const {
+    auto It = Entries.find(Tenant);
+    return It == Entries.end() ? nullptr : &It->second.Blob;
+  }
+
+  /// Warm-state footprint of the tenant's snapshot (0 when none).
+  uint32_t cacheBytes(uint32_t Tenant) const {
+    auto It = Entries.find(Tenant);
+    return It == Entries.end() ? 0 : It->second.CacheBytes;
+  }
+
+  void drop(uint32_t Tenant) { Entries.erase(Tenant); }
+
+  size_t count() const { return Entries.size(); }
+
+  /// Host-side bytes held by stored blobs (observability only; budget
+  /// accounting uses the simulated CacheBytes, not blob sizes).
+  uint64_t storedBlobBytes() const {
+    uint64_t Total = 0;
+    for (const auto &[Tenant, E] : Entries)
+      Total += E.Blob.size();
+    return Total;
+  }
+
+private:
+  struct Entry {
+    std::vector<uint8_t> Blob;
+    uint32_t CacheBytes = 0;
+  };
+  std::map<uint32_t, Entry> Entries;
+};
+
+} // namespace service
+} // namespace sdt
+
+#endif // STRATAIB_SERVICE_SNAPSHOTSTORE_H

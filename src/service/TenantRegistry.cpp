@@ -1,0 +1,28 @@
+//===- service/TenantRegistry.cpp ------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See TenantRegistry.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/TenantRegistry.h"
+
+#include "service/Snapshot.h"
+
+using namespace sdt;
+using namespace sdt::service;
+
+TenantRecord &TenantRegistry::add(std::string Name, isa::Program P,
+                                  const core::SdtOptions &Opts,
+                                  const arch::MachineModel &Model,
+                                  uint32_t RequestBytes) {
+  TenantRecord &R = Records.emplace_back();
+  R.Id = static_cast<uint32_t>(Records.size() - 1);
+  R.Name = std::move(Name);
+  R.Program = std::move(P);
+  R.Opts = Opts;
+  R.Model = Model;
+  R.RequestBytes = RequestBytes;
+  R.OptionsFp = optionsFingerprint(Opts);
+  R.ProgramFp = programFingerprint(R.Program);
+  return R;
+}

@@ -1,0 +1,69 @@
+//===- service/TenantRegistry.h - Tenant ownership ---------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns everything the server knows about a tenant: the guest program,
+/// the engine configuration its sessions run under, fingerprints for
+/// snapshot validation, and per-tenant aggregates. Records live in a
+/// deque so references stay stable across registration; after
+/// registration the immutable fields (program, options, model,
+/// fingerprints) are read concurrently by worker threads while the
+/// aggregates are only touched on the control thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SERVICE_TENANTREGISTRY_H
+#define STRATAIB_SERVICE_TENANTREGISTRY_H
+
+#include "arch/MachineModel.h"
+#include "core/SdtOptions.h"
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace sdt {
+namespace service {
+
+struct TenantRecord {
+  uint32_t Id = 0;
+  std::string Name;
+
+  // Immutable after registration (worker threads read these).
+  isa::Program Program;
+  core::SdtOptions Opts;
+  arch::MachineModel Model;
+  uint32_t RequestBytes = 0; ///< Cache bytes each session asks for.
+  uint32_t OptionsFp = 0;    ///< Snapshot-validation fingerprints.
+  uint32_t ProgramFp = 0;
+
+  // Control-thread aggregates.
+  uint64_t Sessions = 0;
+  uint64_t WarmSessions = 0;
+  uint64_t SnapshotsDiscarded = 0; ///< Corrupt/mismatched blobs dropped.
+};
+
+class TenantRegistry {
+public:
+  /// Registers a tenant and returns its record (id already assigned).
+  TenantRecord &add(std::string Name, isa::Program P,
+                    const core::SdtOptions &Opts,
+                    const arch::MachineModel &Model, uint32_t RequestBytes);
+
+  TenantRecord &tenant(uint32_t Id) { return Records[Id]; }
+  const TenantRecord &tenant(uint32_t Id) const { return Records[Id]; }
+
+  size_t size() const { return Records.size(); }
+
+private:
+  std::deque<TenantRecord> Records;
+};
+
+} // namespace service
+} // namespace sdt
+
+#endif // STRATAIB_SERVICE_TENANTREGISTRY_H

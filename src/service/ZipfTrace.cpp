@@ -1,0 +1,43 @@
+//===- service/ZipfTrace.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See ZipfTrace.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ZipfTrace.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sdt;
+
+std::vector<uint32_t> sdt::service::zipfTrace(uint32_t NumTenants,
+                                              uint32_t Length,
+                                              uint32_t SHundredths,
+                                              uint64_t Seed) {
+  assert(NumTenants > 0 && "trace needs at least one tenant");
+  double S = SHundredths / 100.0;
+
+  // Cumulative weights; the total is folded in by sampling against
+  // Cdf.back(). Draws use a 53-bit uniform in [0,1), the full precision
+  // a double mantissa holds.
+  std::vector<double> Cdf(NumTenants);
+  double Total = 0.0;
+  for (uint32_t K = 0; K != NumTenants; ++K) {
+    Total += std::pow(1.0 / (K + 1), S);
+    Cdf[K] = Total;
+  }
+
+  sdt::Rng Rng(Seed);
+  std::vector<uint32_t> Trace(Length);
+  for (uint32_t I = 0; I != Length; ++I) {
+    double U = static_cast<double>(Rng.next() >> 11) * 0x1.0p-53 * Total;
+    uint32_t K = 0;
+    while (K + 1 < NumTenants && Cdf[K] <= U)
+      ++K;
+    Trace[I] = K;
+  }
+  return Trace;
+}

@@ -1,0 +1,34 @@
+//===- service/ZipfTrace.h - Tenant-popularity traces ------------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic Zipfian tenant-popularity traces: tenant k (0-based)
+/// is drawn with weight 1/(k+1)^s, the classic skew model for service
+/// request streams. s arrives in integer hundredths (the STRATAIB_ZIPF_S
+/// knob; 120 means s = 1.20) because the env layer parses integers only.
+/// Seeded with support::Rng, so the same (tenants, length, s, seed)
+/// always produces the same trace — the experiment compares arbiter
+/// modes on an identical admission sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_SERVICE_ZIPFTRACE_H
+#define STRATAIB_SERVICE_ZIPFTRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt {
+namespace service {
+
+/// \p SHundredths is the Zipf exponent in hundredths (0 = uniform).
+std::vector<uint32_t> zipfTrace(uint32_t NumTenants, uint32_t Length,
+                                uint32_t SHundredths, uint64_t Seed);
+
+} // namespace service
+} // namespace sdt
+
+#endif // STRATAIB_SERVICE_ZIPFTRACE_H

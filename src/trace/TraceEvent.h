@@ -44,6 +44,15 @@ enum class EventKind : uint8_t {
                       ///< (A=site guest pc, B=dynamic target).
   SpecGuardMiss,      ///< A speculation guard fell back to the bound
                       ///< mechanism (A=site guest pc, B=dynamic target).
+  TenantAdmit,        ///< The engine server admitted a session
+                      ///< (A=tenant id, B=granted cache bytes).
+  TenantEvict,        ///< The arbiter reclaimed a tenant's retained warm
+                      ///< state under budget pressure (A=tenant id,
+                      ///< B=cache bytes reclaimed).
+  SnapshotSave,       ///< A finished session's warm state was retained
+                      ///< (A=tenant id, B=cache bytes snapshotted).
+  SnapshotLoad,       ///< A session started warm from a snapshot
+                      ///< (A=tenant id, B=cache bytes rehydratable).
   NumKinds,
 };
 

@@ -93,6 +93,22 @@ std::string sdt::trace::jsonlLine(const TraceEvent &E) {
     appendField(Out, "site_pc", E.A);
     appendField(Out, "target", E.B);
     break;
+  case EventKind::TenantAdmit:
+    appendField(Out, "tenant", E.A);
+    appendField(Out, "grant_bytes", E.B);
+    break;
+  case EventKind::TenantEvict:
+    appendField(Out, "tenant", E.A);
+    appendField(Out, "reclaimed_bytes", E.B);
+    break;
+  case EventKind::SnapshotSave:
+    appendField(Out, "tenant", E.A);
+    appendField(Out, "cache_bytes", E.B);
+    break;
+  case EventKind::SnapshotLoad:
+    appendField(Out, "tenant", E.A);
+    appendField(Out, "cache_bytes", E.B);
+    break;
   case EventKind::NumKinds:
     break;
   }
@@ -165,6 +181,14 @@ std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
     Out += std::to_string(Expect->SpecGuardHits);
     Out += ",\"spec_guard_misses\":";
     Out += std::to_string(Expect->SpecGuardMisses);
+    Out += ",\"tenant_admissions\":";
+    Out += std::to_string(Expect->TenantAdmissions);
+    Out += ",\"tenant_evictions\":";
+    Out += std::to_string(Expect->TenantEvictions);
+    Out += ",\"snapshot_saves\":";
+    Out += std::to_string(Expect->SnapshotSaves);
+    Out += ",\"snapshot_loads\":";
+    Out += std::to_string(Expect->SnapshotLoads);
     Out += '}';
     Out += ",\"expected_mechanisms\":{";
     First = true;

@@ -55,6 +55,12 @@ struct StatsExpectation {
   uint64_t TracesOptimized = 0;
   uint64_t SpecGuardHits = 0;
   uint64_t SpecGuardMisses = 0;
+  // Service-layer counters (filled by the engine server; zero for
+  // single-engine traces, which record none of these events).
+  uint64_t TenantAdmissions = 0;
+  uint64_t TenantEvictions = 0;
+  uint64_t SnapshotSaves = 0;
+  uint64_t SnapshotLoads = 0;
   std::vector<MechExpectation> Mechanisms;
 };
 

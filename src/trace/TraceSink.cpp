@@ -42,6 +42,14 @@ const char *sdt::trace::eventKindName(EventKind K) {
     return "spec-guard-hit";
   case EventKind::SpecGuardMiss:
     return "spec-guard-miss";
+  case EventKind::TenantAdmit:
+    return "tenant-admit";
+  case EventKind::TenantEvict:
+    return "tenant-evict";
+  case EventKind::SnapshotSave:
+    return "snapshot-save";
+  case EventKind::SnapshotLoad:
+    return "snapshot-load";
   case EventKind::NumKinds:
     break;
   }

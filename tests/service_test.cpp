@@ -1,0 +1,470 @@
+//===- tests/service_test.cpp - Translation-service tests --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The multi-tenant service layer: snapshot codec hardening (corrupt,
+// truncated, foreign, and mismatched blobs degrade to a cold start, never
+// to a crash), global-cache-arbiter accounting in both modes, warm-start
+// effectiveness, worker-count determinism, and the single-tenant
+// differential that pins the server to a standalone engine bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "core/SdtEngine.h"
+#include "service/EngineServer.h"
+#include "service/Snapshot.h"
+#include "service/ZipfTrace.h"
+#include "trace/TraceSink.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+using namespace sdt;
+using namespace sdt::service;
+
+namespace {
+
+isa::Program testProgram(const char *Workload = "gzip", uint32_t Scale = 2) {
+  Expected<isa::Program> P = workloads::buildWorkload(Workload, Scale);
+  if (!P) {
+    ADD_FAILURE() << P.error().message();
+    return isa::Program();
+  }
+  return std::move(*P);
+}
+
+/// Runs one standalone engine to completion and returns it with its
+/// snapshot blob.
+struct FinishedRun {
+  std::vector<uint8_t> Blob;
+  uint32_t OptionsFp = 0;
+  uint32_t ProgramFp = 0;
+  uint32_t UsedBytes = 0;
+  uint64_t Fragments = 0;
+};
+
+FinishedRun finishedRun(const core::SdtOptions &Opts) {
+  isa::Program P = testProgram();
+  vm::ExecOptions Exec;
+  auto Engine = core::SdtEngine::create(P, Opts, Exec);
+  EXPECT_TRUE(static_cast<bool>(Engine));
+  vm::RunResult R = (*Engine)->run();
+  EXPECT_TRUE(R.finishedNormally());
+  FinishedRun F;
+  F.OptionsFp = optionsFingerprint(Opts);
+  F.ProgramFp = programFingerprint(P);
+  F.Blob = encodeSnapshot(**Engine, F.ProgramFp);
+  F.UsedBytes = (*Engine)->fragmentCache().usedBytes();
+  F.Fragments = (*Engine)->stats().FragmentsTranslated;
+  return F;
+}
+
+/// Recomputes the snapshot's trailing FNV-1a checksum after a test
+/// mutation, so the mutated field (not the checksum guard) is what the
+/// decoder trips on.
+void fixChecksum(std::vector<uint8_t> &Blob) {
+  ASSERT_GE(Blob.size(), 4u);
+  uint32_t H = 2166136261u;
+  for (size_t I = 0; I != Blob.size() - 4; ++I) {
+    H ^= Blob[I];
+    H *= 16777619u;
+  }
+  uint8_t LE[4] = {static_cast<uint8_t>(H), static_cast<uint8_t>(H >> 8),
+                   static_cast<uint8_t>(H >> 16),
+                   static_cast<uint8_t>(H >> 24)};
+  std::memcpy(Blob.data() + Blob.size() - 4, LE, 4);
+}
+
+// --- Snapshot codec ------------------------------------------------------
+
+TEST(SnapshotTest, RoundTrip) {
+  core::SdtOptions Opts;
+  FinishedRun F = finishedRun(Opts);
+  ASSERT_FALSE(F.Blob.empty());
+
+  Expected<SnapshotInfo> Info =
+      decodeSnapshot(F.Blob, F.OptionsFp, F.ProgramFp);
+  ASSERT_TRUE(static_cast<bool>(Info));
+  EXPECT_EQ(Info->CacheBytes, F.UsedBytes);
+  EXPECT_GT(Info->Image.FragmentEntries.size(), 0u);
+  EXPECT_LE(Info->Image.FragmentEntries.size(), F.Fragments);
+  // The default configuration uses the shared IBTC, so at least some
+  // indirect targets must survive the round trip.
+  EXPECT_FALSE(Info->Image.SharedTargets.empty());
+}
+
+TEST(SnapshotTest, RejectsWrongFingerprints) {
+  core::SdtOptions Opts;
+  FinishedRun F = finishedRun(Opts);
+
+  Expected<SnapshotInfo> WrongOpts =
+      decodeSnapshot(F.Blob, F.OptionsFp + 1, F.ProgramFp);
+  ASSERT_FALSE(static_cast<bool>(WrongOpts));
+  EXPECT_NE(WrongOpts.error().message().find("configuration"),
+            std::string::npos);
+
+  Expected<SnapshotInfo> WrongProg =
+      decodeSnapshot(F.Blob, F.OptionsFp, F.ProgramFp + 1);
+  ASSERT_FALSE(static_cast<bool>(WrongProg));
+  EXPECT_NE(WrongProg.error().message().find("different program"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsCorruptionAndTruncation) {
+  core::SdtOptions Opts;
+  FinishedRun F = finishedRun(Opts);
+
+  // Any flipped payload byte trips the checksum.
+  std::vector<uint8_t> Corrupt = F.Blob;
+  Corrupt[Corrupt.size() / 2] ^= 0x40;
+  Expected<SnapshotInfo> C = decodeSnapshot(Corrupt, F.OptionsFp, F.ProgramFp);
+  ASSERT_FALSE(static_cast<bool>(C));
+  EXPECT_NE(C.error().message().find("checksum"), std::string::npos);
+
+  // Truncation at every prefix length must error, never crash.
+  for (size_t Len = 0; Len < F.Blob.size(); Len += 3) {
+    std::vector<uint8_t> Short(F.Blob.begin(), F.Blob.begin() + Len);
+    EXPECT_FALSE(static_cast<bool>(
+        decodeSnapshot(Short, F.OptionsFp, F.ProgramFp)));
+  }
+
+  std::vector<uint8_t> BadMagic = F.Blob;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(static_cast<bool>(
+      decodeSnapshot(BadMagic, F.OptionsFp, F.ProgramFp)));
+}
+
+TEST(SnapshotTest, RejectsForeignVersionAndEndianness) {
+  core::SdtOptions Opts;
+  FinishedRun F = finishedRun(Opts);
+
+  // Bump the version field (offset 8, after magic + endian marker) and
+  // re-seal the checksum so the version guard itself fires.
+  std::vector<uint8_t> NewVersion = F.Blob;
+  NewVersion[8] += 1;
+  fixChecksum(NewVersion);
+  Expected<SnapshotInfo> V =
+      decodeSnapshot(NewVersion, F.OptionsFp, F.ProgramFp);
+  ASSERT_FALSE(static_cast<bool>(V));
+  EXPECT_NE(V.error().message().find("version"), std::string::npos);
+
+  // Byte-swap the native endianness marker (offset 4): a blob from a
+  // foreign host is refused before any payload parsing.
+  std::vector<uint8_t> Foreign = F.Blob;
+  std::swap(Foreign[4], Foreign[7]);
+  std::swap(Foreign[5], Foreign[6]);
+  fixChecksum(Foreign);
+  Expected<SnapshotInfo> E = decodeSnapshot(Foreign, F.OptionsFp, F.ProgramFp);
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_NE(E.error().message().find("endianness"), std::string::npos);
+}
+
+// --- Arbiter accounting --------------------------------------------------
+
+TEST(ArbiterTest, IsolationNeverReclaims) {
+  GlobalCacheArbiter::Config C;
+  C.Mode = ArbiterMode::Isolation;
+  C.BudgetBytes = 64 * 1024;
+  C.MaxTenants = 4;
+  C.MinGrantBytes = 4096;
+  GlobalCacheArbiter Arb(C);
+  uint32_t Slice = 16 * 1024;
+
+  for (uint32_t Round = 0; Round != 3; ++Round) {
+    for (uint32_t T = 0; T != 4; ++T) {
+      GlobalCacheArbiter::Admission A = Arb.admit(T, 32 * 1024);
+      EXPECT_EQ(A.GrantBytes, Slice); // Capped at the tenant's slice.
+      EXPECT_TRUE(A.Reclaimed.empty());
+      EXPECT_TRUE(Arb.invariantHolds());
+      Arb.sessionDone(T, A.GrantBytes);
+      // Oversized warm state is refused, slice-sized state retained.
+      EXPECT_FALSE(Arb.retain(T, Slice + 1).Accepted);
+      EXPECT_TRUE(Arb.retain(T, Slice).Accepted);
+      EXPECT_TRUE(Arb.invariantHolds());
+    }
+  }
+  EXPECT_EQ(Arb.reclaims(), 0u);
+  EXPECT_EQ(Arb.retainedTotal(), 4 * Slice);
+}
+
+TEST(ArbiterTest, SharedBudgetReclaimsLeastRecentlyActive) {
+  GlobalCacheArbiter::Config C;
+  C.Mode = ArbiterMode::SharedBudget;
+  C.BudgetBytes = 40 * 1024;
+  C.MaxTenants = 8;
+  C.MinGrantBytes = 4096;
+  GlobalCacheArbiter Arb(C);
+
+  // Three tenants run serially and retain 10K each (t0 first = least
+  // recently active afterwards).
+  for (uint32_t T = 0; T != 3; ++T) {
+    GlobalCacheArbiter::Admission A = Arb.admit(T, 10 * 1024);
+    EXPECT_EQ(A.GrantBytes, 10u * 1024);
+    Arb.sessionDone(T, A.GrantBytes);
+    EXPECT_TRUE(Arb.retain(T, 10 * 1024).Accepted);
+  }
+  EXPECT_EQ(Arb.retainedTotal(), 30u * 1024);
+
+  // Tenant 3 wants 20K; 10K are free, so exactly the least-recently
+  // active tenant (t0) is evicted.
+  GlobalCacheArbiter::Admission A = Arb.admit(3, 20 * 1024);
+  EXPECT_EQ(A.GrantBytes, 20u * 1024);
+  ASSERT_EQ(A.Reclaimed.size(), 1u);
+  EXPECT_EQ(A.Reclaimed[0].Tenant, 0u);
+  EXPECT_EQ(A.Reclaimed[0].CacheBytes, 10u * 1024);
+  EXPECT_EQ(Arb.retainedBytes(0), 0u);
+  EXPECT_EQ(Arb.retainedBytes(1), 10u * 1024);
+  EXPECT_EQ(Arb.reclaims(), 1u);
+  EXPECT_TRUE(Arb.invariantHolds());
+}
+
+TEST(ArbiterTest, AdmissionConsumesOwnReservation) {
+  GlobalCacheArbiter::Config C;
+  C.Mode = ArbiterMode::SharedBudget;
+  C.BudgetBytes = 32 * 1024;
+  GlobalCacheArbiter Arb(C);
+
+  GlobalCacheArbiter::Admission A = Arb.admit(0, 8 * 1024);
+  Arb.sessionDone(0, A.GrantBytes);
+  EXPECT_TRUE(Arb.retain(0, 8 * 1024).Accepted);
+  EXPECT_EQ(Arb.retainedBytes(0), 8u * 1024);
+
+  // Re-admission folds the reservation into the new grant; the budget
+  // is not double-charged.
+  A = Arb.admit(0, 8 * 1024);
+  EXPECT_EQ(Arb.retainedBytes(0), 0u);
+  EXPECT_EQ(Arb.inflightBytes(), 8u * 1024);
+  EXPECT_TRUE(Arb.invariantHolds());
+  Arb.sessionDone(0, A.GrantBytes);
+}
+
+TEST(ArbiterTest, MinGrantFloorUnderExhaustedBudget) {
+  GlobalCacheArbiter::Config C;
+  C.Mode = ArbiterMode::SharedBudget;
+  C.BudgetBytes = 8 * 1024;
+  C.MinGrantBytes = 4096;
+  GlobalCacheArbiter Arb(C);
+
+  // Four concurrent sessions against an 8K budget: everyone still gets
+  // the floor, and the documented overshoot bound holds.
+  std::vector<uint32_t> Grants;
+  for (uint32_t T = 0; T != 4; ++T) {
+    GlobalCacheArbiter::Admission A = Arb.admit(T, 16 * 1024);
+    EXPECT_GE(A.GrantBytes, 4096u);
+    Grants.push_back(A.GrantBytes);
+    EXPECT_TRUE(Arb.invariantHolds());
+  }
+  for (uint32_t T = 0; T != 4; ++T)
+    Arb.sessionDone(T, Grants[T]);
+  EXPECT_EQ(Arb.inflightBytes(), 0u);
+  EXPECT_EQ(Arb.inflightSessions(), 0u);
+}
+
+// --- Zipf traces ---------------------------------------------------------
+
+TEST(ZipfTraceTest, DeterministicAndSkewed) {
+  std::vector<uint32_t> A = zipfTrace(6, 500, 120, 42);
+  std::vector<uint32_t> B = zipfTrace(6, 500, 120, 42);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, zipfTrace(6, 500, 120, 43));
+
+  std::map<uint32_t, uint32_t> Counts;
+  for (uint32_t T : A) {
+    ASSERT_LT(T, 6u);
+    ++Counts[T];
+  }
+  // s = 1.2 makes tenant 0 the head of the distribution.
+  EXPECT_GT(Counts[0], Counts[5]);
+  EXPECT_GT(Counts[0], 500u / 6);
+}
+
+// --- Server behaviour ----------------------------------------------------
+
+ServerConfig smallServerConfig(bool Warm, ArbiterMode Mode, unsigned Workers) {
+  ServerConfig SC;
+  SC.Mode = Mode;
+  SC.GlobalCacheBytes = 256 * 1024;
+  SC.MaxTenants = 2;
+  SC.WarmStart = Warm;
+  SC.Workers = Workers;
+  // Serialize admissions: each session sees its predecessor's snapshot.
+  SC.AdmissionWindow = 1;
+  return SC;
+}
+
+TEST(EngineServerTest, WarmStartIsCheaperThanCold) {
+  isa::Program P = testProgram();
+  core::SdtOptions Opts;
+  std::vector<uint32_t> Trace = {0, 0, 0};
+
+  auto runServer = [&](bool Warm) {
+    EngineServer Server(
+        smallServerConfig(Warm, ArbiterMode::Isolation, /*Workers=*/2));
+    Server.registerTenant("gzip", P, Opts, arch::x86Model(), 64 * 1024);
+    return Server.runTrace(Trace);
+  };
+
+  std::vector<SessionResult> Cold = runServer(false);
+  std::vector<SessionResult> Warm = runServer(true);
+  ASSERT_EQ(Cold.size(), 3u);
+  ASSERT_EQ(Warm.size(), 3u);
+
+  // First admission has no snapshot either way.
+  EXPECT_FALSE(Warm[0].Warm);
+  EXPECT_EQ(Warm[0].TotalCycles, Cold[0].TotalCycles);
+
+  size_t SnapLoad = static_cast<size_t>(arch::CycleCategory::SnapshotLoad);
+  size_t Translate = static_cast<size_t>(arch::CycleCategory::Translate);
+  for (size_t I = 1; I != 3; ++I) {
+    EXPECT_TRUE(Warm[I].Warm);
+    EXPECT_GT(Warm[I].Stats.RehydratedFragments, 0u);
+    EXPECT_GT(Warm[I].CyclesByCategory[SnapLoad], 0u);
+    // Rehydration replaces translation: the warm session spends far less
+    // in Translate and runs strictly cheaper end to end.
+    EXPECT_LT(Warm[I].CyclesByCategory[Translate],
+              Cold[I].CyclesByCategory[Translate]);
+    EXPECT_LT(Warm[I].TotalCycles, Cold[I].TotalCycles);
+    // Transparency: identical observable execution either way.
+    EXPECT_EQ(Warm[I].Run.Checksum, Cold[I].Run.Checksum);
+    EXPECT_EQ(Warm[I].Run.InstructionCount, Cold[I].Run.InstructionCount);
+  }
+}
+
+TEST(EngineServerTest, CorruptStoredSnapshotFallsBackToCold) {
+  isa::Program P = testProgram();
+  core::SdtOptions Opts;
+
+  EngineServer Server(
+      smallServerConfig(/*Warm=*/true, ArbiterMode::Isolation, 1));
+  uint32_t Id =
+      Server.registerTenant("gzip", P, Opts, arch::x86Model(), 64 * 1024);
+
+  std::vector<SessionResult> First = Server.runTrace({Id});
+  ASSERT_EQ(First.size(), 1u);
+  const std::vector<uint8_t> *Stored = Server.snapshots().lookup(Id);
+  ASSERT_NE(Stored, nullptr);
+
+  // Damage the stored blob in place; the next admission must discard it
+  // with a diagnostic and run cold — never crash.
+  std::vector<uint8_t> Bad = *Stored;
+  Bad[Bad.size() / 2] ^= 0xff;
+  Server.snapshots().store(Id, std::move(Bad),
+                           Server.snapshots().cacheBytes(Id));
+
+  std::vector<SessionResult> Second = Server.runTrace({Id});
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_FALSE(Second[0].Warm);
+  EXPECT_NE(Second[0].SnapshotError.find("checksum"), std::string::npos);
+  EXPECT_EQ(Second[0].TotalCycles, First[0].TotalCycles); // Plain cold run.
+  EXPECT_EQ(Server.registry().tenant(Id).SnapshotsDiscarded, 1u);
+  // The discarded blob released its reservation and a fresh snapshot
+  // was retained by the second session.
+  EXPECT_NE(Server.snapshots().lookup(Id), nullptr);
+}
+
+TEST(EngineServerTest, DeterministicAcrossWorkerCounts) {
+  core::SdtOptions Opts;
+  std::vector<std::string> Names = {"gzip", "vpr", "gcc"};
+  std::vector<isa::Program> Programs;
+  for (const std::string &N : Names)
+    Programs.push_back(testProgram(N.c_str()));
+  std::vector<uint32_t> Trace = zipfTrace(3, 12, 120, 7);
+
+  auto runServer = [&](unsigned Workers) {
+    ServerConfig SC;
+    SC.Mode = ArbiterMode::SharedBudget;
+    SC.GlobalCacheBytes = 24 * 1024;
+    SC.MaxTenants = 3;
+    SC.WarmStart = true;
+    SC.Workers = Workers;
+    EngineServer Server(SC);
+    for (size_t T = 0; T != Names.size(); ++T)
+      Server.registerTenant(Names[T], Programs[T], Opts, arch::x86Model(),
+                            8 * 1024);
+    return Server.runTrace(Trace);
+  };
+
+  std::vector<SessionResult> One = runServer(1);
+  std::vector<SessionResult> Four = runServer(4);
+  ASSERT_EQ(One.size(), Four.size());
+  for (size_t I = 0; I != One.size(); ++I) {
+    EXPECT_EQ(One[I].Tenant, Four[I].Tenant) << "session " << I;
+    EXPECT_EQ(One[I].Warm, Four[I].Warm) << "session " << I;
+    EXPECT_EQ(One[I].GrantBytes, Four[I].GrantBytes) << "session " << I;
+    EXPECT_EQ(One[I].TotalCycles, Four[I].TotalCycles) << "session " << I;
+  }
+}
+
+// The differential that pins the whole service plumbing: a single tenant
+// whose arbiter grant equals a standalone engine's private cache budget
+// must produce bit-identical cycle counts — the ArbitratedPolicy wrapper,
+// the worker thread, and the admission machinery are all
+// decision-transparent.
+TEST(EngineServerTest, SingleTenantMatchesStandaloneEngine) {
+  isa::Program P = testProgram();
+  const uint32_t CacheBytes = 32 * 1024;
+
+  for (core::IBMechanism Mech :
+       {core::IBMechanism::Ibtc, core::IBMechanism::Sieve}) {
+    core::SdtOptions Opts;
+    Opts.Mechanism = Mech;
+
+    // Standalone run under a private budget.
+    core::SdtOptions Private = Opts;
+    Private.FragmentCacheBytes = CacheBytes;
+    arch::TimingModel Timing(arch::x86Model());
+    vm::ExecOptions Exec;
+    Exec.Timing = &Timing;
+    auto Engine = core::SdtEngine::create(P, Private, Exec);
+    ASSERT_TRUE(static_cast<bool>(Engine));
+    vm::RunResult Standalone = (*Engine)->run();
+    ASSERT_TRUE(Standalone.finishedNormally());
+
+    // Server run: isolation with MaxTenants=1 makes the slice (and so
+    // the grant) exactly the global budget.
+    ServerConfig SC;
+    SC.Mode = ArbiterMode::Isolation;
+    SC.GlobalCacheBytes = CacheBytes;
+    SC.MaxTenants = 1;
+    SC.WarmStart = false;
+    SC.Workers = 2;
+    EngineServer Server(SC);
+    Server.registerTenant("gzip", P, Opts, arch::x86Model(), CacheBytes);
+    std::vector<SessionResult> R = Server.runTrace({0});
+    ASSERT_EQ(R.size(), 1u);
+    EXPECT_EQ(R[0].GrantBytes, CacheBytes);
+    EXPECT_EQ(R[0].TotalCycles, Timing.totalCycles());
+    EXPECT_EQ(R[0].Run.Checksum, Standalone.Checksum);
+    EXPECT_EQ(R[0].Run.InstructionCount, Standalone.InstructionCount);
+  }
+}
+
+TEST(EngineServerTest, TraceEventsReconcile) {
+  isa::Program P = testProgram();
+  core::SdtOptions Opts;
+
+  EngineServer Server(
+      smallServerConfig(/*Warm=*/true, ArbiterMode::Isolation, 1));
+  Server.registerTenant("gzip", P, Opts, arch::x86Model(), 64 * 1024);
+
+  trace::TraceSink Sink;
+  Server.setTraceSink(&Sink);
+  Server.runTrace({0, 0});
+
+  trace::StatsExpectation E = Server.expectations();
+  EXPECT_EQ(E.TenantAdmissions, 2u);
+  EXPECT_EQ(E.SnapshotSaves, 2u);
+  EXPECT_EQ(E.SnapshotLoads, 1u);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::TenantAdmit),
+            E.TenantAdmissions);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::SnapshotSave), E.SnapshotSaves);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::SnapshotLoad), E.SnapshotLoads);
+  EXPECT_EQ(Sink.totalCount(trace::EventKind::TenantEvict), E.TenantEvictions);
+}
+
+} // namespace
