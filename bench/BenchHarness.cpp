@@ -6,6 +6,7 @@
 
 #include "BenchHarness.h"
 
+#include "plugin/PluginManager.h"
 #include "support/Statistics.h"
 #include "vm/GuestVM.h"
 #include "workloads/Workloads.h"
@@ -99,6 +100,34 @@ sdt::bench::withPredictorEnvOverrides(arch::MachineModel Model) {
     Overridden = true;
   }
   return Overridden ? arch::withPredictor(Model, P) : Model;
+}
+
+std::string sdt::bench::pluginSpecFromEnv(const std::string &CellSpec) {
+  std::string Spec = CellSpec;
+  if (const char *Env = std::getenv("STRATAIB_PLUGINS"))
+    if (*Env)
+      Spec = Env;
+  if (Spec == "none")
+    Spec.clear();
+  // Validate eagerly so a typo'd knob fails the run instead of silently
+  // measuring without instrumentation.
+  Expected<std::unique_ptr<plugin::PluginManager>> Check =
+      plugin::createPluginManager(Spec);
+  if (!Check) {
+    std::fprintf(stderr, "bench: bad plugin spec '%s': %s\n", Spec.c_str(),
+                 Check.error().message().c_str());
+    std::exit(2);
+  }
+  return Spec;
+}
+
+static bool writeTextFile(const std::string &Path, const std::string &Doc) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fwrite(Doc.data(), 1, Doc.size(), F);
+  std::fputc('\n', F);
+  return std::fclose(F) == 0;
 }
 
 /// Ring capacity for traced runs (STRATAIB_TRACE_EVENTS).
@@ -244,10 +273,12 @@ vm::RunResult BenchContext::runNative(const std::string &Workload,
 
 Measurement BenchContext::measure(const std::string &Workload,
                                   const arch::MachineModel &RequestedModel,
-                                  const core::SdtOptions &RequestedOpts) {
+                                  const core::SdtOptions &RequestedOpts,
+                                  const std::string &PluginSpec) {
   const arch::MachineModel Model = withPredictorEnvOverrides(RequestedModel);
   const NativeBaseline &Base = native(Workload, Model);
   const core::SdtOptions Opts = withCacheEnvOverrides(RequestedOpts);
+  const std::string EffSpec = pluginSpecFromEnv(PluginSpec);
 
   arch::TimingModel Timing(Model);
   vm::ExecOptions Exec;
@@ -256,6 +287,13 @@ Measurement BenchContext::measure(const std::string &Workload,
   if (!Engine) {
     std::fprintf(stderr, "bench: %s\n", Engine.error().message().c_str());
     std::exit(1);
+  }
+
+  std::unique_ptr<plugin::PluginManager> Mgr;
+  if (!EffSpec.empty()) {
+    // pluginSpecFromEnv already validated the spec.
+    Mgr = std::move(*plugin::createPluginManager(EffSpec));
+    (*Engine)->setPlugins(Mgr.get());
   }
 
   std::string TracePrefix = tracePrefixFromEnv();
@@ -276,6 +314,11 @@ Measurement BenchContext::measure(const std::string &Workload,
                    Base.c_str());
       std::exit(1);
     }
+    if (Mgr && !writeTextFile(Base + ".plugins.json", Mgr->reportJson())) {
+      std::fprintf(stderr, "bench: cannot write plugin report at %s\n",
+                   (Base + ".plugins.json").c_str());
+      std::exit(1);
+    }
   }
 
   Measurement M;
@@ -293,6 +336,10 @@ Measurement BenchContext::measure(const std::string &Workload,
   M.SdtReturnMispredicts = Pred.returnMispredicts();
   M.NativeCti = Base.Result.Cti;
   M.Instructions = Base.Result.InstructionCount;
+  if (Mgr) {
+    M.PluginSpec = EffSpec;
+    M.PluginMetrics = Mgr->metrics();
+  }
   M.Transparent = Translated.Reason == Base.Result.Reason &&
                   Translated.Output == Base.Result.Output &&
                   Translated.Checksum == Base.Result.Checksum &&

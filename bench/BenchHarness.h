@@ -54,6 +54,10 @@ struct Measurement {
   uint64_t SdtIndirectMispredicts = 0;
   uint64_t SdtReturnLookups = 0;
   uint64_t SdtReturnMispredicts = 0;
+  /// Instrumentation plugins attached to the translated run ("" when
+  /// none) and their end-of-run metrics, keys "<plugin>.<metric>".
+  std::string PluginSpec;
+  std::vector<std::pair<std::string, uint64_t>> PluginMetrics;
 
   double mainHitRate() const {
     return MainLookups == 0 ? 0.0
@@ -110,11 +114,14 @@ public:
   /// STRATAIB_BTB_ENTRIES env overrides applied. Native results are
   /// cached per (workload, model) pair; predictor overrides rename the
   /// model so overridden and unoverridden cells never share a baseline.
-  /// Aborts the process on build/run errors (experiment binaries are
-  /// tools).
+  /// \p PluginSpec names instrumentation plugins to attach for the
+  /// translated run (comma-separated, see src/plugin); STRATAIB_PLUGINS
+  /// overrides it when set. Aborts the process on build/run errors
+  /// (experiment binaries are tools).
   Measurement measure(const std::string &Workload,
                       const arch::MachineModel &Model,
-                      const core::SdtOptions &RequestedOpts);
+                      const core::SdtOptions &RequestedOpts,
+                      const std::string &PluginSpec = "");
 
   /// Native-only run (IB statistics, instruction counts).
   vm::RunResult runNative(const std::string &Workload,
@@ -173,6 +180,14 @@ core::SdtOptions withCacheEnvOverrides(core::SdtOptions Opts);
 /// configuration. Exits with status 2 on an unknown kind name or a
 /// non-numeric / non-power-of-two entry count.
 arch::MachineModel withPredictorEnvOverrides(arch::MachineModel Model);
+
+/// Resolves the effective plugin spec for one cell: STRATAIB_PLUGINS
+/// when set and non-empty (it overrides cells that choose plugins
+/// themselves, e.g. e19_instrumentation's sweep; "none" forces plugins
+/// off), else \p CellSpec. The result is validated against the in-tree
+/// plugin registry; an unknown or duplicate name exits with status 2,
+/// matching the other strict STRATAIB_* knobs.
+std::string pluginSpecFromEnv(const std::string &CellSpec);
 
 /// Reads STRATAIB_TRACE: the path prefix for per-cell trace files, or ""
 /// when tracing is off. When set, measure() attaches a TraceSink to each

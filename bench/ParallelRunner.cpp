@@ -43,13 +43,15 @@ ParallelRunner::ParallelRunner(BenchContext &Ctx, std::string ExperimentId)
 
 size_t ParallelRunner::enqueue(const std::string &Workload,
                                const arch::MachineModel &Model,
-                               const core::SdtOptions &Opts) {
+                               const core::SdtOptions &Opts,
+                               const std::string &PluginSpec) {
   assert(!Ran && "enqueue after runAll");
   Cell C;
   C.Kind = CellKind::Sdt;
   C.Workload = Workload;
   C.Model = Model;
   C.Opts = Opts;
+  C.PluginSpec = PluginSpec;
   Cells.push_back(std::move(C));
   return Cells.size() - 1;
 }
@@ -69,7 +71,7 @@ void ParallelRunner::runCell(size_t Id) {
   Cell &C = Cells[Id];
   auto Start = std::chrono::steady_clock::now();
   if (C.Kind == CellKind::Sdt)
-    C.M = Ctx.measure(C.Workload, C.Model, C.Opts);
+    C.M = Ctx.measure(C.Workload, C.Model, C.Opts, C.PluginSpec);
   else
     C.NativeResult = Ctx.runNative(C.Workload, C.CollectSiteTargets);
   C.WallMs = msSince(Start);
@@ -137,7 +139,14 @@ std::string ParallelRunner::summaryJson() const {
       core::SdtOptions Effective = withCacheEnvOverrides(C.Opts);
       arch::MachineModel EffModel = withPredictorEnvOverrides(C.Model);
       W.key("model").value(EffModel.Name);
-      W.key("config").value(Effective.describe());
+      // Instrumented cells get a distinct config key: scripts keyed on
+      // "config" (check_perf.py) must never mix an instrumented cell's
+      // slowdown with the uninstrumented baseline of the same options.
+      std::string Config = Effective.describe();
+      if (!C.M.PluginSpec.empty())
+        Config += " plugins(" + C.M.PluginSpec + ")";
+      W.key("config").value(Config);
+      W.key("plugins").value(C.M.PluginSpec);
       W.key("predictor").value(EffModel.Predictor.describe());
       W.key("cache_policy")
           .value(cachemgr::cachePolicyName(Effective.CachePolicy));
@@ -181,6 +190,12 @@ std::string ParallelRunner::summaryJson() const {
         W.key(arch::cycleCategoryName(static_cast<arch::CycleCategory>(I)))
             .value(C.M.SdtByCategory[I]);
       W.endObject();
+      if (!C.M.PluginMetrics.empty()) {
+        W.key("plugin_metrics").beginObject();
+        for (const auto &KV : C.M.PluginMetrics)
+          W.key(KV.first).value(KV.second);
+        W.endObject();
+      }
     } else {
       W.key("instructions").value(C.NativeResult.InstructionCount);
     }

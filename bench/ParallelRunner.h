@@ -41,11 +41,16 @@ public:
   ParallelRunner(BenchContext &Ctx, std::string ExperimentId);
 
   /// Queues a native-vs-translated measurement of \p Workload under
-  /// (\p Model, \p Opts). Returns the cell id used to read the result
-  /// back after runAll().
+  /// (\p Model, \p Opts), optionally with instrumentation plugins
+  /// attached (\p PluginSpec, comma-separated; STRATAIB_PLUGINS
+  /// overrides it). Returns the cell id used to read the result back
+  /// after runAll(). Cells with plugins get a " plugins(<spec>)" suffix
+  /// on their summary config string so they never share a baseline key
+  /// with uninstrumented cells.
   size_t enqueue(const std::string &Workload,
                  const arch::MachineModel &Model,
-                 const core::SdtOptions &Opts);
+                 const core::SdtOptions &Opts,
+                 const std::string &PluginSpec = "");
 
   /// Queues a native-only run (IB statistics, instruction counts).
   size_t enqueueNative(const std::string &Workload,
@@ -83,6 +88,7 @@ private:
     std::string Workload;
     arch::MachineModel Model;
     core::SdtOptions Opts;
+    std::string PluginSpec;
     bool CollectSiteTargets = false;
     Measurement M;
     vm::RunResult NativeResult;

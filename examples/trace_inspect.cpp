@@ -406,7 +406,7 @@ int main(int argc, char **argv) {
       std::printf("full run: %llu events, %llu dropped by the ring "
                   "(capacity %llu)\n",
                   static_cast<unsigned long long>(Summary.num("total")),
-                  static_cast<unsigned long long>(Summary.num("dropped")),
+                  static_cast<unsigned long long>(Summary.num("dropped_events")),
                   static_cast<unsigned long long>(Summary.num("capacity")));
     std::printf("\nretained by kind:\n");
     for (const auto &[Kind, Count] : KindCounts)

@@ -38,6 +38,17 @@
 # and skips its acceptance checks — leave them unset when its sweep is
 # the point. Garbage values exit 2 before any cell runs.
 #
+# STRATAIB_PLUGINS attaches instrumentation plugins to every measured
+# run (docs/Plugins.md): a comma-separated subset of {coverage, ibedges,
+# memcheck}, or "none" to force plugins off. Instrumented cells append
+# " plugins(<spec>)" to their summary `config` string and record per-
+# plugin end-of-run metrics under `plugin_metrics`, so instrumented and
+# bare summaries stay distinguishable after merging. e19_instrumentation
+# sweeps the plugin axis itself: pinning it collapses that axis, so it
+# prints a note and skips its overhead acceptance checks — leave it
+# unset when its sweep is the point. An unknown plugin name exits 2
+# before any cell runs.
+#
 # Any experiment that crashes or exits non-zero aborts the run with a
 # non-zero exit status, and no partial summary is merged into
 # results/bench_summary.json.
@@ -81,7 +92,7 @@ for BIN in "$BUILD"/bench/*; do
     micro_primitives) continue ;; # google-benchmark; run separately
     *.cmake|*.a) continue ;;
   esac
-  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS${STRATAIB_CACHE_POLICY:+ STRATAIB_CACHE_POLICY=$STRATAIB_CACHE_POLICY}${STRATAIB_PREDICTOR:+ STRATAIB_PREDICTOR=$STRATAIB_PREDICTOR}${STRATAIB_BTB_ENTRIES:+ STRATAIB_BTB_ENTRIES=$STRATAIB_BTB_ENTRIES}) =="
+  echo "== $NAME (STRATAIB_SCALE=$SCALE STRATAIB_JOBS=$JOBS${STRATAIB_CACHE_POLICY:+ STRATAIB_CACHE_POLICY=$STRATAIB_CACHE_POLICY}${STRATAIB_PREDICTOR:+ STRATAIB_PREDICTOR=$STRATAIB_PREDICTOR}${STRATAIB_BTB_ENTRIES:+ STRATAIB_BTB_ENTRIES=$STRATAIB_BTB_ENTRIES}${STRATAIB_PLUGINS:+ STRATAIB_PLUGINS=$STRATAIB_PLUGINS}) =="
   TRACE_ENV=""
   if [ -n "${STRATAIB_TRACE:-}" ]; then
     mkdir -p "$OUT/traces/$NAME"

@@ -115,9 +115,15 @@ public:
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Lookups - Hits; }
 
-  /// Attaches (or detaches, with null) the engine's trace sink. Wrapping
-  /// mechanisms (inline caches) forward this to their backing handler.
-  virtual void setTraceSink(trace::TraceSink *S) { Sink = S; }
+  /// Attaches (or detaches, with null) the engine's trace sink and
+  /// interns this mechanism's name once, so per-lookup recording is an
+  /// indexed bump instead of a per-event strcmp scan. Wrapping mechanisms
+  /// (inline caches) forward this to their backing handler.
+  virtual void setTraceSink(trace::TraceSink *S) {
+    Sink = S;
+    if (S)
+      MechId = S->internMech(name());
+  }
 
   /// The wrapped backing mechanism when this handler is a wrapper (the
   /// inline cache); null otherwise. Lets callers enumerate every
@@ -155,10 +161,11 @@ protected:
     if (Sink)
       Sink->record(Hit ? trace::EventKind::IBLookupHit
                        : trace::EventKind::IBLookupMiss,
-                   SiteId, GuestTarget, name());
+                   SiteId, GuestTarget, MechId);
   }
 
   trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
+  uint16_t MechId = 0; ///< Interned name id; valid while Sink is set.
 
 private:
   uint64_t Lookups = 0;

@@ -11,6 +11,7 @@
 #include "core/InlineCacheHandler.h"
 #include "core/ReturnCacheHandler.h"
 #include "core/SieveHandler.h"
+#include "plugin/PluginManager.h"
 #include "support/StringUtils.h"
 #include "vm/ExecSemantics.h"
 #include "vm/Syscalls.h"
@@ -106,6 +107,39 @@ void SdtEngine::setTraceSink(trace::TraceSink *S) {
   Xlate.setTraceSink(S);
   for (IBHandler *H : allHandlers())
     H->setTraceSink(S);
+}
+
+void SdtEngine::setPlugins(plugin::PluginManager *P) {
+  Plugins = P;
+  Xlate.setPlugins(P);
+  if (!P)
+    return;
+  plugin::GuestLayout Layout;
+  Layout.ImageBase = Decoder.base();
+  Layout.ImageBytes = Decoder.size();
+  Layout.MemoryBytes = Memory.size();
+  Layout.StackTop = Memory.stackTop();
+  // IB sites bind the per-class mechanism; the return entry names the
+  // fallback mechanism even under fast-return/shadow-stack strategies
+  // (those resolve before the site's mechanism sequence runs).
+  const char *MechByClass[3] = {handlerFor(IBClass::Jump)->name(),
+                                handlerFor(IBClass::Call)->name(),
+                                handlerFor(IBClass::Return)->name()};
+  P->attach(Layout, MechByClass);
+}
+
+void SdtEngine::notifyIBResolved(const HostInstr &HI, const char *Mechanism,
+                                 bool InlineHit, uint32_t GuestTarget) {
+  if (!Plugins->wantsIBResolved())
+    return;
+  plugin::IBResolution R;
+  R.SiteId = HI.SiteId;
+  R.SitePc = HI.GuestPc;
+  R.Class = HI.SiteClass;
+  R.Mechanism = Mechanism;
+  R.InlineHit = InlineHit;
+  R.GuestTarget = GuestTarget;
+  Plugins->ibResolved(R, Exec.Timing);
 }
 
 Expected<std::unique_ptr<SdtEngine>>
@@ -230,6 +264,8 @@ void SdtEngine::flushEverything() {
   Xlate.clearSites();
   CacheMgr.notifyFlush();
   ++Stats.Flushes;
+  if (Plugins)
+    Plugins->cacheFlushed();
   // The translated-code footprint is gone; drop its I-cache lines.
   if (Exec.Timing)
     Exec.Timing->icache().flush();
@@ -256,6 +292,9 @@ void SdtEngine::handleCachePressure(uint32_t PinnedFrag) {
     return;
   }
 
+  if (Plugins)
+    for (uint32_t V : Plan.Victims)
+      Plugins->fragmentInvalidated(V, Cache.fragment(V).GuestEntry);
   EvictionOutcome Out = Cache.evict(Plan.Victims);
   ++Stats.PartialEvictions;
   Stats.EvictedBytes += Out.BytesFreed;
@@ -332,6 +371,9 @@ bool SdtEngine::handleCodeWrite(uint32_t StoreAddr, uint32_t CurFrag) {
       Sink->record(trace::EventKind::FragInvalidate, F.GuestEntry,
                    F.CodeBytes);
     }
+  if (Plugins)
+    for (uint32_t V : Victims)
+      Plugins->fragmentInvalidated(V, Cache.fragment(V).GuestEntry);
 
   // Reuse the eviction machinery (tombstones, link unlinking, handler
   // scrubbing), but keep the accounting separate from capacity
@@ -442,6 +484,8 @@ RunResult SdtEngine::run() {
           T->chargeStore(CycleCategory::Instrument, CounterAddr);
         }
       }
+      if (Plugins && Plugins->wantsFragmentEntry())
+        Plugins->fragmentEntry(Cur.Frag, Entered.GuestEntry, T);
       if (Opts.EnableTraces) {
         if (Recording && Entered.GuestEntry == TraceHead &&
             TraceCtis > 0) {
@@ -508,6 +552,9 @@ RunResult SdtEngine::run() {
           T->chargeExecute(HI.GuestI);
         }
       }
+      if (Effect.IsMem && Plugins && Plugins->wantsMemAccess())
+        Plugins->memAccess(HI.GuestPc, Effect.Addr, Effect.IsStore,
+                           T);
       // Self-modifying code: a store into the decoded code range kills
       // every translation built from the dirtied words. If that includes
       // the fragment being executed, resume at the next guest pc through
@@ -721,6 +768,9 @@ RunResult SdtEngine::run() {
           HostLoc Loc = Cache.locForEntryAddr(Target);
           if (Loc.valid()) {
             ++Stats.FastReturnDirect;
+            if (Plugins)
+              notifyIBResolved(HI, "fast-return", /*InlineHit=*/true,
+                               Cache.fragment(Loc.Frag).GuestEntry);
             Cur = Loc;
             break;
           }
@@ -738,6 +788,8 @@ RunResult SdtEngine::run() {
             fault(PendingFault);
             break;
           }
+          if (Plugins)
+            notifyIBResolved(HI, "fast-return", /*InlineHit=*/false, Guest);
           Cur = Redo;
           break;
         }
@@ -769,6 +821,9 @@ RunResult SdtEngine::run() {
             HostLoc Loc = Cache.locForEntryAddr(Host);
             if (Loc.valid()) {
               ++Stats.ShadowStackHits;
+              if (Plugins)
+                notifyIBResolved(HI, "shadow-stack", /*InlineHit=*/true,
+                                 Target);
               Cur = Loc;
               Served = true;
             } else {
@@ -779,6 +834,9 @@ RunResult SdtEngine::run() {
                 fault(PendingFault);
                 break;
               }
+              if (Plugins)
+                notifyIBResolved(HI, "shadow-stack", /*InlineHit=*/false,
+                                 Target);
               Cur = Redo;
               Served = true;
             }
@@ -814,6 +872,8 @@ RunResult SdtEngine::run() {
       LookupOutcome Outcome = H->lookup(HI.SiteId, Target, T);
       if (Outcome.Hit) {
         ++Stats.IBInlineHits[ClassIdx];
+        if (Plugins)
+          notifyIBResolved(HI, H->name(), /*InlineHit=*/true, Target);
         HostLoc Loc = Cache.locForEntryAddr(Outcome.HostEntryAddr);
         assert(Loc.valid() &&
                "IB mechanism returned a non-live fragment address");
@@ -831,6 +891,8 @@ RunResult SdtEngine::run() {
         uint32_t EntryAddr = Cache.fragment(Loc.Frag).HostEntryAddr;
         H->record(HI.SiteId, Target, EntryAddr, T);
       }
+      if (Plugins)
+        notifyIBResolved(HI, H->name(), /*InlineHit=*/false, Target);
       Cur = Loc;
       break;
     }
@@ -885,6 +947,8 @@ RunResult SdtEngine::run() {
           Result.SiteTargets[HI.GuestPc].insert(Target);
         if (Sink)
           Sink->record(trace::EventKind::SpecGuardHit, HI.GuestPc, Target);
+        if (Plugins)
+          notifyIBResolved(HI, "spec-guard", /*InlineHit=*/true, Target);
         // Fall into the inlined continuation: past the adjacent fallback
         // site, or directly when stub outlining moved it to the tail.
         Cur.Index += (HI.OffTraceIndex == Cur.Index + 1) ? 2 : 1;

@@ -37,6 +37,9 @@
 #include <unordered_map>
 
 namespace sdt {
+namespace plugin {
+class PluginManager;
+}
 namespace core {
 
 /// A decoded warm-start snapshot: what SdtEngine::prewarm rebuilds
@@ -111,6 +114,17 @@ public:
   /// counts are bit-identical with or without a sink.
   void setTraceSink(trace::TraceSink *S);
 
+  /// Attaches (or detaches, with null) an instrumentation plugin manager
+  /// (src/plugin) to the engine and translator: translation-time
+  /// callbacks fire once per installed fragment (including prewarm
+  /// rehydration — run() never replays them), coherence callbacks fire on
+  /// eviction/SMC invalidation/flush, and execution-time callbacks fire
+  /// from the run loop when a loaded plugin subscribed. With no manager
+  /// (or an empty one) cycle counts are bit-identical to a plain run;
+  /// plugins charge their own probe costs to CycleCategory::Instrument.
+  void setPlugins(plugin::PluginManager *P);
+  plugin::PluginManager *plugins() { return Plugins; }
+
   /// Multi-line report: stats counters + mechanism summaries.
   std::string report() const;
 
@@ -180,7 +194,14 @@ private:
   Translator Xlate;
   SdtStats Stats;
   trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
+  plugin::PluginManager *Plugins = nullptr; ///< Null when no plugins.
   std::string PendingFault; ///< Set by dispatchTo on translation failure.
+
+  /// Delivers one IB-resolution callback (call sites guard with
+  /// `if (Plugins)`; the wants-check and struct build live out of line so
+  /// the hot loop only pays the null test).
+  void notifyIBResolved(const HostInstr &HI, const char *Mechanism,
+                        bool InlineHit, uint32_t GuestTarget);
 
   /// Software shadow stack (ReturnStrategy::ShadowStack): (guest return
   /// address, translated entry address) pairs; wraps at

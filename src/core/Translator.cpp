@@ -7,6 +7,7 @@
 #include "core/Translator.h"
 
 #include "opt/TraceOptimizer.h"
+#include "plugin/PluginManager.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -188,7 +189,11 @@ Expected<HostLoc> Translator::translate(uint32_t GuestPc,
     Timing->chargeTranslation(arch::CycleCategory::Translate, GuestCount);
   if (Sink)
     Sink->record(trace::EventKind::FragmentTranslated, GuestPc, GuestCount);
-  return Cache.insert(std::move(Frag));
+  HostLoc Loc = Cache.insert(std::move(Frag));
+  if (Plugins)
+    Plugins->fragmentTranslated(Loc.Frag, Cache.fragment(Loc.Frag),
+                                /*IsTrace=*/false);
+  return Loc;
 }
 
 Expected<HostLoc> Translator::buildTrace(
@@ -427,5 +432,9 @@ Expected<HostLoc> Translator::buildTrace(
     Sink->record(trace::EventKind::FragmentTranslated, Head, GuestCount);
     Sink->record(trace::EventKind::TraceBuilt, Head, GuestCount);
   }
-  return Cache.replaceForGuest(std::move(Frag));
+  HostLoc Loc = Cache.replaceForGuest(std::move(Frag));
+  if (Plugins)
+    Plugins->fragmentTranslated(Loc.Frag, Cache.fragment(Loc.Frag),
+                                /*IsTrace=*/true);
+  return Loc;
 }

@@ -25,6 +25,9 @@
 #include <vector>
 
 namespace sdt {
+namespace plugin {
+class PluginManager;
+}
 namespace core {
 
 /// One registered IB site.
@@ -98,6 +101,11 @@ public:
   /// and buildTrace() emit FragmentTranslated / TraceBuilt events.
   void setTraceSink(trace::TraceSink *S) { Sink = S; }
 
+  /// Attaches the engine's plugin manager (null = instrumentation off);
+  /// translate() and buildTrace() deliver the translation-time callback
+  /// once per installed fragment, after it is in the cache.
+  void setPlugins(plugin::PluginManager *P) { Plugins = P; }
+
 private:
   vm::DecodeCache &Decoder;
   FragmentCache &Cache;
@@ -105,6 +113,7 @@ private:
   IBHandler *Handlers[NumIBClasses] = {nullptr, nullptr, nullptr};
   std::vector<IBSiteInfo> Sites;
   trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
+  plugin::PluginManager *Plugins = nullptr; ///< Null when no plugins.
 };
 
 } // namespace core

@@ -1,0 +1,57 @@
+//===- plugin/CoveragePlugin.cpp -------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See CoveragePlugin.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plugin/CoveragePlugin.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::plugin;
+
+void CoveragePlugin::onFragmentEntry(uint32_t FragIndex, uint32_t GuestEntry,
+                                     arch::TimingModel *T) {
+  (void)FragIndex;
+  uint32_t Cur = blockId(GuestEntry);
+  uint32_t Idx = (Cur ^ Prev) & (MapEntries - 1);
+  ++Map[Idx];
+  Prev = Cur >> 1;
+  ++Entries;
+  if (T) {
+    // Hash+xor, then a read-modify-write of the 32-bit map counter.
+    T->chargeAluOps(arch::CycleCategory::Instrument, 2);
+    T->chargeLoad(arch::CycleCategory::Instrument, CoverageMapBase + Idx * 4);
+    T->chargeStore(arch::CycleCategory::Instrument, CoverageMapBase + Idx * 4);
+  }
+}
+
+std::vector<Plugin::Metric> CoveragePlugin::metrics() const {
+  uint64_t Edges = 0;
+  uint64_t MaxHits = 0;
+  for (uint32_t C : Map) {
+    if (C) {
+      ++Edges;
+      if (C > MaxHits)
+        MaxHits = C;
+    }
+  }
+  return {{"block_entries", Entries},
+          {"edges_hit", Edges},
+          {"map_entries", MapEntries},
+          {"max_edge_hits", MaxHits}};
+}
+
+std::string CoveragePlugin::reportText() const {
+  uint64_t Edges = 0;
+  for (uint32_t C : Map)
+    Edges += C != 0;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "%llu block entries, %llu/%u map edges hit (%.2f%%)\n",
+                static_cast<unsigned long long>(Entries),
+                static_cast<unsigned long long>(Edges), MapEntries,
+                100.0 * static_cast<double>(Edges) / MapEntries);
+  return Buf;
+}

@@ -1,0 +1,72 @@
+//===- plugin/CoveragePlugin.h - AFL-style edge coverage ---------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AFL-style edge-coverage bitmap over guest basic-block transitions: at
+/// each fragment entry the plugin hashes the guest entry pc into a block
+/// id, XORs it with the (shifted) previous id, and bumps a 64K-entry hit
+/// map — the classic `Map[Cur ^ Prev]++; Prev = Cur >> 1` probe (the
+/// shift keeps A->B distinct from B->A and self-edges visible). The probe
+/// is charged to CycleCategory::Instrument as 2 ALU ops plus one
+/// load+store of the map entry at its simulated address, so map locality
+/// interacts with the modeled D-cache exactly like a compiled-in probe
+/// would.
+///
+/// Coverage is guest-level state: eviction, SMC invalidation, and cache
+/// flushes do not clear the map (the same guest edge re-executed from a
+/// re-translated fragment is the same edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_PLUGIN_COVERAGEPLUGIN_H
+#define STRATAIB_PLUGIN_COVERAGEPLUGIN_H
+
+#include "plugin/Plugin.h"
+
+namespace sdt {
+namespace plugin {
+
+class CoveragePlugin : public Plugin {
+public:
+  static constexpr uint32_t MapEntries = 1u << 16;
+
+  CoveragePlugin() : Map(MapEntries, 0) {}
+
+  const char *name() const override { return "coverage"; }
+  CallbackSet callbacks() const override {
+    CallbackSet S;
+    S.FragmentEntry = true;
+    return S;
+  }
+
+  void onFragmentEntry(uint32_t FragIndex, uint32_t GuestEntry,
+                       arch::TimingModel *T) override;
+
+  std::vector<Metric> metrics() const override;
+  std::string reportText() const override;
+
+  const std::vector<uint32_t> &map() const { return Map; }
+
+  /// Deterministic block id for a guest pc (xorshift-multiply mix; pcs
+  /// are word-aligned so the low bits are discarded first).
+  static uint32_t blockId(uint32_t Pc) {
+    uint32_t H = Pc >> 2;
+    H ^= H >> 16;
+    H *= 0x7feb352du;
+    H ^= H >> 15;
+    return H & (MapEntries - 1);
+  }
+
+private:
+  std::vector<uint32_t> Map;
+  uint32_t Prev = 0;
+  uint64_t Entries = 0;
+};
+
+} // namespace plugin
+} // namespace sdt
+
+#endif // STRATAIB_PLUGIN_COVERAGEPLUGIN_H

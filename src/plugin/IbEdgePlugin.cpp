@@ -1,0 +1,116 @@
+//===- plugin/IbEdgePlugin.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See IbEdgePlugin.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plugin/IbEdgePlugin.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+using namespace sdt;
+using namespace sdt::plugin;
+
+void IbEdgePlugin::onIBResolved(const IBResolution &R, arch::TimingModel *T) {
+  uint64_t Key = (static_cast<uint64_t>(R.SitePc) << 32) | R.GuestTarget;
+  ++Edges[Key];
+  SiteClass.emplace(R.SitePc, R.Class);
+  ++Resolutions[static_cast<int>(R.Class)];
+  InlineHits += R.InlineHit;
+
+  if (R.Mechanism) {
+    bool Found = false;
+    for (auto &[Name, Count] : ByMechanism)
+      if (Name == R.Mechanism || std::strcmp(Name, R.Mechanism) == 0) {
+        ++Count;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      ByMechanism.emplace_back(R.Mechanism, 1);
+  }
+
+  if (T) {
+    // Key hash, then a read-modify-write of the hashed edge-table slot.
+    uint32_t H = static_cast<uint32_t>(Key ^ (Key >> 32));
+    H *= 0x9e3779b1u;
+    uint32_t Slot = (H >> 16) & 0xFFFF;
+    T->chargeAluOps(arch::CycleCategory::Instrument, 2);
+    T->chargeLoad(arch::CycleCategory::Instrument, IbEdgeTableBase + Slot * 8);
+    T->chargeStore(arch::CycleCategory::Instrument,
+                   IbEdgeTableBase + Slot * 8);
+  }
+}
+
+IbEdgePlugin::ClassSummary IbEdgePlugin::summarize(core::IBClass C) const {
+  ClassSummary S;
+  std::unordered_map<uint32_t, uint64_t> TargetsPerSite;
+  for (const auto &[Key, Count] : Edges) {
+    uint32_t SitePc = static_cast<uint32_t>(Key >> 32);
+    auto It = SiteClass.find(SitePc);
+    if (It == SiteClass.end() || It->second != C)
+      continue;
+    ++S.Edges;
+    S.Executions += Count;
+    ++TargetsPerSite[SitePc];
+  }
+  S.Sites = TargetsPerSite.size();
+  for (const auto &[Site, Targets] : TargetsPerSite) {
+    (void)Site;
+    S.PolymorphicSites += Targets > 1;
+    S.MaxTargets = std::max(S.MaxTargets, Targets);
+  }
+  return S;
+}
+
+std::vector<Plugin::Metric> IbEdgePlugin::metrics() const {
+  std::vector<Metric> Out;
+  uint64_t TotalExec = 0;
+  static const char *const ClassKey[3] = {"jump", "call", "return"};
+  for (int C = 0; C != 3; ++C) {
+    ClassSummary S = summarize(static_cast<core::IBClass>(C));
+    std::string P = ClassKey[C];
+    Out.emplace_back(P + "_sites", S.Sites);
+    Out.emplace_back(P + "_edges", S.Edges);
+    Out.emplace_back(P + "_executions", S.Executions);
+    Out.emplace_back(P + "_polymorphic_sites", S.PolymorphicSites);
+    Out.emplace_back(P + "_max_targets", S.MaxTargets);
+    TotalExec += S.Executions;
+  }
+  Out.emplace_back("total_executions", TotalExec);
+  Out.emplace_back("inline_hits", InlineHits);
+  return Out;
+}
+
+std::string IbEdgePlugin::reportText() const {
+  std::string Out;
+  char Buf[160];
+  static const char *const ClassName[3] = {"ind-jump", "ind-call", "return"};
+  Out += "class      sites  edges  executions  poly-sites  max-targets\n";
+  for (int C = 0; C != 3; ++C) {
+    ClassSummary S = summarize(static_cast<core::IBClass>(C));
+    std::snprintf(Buf, sizeof(Buf), "%-9s %6llu %6llu %11llu %11llu %12llu\n",
+                  ClassName[C], static_cast<unsigned long long>(S.Sites),
+                  static_cast<unsigned long long>(S.Edges),
+                  static_cast<unsigned long long>(S.Executions),
+                  static_cast<unsigned long long>(S.PolymorphicSites),
+                  static_cast<unsigned long long>(S.MaxTargets));
+    Out += Buf;
+  }
+  // Stable order for the serving-path split (insertion order follows
+  // first resolution, which is deterministic, but sort by name anyway so
+  // reports diff cleanly across configs).
+  std::vector<std::pair<const char *, uint64_t>> Paths = ByMechanism;
+  std::sort(Paths.begin(), Paths.end(), [](const auto &A, const auto &B) {
+    return std::strcmp(A.first, B.first) < 0;
+  });
+  for (const auto &[Name, Count] : Paths) {
+    std::snprintf(Buf, sizeof(Buf), "served by %-14s %llu\n", Name,
+                  static_cast<unsigned long long>(Count));
+    Out += Buf;
+  }
+  return Out;
+}

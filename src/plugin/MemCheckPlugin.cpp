@@ -1,0 +1,86 @@
+//===- plugin/MemCheckPlugin.cpp -------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See MemCheckPlugin.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plugin/MemCheckPlugin.h"
+
+#include <cstdio>
+
+using namespace sdt;
+using namespace sdt::plugin;
+
+void MemCheckPlugin::onAttach(const GuestLayout &Layout) {
+  uint32_t Words = Layout.MemoryBytes / 4;
+  Shadow.assign((Words + 63) / 64, 0);
+  // The loader wrote the program image; mark it stored.
+  for (uint32_t A = Layout.ImageBase & ~3u;
+       A < Layout.ImageBase + Layout.ImageBytes && (A >> 2) < Words; A += 4)
+    markWord(A >> 2);
+  // The ABI owns the initial-frame area at the stack top.
+  uint32_t StackBase =
+      Layout.StackTop > StackSlackBytes ? Layout.StackTop - StackSlackBytes : 0;
+  for (uint32_t A = StackBase & ~3u; (A >> 2) < Words; A += 4)
+    markWord(A >> 2);
+}
+
+void MemCheckPlugin::onMemAccess(uint32_t GuestPc, uint32_t Addr, bool IsStore,
+                                 arch::TimingModel *T) {
+  uint32_t Word = Addr >> 2;
+  if ((Word >> 6) >= Shadow.size())
+    return; // Out-of-range guest access faults on its own; nothing to track.
+  if (IsStore) {
+    ++Stores;
+    markWord(Word);
+  } else {
+    ++Loads;
+    if (!wordMarked(Word)) {
+      ++UninitLoads;
+      bool Seen = false;
+      for (const Offender &O : Offenders)
+        if (O.GuestPc == GuestPc && O.Addr == Addr) {
+          Seen = true;
+          break;
+        }
+      if (!Seen && Offenders.size() < MaxOffenders)
+        Offenders.push_back({GuestPc, Addr});
+    }
+  }
+  if (T) {
+    // Index math plus the shadow-word read; stores write the word back.
+    uint32_t ShadowAddr = MemShadowBase + (Word >> 6) * 8;
+    T->chargeAluOps(arch::CycleCategory::Instrument, 1);
+    T->chargeLoad(arch::CycleCategory::Instrument, ShadowAddr);
+    if (IsStore)
+      T->chargeStore(arch::CycleCategory::Instrument, ShadowAddr);
+  }
+}
+
+std::vector<Plugin::Metric> MemCheckPlugin::metrics() const {
+  return {{"loads", Loads},
+          {"stores", Stores},
+          {"uninitialised_loads", UninitLoads},
+          {"distinct_offenders", Offenders.size()}};
+}
+
+std::string MemCheckPlugin::reportText() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "%llu loads, %llu stores, %llu uninitialised loads\n",
+                static_cast<unsigned long long>(Loads),
+                static_cast<unsigned long long>(Stores),
+                static_cast<unsigned long long>(UninitLoads));
+  std::string Out = Buf;
+  for (const Offender &O : Offenders) {
+    std::snprintf(Buf, sizeof(Buf), "  pc 0x%08x loads 0x%08x before any store\n",
+                  O.GuestPc, O.Addr);
+    Out += Buf;
+  }
+  if (UninitLoads > Offenders.size()) {
+    std::snprintf(Buf, sizeof(Buf), "  (first %zu distinct sites shown)\n",
+                  Offenders.size());
+    Out += Buf;
+  }
+  return Out;
+}

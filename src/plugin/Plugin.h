@@ -1,0 +1,194 @@
+//===- plugin/Plugin.h - Instrumentation plugin interface --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public instrumentation API over the engine's trace spine: a Plugin
+/// registers callbacks at translation time (inspect each fragment/trace as
+/// it is built — guest PCs, IB sites, the emitted HostInstr stream) and at
+/// execution time (fragment entry, IB resolution with the resolved target,
+/// guest loads/stores). The design follows QEMU's TB-hook plugin API: the
+/// engine owns a PluginManager and invokes it from the same `if (...)`
+/// guarded sites the trace ring buffer uses, so a run with no plugins
+/// loaded is bit-identical in simulated cycles to a run without the
+/// subsystem.
+///
+/// Costs are modeled, not hidden: execution-time probes charge their own
+/// loads/stores/ALU ops to CycleCategory::Instrument at fixed simulated
+/// addresses (so probe data structures pollute the modeled D-cache exactly
+/// like InstrumentBlockCounts does). Translation-time inspection runs on
+/// the host side of the translator and charges nothing, mirroring how a
+/// real SDT amortises instrumentation into translation.
+///
+/// Coherence contract: translation-time state keyed by fragment index must
+/// be dropped when the engine reports onFragmentInvalidated (PR-3 partial
+/// eviction, PR-4 self-modifying-code invalidation) or onCacheFlush; a
+/// fragment index may be reused after either. Guest-level state (coverage
+/// bitmaps, edge matrices, memory shadow) survives cache churn untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_PLUGIN_PLUGIN_H
+#define STRATAIB_PLUGIN_PLUGIN_H
+
+#include "arch/Timing.h"
+#include "core/HostInstr.h"
+#include "core/SdtOptions.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdt {
+namespace plugin {
+
+/// Simulated address regions for plugin probe data (distinct from the
+/// mechanism tables at 0x60000000..0x73ffffff so cache-pollution effects
+/// are attributable per plugin).
+inline constexpr uint32_t CoverageMapBase = 0x74000000;
+inline constexpr uint32_t IbEdgeTableBase = 0x76000000;
+inline constexpr uint32_t MemShadowBase = 0x78000000;
+
+/// The guest image/memory layout, handed to every plugin when it is
+/// attached to an engine (before any other callback).
+struct GuestLayout {
+  uint32_t ImageBase = 0;   ///< Program load address.
+  uint32_t ImageBytes = 0;  ///< Program image size.
+  uint32_t MemoryBytes = 0; ///< Total guest memory size.
+  uint32_t StackTop = 0;    ///< Initial stack top (stack grows down).
+};
+
+/// One indirect-branch translation site inside a fragment view.
+struct IBSiteView {
+  uint32_t SiteId = 0;      ///< Index into the engine's site table.
+  uint32_t GuestPc = 0;     ///< Guest address of the jr/jalr/ret.
+  core::IBClass Class = core::IBClass::Jump;
+  const char *Mechanism = nullptr; ///< Bound mechanism's name().
+  /// True for the fallback site behind a speculation guard (only executes
+  /// on guard misses).
+  bool SpecFallback = false;
+};
+
+/// A just-translated fragment (or superblock trace), presented to
+/// translation-time callbacks after it has been installed in the cache.
+struct FragmentView {
+  uint32_t FragIndex = 0;  ///< Cache index; key for invalidation.
+  uint32_t GuestEntry = 0; ///< Guest PC this fragment translates.
+  bool IsTrace = false;    ///< Built by the superblock builder.
+  uint32_t CodeBytes = 0;  ///< Simulated code size (incl. IB inline seqs).
+  /// The emitted host instruction stream (valid only for the duration of
+  /// the callback — copy what you keep).
+  const std::vector<core::HostInstr> *Code = nullptr;
+  /// Every IB site in the stream, with its dynamic class and the
+  /// mechanism bound to that class.
+  std::vector<IBSiteView> Sites;
+};
+
+/// One executed indirect branch, after the engine resolved its target.
+struct IBResolution {
+  uint32_t SiteId = 0;  ///< Engine site-table index.
+  uint32_t SitePc = 0;  ///< Guest address of the IB instruction.
+  core::IBClass Class = core::IBClass::Jump;
+  /// Which path served it: a mechanism's name() ("ibtc", "sieve", ...) or
+  /// one of the engine fast paths ("inline", "fast-return",
+  /// "shadow-stack", "spec-guard").
+  const char *Mechanism = nullptr;
+  /// True when the translated target was produced without entering the
+  /// dispatcher (mechanism hit, inline-cache hit, guard hit, served
+  /// return).
+  bool InlineHit = false;
+  uint32_t GuestTarget = 0; ///< The dynamic guest target.
+};
+
+/// Base class for instrumentation plugins. Create one per engine run;
+/// plugins are single-threaded like the engine that owns them.
+class Plugin {
+public:
+  virtual ~Plugin() = default;
+
+  /// Stable short name ("coverage"); also the STRATAIB_PLUGINS spec token.
+  virtual const char *name() const = 0;
+
+  /// Which execution-time callbacks this plugin wants. The manager caches
+  /// the union so the engine hot loop tests one boolean per category.
+  /// Translation-time and coherence callbacks are always delivered.
+  struct CallbackSet {
+    bool FragmentEntry = false;
+    bool IBResolved = false;
+    bool MemAccess = false;
+  };
+  virtual CallbackSet callbacks() const { return {}; }
+
+  // --- Lifecycle ----------------------------------------------------------
+
+  /// Delivered once, before any other callback, when the manager is
+  /// attached to an engine.
+  virtual void onAttach(const GuestLayout &Layout) { (void)Layout; }
+
+  // --- Translation time ---------------------------------------------------
+
+  /// A fragment (or trace) was translated and installed in the code
+  /// cache. Fires exactly once per installation — including snapshot
+  /// rehydration (SdtEngine::prewarm), which translates each snapshot
+  /// fragment once and must not replay callbacks on run(). Charges no
+  /// simulated cycles.
+  virtual void onFragmentTranslated(const FragmentView &F) { (void)F; }
+
+  /// Fragment \p FragIndex was evicted (cache pressure) or invalidated
+  /// (guest code write). Any state keyed by the index must be dropped;
+  /// the index may be reused by a future translation.
+  virtual void onFragmentInvalidated(uint32_t FragIndex,
+                                     uint32_t GuestEntry) {
+    (void)FragIndex;
+    (void)GuestEntry;
+  }
+
+  /// The whole fragment cache (and all mechanism state) was flushed;
+  /// every fragment index is invalid.
+  virtual void onCacheFlush() {}
+
+  // --- Execution time (charge CycleCategory::Instrument on \p T) ---------
+
+  /// Control entered fragment \p FragIndex at its head. \p T may be null
+  /// (no timing model attached); probes must then skip their charges.
+  virtual void onFragmentEntry(uint32_t FragIndex, uint32_t GuestEntry,
+                               arch::TimingModel *T) {
+    (void)FragIndex;
+    (void)GuestEntry;
+    (void)T;
+  }
+
+  /// An indirect branch resolved. Fires exactly once per executed IB,
+  /// whichever path served it.
+  virtual void onIBResolved(const IBResolution &R, arch::TimingModel *T) {
+    (void)R;
+    (void)T;
+  }
+
+  /// The guest executed a load or store of \p Addr at \p GuestPc.
+  virtual void onMemAccess(uint32_t GuestPc, uint32_t Addr, bool IsStore,
+                           arch::TimingModel *T) {
+    (void)GuestPc;
+    (void)Addr;
+    (void)IsStore;
+    (void)T;
+  }
+
+  // --- Reporting ----------------------------------------------------------
+
+  /// Flat named counters for machine-readable summaries (bench JSON,
+  /// service aggregates). Keys are snake_case, stable across runs.
+  using Metric = std::pair<std::string, uint64_t>;
+  virtual std::vector<Metric> metrics() const { return {}; }
+
+  /// Optional multi-line human-readable report ("" when mute).
+  virtual std::string reportText() const { return std::string(); }
+};
+
+} // namespace plugin
+} // namespace sdt
+
+#endif // STRATAIB_PLUGIN_PLUGIN_H

@@ -1,0 +1,199 @@
+//===- plugin/PluginManager.cpp --------------------------------*- C++ -*-===//
+//
+// Part of StrataIB. See PluginManager.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plugin/PluginManager.h"
+
+#include "core/FragmentCache.h"
+#include "plugin/CoveragePlugin.h"
+#include "plugin/IbEdgePlugin.h"
+#include "plugin/MemCheckPlugin.h"
+#include "support/Json.h"
+
+#include <cstring>
+
+using namespace sdt;
+using namespace sdt::plugin;
+
+void PluginManager::add(std::unique_ptr<Plugin> P) {
+  Plugin::CallbackSet S = P->callbacks();
+  AnyFragmentEntry |= S.FragmentEntry;
+  AnyIBResolved |= S.IBResolved;
+  AnyMemAccess |= S.MemAccess;
+  Plugins.push_back(std::move(P));
+}
+
+Plugin *PluginManager::find(const char *Name) const {
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    if (std::strcmp(P->name(), Name) == 0)
+      return P.get();
+  return nullptr;
+}
+
+void PluginManager::attach(const GuestLayout &Layout,
+                           const char *const MechByClass[3]) {
+  for (int C = 0; C != 3; ++C)
+    MechNames[C] = MechByClass[C];
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onAttach(Layout);
+}
+
+void PluginManager::fragmentTranslated(uint32_t FragIndex,
+                                       const core::Fragment &F,
+                                       bool IsTrace) {
+  FragmentView V;
+  V.FragIndex = FragIndex;
+  V.GuestEntry = F.GuestEntry;
+  V.IsTrace = IsTrace;
+  V.CodeBytes = F.CodeBytes;
+  V.Code = &F.Code;
+  for (const core::HostInstr &HI : F.Code) {
+    if (HI.Kind != core::HostOpKind::IBLookup)
+      continue;
+    IBSiteView S;
+    S.SiteId = HI.SiteId;
+    S.GuestPc = HI.GuestPc;
+    S.Class = HI.SiteClass;
+    S.Mechanism = MechNames[static_cast<int>(HI.SiteClass)];
+    S.SpecFallback = HI.SpecFallback;
+    V.Sites.push_back(S);
+  }
+
+  // A trace replaces the plain fragment for the same guest entry in the
+  // dispatch map, but the old fragment stays live (its head becomes a
+  // trampoline), so no invalidation fires here; the record table simply
+  // gains the new index.
+  FragRecord R;
+  R.GuestEntry = V.GuestEntry;
+  R.IsTrace = IsTrace;
+  R.IBSites = static_cast<uint32_t>(V.Sites.size());
+  Records[FragIndex] = R;
+  ++TranslationCallbacks;
+
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onFragmentTranslated(V);
+}
+
+void PluginManager::fragmentInvalidated(uint32_t FragIndex,
+                                        uint32_t GuestEntry) {
+  Records.erase(FragIndex);
+  ++InvalidationCallbacks;
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onFragmentInvalidated(FragIndex, GuestEntry);
+}
+
+void PluginManager::cacheFlushed() {
+  Records.clear();
+  ++FlushCallbacks;
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onCacheFlush();
+}
+
+void PluginManager::fragmentEntry(uint32_t FragIndex, uint32_t GuestEntry,
+                                  arch::TimingModel *T) {
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onFragmentEntry(FragIndex, GuestEntry, T);
+}
+
+void PluginManager::ibResolved(const IBResolution &R, arch::TimingModel *T) {
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onIBResolved(R, T);
+}
+
+void PluginManager::memAccess(uint32_t GuestPc, uint32_t Addr, bool IsStore,
+                              arch::TimingModel *T) {
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    P->onMemAccess(GuestPc, Addr, IsStore, T);
+}
+
+std::vector<Plugin::Metric> PluginManager::metrics() const {
+  std::vector<Plugin::Metric> Out;
+  for (const std::unique_ptr<Plugin> &P : Plugins)
+    for (Plugin::Metric &M : P->metrics()) {
+      M.first = std::string(P->name()) + "." + M.first;
+      Out.push_back(std::move(M));
+    }
+  return Out;
+}
+
+std::string PluginManager::reportJson() const {
+  support::JsonWriter W;
+  W.beginObject();
+  W.key("plugins").beginArray();
+  for (const std::unique_ptr<Plugin> &P : Plugins) {
+    W.beginObject();
+    W.key("name").value(P->name());
+    W.key("metrics").beginObject();
+    for (const Plugin::Metric &M : P->metrics())
+      W.key(M.first).value(M.second);
+    W.endObject();
+    std::string Text = P->reportText();
+    if (!Text.empty())
+      W.key("report").value(Text);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::string PluginManager::reportText() const {
+  std::string Out;
+  for (const std::unique_ptr<Plugin> &P : Plugins) {
+    std::string Text = P->reportText();
+    if (Text.empty())
+      continue;
+    Out += "--- plugin: ";
+    Out += P->name();
+    Out += " ---\n";
+    Out += Text;
+    if (Out.back() != '\n')
+      Out += '\n';
+  }
+  return Out;
+}
+
+const char *sdt::plugin::knownPluginNames() {
+  return "coverage, ibedges, memcheck";
+}
+
+std::unique_ptr<Plugin> sdt::plugin::createPlugin(const std::string &Name) {
+  if (Name == "coverage")
+    return std::make_unique<CoveragePlugin>();
+  if (Name == "ibedges")
+    return std::make_unique<IbEdgePlugin>();
+  if (Name == "memcheck")
+    return std::make_unique<MemCheckPlugin>();
+  return nullptr;
+}
+
+Expected<std::unique_ptr<PluginManager>>
+sdt::plugin::createPluginManager(const std::string &Spec) {
+  auto Mgr = std::make_unique<PluginManager>();
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Name = Spec.substr(Pos, Comma - Pos);
+    // Trim surrounding whitespace so "coverage, memcheck" works.
+    while (!Name.empty() && (Name.front() == ' ' || Name.front() == '\t'))
+      Name.erase(Name.begin());
+    while (!Name.empty() && (Name.back() == ' ' || Name.back() == '\t'))
+      Name.pop_back();
+    Pos = Comma + 1;
+    if (Name.empty())
+      continue;
+    if (Mgr->find(Name.c_str()))
+      return Error::failure("duplicate plugin '" + Name + "' in spec '" +
+                            Spec + "'");
+    std::unique_ptr<Plugin> P = createPlugin(Name);
+    if (!P)
+      return Error::failure("unknown plugin '" + Name + "' (known: " +
+                            knownPluginNames() + ")");
+    Mgr->add(std::move(P));
+  }
+  return Mgr;
+}

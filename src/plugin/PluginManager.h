@@ -1,0 +1,134 @@
+//===- plugin/PluginManager.h - Plugin registry + dispatch -------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PluginManager owns an engine's plugins and fans callbacks out to
+/// them. SdtEngine/Translator call the manager from `if (Plugins)` guarded
+/// sites (the same pattern the trace sink uses); per-category `wants*()`
+/// flags are cached at add() time so the execution hot loop pays one
+/// predictable branch per category when no plugin subscribed.
+///
+/// The manager also keeps the canonical translation-record table (fragment
+/// index → guest entry/kind/site count), dropped on invalidation exactly
+/// per the coherence contract in Plugin.h — tests use it to pin eviction,
+/// SMC, and prewarm exactly-once behaviour without a bespoke test plugin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_PLUGIN_PLUGINMANAGER_H
+#define STRATAIB_PLUGIN_PLUGINMANAGER_H
+
+#include "plugin/Plugin.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace sdt {
+namespace core {
+struct Fragment;
+}
+namespace plugin {
+
+class PluginManager {
+public:
+  /// Adds \p P (takes ownership) and folds its callback set into the
+  /// cached wants-flags. Must happen before attach().
+  void add(std::unique_ptr<Plugin> P);
+
+  size_t size() const { return Plugins.size(); }
+  const std::vector<std::unique_ptr<Plugin>> &plugins() const {
+    return Plugins;
+  }
+  /// The loaded plugin named \p Name, or null.
+  Plugin *find(const char *Name) const;
+
+  bool wantsFragmentEntry() const { return AnyFragmentEntry; }
+  bool wantsIBResolved() const { return AnyIBResolved; }
+  bool wantsMemAccess() const { return AnyMemAccess; }
+
+  // --- Engine-facing dispatch --------------------------------------------
+
+  /// Binds the manager to an engine: records the guest layout and the
+  /// mechanism name bound to each IB class, then delivers onAttach to
+  /// every plugin.
+  void attach(const GuestLayout &Layout,
+              const char *const MechByClass[3]);
+
+  /// A fragment/trace was installed at \p FragIndex. Builds the
+  /// FragmentView (IB sites resolved against the attached mechanism
+  /// names), records it, and notifies every plugin.
+  void fragmentTranslated(uint32_t FragIndex, const core::Fragment &F,
+                          bool IsTrace);
+
+  /// Fragment \p FragIndex was evicted/invalidated: drops its record and
+  /// notifies every plugin.
+  void fragmentInvalidated(uint32_t FragIndex, uint32_t GuestEntry);
+
+  /// Full flush: drops every record and notifies every plugin.
+  void cacheFlushed();
+
+  /// Hot-path dispatch; call only when the matching wants*() is true.
+  void fragmentEntry(uint32_t FragIndex, uint32_t GuestEntry,
+                     arch::TimingModel *T);
+  void ibResolved(const IBResolution &R, arch::TimingModel *T);
+  void memAccess(uint32_t GuestPc, uint32_t Addr, bool IsStore,
+                 arch::TimingModel *T);
+
+  // --- Translation records (coherence-visible state) ----------------------
+
+  struct FragRecord {
+    uint32_t GuestEntry = 0;
+    bool IsTrace = false;
+    uint32_t IBSites = 0;
+  };
+  const std::unordered_map<uint32_t, FragRecord> &fragmentRecords() const {
+    return Records;
+  }
+  uint64_t translationCallbacks() const { return TranslationCallbacks; }
+  uint64_t invalidationCallbacks() const { return InvalidationCallbacks; }
+  uint64_t flushCallbacks() const { return FlushCallbacks; }
+
+  // --- Reporting ----------------------------------------------------------
+
+  /// Every plugin's metrics, keys prefixed "<plugin>.": stable order.
+  std::vector<Plugin::Metric> metrics() const;
+  /// {"plugins":[{"name":..., "metrics":{...}, "report":"..."}]}
+  std::string reportJson() const;
+  /// Concatenated non-empty plugin reports, each under a header line.
+  std::string reportText() const;
+
+private:
+  std::vector<std::unique_ptr<Plugin>> Plugins;
+  std::unordered_map<uint32_t, FragRecord> Records;
+  const char *MechNames[3] = {nullptr, nullptr, nullptr};
+  bool AnyFragmentEntry = false;
+  bool AnyIBResolved = false;
+  bool AnyMemAccess = false;
+  uint64_t TranslationCallbacks = 0;
+  uint64_t InvalidationCallbacks = 0;
+  uint64_t FlushCallbacks = 0;
+};
+
+/// Names accepted by createPluginManager, comma-joined (for diagnostics).
+const char *knownPluginNames();
+
+/// Creates the in-tree plugin named \p Name ("coverage", "ibedges",
+/// "memcheck"), or null for an unknown name.
+std::unique_ptr<Plugin> createPlugin(const std::string &Name);
+
+/// Parses a comma-separated spec ("coverage,memcheck"; empty tokens
+/// ignored) into a manager holding one instance of each named plugin.
+/// Duplicate or unknown names are errors. An empty spec yields an empty
+/// manager (valid: the engine then delivers no callbacks but the
+/// plumbing is exercised).
+Expected<std::unique_ptr<PluginManager>>
+createPluginManager(const std::string &Spec);
+
+} // namespace plugin
+} // namespace sdt
+
+#endif // STRATAIB_PLUGIN_PLUGINMANAGER_H

@@ -7,6 +7,7 @@
 
 #include "service/EngineServer.h"
 
+#include "plugin/PluginManager.h"
 #include "service/Snapshot.h"
 #include "support/ThreadPool.h"
 
@@ -43,8 +44,12 @@ EngineServer::EngineServer(const ServerConfig &C) : Cfg(C), Arb(arbiterConfig(C)
 uint32_t EngineServer::registerTenant(std::string Name, isa::Program P,
                                       const core::SdtOptions &Opts,
                                       const arch::MachineModel &Model,
-                                      uint32_t RequestBytes) {
-  return Reg.add(std::move(Name), std::move(P), Opts, Model, RequestBytes).Id;
+                                      uint32_t RequestBytes,
+                                      std::string PluginSpec) {
+  return Reg
+      .add(std::move(Name), std::move(P), Opts, Model, RequestBytes,
+           std::move(PluginSpec))
+      .Id;
 }
 
 void EngineServer::emit(trace::EventKind K, uint32_t A, uint32_t B) {
@@ -88,11 +93,29 @@ EngineServer::runSession(const TenantRecord &T, uint32_t GrantBytes, bool Warm,
   }
   core::SdtEngine &Engine = **EngineOr;
 
+  // Per-session plugin manager: attached before prewarm so rehydration
+  // delivers its translation callbacks (exactly once — run() never
+  // replays them).
+  std::unique_ptr<plugin::PluginManager> Plugins;
+  if (!T.PluginSpec.empty()) {
+    Expected<std::unique_ptr<plugin::PluginManager>> MgrOr =
+        plugin::createPluginManager(T.PluginSpec);
+    if (!MgrOr) {
+      R.EngineError = MgrOr.takeError().message();
+      return Out;
+    }
+    Plugins = std::move(*MgrOr);
+    Engine.setPlugins(Plugins.get());
+    R.PluginSpec = T.PluginSpec;
+  }
+
   if (Warm)
     Engine.prewarm(Image);
 
   R.Run = Engine.run();
   R.Stats = Engine.stats();
+  if (Plugins)
+    R.PluginMetrics = Plugins->metrics();
   R.TotalCycles = Timing.totalCycles();
   for (size_t C = 0;
        C != static_cast<size_t>(arch::CycleCategory::NumCategories); ++C)

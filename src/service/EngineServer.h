@@ -84,6 +84,10 @@ struct SessionResult {
   /// Non-empty when a retained snapshot was rejected at admission (the
   /// session started cold; the diagnostic names the defect).
   std::string SnapshotError;
+  /// The tenant's plugin spec ("" when uninstrumented) and the session's
+  /// end-of-run plugin metrics, keys "<plugin>.<metric>".
+  std::string PluginSpec;
+  std::vector<std::pair<std::string, uint64_t>> PluginMetrics;
 };
 
 class EngineServer {
@@ -94,13 +98,18 @@ public:
 
   /// Registers a tenant (before runTrace). \p RequestBytes is the cache
   /// capacity each of its sessions requests from the arbiter.
-  /// Trace-enabled configurations run fine but are never snapshotted
-  /// (trace fragments do not rehydrate deterministically), so their
-  /// sessions always start cold.
+  /// \p PluginSpec attaches instrumentation plugins to every session of
+  /// this tenant (a fresh plugin::PluginManager per session — tenants
+  /// never share plugin state); an invalid spec surfaces as
+  /// SessionResult::EngineError at run time. Trace-enabled
+  /// configurations run fine but are never snapshotted (trace fragments
+  /// do not rehydrate deterministically), so their sessions always start
+  /// cold.
   uint32_t registerTenant(std::string Name, isa::Program P,
                           const core::SdtOptions &Opts,
                           const arch::MachineModel &Model,
-                          uint32_t RequestBytes);
+                          uint32_t RequestBytes,
+                          std::string PluginSpec = "");
 
   /// Runs one session per entry of \p TenantTrace (tenant ids in
   /// admission order). Returns results in trace order.

@@ -14,13 +14,15 @@ using namespace sdt::service;
 TenantRecord &TenantRegistry::add(std::string Name, isa::Program P,
                                   const core::SdtOptions &Opts,
                                   const arch::MachineModel &Model,
-                                  uint32_t RequestBytes) {
+                                  uint32_t RequestBytes,
+                                  std::string PluginSpec) {
   TenantRecord &R = Records.emplace_back();
   R.Id = static_cast<uint32_t>(Records.size() - 1);
   R.Name = std::move(Name);
   R.Program = std::move(P);
   R.Opts = Opts;
   R.Model = Model;
+  R.PluginSpec = std::move(PluginSpec);
   R.RequestBytes = RequestBytes;
   R.OptionsFp = optionsFingerprint(Opts);
   R.ProgramFp = programFingerprint(R.Program);

@@ -37,6 +37,11 @@ struct TenantRecord {
   isa::Program Program;
   core::SdtOptions Opts;
   arch::MachineModel Model;
+  /// Instrumentation plugins attached to every session of this tenant
+  /// (comma-separated, see plugin::createPluginManager; "" = none).
+  /// Each session gets a fresh manager, so tenants never share plugin
+  /// state and per-tenant cycle counts stay independent.
+  std::string PluginSpec;
   uint32_t RequestBytes = 0; ///< Cache bytes each session asks for.
   uint32_t OptionsFp = 0;    ///< Snapshot-validation fingerprints.
   uint32_t ProgramFp = 0;
@@ -52,7 +57,8 @@ public:
   /// Registers a tenant and returns its record (id already assigned).
   TenantRecord &add(std::string Name, isa::Program P,
                     const core::SdtOptions &Opts,
-                    const arch::MachineModel &Model, uint32_t RequestBytes);
+                    const arch::MachineModel &Model, uint32_t RequestBytes,
+                    std::string PluginSpec = "");
 
   TenantRecord &tenant(uint32_t Id) { return Records[Id]; }
   const TenantRecord &tenant(uint32_t Id) const { return Records[Id]; }

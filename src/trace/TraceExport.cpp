@@ -121,7 +121,7 @@ std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
   std::string Out = "{\"summary\":true";
   appendField(Out, "capacity", static_cast<uint64_t>(Sink.capacity()));
   appendField(Out, "recorded", static_cast<uint64_t>(Sink.recordedCount()));
-  appendField(Out, "dropped", Sink.droppedCount());
+  appendField(Out, "dropped_events", Sink.droppedCount());
   appendField(Out, "total", Sink.totalCount());
 
   Out += ",\"event_totals\":{";
@@ -138,6 +138,11 @@ std::string sdt::trace::jsonlSummaryLine(const TraceSink &Sink,
   Out += ",\"mech_totals\":{";
   bool First = true;
   for (const TraceSink::MechTotals &M : Sink.mechTotals()) {
+    // Handlers intern their names at sink-attach time; a mechanism that
+    // never recorded a lookup has an all-zero slot and is not part of the
+    // run's story — skip it so interning never changes the summary.
+    if (M.Hits == 0 && M.Misses == 0)
+      continue;
     if (!First)
       Out += ',';
     First = false;

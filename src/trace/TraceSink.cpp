@@ -92,6 +92,24 @@ void TraceSink::bumpMech(const char *Mech, bool Hit) {
   Mechs.push_back(M);
 }
 
+uint16_t TraceSink::internMech(const char *Mech) {
+  assert(Mech && "cannot intern a null mechanism name");
+  for (size_t I = 0; I != Mechs.size(); ++I)
+    if (Mechs[I].Name == Mech || std::strcmp(Mechs[I].Name, Mech) == 0)
+      return static_cast<uint16_t>(I);
+  MechTotals M;
+  M.Name = Mech;
+  Mechs.push_back(M);
+  return static_cast<uint16_t>(Mechs.size() - 1);
+}
+
+void TraceSink::push(TraceEvent &E) {
+  Ring[Head] = E;
+  Head = Head + 1 == Ring.size() ? 0 : Head + 1;
+  ++Total;
+  ++Totals[static_cast<size_t>(E.Kind)];
+}
+
 void TraceSink::record(EventKind K, uint32_t A, uint32_t B,
                        const char *Mech) {
   TraceEvent E;
@@ -104,8 +122,21 @@ void TraceSink::record(EventKind K, uint32_t A, uint32_t B,
     E.IbClass = CurrentIbClass;
     bumpMech(Mech, K == EventKind::IBLookupHit);
   }
-  Ring[Head] = E;
-  Head = Head + 1 == Ring.size() ? 0 : Head + 1;
-  ++Total;
-  ++Totals[static_cast<size_t>(K)];
+  push(E);
+}
+
+void TraceSink::record(EventKind K, uint32_t A, uint32_t B, uint16_t MechId) {
+  assert(MechId < Mechs.size() && "record() with an id not from internMech()");
+  MechTotals &M = Mechs[MechId];
+  TraceEvent E;
+  E.Cycle = Clock ? Clock(ClockCtx) : 0;
+  E.A = A;
+  E.B = B;
+  E.Mech = M.Name;
+  E.Kind = K;
+  if (K == EventKind::IBLookupHit || K == EventKind::IBLookupMiss) {
+    E.IbClass = CurrentIbClass;
+    ++(K == EventKind::IBLookupHit ? M.Hits : M.Misses);
+  }
+  push(E);
 }

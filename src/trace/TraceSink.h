@@ -51,9 +51,24 @@ public:
   void setIbClass(uint8_t Class) { CurrentIbClass = Class; }
 
   /// Records one event (the hot-path entry point; emitters guard the call
-  /// with `if (Sink)`).
+  /// with `if (Sink)`). The name-based form dedups \p Mech by content on
+  /// every lookup event; hot emitters should intern once and use the
+  /// id-based overload below.
   void record(EventKind K, uint32_t A = 0, uint32_t B = 0,
               const char *Mech = nullptr);
+
+  /// Interns \p Mech (deduped by content) into the per-mechanism totals
+  /// table and returns its small id. Handlers call this once when a sink
+  /// is attached, so per-event recording is an indexed bump instead of a
+  /// linear strcmp scan. An interned mechanism that never records a
+  /// lookup keeps zero totals; exporters skip such entries, so interning
+  /// alone never changes the emitted summary.
+  uint16_t internMech(const char *Mech);
+
+  /// O(1) hot-path overload: \p MechId must come from internMech() on
+  /// this sink. Lands in the same per-mechanism slot as the name-based
+  /// overload — totals are bit-identical whichever path recorded them.
+  void record(EventKind K, uint32_t A, uint32_t B, uint16_t MechId);
 
   size_t capacity() const { return Ring.size(); }
   /// Events currently retained in the ring.
@@ -85,6 +100,7 @@ public:
 
 private:
   void bumpMech(const char *Mech, bool Hit);
+  void push(TraceEvent &E);
 
   std::vector<TraceEvent> Ring;
   size_t Head = 0; ///< Next write index.

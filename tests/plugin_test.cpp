@@ -1,0 +1,639 @@
+//===- tests/plugin_test.cpp - Instrumentation plugin API --------*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The plugin subsystem under test (src/plugin): spec parsing, the
+// no-plugins cycle-identity contract (an engine with no manager, and an
+// engine with an *empty* manager, are bit-identical in simulated cycles
+// across every IB mechanism), exactly-once delivery of translation-time
+// and IB-resolution callbacks, coherence under partial eviction / SMC
+// invalidation / full flush / snapshot rehydration, and the three
+// in-tree plugins against analytic oracles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "assembler/Assembler.h"
+#include "core/SdtEngine.h"
+#include "support/StringUtils.h"
+#include "plugin/CoveragePlugin.h"
+#include "plugin/IbEdgePlugin.h"
+#include "plugin/MemCheckPlugin.h"
+#include "plugin/PluginManager.h"
+#include "vm/GuestVM.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+
+namespace {
+
+isa::Program mustAssemble(const char *Src) {
+  Expected<isa::Program> P = assembler::assemble(Src);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  return *P;
+}
+
+/// Indirect-call loop alternating between two callees; exercises
+/// ind-call and return sites under every mechanism.
+const char *const CallLoop = R"(
+main:
+    li   s0, 50
+    li   s7, 0
+loop:
+    la   t0, fns
+    andi t1, s0, 1
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    move a0, s0
+    jalr t2
+    add  s7, s7, v0
+    addi s0, s0, -1
+    bnez s0, loop
+    move a0, s7
+    li   v0, 4
+    syscall
+    li   a0, 0
+    li   v0, 0
+    syscall
+f_even:
+    slli v0, a0, 1
+    ret
+f_odd:
+    addi v0, a0, 100
+    ret
+fns: .word f_even, f_odd
+)";
+
+/// A call-heavy program big enough to overflow a 4 KiB fragment cache
+/// (the eviction/flush coherence tests need real cache churn; CallLoop
+/// alone fits comfortably).
+std::string bigCallProgram() {
+  std::string Src = "main:\n    li s6, 2\nmpass:\n";
+  for (int F = 0; F != 120; ++F)
+    Src += formatString("    jal fn%d\n", F);
+  Src += "    addi s6, s6, -1\n"
+         "    bnez s6, mpass\n"
+         "    li a0, 0\n    li v0, 0\n    syscall\n";
+  for (int F = 0; F != 120; ++F)
+    Src += formatString(
+        "fn%d:\n    push ra\n    jal leaf\n    pop ra\n    ret\n", F);
+  Src += "leaf:\n    addi v0, a0, 1\n    ret\n";
+  return Src;
+}
+
+/// The four mechanism configurations the cycle-identity contract is
+/// pinned across (mirrors the E19 sweep axes).
+std::vector<std::pair<const char *, SdtOptions>> mechanismConfigs() {
+  std::vector<std::pair<const char *, SdtOptions>> Cs;
+  SdtOptions O;
+  O.Mechanism = IBMechanism::Dispatcher;
+  Cs.emplace_back("dispatcher", O);
+  O = SdtOptions();
+  O.Mechanism = IBMechanism::Ibtc;
+  Cs.emplace_back("ibtc", O);
+  O = SdtOptions();
+  O.Mechanism = IBMechanism::Sieve;
+  Cs.emplace_back("sieve", O);
+  O = SdtOptions();
+  O.Mechanism = IBMechanism::Ibtc;
+  O.InlineCacheDepth = 2;
+  Cs.emplace_back("ibtc+inline2", O);
+  return Cs;
+}
+
+struct TimedRun {
+  RunResult Result;
+  SdtStats Stats;
+  uint64_t Cycles = 0;
+  std::array<uint64_t, size_t(arch::CycleCategory::NumCategories)>
+      ByCategory{};
+};
+
+/// Runs \p P under \p Opts with an x86 timing model, optionally with a
+/// plugin manager attached.
+TimedRun runTimed(const isa::Program &P, const SdtOptions &Opts,
+                  plugin::PluginManager *Mgr) {
+  arch::TimingModel Timing(arch::x86Model());
+  ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto Engine = SdtEngine::create(P, Opts, Exec);
+  EXPECT_TRUE(static_cast<bool>(Engine));
+  if (Mgr)
+    (*Engine)->setPlugins(Mgr);
+  TimedRun R;
+  R.Result = (*Engine)->run();
+  R.Stats = (*Engine)->stats();
+  R.Cycles = Timing.totalCycles();
+  for (size_t I = 0; I != R.ByCategory.size(); ++I)
+    R.ByCategory[I] = Timing.cycles(static_cast<arch::CycleCategory>(I));
+  return R;
+}
+
+/// Counts every callback delivery; subscribes to all execution-time
+/// categories.
+class CountingPlugin : public plugin::Plugin {
+public:
+  const char *name() const override { return "counting"; }
+  CallbackSet callbacks() const override {
+    CallbackSet S;
+    S.FragmentEntry = true;
+    S.IBResolved = true;
+    S.MemAccess = true;
+    return S;
+  }
+  void onAttach(const plugin::GuestLayout &Layout) override {
+    ++Attaches;
+    LastLayout = Layout;
+  }
+  void onFragmentTranslated(const plugin::FragmentView &F) override {
+    ++Translations;
+    if (F.IsTrace)
+      ++TraceTranslations;
+    TranslatedEntries.push_back(F.GuestEntry);
+    for (const plugin::IBSiteView &S : F.Sites)
+      EXPECT_NE(S.Mechanism, nullptr);
+  }
+  void onFragmentInvalidated(uint32_t FragIndex, uint32_t) override {
+    ++Invalidations;
+    InvalidatedIndices.insert(FragIndex);
+  }
+  void onCacheFlush() override { ++Flushes; }
+  void onFragmentEntry(uint32_t, uint32_t, arch::TimingModel *) override {
+    ++Entries;
+  }
+  void onIBResolved(const plugin::IBResolution &R,
+                    arch::TimingModel *) override {
+    ++Resolutions;
+    ++ByClass[static_cast<size_t>(R.Class)];
+    EXPECT_NE(R.Mechanism, nullptr);
+  }
+  void onMemAccess(uint32_t, uint32_t, bool IsStore,
+                   arch::TimingModel *) override {
+    ++(IsStore ? Stores : Loads);
+  }
+
+  uint64_t Attaches = 0;
+  uint64_t Translations = 0;
+  uint64_t TraceTranslations = 0;
+  uint64_t Invalidations = 0;
+  uint64_t Flushes = 0;
+  uint64_t Entries = 0;
+  uint64_t Resolutions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  std::array<uint64_t, NumIBClasses> ByClass{};
+  std::vector<uint32_t> TranslatedEntries;
+  std::set<uint32_t> InvalidatedIndices;
+  plugin::GuestLayout LastLayout;
+};
+
+/// Attaches a fresh manager owning one CountingPlugin; returns the
+/// plugin (manager keeps ownership).
+CountingPlugin *addCounter(plugin::PluginManager &Mgr) {
+  auto P = std::make_unique<CountingPlugin>();
+  CountingPlugin *Raw = P.get();
+  Mgr.add(std::move(P));
+  return Raw;
+}
+
+} // namespace
+
+// --- Spec parsing -----------------------------------------------------------
+
+TEST(PluginSpecTest, KnownNamesAndWhitespace) {
+  auto Mgr = plugin::createPluginManager(" coverage , memcheck ");
+  ASSERT_TRUE(static_cast<bool>(Mgr));
+  EXPECT_EQ((*Mgr)->size(), 2u);
+  EXPECT_NE((*Mgr)->find("coverage"), nullptr);
+  EXPECT_NE((*Mgr)->find("memcheck"), nullptr);
+  EXPECT_EQ((*Mgr)->find("ibedges"), nullptr);
+  EXPECT_TRUE((*Mgr)->wantsFragmentEntry());
+  EXPECT_FALSE((*Mgr)->wantsIBResolved());
+  EXPECT_TRUE((*Mgr)->wantsMemAccess());
+}
+
+TEST(PluginSpecTest, EmptySpecYieldsEmptyManager) {
+  auto Mgr = plugin::createPluginManager("");
+  ASSERT_TRUE(static_cast<bool>(Mgr));
+  EXPECT_EQ((*Mgr)->size(), 0u);
+  EXPECT_FALSE((*Mgr)->wantsFragmentEntry());
+  EXPECT_FALSE((*Mgr)->wantsIBResolved());
+  EXPECT_FALSE((*Mgr)->wantsMemAccess());
+}
+
+TEST(PluginSpecTest, UnknownNameIsError) {
+  auto Mgr = plugin::createPluginManager("coverage,typo");
+  ASSERT_FALSE(static_cast<bool>(Mgr));
+  std::string Msg = Mgr.error().message();
+  EXPECT_NE(Msg.find("typo"), std::string::npos);
+  EXPECT_NE(Msg.find(plugin::knownPluginNames()), std::string::npos);
+}
+
+TEST(PluginSpecTest, DuplicateNameIsError) {
+  auto Mgr = plugin::createPluginManager("ibedges,ibedges");
+  ASSERT_FALSE(static_cast<bool>(Mgr));
+  EXPECT_NE(Mgr.error().message().find("duplicate"), std::string::npos);
+}
+
+// --- The cycle-identity contract --------------------------------------------
+
+// A run with no manager, and a run with an EMPTY manager attached, are
+// bit-identical in total and per-category cycles under every mechanism
+// configuration — the `if (Plugins)` guards plus cached wants-flags must
+// never perturb the simulation. This is the differential that pins the
+// tentpole's "plugins off = free" guarantee.
+TEST(PluginCycleIdentityTest, NoPluginsIsBitIdenticalAcrossMechanisms) {
+  isa::Program P = mustAssemble(CallLoop);
+  for (const auto &[Name, Opts] : mechanismConfigs()) {
+    TimedRun Bare = runTimed(P, Opts, nullptr);
+    auto Empty = plugin::createPluginManager("");
+    ASSERT_TRUE(static_cast<bool>(Empty));
+    TimedRun WithEmpty = runTimed(P, Opts, Empty->get());
+
+    EXPECT_EQ(Bare.Cycles, WithEmpty.Cycles) << Name;
+    EXPECT_EQ(Bare.ByCategory, WithEmpty.ByCategory) << Name;
+    EXPECT_EQ(Bare.Result.Checksum, WithEmpty.Result.Checksum) << Name;
+    EXPECT_EQ(Bare.Result.InstructionCount,
+              WithEmpty.Result.InstructionCount)
+        << Name;
+  }
+}
+
+// Loaded plugins cost cycles — all of it in CycleCategory::Instrument;
+// every other category stays bit-identical to the uninstrumented run
+// (probes never perturb the translation/dispatch/mechanism accounting).
+TEST(PluginCycleIdentityTest, LoadedPluginsChargeOnlyInstrument) {
+  isa::Program P = mustAssemble(CallLoop);
+  for (const auto &[Name, Opts] : mechanismConfigs()) {
+    TimedRun Bare = runTimed(P, Opts, nullptr);
+    auto Full =
+        plugin::createPluginManager("coverage,ibedges,memcheck");
+    ASSERT_TRUE(static_cast<bool>(Full));
+    TimedRun Inst = runTimed(P, Opts, Full->get());
+
+    size_t InstrumentIdx = static_cast<size_t>(
+        arch::CycleCategory::Instrument);
+    EXPECT_GT(Inst.ByCategory[InstrumentIdx], 0u) << Name;
+    EXPECT_GT(Inst.Cycles, Bare.Cycles) << Name;
+    for (size_t I = 0; I != Bare.ByCategory.size(); ++I) {
+      if (I != InstrumentIdx) {
+        EXPECT_EQ(Bare.ByCategory[I], Inst.ByCategory[I])
+            << Name << " category " << I;
+      }
+    }
+    EXPECT_EQ(Bare.Result.Checksum, Inst.Result.Checksum) << Name;
+  }
+}
+
+// --- Exactly-once callback delivery -----------------------------------------
+
+// Every executed indirect branch produces exactly one onIBResolved,
+// whichever path served it (mechanism hit or miss, inline cache, fast
+// return, shadow stack, return cache) — the invariant that makes the
+// ibedges matrix equal the paper's Table-1 dynamic counts.
+TEST(PluginDeliveryTest, IBResolutionFiresExactlyOncePerExecutedIB) {
+  isa::Program P = mustAssemble(CallLoop);
+  std::vector<std::pair<const char *, SdtOptions>> Configs =
+      mechanismConfigs();
+  for (ReturnStrategy RS :
+       {ReturnStrategy::AsIndirect, ReturnStrategy::FastReturn,
+        ReturnStrategy::ShadowStack, ReturnStrategy::ReturnCache}) {
+    SdtOptions O;
+    O.Mechanism = IBMechanism::Ibtc;
+    O.Returns = RS;
+    Configs.emplace_back("ibtc+returns", O);
+  }
+  for (const auto &[Name, Opts] : Configs) {
+    plugin::PluginManager Mgr;
+    CountingPlugin *C = addCounter(Mgr);
+    TimedRun R = runTimed(P, Opts, &Mgr);
+    uint64_t IBExecs = 0;
+    for (uint64_t N : R.Stats.IBExecs)
+      IBExecs += N;
+    EXPECT_EQ(C->Resolutions, IBExecs) << Name;
+    EXPECT_EQ(C->ByClass[size_t(IBClass::Call)],
+              R.Stats.IBExecs[size_t(IBClass::Call)])
+        << Name;
+    EXPECT_EQ(C->ByClass[size_t(IBClass::Return)],
+              R.Stats.IBExecs[size_t(IBClass::Return)])
+        << Name;
+    EXPECT_EQ(C->Attaches, 1u) << Name;
+  }
+}
+
+// One onFragmentTranslated per installed fragment or trace, and the
+// guest memory-access stream matches the interpreter's oracle.
+TEST(PluginDeliveryTest, TranslationAndMemAccessCountsMatchStats) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.EnableTraces = true;
+  Opts.TraceHotThreshold = 8;
+  plugin::PluginManager Mgr;
+  CountingPlugin *C = addCounter(Mgr);
+  TimedRun R = runTimed(P, Opts, &Mgr);
+
+  // Stats count traces under FragmentsTranslated too, so that figure
+  // alone is the install count the callbacks must match.
+  EXPECT_EQ(C->Translations, R.Stats.FragmentsTranslated);
+  EXPECT_EQ(C->TraceTranslations, R.Stats.TracesBuilt);
+  EXPECT_GT(C->TraceTranslations, 0u);
+
+  // The interpreter's CTI stats do not count memory ops, but the run
+  // result's instruction mix is fixed: replay natively and count.
+  auto VM = GuestVM::create(P, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+  EXPECT_EQ(R.Result.Checksum, Native.Checksum);
+  // CallLoop executes one lw per iteration and no stores.
+  EXPECT_EQ(C->Loads, 50u);
+  EXPECT_EQ(C->Stores, 0u);
+}
+
+// --- Coherence: eviction, SMC, flush, prewarm -------------------------------
+
+namespace {
+
+/// Checks the manager's translation-record table against the live
+/// fragment cache: every record names a live fragment with the same
+/// guest entry, and every live fragment has a record.
+void expectRecordsMatchCache(const plugin::PluginManager &Mgr,
+                             FragmentCache &Cache) {
+  size_t Live = 0;
+  for (uint32_t I = 0; I != Cache.fragmentCount(); ++I)
+    if (Cache.fragment(I).Live)
+      ++Live;
+  EXPECT_EQ(Mgr.fragmentRecords().size(), Live);
+  for (const auto &[Index, Rec] : Mgr.fragmentRecords()) {
+    ASSERT_LT(Index, Cache.fragmentCount());
+    EXPECT_TRUE(Cache.fragment(Index).Live);
+    EXPECT_EQ(Rec.GuestEntry, Cache.fragment(Index).GuestEntry);
+  }
+}
+
+} // namespace
+
+TEST(PluginCoherenceTest, PartialEvictionDropsRecordsAndNotifies) {
+  isa::Program P = mustAssemble(bigCallProgram().c_str());
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Ibtc;
+  Opts.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+  Opts.FragmentCacheBytes = 4096; // Small enough to force evictions.
+  Opts.MaxFragmentInstrs = 4;
+
+  plugin::PluginManager Mgr;
+  CountingPlugin *C = addCounter(Mgr);
+  arch::TimingModel Timing(arch::x86Model());
+  ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto Engine = SdtEngine::create(P, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setPlugins(&Mgr);
+  RunResult R = (*Engine)->run();
+  EXPECT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+
+  EXPECT_GT((*Engine)->stats().PartialEvictions, 0u);
+  EXPECT_GT(C->Invalidations, 0u);
+  EXPECT_EQ(C->Invalidations, Mgr.invalidationCallbacks());
+  expectRecordsMatchCache(Mgr, (*Engine)->fragmentCache());
+}
+
+TEST(PluginCoherenceTest, FullFlushDropsEveryRecord) {
+  isa::Program P = mustAssemble(bigCallProgram().c_str());
+  SdtOptions Opts;
+  Opts.CachePolicy = cachemgr::CachePolicyKind::FullFlush;
+  Opts.FragmentCacheBytes = 4096;
+  Opts.MaxFragmentInstrs = 4;
+
+  plugin::PluginManager Mgr;
+  CountingPlugin *C = addCounter(Mgr);
+  arch::TimingModel Timing(arch::x86Model());
+  ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto Engine = SdtEngine::create(P, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setPlugins(&Mgr);
+  RunResult R = (*Engine)->run();
+  EXPECT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+
+  EXPECT_GT((*Engine)->stats().Flushes, 0u);
+  EXPECT_EQ(C->Flushes, (*Engine)->stats().Flushes);
+  EXPECT_EQ(Mgr.flushCallbacks(), (*Engine)->stats().Flushes);
+  expectRecordsMatchCache(Mgr, (*Engine)->fragmentCache());
+}
+
+// SMC invalidation delivers one onFragmentInvalidated per victim; with a
+// roomy cache (no capacity evictions) the counts match the engine's own
+// write-invalidation stats exactly, and the patched program still
+// produces the coherent result.
+TEST(PluginCoherenceTest, SmcInvalidationNotifiesPerVictim) {
+  static const char *Src = R"(
+main:
+    la t0, ps
+    la t1, tmpl
+    lw t2, 0(t1)
+    li s1, 0
+    jal blk
+    jal blk
+    move a0, s1
+    li v0, 0
+    syscall
+blk:
+    sw t2, 0(t0)
+ps:
+    addi s1, s1, 1
+    ret
+tmpl:
+    addi s1, s1, 100
+)";
+  isa::Program P = mustAssemble(Src);
+  plugin::PluginManager Mgr;
+  CountingPlugin *C = addCounter(Mgr);
+  arch::TimingModel Timing(arch::x86Model());
+  ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto Engine = SdtEngine::create(P, SdtOptions(), Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setPlugins(&Mgr);
+  RunResult R = (*Engine)->run();
+  EXPECT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+  EXPECT_EQ(R.ExitCode, 200);
+
+  const SdtStats &S = (*Engine)->stats();
+  EXPECT_GE(S.CodeWriteInvalidations, 2u);
+  EXPECT_EQ(C->Invalidations, S.FragmentsInvalidatedByWrite);
+  expectRecordsMatchCache(Mgr, (*Engine)->fragmentCache());
+}
+
+// Snapshot rehydration (prewarm) delivers the translation-time callback
+// for each reinstalled fragment, and run() never replays it: the final
+// delivery count equals the engine's total translation count, with the
+// prewarmed entries delivered before run() started.
+TEST(PluginCoherenceTest, PrewarmDeliversTranslationCallbacksExactlyOnce) {
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.Mechanism = IBMechanism::Ibtc;
+
+  // First run: collect the fragment entries a snapshot would record.
+  auto First = SdtEngine::create(P, Opts, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(First));
+  RunResult R1 = (*First)->run();
+  ASSERT_EQ(R1.Reason, ExitReason::Exited) << R1.FaultMessage;
+  PrewarmImage Image;
+  FragmentCache &Cache1 = (*First)->fragmentCache();
+  for (uint32_t I = 0; I != Cache1.fragmentCount(); ++I)
+    if (Cache1.fragment(I).Live)
+      Image.FragmentEntries.push_back(Cache1.fragment(I).GuestEntry);
+  ASSERT_GT(Image.FragmentEntries.size(), 2u);
+
+  // Second run: rehydrate with a manager attached.
+  plugin::PluginManager Mgr;
+  CountingPlugin *C = addCounter(Mgr);
+  auto Second = SdtEngine::create(P, Opts, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Second));
+  (*Second)->setPlugins(&Mgr);
+  (*Second)->prewarm(Image);
+
+  const uint64_t AfterPrewarm = C->Translations;
+  EXPECT_EQ(AfterPrewarm, (*Second)->stats().RehydratedFragments);
+  EXPECT_EQ(AfterPrewarm, Image.FragmentEntries.size());
+
+  RunResult R2 = (*Second)->run();
+  EXPECT_EQ(R2.Reason, ExitReason::Exited) << R2.FaultMessage;
+  EXPECT_EQ(R2.Checksum, R1.Checksum);
+  // Everything was rehydrated, so run() translated nothing new and —
+  // critically — did not replay the prewarm deliveries.
+  EXPECT_EQ(C->Translations, (*Second)->stats().FragmentsTranslated);
+  EXPECT_EQ(C->Translations, AfterPrewarm);
+  expectRecordsMatchCache(Mgr, (*Second)->fragmentCache());
+}
+
+// --- The in-tree plugins against analytic oracles ---------------------------
+
+TEST(InTreePluginTest, CoverageMapRecordsKnownEdges) {
+  // main: two fragments (li/li/jal-shaped split at the call), loop body
+  // re-entered 50 times — the exact edge counts come from the engine's
+  // own block-count instrumentation as the oracle.
+  isa::Program P = mustAssemble(CallLoop);
+  SdtOptions Opts;
+  Opts.InstrumentBlockCounts = true;
+
+  plugin::PluginManager Mgr;
+  auto Cov = std::make_unique<plugin::CoveragePlugin>();
+  plugin::CoveragePlugin *C = Cov.get();
+  Mgr.add(std::move(Cov));
+  arch::TimingModel Timing(arch::x86Model());
+  ExecOptions Exec;
+  Exec.Timing = &Timing;
+  auto Engine = SdtEngine::create(P, Opts, Exec);
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setPlugins(&Mgr);
+  RunResult R = (*Engine)->run();
+  ASSERT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+
+  uint64_t OracleEntries = 0;
+  for (const auto &[Pc, N] : (*Engine)->blockCounts())
+    OracleEntries += N;
+  uint64_t MapTotal = 0;
+  for (uint32_t Hits : C->map())
+    MapTotal += Hits;
+  EXPECT_EQ(MapTotal, OracleEntries);
+  EXPECT_GT(MapTotal, 100u); // 50 iterations x several blocks.
+
+  bool FoundEntries = false;
+  for (const auto &[Key, Value] : C->metrics())
+    if (Key == "block_entries") {
+      EXPECT_EQ(Value, OracleEntries);
+      FoundEntries = true;
+    }
+  EXPECT_TRUE(FoundEntries);
+}
+
+TEST(InTreePluginTest, IbEdgeMatrixMatchesNativeCtiStats) {
+  isa::Program P = mustAssemble(CallLoop);
+  auto VM = GuestVM::create(P, ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(VM));
+  RunResult Native = (*VM)->run();
+
+  plugin::PluginManager Mgr;
+  auto Edge = std::make_unique<plugin::IbEdgePlugin>();
+  plugin::IbEdgePlugin *E = Edge.get();
+  Mgr.add(std::move(Edge));
+  auto Engine = SdtEngine::create(P, SdtOptions(), ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setPlugins(&Mgr);
+  RunResult R = (*Engine)->run();
+  ASSERT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+
+  std::map<std::string, uint64_t> M;
+  for (const auto &KV : E->metrics())
+    M[KV.first] = KV.second;
+  EXPECT_EQ(M["call_executions"], Native.Cti.IndirectCalls);
+  EXPECT_EQ(M["return_executions"], Native.Cti.Returns);
+  EXPECT_EQ(M["total_executions"],
+            Native.Cti.IndirectJumps + Native.Cti.IndirectCalls +
+                Native.Cti.Returns);
+  // One jalr site alternating between two callees: polymorphic, arity 2.
+  EXPECT_EQ(M["call_sites"], 1u);
+  EXPECT_EQ(M["call_edges"], 2u);
+  EXPECT_EQ(M["call_polymorphic_sites"], 1u);
+  EXPECT_EQ(M["call_max_targets"], 2u);
+  // Two ret sites, each returning to the single call continuation.
+  EXPECT_EQ(M["return_sites"], 2u);
+  EXPECT_EQ(M["return_edges"], 2u);
+  EXPECT_EQ(M["return_polymorphic_sites"], 0u);
+}
+
+TEST(InTreePluginTest, MemCheckFlagsLoadBeforeStore) {
+  // Loads 0x8000 (never stored) then stores/loads 0x8100 (clean).
+  static const char *Src = R"(
+main:
+    li t0, 0x8000
+    lw t1, 0(t0)
+    li t0, 0x8100
+    li t2, 7
+    sw t2, 0(t0)
+    lw t3, 0(t0)
+    move a0, t3
+    li v0, 0
+    syscall
+)";
+  isa::Program P = mustAssemble(Src);
+  plugin::PluginManager Mgr;
+  auto Chk = std::make_unique<plugin::MemCheckPlugin>();
+  plugin::MemCheckPlugin *C = Chk.get();
+  Mgr.add(std::move(Chk));
+  auto Engine = SdtEngine::create(P, SdtOptions(), ExecOptions());
+  ASSERT_TRUE(static_cast<bool>(Engine));
+  (*Engine)->setPlugins(&Mgr);
+  RunResult R = (*Engine)->run();
+  ASSERT_EQ(R.Reason, ExitReason::Exited) << R.FaultMessage;
+  EXPECT_EQ(R.ExitCode, 7);
+
+  EXPECT_EQ(C->uninitialisedLoads(), 1u);
+  ASSERT_EQ(C->offenders().size(), 1u);
+  EXPECT_EQ(C->offenders()[0].Addr, 0x8000u);
+  EXPECT_NE(C->reportText().find("0x00008000"), std::string::npos);
+}
+
+// The manager's JSON report is well-formed enough for the summary
+// tooling: names present, metric keys escaped/quoted.
+TEST(InTreePluginTest, ManagerReportJsonNamesEveryPlugin) {
+  auto Mgr = plugin::createPluginManager("coverage,ibedges,memcheck");
+  ASSERT_TRUE(static_cast<bool>(Mgr));
+  std::string Doc = (*Mgr)->reportJson();
+  EXPECT_NE(Doc.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ibedges\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"memcheck\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"plugins\""), std::string::npos);
+}

@@ -444,6 +444,60 @@ TEST(EngineServerTest, SingleTenantMatchesStandaloneEngine) {
   }
 }
 
+// Per-tenant plugin attachment: each session gets a fresh manager built
+// from the tenant's spec; tenants without plugins are untouched (cycle
+// bit-identity), and a bad spec surfaces as a session error, not a crash.
+TEST(EngineServerTest, PerTenantPluginsAreIsolated) {
+  isa::Program P = testProgram();
+  core::SdtOptions Opts;
+
+  auto runPair = [&](const char *Spec) {
+    EngineServer Server(
+        smallServerConfig(/*Warm=*/true, ArbiterMode::Isolation, 1));
+    Server.registerTenant("plain", P, Opts, arch::x86Model(), 64 * 1024);
+    Server.registerTenant("instr", P, Opts, arch::x86Model(), 64 * 1024,
+                          Spec);
+    return Server.runTrace({0, 1, 0, 1});
+  };
+
+  std::vector<SessionResult> Off = runPair("");
+  std::vector<SessionResult> On = runPair("coverage,ibedges");
+  ASSERT_EQ(On.size(), 4u);
+
+  for (size_t I : {size_t(1), size_t(3)}) { // The instrumented tenant.
+    EXPECT_EQ(On[I].PluginSpec, "coverage,ibedges");
+    EXPECT_FALSE(On[I].PluginMetrics.empty());
+    uint64_t Entries = 0;
+    for (const auto &KV : On[I].PluginMetrics)
+      if (KV.first == "coverage.block_entries")
+        Entries = KV.second;
+    EXPECT_GT(Entries, 0u) << "session " << I;
+    // Instrumentation charges cycles; identical guest behaviour.
+    EXPECT_GT(On[I].TotalCycles, Off[I].TotalCycles);
+    EXPECT_EQ(On[I].Run.Checksum, Off[I].Run.Checksum);
+  }
+  // Warm second round still delivers plugin state (prewarm fires the
+  // translation callbacks through the normal translate path).
+  EXPECT_TRUE(On[2].Warm);
+  EXPECT_TRUE(On[3].Warm);
+  for (size_t I : {size_t(0), size_t(2)}) { // The plain tenant.
+    EXPECT_TRUE(On[I].PluginSpec.empty());
+    EXPECT_TRUE(On[I].PluginMetrics.empty());
+    // A co-resident instrumented tenant must not perturb this one.
+    EXPECT_EQ(On[I].TotalCycles, Off[I].TotalCycles);
+  }
+
+  // A tenant registered with a bad spec fails its sessions gracefully.
+  EngineServer Bad(
+      smallServerConfig(/*Warm=*/false, ArbiterMode::Isolation, 1));
+  Bad.registerTenant("oops", P, Opts, arch::x86Model(), 64 * 1024,
+                     "coverage,typo");
+  std::vector<SessionResult> R = Bad.runTrace({0});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].EngineError.empty());
+  EXPECT_NE(R[0].EngineError.find("typo"), std::string::npos);
+}
+
 TEST(EngineServerTest, TraceEventsReconcile) {
   isa::Program P = testProgram();
   core::SdtOptions Opts;

@@ -127,6 +127,44 @@ TEST(TraceSinkTest, MechTotalsSurviveRingWrap) {
   EXPECT_EQ(Sink.mechTotals()[1].Misses, 1u);
 }
 
+// The O(1) interned-id recording path must land in exactly the slots the
+// name-based path fills: same mechanism order, same names, same totals.
+// (Regression: a divergence here would skew every mech_totals summary.)
+TEST(TraceSinkTest, InternedRecordingMatchesNameBasedRecording) {
+  TraceSink ByName(8), ById(8);
+  uint16_t Ibtc = ById.internMech("ibtc");
+  uint16_t Sieve = ById.internMech("sieve");
+  // Interning again must dedup by content, not allocate a second slot.
+  EXPECT_EQ(ById.internMech("ibtc"), Ibtc);
+
+  for (int I = 0; I != 4; ++I) {
+    ByName.record(EventKind::IBLookupHit, 0, 0x200, "ibtc");
+    ById.record(EventKind::IBLookupHit, 0, 0x200, Ibtc);
+  }
+  ByName.record(EventKind::IBLookupMiss, 0, 0x204, "ibtc");
+  ById.record(EventKind::IBLookupMiss, 0, 0x204, Ibtc);
+  ByName.record(EventKind::IBLookupMiss, 1, 0x300, "sieve");
+  ById.record(EventKind::IBLookupMiss, 1, 0x300, Sieve);
+
+  ASSERT_EQ(ByName.mechTotals().size(), ById.mechTotals().size());
+  for (size_t I = 0; I != ByName.mechTotals().size(); ++I) {
+    EXPECT_STREQ(ByName.mechTotals()[I].Name, ById.mechTotals()[I].Name);
+    EXPECT_EQ(ByName.mechTotals()[I].Hits, ById.mechTotals()[I].Hits);
+    EXPECT_EQ(ByName.mechTotals()[I].Misses, ById.mechTotals()[I].Misses);
+  }
+  // The retained events must also carry the resolved name, not an id.
+  std::vector<TraceEvent> A = collect(ByName), B = collect(ById);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_STREQ(A[I].Mech, B[I].Mech);
+  // An interned mechanism that never records keeps an all-zero slot and
+  // must not leak into the exported summary (interning alone never
+  // changes the emitted JSON).
+  ById.internMech("never-used");
+  EXPECT_EQ(trace::jsonlSummaryLine(ById, nullptr).find("never-used"),
+            std::string::npos);
+}
+
 TEST(TraceSinkTest, ClockAndIbClassStampEvents) {
   uint64_t Now = 41;
   TraceSink Sink(8);
@@ -198,6 +236,63 @@ TEST(TraceExportTest, JsonlFileEndsWithReconcilableSummary) {
   EXPECT_NE(Summary.find("\"dispatch_entries\":1"), std::string::npos);
   EXPECT_NE(Summary.find("\"ibtc\":{\"lookups\":1,\"hits\":1}"),
             std::string::npos);
+}
+
+// Regression: a wrapped ring must export its retained window in
+// chronological (oldest-first) order starting at Head, not at slot 0,
+// and the summary must say how many events the ring dropped.
+TEST(TraceExportTest, WrappedExportIsOldestFirstAndCountsDrops) {
+  TraceSink Sink(4);
+  for (uint32_t I = 0; I != 10; ++I)
+    Sink.record(EventKind::DispatchEntry, I);
+
+  std::string Path = ::testing::TempDir() + "trace_test_wrap.jsonl";
+  ASSERT_TRUE(trace::writeJsonl(Sink, Path, nullptr));
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  ASSERT_EQ(Lines.size(), 5u); // Four retained events plus the summary.
+  // 10 records into a 4-slot ring retain 6..9; any other order means the
+  // exporter started at the wrong slot.
+  for (uint32_t I = 0; I != 4; ++I) {
+    std::string Want = "\"guest_pc\":" + std::to_string(6 + I);
+    EXPECT_NE(Lines[I].find(Want), std::string::npos)
+        << "line " << I << ": " << Lines[I];
+  }
+  EXPECT_NE(Lines.back().find("\"dropped_events\":6"), std::string::npos)
+      << Lines.back();
+  EXPECT_NE(Lines.back().find("\"total\":10"), std::string::npos);
+}
+
+// Regression: mechanism names flow into JSON output verbatim-by-content;
+// a hostile name (quotes, backslashes, control bytes) must come out
+// escaped in both the per-event lines and the summary object.
+TEST(TraceExportTest, HostileMechanismNamesAreEscaped) {
+  const char *Hostile = "ev\"il\\mech\n\x01";
+  TraceEvent E;
+  E.Kind = EventKind::IBLookupHit;
+  E.Mech = Hostile;
+  E.IbClass = 1;
+  std::string Line = trace::jsonlLine(E);
+  EXPECT_NE(Line.find("ev\\\"il\\\\mech\\n\\u0001"), std::string::npos)
+      << Line;
+  EXPECT_EQ(Line.find('\n'), std::string::npos) << "raw newline in JSONL";
+
+  TraceSink Sink(4);
+  Sink.record(EventKind::IBLookupMiss, 0, 0x100, Hostile);
+  trace::StatsExpectation Expect;
+  Expect.Mechanisms.push_back({Hostile, 1, 0});
+  std::string Summary = trace::jsonlSummaryLine(Sink, &Expect);
+  // Once under mech_totals, once under expected_mechanisms.
+  size_t First = Summary.find("ev\\\"il\\\\mech\\n\\u0001");
+  ASSERT_NE(First, std::string::npos) << Summary;
+  EXPECT_NE(Summary.find("ev\\\"il\\\\mech\\n\\u0001", First + 1),
+            std::string::npos)
+      << Summary;
+  EXPECT_EQ(Summary.find('\n'), std::string::npos);
 }
 
 TEST(TraceExportTest, ChromeTraceIsInstantEventsOnCycleTimeline) {
