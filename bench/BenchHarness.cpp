@@ -12,6 +12,7 @@
 #include "workloads/Workloads.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +64,24 @@ core::SdtOptions sdt::bench::withCacheEnvOverrides(core::SdtOptions Opts) {
         std::exit(2);
       }
       Opts.CachePolicy = *Kind;
+    }
+  }
+  return Opts;
+}
+
+core::SdtOptions
+sdt::bench::withExecEngineEnvOverride(core::SdtOptions Opts) {
+  if (const char *Env = std::getenv("STRATAIB_EXEC")) {
+    if (*Env) {
+      std::optional<core::ExecEngineKind> Kind = core::parseExecEngine(Env);
+      if (!Kind) {
+        std::fprintf(stderr,
+                     "bench: unknown STRATAIB_EXEC '%s' (expected plan or "
+                     "switch)\n",
+                     Env);
+        std::exit(2);
+      }
+      Opts.Engine = *Kind;
     }
   }
   return Opts;
@@ -277,7 +296,8 @@ Measurement BenchContext::measure(const std::string &Workload,
                                   const std::string &PluginSpec) {
   const arch::MachineModel Model = withPredictorEnvOverrides(RequestedModel);
   const NativeBaseline &Base = native(Workload, Model);
-  const core::SdtOptions Opts = withCacheEnvOverrides(RequestedOpts);
+  const core::SdtOptions Opts =
+      withExecEngineEnvOverride(withCacheEnvOverrides(RequestedOpts));
   const std::string EffSpec = pluginSpecFromEnv(PluginSpec);
 
   arch::TimingModel Timing(Model);
@@ -303,7 +323,11 @@ Measurement BenchContext::measure(const std::string &Workload,
     (*Engine)->setTraceSink(Sink.get());
   }
 
+  auto RunStart = std::chrono::steady_clock::now();
   vm::RunResult Translated = (*Engine)->run();
+  double SimWallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - RunStart)
+                         .count();
 
   if (Sink) {
     trace::StatsExpectation Expect = traceExpectations(**Engine);
@@ -336,6 +360,8 @@ Measurement BenchContext::measure(const std::string &Workload,
   M.SdtReturnMispredicts = Pred.returnMispredicts();
   M.NativeCti = Base.Result.Cti;
   M.Instructions = Base.Result.InstructionCount;
+  M.SimWallMs = SimWallMs;
+  M.Engine = core::execEngineName((*Engine)->activeEngine());
   if (Mgr) {
     M.PluginSpec = EffSpec;
     M.PluginMetrics = Mgr->metrics();

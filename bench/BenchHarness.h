@@ -58,6 +58,22 @@ struct Measurement {
   /// none) and their end-of-run metrics, keys "<plugin>.<metric>".
   std::string PluginSpec;
   std::vector<std::pair<std::string, uint64_t>> PluginMetrics;
+  /// Simulator wall-clock of the translated run() call alone (no
+  /// assembly, no native baseline) and the engine that executed it —
+  /// "plan" or "switch", after engine-level deoptimization, so it names
+  /// what actually ran. Wall-clock is host noise by definition: these
+  /// two fields and the derived rate are the only summary fields allowed
+  /// to differ between repeat runs (scripts/check_perf.py --wall).
+  double SimWallMs = 0.0;
+  std::string Engine;
+
+  /// Simulator throughput: guest instructions retired per wall-clock
+  /// second of run().
+  double guestInstrsPerSec() const {
+    return SimWallMs <= 0.0 ? 0.0
+                            : static_cast<double>(Instructions) /
+                                  (SimWallMs / 1000.0);
+  }
 
   double mainHitRate() const {
     return MainLookups == 0 ? 0.0
@@ -180,6 +196,15 @@ core::SdtOptions withCacheEnvOverrides(core::SdtOptions Opts);
 /// configuration. Exits with status 2 on an unknown kind name or a
 /// non-numeric / non-power-of-two entry count.
 arch::MachineModel withPredictorEnvOverrides(arch::MachineModel Model);
+
+/// Applies the execution-engine env override to \p Opts: STRATAIB_EXEC
+/// (plan / switch) selects which simulator loop runs translated
+/// fragments. Both engines are observably bit-identical on modeled
+/// cycles, cache states, and stats (docs/ExecutionEngine.md); the knob
+/// exists for throughput comparisons (bench/e20_sim_throughput) and as a
+/// fallback. When set it overrides cells that sweep the engine
+/// themselves. Exits with status 2 on any other value.
+core::SdtOptions withExecEngineEnvOverride(core::SdtOptions Opts);
 
 /// Resolves the effective plugin spec for one cell: STRATAIB_PLUGINS
 /// when set and non-empty (it overrides cells that choose plugins

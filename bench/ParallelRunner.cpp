@@ -127,6 +127,11 @@ std::string ParallelRunner::summaryJson() const {
   W.key("scale").value(Ctx.scale());
   W.key("jobs").value(static_cast<uint64_t>(Jobs));
   W.key("wall_ms").value(TotalWallMs);
+  // The engine the harness runs cells under by default (cells sweeping
+  // the engine themselves record theirs in the per-cell "engine" key).
+  W.key("exec_engine")
+      .value(core::execEngineName(
+          withExecEngineEnvOverride(core::SdtOptions()).Engine));
   W.key("cells").beginArray();
   for (const Cell &C : Cells) {
     W.beginObject();
@@ -147,6 +152,13 @@ std::string ParallelRunner::summaryJson() const {
         Config += " plugins(" + C.M.PluginSpec + ")";
       W.key("config").value(Config);
       W.key("plugins").value(C.M.PluginSpec);
+      // What actually executed the run (post engine-level deopt), plus
+      // host wall-clock of the run() call. These and the derived rate
+      // are the only per-cell fields that may legitimately vary between
+      // repeat runs; modeled cycles and stats below must not.
+      W.key("engine").value(C.M.Engine);
+      W.key("sim_wall_ms").value(C.M.SimWallMs);
+      W.key("guest_instrs_per_sec").value(C.M.guestInstrsPerSec());
       W.key("predictor").value(EffModel.Predictor.describe());
       W.key("cache_policy")
           .value(cachemgr::cachePolicyName(Effective.CachePolicy));

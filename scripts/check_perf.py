@@ -19,6 +19,15 @@ Fail conditions (exit 1):
 New configs not in the baseline are reported but do not fail; improvements
 beyond the threshold are flagged as a hint to refresh the baseline.
 
+With --wall the guarded metric flips from modeled slowdown to simulator
+throughput (the per-cell guest_instrs_per_sec emitted by the bench
+harness), grouped by config *and* execution engine so a plan-engine rate
+is never compared against a switch-engine baseline. Wall-clock is host
+noise by definition — unlike slowdowns these numbers are samples, not
+exact — so wall baselines want a much larger threshold (the throughput
+guard uses 60%) and only a *drop* beyond it fails; scripts/
+check_throughput.py is the thin wrapper the ctest guard runs.
+
 Regenerate the baseline after an intentional perf change:
 
   python3 scripts/check_perf.py --bench build/bench/e16_superblock_opt \
@@ -62,18 +71,29 @@ def run_bench(bench, scale, jobs):
         os.unlink(summary_path)
 
 
-def collect_geo_means(summary):
+def collect_geo_means(summary, wall=False):
     by_config = {}
     for cell in summary.get("cells", []):
         if cell.get("kind") != "sdt":
             continue
-        by_config.setdefault(cell["config"], []).append(cell["slowdown"])
+        if wall:
+            # Group by engine as well: the same options under plan and
+            # switch have legitimately different throughput, and a
+            # baseline captured under one must never gate the other.
+            key = f"{cell['config']} engine={cell.get('engine', '?')}"
+            value = cell.get("guest_instrs_per_sec", 0.0)
+            if value <= 0.0:
+                continue
+        else:
+            key = cell["config"]
+            value = cell["slowdown"]
+        by_config.setdefault(key, []).append(value)
     means = {cfg: geo_mean(vals) for cfg, vals in sorted(by_config.items())}
     overall = geo_mean([v for vals in by_config.values() for v in vals])
     return means, overall
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", required=True,
                     help="bench binary to run (must honour STRATAIB_SUMMARY)")
@@ -87,17 +107,23 @@ def main():
                     help="allowed geo-mean regression in percent (default 2)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from this run and exit")
-    args = ap.parse_args()
+    ap.add_argument("--wall", action="store_true",
+                    help="guard guest_instrs_per_sec (higher is better, "
+                         "grouped by config+engine) instead of slowdown")
+    args = ap.parse_args(argv)
 
     summary = run_bench(args.bench, args.scale, args.jobs)
-    means, overall = collect_geo_means(summary)
+    means, overall = collect_geo_means(summary, wall=args.wall)
     if not means:
-        raise SystemExit("check_perf: bench summary contains no sdt cells")
+        raise SystemExit("check_perf: bench summary contains no usable "
+                         "sdt cells")
 
+    metric = "wall" if args.wall else "slowdown"
     bench_name = summary.get("experiment", os.path.basename(args.bench))
     if args.update:
         doc = {
             "bench": bench_name,
+            "metric": metric,
             "scale": args.scale,
             "overall_geo_mean": round(overall, 6),
             "geo_means": {cfg: round(v, 6) for cfg, v in means.items()},
@@ -105,8 +131,9 @@ def main():
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2, sort_keys=True)
             f.write("\n")
+        shown = f"{overall / 1e6:.2f} Mi/s" if args.wall else f"{overall:.4f}x"
         print(f"check_perf: baseline written to {args.baseline} "
-              f"({len(means)} configs, overall {overall:.4f}x)")
+              f"({len(means)} configs, overall {shown})")
         return 0
 
     try:
@@ -122,6 +149,19 @@ def main():
             f"check_perf: baseline scale {base.get('scale')} != run scale "
             f"{args.scale}; regenerate with --update or pass --scale "
             f"{base.get('scale')}")
+    base_metric = base.get("metric", "slowdown")
+    if base_metric != metric:
+        raise SystemExit(
+            f"check_perf: baseline guards '{base_metric}' but this run "
+            f"guards '{metric}'; pick the matching --wall setting or "
+            f"regenerate with --update")
+
+    # Slowdowns: lower is better. Wall throughput: higher is better.
+    def fmt(v):
+        return f"{v / 1e6:.2f} Mi/s" if args.wall else f"{v:.4f}x"
+
+    def regressed(delta):
+        return delta < -tol if args.wall else delta > tol
 
     tol = args.threshold / 100.0
     failures = []
@@ -133,26 +173,26 @@ def main():
             continue
         cur = means[cfg]
         delta = (cur - base_val) / base_val
-        line = f"{cfg}\n    baseline {base_val:.4f}x  now {cur:.4f}x  " \
+        line = f"{cfg}\n    baseline {fmt(base_val)}  now {fmt(cur)}  " \
                f"({delta * 100.0:+.2f}%)"
-        if delta > tol:
+        if regressed(delta):
             failures.append(f"geo-mean regression past {args.threshold}%: "
                             f"{line}")
-        elif delta < -tol:
+        elif regressed(-delta):
             notes.append(f"improved past threshold (refresh baseline?): "
                          f"{line}")
     for cfg in means:
         if cfg not in base_means:
             notes.append(f"new config not in baseline: {cfg} "
-                         f"({means[cfg]:.4f}x)")
+                         f"({fmt(means[cfg])})")
 
     base_overall = base.get("overall_geo_mean")
     if base_overall:
         delta = (overall - base_overall) / base_overall
-        if delta > tol:
+        if regressed(delta):
             failures.append(
                 f"overall geo-mean regression past {args.threshold}%: "
-                f"baseline {base_overall:.4f}x  now {overall:.4f}x  "
+                f"baseline {fmt(base_overall)}  now {fmt(overall)}  "
                 f"({delta * 100.0:+.2f}%)")
 
     for n in notes:
@@ -162,8 +202,8 @@ def main():
             print(f"check_perf: FAIL: {f_}", file=sys.stderr)
         return 1
     print(f"check_perf: OK — {len(base_means)} configs within "
-          f"{args.threshold}% of baseline (overall {overall:.4f}x vs "
-          f"{base_overall:.4f}x)")
+          f"{args.threshold}% of baseline (overall {fmt(overall)} vs "
+          f"{fmt(base_overall)})")
     return 0
 
 

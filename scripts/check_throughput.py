@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Throughput-regression guard for the simulator's execution engines.
+
+Thin wrapper over check_perf.py --wall: runs a bench binary (normally
+bench/e20_sim_throughput) and compares the per-(config, engine) geo-mean
+guest_instrs_per_sec against a checked-in baseline
+(scripts/throughput_baseline.json). Wall-clock is host noise — these are
+samples, not the exact numbers the slowdown guard sees — so the default
+threshold is a deliberately generous 60% and only a *drop* past it
+fails: the guard exists to catch the plan engine silently falling back
+to the switch path (or fusion collapsing), not 10% scheduler jitter.
+Run pinned to one job (the ctest entry sets STRATAIB_JOBS=1): parallel
+cells time-slice a core and make every per-cell wall reading garbage.
+
+Regenerate the baseline after an intentional change (or on a new
+machine class):
+
+  STRATAIB_JOBS=1 python3 scripts/check_throughput.py \
+      --bench build/bench/e20_sim_throughput \
+      --baseline scripts/throughput_baseline.json --update
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_perf
+
+
+def main():
+    argv = ["--wall"] + sys.argv[1:]
+    if not any(a == "--threshold" or a.startswith("--threshold=")
+               for a in argv):
+        argv += ["--threshold", "60"]
+    return check_perf.main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

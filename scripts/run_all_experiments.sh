@@ -49,6 +49,25 @@
 # unset when its sweep is the point. An unknown plugin name exits 2
 # before any cell runs.
 #
+# STRATAIB_EXEC selects the simulator's execution engine
+# (docs/ExecutionEngine.md): "plan" (the default pre-decoded fused
+# engine) or "switch" (the legacy per-instruction interpreter). The two
+# are bit-identical on every modeled number — cycles, stats, cache
+# states — so the whole suite re-runs under either engine with byte-
+# identical summaries apart from the wall-clock fields; each summary
+# records the harness default under top-level `exec_engine` and what
+# actually ran per cell under `engine` (plus `sim_wall_ms` and
+# `guest_instrs_per_sec`). e20_sim_throughput sweeps the engine axis
+# itself: pinning it collapses the plan-vs-switch comparison, so it
+# prints a note and skips its speedup acceptance — leave it unset when
+# its sweep is the point. Any other value exits 2 before any cell runs.
+#
+# The merged results/bench_summary.json also records each driver's
+# wall-clock under "driver_wall_ms" (whole-binary host milliseconds,
+# workload build + native baselines + all cells), so suite-level
+# throughput changes are visible run over run without re-deriving them
+# from per-cell numbers.
+#
 # Any experiment that crashes or exits non-zero aborts the run with a
 # non-zero exit status, and no partial summary is merged into
 # results/bench_summary.json.
@@ -70,10 +89,21 @@ fi
 # crashed experiment would sail through a pipeline unnoticed. Run each
 # binary with its output redirected to the per-experiment file, echo the
 # file on success, and abort (dropping the partial summary) on failure.
+# Each successful driver's whole-binary wall-clock is appended to
+# WALL_TMP ("<name> <ms>" per line) for the driver_wall_ms block of the
+# merged summary.
+WALL_TMP="$OUT/.driver_wall.$$"
+: > "$WALL_TMP"
+trap 'rm -f "$WALL_TMP"' EXIT
+
 run_experiment() {
   NAME="$1"
   shift
+  START_NS=$(date +%s%N)
   if "$@" > "$OUT/$NAME.txt" 2>&1; then
+    END_NS=$(date +%s%N)
+    printf '%s %s\n' "$NAME" $(( (END_NS - START_NS) / 1000000 )) \
+      >> "$WALL_TMP"
     cat "$OUT/$NAME.txt" >> "$OUT/all_experiments.txt"
   else
     STATUS=$?
@@ -106,11 +136,24 @@ for BIN in "$BUILD"/bench/*; do
   echo >> "$OUT/all_experiments.txt"
 done
 
-# Merge the per-experiment JSON documents into one machine-readable file.
-# Only reached when every experiment above succeeded; empty documents from
-# an interrupted write are skipped rather than corrupting the merge.
+echo "== micro_primitives =="
+run_experiment micro_primitives \
+  "$BUILD"/bench/micro_primitives --benchmark_min_time=0.05
+
+# Merge the per-experiment JSON documents into one machine-readable file,
+# led by the per-driver wall-clock block recorded above. Only reached
+# when every experiment (micro_primitives included) succeeded; empty
+# documents from an interrupted write are skipped rather than corrupting
+# the merge.
 {
-  printf '{\n"experiments": [\n'
+  printf '{\n"driver_wall_ms": {\n'
+  FIRST=1
+  while read -r NAME MS; do
+    [ "$FIRST" = 1 ] || printf ',\n'
+    FIRST=0
+    printf '"%s": %s' "$NAME" "$MS"
+  done < "$WALL_TMP"
+  printf '\n},\n"experiments": [\n'
   FIRST=1
   for J in "$OUT"/summary/*.json; do
     [ -s "$J" ] || continue
@@ -120,9 +163,5 @@ done
   done
   printf ']\n}\n'
 } > "$OUT/bench_summary.json"
-
-echo "== micro_primitives =="
-run_experiment micro_primitives \
-  "$BUILD"/bench/micro_primitives --benchmark_min_time=0.05
 
 echo "done: outputs in $OUT/ (summary: $OUT/bench_summary.json)"

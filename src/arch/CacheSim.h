@@ -52,6 +52,17 @@ public:
   /// change; used by tests).
   bool isResident(uint32_t Addr) const;
 
+  /// Credits \p N hits without touching line state — the batched form of
+  /// N repeat accesses to the line access() touched last. Exact by
+  /// construction: a repeat touch of the most-recently-used line can
+  /// never miss, and refreshing its LastUse stamp (already the largest in
+  /// its set) cannot change any later LRU victim choice, so dropping the
+  /// touches leaves every future hit/miss outcome — and therefore every
+  /// counter — bit-identical. The pre-decoded execution engine uses this
+  /// to probe the I-cache once per fetched line-span instead of once per
+  /// instruction.
+  void creditHits(uint64_t N) { Hits += N; }
+
   /// Drops all lines (used when the fragment cache is flushed, which
   /// invalidates the translated-code footprint).
   void flush();

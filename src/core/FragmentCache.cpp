@@ -166,6 +166,7 @@ EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims,
     assert(F.Live && "evicting a fragment twice");
     IsVictim[Index] = true;
     F.Live = false;
+    ++F.PlanGen; // Tombstoning invalidates any cached execution plan.
     --LiveCount;
     RetiredEntries.emplace(F.HostEntryAddr, F.GuestEntry);
     EvictedGuests.insert(F.GuestEntry);
@@ -195,6 +196,7 @@ EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims,
         HI.Kind = HostOpKind::ExitStub;
         HI.TargetHost = HostLoc();
         HI.Linked = false;
+        ++F.PlanGen; // Body mutated: cached execution plans are stale.
         ++Out.LinksUnlinked;
         if (Sink)
           Sink->record(trace::EventKind::LinkUnlink, HI.TargetGuest,
@@ -203,6 +205,7 @@ EvictionOutcome FragmentCache::evict(const std::vector<uint32_t> &Victims,
                  Out.Ranges.contains(HI.TargetHostAddr)) {
         HI.Linked = false;
         HI.TargetHostAddr = 0;
+        ++F.PlanGen; // Body mutated: cached execution plans are stale.
         ++Out.LinksUnlinked;
         if (Sink)
           Sink->record(trace::EventKind::LinkUnlink, HI.TargetGuest,

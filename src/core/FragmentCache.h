@@ -45,6 +45,14 @@ struct Fragment {
   uint32_t GuestHigh = 0;
   std::vector<HostInstr> Code;
   uint64_t ExecCount = 0;
+  /// Plan-coherence generation (docs/ExecutionEngine.md). Bumped every
+  /// time this fragment's Code is mutated in place after installation —
+  /// link patching (ExitStub -> JumpHost), lazy SetLink host-address
+  /// caching, trace trampolines, eviction unlinking — and on
+  /// tombstoning. The pre-decoded execution engine caches a per-fragment
+  /// plan stamped with the generation it was built from and lazily
+  /// re-plans when the stamps diverge.
+  uint64_t PlanGen = 0;
   /// False once a policy has evicted this fragment. Evicted fragments
   /// stay in the vector as tombstones so HostLoc fragment indices held
   /// by linked JumpHost ops remain stable.
@@ -143,6 +151,11 @@ public:
 
   /// True when the fragment at \p Index has not been evicted.
   bool isLive(uint32_t Index) const { return Fragments[Index].Live; }
+
+  /// Records that the fragment body at \p Index was patched in place
+  /// (link patching, SetLink caching, trace trampolines) so any cached
+  /// execution plan for it is stale. evict() bumps generations itself.
+  void noteBodyPatched(uint32_t Index) { ++Fragments[Index].PlanGen; }
 
   /// Live (non-tombstoned) fragments.
   size_t liveFragmentCount() const { return LiveCount; }

@@ -11,6 +11,7 @@
 #include "core/InlineCacheHandler.h"
 #include "core/ReturnCacheHandler.h"
 #include "core/SieveHandler.h"
+#include "exec/ExecutionPlan.h"
 #include "plugin/PluginManager.h"
 #include "support/StringUtils.h"
 #include "vm/ExecSemantics.h"
@@ -236,6 +237,7 @@ void SdtEngine::finishTrace(Translator::TraceEnd End) {
   Trampoline.HostAddr = Cache.fragment(OldFrag).Code[0].HostAddr;
   Trampoline.Linked = true;
   Cache.fragment(OldFrag).Code[0] = Trampoline;
+  Cache.noteBodyPatched(OldFrag);
   ++Stats.LinksPatched;
   if (Sink)
     Sink->record(trace::EventKind::LinkPatch, TraceHead, Trampoline.HostAddr);
@@ -338,6 +340,13 @@ bool SdtEngine::handleCodeWrite(uint32_t StoreAddr, uint32_t CurFrag) {
   if (SlotsReset == 0)
     return false;
 
+  // Remember genuinely dirtied code spans for the plan engine: any
+  // fragment re-translated over these words is SMC-churned, so its plan
+  // deoptimizes to the per-instruction path instead of being rebuilt on
+  // every invalidate/retranslate round trip.
+  for (const auto &Span : Dirty)
+    DirtiedGuestSpans.push_back(Span);
+
   // Collect every live fragment whose source hull covers a dirtied word.
   std::vector<uint32_t> Victims;
   for (uint32_t I = 0, E = static_cast<uint32_t>(Cache.fragmentCount());
@@ -431,573 +440,601 @@ HostLoc SdtEngine::dispatchTo(uint32_t GuestPc, uint32_t PinnedFrag) {
   return Loc;
 }
 
-RunResult SdtEngine::run() {
-  RunResult Result;
-  SyscallContext Sys;
-  TimingModel *T = Exec.Timing;
-  uint64_t Executed = 0;
-  bool Done = false;
+void SdtEngine::finishRun(RunContext &Ctx, ExitReason Reason) {
+  Ctx.Result.Reason = Reason;
+  Ctx.Done = true;
+}
 
-  auto finish = [&](ExitReason Reason) {
-    Result.Reason = Reason;
-    Done = true;
-  };
-  auto fault = [&](const std::string &Message) {
-    Result.Reason = ExitReason::Fault;
-    Result.FaultMessage = Message;
-    Done = true;
-  };
+void SdtEngine::faultRun(RunContext &Ctx, std::string Message) {
+  Ctx.Result.Reason = ExitReason::Fault;
+  Ctx.Result.FaultMessage = std::move(Message);
+  Ctx.Done = true;
+}
 
-  // Trace recording: one guest CTI was retired. \p CondOutcome is -1 for
-  // unconditional transfers, else the branch direction.
-  auto recordCtiStep = [&](int CondOutcome) {
-    if (!Recording)
-      return;
-    if (CondOutcome >= 0)
-      TraceOutcomes.push_back(CondOutcome == 1);
-    ++TraceCtis;
-    if (TraceCtis >= Opts.MaxTraceBlocks)
+void SdtEngine::recordCtiStep(int CondOutcome) {
+  if (!Recording)
+    return;
+  if (CondOutcome >= 0)
+    TraceOutcomes.push_back(CondOutcome == 1);
+  ++TraceCtis;
+  if (TraceCtis >= Opts.MaxTraceBlocks)
+    finishTrace(Translator::TraceEnd::CtiBudget);
+}
+
+void SdtEngine::noteFragmentEntry(RunContext &Ctx) {
+  TimingModel *T = Ctx.T;
+  Fragment &Entered = Cache.fragment(Ctx.Cur.Frag);
+  ++Entered.ExecCount;
+  if (Opts.InstrumentBlockCounts) {
+    ++BlockCounts[Entered.GuestEntry];
+    if (T) {
+      // The injected probe: load the block's counter, bump, store.
+      uint32_t CounterAddr =
+          BlockCounterRegionBase + (Entered.GuestEntry & 0x03FFFFFC);
+      T->chargeLoad(CycleCategory::Instrument, CounterAddr);
+      T->chargeAluOps(CycleCategory::Instrument, 1);
+      T->chargeStore(CycleCategory::Instrument, CounterAddr);
+    }
+  }
+  if (Plugins && Plugins->wantsFragmentEntry())
+    Plugins->fragmentEntry(Ctx.Cur.Frag, Entered.GuestEntry, T);
+  if (Opts.EnableTraces) {
+    if (Recording && Entered.GuestEntry == TraceHead && TraceCtis > 0) {
+      // The recorded path closed back on its head: emit the looping
+      // trace. The trampoline patched into this fragment's head takes
+      // effect on the very next instruction fetch.
       finishTrace(Translator::TraceEnd::CtiBudget);
-  };
-
-  HostLoc Cur = dispatchTo(State.Pc);
-  if (!Cur.valid())
-    fault(PendingFault);
-
-  while (!Done) {
-    if (Executed >= Exec.MaxInstructions) {
-      finish(ExitReason::InstrLimit);
-      break;
+    } else if (!Recording &&
+               Entered.ExecCount >= Opts.TraceHotThreshold &&
+               !TracedHeads.count(Entered.GuestEntry)) {
+      Recording = true;
+      TraceHead = Entered.GuestEntry;
+      TraceOutcomes.clear();
+      TraceSpecTargets.clear();
+      TraceCtis = 0;
     }
+  }
+}
 
-    if (Cur.Index == 0) {
-      Fragment &Entered = Cache.fragment(Cur.Frag);
-      ++Entered.ExecCount;
-      if (Opts.InstrumentBlockCounts) {
-        ++BlockCounts[Entered.GuestEntry];
-        if (T) {
-          // The injected probe: load the block's counter, bump, store.
-          uint32_t CounterAddr =
-              BlockCounterRegionBase + (Entered.GuestEntry & 0x03FFFFFC);
-          T->chargeLoad(CycleCategory::Instrument, CounterAddr);
-          T->chargeAluOps(CycleCategory::Instrument, 1);
-          T->chargeStore(CycleCategory::Instrument, CounterAddr);
-        }
-      }
-      if (Plugins && Plugins->wantsFragmentEntry())
-        Plugins->fragmentEntry(Cur.Frag, Entered.GuestEntry, T);
-      if (Opts.EnableTraces) {
-        if (Recording && Entered.GuestEntry == TraceHead &&
-            TraceCtis > 0) {
-          // The recorded path closed back on its head: emit the looping
-          // trace. The trampoline patched into this fragment's head takes
-          // effect on the very next instruction fetch below.
-          finishTrace(Translator::TraceEnd::CtiBudget);
-        } else if (!Recording &&
-                   Entered.ExecCount >= Opts.TraceHotThreshold &&
-                   !TracedHeads.count(Entered.GuestEntry)) {
-          Recording = true;
-          TraceHead = Entered.GuestEntry;
-          TraceOutcomes.clear();
-          TraceSpecTargets.clear();
-          TraceCtis = 0;
-        }
-      }
-    }
+void SdtEngine::stepAt(RunContext &Ctx) {
+  TimingModel *T = Ctx.T;
 
-    // Copy the op: any dispatch below may flush the cache and invalidate
-    // references into it (and finishTrace may patch Code[0] in place).
-    const HostInstr HI = Cache.fragment(Cur.Frag).Code[Cur.Index];
+  // Copy the op: any dispatch below may flush the cache and invalidate
+  // references into it (and finishTrace may patch Code[0] in place).
+  const HostInstr HI = Cache.fragment(Ctx.Cur.Frag).Code[Ctx.Cur.Index];
 
-    if (T)
-      T->chargeFetch(HI.HostAddr); // Current category stays App throughout.
+  if (T)
+    T->chargeFetch(HI.HostAddr); // Current category stays App throughout.
 
-    if (HI.CountsAsGuest)
-      ++Executed;
+  if (HI.CountsAsGuest)
+    ++Ctx.Executed;
 
-    // Direct jumps folded into this op by glue elimination: each one
-    // retires a guest instruction (before the op itself, in path order).
-    if (HI.ElidedJumps) {
-      Executed += HI.ElidedJumps;
-      Result.Cti.DirectJumps += HI.ElidedJumps;
-      for (uint16_t N = HI.ElidedJumps; N; --N)
-        recordCtiStep(-1);
-    }
-
-    switch (HI.Kind) {
-    case HostOpKind::Guest: {
-      if (HI.Folded) {
-        // Constant-folded ALU op: a single materialisation of the value
-        // the optimizer computed through vm::evalPureAlu — the
-        // architectural result is identical by construction.
-        State.setReg(HI.GuestI.Rd, HI.FoldedValue);
-        if (T)
-          T->chargeAluOps(1);
-        ++Cur.Index;
-        break;
-      }
-      ExecEffect Effect = executeNonCti(HI.GuestI, State, Memory);
-      if (Effect.faulted()) {
-        fault(formatString("%s at pc=0x%x (addr=0x%x)", Effect.FaultReason,
-                           HI.GuestPc, Effect.Addr));
-        break;
-      }
-      if (T) {
-        if (Effect.IsMem) {
-          if (Effect.IsStore)
-            T->chargeStore(Effect.Addr);
-          else
-            T->chargeLoad(Effect.Addr);
-        } else {
-          T->chargeExecute(HI.GuestI);
-        }
-      }
-      if (Effect.IsMem && Plugins && Plugins->wantsMemAccess())
-        Plugins->memAccess(HI.GuestPc, Effect.Addr, Effect.IsStore,
-                           T);
-      // Self-modifying code: a store into the decoded code range kills
-      // every translation built from the dirtied words. If that includes
-      // the fragment being executed, resume at the next guest pc through
-      // the dispatcher (HI was copied above, so it is still valid).
-      if (Effect.IsStore && Memory.hasPendingCodeWrites() &&
-          handleCodeWrite(Effect.Addr, Cur.Frag)) {
-        HostLoc Loc = dispatchTo(HI.GuestPc + isa::InstructionSize);
-        if (!Loc.valid()) {
-          fault(PendingFault);
-          break;
-        }
-        Cur = Loc;
-        break;
-      }
-      ++Cur.Index;
-      break;
-    }
-
-    case HostOpKind::CondBranch: {
-      bool Taken = evalBranchCondition(HI.GuestI, State);
-      if (T)
-        T->chargeCondBranch(HI.HostAddr, Taken);
-      ++Result.Cti.CondBranches;
-      recordCtiStep(Taken ? 1 : 0);
-      // Layout: Index+1 = fall-through stub, Index+2 = taken stub.
-      Cur.Index += Taken ? 2 : 1;
-      break;
-    }
-
-    case HostOpKind::TraceBranch: {
-      bool Taken = evalBranchCondition(HI.GuestI, State);
-      if (T)
-        T->chargeCondBranch(HI.HostAddr, Taken);
-      ++Result.Cti.CondBranches;
-      recordCtiStep(Taken ? 1 : 0);
-      // The on-trace direction falls through — past the off-trace stub
-      // when it still sits adjacent at Index+1, or directly when stub
-      // outlining moved it to the tail. The off-trace direction goes to
-      // the stub wherever it lives.
-      if (Taken == HI.OnTraceTaken)
-        Cur.Index += (HI.OffTraceIndex == Cur.Index + 1) ? 2 : 1;
-      else
-        Cur.Index = HI.OffTraceIndex;
-      break;
-    }
-
-    case HostOpKind::Elided:
-      // A direct jump linearised away by trace formation: retires the
-      // guest instruction at zero simulated cost.
-      ++Result.Cti.DirectJumps;
+  // Direct jumps folded into this op by glue elimination: each one
+  // retires a guest instruction (before the op itself, in path order).
+  if (HI.ElidedJumps) {
+    Ctx.Executed += HI.ElidedJumps;
+    Ctx.Result.Cti.DirectJumps += HI.ElidedJumps;
+    for (uint16_t N = HI.ElidedJumps; N; --N)
       recordCtiStep(-1);
-      ++Cur.Index;
-      break;
+  }
 
-    case HostOpKind::JumpHost:
+  switch (HI.Kind) {
+  case HostOpKind::Guest: {
+    if (HI.Folded) {
+      // Constant-folded ALU op: a single materialisation of the value
+      // the optimizer computed through vm::evalPureAlu — the
+      // architectural result is identical by construction.
+      State.setReg(HI.GuestI.Rd, HI.FoldedValue);
       if (T)
-        T->chargeDirectJump();
-      if (HI.CountsAsGuest) {
-        ++Result.Cti.DirectJumps;
-        recordCtiStep(-1);
-      }
-      Cur = HI.TargetHost;
-      break;
-
-    case HostOpKind::ExitStub: {
-      if (HI.CountsAsGuest) {
-        ++Result.Cti.DirectJumps;
-        recordCtiStep(-1);
-      }
-      uint64_t FlushesBefore = Cache.flushCount();
-      HostLoc Loc = dispatchTo(HI.TargetGuest, Cur.Frag);
-      if (!Loc.valid()) {
-        fault(PendingFault);
-        break;
-      }
-      if (Opts.LinkFragments && Cache.flushCount() == FlushesBefore) {
-        // Patch this stub into a direct fragment-to-fragment jump.
-        HostInstr &Orig = Cache.fragment(Cur.Frag).Code[Cur.Index];
-        Orig.Kind = HostOpKind::JumpHost;
-        Orig.TargetHost = Loc;
-        Orig.Linked = true;
-        ++Stats.LinksPatched;
-        if (Sink)
-          Sink->record(trace::EventKind::LinkPatch, HI.TargetGuest,
-                       HI.HostAddr);
-        if (T)
-          T->chargeLinkPatch(CycleCategory::Link);
-      }
-      Cur = Loc;
+        T->chargeAluOps(1);
+      ++Ctx.Cur.Index;
       break;
     }
-
-    case HostOpKind::SetLink: {
-      if (HI.LinkDead) {
-        // The optimizer proved the link register is overwritten before
-        // any read with no trace exit in between: the op retires its
-        // guest instruction but does no work and occupies no bytes. The
-        // return predictor is still pushed — the RAS tracks call-shaped
-        // control flow, not link-register liveness, so every guest call
-        // must push exactly once in both execution modes (the interpreter
-        // pushes unconditionally). The guest return point is the right
-        // value: no return ever pops this slot's match, exactly as in
-        // native execution of the same dead-link call.
-        if (T)
-          T->predictor().pushReturn(HI.TargetGuest);
-        if (HI.CountsAsGuest) {
-          ++Result.Cti.DirectCalls;
-          recordCtiStep(-1);
-        } else {
-          ++Result.Cti.IndirectCalls; // Retired by its IBLookup/guard.
-        }
-        ++Cur.Index;
+    ExecEffect Effect = executeNonCti(HI.GuestI, State, Memory);
+    if (Effect.faulted()) {
+      faultRun(Ctx, formatString("%s at pc=0x%x (addr=0x%x)",
+                                 Effect.FaultReason, HI.GuestPc, Effect.Addr));
+      break;
+    }
+    if (T) {
+      if (Effect.IsMem) {
+        if (Effect.IsStore)
+          T->chargeStore(Effect.Addr);
+        else
+          T->chargeLoad(Effect.Addr);
+      } else {
+        T->chargeExecute(HI.GuestI);
+      }
+    }
+    if (Effect.IsMem && Plugins && Plugins->wantsMemAccess())
+      Plugins->memAccess(HI.GuestPc, Effect.Addr, Effect.IsStore, T);
+    // Self-modifying code: a store into the decoded code range kills
+    // every translation built from the dirtied words. If that includes
+    // the fragment being executed, resume at the next guest pc through
+    // the dispatcher (HI was copied above, so it is still valid).
+    if (Effect.IsStore && Memory.hasPendingCodeWrites() &&
+        handleCodeWrite(Effect.Addr, Ctx.Cur.Frag)) {
+      HostLoc Loc = dispatchTo(HI.GuestPc + isa::InstructionSize);
+      if (!Loc.valid()) {
+        faultRun(Ctx, PendingFault);
         break;
       }
-      uint32_t LinkValue = HI.TargetGuest;
-      bool NeedsHostAddr = Opts.Returns == ReturnStrategy::FastReturn ||
-                           Opts.Returns == ReturnStrategy::ShadowStack;
-      uint32_t ReturnPointHost = 0;
-      if (NeedsHostAddr) {
-        if (HI.Linked) {
-          ReturnPointHost = HI.TargetHostAddr;
-        } else {
-          // Resolve the return point's fragment now (translating it if
-          // needed) so a translated address is available at call time.
-          uint64_t FlushesBefore = Cache.flushCount();
-          HostLoc Loc = dispatchTo(HI.TargetGuest, Cur.Frag);
-          if (!Loc.valid()) {
-            fault(PendingFault);
-            break;
-          }
-          ReturnPointHost = Cache.fragment(Loc.Frag).HostEntryAddr;
-          if (Cache.flushCount() == FlushesBefore) {
-            HostInstr &Orig = Cache.fragment(Cur.Frag).Code[Cur.Index];
-            Orig.Linked = true;
-            Orig.TargetHostAddr = ReturnPointHost;
-          }
-        }
-      }
-      if (Opts.Returns == ReturnStrategy::FastReturn)
-        LinkValue = ReturnPointHost;
-      if (Opts.Returns == ReturnStrategy::ShadowStack) {
-        uint64_t Slot = ShadowTop % Opts.ShadowStackDepth;
-        Shadow[Slot] = {HI.TargetGuest, ReturnPointHost};
-        ++ShadowTop;
-        if (T) {
-          uint32_t SlotAddr =
-              ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
-          T->chargeStore(CycleCategory::IBLookup, SlotAddr);
-          T->chargeStore(CycleCategory::IBLookup, SlotAddr + 4);
-          // Bump the shadow stack pointer.
-          T->chargeAluOps(CycleCategory::IBLookup, 1);
-        }
-      }
-      State.setReg(HI.GuestI.Rd, LinkValue);
-      if (T) {
-        T->chargeAluOps(2); // Materialise the 32-bit link value.
-        T->predictor().pushReturn(LinkValue);
-      }
+      Ctx.Cur = Loc;
+      break;
+    }
+    ++Ctx.Cur.Index;
+    break;
+  }
+
+  case HostOpKind::CondBranch: {
+    bool Taken = evalBranchCondition(HI.GuestI, State);
+    if (T)
+      T->chargeCondBranch(HI.HostAddr, Taken);
+    ++Ctx.Result.Cti.CondBranches;
+    recordCtiStep(Taken ? 1 : 0);
+    // Layout: Index+1 = fall-through stub, Index+2 = taken stub.
+    Ctx.Cur.Index += Taken ? 2 : 1;
+    break;
+  }
+
+  case HostOpKind::TraceBranch: {
+    bool Taken = evalBranchCondition(HI.GuestI, State);
+    if (T)
+      T->chargeCondBranch(HI.HostAddr, Taken);
+    ++Ctx.Result.Cti.CondBranches;
+    recordCtiStep(Taken ? 1 : 0);
+    // The on-trace direction falls through — past the off-trace stub
+    // when it still sits adjacent at Index+1, or directly when stub
+    // outlining moved it to the tail. The off-trace direction goes to
+    // the stub wherever it lives.
+    if (Taken == HI.OnTraceTaken)
+      Ctx.Cur.Index += (HI.OffTraceIndex == Ctx.Cur.Index + 1) ? 2 : 1;
+    else
+      Ctx.Cur.Index = HI.OffTraceIndex;
+    break;
+  }
+
+  case HostOpKind::Elided:
+    // A direct jump linearised away by trace formation: retires the
+    // guest instruction at zero simulated cost.
+    ++Ctx.Result.Cti.DirectJumps;
+    recordCtiStep(-1);
+    ++Ctx.Cur.Index;
+    break;
+
+  case HostOpKind::JumpHost:
+    if (T)
+      T->chargeDirectJump();
+    if (HI.CountsAsGuest) {
+      ++Ctx.Result.Cti.DirectJumps;
+      recordCtiStep(-1);
+    }
+    Ctx.Cur = HI.TargetHost;
+    break;
+
+  case HostOpKind::ExitStub: {
+    if (HI.CountsAsGuest) {
+      ++Ctx.Result.Cti.DirectJumps;
+      recordCtiStep(-1);
+    }
+    uint64_t FlushesBefore = Cache.flushCount();
+    HostLoc Loc = dispatchTo(HI.TargetGuest, Ctx.Cur.Frag);
+    if (!Loc.valid()) {
+      faultRun(Ctx, PendingFault);
+      break;
+    }
+    if (Opts.LinkFragments && Cache.flushCount() == FlushesBefore) {
+      // Patch this stub into a direct fragment-to-fragment jump.
+      HostInstr &Orig = Cache.fragment(Ctx.Cur.Frag).Code[Ctx.Cur.Index];
+      Orig.Kind = HostOpKind::JumpHost;
+      Orig.TargetHost = Loc;
+      Orig.Linked = true;
+      Cache.noteBodyPatched(Ctx.Cur.Frag);
+      ++Stats.LinksPatched;
+      if (Sink)
+        Sink->record(trace::EventKind::LinkPatch, HI.TargetGuest,
+                     HI.HostAddr);
+      if (T)
+        T->chargeLinkPatch(CycleCategory::Link);
+    }
+    Ctx.Cur = Loc;
+    break;
+  }
+
+  case HostOpKind::SetLink: {
+    if (HI.LinkDead) {
+      // The optimizer proved the link register is overwritten before
+      // any read with no trace exit in between: the op retires its
+      // guest instruction but does no work and occupies no bytes. The
+      // return predictor is still pushed — the RAS tracks call-shaped
+      // control flow, not link-register liveness, so every guest call
+      // must push exactly once in both execution modes (the interpreter
+      // pushes unconditionally). The guest return point is the right
+      // value: no return ever pops this slot's match, exactly as in
+      // native execution of the same dead-link call.
+      if (T)
+        T->predictor().pushReturn(HI.TargetGuest);
       if (HI.CountsAsGuest) {
-        ++Result.Cti.DirectCalls;
+        ++Ctx.Result.Cti.DirectCalls;
         recordCtiStep(-1);
       } else {
-        ++Result.Cti.IndirectCalls; // Retired below by its IBLookup.
+        ++Ctx.Result.Cti.IndirectCalls; // Retired by its IBLookup/guard.
       }
-      ++Cur.Index;
+      ++Ctx.Cur.Index;
       break;
     }
-
-    case HostOpKind::IBLookup: {
-      uint32_t Target = State.reg(HI.GuestI.Rs1);
-      if (Recording) {
-        if (canSpeculate(HI.SiteClass) &&
-            profileMonomorphic(HI.GuestPc, Target)) {
-          // Monomorphic site: record a speculated crossing and keep the
-          // recording alive through the predicted target.
-          TraceSpecTargets.push_back(Target);
-          recordCtiStep(-1);
-        } else {
-          finishTrace(Translator::TraceEnd::AtIB);
-        }
-      }
-      if (canSpeculate(HI.SiteClass))
-        updateIBProfile(HI.GuestPc, Target);
-      size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
-      ++Stats.IBExecs[ClassIdx];
-      switch (HI.SiteClass) {
-      case IBClass::Jump:
-        ++Result.Cti.IndirectJumps;
-        break;
-      case IBClass::Call:
-        break; // Counted at the preceding SetLink.
-      case IBClass::Return:
-        ++Result.Cti.Returns;
-        break;
-      }
-      if (Exec.CollectSiteTargets)
-        Result.SiteTargets[HI.GuestPc].insert(Target);
-
-      // Fast returns: a translated link value jumps straight to its
-      // fragment, with native-like return prediction. The return-shaped
-      // host jump consumes the RAS on *both* paths — the hardware pops
-      // on the instruction, not on where it lands — so the transparency
-      // fallback below must not skip the chargeReturn, or every push of
-      // a fallback's call would skew all later return predictions
-      // relative to native execution.
-      if (HI.SiteClass == IBClass::Return &&
-          Opts.Returns == ReturnStrategy::FastReturn) {
-        if (T)
-          T->chargeReturn(CycleCategory::IBLookup, Target);
-        if (Target >= FragmentCacheBase) {
-          HostLoc Loc = Cache.locForEntryAddr(Target);
-          if (Loc.valid()) {
-            ++Stats.FastReturnDirect;
-            if (Plugins)
-              notifyIBResolved(HI, "fast-return", /*InlineHit=*/true,
-                               Cache.fragment(Loc.Frag).GuestEntry);
-            Cur = Loc;
-            break;
-          }
-          // The fragment was flushed since the call; recover via its
-          // guest address.
-          uint32_t Guest = Cache.retiredGuestEntry(Target);
-          if (Guest == 0) {
-            fault(formatString(
-                "return to unknown translated address 0x%x at pc=0x%x",
-                Target, HI.GuestPc));
-            break;
-          }
-          HostLoc Redo = dispatchTo(Guest, Cur.Frag);
-          if (!Redo.valid()) {
-            fault(PendingFault);
-            break;
-          }
-          if (Plugins)
-            notifyIBResolved(HI, "fast-return", /*InlineHit=*/false, Guest);
-          Cur = Redo;
+    uint32_t LinkValue = HI.TargetGuest;
+    bool NeedsHostAddr = Opts.Returns == ReturnStrategy::FastReturn ||
+                         Opts.Returns == ReturnStrategy::ShadowStack;
+    uint32_t ReturnPointHost = 0;
+    if (NeedsHostAddr) {
+      if (HI.Linked) {
+        ReturnPointHost = HI.TargetHostAddr;
+      } else {
+        // Resolve the return point's fragment now (translating it if
+        // needed) so a translated address is available at call time.
+        uint64_t FlushesBefore = Cache.flushCount();
+        HostLoc Loc = dispatchTo(HI.TargetGuest, Ctx.Cur.Frag);
+        if (!Loc.valid()) {
+          faultRun(Ctx, PendingFault);
           break;
         }
-        ++Stats.FastReturnFallback;
+        ReturnPointHost = Cache.fragment(Loc.Frag).HostEntryAddr;
+        if (Cache.flushCount() == FlushesBefore) {
+          HostInstr &Orig = Cache.fragment(Ctx.Cur.Frag).Code[Ctx.Cur.Index];
+          Orig.Linked = true;
+          Orig.TargetHostAddr = ReturnPointHost;
+          Cache.noteBodyPatched(Ctx.Cur.Frag);
+        }
       }
+    }
+    if (Opts.Returns == ReturnStrategy::FastReturn)
+      LinkValue = ReturnPointHost;
+    if (Opts.Returns == ReturnStrategy::ShadowStack) {
+      uint64_t Slot = ShadowTop % Opts.ShadowStackDepth;
+      Shadow[Slot] = {HI.TargetGuest, ReturnPointHost};
+      ++ShadowTop;
+      if (T) {
+        uint32_t SlotAddr =
+            ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
+        T->chargeStore(CycleCategory::IBLookup, SlotAddr);
+        T->chargeStore(CycleCategory::IBLookup, SlotAddr + 4);
+        // Bump the shadow stack pointer.
+        T->chargeAluOps(CycleCategory::IBLookup, 1);
+      }
+    }
+    State.setReg(HI.GuestI.Rd, LinkValue);
+    if (T) {
+      T->chargeAluOps(2); // Materialise the 32-bit link value.
+      T->predictor().pushReturn(LinkValue);
+    }
+    if (HI.CountsAsGuest) {
+      ++Ctx.Result.Cti.DirectCalls;
+      recordCtiStep(-1);
+    } else {
+      ++Ctx.Result.Cti.IndirectCalls; // Retired below by its IBLookup.
+    }
+    ++Ctx.Cur.Index;
+    break;
+  }
 
-      // Shadow stack: probe the top entry before any general mechanism.
-      if (HI.SiteClass == IBClass::Return &&
-          Opts.Returns == ReturnStrategy::ShadowStack) {
-        bool Served = false;
-        if (ShadowTop > 0) {
-          uint64_t Slot = (ShadowTop - 1) % Opts.ShadowStackDepth;
-          auto [Guest, Host] = Shadow[Slot];
-          uint32_t SlotAddr =
-              ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
+  case HostOpKind::IBLookup: {
+    uint32_t Target = State.reg(HI.GuestI.Rs1);
+    if (Recording) {
+      if (canSpeculate(HI.SiteClass) &&
+          profileMonomorphic(HI.GuestPc, Target)) {
+        // Monomorphic site: record a speculated crossing and keep the
+        // recording alive through the predicted target.
+        TraceSpecTargets.push_back(Target);
+        recordCtiStep(-1);
+      } else {
+        finishTrace(Translator::TraceEnd::AtIB);
+      }
+    }
+    if (canSpeculate(HI.SiteClass))
+      updateIBProfile(HI.GuestPc, Target);
+    size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
+    ++Stats.IBExecs[ClassIdx];
+    switch (HI.SiteClass) {
+    case IBClass::Jump:
+      ++Ctx.Result.Cti.IndirectJumps;
+      break;
+    case IBClass::Call:
+      break; // Counted at the preceding SetLink.
+    case IBClass::Return:
+      ++Ctx.Result.Cti.Returns;
+      break;
+    }
+    if (Exec.CollectSiteTargets)
+      Ctx.Result.SiteTargets[HI.GuestPc].insert(Target);
+
+    // Fast returns: a translated link value jumps straight to its
+    // fragment, with native-like return prediction. The return-shaped
+    // host jump consumes the RAS on *both* paths — the hardware pops
+    // on the instruction, not on where it lands — so the transparency
+    // fallback below must not skip the chargeReturn, or every push of
+    // a fallback's call would skew all later return predictions
+    // relative to native execution.
+    if (HI.SiteClass == IBClass::Return &&
+        Opts.Returns == ReturnStrategy::FastReturn) {
+      if (T)
+        T->chargeReturn(CycleCategory::IBLookup, Target);
+      if (Target >= FragmentCacheBase) {
+        HostLoc Loc = Cache.locForEntryAddr(Target);
+        if (Loc.valid()) {
+          ++Stats.FastReturnDirect;
+          if (Plugins)
+            notifyIBResolved(HI, "fast-return", /*InlineHit=*/true,
+                             Cache.fragment(Loc.Frag).GuestEntry);
+          Ctx.Cur = Loc;
+          break;
+        }
+        // The fragment was flushed since the call; recover via its
+        // guest address.
+        uint32_t Guest = Cache.retiredGuestEntry(Target);
+        if (Guest == 0) {
+          faultRun(Ctx, formatString(
+              "return to unknown translated address 0x%x at pc=0x%x",
+              Target, HI.GuestPc));
+          break;
+        }
+        HostLoc Redo = dispatchTo(Guest, Ctx.Cur.Frag);
+        if (!Redo.valid()) {
+          faultRun(Ctx, PendingFault);
+          break;
+        }
+        if (Plugins)
+          notifyIBResolved(HI, "fast-return", /*InlineHit=*/false, Guest);
+        Ctx.Cur = Redo;
+        break;
+      }
+      ++Stats.FastReturnFallback;
+    }
+
+    // Shadow stack: probe the top entry before any general mechanism.
+    if (HI.SiteClass == IBClass::Return &&
+        Opts.Returns == ReturnStrategy::ShadowStack) {
+      bool Served = false;
+      if (ShadowTop > 0) {
+        uint64_t Slot = (ShadowTop - 1) % Opts.ShadowStackDepth;
+        auto [Guest, Host] = Shadow[Slot];
+        uint32_t SlotAddr =
+            ShadowStackRegionBase + static_cast<uint32_t>(Slot) * 8;
+        if (T) {
+          T->chargeLoad(CycleCategory::IBLookup, SlotAddr); // Guest tag.
+          // Pointer math + compare.
+          T->chargeAluOps(CycleCategory::IBLookup, 2);
+        }
+        --ShadowTop; // Pop on match *and* on mismatch (resync).
+        if (Guest == Target) {
           if (T) {
-            T->chargeLoad(CycleCategory::IBLookup, SlotAddr); // Guest tag.
-            // Pointer math + compare.
-            T->chargeAluOps(CycleCategory::IBLookup, 2);
+            // Translated target.
+            T->chargeLoad(CycleCategory::IBLookup, SlotAddr + 4);
+            T->chargeIndirectJump(CycleCategory::IBLookup, HI.HostAddr,
+                                  Host);
           }
-          --ShadowTop; // Pop on match *and* on mismatch (resync).
-          if (Guest == Target) {
-            if (T) {
-              // Translated target.
-              T->chargeLoad(CycleCategory::IBLookup, SlotAddr + 4);
-              T->chargeIndirectJump(CycleCategory::IBLookup, HI.HostAddr,
-                                    Host);
-            }
-            HostLoc Loc = Cache.locForEntryAddr(Host);
-            if (Loc.valid()) {
-              ++Stats.ShadowStackHits;
-              if (Plugins)
-                notifyIBResolved(HI, "shadow-stack", /*InlineHit=*/true,
-                                 Target);
-              Cur = Loc;
-              Served = true;
-            } else {
-              // The fragment was flushed; redo by guest address.
-              ++Stats.ShadowStackMisses;
-              HostLoc Redo = dispatchTo(Target, Cur.Frag);
-              if (!Redo.valid()) {
-                fault(PendingFault);
-                break;
-              }
-              if (Plugins)
-                notifyIBResolved(HI, "shadow-stack", /*InlineHit=*/false,
-                                 Target);
-              Cur = Redo;
-              Served = true;
-            }
+          HostLoc Loc = Cache.locForEntryAddr(Host);
+          if (Loc.valid()) {
+            ++Stats.ShadowStackHits;
+            if (Plugins)
+              notifyIBResolved(HI, "shadow-stack", /*InlineHit=*/true,
+                               Target);
+            Ctx.Cur = Loc;
+            Served = true;
           } else {
+            // The fragment was flushed; redo by guest address.
             ++Stats.ShadowStackMisses;
-            if (Opts.EnforceReturnIntegrity) {
-              fault(formatString(
-                  "return-address integrity violation at pc=0x%x: "
-                  "returning to 0x%x, shadow stack expected 0x%x",
-                  HI.GuestPc, Target, Guest));
+            HostLoc Redo = dispatchTo(Target, Ctx.Cur.Frag);
+            if (!Redo.valid()) {
+              faultRun(Ctx, PendingFault);
               break;
             }
+            if (Plugins)
+              notifyIBResolved(HI, "shadow-stack", /*InlineHit=*/false,
+                               Target);
+            Ctx.Cur = Redo;
+            Served = true;
           }
         } else {
           ++Stats.ShadowStackMisses;
           if (Opts.EnforceReturnIntegrity) {
-            fault(formatString("return-address integrity violation at "
-                               "pc=0x%x: return with empty shadow stack",
-                               HI.GuestPc));
+            faultRun(Ctx, formatString(
+                "return-address integrity violation at pc=0x%x: "
+                "returning to 0x%x, shadow stack expected 0x%x",
+                HI.GuestPc, Target, Guest));
             break;
           }
         }
-        if (Served)
-          break;
-        // Otherwise fall through to the general mechanism below.
-      }
-
-      // Handlers attribute their own charges to IBLookup; no category
-      // flip needed around the call.
-      IBHandler *H = handlerFor(HI.SiteClass);
-      if (Sink)
-        Sink->setIbClass(static_cast<uint8_t>(HI.SiteClass));
-      LookupOutcome Outcome = H->lookup(HI.SiteId, Target, T);
-      if (Outcome.Hit) {
-        ++Stats.IBInlineHits[ClassIdx];
-        if (Plugins)
-          notifyIBResolved(HI, H->name(), /*InlineHit=*/true, Target);
-        HostLoc Loc = Cache.locForEntryAddr(Outcome.HostEntryAddr);
-        assert(Loc.valid() &&
-               "IB mechanism returned a non-live fragment address");
-        Cur = Loc;
-        break;
-      }
-
-      uint64_t FlushesBefore = Cache.flushCount();
-      HostLoc Loc = dispatchTo(Target, Cur.Frag);
-      if (!Loc.valid()) {
-        fault(PendingFault);
-        break;
-      }
-      if (Cache.flushCount() == FlushesBefore) {
-        uint32_t EntryAddr = Cache.fragment(Loc.Frag).HostEntryAddr;
-        H->record(HI.SiteId, Target, EntryAddr, T);
-      }
-      if (Plugins)
-        notifyIBResolved(HI, H->name(), /*InlineHit=*/false, Target);
-      Cur = Loc;
-      break;
-    }
-
-    case HostOpKind::SpecGuard: {
-      uint32_t Target = State.reg(HI.GuestI.Rs1);
-      bool Hit = Target == HI.TargetGuest;
-      size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
-      if (T) {
-        // The inline guard: save flags, materialise the predicted
-        // target, compare, branch to the fallback site on mismatch.
-        // The first host word was charged by the fetch above.
-        T->chargeCodeRange(CycleCategory::IBLookup, HI.HostAddr + 4,
-                           hostInstrBytes(HI) - 4);
-        if (!HI.FlagSaveElided)
-          T->chargeFlagSave(CycleCategory::IBLookup, Opts.FullFlagSave);
-        T->chargeAluOps(CycleCategory::IBLookup, 2);
-        T->chargeCondBranch(CycleCategory::IBLookup, HI.HostAddr, !Hit);
-        // On the hot (hit) path the restore may have been coalesced
-        // into a following guard; the miss path always restores before
-        // entering the fallback mechanism's own sequence.
-        if (!Hit || !HI.FlagRestoreElided)
-          T->chargeFlagRestore(CycleCategory::IBLookup, Opts.FullFlagSave);
-      }
-      if (Recording) {
-        if (Hit && canSpeculate(HI.SiteClass) &&
-            profileMonomorphic(HI.GuestPc, Target)) {
-          TraceSpecTargets.push_back(Target);
-          recordCtiStep(-1);
-        } else if (Hit) {
-          finishTrace(Translator::TraceEnd::AtIB);
-        }
-        // On a miss the fallback IBLookup right behind decides.
-      }
-      if (Hit) {
-        ++Executed; // Retires the guest IB (the guard doesn't count).
-        ++Stats.IBExecs[ClassIdx];
-        ++Stats.IBInlineHits[ClassIdx];
-        ++Stats.SpecGuardHits;
-        updateIBProfile(HI.GuestPc, Target);
-        switch (HI.SiteClass) {
-        case IBClass::Jump:
-          ++Result.Cti.IndirectJumps;
-          break;
-        case IBClass::Call:
-          break; // Counted at the preceding SetLink.
-        case IBClass::Return:
-          ++Result.Cti.Returns;
-          break;
-        }
-        if (Exec.CollectSiteTargets)
-          Result.SiteTargets[HI.GuestPc].insert(Target);
-        if (Sink)
-          Sink->record(trace::EventKind::SpecGuardHit, HI.GuestPc, Target);
-        if (Plugins)
-          notifyIBResolved(HI, "spec-guard", /*InlineHit=*/true, Target);
-        // Fall into the inlined continuation: past the adjacent fallback
-        // site, or directly when stub outlining moved it to the tail.
-        Cur.Index += (HI.OffTraceIndex == Cur.Index + 1) ? 2 : 1;
       } else {
-        ++Stats.SpecGuardMisses;
-        if (Sink)
-          Sink->record(trace::EventKind::SpecGuardMiss, HI.GuestPc, Target);
-        // The fallback IBLookup runs the bound mechanism's sequence and
-        // retires the instruction (it keeps CountsAsGuest).
-        Cur.Index = HI.OffTraceIndex;
+        ++Stats.ShadowStackMisses;
+        if (Opts.EnforceReturnIntegrity) {
+          faultRun(Ctx,
+                   formatString("return-address integrity violation at "
+                                "pc=0x%x: return with empty shadow stack",
+                                HI.GuestPc));
+          break;
+        }
       }
+      if (Served)
+        break;
+      // Otherwise fall through to the general mechanism below.
+    }
+
+    // Handlers attribute their own charges to IBLookup; no category
+    // flip needed around the call.
+    IBHandler *H = handlerFor(HI.SiteClass);
+    if (Sink)
+      Sink->setIbClass(static_cast<uint8_t>(HI.SiteClass));
+    LookupOutcome Outcome = H->lookup(HI.SiteId, Target, T);
+    if (Outcome.Hit) {
+      ++Stats.IBInlineHits[ClassIdx];
+      if (Plugins)
+        notifyIBResolved(HI, H->name(), /*InlineHit=*/true, Target);
+      HostLoc Loc = Cache.locForEntryAddr(Outcome.HostEntryAddr);
+      assert(Loc.valid() &&
+             "IB mechanism returned a non-live fragment address");
+      Ctx.Cur = Loc;
       break;
     }
 
-    case HostOpKind::SyscallOp: {
-      if (Recording)
-        finishTrace(Translator::TraceEnd::AtStop);
-      ++Stats.Syscalls;
-      if (T)
-        T->chargeSyscall();
-      int32_t ExitCode = 0;
-      const char *Reason = nullptr;
-      SyscallOutcome Outcome =
-          executeSyscall(State, Memory, Sys, ExitCode, Reason);
-      if (Outcome == SyscallOutcome::Fault) {
-        fault(formatString("%s at pc=0x%x", Reason, HI.GuestPc));
-        break;
-      }
-      if (Outcome == SyscallOutcome::Exit) {
-        Result.ExitCode = ExitCode;
-        finish(ExitReason::Exited);
-        break;
-      }
-      ++Cur.Index;
+    uint64_t FlushesBefore = Cache.flushCount();
+    HostLoc Loc = dispatchTo(Target, Ctx.Cur.Frag);
+    if (!Loc.valid()) {
+      faultRun(Ctx, PendingFault);
       break;
     }
-
-    case HostOpKind::HaltOp:
-      if (Recording)
-        finishTrace(Translator::TraceEnd::AtStop);
-      finish(ExitReason::Halted);
-      break;
+    if (Cache.flushCount() == FlushesBefore) {
+      uint32_t EntryAddr = Cache.fragment(Loc.Frag).HostEntryAddr;
+      H->record(HI.SiteId, Target, EntryAddr, T);
     }
+    if (Plugins)
+      notifyIBResolved(HI, H->name(), /*InlineHit=*/false, Target);
+    Ctx.Cur = Loc;
+    break;
   }
 
-  Result.Output = std::move(Sys.Output);
-  Result.Checksum = Sys.Checksum;
-  Result.InstructionCount = Executed;
-  return Result;
+  case HostOpKind::SpecGuard: {
+    uint32_t Target = State.reg(HI.GuestI.Rs1);
+    bool Hit = Target == HI.TargetGuest;
+    size_t ClassIdx = static_cast<size_t>(HI.SiteClass);
+    if (T) {
+      // The inline guard: save flags, materialise the predicted
+      // target, compare, branch to the fallback site on mismatch.
+      // The first host word was charged by the fetch above.
+      T->chargeCodeRange(CycleCategory::IBLookup, HI.HostAddr + 4,
+                         hostInstrBytes(HI) - 4);
+      if (!HI.FlagSaveElided)
+        T->chargeFlagSave(CycleCategory::IBLookup, Opts.FullFlagSave);
+      T->chargeAluOps(CycleCategory::IBLookup, 2);
+      T->chargeCondBranch(CycleCategory::IBLookup, HI.HostAddr, !Hit);
+      // On the hot (hit) path the restore may have been coalesced
+      // into a following guard; the miss path always restores before
+      // entering the fallback mechanism's own sequence.
+      if (!Hit || !HI.FlagRestoreElided)
+        T->chargeFlagRestore(CycleCategory::IBLookup, Opts.FullFlagSave);
+    }
+    if (Recording) {
+      if (Hit && canSpeculate(HI.SiteClass) &&
+          profileMonomorphic(HI.GuestPc, Target)) {
+        TraceSpecTargets.push_back(Target);
+        recordCtiStep(-1);
+      } else if (Hit) {
+        finishTrace(Translator::TraceEnd::AtIB);
+      }
+      // On a miss the fallback IBLookup right behind decides.
+    }
+    if (Hit) {
+      ++Ctx.Executed; // Retires the guest IB (the guard doesn't count).
+      ++Stats.IBExecs[ClassIdx];
+      ++Stats.IBInlineHits[ClassIdx];
+      ++Stats.SpecGuardHits;
+      updateIBProfile(HI.GuestPc, Target);
+      switch (HI.SiteClass) {
+      case IBClass::Jump:
+        ++Ctx.Result.Cti.IndirectJumps;
+        break;
+      case IBClass::Call:
+        break; // Counted at the preceding SetLink.
+      case IBClass::Return:
+        ++Ctx.Result.Cti.Returns;
+        break;
+      }
+      if (Exec.CollectSiteTargets)
+        Ctx.Result.SiteTargets[HI.GuestPc].insert(Target);
+      if (Sink)
+        Sink->record(trace::EventKind::SpecGuardHit, HI.GuestPc, Target);
+      if (Plugins)
+        notifyIBResolved(HI, "spec-guard", /*InlineHit=*/true, Target);
+      // Fall into the inlined continuation: past the adjacent fallback
+      // site, or directly when stub outlining moved it to the tail.
+      Ctx.Cur.Index += (HI.OffTraceIndex == Ctx.Cur.Index + 1) ? 2 : 1;
+    } else {
+      ++Stats.SpecGuardMisses;
+      if (Sink)
+        Sink->record(trace::EventKind::SpecGuardMiss, HI.GuestPc, Target);
+      // The fallback IBLookup runs the bound mechanism's sequence and
+      // retires the instruction (it keeps CountsAsGuest).
+      Ctx.Cur.Index = HI.OffTraceIndex;
+    }
+    break;
+  }
+
+  case HostOpKind::SyscallOp: {
+    if (Recording)
+      finishTrace(Translator::TraceEnd::AtStop);
+    ++Stats.Syscalls;
+    if (T)
+      T->chargeSyscall();
+    int32_t ExitCode = 0;
+    const char *Reason = nullptr;
+    SyscallOutcome Outcome =
+        executeSyscall(State, Memory, Ctx.Sys, ExitCode, Reason);
+    if (Outcome == SyscallOutcome::Fault) {
+      faultRun(Ctx, formatString("%s at pc=0x%x", Reason, HI.GuestPc));
+      break;
+    }
+    if (Outcome == SyscallOutcome::Exit) {
+      Ctx.Result.ExitCode = ExitCode;
+      finishRun(Ctx, ExitReason::Exited);
+      break;
+    }
+    ++Ctx.Cur.Index;
+    break;
+  }
+
+  case HostOpKind::HaltOp:
+    if (Recording)
+      finishTrace(Translator::TraceEnd::AtStop);
+    finishRun(Ctx, ExitReason::Halted);
+    break;
+  }
+}
+
+void SdtEngine::runSwitchLoop(RunContext &Ctx) {
+  while (!Ctx.Done) {
+    if (Ctx.Executed >= Exec.MaxInstructions) {
+      finishRun(Ctx, ExitReason::InstrLimit);
+      break;
+    }
+    if (Ctx.Cur.Index == 0)
+      noteFragmentEntry(Ctx);
+    stepAt(Ctx);
+  }
+}
+
+bool SdtEngine::usePlanEngine() const {
+  if (Opts.Engine != ExecEngineKind::Plan)
+    return false;
+  // A trace sink observes every instruction fetch (chargeFetch events)
+  // in program order; batched line-span probes cannot reproduce that.
+  if (Sink)
+    return false;
+  // Execution-time plugin probes interleave their Instrument charges
+  // with per-op App charges; fused superops would reorder them.
+  if (Plugins &&
+      (Plugins->wantsFragmentEntry() || Plugins->wantsIBResolved() ||
+       Plugins->wantsMemAccess()))
+    return false;
+  return true;
+}
+
+RunResult SdtEngine::run() {
+  RunContext Ctx;
+  Ctx.T = Exec.Timing;
+
+  Ctx.Cur = dispatchTo(State.Pc);
+  if (!Ctx.Cur.valid())
+    faultRun(Ctx, PendingFault);
+
+  if (usePlanEngine())
+    runPlanLoop(Ctx);
+  else
+    runSwitchLoop(Ctx);
+
+  Ctx.Result.Output = std::move(Ctx.Sys.Output);
+  Ctx.Result.Checksum = Ctx.Sys.Checksum;
+  Ctx.Result.InstructionCount = Ctx.Executed;
+  return std::move(Ctx.Result);
 }
 
 std::string SdtEngine::report() const {

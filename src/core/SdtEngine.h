@@ -29,16 +29,23 @@
 #include "vm/GuestState.h"
 #include "vm/GuestVM.h"
 #include "vm/RunResult.h"
+#include "vm/Syscalls.h"
 
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace sdt {
 namespace plugin {
 class PluginManager;
+}
+namespace exec {
+class PlanStore;
+struct PlanStats;
 }
 namespace core {
 
@@ -69,8 +76,26 @@ public:
   create(const isa::Program &P, const SdtOptions &Opts,
          const vm::ExecOptions &Exec);
 
+  /// Out of line: the pre-decoded plan store (src/exec) is an
+  /// incomplete type here.
+  ~SdtEngine();
+
   /// Runs under translation until exit/halt/fault/instruction budget.
   vm::RunResult run();
+
+  /// The engine that will actually execute translated code this run:
+  /// Opts.Engine, downgraded to Switch whenever a deopt predicate holds
+  /// (trace sink attached, plugins with execution probes). Reflects what
+  /// run() does, so summaries can label what really ran.
+  ExecEngineKind activeEngine() const {
+    return usePlanEngine() ? ExecEngineKind::Plan : ExecEngineKind::Switch;
+  }
+
+  /// Plan-engine build/reuse counters (docs/ExecutionEngine.md), or null
+  /// when the plan engine never ran. Lives outside SdtStats so engine
+  /// choice cannot perturb the stats block the house bit-identity
+  /// invariant covers.
+  const exec::PlanStats *planStats() const;
 
   /// Rehydrates a warm-start snapshot before run(): re-translates each
   /// snapshot fragment (charging the cheap CycleCategory::SnapshotLoad
@@ -141,6 +166,45 @@ private:
   SdtEngine(const isa::Program &P, const SdtOptions &Opts,
             const vm::ExecOptions &Exec);
 
+  /// Everything one run() accumulates, threaded through the shared
+  /// per-op step and both execution loops so the switch and plan
+  /// engines retire instructions through identical code.
+  struct RunContext {
+    vm::RunResult Result;
+    vm::SyscallContext Sys;
+    arch::TimingModel *T = nullptr;
+    HostLoc Cur;            ///< Next host op to execute.
+    uint64_t Executed = 0;  ///< Guest instructions retired.
+    bool Done = false;
+  };
+
+  /// Ends the run with \p Reason.
+  void finishRun(RunContext &Ctx, vm::ExitReason Reason);
+  /// Ends the run with a fault carrying \p Message.
+  void faultRun(RunContext &Ctx, std::string Message);
+  /// Trace recording: one guest CTI was retired. \p CondOutcome is -1
+  /// for unconditional transfers, else the branch direction.
+  void recordCtiStep(int CondOutcome);
+  /// The fragment-entry block (Cur.Index == 0): exec counting, the
+  /// block-count probe, plugin entry callbacks, trace-recording
+  /// start/loop-close. Shared verbatim by both engines.
+  void noteFragmentEntry(RunContext &Ctx);
+  /// Executes exactly one host op at Ctx.Cur — the legacy switch body.
+  /// The plan engine delegates every non-fused op here, which is what
+  /// makes the two engines identical by construction.
+  void stepAt(RunContext &Ctx);
+  /// The legacy interpreter: per-instruction switch until Ctx.Done.
+  void runSwitchLoop(RunContext &Ctx);
+  /// The pre-decoded engine (src/exec/PlanExecutor.cpp): fused superop
+  /// runs with batched timing charges, threaded dispatch, and per-op
+  /// fallthrough to stepAt for CTIs/IB sites.
+  void runPlanLoop(RunContext &Ctx);
+  /// True when run() should use the plan engine: Opts.Engine == Plan and
+  /// no deopt predicate holds. A trace sink needs per-instruction fetch
+  /// events; fragment-entry/IB/memory plugin probes need per-op
+  /// callbacks in exact interleaving with their charges.
+  bool usePlanEngine() const;
+
   /// The slow path: context switch, map lookup, translate on miss.
   /// Invalid HostLoc + FaultMessage on translation failure.
   /// \p PinnedFrag is the fragment the engine is currently executing
@@ -196,6 +260,15 @@ private:
   trace::TraceSink *Sink = nullptr; ///< Null when tracing is off.
   plugin::PluginManager *Plugins = nullptr; ///< Null when no plugins.
   std::string PendingFault; ///< Set by dispatchTo on translation failure.
+
+  /// Lazily-built per-fragment execution plans (created on first
+  /// runPlanLoop; null when the plan engine never ran).
+  std::unique_ptr<exec::PlanStore> PlanEngine;
+  /// Guest spans dirtied by observed code writes, accumulated across the
+  /// run: fragments whose source hull overlaps one keep getting
+  /// invalidated and re-translated, so their plans deoptimize to the
+  /// legacy per-instruction path (docs/ExecutionEngine.md).
+  std::vector<std::pair<uint32_t, uint32_t>> DirtiedGuestSpans;
 
   /// Delivers one IB-resolution callback (call sites guard with
   /// `if (Plugins)`; the wants-check and struct build live out of line so

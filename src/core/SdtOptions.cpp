@@ -54,6 +54,26 @@ const char *sdt::core::returnStrategyName(ReturnStrategy S) {
   return "?";
 }
 
+const char *sdt::core::execEngineName(ExecEngineKind E) {
+  switch (E) {
+  case ExecEngineKind::Plan:
+    return "plan";
+  case ExecEngineKind::Switch:
+    return "switch";
+  }
+  assert(false && "invalid execution engine");
+  return "?";
+}
+
+std::optional<ExecEngineKind>
+sdt::core::parseExecEngine(std::string_view Name) {
+  if (Name == "plan")
+    return ExecEngineKind::Plan;
+  if (Name == "switch")
+    return ExecEngineKind::Switch;
+  return std::nullopt;
+}
+
 std::string SdtOptions::describe() const {
   std::string Mech;
   switch (Mechanism) {

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace sdt {
 namespace core {
@@ -72,6 +73,29 @@ enum class ReturnStrategy : uint8_t {
 /// Returns "as-indirect", "return-cache", "fast-return", or
 /// "shadow-stack".
 const char *returnStrategyName(ReturnStrategy S);
+
+/// Which simulator execution engine runs translated fragments. Both
+/// produce bit-identical modeled cycles, cache states, and stats; the
+/// knob trades simulator wall-clock against per-instruction
+/// observability (docs/ExecutionEngine.md). Env override: STRATAIB_EXEC.
+enum class ExecEngineKind : uint8_t {
+  /// Pre-decoded execution plans: straight-line non-CTI runs fused into
+  /// superops with batched timing charges, dispatched via a threaded
+  /// (computed-goto) table. The default. Automatically deoptimizes to
+  /// the switch interpreter when exact per-instruction observation is
+  /// required (trace sink, execution-probe plugins, SMC-dirtied
+  /// fragments).
+  Plan,
+  /// The legacy per-instruction switch interpreter.
+  Switch,
+};
+
+/// Returns "plan" or "switch".
+const char *execEngineName(ExecEngineKind E);
+
+/// Parses an execution-engine name ("plan" or "switch"); nullopt on
+/// anything else.
+std::optional<ExecEngineKind> parseExecEngine(std::string_view Name);
 
 /// Full SDT configuration.
 struct SdtOptions {
@@ -196,6 +220,12 @@ struct SdtOptions {
   /// Consecutive same-target observations at an IB site before the
   /// recorder speculates through it.
   uint32_t TraceSpeculateThreshold = 16;
+
+  // --- Execution engine (src/exec; docs/ExecutionEngine.md) ---------------
+  /// Which engine executes translated fragments. Deliberately not part
+  /// of describe(): the engines are cycle-transparent by contract, so a
+  /// config key must not fork on it.
+  ExecEngineKind Engine = ExecEngineKind::Plan;
 
   /// Short human-readable description for benchmark output, e.g.
   /// "ibtc(shared,4096,light) returns=fast-return inline=1".

@@ -1,0 +1,165 @@
+//===- exec/ExecutionPlan.h - Pre-decoded fragment execution ----*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-decoded execution engine's plan format (docs/ExecutionEngine.md).
+/// A FragmentPlan compiles one installed fragment into a dense array of
+/// PlanSlots: maximal straight-line runs of non-CTI host instructions are
+/// fused into superop runs carrying precomputed per-op cycle charges and
+/// I-fetch line tags (so the I-cache sim is probed once per line span, not
+/// once per instruction), while CTIs, IB sites, and every other op that
+/// needs the legacy switch stay step ops delegated to SdtEngine::stepAt.
+/// Modeled cycles, cache states, stats, and run results are bit-identical
+/// to the legacy interpreter by construction.
+///
+/// Coherence contract: fragment bodies mutate after installation (link
+/// patching, lazy SetLink caching, trace trampolines, eviction unlinking,
+/// tombstoning), so every plan is stamped with the fragment's PlanGen
+/// generation counter and the cache's flush count, revalidated before each
+/// use, and lazily rebuilt when either stamp diverges. Fragments whose
+/// guest hull overlaps an observed code-write span deoptimize to the
+/// legacy per-instruction path (Legacy = true) instead of being re-planned
+/// on every SMC invalidate/retranslate round trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRATAIB_EXEC_EXECUTIONPLAN_H
+#define STRATAIB_EXEC_EXECUTIONPLAN_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sdt {
+namespace arch {
+class TimingModel;
+}
+namespace core {
+class FragmentCache;
+}
+namespace exec {
+
+/// One fused (non-CTI, non-elided) host op, pre-decoded into exactly what
+/// the fused loop needs. Slots are self-contained copies: they hold no
+/// pointers into Fragment::Code, so mid-run evictions that clear victim
+/// code vectors can never dangle a slot.
+struct PlanSlot {
+  /// Dispatch kind, in table order for the threaded dispatcher. The
+  /// non-CTI op space is closed (pure ALU, five load forms, three store
+  /// forms), so the plan pre-resolves each op to a kernel: pure-ALU
+  /// kernels skip the ExecEffect fault machinery entirely (ALU ops cannot
+  /// fault), and the hottest opcodes (addi, add, lw, sw) get dedicated
+  /// kernels that bypass the opcode switch as well.
+  enum class Kind : uint8_t {
+    Alu = 0,    ///< Generic pure ALU via evalPureAlu (no fault path).
+    Addi = 1,   ///< rd = rs1 + imm.
+    Add = 2,    ///< rd = rs1 + rs2.
+    Lw = 3,     ///< 32-bit load, inline fast path.
+    Load = 4,   ///< Lh/Lhu/Lb/Lbu via executeNonCti.
+    Sw = 5,     ///< 32-bit store, inline fast path (+ SMC watch).
+    Store = 6,  ///< Sh/Sb via executeNonCti (+ SMC watch).
+    Folded = 7, ///< Constant-folded op: write FoldedValue to rd.
+    /// Conditional-branch exit op, always the last slot of its run:
+    /// evaluates the condition, charges branch cost + predictor outcome,
+    /// and resumes at the fall-through (CodeIndex+1) or taken
+    /// (CodeIndex+2) exit stub. Only fused while the trace recorder is
+    /// idle — a recording run is truncated to RunEndNoExit so the step
+    /// path observes every CTI.
+    CondBr = 8,
+  };
+
+  Kind K = Kind::Alu;
+  isa::Instruction GuestI;   ///< The guest instruction to execute.
+  uint32_t GuestPc = 0;      ///< For fault messages and SMC resume.
+  uint32_t HostAddr = 0;     ///< Simulated fetch address.
+  uint32_t LineTag = 0;      ///< HostAddr >> I-cache line shift.
+  uint32_t CodeIndex = 0;    ///< This op's index in Fragment::Code.
+  /// Precomputed execute charge: chargeExecute's cost for ALU kinds
+  /// (Mul/Div/Rem/Alu by opcode), the ALU materialisation cost for
+  /// Folded. Load/store kinds charge their model costs at run time
+  /// because the D-cache must be probed per access anyway. 0 when no
+  /// timing model.
+  uint32_t ExecCost = 0;
+  uint32_t FoldedValue = 0;  ///< Folded only.
+};
+
+/// The compiled execution plan for one fragment.
+struct FragmentPlan {
+  bool Built = false;
+  /// Deopt: execute this fragment through the legacy switch, one op at a
+  /// time. Set for fragments whose guest hull overlaps an observed
+  /// code-write span (exact per-instruction SMC observation, and no
+  /// rebuild churn for write-hot code).
+  bool Legacy = false;
+  uint64_t Gen = 0;        ///< Fragment::PlanGen this plan was built from.
+  uint64_t FlushStamp = 0; ///< FragmentCache::flushCount() at build time.
+  /// Per Fragment::Code index: the slot index when the op is fused, -1
+  /// for step ops. Control can enter a fragment at any index (branch
+  /// stubs, off-trace exits), so the mapping covers every op.
+  std::vector<int32_t> SlotOf;
+  std::vector<PlanSlot> Slots;
+  /// Per slot: one-past-the-end slot index of the fused run containing
+  /// it. Entering mid-run simply executes [slot, RunEnd[slot]).
+  std::vector<uint32_t> RunEnd;
+  /// Per slot: like RunEnd but excluding the run's trailing CondBr exit
+  /// slot (equal to RunEnd for runs without one). Used while the trace
+  /// recorder is active, which must see every CTI through the step path.
+  std::vector<uint32_t> RunEndNoExit;
+};
+
+/// Build-side counters (docs/ExecutionEngine.md). Deliberately not part
+/// of SdtStats: engine choice must not perturb the stats block covered by
+/// the plan-vs-switch bit-identity invariant.
+struct PlanStats {
+  uint64_t PlansBuilt = 0;    ///< First-time plan builds.
+  uint64_t PlansRebuilt = 0;  ///< Rebuilds after a stale stamp.
+  uint64_t LegacyFragments = 0; ///< Builds that deoptimized (SMC hull).
+  uint64_t FusedRuns = 0;     ///< Superop runs across all builds.
+  uint64_t FusedOps = 0;      ///< Ops inside fused runs.
+  uint64_t StepOps = 0;       ///< Ops left to the legacy switch.
+};
+
+/// Lazily-built, generation-checked plans for every fragment in one
+/// engine's cache, indexed by fragment index (tombstones keep empty
+/// entries; a flush restarts indices and the FlushStamp check rebuilds).
+class PlanStore {
+public:
+  /// Returns the current plan for \p Frag, rebuilding it when its
+  /// generation or flush stamp went stale. \p DirtiedGuestSpans is the
+  /// engine's accumulated code-write record (deopt predicate); \p T is
+  /// the run's timing model (null = no timing: costs stay zero and the
+  /// executor skips all charging).
+  const FragmentPlan &
+  planFor(const core::FragmentCache &Cache, uint32_t Frag,
+          const std::vector<std::pair<uint32_t, uint32_t>> &DirtiedGuestSpans,
+          const arch::TimingModel *T);
+
+  /// Inline fast path for the executor's per-iteration revalidation:
+  /// returns the cached plan when its stamps match the fragment's current
+  /// (\p Gen, \p FlushCount), null when planFor must run. Keeps the
+  /// common dispatch loop free of an out-of-line call per fragment entry.
+  const FragmentPlan *cachedPlan(uint32_t Frag, uint64_t Gen,
+                                 uint64_t FlushCount) const {
+    if (Frag >= Plans.size())
+      return nullptr;
+    const FragmentPlan &P = Plans[Frag];
+    return (P.Built && P.Gen == Gen && P.FlushStamp == FlushCount) ? &P
+                                                                   : nullptr;
+  }
+
+  const PlanStats &stats() const { return Stats; }
+
+private:
+  std::vector<FragmentPlan> Plans; ///< Indexed by fragment index.
+  PlanStats Stats;
+};
+
+} // namespace exec
+} // namespace sdt
+
+#endif // STRATAIB_EXEC_EXECUTIONPLAN_H

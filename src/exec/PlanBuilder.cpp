@@ -1,0 +1,204 @@
+//===- exec/PlanBuilder.cpp - Fragment -> execution plan compiler -*- C++ -*-===//
+//
+// Part of StrataIB. See ExecutionPlan.h for the plan format and
+// docs/ExecutionEngine.md for the fusion rules and coherence contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecutionPlan.h"
+
+#include "arch/Timing.h"
+#include "core/FragmentCache.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::exec;
+
+namespace {
+
+bool isLoadOp(isa::Opcode Op) {
+  switch (Op) {
+  case isa::Opcode::Lw:
+  case isa::Opcode::Lh:
+  case isa::Opcode::Lhu:
+  case isa::Opcode::Lb:
+  case isa::Opcode::Lbu:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isStoreOp(isa::Opcode Op) {
+  switch (Op) {
+  case isa::Opcode::Sw:
+  case isa::Opcode::Sh:
+  case isa::Opcode::Sb:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Mirror of TimingModel::chargeExecute's opcode -> cost mapping, hoisted
+/// to plan-build time.
+uint32_t execCostFor(isa::Opcode Op, const arch::MachineModel &M) {
+  switch (Op) {
+  case isa::Opcode::Mul:
+    return M.MulCost;
+  case isa::Opcode::Div:
+  case isa::Opcode::Rem:
+    return M.DivCost;
+  default:
+    return M.AluCost;
+  }
+}
+
+/// An op is fusable when the legacy switch would run exactly this
+/// sequence for it: fetch, retire one guest instruction, execute a
+/// non-CTI, advance to Index+1 — with no recorder, plugin, or stat side
+/// channel. Elided-jump glue retires extra guest instructions and feeds
+/// the trace recorder, so ops carrying it stay on the step path.
+bool isFusable(const HostInstr &HI) {
+  return HI.Kind == HostOpKind::Guest && HI.ElidedJumps == 0 &&
+         HI.CountsAsGuest;
+}
+
+/// A plain conditional branch can terminate a fused run as an explicit
+/// exit op: its whole step-path behaviour (condition, branch + predictor
+/// charge, CondBranches count, stub-relative resume) is reproducible in
+/// the fused loop — except trace recording, which the executor handles by
+/// truncating runs to RunEndNoExit while recording. TraceBranch has
+/// different resume logic and stays a step op.
+bool isFusableExit(const HostInstr &HI) {
+  return HI.Kind == HostOpKind::CondBranch && HI.ElidedJumps == 0 &&
+         HI.CountsAsGuest;
+}
+
+void buildPlan(FragmentPlan &P, const FragmentCache &Cache, uint32_t Frag,
+               const std::vector<std::pair<uint32_t, uint32_t>> &Dirtied,
+               const arch::TimingModel *T, PlanStats &Stats) {
+  const Fragment &F = Cache.fragment(Frag);
+  P.Built = true;
+  P.Legacy = false;
+  P.Gen = F.PlanGen;
+  P.FlushStamp = Cache.flushCount();
+  P.SlotOf.clear();
+  P.Slots.clear();
+  P.RunEnd.clear();
+  P.RunEndNoExit.clear();
+
+  // Deopt predicate: a fragment translated over previously-dirtied code
+  // words is SMC-churned. Execute it per-instruction so every store gets
+  // exact in-order observation, and so the write/invalidate/retranslate
+  // cycle does not also pay a re-plan each round.
+  for (const auto &[Begin, End] : Dirtied) {
+    if (F.overlapsGuest(Begin, End)) {
+      P.Legacy = true;
+      ++Stats.LegacyFragments;
+      return;
+    }
+  }
+
+  // I-cache line geometry for precomputed fetch line tags. Without a
+  // timing model the tags are never consulted.
+  uint32_t LineShift = 0;
+  if (T) {
+    uint32_t LineBytes = T->model().ICache.LineBytes;
+    assert(LineBytes != 0 && std::has_single_bit(LineBytes) &&
+           "I-cache line size must be a power of two");
+    LineShift = static_cast<uint32_t>(std::countr_zero(LineBytes));
+  }
+
+  P.SlotOf.assign(F.Code.size(), -1);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(F.Code.size()); I != E;) {
+    const HostInstr &HI = F.Code[I];
+    if (!isFusable(HI) && !isFusableExit(HI)) {
+      ++Stats.StepOps;
+      ++I;
+      continue;
+    }
+    // A maximal straight-line run of fusable ops — optionally terminated
+    // by a CondBr exit op — becomes one superop run.
+    uint32_t RunStart = static_cast<uint32_t>(P.Slots.size());
+    while (I != E && isFusable(F.Code[I])) {
+      const HostInstr &Op = F.Code[I];
+      PlanSlot S;
+      S.GuestI = Op.GuestI;
+      S.GuestPc = Op.GuestPc;
+      S.HostAddr = Op.HostAddr;
+      S.LineTag = Op.HostAddr >> LineShift;
+      S.CodeIndex = I;
+      if (Op.Folded) {
+        S.K = PlanSlot::Kind::Folded;
+        S.FoldedValue = Op.FoldedValue;
+        S.ExecCost = T ? T->model().AluCost : 0;
+      } else if (Op.GuestI.Op == isa::Opcode::Lw) {
+        S.K = PlanSlot::Kind::Lw;
+      } else if (isLoadOp(Op.GuestI.Op)) {
+        S.K = PlanSlot::Kind::Load;
+      } else if (Op.GuestI.Op == isa::Opcode::Sw) {
+        S.K = PlanSlot::Kind::Sw;
+      } else if (isStoreOp(Op.GuestI.Op)) {
+        S.K = PlanSlot::Kind::Store;
+      } else {
+        // Pure ALU (the only remaining non-CTI form): pre-resolve the
+        // hottest opcodes to dedicated kernels.
+        if (Op.GuestI.Op == isa::Opcode::Addi)
+          S.K = PlanSlot::Kind::Addi;
+        else if (Op.GuestI.Op == isa::Opcode::Add)
+          S.K = PlanSlot::Kind::Add;
+        else
+          S.K = PlanSlot::Kind::Alu;
+        S.ExecCost = T ? execCostFor(Op.GuestI.Op, T->model()) : 0;
+      }
+      P.SlotOf[I] = static_cast<int32_t>(P.Slots.size());
+      P.Slots.push_back(S);
+      ++I;
+    }
+    uint32_t BodyEnd = static_cast<uint32_t>(P.Slots.size());
+    if (I != E && isFusableExit(F.Code[I])) {
+      const HostInstr &Op = F.Code[I];
+      PlanSlot S;
+      S.K = PlanSlot::Kind::CondBr;
+      S.GuestI = Op.GuestI;
+      S.GuestPc = Op.GuestPc;
+      S.HostAddr = Op.HostAddr;
+      S.LineTag = Op.HostAddr >> LineShift;
+      S.CodeIndex = I;
+      P.SlotOf[I] = static_cast<int32_t>(P.Slots.size());
+      P.Slots.push_back(S);
+      ++I;
+    }
+    uint32_t RunEnd = static_cast<uint32_t>(P.Slots.size());
+    P.RunEnd.resize(RunEnd, RunEnd);
+    P.RunEndNoExit.resize(RunEnd, BodyEnd);
+    ++Stats.FusedRuns;
+    Stats.FusedOps += RunEnd - RunStart;
+  }
+}
+
+} // namespace
+
+const FragmentPlan &PlanStore::planFor(
+    const FragmentCache &Cache, uint32_t Frag,
+    const std::vector<std::pair<uint32_t, uint32_t>> &DirtiedGuestSpans,
+    const arch::TimingModel *T) {
+  assert(Frag < Cache.fragmentCount() &&
+         "plans must never be built through a stale fragment index");
+  if (Frag >= Plans.size())
+    Plans.resize(Cache.fragmentCount());
+  FragmentPlan &P = Plans[Frag];
+  const Fragment &F = Cache.fragment(Frag);
+  if (P.Built && P.Gen == F.PlanGen && P.FlushStamp == Cache.flushCount())
+    return P;
+  if (P.Built)
+    ++Stats.PlansRebuilt;
+  else
+    ++Stats.PlansBuilt;
+  buildPlan(P, Cache, Frag, DirtiedGuestSpans, T, Stats);
+  return P;
+}

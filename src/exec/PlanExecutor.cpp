@@ -1,0 +1,377 @@
+//===- exec/PlanExecutor.cpp - Pre-decoded fragment executor ----*- C++ -*-===//
+//
+// Part of StrataIB. SdtEngine::runPlanLoop lives here (not in
+// core/SdtEngine.cpp) so the core stays ignorant of the plan format; see
+// docs/ExecutionEngine.md for the engine contract.
+//
+// The loop below must stay observably bit-identical to runSwitchLoop:
+// same modeled cycles per category, same cache states, same stats, same
+// run results. Fused superop runs get that by deferring *pure
+// accumulator* work only — cycle counts into LocalCycles, repeat-line
+// I-cache hits into HitCredits — while everything stateful (D-cache
+// probes, I-cache probes on a line change, register/memory effects,
+// faults, SMC handling) happens at exactly the legacy point in program
+// order. The kernels below inline the semantics of vm/ExecSemantics
+// (evalPureAlu is the shared single source for ALU results; load/store
+// fast paths reproduce executeNonCti's address arithmetic and fault
+// messages verbatim). Any op the plan did not fuse executes through
+// SdtEngine::stepAt, which *is* the legacy switch body.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdtEngine.h"
+
+#include "arch/Timing.h"
+#include "exec/ExecutionPlan.h"
+#include "support/StringUtils.h"
+#include "vm/ExecSemantics.h"
+
+#include <cassert>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+using arch::TimingModel;
+
+SdtEngine::~SdtEngine() = default;
+
+const exec::PlanStats *SdtEngine::planStats() const {
+  return PlanEngine ? &PlanEngine->stats() : nullptr;
+}
+
+// Deferred-charge bookkeeping for one fused run. Charges flush (a) before
+// anything that might itself touch the timing model or the I-cache
+// (handleCodeWrite, dispatchTo) and (b) at every run exit. The CurLine
+// sentinel is only trusted *between* flushes: resetting it forces the
+// next slot to re-probe, which is always exact — skipping the probe is
+// the conditional optimization, re-probing never is.
+#define SDT_FLUSH_CHARGES()                                                    \
+  do {                                                                         \
+    if (T) {                                                                   \
+      if (LocalCycles) {                                                       \
+        T->charge(LocalCycles);                                                \
+        LocalCycles = 0;                                                       \
+      }                                                                        \
+      if (HitCredits) {                                                        \
+        IC->creditHits(HitCredits);                                            \
+        HitCredits = 0;                                                        \
+      }                                                                        \
+    }                                                                          \
+    CurLine = ~0u;                                                             \
+  } while (0)
+
+// Per-slot fetch accounting + guest retirement. A repeat touch of the
+// line probed last is a guaranteed LRU hit (see CacheSim::creditHits);
+// only line changes reach the cache simulator.
+#define SDT_PLAN_PROLOGUE()                                                    \
+  do {                                                                         \
+    if (T) {                                                                   \
+      if (Sl->LineTag != CurLine) {                                            \
+        if (!IC->access(Sl->HostAddr))                                         \
+          LocalCycles += M->ICacheMissPenalty;                                 \
+        CurLine = Sl->LineTag;                                                 \
+      } else {                                                                 \
+        ++HitCredits;                                                          \
+      }                                                                        \
+    }                                                                          \
+    ++Ctx.Executed;                                                            \
+  } while (0)
+
+// Fault exit: identical message format to stepAt's Guest case.
+#define SDT_PLAN_FAULT(Reason, FaultAddr)                                      \
+  do {                                                                         \
+    faultRun(Ctx, formatString("%s at pc=0x%x (addr=0x%x)", (Reason),          \
+                               Sl->GuestPc, (FaultAddr)));                     \
+    goto RunExit;                                                              \
+  } while (0)
+
+// SMC watch shared by the store kernels, mirroring the Guest-store case
+// of stepAt: charges flush first (the handler and any dispatch may
+// translate code and probe the caches), and if the write killed the
+// fragment being executed, the run resumes at the next guest pc through
+// the dispatcher.
+#define SDT_SMC_WATCH(WriteAddr)                                               \
+  do {                                                                         \
+    if (Memory.hasPendingCodeWrites()) {                                       \
+      SDT_FLUSH_CHARGES();                                                     \
+      if (handleCodeWrite((WriteAddr), Ctx.Cur.Frag)) {                        \
+        HostLoc Loc = dispatchTo(Sl->GuestPc + isa::InstructionSize);          \
+        if (!Loc.valid()) {                                                    \
+          faultRun(Ctx, PendingFault);                                         \
+          goto RunExit;                                                        \
+        }                                                                      \
+        Ctx.Cur = Loc;                                                         \
+        goto RunExit;                                                          \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+// Op kernels, shared verbatim by the threaded and switch dispatchers;
+// CONT is the dispatcher's continue-run action. ExecCost is pre-zeroed
+// when the run has no timing model, so the unconditional adds stay exact.
+// Pure-ALU kernels have no fault path: evalPureAlu is total.
+#define SDT_OP_ALU(CONT)                                                       \
+  {                                                                            \
+    const isa::Instruction &GI = Sl->GuestI;                                   \
+    State.setReg(GI.Rd,                                                        \
+                 evalPureAlu(GI, State.reg(GI.Rs1), State.reg(GI.Rs2)));       \
+    LocalCycles += Sl->ExecCost;                                               \
+    CONT;                                                                      \
+  }
+
+#define SDT_OP_ADDI(CONT)                                                      \
+  {                                                                            \
+    const isa::Instruction &GI = Sl->GuestI;                                   \
+    State.setReg(GI.Rd,                                                        \
+                 State.reg(GI.Rs1) + static_cast<uint32_t>(GI.Imm));           \
+    LocalCycles += Sl->ExecCost;                                               \
+    CONT;                                                                      \
+  }
+
+#define SDT_OP_ADD(CONT)                                                       \
+  {                                                                            \
+    const isa::Instruction &GI = Sl->GuestI;                                   \
+    State.setReg(GI.Rd, State.reg(GI.Rs1) + State.reg(GI.Rs2));                \
+    LocalCycles += Sl->ExecCost;                                               \
+    CONT;                                                                      \
+  }
+
+#define SDT_OP_FOLDED(CONT)                                                    \
+  {                                                                            \
+    State.setReg(Sl->GuestI.Rd, Sl->FoldedValue);                              \
+    LocalCycles += Sl->ExecCost;                                               \
+    CONT;                                                                      \
+  }
+
+#define SDT_OP_LW(CONT)                                                        \
+  {                                                                            \
+    const isa::Instruction &GI = Sl->GuestI;                                   \
+    uint32_t Addr = State.reg(GI.Rs1) + static_cast<uint32_t>(GI.Imm);         \
+    uint32_t Value;                                                            \
+    if (!Memory.load32(Addr, Value))                                           \
+      SDT_PLAN_FAULT("bad 32-bit load", Addr);                                 \
+    State.setReg(GI.Rd, Value);                                                \
+    if (T) {                                                                   \
+      LocalCycles += M->LoadCost;                                              \
+      if (!DC->access(Addr))                                                   \
+        LocalCycles += M->DCacheMissPenalty;                                   \
+    }                                                                          \
+    CONT;                                                                      \
+  }
+
+#define SDT_OP_LOAD(CONT)                                                      \
+  {                                                                            \
+    ExecEffect Eff = executeNonCti(Sl->GuestI, State, Memory);                 \
+    if (Eff.faulted())                                                         \
+      SDT_PLAN_FAULT(Eff.FaultReason, Eff.Addr);                               \
+    if (T) {                                                                   \
+      LocalCycles += M->LoadCost;                                              \
+      if (!DC->access(Eff.Addr))                                               \
+        LocalCycles += M->DCacheMissPenalty;                                   \
+    }                                                                          \
+    CONT;                                                                      \
+  }
+
+#define SDT_OP_SW(CONT)                                                        \
+  {                                                                            \
+    const isa::Instruction &GI = Sl->GuestI;                                   \
+    uint32_t Addr = State.reg(GI.Rs1) + static_cast<uint32_t>(GI.Imm);         \
+    if (!Memory.store32(Addr, State.reg(GI.Rd)))                               \
+      SDT_PLAN_FAULT("bad 32-bit store", Addr);                                \
+    if (T) {                                                                   \
+      LocalCycles += M->StoreCost;                                             \
+      if (!DC->access(Addr))                                                   \
+        LocalCycles += M->DCacheMissPenalty;                                   \
+    }                                                                          \
+    SDT_SMC_WATCH(Addr);                                                       \
+    CONT;                                                                      \
+  }
+
+// Conditional-branch exit op, always the last slot of a run. Only runs
+// while the trace recorder is idle (recording runs are truncated to
+// RunEndNoExit), so recordCtiStep would be a no-op and is skipped. Sets
+// the resume index itself (fall-through stub at CodeIndex+1, taken stub
+// at CodeIndex+2 — the translator's layout) and exits the run.
+#define SDT_OP_CONDBR()                                                        \
+  {                                                                            \
+    const isa::Instruction &GI = Sl->GuestI;                                   \
+    bool Taken = evalBranchCondition(GI, State);                               \
+    if (T) {                                                                   \
+      LocalCycles += M->BranchCost;                                            \
+      if (!BP->predictConditional(Sl->HostAddr, Taken))                        \
+        LocalCycles += M->CondMispredictPenalty;                               \
+    }                                                                          \
+    ++Ctx.Result.Cti.CondBranches;                                             \
+    Ctx.Cur.Index = Sl->CodeIndex + (Taken ? 2u : 1u);                         \
+    goto RunExit;                                                              \
+  }
+
+#define SDT_OP_STORE(CONT)                                                     \
+  {                                                                            \
+    ExecEffect Eff = executeNonCti(Sl->GuestI, State, Memory);                 \
+    if (Eff.faulted())                                                         \
+      SDT_PLAN_FAULT(Eff.FaultReason, Eff.Addr);                               \
+    if (T) {                                                                   \
+      LocalCycles += M->StoreCost;                                             \
+      if (!DC->access(Eff.Addr))                                               \
+        LocalCycles += M->DCacheMissPenalty;                                   \
+    }                                                                          \
+    SDT_SMC_WATCH(Eff.Addr);                                                   \
+    CONT;                                                                      \
+  }
+
+void SdtEngine::runPlanLoop(RunContext &Ctx) {
+  if (!PlanEngine)
+    PlanEngine = std::make_unique<exec::PlanStore>();
+
+  TimingModel *T = Ctx.T;
+  arch::CacheSim *IC = T ? &T->icache() : nullptr;
+  arch::CacheSim *DC = T ? &T->dcache() : nullptr;
+  arch::BranchPredictor *BP = T ? &T->predictor() : nullptr;
+  const arch::MachineModel *M = T ? &T->model() : nullptr;
+
+  while (!Ctx.Done) {
+    if (Ctx.Executed >= Exec.MaxInstructions) {
+      finishRun(Ctx, ExitReason::InstrLimit);
+      break;
+    }
+    if (Ctx.Cur.Index == 0)
+      noteFragmentEntry(Ctx);
+
+    // A full flush during SetLink return-point resolution leaves Cur
+    // pointing at a retired fragment index (the legacy switch simply
+    // keeps stepping through it until the next dispatch). Never build or
+    // consult a plan through such an index: planFor would stamp a plan
+    // with the *current* flush epoch while describing the *retired*
+    // fragment, and a new fragment reoccupying the index would then pass
+    // revalidation against the stale plan. Step ops route through
+    // stepAt, which is the legacy path, byte for byte.
+    if (Ctx.Cur.Frag >= Cache.fragmentCount()) {
+      stepAt(Ctx);
+      continue;
+    }
+
+    // Revalidated every iteration: any step op below may patch, evict,
+    // tombstone, or flush fragments, and the Gen/FlushStamp check makes
+    // stale plans rebuild lazily (docs/ExecutionEngine.md).
+    const exec::FragmentPlan *P = PlanEngine->cachedPlan(
+        Ctx.Cur.Frag, Cache.fragment(Ctx.Cur.Frag).PlanGen,
+        Cache.flushCount());
+    if (!P)
+      P = &PlanEngine->planFor(Cache, Ctx.Cur.Frag, DirtiedGuestSpans, T);
+    if (P->Legacy || Ctx.Cur.Index >= P->SlotOf.size()) {
+      stepAt(Ctx);
+      continue;
+    }
+    int32_t Entry = P->SlotOf[Ctx.Cur.Index];
+    if (Entry < 0) {
+      // Exit op (CTI, IB site, stub, syscall, ...): the legacy switch
+      // body handles it — identity by construction.
+      stepAt(Ctx);
+      continue;
+    }
+
+    // --- One fused superop run -----------------------------------------
+    // Executes slots [SI, End): every op retires exactly one guest
+    // instruction, so the instruction budget clamps End and the outer
+    // loop re-checks the limit with bit-identical results.
+    uint32_t SI = static_cast<uint32_t>(Entry);
+    uint32_t End = P->RunEnd[SI];
+    if (Recording) {
+      // An active trace recording observes every CTI through the step
+      // path, so drop the run's CondBr exit slot. Recording can only
+      // turn *off* mid-run (SMC abandons it), never on, so the
+      // truncation decided here stays valid for the whole run.
+      End = P->RunEndNoExit[SI];
+      if (End == SI) {
+        stepAt(Ctx);
+        continue;
+      }
+    }
+    uint64_t Budget = Exec.MaxInstructions - Ctx.Executed;
+    if (End - SI > Budget)
+      End = SI + static_cast<uint32_t>(Budget);
+
+    uint64_t LocalCycles = 0;
+    uint64_t HitCredits = 0;
+    uint32_t CurLine = ~0u;
+    const exec::PlanSlot *Sl = nullptr;
+
+#if defined(__GNUC__)
+    // Threaded dispatch: a computed-goto table indexed by slot kind, so
+    // the hot loop has one indirect jump per op instead of a switch.
+    // Table order must match exec::PlanSlot::Kind.
+    {
+      static const void *const KindTable[9] = {
+          &&K_Alu,  &&K_Addi, &&K_Add,    &&K_Lw,     &&K_Load,
+          &&K_Sw,   &&K_Store, &&K_Folded, &&K_CondBr};
+#define SDT_DISPATCH()                                                         \
+  do {                                                                         \
+    Sl = &P->Slots[SI];                                                        \
+    SDT_PLAN_PROLOGUE();                                                       \
+    goto *KindTable[static_cast<unsigned>(Sl->K)];                             \
+  } while (0)
+#define SDT_NEXT()                                                             \
+  do {                                                                         \
+    if (++SI == End)                                                           \
+      goto RunDone;                                                            \
+    SDT_DISPATCH();                                                            \
+  } while (0)
+      SDT_DISPATCH();
+    K_Alu:
+      SDT_OP_ALU(SDT_NEXT())
+    K_Addi:
+      SDT_OP_ADDI(SDT_NEXT())
+    K_Add:
+      SDT_OP_ADD(SDT_NEXT())
+    K_Lw:
+      SDT_OP_LW(SDT_NEXT())
+    K_Load:
+      SDT_OP_LOAD(SDT_NEXT())
+    K_Sw:
+      SDT_OP_SW(SDT_NEXT())
+    K_Store:
+      SDT_OP_STORE(SDT_NEXT())
+    K_Folded:
+      SDT_OP_FOLDED(SDT_NEXT())
+    K_CondBr:
+      SDT_OP_CONDBR()
+#undef SDT_DISPATCH
+#undef SDT_NEXT
+    }
+#else
+    for (; SI != End; ++SI) {
+      Sl = &P->Slots[SI];
+      SDT_PLAN_PROLOGUE();
+      switch (Sl->K) {
+      case exec::PlanSlot::Kind::Alu:
+        SDT_OP_ALU(break)
+      case exec::PlanSlot::Kind::Addi:
+        SDT_OP_ADDI(break)
+      case exec::PlanSlot::Kind::Add:
+        SDT_OP_ADD(break)
+      case exec::PlanSlot::Kind::Lw:
+        SDT_OP_LW(break)
+      case exec::PlanSlot::Kind::Load:
+        SDT_OP_LOAD(break)
+      case exec::PlanSlot::Kind::Sw:
+        SDT_OP_SW(break)
+      case exec::PlanSlot::Kind::Store:
+        SDT_OP_STORE(break)
+      case exec::PlanSlot::Kind::Folded:
+        SDT_OP_FOLDED(break)
+      case exec::PlanSlot::Kind::CondBr:
+        SDT_OP_CONDBR()
+      }
+    }
+    goto RunDone;
+#endif
+
+  RunDone:
+    // Normal or budget-clamped completion: resume right after the last
+    // executed op (the next op is an exit op, or the limit check fires).
+    Ctx.Cur.Index = P->Slots[End - 1].CodeIndex + 1;
+  RunExit:
+    SDT_FLUSH_CHARGES();
+  }
+}

@@ -7,29 +7,10 @@
 #include "vm/ExecSemantics.h"
 
 #include <cassert>
-#include <limits>
 
 using namespace sdt;
 using namespace sdt::vm;
 using namespace sdt::isa;
-
-/// Signed division following the RISC-V convention: x/0 = -1, x%0 = x;
-/// INT_MIN / -1 = INT_MIN, INT_MIN % -1 = 0 (no trap, no UB).
-static int32_t signedDiv(int32_t A, int32_t B) {
-  if (B == 0)
-    return -1;
-  if (A == std::numeric_limits<int32_t>::min() && B == -1)
-    return A;
-  return A / B;
-}
-
-static int32_t signedRem(int32_t A, int32_t B) {
-  if (B == 0)
-    return A;
-  if (A == std::numeric_limits<int32_t>::min() && B == -1)
-    return 0;
-  return A % B;
-}
 
 bool sdt::vm::isPureAlu(Opcode Op) {
   return static_cast<uint8_t>(Op) >= static_cast<uint8_t>(Opcode::Add) &&
@@ -44,67 +25,6 @@ bool sdt::vm::pureAluReadsRs1(Opcode Op) {
 bool sdt::vm::pureAluReadsRs2(Opcode Op) {
   assert(isPureAlu(Op) && "not a pure ALU opcode");
   return opcodeInfo(Op).Form == Format::R;
-}
-
-uint32_t sdt::vm::evalPureAlu(const Instruction &I, uint32_t A, uint32_t B) {
-  uint32_t ImmU = static_cast<uint32_t>(I.Imm);
-  switch (I.Op) {
-  // --- Register-register ALU ------------------------------------------
-  case Opcode::Add:
-    return A + B;
-  case Opcode::Sub:
-    return A - B;
-  case Opcode::Mul:
-    return A * B;
-  case Opcode::Div:
-    return static_cast<uint32_t>(
-        signedDiv(static_cast<int32_t>(A), static_cast<int32_t>(B)));
-  case Opcode::Rem:
-    return static_cast<uint32_t>(
-        signedRem(static_cast<int32_t>(A), static_cast<int32_t>(B)));
-  case Opcode::And:
-    return A & B;
-  case Opcode::Or:
-    return A | B;
-  case Opcode::Xor:
-    return A ^ B;
-  case Opcode::Sll:
-    return A << (B & 31);
-  case Opcode::Srl:
-    return A >> (B & 31);
-  case Opcode::Sra:
-    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (B & 31));
-  case Opcode::Slt:
-    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
-  case Opcode::Sltu:
-    return A < B;
-
-  // --- Register-immediate ALU -----------------------------------------
-  case Opcode::Addi:
-    return A + ImmU;
-  case Opcode::Andi:
-    return A & ImmU;
-  case Opcode::Ori:
-    return A | ImmU;
-  case Opcode::Xori:
-    return A ^ ImmU;
-  case Opcode::Slti:
-    return static_cast<int32_t>(A) < I.Imm;
-  case Opcode::Sltiu:
-    return A < ImmU;
-  case Opcode::Slli:
-    return A << (ImmU & 31);
-  case Opcode::Srli:
-    return A >> (ImmU & 31);
-  case Opcode::Srai:
-    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (ImmU & 31));
-  case Opcode::Lui:
-    return ImmU << 16;
-
-  default:
-    assert(false && "evalPureAlu given a non-ALU opcode");
-    return 0;
-  }
 }
 
 ExecEffect sdt::vm::executeNonCti(const Instruction &I, GuestState &State,

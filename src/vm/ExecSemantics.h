@@ -21,7 +21,9 @@
 #include "vm/GuestMemory.h"
 #include "vm/GuestState.h"
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 
 namespace sdt {
 namespace vm {
@@ -55,12 +57,91 @@ bool isPureAlu(isa::Opcode Op);
 bool pureAluReadsRs1(isa::Opcode Op);
 bool pureAluReadsRs2(isa::Opcode Op);
 
+/// Signed division following the RISC-V convention: x/0 = -1, x%0 = x;
+/// INT_MIN / -1 = INT_MIN, INT_MIN % -1 = 0 (no trap, no UB).
+inline int32_t signedDivRiscv(int32_t A, int32_t B) {
+  if (B == 0)
+    return -1;
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return A;
+  return A / B;
+}
+
+inline int32_t signedRemRiscv(int32_t A, int32_t B) {
+  if (B == 0)
+    return A;
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return 0;
+  return A % B;
+}
+
 /// Computes the result of pure-ALU instruction \p I given operand values
 /// \p A (Rs1) and \p B (Rs2). This is the single source of ALU semantics:
 /// executeNonCti delegates here, so constant folding over translated code
 /// is exact by construction (RISC-V division conventions, shift masking,
-/// 32-bit wrapping).
-uint32_t evalPureAlu(const isa::Instruction &I, uint32_t A, uint32_t B);
+/// 32-bit wrapping). Inline so the pre-decoded execution engine's fused
+/// ALU kernel (exec/PlanExecutor.cpp) pays no call per op.
+inline uint32_t evalPureAlu(const isa::Instruction &I, uint32_t A,
+                            uint32_t B) {
+  uint32_t ImmU = static_cast<uint32_t>(I.Imm);
+  switch (I.Op) {
+  // --- Register-register ALU ------------------------------------------
+  case isa::Opcode::Add:
+    return A + B;
+  case isa::Opcode::Sub:
+    return A - B;
+  case isa::Opcode::Mul:
+    return A * B;
+  case isa::Opcode::Div:
+    return static_cast<uint32_t>(
+        signedDivRiscv(static_cast<int32_t>(A), static_cast<int32_t>(B)));
+  case isa::Opcode::Rem:
+    return static_cast<uint32_t>(
+        signedRemRiscv(static_cast<int32_t>(A), static_cast<int32_t>(B)));
+  case isa::Opcode::And:
+    return A & B;
+  case isa::Opcode::Or:
+    return A | B;
+  case isa::Opcode::Xor:
+    return A ^ B;
+  case isa::Opcode::Sll:
+    return A << (B & 31);
+  case isa::Opcode::Srl:
+    return A >> (B & 31);
+  case isa::Opcode::Sra:
+    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (B & 31));
+  case isa::Opcode::Slt:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
+  case isa::Opcode::Sltu:
+    return A < B;
+
+  // --- Register-immediate ALU -----------------------------------------
+  case isa::Opcode::Addi:
+    return A + ImmU;
+  case isa::Opcode::Andi:
+    return A & ImmU;
+  case isa::Opcode::Ori:
+    return A | ImmU;
+  case isa::Opcode::Xori:
+    return A ^ ImmU;
+  case isa::Opcode::Slti:
+    return static_cast<int32_t>(A) < I.Imm;
+  case isa::Opcode::Sltiu:
+    return A < ImmU;
+  case isa::Opcode::Slli:
+    return A << (ImmU & 31);
+  case isa::Opcode::Srli:
+    return A >> (ImmU & 31);
+  case isa::Opcode::Srai:
+    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (ImmU & 31));
+  case isa::Opcode::Lui:
+    return ImmU << 16;
+
+  default:
+    assert(false && "evalPureAlu given a non-ALU opcode");
+    return 0;
+  }
+}
 
 /// Evaluates the condition of conditional branch \p I (beq/bne/blt/bge/
 /// bltu/bgeu) against \p State.

@@ -1,0 +1,453 @@
+//===- tests/exec_plan_test.cpp - Plan-vs-switch engine identity -*- C++ -*-===//
+//
+// Part of StrataIB.
+//
+// The pre-decoded plan engine's contract (docs/ExecutionEngine.md) is
+// bit-identity: for every configuration and every guest, the plan and
+// switch engines produce the same run result, the same total and
+// per-category cycles, the same cache/predictor states, and the same
+// stats block — wall-clock is the only thing allowed to differ. These
+// tests sweep that claim across mechanisms, return strategies, traces
+// (plain, optimized, speculated), eviction/flush pressure, SMC, plugins,
+// an attached trace sink, instruction-budget edges, and mid-run faults,
+// then pin the plan store's coherence behaviour (rebuild on link patch,
+// tombstone, flush; deopt on SMC hulls) through planStats().
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "arch/Timing.h"
+#include "assembler/Assembler.h"
+#include "cachemgr/CachePolicy.h"
+#include "core/SdtEngine.h"
+#include "exec/ExecutionPlan.h"
+#include "plugin/PluginManager.h"
+#include "trace/TraceSink.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace sdt;
+using namespace sdt::core;
+using namespace sdt::vm;
+
+namespace {
+
+/// Everything deterministic one engine run produces. Wall-clock is
+/// deliberately absent: it is the one legitimate difference.
+struct EngineObservation {
+  RunResult Result;
+  uint64_t TotalCycles = 0;
+  std::array<uint64_t, size_t(arch::CycleCategory::NumCategories)>
+      ByCategory{};
+  uint64_t ICacheHits = 0, ICacheMisses = 0;
+  uint64_t DCacheHits = 0, DCacheMisses = 0;
+  SdtStats Stats;
+  uint64_t MainLookups = 0, MainHits = 0;
+  std::map<uint32_t, uint64_t> BlockCounts;
+  std::vector<std::pair<std::string, uint64_t>> PluginMetrics;
+  ExecEngineKind Active = ExecEngineKind::Switch;
+  exec::PlanStats Plan; ///< Zero when the plan engine never ran.
+};
+
+struct RunSetup {
+  std::string PluginSpec; ///< Comma list for createPluginManager, or "".
+  bool AttachSink = false;
+  uint64_t MaxInstructions = 50000000;
+};
+
+EngineObservation runUnder(const isa::Program &P, SdtOptions Opts,
+                           ExecEngineKind Engine,
+                           const RunSetup &Setup = {}) {
+  Opts.Engine = Engine;
+  arch::TimingModel Timing(arch::x86Model());
+  ExecOptions Exec;
+  Exec.MaxInstructions = Setup.MaxInstructions;
+  Exec.Timing = &Timing;
+
+  auto E = SdtEngine::create(P, Opts, Exec);
+  EXPECT_TRUE(static_cast<bool>(E));
+  std::unique_ptr<plugin::PluginManager> Plugins;
+  if (!Setup.PluginSpec.empty()) {
+    auto Mgr = plugin::createPluginManager(Setup.PluginSpec);
+    EXPECT_TRUE(static_cast<bool>(Mgr));
+    Plugins = std::move(*Mgr);
+    (*E)->setPlugins(Plugins.get());
+  }
+  trace::TraceSink Sink(1 << 14);
+  if (Setup.AttachSink)
+    (*E)->setTraceSink(&Sink);
+
+  EngineObservation O;
+  O.Active = (*E)->activeEngine();
+  O.Result = (*E)->run();
+  O.TotalCycles = Timing.totalCycles();
+  for (size_t I = 0; I != O.ByCategory.size(); ++I)
+    O.ByCategory[I] = Timing.cycles(static_cast<arch::CycleCategory>(I));
+  O.ICacheHits = Timing.icache().hits();
+  O.ICacheMisses = Timing.icache().misses();
+  O.DCacheHits = Timing.dcache().hits();
+  O.DCacheMisses = Timing.dcache().misses();
+  O.Stats = (*E)->stats();
+  O.MainLookups = (*E)->mainHandler().lookups();
+  O.MainHits = (*E)->mainHandler().hits();
+  O.BlockCounts = (*E)->blockCounts();
+  if (Plugins)
+    for (const plugin::Plugin::Metric &M : Plugins->metrics())
+      O.PluginMetrics.push_back(M);
+  if (const exec::PlanStats *PS = (*E)->planStats())
+    O.Plan = *PS;
+  return O;
+}
+
+/// The identity assertion: every deterministic observation matches.
+void expectIdentical(const EngineObservation &S, const EngineObservation &P,
+                     const std::string &Label) {
+  EXPECT_EQ(S.Result.Reason, P.Result.Reason)
+      << Label << ": " << P.Result.FaultMessage;
+  EXPECT_EQ(S.Result.ExitCode, P.Result.ExitCode) << Label;
+  EXPECT_EQ(S.Result.Output, P.Result.Output) << Label;
+  EXPECT_EQ(S.Result.Checksum, P.Result.Checksum) << Label;
+  EXPECT_EQ(S.Result.InstructionCount, P.Result.InstructionCount) << Label;
+  EXPECT_EQ(S.Result.FaultMessage, P.Result.FaultMessage) << Label;
+  EXPECT_EQ(S.Result.Cti.Returns, P.Result.Cti.Returns) << Label;
+  EXPECT_EQ(S.Result.Cti.IndirectCalls, P.Result.Cti.IndirectCalls) << Label;
+  EXPECT_EQ(S.Result.Cti.IndirectJumps, P.Result.Cti.IndirectJumps) << Label;
+  EXPECT_EQ(S.Result.Cti.CondBranches, P.Result.Cti.CondBranches) << Label;
+  EXPECT_EQ(S.Result.Cti.DirectCalls, P.Result.Cti.DirectCalls) << Label;
+  EXPECT_EQ(S.Result.Cti.DirectJumps, P.Result.Cti.DirectJumps) << Label;
+
+  EXPECT_EQ(S.TotalCycles, P.TotalCycles) << Label;
+  for (size_t I = 0; I != S.ByCategory.size(); ++I)
+    EXPECT_EQ(S.ByCategory[I], P.ByCategory[I])
+        << Label << " category "
+        << arch::cycleCategoryName(static_cast<arch::CycleCategory>(I));
+  EXPECT_EQ(S.ICacheHits, P.ICacheHits) << Label;
+  EXPECT_EQ(S.ICacheMisses, P.ICacheMisses) << Label;
+  EXPECT_EQ(S.DCacheHits, P.DCacheHits) << Label;
+  EXPECT_EQ(S.DCacheMisses, P.DCacheMisses) << Label;
+
+  EXPECT_EQ(S.MainLookups, P.MainLookups) << Label;
+  EXPECT_EQ(S.MainHits, P.MainHits) << Label;
+  EXPECT_EQ(S.BlockCounts, P.BlockCounts) << Label;
+  EXPECT_EQ(S.PluginMetrics, P.PluginMetrics) << Label;
+
+#define SDT_EQ_STAT(Field) EXPECT_EQ(S.Stats.Field, P.Stats.Field) << Label
+  SDT_EQ_STAT(FragmentsTranslated);
+  SDT_EQ_STAT(GuestInstrsTranslated);
+  SDT_EQ_STAT(Flushes);
+  SDT_EQ_STAT(PartialEvictions);
+  SDT_EQ_STAT(EvictedBytes);
+  SDT_EQ_STAT(RetranslationsAfterEviction);
+  SDT_EQ_STAT(LinksUnlinked);
+  SDT_EQ_STAT(CodeWriteInvalidations);
+  SDT_EQ_STAT(FragmentsInvalidatedByWrite);
+  SDT_EQ_STAT(StaleBytesDiscarded);
+  SDT_EQ_STAT(DispatchEntries);
+  SDT_EQ_STAT(LinksPatched);
+  SDT_EQ_STAT(Syscalls);
+  SDT_EQ_STAT(IBExecs);
+  SDT_EQ_STAT(IBInlineHits);
+  SDT_EQ_STAT(FastReturnDirect);
+  SDT_EQ_STAT(FastReturnFallback);
+  SDT_EQ_STAT(TracesBuilt);
+  SDT_EQ_STAT(TraceGuestInstrs);
+  SDT_EQ_STAT(TracesOptimized);
+  SDT_EQ_STAT(TraceGlueElided);
+  SDT_EQ_STAT(TraceConstFolds);
+  SDT_EQ_STAT(TraceDeadLinks);
+  SDT_EQ_STAT(TraceStubsOutlined);
+  SDT_EQ_STAT(TraceFlagPairsElided);
+  SDT_EQ_STAT(SpecGuardsEmitted);
+  SDT_EQ_STAT(SpecGuardHits);
+  SDT_EQ_STAT(SpecGuardMisses);
+  SDT_EQ_STAT(ShadowStackHits);
+  SDT_EQ_STAT(ShadowStackMisses);
+#undef SDT_EQ_STAT
+}
+
+isa::Program mustBuild(const std::string &Workload, uint32_t Scale) {
+  Expected<isa::Program> P = workloads::buildWorkload(Workload, Scale);
+  EXPECT_TRUE(static_cast<bool>(P))
+      << Workload << ": " << (P ? "" : P.error().message());
+  return *P;
+}
+
+/// One named configuration for the differential sweep.
+struct ConfigCase {
+  const char *Name;
+  SdtOptions Opts;
+};
+
+std::vector<ConfigCase> sweepConfigs() {
+  std::vector<ConfigCase> Cases;
+  auto add = [&Cases](const char *Name, auto Mutate) {
+    SdtOptions O;
+    Mutate(O);
+    Cases.push_back({Name, O});
+  };
+  // The four mechanism columns of the paper sweeps.
+  add("dispatcher",
+      [](SdtOptions &O) { O.Mechanism = IBMechanism::Dispatcher; });
+  add("ibtc", [](SdtOptions &O) { O.Mechanism = IBMechanism::Ibtc; });
+  add("sieve", [](SdtOptions &O) { O.Mechanism = IBMechanism::Sieve; });
+  add("ibtc_inline2", [](SdtOptions &O) {
+    O.Mechanism = IBMechanism::Ibtc;
+    O.InlineCacheDepth = 2;
+  });
+  // Return strategies (the shadow stack and fast-return paths retire
+  // returns outside the generic IB path).
+  add("fast_returns",
+      [](SdtOptions &O) { O.Returns = ReturnStrategy::FastReturn; });
+  add("return_cache", [](SdtOptions &O) {
+    O.Returns = ReturnStrategy::ReturnCache;
+    O.ReturnCacheEntries = 16;
+  });
+  add("shadow_stack",
+      [](SdtOptions &O) { O.Returns = ReturnStrategy::ShadowStack; });
+  // Traces: plain recording, the optimizer, and speculative IB target
+  // inlining (guard ops and trace trampolines all mutate live
+  // fragments, exactly what PlanGen has to track).
+  add("traces", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 4;
+  });
+  add("traces_optimized", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 4;
+    O.OptimizeTraces = true;
+  });
+  add("traces_speculated", [](SdtOptions &O) {
+    O.EnableTraces = true;
+    O.TraceHotThreshold = 4;
+    O.OptimizeTraces = true;
+    O.TraceSpeculate = true;
+    O.TraceSpeculateThreshold = 4;
+  });
+  // Eviction pressure: many small fragments in a tiny cache, FIFO so
+  // hot fragments get evicted while control is elsewhere (tombstones +
+  // partial-eviction unlinking under the plan store).
+  add("fifo_tiny_cache", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  // Full-flush pressure: the whole cache (and every plan) dies at once.
+  add("flushy", [](SdtOptions &O) {
+    O.CachePolicy = cachemgr::CachePolicyKind::FullFlush;
+    O.FragmentCacheBytes = 4096;
+    O.MaxFragmentInstrs = 6;
+  });
+  // Block-count instrumentation runs a per-fragment-entry probe inside
+  // the shared entry path (not a deopt: both engines pay it).
+  add("block_counts",
+      [](SdtOptions &O) { O.InstrumentBlockCounts = true; });
+  return Cases;
+}
+
+/// Workloads chosen to stress every coherence edge: the SPEC proxies for
+/// breadth, hotcold for eviction/tombstone churn, smcpatch for
+/// self-modifying code (write invalidation + legacy deopt).
+const char *const SweepWorkloads[] = {"gzip",    "mcf",     "crafty",
+                                      "perlbmk", "hotcold", "smcpatch"};
+
+struct SweepParam {
+  ConfigCase Config;
+  const char *Workload;
+};
+
+class ExecPlanDifferentialTest
+    : public ::testing::TestWithParam<SweepParam> {};
+
+} // namespace
+
+TEST_P(ExecPlanDifferentialTest, PlanMatchesSwitchBitForBit) {
+  const SweepParam &Param = GetParam();
+  isa::Program P = mustBuild(Param.Workload, 2);
+  EngineObservation S = runUnder(P, Param.Config.Opts,
+                                 ExecEngineKind::Switch);
+  EngineObservation Pl = runUnder(P, Param.Config.Opts,
+                                  ExecEngineKind::Plan);
+  EXPECT_EQ(S.Active, ExecEngineKind::Switch);
+  EXPECT_EQ(Pl.Active, ExecEngineKind::Plan);
+  expectIdentical(S, Pl, std::string(Param.Config.Name) + "/" +
+                             Param.Workload);
+  // The plan engine actually fused something (it would be trivially
+  // identical if everything fell back to step ops).
+  EXPECT_GT(Pl.Plan.PlansBuilt, 0u);
+  EXPECT_GT(Pl.Plan.FusedOps, 0u);
+}
+
+static std::vector<SweepParam> makeSweep() {
+  std::vector<SweepParam> Params;
+  for (const ConfigCase &C : sweepConfigs())
+    for (const char *W : SweepWorkloads)
+      Params.push_back({C, W});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, ExecPlanDifferentialTest, ::testing::ValuesIn(makeSweep()),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      return std::string(Info.param.Config.Name) + "_" +
+             Info.param.Workload;
+    });
+
+// --- Engine-level deopt predicates --------------------------------------
+
+// Each in-tree plugin subscribes to an execution-time probe (fragment
+// entry, IB resolution, memory access), so the engine must deopt to the
+// switch loop — and produce identical results while doing so, including
+// the plugin's own metrics.
+TEST(ExecPlanDeoptTest, ExecutionProbePluginsForceSwitchAndStayIdentical) {
+  const char *const Specs[] = {"coverage", "ibedges", "memcheck",
+                               "coverage,ibedges,memcheck"};
+  isa::Program P = mustBuild("vortex", 2);
+  for (const char *Spec : Specs) {
+    RunSetup Setup;
+    Setup.PluginSpec = Spec;
+    EngineObservation S = runUnder(P, SdtOptions(), ExecEngineKind::Switch,
+                                   Setup);
+    EngineObservation Pl = runUnder(P, SdtOptions(), ExecEngineKind::Plan,
+                                    Setup);
+    // The deopt predicate must hold: plugins with exec probes need exact
+    // per-op callback interleaving.
+    EXPECT_EQ(Pl.Active, ExecEngineKind::Switch) << Spec;
+    expectIdentical(S, Pl, std::string("plugins ") + Spec);
+    EXPECT_FALSE(Pl.PluginMetrics.empty()) << Spec;
+  }
+}
+
+// A trace sink needs per-instruction fetch events, so an attached sink
+// deopts the plan engine; results (and the cycle counts the sink's
+// clock reads) stay identical.
+TEST(ExecPlanDeoptTest, TraceSinkForcesSwitchAndStaysIdentical) {
+  isa::Program P = mustBuild("eon", 2);
+  RunSetup Setup;
+  Setup.AttachSink = true;
+  EngineObservation S = runUnder(P, SdtOptions(), ExecEngineKind::Switch,
+                                 Setup);
+  EngineObservation Pl = runUnder(P, SdtOptions(), ExecEngineKind::Plan,
+                                  Setup);
+  EXPECT_EQ(Pl.Active, ExecEngineKind::Switch);
+  expectIdentical(S, Pl, "trace sink attached");
+}
+
+// --- Budget and fault edges ---------------------------------------------
+
+// The plan loop clamps fused runs to the remaining instruction budget;
+// every cut point (mid-run, at a run boundary, at a CondBr exit op)
+// must stop at exactly the same instruction with the same charges.
+TEST(ExecPlanEdgeTest, InstructionBudgetCutsRunsIdentically) {
+  isa::Program P = mustBuild("gzip", 2);
+  for (uint64_t Limit : {1ull, 2ull, 3ull, 5ull, 17ull, 100ull, 1001ull,
+                         25000ull, 300000ull}) {
+    RunSetup Setup;
+    Setup.MaxInstructions = Limit;
+    EngineObservation S = runUnder(P, SdtOptions(), ExecEngineKind::Switch,
+                                   Setup);
+    EngineObservation Pl = runUnder(P, SdtOptions(), ExecEngineKind::Plan,
+                                    Setup);
+    expectIdentical(S, Pl, "budget " + std::to_string(Limit));
+    if (S.Result.Reason == ExitReason::InstrLimit) {
+      EXPECT_EQ(S.Result.InstructionCount, Limit);
+    }
+  }
+}
+
+// A load fault in the middle of a fused straight-line run: the plan
+// kernels must stop at the same instruction with the same fault message
+// (pc and address included) and the same partial charges.
+TEST(ExecPlanEdgeTest, MidRunFaultIdentical) {
+  Expected<isa::Program> P = assembler::assemble(R"(
+main:
+    li   t0, 1
+    add  t1, t0, t0
+    addi t2, t1, 5
+    mul  t3, t2, t2
+    li   t4, 16
+    lw   t5, 0(t4)
+    halt
+)");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error().message();
+  EngineObservation S = runUnder(*P, SdtOptions(), ExecEngineKind::Switch);
+  EngineObservation Pl = runUnder(*P, SdtOptions(), ExecEngineKind::Plan);
+  EXPECT_EQ(Pl.Result.Reason, ExitReason::Fault);
+  EXPECT_NE(Pl.Result.FaultMessage.find("bad 32-bit load"),
+            std::string::npos)
+      << Pl.Result.FaultMessage;
+  expectIdentical(S, Pl, "mid-run fault");
+}
+
+// --- Plan-store coherence (docs/ExecutionEngine.md) ---------------------
+
+// Link patching mutates installed fragment bodies (ExitStub -> JumpHost,
+// SetLink caching), bumping PlanGen: the store must rebuild those plans,
+// not serve stale ones.
+TEST(ExecPlanCoherenceTest, LinkPatchingRebuildsPlans) {
+  isa::Program P = mustBuild("gzip", 2);
+  SdtOptions Opts; // Linking on by default.
+  EngineObservation Pl = runUnder(P, Opts, ExecEngineKind::Plan);
+  EXPECT_GT(Pl.Plan.PlansBuilt, 0u);
+  EXPECT_GT(Pl.Plan.PlansRebuilt, 0u)
+      << "link patches must invalidate built plans";
+  EXPECT_GT(Pl.Stats.LinksPatched, 0u) << "workload never linked";
+}
+
+// Partial eviction tombstones victims and unlinks their branches; a
+// reoccupied fragment index must never revalidate against the retired
+// fragment's plan.
+TEST(ExecPlanCoherenceTest, EvictionPressureRebuildsPlans) {
+  isa::Program P = mustBuild("hotcold", 2);
+  SdtOptions Opts;
+  Opts.CachePolicy = cachemgr::CachePolicyKind::Fifo;
+  Opts.FragmentCacheBytes = 4096;
+  Opts.MaxFragmentInstrs = 6;
+  EngineObservation Pl = runUnder(P, Opts, ExecEngineKind::Plan);
+  EXPECT_GT(Pl.Stats.PartialEvictions, 0u) << "no eviction pressure";
+  EXPECT_GT(Pl.Plan.PlansRebuilt, 0u);
+}
+
+// A full flush retires every fragment index at once; the flush-stamp
+// check must invalidate every surviving plan entry.
+TEST(ExecPlanCoherenceTest, FlushRebuildsPlans) {
+  isa::Program P = mustBuild("hotcold", 2);
+  SdtOptions Opts;
+  Opts.CachePolicy = cachemgr::CachePolicyKind::FullFlush;
+  Opts.FragmentCacheBytes = 4096;
+  Opts.MaxFragmentInstrs = 6;
+  EngineObservation Pl = runUnder(P, Opts, ExecEngineKind::Plan);
+  EXPECT_GT(Pl.Stats.Flushes, 0u) << "no flush pressure";
+  EXPECT_GT(Pl.Plan.PlansRebuilt, 0u);
+}
+
+// Fragments translated over previously-dirtied code words deoptimize to
+// the legacy path (exact per-store SMC observation, no rebuild churn).
+TEST(ExecPlanCoherenceTest, SmcHullsDeoptimizeToLegacy) {
+  isa::Program P = mustBuild("smcpatch", 2);
+  EngineObservation Pl = runUnder(P, SdtOptions(), ExecEngineKind::Plan);
+  EXPECT_GT(Pl.Stats.CodeWriteInvalidations, 0u) << "workload never wrote";
+  EXPECT_GT(Pl.Plan.LegacyFragments, 0u)
+      << "SMC-churned fragments must deopt to per-instruction execution";
+}
+
+// --- Option plumbing ----------------------------------------------------
+
+TEST(ExecPlanOptionsTest, ParseExecEngineIsStrict) {
+  EXPECT_EQ(parseExecEngine("plan"), ExecEngineKind::Plan);
+  EXPECT_EQ(parseExecEngine("switch"), ExecEngineKind::Switch);
+  EXPECT_FALSE(parseExecEngine("").has_value());
+  EXPECT_FALSE(parseExecEngine("Plan").has_value());
+  EXPECT_FALSE(parseExecEngine("plan ").has_value());
+  EXPECT_FALSE(parseExecEngine("threaded").has_value());
+}
+
+TEST(ExecPlanOptionsTest, EngineNamesRoundTrip) {
+  EXPECT_STREQ(execEngineName(ExecEngineKind::Plan), "plan");
+  EXPECT_STREQ(execEngineName(ExecEngineKind::Switch), "switch");
+  EXPECT_EQ(SdtOptions().Engine, ExecEngineKind::Plan)
+      << "the plan engine is the default";
+}
